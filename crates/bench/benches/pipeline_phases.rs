@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks: end-to-end pipeline phases and the bundled
+//! SQL executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::insight::generation::{generate_candidates, GenerationConfig, TestSource};
+use cn_core::insight::significance::TestConfig;
+use cn_core::prelude::*;
+
+fn small_table() -> Table {
+    enedis_like(Scale { rows: 0.01, domains: 0.03 }, 3)
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let table = small_table();
+    let cfg = GeneratorConfig {
+        generation_config: GenerationConfig {
+            test: TestConfig { n_permutations: 99, seed: 1, ..Default::default() },
+            ..Default::default()
+        },
+        n_threads: 1,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("end_to_end_small_enedis", |b| {
+        b.iter(|| cn_core::pipeline::run(&table, &cfg));
+    });
+    group.finish();
+}
+
+fn bench_generation_only(c: &mut Criterion) {
+    let table = small_table();
+    let cfg = GenerationConfig {
+        test: TestConfig { n_permutations: 99, seed: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.bench_function("algorithm1_with_bounding", |b| {
+        b.iter(|| generate_candidates(&table, &TestSource::Full, &cfg));
+    });
+    group.finish();
+}
+
+fn bench_sqlrun(c: &mut Criterion) {
+    let table = small_table();
+    let attrs: Vec<_> = table.schema().attribute_ids().collect();
+    let spec = cn_core::engine::ComparisonSpec {
+        group_by: attrs[3],
+        select_on: attrs[1],
+        val: 0,
+        val2: 1,
+        measure: table.schema().measure_ids().next().unwrap(),
+        agg: cn_core::engine::AggFn::Sum,
+    };
+    let sql = cn_core::notebook::sql::comparison_sql(&table, &spec);
+    c.bench_function("sqlrun/parse", |b| {
+        b.iter(|| cn_core::sqlrun::parse(&sql).unwrap());
+    });
+    c.bench_function("sqlrun/parse_and_execute", |b| {
+        b.iter(|| cn_core::sqlrun::run_sql(&sql, &table).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_generation_only, bench_sqlrun);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks: the query-engine substrate — comparison
+//! execution from the base table vs from a materialized cube, cube
+//! building, and roll-up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::engine::comparison::execute;
+use cn_core::engine::{AggFn, ComparisonSpec, Cube};
+use cn_core::tabular::AttrId;
+
+fn setup() -> (cn_core::tabular::Table, ComparisonSpec, Vec<AttrId>) {
+    let table = enedis_like(Scale { rows: 0.05, domains: 0.08 }, 3);
+    let attrs: Vec<AttrId> = table.schema().attribute_ids().collect();
+    let spec = ComparisonSpec {
+        group_by: attrs[3],
+        select_on: attrs[1],
+        val: 0,
+        val2: 1,
+        measure: table.schema().measure_ids().next().unwrap(),
+        agg: AggFn::Sum,
+    };
+    (table, spec, attrs)
+}
+
+fn bench_comparison_paths(c: &mut Criterion) {
+    let (table, spec, _) = setup();
+    c.bench_function("comparison/base_table_scan", |b| {
+        b.iter(|| execute(&table, &spec));
+    });
+    let pair = Cube::build(&table, &[spec.group_by, spec.select_on]);
+    c.bench_function("comparison/from_pair_cube", |b| {
+        b.iter(|| pair.comparison(&table, &spec));
+    });
+}
+
+fn bench_cube_ops(c: &mut Criterion) {
+    let (table, _, attrs) = setup();
+    c.bench_function("cube/build_pair", |b| {
+        b.iter(|| Cube::build(&table, &attrs[..2]));
+    });
+    c.bench_function("cube/build_triple", |b| {
+        b.iter(|| Cube::build(&table, &attrs[..3]));
+    });
+    let triple = Cube::build(&table, &attrs[..3]);
+    c.bench_function("cube/rollup_triple_to_pair", |b| {
+        b.iter(|| triple.rollup(&attrs[..2]));
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let (table, _, attrs) = setup();
+    c.bench_function("sampling/random_20pct", |b| {
+        b.iter(|| cn_core::tabular::sampling::random_sample(&table, 0.2, 1));
+    });
+    c.bench_function("sampling/unbalanced_20pct", |b| {
+        b.iter(|| cn_core::tabular::sampling::unbalanced_sample(&table, attrs[5], 0.2, 1));
+    });
+}
+
+criterion_group!(benches, bench_comparison_paths, bench_cube_ops, bench_sampling);
+criterion_main!(benches);

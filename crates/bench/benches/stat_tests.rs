@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks: the statistical-testing substrate — the
+//! dominant pipeline phase (Figure 7) — including the shared-permutation
+//! optimization of Section 5.1.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cn_core::stats::{shared_permutation_pvalues, two_sample_pvalue, TestKind, TwoSample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<f64>() * 10.0).collect()
+}
+
+fn bench_single_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation_test_200");
+    for n in [100usize, 1000, 10000] {
+        let x = series(n, 1);
+        let y = series(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| two_sample_pvalue(&x, &y, TestKind::MeanDiff, 200, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_vs_independent(c: &mut Criterion) {
+    // Four measures on the same split: shared permutations amortize the
+    // shuffling, which is the Section 5.1.1 optimization.
+    let n = 2000;
+    let xs: Vec<Vec<f64>> = (0..4).map(|i| series(n, i)).collect();
+    let ys: Vec<Vec<f64>> = (0..4).map(|i| series(n, 10 + i)).collect();
+    c.bench_function("four_measures/shared_permutations", |b| {
+        b.iter(|| {
+            let samples: Vec<TwoSample> = xs
+                .iter()
+                .zip(ys.iter())
+                .map(|(x, y)| TwoSample { x, y })
+                .collect();
+            shared_permutation_pvalues(
+                &samples,
+                &[TestKind::MeanDiff, TestKind::VarDiff],
+                200,
+                7,
+            )
+        });
+    });
+    c.bench_function("four_measures/independent_tests", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                out.push(two_sample_pvalue(x, y, TestKind::MeanDiff, 200, 7));
+                out.push(two_sample_pvalue(x, y, TestKind::VarDiff, 200, 7));
+            }
+            out
+        });
+    });
+}
+
+fn bench_bh(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ps: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>()).collect();
+    c.bench_function("benjamini_hochberg_100k", |b| {
+        b.iter(|| cn_core::stats::benjamini_hochberg(&ps));
+    });
+}
+
+criterion_group!(benches, bench_single_test, bench_shared_vs_independent, bench_bh);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks: TAP solver costs by instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cn_core::tap::baseline::solve_baseline;
+use cn_core::tap::{
+    generate_instance, solve_exact, solve_heuristic, Budgets, ExactConfig, InstanceConfig,
+};
+use std::time::Duration;
+
+fn bench_heuristic(c: &mut Criterion) {
+    let budgets = Budgets { epsilon_t: 25.0, epsilon_d: 30.0 };
+    let mut group = c.benchmark_group("algo3_heuristic");
+    for n in [100usize, 400, 1600] {
+        let instance = generate_instance(&InstanceConfig::euclidean(n, 7));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| solve_heuristic(inst, &budgets));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let budgets = Budgets { epsilon_t: 25.0, epsilon_d: 30.0 };
+    let mut group = c.benchmark_group("baseline_topk");
+    for n in [100usize, 1600] {
+        let instance = generate_instance(&InstanceConfig::euclidean(n, 7));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| solve_baseline(inst, &budgets));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_small(c: &mut Criterion) {
+    // Small instances only: exact cost explodes with n (that is Table 4).
+    let budgets = Budgets { epsilon_t: 8.0, epsilon_d: 0.6 };
+    let cfg = ExactConfig { timeout: Duration::from_secs(30), ..Default::default() };
+    let mut group = c.benchmark_group("exact_bnb");
+    group.sample_size(10);
+    for n in [20usize, 35, 50] {
+        let instance = generate_instance(&InstanceConfig::euclidean(n, 7));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| solve_exact(inst, &budgets, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristic, bench_baseline, bench_exact_small);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! **Ablations** — quantifying the design choices DESIGN.md calls out:
+//!
+//! 1. Credibility aggregation policy (`avg` vs `sum` vs any-agg): how much
+//!    credibility spread each reading of Definition 3.11 produces.
+//! 2. Distance weights: the paper's val/val' > B > A > M/agg ordering vs
+//!    flat weights — effect on notebook step coherence.
+//! 3. Conciseness parameters (α, δ): effect on which queries win the
+//!    Algorithm 1 dedup.
+//! 4. Local-search post-passes over Algorithm 3 (2-opt, swaps): what the
+//!    paper's single greedy pass leaves on the table.
+
+use crate::common::{f2, f3, ExperimentCtx, Opts};
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::insight::credibility::CredibilityPolicy;
+use cn_core::interest::{ConcisenessParams, DistanceWeights};
+use cn_core::prelude::*;
+use cn_core::tap::eval::mean_std;
+use cn_core::tap::{
+    generate_instance, solve_heuristic, solve_heuristic_improved, InstanceConfig,
+};
+
+fn base(opts: &Opts) -> GeneratorConfig {
+    crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None)
+}
+
+fn credibility_policies(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
+    for (name, policy) in [
+        ("avg (default)", CredibilityPolicy::PerAttribute(cn_core::engine::AggFn::Avg)),
+        ("sum", CredibilityPolicy::PerAttribute(cn_core::engine::AggFn::Sum)),
+        ("any-agg", CredibilityPolicy::AnyAgg(cn_core::engine::AggFn::DEFAULT.to_vec())),
+    ] {
+        let mut cfg = base(opts);
+        cfg.generation_config.credibility = policy;
+        let r = cn_core::pipeline::run(table, &cfg);
+        let partial = r
+            .insights
+            .iter()
+            .filter(|s| s.credibility.supporting < s.credibility.possible)
+            .count();
+        let mean_surprise = if r.insights.is_empty() {
+            0.0
+        } else {
+            r.insights.iter().map(|s| s.credibility.type_ii_term()).sum::<f64>()
+                / r.insights.len() as f64
+        };
+        ctx.row(&[
+            format!("credibility={name}"),
+            r.insights.len().to_string(),
+            partial.to_string(),
+            f3(mean_surprise),
+            f3(r.solution.total_interest),
+        ]);
+    }
+}
+
+fn distance_weights(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
+    for (name, weights) in [
+        ("paper ordering (4/4/3/2/1/1)", DistanceWeights::default()),
+        (
+            "flat (1/1/1/1/1/1)",
+            DistanceWeights {
+                val: 1.0,
+                val2: 1.0,
+                select_on: 1.0,
+                group_by: 1.0,
+                measure: 1.0,
+                agg: 1.0,
+            },
+        ),
+    ] {
+        let mut cfg = base(opts);
+        cfg.distance = weights;
+        // Keep the *relative* tightness comparable across weightings.
+        cfg.budgets.epsilon_d =
+            0.4 * weights.max_distance() * cfg.budgets.epsilon_t;
+        let r = cn_core::pipeline::run(table, &cfg);
+        let steps: Vec<f64> = r
+            .solution
+            .sequence
+            .windows(2)
+            .map(|w| {
+                cn_core::interest::distance(
+                    &r.queries[w[0]].spec,
+                    &r.queries[w[1]].spec,
+                    &weights,
+                )
+            })
+            .collect();
+        let (mean_step, _) = mean_std(&steps);
+        ctx.row(&[
+            format!("distance={name}"),
+            r.notebook.len().to_string(),
+            f2(mean_step / weights.max_distance()),
+            f3(r.solution.total_interest),
+            String::new(),
+        ]);
+    }
+}
+
+fn conciseness_params(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
+    for (name, params) in [
+        ("alpha=0.02 delta=1 (default)", ConcisenessParams { alpha: 0.02, delta: 1.0 }),
+        ("alpha=0.25 delta=1 (paper-figure ratio)", ConcisenessParams { alpha: 0.25, delta: 1.0 }),
+        ("alpha=0.02 delta=1.5 (wider ridge)", ConcisenessParams { alpha: 0.02, delta: 1.5 }),
+    ] {
+        let mut cfg = base(opts);
+        cfg.interest.conciseness = params;
+        let r = cn_core::pipeline::run(table, &cfg);
+        let mean_conc = if r.solution.sequence.is_empty() {
+            0.0
+        } else {
+            r.solution
+                .sequence
+                .iter()
+                .map(|&qi| {
+                    cn_core::interest::conciseness(
+                        r.queries[qi].theta,
+                        r.queries[qi].gamma,
+                        &params,
+                    )
+                })
+                .sum::<f64>()
+                / r.solution.sequence.len() as f64
+        };
+        ctx.row(&[
+            format!("conciseness={name}"),
+            r.notebook.len().to_string(),
+            f3(mean_conc),
+            f3(r.solution.total_interest),
+            String::new(),
+        ]);
+    }
+}
+
+fn local_search(opts: &Opts, ctx: &mut ExperimentCtx) {
+    // On the TAP directly: what do 2-opt + swaps add to Algorithm 3?
+    let b = Budgets { epsilon_t: 10.0, epsilon_d: 1.0 };
+    let mut gains = Vec::new();
+    let mut dist_drops = Vec::new();
+    let seeds = if opts.quick { 0..5u64 } else { 0..20u64 };
+    for seed in seeds {
+        let p = generate_instance(&InstanceConfig::euclidean(150, 5000 + seed));
+        let plain = solve_heuristic(&p, &b);
+        let improved = solve_heuristic_improved(&p, &b);
+        if plain.total_interest > 0.0 {
+            gains.push(
+                100.0 * (improved.total_interest - plain.total_interest)
+                    / plain.total_interest,
+            );
+        }
+        dist_drops.push(plain.total_distance - improved.total_distance);
+    }
+    let (g_mean, g_std) = mean_std(&gains);
+    let (d_mean, _) = mean_std(&dist_drops);
+    ctx.row(&[
+        "local-search vs plain Algorithm 3".to_string(),
+        format!("{} instances", gains.len()),
+        format!("interest +{g_mean:.2}% ±{g_std:.2}"),
+        format!("distance −{d_mean:.3}"),
+        String::new(),
+    ]);
+}
+
+/// Runs all ablations.
+pub fn run(opts: &Opts) -> std::io::Result<()> {
+    println!("== Ablations: design choices ==");
+    let scale = if opts.quick { Scale::TEST } else { Scale::BENCH };
+    let table = enedis_like(scale, opts.seed);
+    let mut ctx = ExperimentCtx::new("ablations", opts);
+    ctx.header(&["variant", "a", "b", "c", "d"]);
+    credibility_policies(opts, &table, &mut ctx);
+    distance_weights(opts, &table, &mut ctx);
+    conciseness_params(opts, &table, &mut ctx);
+    local_search(opts, &mut ctx);
+    ctx.note(
+        "Columns are variant-specific: credibility rows = (insights, partially \
+         credible, mean surprise, notebook interest); distance rows = (len, \
+         normalized mean step, interest); conciseness rows = (len, mean \
+         conciseness of selected queries, interest); local-search row = \
+         (instances, interest gain, distance drop).",
+    );
+    ctx.finish()
+}

@@ -1,0 +1,160 @@
+//! Shared experiment plumbing: options, output files, small table writer.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Command-line options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Shrinks instance counts / sweeps for a fast smoke run.
+    pub quick: bool,
+    /// Wall-clock timeout for the exact TAP solver.
+    pub timeout: Duration,
+    /// Output directory (default `target/experiments`).
+    pub out_dir: PathBuf,
+    /// Worker threads for pipeline phases.
+    pub threads: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            quick: false,
+            timeout: Duration::from_secs(60),
+            out_dir: PathBuf::from("target/experiments"),
+            threads: default_threads(),
+            seed: 42,
+        }
+    }
+}
+
+/// Half the logical cores, at least 2 — leaves headroom for the harness.
+pub fn default_threads() -> usize {
+    (std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4) / 2).max(2)
+}
+
+/// An in-memory experiment report: a header row plus data rows, written as
+/// CSV and a Markdown table.
+pub struct ExperimentCtx {
+    name: String,
+    opts: Opts,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl ExperimentCtx {
+    /// Starts an experiment named like its output files.
+    pub fn new(name: &str, opts: &Opts) -> Self {
+        ExperimentCtx {
+            name: name.to_string(),
+            opts: opts.clone(),
+            header: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column names.
+    pub fn header(&mut self, cols: &[&str]) {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+    }
+
+    /// Appends one data row (and echoes it to stdout).
+    pub fn row(&mut self, cells: &[String]) {
+        println!("  {}", cells.join(" | "));
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends one data row without echoing (for large grids).
+    pub fn rows_silent(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a free-form note to the Markdown output.
+    pub fn note(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        println!("  note: {text}");
+        self.notes.push(text);
+    }
+
+    /// Writes `<name>.csv` and `<name>.md` under the output directory.
+    pub fn finish(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.opts.out_dir)?;
+        let mut csv = String::new();
+        writeln!(csv, "{}", self.header.join(",")).unwrap();
+        for row in &self.rows {
+            writeln!(csv, "{}", row.join(",")).unwrap();
+        }
+        std::fs::write(self.opts.out_dir.join(format!("{}.csv", self.name)), csv)?;
+
+        let mut md = format!("# {}\n\n", self.name);
+        writeln!(md, "| {} |", self.header.join(" | ")).unwrap();
+        writeln!(md, "|{}|", vec!["---"; self.header.len()].join("|")).unwrap();
+        for row in &self.rows {
+            writeln!(md, "| {} |", row.join(" | ")).unwrap();
+        }
+        if !self.notes.is_empty() {
+            md.push('\n');
+            for n in &self.notes {
+                writeln!(md, "- {n}").unwrap();
+            }
+        }
+        std::fs::write(self.opts.out_dir.join(format!("{}.md", self.name)), md)?;
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a `mean ± std` cell.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.2} ±{std:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_writes_csv_and_markdown() {
+        let dir = std::env::temp_dir().join(format!("cn_bench_test_{}", std::process::id()));
+        let opts = Opts { out_dir: dir.clone(), ..Default::default() };
+        let mut ctx = ExperimentCtx::new("unit_test_exp", &opts);
+        ctx.header(&["x", "y"]);
+        ctx.rows_silent(&["1".into(), "2".into()]);
+        ctx.rows_silent(&["3".into(), "4".into()]);
+        ctx.note("a note");
+        ctx.finish().unwrap();
+        let csv = std::fs::read_to_string(dir.join("unit_test_exp.csv")).unwrap();
+        assert_eq!(csv, "x,y\n1,2\n3,4\n");
+        let md = std::fs::read_to_string(dir.join("unit_test_exp.md")).unwrap();
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert!(md.contains("- a note"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pm(1.5, 0.25), "1.50 ±0.25");
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 2);
+    }
+}

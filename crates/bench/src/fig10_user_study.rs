@@ -1,0 +1,107 @@
+//! **Figure 10** — the (simulated) user evaluation: six generator
+//! variants, nine raters, four criteria, plus the paired t-tests of
+//! Section 6.5.
+
+use crate::common::{f2, ExperimentCtx, Opts};
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::prelude::*;
+use cn_core::study::{run_user_study, Criterion, StudyConfig};
+
+/// Runs the Figure 10 reproduction.
+pub fn run(opts: &Opts) -> std::io::Result<()> {
+    println!("== Figure 10: simulated human evaluation ==");
+    let scale = if opts.quick { Scale::TEST } else { Scale::BENCH };
+    let table = enedis_like(scale, opts.seed);
+
+    let mut base = crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None);
+    // The paper's notebooks had 10 comparison queries each, with ε_d tuned
+    // so queries sit close together.
+    base.budgets = Budgets { epsilon_t: 10.0, epsilon_d: 45.0 };
+    let config = StudyConfig {
+        generators: GeneratorKind::TABLE7.to_vec(),
+        n_raters: 9,
+        base,
+        // The paper sampled 10% of 114,527 rows ≈ 11k tested rows; our
+        // bench-scale dataset is ~11k rows *in total*, so matching the
+        // paper's effective statistical power means a ~50% fraction here.
+        sample_fraction: 0.5,
+        tap_timeout: opts.timeout,
+        seed: opts.seed,
+    };
+    let result = run_user_study(&table, &config);
+
+    // Export the rated notebooks like the paper's Jupyter deployment.
+    let nb_dir = opts.out_dir.join("notebooks");
+    for (g, kind) in result.generators.iter().enumerate() {
+        let stem = kind.name().to_lowercase().replace(' ', "_");
+        cn_core::notebook::write_all(&result.runs[g].notebook, &nb_dir, &stem)?;
+    }
+    println!("  rated notebooks exported to {}", nb_dir.display());
+
+    let mut ctx = ExperimentCtx::new("fig10_user_study", opts);
+    ctx.header(&[
+        "generator",
+        "informativity",
+        "comprehensibility",
+        "expertise",
+        "human_equivalence",
+        "notebook_len",
+    ]);
+    for (g, kind) in result.generators.iter().enumerate() {
+        ctx.row(&[
+            kind.name().to_string(),
+            f2(result.mean_score(g, Criterion::Informativity)),
+            f2(result.mean_score(g, Criterion::Comprehensibility)),
+            f2(result.mean_score(g, Criterion::Expertise)),
+            f2(result.mean_score(g, Criterion::HumanEquivalence)),
+            result.runs[g].notebook.len().to_string(),
+        ]);
+    }
+    for c in Criterion::ALL {
+        let w = result.winner(c);
+        ctx.note(format!("{}: best = {}", c.name(), result.generators[w].name()));
+    }
+    let labels: Vec<String> =
+        result.generators.iter().map(|g| g.name().to_string()).collect();
+    let series: Vec<(String, Vec<f64>)> = Criterion::ALL
+        .iter()
+        .map(|&c| {
+            (
+                c.name().to_string(),
+                (0..result.generators.len()).map(|g| result.mean_score(g, c)).collect(),
+            )
+        })
+        .collect();
+    crate::plot::write_svg(
+        &opts.out_dir,
+        "fig10_user_study",
+        &crate::plot::bar_chart("Figure 10: simulated human evaluation", &labels, &series, "mean score (1-7)"),
+    )?;
+
+    // Paired t-tests between every generator pair, per criterion.
+    let mut ttests = ExperimentCtx::new("fig10_t_tests", opts);
+    ttests.header(&["criterion", "generator_a", "generator_b", "t", "p_value", "significant_at_5pct"]);
+    for c in Criterion::ALL {
+        for a in 0..result.generators.len() {
+            for b in (a + 1)..result.generators.len() {
+                if let Some(t) = result.compare(a, b, c) {
+                    ttests.rows_silent(&[
+                        c.name().to_string(),
+                        result.generators[a].name().to_string(),
+                        result.generators[b].name().to_string(),
+                        format!("{:.3}", t.t),
+                        format!("{:.4}", t.p_value),
+                        (t.p_value <= 0.05).to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    ttests.note(
+        "Simulated raters (see DESIGN.md §1): scores derive from measurable \
+         notebook properties through noisy per-rater weights; the t-test \
+         machinery reproduces the Section 6.5 analysis.",
+    );
+    ctx.finish()?;
+    ttests.finish()
+}

@@ -1,0 +1,62 @@
+//! **Figure 4** — the conciseness function surface: a (θ, γ) grid of
+//! `exp(−(γ − θα)² / θ^δ)` for plotting.
+
+use crate::common::{ExperimentCtx, Opts};
+use cn_core::interest::{conciseness, ConcisenessParams};
+
+/// Runs the Figure 4 reproduction.
+pub fn run(opts: &Opts) -> std::io::Result<()> {
+    println!("== Figure 4: conciseness surface ==");
+    let mut ctx = ExperimentCtx::new("fig4_conciseness", opts);
+    ctx.header(&["theta", "gamma", "conciseness"]);
+    let params = ConcisenessParams::default();
+    let thetas = [10usize, 30, 100, 300, 1000, 3000, 10000];
+    for &theta in &thetas {
+        let steps = 24usize;
+        for s in 0..=steps {
+            let gamma = ((theta as f64) * (s as f64) / steps as f64).round().max(1.0) as usize;
+            let c = conciseness(theta, gamma.min(theta), &params);
+            ctx.rows_silent(&[theta.to_string(), gamma.to_string(), format!("{c:.5}")]);
+        }
+    }
+    ctx.note(format!(
+        "alpha = {}, delta = {}: the ridge of maximal conciseness follows \
+         gamma = alpha*theta; the zone gamma > theta is undefined (0).",
+        params.alpha, params.delta
+    ));
+    // Echo the ridge for a quick look.
+    for &theta in &thetas {
+        let best = (1..=theta)
+            .map(|g| (g, conciseness(theta, g, &params)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!("  theta {theta:>6}: peak at gamma = {} (c = {:.3})", best.0, best.1);
+    }
+    // SVG: one curve per theta over relative gamma.
+    let curves: Vec<crate::plot::Series> = [100usize, 1000, 10000]
+        .iter()
+        .map(|&theta| crate::plot::Series {
+            name: format!("theta = {theta}"),
+            points: (0..=60)
+                .map(|s| {
+                    let gamma = ((theta as f64) * s as f64 / 600.0).round().max(1.0) as usize;
+                    (
+                        100.0 * gamma as f64 / theta as f64,
+                        conciseness(theta, gamma.min(theta), &params),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    crate::plot::write_svg(
+        &opts.out_dir,
+        "fig4_conciseness",
+        &crate::plot::line_chart(
+            "Figure 4: conciseness vs group ratio",
+            "gamma / theta (%)",
+            "conciseness",
+            &curves,
+        ),
+    )?;
+    ctx.finish()
+}

@@ -1,0 +1,97 @@
+//! **Figure 9** — sampling strategies on the larger Flights-shaped
+//! dataset: runtime, phase breakdown, and % of insights detected — which
+//! can exceed 100% because aggressive sampling produces *spurious*
+//! insights (Section 6.3.4).
+
+use crate::common::{f2, ExperimentCtx, Opts};
+use cn_core::datagen::{flights_like, Scale};
+use cn_core::prelude::*;
+use std::time::Instant;
+
+/// Runs the Figure 9 reproduction.
+pub fn run(opts: &Opts) -> std::io::Result<()> {
+    println!("== Figure 9: sampling on the Flights-shaped dataset ==");
+    let scale = if opts.quick {
+        Scale { rows: 0.002, domains: 0.03 }
+    } else {
+        Scale { rows: 0.01, domains: 0.1 }
+    };
+    let table = flights_like(scale, opts.seed);
+    println!("  dataset: {} rows", table.n_rows());
+
+    // Reference insights on the full data (the WSC-approx run the paper
+    // reports took 14h on the real 5.8M rows; our scaled run is the
+    // denominator for the % detected).
+    let base_cfg = crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None);
+    let t0 = Instant::now();
+    let reference = cn_core::pipeline::run(&table, &base_cfg);
+    let full_secs = t0.elapsed().as_secs_f64();
+    let reference_keys = reference.insight_keys();
+    println!("  reference: {} insights in {:.1}s", reference_keys.len(), full_secs);
+
+    let mut ctx = ExperimentCtx::new("fig9_flights", opts);
+    ctx.header(&[
+        "strategy",
+        "sample_pct",
+        "runtime_s",
+        "stat_tests_s",
+        "hypothesis_eval_s",
+        "tap_s",
+        "insights_detected_pct",
+        "spurious_pct",
+    ]);
+    let fractions: &[f64] = if opts.quick { &[0.1, 0.3] } else { &[0.05, 0.1, 0.2, 0.3] };
+    let mut curves: Vec<crate::plot::Series> = vec![
+        crate::plot::Series { name: "unbalanced".into(), points: vec![] },
+        crate::plot::Series { name: "random".into(), points: vec![] },
+    ];
+    for &fraction in fractions {
+        for (si, (name, strategy)) in [
+            ("unbalanced", SamplingStrategy::Unbalanced { fraction }),
+            ("random", SamplingStrategy::Random { fraction }),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = crate::fig6_sample_size::pipeline_config(opts, strategy);
+            let t0 = Instant::now();
+            let r = cn_core::pipeline::run(&table, &cfg);
+            let secs = t0.elapsed().as_secs_f64();
+            let found = r.insight_keys();
+            // The Figure 9 ratio counts everything found on the sample,
+            // spurious included, hence values above 100%.
+            let pct = 100.0 * found.len() as f64 / reference_keys.len().max(1) as f64;
+            let spurious = found.difference(&reference_keys).count();
+            let spurious_pct = 100.0 * spurious as f64 / found.len().max(1) as f64;
+            curves[si].points.push((fraction * 100.0, pct));
+            ctx.row(&[
+                name.to_string(),
+                f2(fraction * 100.0),
+                f2(secs),
+                f2(r.timings.stat_tests.as_secs_f64()),
+                f2(r.timings.hypothesis_eval.as_secs_f64()),
+                f2(r.timings.tap.as_secs_f64()),
+                f2(pct),
+                f2(spurious_pct),
+            ]);
+        }
+    }
+    crate::plot::write_svg(
+        &opts.out_dir,
+        "fig9_flights",
+        &crate::plot::line_chart(
+            "Figure 9: insights detected vs sample size (Flights-shaped)",
+            "sample %",
+            "insights detected % (can exceed 100: spurious)",
+            &curves,
+        ),
+    )?;
+    ctx.note(format!(
+        "Full (no-sampling) WSC-approx run: {:.1}s. Detection above 100% reflects \
+         spurious insights from aggressive sampling; the spurious share shrinks as \
+         the sample grows, and unbalanced sampling is more robust to it — the \
+         paper's Section 6.3.4 findings.",
+        full_secs
+    ));
+    ctx.finish()
+}

@@ -1,0 +1,27 @@
+//! # cn-bench
+//!
+//! The reproduction harness: one module per table/figure of the paper's
+//! evaluation (Section 6). Each experiment writes a CSV and a Markdown
+//! summary under `target/experiments/` and prints the headline rows.
+//!
+//! Run via:
+//!
+//! ```bash
+//! cargo run -p cn-bench --release --bin repro -- all --quick
+//! cargo run -p cn-bench --release --bin repro -- table4 --timeout 60
+//! ```
+
+pub mod ablations;
+pub mod common;
+pub mod fig10_user_study;
+pub mod fig4_conciseness;
+pub mod fig5_query_times;
+pub mod fig6_sample_size;
+pub mod fig7_budget;
+pub mod fig8_threads;
+pub mod fig9_flights;
+pub mod plot;
+pub mod table2_datasets;
+pub mod table456_tap;
+
+pub use common::{ExperimentCtx, Opts};

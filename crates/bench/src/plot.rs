@@ -1,0 +1,320 @@
+//! Minimal SVG chart emitter for the experiment figures.
+//!
+//! No plotting dependency: the harness draws its own line charts, bar
+//! charts, and histograms as self-contained `.svg` files next to the CSVs,
+//! so `target/experiments/` holds viewable figures, not just tables.
+
+use std::fmt::Write as _;
+
+const W: f64 = 640.0;
+const H: f64 = 400.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_B: f64 = 48.0;
+const MARGIN_T: f64 = 28.0;
+const MARGIN_R: f64 = 16.0;
+
+/// Series colors (colorblind-safe-ish).
+const COLORS: [&str; 6] = ["#4361ee", "#e4572e", "#2a9d8f", "#9b5de5", "#f4a261", "#577590"];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// One named line/scatter series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// (x, y) points, in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if !(hi > lo) {
+        return vec![lo];
+    }
+    let raw = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| *s >= raw)
+        .unwrap_or(mag * 10.0);
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.fract().abs() < 1e-9 {
+        format!("{:.0}", v)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Draws a multi-series line chart.
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let (x_lo, x_hi) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+    let (y_lo, y_hi) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+    let (x_lo, x_hi) = if all.is_empty() { (0.0, 1.0) } else { (x_lo, x_hi) };
+    let (y_lo, y_hi) = if all.is_empty() { (0.0, 1.0) } else { (0.0f64.min(y_lo), y_hi) };
+    let y_hi = if y_hi > y_lo { y_hi } else { y_lo + 1.0 };
+    let x_hi = if x_hi > x_lo { x_hi } else { x_lo + 1.0 };
+
+    let px = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * (W - MARGIN_L - MARGIN_R);
+    let py = |y: f64| H - MARGIN_B - (y - y_lo) / (y_hi - y_lo) * (H - MARGIN_T - MARGIN_B);
+
+    let mut svg = svg_header(title);
+    axes(&mut svg, x_label, y_label);
+    for t in nice_ticks(x_lo, x_hi, 6) {
+        let x = px(t);
+        let _ = writeln!(
+            svg,
+            "<line x1='{x:.1}' y1='{0:.1}' x2='{x:.1}' y2='{1:.1}' stroke='#ccc'/>\
+             <text x='{x:.1}' y='{2:.1}' text-anchor='middle' font-size='11'>{3}</text>",
+            H - MARGIN_B,
+            H - MARGIN_B + 4.0,
+            H - MARGIN_B + 18.0,
+            fmt_tick(t)
+        );
+    }
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = py(t);
+        let _ = writeln!(
+            svg,
+            "<line x1='{0:.1}' y1='{y:.1}' x2='{1:.1}' y2='{y:.1}' stroke='#eee'/>\
+             <text x='{2:.1}' y='{3:.1}' text-anchor='end' font-size='11'>{4}</text>",
+            MARGIN_L,
+            W - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    for (si, s) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, px(x), py(y))
+            })
+            .collect();
+        let _ = writeln!(svg, "<path d='{}' fill='none' stroke='{color}' stroke-width='2'/>", path.join(" "));
+        for &(x, y) in &s.points {
+            let _ = writeln!(svg, "<circle cx='{:.1}' cy='{:.1}' r='3' fill='{color}'/>", px(x), py(y));
+        }
+        let ly = MARGIN_T + 16.0 * si as f64;
+        let _ = writeln!(
+            svg,
+            "<rect x='{0:.1}' y='{1:.1}' width='12' height='3' fill='{color}'/>\
+             <text x='{2:.1}' y='{3:.1}' font-size='11'>{4}</text>",
+            W - 170.0,
+            ly,
+            W - 154.0,
+            ly + 5.0,
+            esc(&s.name)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Draws a grouped bar chart: one group per label, one bar per series.
+pub fn bar_chart(
+    title: &str,
+    labels: &[String],
+    series: &[(String, Vec<f64>)],
+    y_label: &str,
+) -> String {
+    let y_hi = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let py = |y: f64| H - MARGIN_B - y / y_hi * (H - MARGIN_T - MARGIN_B);
+    let n_groups = labels.len().max(1);
+    let group_w = (W - MARGIN_L - MARGIN_R) / n_groups as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+
+    let mut svg = svg_header(title);
+    axes(&mut svg, "", y_label);
+    for t in nice_ticks(0.0, y_hi, 6) {
+        let y = py(t);
+        let _ = writeln!(
+            svg,
+            "<line x1='{0:.1}' y1='{y:.1}' x2='{1:.1}' y2='{y:.1}' stroke='#eee'/>\
+             <text x='{2:.1}' y='{3:.1}' text-anchor='end' font-size='11'>{4}</text>",
+            MARGIN_L,
+            W - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    for (g, label) in labels.iter().enumerate() {
+        let gx = MARGIN_L + g as f64 * group_w;
+        for (si, (_, values)) in series.iter().enumerate() {
+            let v = values.get(g).copied().unwrap_or(0.0);
+            let x = gx + group_w * 0.1 + si as f64 * bar_w;
+            let y = py(v);
+            let _ = writeln!(
+                svg,
+                "<rect x='{x:.1}' y='{y:.1}' width='{:.1}' height='{:.1}' fill='{}'/>",
+                bar_w * 0.92,
+                (H - MARGIN_B - y).max(0.0),
+                COLORS[si % COLORS.len()]
+            );
+        }
+        let _ = writeln!(
+            svg,
+            "<text x='{:.1}' y='{:.1}' text-anchor='middle' font-size='10'>{}</text>",
+            gx + group_w / 2.0,
+            H - MARGIN_B + 16.0,
+            esc(label)
+        );
+    }
+    for (si, (name, _)) in series.iter().enumerate() {
+        let ly = MARGIN_T + 16.0 * si as f64;
+        let _ = writeln!(
+            svg,
+            "<rect x='{0:.1}' y='{1:.1}' width='12' height='8' fill='{2}'/>\
+             <text x='{3:.1}' y='{4:.1}' font-size='11'>{5}</text>",
+            W - 170.0,
+            ly,
+            COLORS[si % COLORS.len()],
+            W - 154.0,
+            ly + 8.0,
+            esc(name)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        "<svg xmlns='http://www.w3.org/2000/svg' width='{W}' height='{H}' \
+         viewBox='0 0 {W} {H}' font-family='sans-serif'>\n\
+         <rect width='{W}' height='{H}' fill='white'/>\n\
+         <text x='{:.1}' y='18' text-anchor='middle' font-size='14' font-weight='bold'>{}</text>\n",
+        W / 2.0,
+        esc(title)
+    )
+}
+
+fn axes(svg: &mut String, x_label: &str, y_label: &str) {
+    let _ = writeln!(
+        svg,
+        "<line x1='{MARGIN_L}' y1='{0}' x2='{1}' y2='{0}' stroke='#333'/>\
+         <line x1='{MARGIN_L}' y1='{MARGIN_T}' x2='{MARGIN_L}' y2='{0}' stroke='#333'/>",
+        H - MARGIN_B,
+        W - MARGIN_R
+    );
+    if !x_label.is_empty() {
+        let _ = writeln!(
+            svg,
+            "<text x='{:.1}' y='{:.1}' text-anchor='middle' font-size='12'>{}</text>",
+            (W + MARGIN_L) / 2.0,
+            H - 10.0,
+            esc(x_label)
+        );
+    }
+    if !y_label.is_empty() {
+        let _ = writeln!(
+            svg,
+            "<text x='14' y='{:.1}' text-anchor='middle' font-size='12' \
+             transform='rotate(-90 14 {:.1})'>{}</text>",
+            H / 2.0,
+            H / 2.0,
+            esc(y_label)
+        );
+    }
+}
+
+/// Writes an SVG file under the experiments directory.
+pub fn write_svg(
+    out_dir: &std::path::Path,
+    name: &str,
+    svg: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}.svg"));
+    std::fs::write(&path, svg)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_series_and_labels() {
+        let svg = line_chart(
+            "Test <chart>",
+            "sample %",
+            "insights %",
+            &[
+                Series { name: "unbalanced".into(), points: vec![(5.0, 10.0), (20.0, 35.0)] },
+                Series { name: "random".into(), points: vec![(5.0, 2.0), (20.0, 25.0)] },
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("unbalanced"));
+        assert!(svg.contains("Test &lt;chart&gt;"));
+        assert!(svg.matches("<path").count() == 2);
+        assert!(svg.matches("<circle").count() == 4);
+    }
+
+    #[test]
+    fn bar_chart_draws_all_bars() {
+        let svg = bar_chart(
+            "Scores",
+            &["A".into(), "B".into(), "C".into()],
+            &[("crit1".into(), vec![4.0, 5.0, 3.0]), ("crit2".into(), vec![2.0, 1.0, 6.0])],
+            "score",
+        );
+        // 6 data bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 6 + 2 + 1); // +1 background
+        assert!(svg.contains("crit2"));
+    }
+
+    #[test]
+    fn ticks_are_sane() {
+        let t = nice_ticks(0.0, 100.0, 6);
+        assert!(t.len() >= 4 && t.len() <= 8);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(nice_ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let svg = line_chart("empty", "x", "y", &[]);
+        assert!(svg.contains("</svg>"));
+        let svg = bar_chart("empty", &[], &[], "y");
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let dir = std::env::temp_dir().join(format!("cn_plot_{}", std::process::id()));
+        let p = write_svg(&dir, "t", "<svg></svg>").unwrap();
+        assert!(p.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

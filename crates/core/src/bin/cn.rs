@@ -1,0 +1,311 @@
+//! `cn` — the comparison-notebooks command-line tool.
+//!
+//! ```bash
+//! cn inspect data.csv --measures sales,units
+//! cn notebook data.csv --measures sales,units --len 10 --out out/report
+//! cn demo --seed 7
+//! ```
+
+use cn_core::insight::types::InsightType;
+use cn_core::prelude::*;
+use cn_core::NotebookOptions;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "cn — automatic generation of SQL comparison notebooks\n\
+         \n\
+         USAGE:\n\
+           cn notebook <csv> [options]   generate a comparison notebook\n\
+           cn inspect  <csv> [options]   show schema, FDs, and insight-space size\n\
+           cn demo [--seed N]            run on a built-in synthetic dataset\n\
+         \n\
+         OPTIONS:\n\
+           --measures a,b,c   treat these columns as measures (default: inferred)\n\
+           --ignore a,b       drop these columns entirely\n\
+           --len N            comparison queries in the notebook (default 10)\n\
+           --epsilon-d X      distance bound between consecutive queries\n\
+           --sample F         test on an unbalanced sample of fraction F (0-1)\n\
+           --perms N          permutations per statistical test (default 200)\n\
+           --extended         also mine extreme-greater (max) insights\n\
+           --threads N        worker threads (default 4)\n\
+           --seed N           root seed (default 0)\n\
+           --out PATH         output stem; writes PATH.ipynb/.md/.sql\n\
+                              (default: print markdown to stdout)"
+    );
+    exit(2)
+}
+
+struct Args {
+    command: String,
+    input: Option<PathBuf>,
+    data: Option<PathBuf>,
+    measures: Option<Vec<String>>,
+    ignore: Vec<String>,
+    len: usize,
+    epsilon_d: Option<f64>,
+    sample: Option<f64>,
+    perms: usize,
+    extended: bool,
+    threads: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut raw = std::env::args().skip(1);
+    let command = raw.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        command,
+        input: None,
+        data: None,
+        measures: None,
+        ignore: Vec::new(),
+        len: 10,
+        epsilon_d: None,
+        sample: None,
+        perms: 200,
+        extended: false,
+        threads: 4,
+        seed: 0,
+        out: None,
+    };
+    let rest: Vec<String> = raw.collect();
+    let mut i = 0;
+    let value = |rest: &[String], i: &mut usize| -> String {
+        *i += 1;
+        rest.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--measures" => {
+                args.measures =
+                    Some(value(&rest, &mut i).split(',').map(str::to_string).collect())
+            }
+            "--ignore" => {
+                args.ignore = value(&rest, &mut i).split(',').map(str::to_string).collect()
+            }
+            "--len" => args.len = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--epsilon-d" => {
+                args.epsilon_d = Some(value(&rest, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--sample" => {
+                args.sample = Some(value(&rest, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--perms" => args.perms = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--extended" => args.extended = true,
+            "--threads" => args.threads = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(PathBuf::from(value(&rest, &mut i))),
+            "--data" => args.data = Some(PathBuf::from(value(&rest, &mut i))),
+            flag if flag.starts_with("--") => usage(),
+            path if args.input.is_none() => args.input = Some(PathBuf::from(path)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn load_table(args: &Args) -> Table {
+    let path = args.input.clone().unwrap_or_else(|| usage());
+    let options = CsvOptions {
+        measures: args.measures.clone(),
+        ignore: args.ignore.clone(),
+        ..Default::default()
+    };
+    match read_path(&path, &options) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", path.display());
+            exit(1)
+        }
+    }
+}
+
+fn cmd_inspect(args: &Args) {
+    let t = load_table(args);
+    println!("table `{}`: {} rows", t.name(), t.n_rows());
+    println!("\ncategorical attributes:");
+    for a in t.schema().attribute_ids() {
+        println!(
+            "  {:<24} |dom| = {}",
+            t.schema().attribute_name(a),
+            t.active_domain_size(a)
+        );
+    }
+    println!("\nmeasures:");
+    for m in t.schema().measure_ids() {
+        let col = t.measure(m);
+        let s = cn_core::stats::Summary::of(col);
+        println!(
+            "  {:<24} n = {}, mean = {:.3}, stddev = {:.3}",
+            t.schema().measure_name(m),
+            s.n,
+            s.mean,
+            s.stddev_sample()
+        );
+    }
+    let fds = cn_core::tabular::fd::detect_fds(&t);
+    if fds.is_empty() {
+        println!("\nno functional dependencies detected");
+    } else {
+        println!("\nfunctional dependencies:");
+        for fd in &fds {
+            println!(
+                "  {} -> {}",
+                t.schema().attribute_name(fd.lhs),
+                t.schema().attribute_name(fd.rhs)
+            );
+        }
+    }
+    let types = if args.extended { InsightType::EXTENDED.len() } else { InsightType::ALL.len() };
+    println!(
+        "\ninsight space: {:.0} candidate insights ({} types), {:.0} possible comparison queries",
+        cn_core::insight::space::count_insights(&t, types),
+        types,
+        cn_core::insight::space::count_comparison_queries(&t, 2)
+    );
+}
+
+fn cmd_notebook(args: &Args, table: Table) {
+    let mut options = NotebookOptions {
+        notebook_len: args.len,
+        epsilon_d: args.epsilon_d,
+        n_permutations: args.perms,
+        sample_fraction: args.sample,
+        n_threads: args.threads,
+        seed: args.seed,
+    };
+    // The one-call API covers the defaults; the extended insight set needs
+    // the full config.
+    let result = if args.extended {
+        let mut config = GeneratorConfig {
+            budgets: Budgets {
+                epsilon_t: args.len as f64,
+                epsilon_d: options
+                    .epsilon_d
+                    .unwrap_or(0.5 * cn_core::interest::DistanceWeights::default().max_distance() * args.len.max(1) as f64),
+            },
+            n_threads: args.threads,
+            seed: args.seed,
+            ..Default::default()
+        };
+        config.generation_config.test.n_permutations = args.perms;
+        config.generation_config.test.seed = args.seed;
+        config.generation_config.test.types = InsightType::EXTENDED.to_vec();
+        if let Some(fraction) = args.sample {
+            config.sampling = SamplingStrategy::Unbalanced { fraction };
+        }
+        run(&table, &config)
+    } else {
+        options.n_threads = args.threads;
+        cn_core::generate_notebook(&table, &options)
+    };
+
+    eprintln!(
+        "tested {} insights, {} significant, {} queries; notebook of {} (interest {:.3})",
+        result.n_tested,
+        result.n_significant,
+        result.queries.len(),
+        result.notebook.len(),
+        result.solution.total_interest
+    );
+    match &args.out {
+        Some(stem) => {
+            let dir = stem.parent().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+            let name = stem
+                .file_name()
+                .and_then(|s| s.to_str())
+                .unwrap_or("notebook")
+                .to_string();
+            match cn_core::notebook::write_all(&result.notebook, &dir, &name) {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error writing output: {e}");
+                    exit(1)
+                }
+            }
+        }
+        None => println!("{}", to_markdown(&result.notebook)),
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let sql_path = args.input.clone().unwrap_or_else(|| usage());
+    let sql = match std::fs::read_to_string(&sql_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", sql_path.display());
+            exit(1)
+        }
+    };
+    let data = args.data.clone().unwrap_or_else(|| usage());
+    let options = CsvOptions {
+        measures: args.measures.clone(),
+        ignore: args.ignore.clone(),
+        ..Default::default()
+    };
+    let table = match read_path(&data, &options) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", data.display());
+            exit(1)
+        }
+    };
+    // Execute each `;`-terminated statement (skipping blank chunks).
+    for stmt in sql.split(';') {
+        let trimmed: String = stmt
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("--"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        match cn_core::sqlrun::run_sql(&format!("{trimmed};"), &table) {
+            Ok(result) => {
+                println!("{}", result.columns.join(" | "));
+                for row in &result.rows {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|v| match v {
+                            cn_core::sqlrun::Value::Str(s) => s.clone(),
+                            cn_core::sqlrun::Value::Num(n) => format!("{n:.2}"),
+                            cn_core::sqlrun::Value::Null => "NULL".to_string(),
+                        })
+                        .collect();
+                    println!("{}", cells.join(" | "));
+                }
+                println!("({} rows)\n", result.rows.len());
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "inspect" => cmd_inspect(&args),
+        "run" => cmd_run(&args),
+        "notebook" => {
+            let table = load_table(&args);
+            cmd_notebook(&args, table);
+        }
+        "demo" => {
+            let table = cn_core::datagen::enedis_like(cn_core::datagen::Scale::TEST, args.seed);
+            eprintln!("demo dataset `{}`: {} rows", table.name(), table.n_rows());
+            cmd_notebook(&args, table);
+        }
+        _ => usage(),
+    }
+}

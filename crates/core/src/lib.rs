@@ -1,0 +1,167 @@
+//! # cn-core — automatic generation of comparison notebooks
+//!
+//! A Rust implementation of *"Automatic generation of comparison notebooks
+//! for interactive data exploration"* (Chanson, Labroche, Marcel, Rizzi,
+//! T'Kindt — EDBT 2022): load a single-table dataset, find statistically
+//! significant **comparison insights**, score the comparison queries that
+//! evidence them, and solve the **Traveling Analyst Problem** to arrange
+//! the most interesting queries into a coherent SQL notebook.
+//!
+//! This crate is the facade: it re-exports every subsystem and offers a
+//! one-call entry point, [`generate_notebook`].
+//!
+//! ```
+//! use cn_core::prelude::*;
+//!
+//! // A tiny synthetic dataset shaped like the paper's running example.
+//! let table = cn_core::datagen::covid_like(42);
+//! let options = NotebookOptions { notebook_len: 5, ..Default::default() };
+//! let result = cn_core::generate_notebook(&table, &options);
+//! assert!(result.notebook.len() <= 5);
+//! let ipynb = cn_core::notebook::to_ipynb_json(&result.notebook);
+//! assert_eq!(ipynb["nbformat"], 4);
+//! ```
+//!
+//! Subsystem map (one crate per substrate; see `DESIGN.md`):
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`tabular`] | columnar store, CSV, sampling, FD detection |
+//! | [`stats`] | permutation tests, BH-FDR, t-tests |
+//! | [`engine`] | group-by execution, comparison plan, cube cache |
+//! | [`setcover`] | Algorithm 2 (weighted set cover over group-by sets) |
+//! | [`insight`] | insights, hypothesis queries, credibility, Algorithm 1 |
+//! | [`interest`] | conciseness, interestingness, distance, cost |
+//! | [`tap`] | exact + heuristic TAP solvers, instances, metrics |
+//! | [`notebook`] | SQL generation, ipynb/markdown/sql/html rendering |
+//! | [`sqlrun`] | parser + executor for the emitted SQL dialect |
+//! | [`pipeline`] | the end-to-end generators of Tables 3 and 7 |
+//! | [`datagen`] | synthetic datasets shaped like Table 2 |
+//! | [`study`] | the simulated user study of Figure 10 |
+
+pub use cn_datagen as datagen;
+pub use cn_engine as engine;
+pub use cn_insight as insight;
+pub use cn_interest as interest;
+pub use cn_notebook as notebook;
+pub use cn_pipeline as pipeline;
+pub use cn_setcover as setcover;
+pub use cn_sqlrun as sqlrun;
+pub use cn_stats as stats;
+pub use cn_study as study;
+pub use cn_tabular as tabular;
+pub use cn_tap as tap;
+
+use cn_insight::significance::TestConfig;
+use cn_pipeline::{GeneratorConfig, RunResult};
+use cn_tabular::Table;
+use cn_tap::Budgets;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use crate::{generate_notebook, NotebookOptions};
+    pub use cn_insight::types::{Insight, InsightType};
+    pub use cn_interest::{InterestComponents, InterestParams};
+    pub use cn_notebook::{to_ipynb_json, to_markdown, to_sql_script, Notebook};
+    pub use cn_pipeline::{run, GeneratorConfig, GeneratorKind, RunResult, SamplingStrategy};
+    pub use cn_tabular::csv::{read_path, read_str, CsvOptions};
+    pub use cn_tabular::{Schema, Table, TableBuilder};
+    pub use cn_tap::Budgets;
+}
+
+/// High-level knobs of [`generate_notebook`]; everything else uses the
+/// defaults of [`GeneratorConfig`].
+#[derive(Debug, Clone)]
+pub struct NotebookOptions {
+    /// Number of comparison queries wanted in the notebook (`ε_t` with
+    /// unit costs).
+    pub notebook_len: usize,
+    /// Total distance bound `ε_d` between consecutive queries; `None`
+    /// derives a coherent-but-feasible default from the notebook length.
+    pub epsilon_d: Option<f64>,
+    /// Permutations per statistical test.
+    pub n_permutations: usize,
+    /// Sampling fraction for the tests; `None` tests on the full data.
+    pub sample_fraction: Option<f64>,
+    /// Worker threads.
+    pub n_threads: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for NotebookOptions {
+    fn default() -> Self {
+        NotebookOptions {
+            notebook_len: 10,
+            epsilon_d: None,
+            n_permutations: 200,
+            sample_fraction: None,
+            n_threads: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// One-call notebook generation with sensible defaults: WSC generation,
+/// Algorithm 3 for the TAP, full interestingness.
+pub fn generate_notebook(table: &Table, options: &NotebookOptions) -> RunResult {
+    let epsilon_d = options.epsilon_d.unwrap_or_else(|| {
+        // Roughly "stay close": allow an average step of half the maximum
+        // distance.
+        let w = cn_interest::DistanceWeights::default();
+        0.5 * w.max_distance() * options.notebook_len.max(1) as f64
+    });
+    let config = GeneratorConfig {
+        budgets: Budgets { epsilon_t: options.notebook_len as f64, epsilon_d },
+        sampling: match options.sample_fraction {
+            Some(fraction) => cn_pipeline::SamplingStrategy::Unbalanced { fraction },
+            None => cn_pipeline::SamplingStrategy::None,
+        },
+        generation_config: cn_insight::generation::GenerationConfig {
+            test: TestConfig {
+                n_permutations: options.n_permutations,
+                seed: options.seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        n_threads: options.n_threads,
+        seed: options.seed,
+        ..Default::default()
+    };
+    cn_pipeline::run(table, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_call_generation_works() {
+        let table = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 1);
+        let options = NotebookOptions {
+            notebook_len: 4,
+            n_permutations: 99,
+            n_threads: 2,
+            ..Default::default()
+        };
+        let result = generate_notebook(&table, &options);
+        assert!(result.notebook.len() <= 4);
+        assert!(!result.notebook.is_empty());
+        assert!(result.solution.total_cost <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn sampling_option_is_wired() {
+        let table = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 1);
+        let options = NotebookOptions {
+            notebook_len: 4,
+            n_permutations: 99,
+            sample_fraction: Some(0.5),
+            n_threads: 2,
+            ..Default::default()
+        };
+        let result = generate_notebook(&table, &options);
+        assert!(result.n_tested > 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # cn-datagen
+//!
+//! Seeded synthetic datasets reproducing the *shape* of the paper's
+//! evaluation data (Table 2). The real Vaccine / ENEDIS / Flights CSVs are
+//! not redistributable, so each generator matches its dataset's schema
+//! arity, active-domain ranges, skew, and embedded functional
+//! dependencies, and **plants** multiplicative group effects so that real,
+//! recoverable comparison insights exist (see DESIGN.md §1 for the
+//! substitution argument).
+//!
+//! - [`spec`] — the declarative dataset specification and the generator.
+//! - [`presets`] — `covid_like`, `vaccine_like`, `enedis_like`,
+//!   `flights_like`, each with a full-scale parameter set and a
+//!   bench-friendly default scale.
+
+pub mod presets;
+pub mod spec;
+
+pub use presets::{covid_like, enedis_like, flights_like, vaccine_like, Scale};
+pub use spec::{generate, AttrSpec, DatasetSpec, MeasureSpec};

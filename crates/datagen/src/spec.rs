@@ -1,0 +1,341 @@
+//! Declarative dataset specification and the table generator.
+
+use cn_tabular::{AttrId, Schema, Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Zipf};
+
+/// One categorical attribute of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct AttrSpec {
+    /// Column name.
+    pub name: String,
+    /// Domain cardinality (values are `"<name>_0"… "<name>_{c-1}"`).
+    pub cardinality: usize,
+    /// Zipf skew exponent; 0 draws values uniformly.
+    pub zipf: f64,
+    /// When `Some(i)`, this attribute is functionally determined by
+    /// attribute `i` (a random surjection from the parent's domain), which
+    /// plants the FDs the pre-processing step must detect.
+    pub determined_by: Option<usize>,
+}
+
+impl AttrSpec {
+    /// A uniform, independent attribute.
+    pub fn new(name: impl Into<String>, cardinality: usize) -> Self {
+        AttrSpec { name: name.into(), cardinality, zipf: 0.0, determined_by: None }
+    }
+}
+
+/// One measure of a synthetic dataset.
+///
+/// Values are `LogNormal(log_mean, log_sigma)` scaled by per-value
+/// multiplicative effects of the attributes in `effect_attrs` — that is
+/// what plants mean-greater *and* variance-greater insights between values
+/// of those attributes.
+#[derive(Debug, Clone)]
+pub struct MeasureSpec {
+    /// Column name.
+    pub name: String,
+    /// Mean of the underlying normal (log scale).
+    pub log_mean: f64,
+    /// Sigma of the underlying normal (log scale).
+    pub log_sigma: f64,
+    /// Indices of attributes whose values carry effects on this measure.
+    pub effect_attrs: Vec<usize>,
+    /// Sigma (log scale) of the per-value effect multipliers; 0 = no
+    /// planted effect.
+    pub effect_sigma: f64,
+    /// Pairwise interaction effects `(attr_a, attr_b, sigma)`: a per
+    /// `(value_a, value_b)` multiplier matrix. Interactions make insight
+    /// support *grouper-dependent* (an effect between two `B` values can
+    /// hold under one grouping attribute and flip under another), which is
+    /// what gives credibility its spread — without them every insight is
+    /// fully credible and the surprise term of Definition 4.3 zeroes out.
+    pub interactions: Vec<(usize, usize, f64)>,
+    /// Fraction of values set to missing (`NaN`).
+    pub missing_rate: f64,
+}
+
+impl MeasureSpec {
+    /// A measure with moderate skew and effects from the given attributes.
+    pub fn new(name: impl Into<String>, effect_attrs: Vec<usize>) -> Self {
+        MeasureSpec {
+            name: name.into(),
+            log_mean: 3.0,
+            log_sigma: 0.6,
+            effect_attrs,
+            effect_sigma: 0.5,
+            interactions: Vec::new(),
+            missing_rate: 0.0,
+        }
+    }
+}
+
+/// A full dataset specification.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Table name.
+    pub name: String,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Categorical attributes (order matters for `determined_by` /
+    /// `effect_attrs` indices).
+    pub attrs: Vec<AttrSpec>,
+    /// Measures.
+    pub measures: Vec<MeasureSpec>,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a table from a specification.
+///
+/// # Panics
+/// Panics if a `determined_by` index is not smaller than the attribute's
+/// own index (parents must be generated first) or cardinalities are 0.
+pub fn generate(spec: &DatasetSpec) -> Table {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n_attr = spec.attrs.len();
+
+    // Per-attribute value samplers and FD maps.
+    let mut fd_maps: Vec<Option<Vec<u32>>> = Vec::with_capacity(n_attr);
+    for (i, a) in spec.attrs.iter().enumerate() {
+        assert!(a.cardinality > 0, "attribute {} has empty domain", a.name);
+        match a.determined_by {
+            Some(parent) => {
+                assert!(parent < i, "determined_by must reference an earlier attribute");
+                let parent_card = spec.attrs[parent].cardinality;
+                // Random surjection-ish map: child code per parent code.
+                let map: Vec<u32> = (0..parent_card)
+                    .map(|p| {
+                        if p < a.cardinality {
+                            p as u32 // guarantee every child value is hit
+                        } else {
+                            rng.random_range(0..a.cardinality as u32)
+                        }
+                    })
+                    .collect();
+                fd_maps.push(Some(map));
+            }
+            None => fd_maps.push(None),
+        }
+    }
+
+    // Per-(measure, attribute, value) effect multipliers.
+    let effects: Vec<Vec<Option<Vec<f64>>>> = spec
+        .measures
+        .iter()
+        .map(|m| {
+            (0..n_attr)
+                .map(|ai| {
+                    if m.effect_attrs.contains(&ai) && m.effect_sigma > 0.0 {
+                        let ln = LogNormal::new(0.0, m.effect_sigma).expect("valid effect sigma");
+                        Some(
+                            (0..spec.attrs[ai].cardinality)
+                                .map(|_| ln.sample(&mut rng))
+                                .collect(),
+                        )
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-(measure, interaction) multiplier matrices.
+    let interaction_mats: Vec<Vec<(usize, usize, Vec<f64>)>> = spec
+        .measures
+        .iter()
+        .map(|m| {
+            m.interactions
+                .iter()
+                .map(|&(ai, bi, sigma)| {
+                    assert!(ai < n_attr && bi < n_attr, "interaction attr out of range");
+                    let ln = LogNormal::new(0.0, sigma).expect("valid interaction sigma");
+                    let card_a = spec.attrs[ai].cardinality;
+                    let card_b = spec.attrs[bi].cardinality;
+                    let mat: Vec<f64> =
+                        (0..card_a * card_b).map(|_| ln.sample(&mut rng)).collect();
+                    (ai, bi, mat)
+                })
+                .collect()
+        })
+        .collect();
+
+    let schema = Schema::new(
+        spec.attrs.iter().map(|a| a.name.clone()),
+        spec.measures.iter().map(|m| m.name.clone()),
+    )
+    .expect("spec yields a valid schema");
+    let mut builder = TableBuilder::new(spec.name.clone(), schema);
+    builder.reserve(spec.n_rows);
+
+    // Pre-intern every value so codes equal value indices.
+    for (i, a) in spec.attrs.iter().enumerate() {
+        for v in 0..a.cardinality {
+            let code = builder.intern(AttrId(i as u16), &format!("{}_{v}", a.name));
+            debug_assert_eq!(code as usize, v);
+        }
+    }
+
+    let samplers: Vec<Option<Zipf<f64>>> = spec
+        .attrs
+        .iter()
+        .map(|a| {
+            (a.zipf > 0.0 && a.determined_by.is_none())
+                .then(|| Zipf::new(a.cardinality as f64, a.zipf).expect("valid zipf"))
+        })
+        .collect();
+    let base_dists: Vec<LogNormal<f64>> = spec
+        .measures
+        .iter()
+        .map(|m| LogNormal::new(m.log_mean, m.log_sigma).expect("valid measure sigma"))
+        .collect();
+
+    let mut codes = vec![0u32; n_attr];
+    let mut meas = vec![0.0f64; spec.measures.len()];
+    for _ in 0..spec.n_rows {
+        for i in 0..n_attr {
+            codes[i] = match &fd_maps[i] {
+                Some(map) => map[codes[spec.attrs[i].determined_by.unwrap()] as usize]
+                    .min(spec.attrs[i].cardinality as u32 - 1),
+                None => match &samplers[i] {
+                    // Zipf samples in 1..=n.
+                    Some(z) => (z.sample(&mut rng) as u32 - 1).min(spec.attrs[i].cardinality as u32 - 1),
+                    None => rng.random_range(0..spec.attrs[i].cardinality as u32),
+                },
+            };
+        }
+        for (mi, m) in spec.measures.iter().enumerate() {
+            if m.missing_rate > 0.0 && rng.random::<f64>() < m.missing_rate {
+                meas[mi] = f64::NAN;
+                continue;
+            }
+            let mut v = base_dists[mi].sample(&mut rng);
+            for (ai, eff) in effects[mi].iter().enumerate() {
+                if let Some(e) = eff {
+                    v *= e[codes[ai] as usize];
+                }
+            }
+            for (ai, bi, mat) in &interaction_mats[mi] {
+                let card_b = spec.attrs[*bi].cardinality;
+                v *= mat[codes[*ai] as usize * card_b + codes[*bi] as usize];
+            }
+            meas[mi] = v;
+        }
+        builder.push_encoded_row(&codes, &meas).expect("arity is consistent");
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::fd::detect_fds;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "synthetic".into(),
+            n_rows: 2000,
+            attrs: vec![
+                AttrSpec::new("region", 5),
+                AttrSpec { zipf: 1.2, ..AttrSpec::new("product", 20) },
+                AttrSpec {
+                    determined_by: Some(0),
+                    ..AttrSpec::new("zone", 3)
+                },
+            ],
+            measures: vec![
+                MeasureSpec::new("sales", vec![0]),
+                MeasureSpec { missing_rate: 0.05, ..MeasureSpec::new("units", vec![1]) },
+            ],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let t = generate(&small_spec());
+        assert_eq!(t.n_rows(), 2000);
+        assert_eq!(t.schema().n_attributes(), 3);
+        assert_eq!(t.schema().n_measures(), 2);
+        let region = t.schema().attribute("region").unwrap();
+        assert_eq!(t.dict(region).len(), 5);
+        assert_eq!(t.active_domain_size(region), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        let m = a.schema().measure("sales").unwrap();
+        assert_eq!(a.measure(m), b.measure(m));
+        let mut other = small_spec();
+        other.seed = 43;
+        let c = generate(&other);
+        assert_ne!(a.measure(m), c.measure(m));
+    }
+
+    #[test]
+    fn planted_fd_is_detectable() {
+        let t = generate(&small_spec());
+        let region = t.schema().attribute("region").unwrap();
+        let zone = t.schema().attribute("zone").unwrap();
+        let fds = detect_fds(&t);
+        assert!(fds.iter().any(|fd| fd.lhs == region && fd.rhs == zone));
+    }
+
+    #[test]
+    fn zipf_attribute_is_skewed() {
+        let t = generate(&small_spec());
+        let product = t.schema().attribute("product").unwrap();
+        let counts = t.value_counts(product);
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = t.n_rows() as f64 / counts.len() as f64;
+        assert!(max > 2.0 * mean, "zipf head should dominate: {max} vs {mean}");
+    }
+
+    #[test]
+    fn planted_effects_move_group_means() {
+        let t = generate(&small_spec());
+        let region = t.schema().attribute("region").unwrap();
+        let sales = t.schema().measure("sales").unwrap();
+        let groups = t.rows_by_value(region);
+        let col = t.measure(sales);
+        let means: Vec<f64> = groups
+            .iter()
+            .map(|rows| {
+                rows.iter().map(|&r| col[r as usize]).sum::<f64>() / rows.len().max(1) as f64
+            })
+            .collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 1.3, "effects should separate regions: {means:?}");
+    }
+
+    #[test]
+    fn missing_rate_produces_nans() {
+        let t = generate(&small_spec());
+        let units = t.schema().measure("units").unwrap();
+        let nans = t.measure(units).iter().filter(|v| v.is_nan()).count();
+        let rate = nans as f64 / t.n_rows() as f64;
+        assert!((0.02..0.09).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier attribute")]
+    fn forward_fd_reference_panics() {
+        let spec = DatasetSpec {
+            name: "bad".into(),
+            n_rows: 1,
+            attrs: vec![AttrSpec {
+                determined_by: Some(0),
+                ..AttrSpec::new("a", 2)
+            }],
+            measures: vec![MeasureSpec::new("m", vec![])],
+            seed: 0,
+        };
+        let _ = generate(&spec);
+    }
+}

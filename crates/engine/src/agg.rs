@@ -1,0 +1,223 @@
+//! Aggregate functions and mergeable partial aggregates.
+
+use std::fmt;
+
+/// The aggregation functions `agg` available in comparison queries.
+///
+/// The paper's assumption (iii), Section 3.1: "all aggregation operators can
+/// be applied to all measures". Every function here is finalizable from the
+/// same [`PartialAgg`] payload, which is what lets Algorithm 2 answer all
+/// hypothesis queries from one materialized group-by set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFn {
+    /// `sum(M)`
+    Sum,
+    /// `avg(M)`
+    Avg,
+    /// `count(M)` (non-missing values)
+    Count,
+    /// `min(M)`
+    Min,
+    /// `max(M)`
+    Max,
+    /// Population variance `var_pop(M)`
+    Variance,
+    /// Population standard deviation `stddev_pop(M)`
+    StdDev,
+}
+
+impl AggFn {
+    /// All supported aggregation functions.
+    pub const ALL: [AggFn; 7] = [
+        AggFn::Sum,
+        AggFn::Avg,
+        AggFn::Count,
+        AggFn::Min,
+        AggFn::Max,
+        AggFn::Variance,
+        AggFn::StdDev,
+    ];
+
+    /// The default working set used by the pipeline, mirroring the paper's
+    /// examples (`sum`, `avg`): `f = 2` in Lemma 3.2's counting.
+    pub const DEFAULT: [AggFn; 2] = [AggFn::Sum, AggFn::Avg];
+
+    /// SQL spelling of the function.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            AggFn::Sum => "sum",
+            AggFn::Avg => "avg",
+            AggFn::Count => "count",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Variance => "var_pop",
+            AggFn::StdDev => "stddev_pop",
+        }
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// Mergeable partial aggregate over one measure within one group.
+///
+/// Holds exactly the payload needed to finalize any [`AggFn`]; `NaN`
+/// measure values are missing and never accumulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialAgg {
+    /// Count of non-missing values.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Sum of squared values (for variance/stddev).
+    pub sumsq: f64,
+    /// Minimum value (`+inf` when empty).
+    pub min: f64,
+    /// Maximum value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for PartialAgg {
+    fn default() -> Self {
+        PartialAgg { count: 0, sum: 0.0, sumsq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl PartialAgg {
+    /// An empty partial aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one value (`NaN` skipped).
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.sumsq += v * v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merges another partial aggregate (used by cube roll-up).
+    #[inline]
+    pub fn merge(&mut self, other: &PartialAgg) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalizes an aggregation function over this payload.
+    ///
+    /// Returns `None` for an empty group (SQL would yield `NULL`), except
+    /// `count`, which is 0.
+    pub fn finalize(&self, agg: AggFn) -> Option<f64> {
+        if self.count == 0 {
+            return match agg {
+                AggFn::Count => Some(0.0),
+                _ => None,
+            };
+        }
+        let n = self.count as f64;
+        Some(match agg {
+            AggFn::Sum => self.sum,
+            AggFn::Avg => self.sum / n,
+            AggFn::Count => n,
+            AggFn::Min => self.min,
+            AggFn::Max => self.max,
+            AggFn::Variance => (self.sumsq / n - (self.sum / n).powi(2)).max(0.0),
+            AggFn::StdDev => (self.sumsq / n - (self.sum / n).powi(2)).max(0.0).sqrt(),
+        })
+    }
+
+    /// Bytes one payload occupies in a materialized cube (for footprint
+    /// estimation).
+    pub const BYTES: usize = std::mem::size_of::<PartialAgg>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_all_functions() {
+        let mut p = PartialAgg::new();
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            p.push(v);
+        }
+        assert_eq!(p.finalize(AggFn::Sum), Some(20.0));
+        assert_eq!(p.finalize(AggFn::Avg), Some(5.0));
+        assert_eq!(p.finalize(AggFn::Count), Some(4.0));
+        assert_eq!(p.finalize(AggFn::Min), Some(2.0));
+        assert_eq!(p.finalize(AggFn::Max), Some(8.0));
+        assert_eq!(p.finalize(AggFn::Variance), Some(5.0));
+        assert_eq!(p.finalize(AggFn::StdDev), Some(5.0f64.sqrt()));
+    }
+
+    #[test]
+    fn empty_group_is_null_except_count() {
+        let p = PartialAgg::new();
+        assert_eq!(p.finalize(AggFn::Count), Some(0.0));
+        for agg in [AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max, AggFn::Variance] {
+            assert_eq!(p.finalize(agg), None);
+        }
+    }
+
+    #[test]
+    fn nan_is_skipped() {
+        let mut p = PartialAgg::new();
+        p.push(1.0);
+        p.push(f64::NAN);
+        p.push(3.0);
+        assert_eq!(p.finalize(AggFn::Count), Some(2.0));
+        assert_eq!(p.finalize(AggFn::Avg), Some(2.0));
+    }
+
+    #[test]
+    fn merge_equals_single_accumulation() {
+        let values = [1.5, -2.0, 7.0, 0.0, 3.25, 9.5];
+        let mut whole = PartialAgg::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        let mut a = PartialAgg::new();
+        let mut b = PartialAgg::new();
+        for &v in &values[..3] {
+            a.push(v);
+        }
+        for &v in &values[3..] {
+            b.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn sql_names_are_stable() {
+        assert_eq!(AggFn::Sum.sql_name(), "sum");
+        assert_eq!(AggFn::Variance.to_string(), "var_pop");
+        assert_eq!(AggFn::ALL.len(), 7);
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        // Catastrophic cancellation guard: huge mean, tiny variance.
+        let mut p = PartialAgg::new();
+        for _ in 0..100 {
+            p.push(1e9);
+        }
+        assert_eq!(p.finalize(AggFn::Variance), Some(0.0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Extended-relational-algebra rendering of comparison and hypothesis
+//! queries — the notation of Definitions 3.1 and 3.7:
+//!
+//! `τ_A((γ_{A,agg(M)→val}(σ_{B=val}(R))) ⋈ (γ_{A,agg(M)→val'}(σ_{B=val'}(R))))`
+//!
+//! Useful for documentation, logging, and the notebook annotations: the SQL
+//! (Figure 2) says *how*, the algebra says *what*.
+
+use crate::comparison::ComparisonSpec;
+use cn_tabular::Table;
+
+/// Renders the join form of Definition 3.1 for `spec` over `table`.
+pub fn comparison_algebra(table: &Table, spec: &ComparisonSpec) -> String {
+    let schema = table.schema();
+    let a = schema.attribute_name(spec.group_by);
+    let b = schema.attribute_name(spec.select_on);
+    let m = schema.measure_name(spec.measure);
+    let agg = spec.agg.sql_name();
+    let dict = table.dict(spec.select_on);
+    let v1 = dict.decode(spec.val);
+    let v2 = dict.decode(spec.val2);
+    let r = table.name();
+    format!(
+        "τ_{a}((γ_{{{a},{agg}({m})→{v1}}}(σ_{{{b}={v1}}}({r}))) ⋈ (γ_{{{a},{agg}({m})→{v2}}}(σ_{{{b}={v2}}}({r}))))"
+    )
+}
+
+/// Renders the join-free form of Section 3.1:
+/// `γ_{A,B,agg(M)}(σ_{B=val ∨ B=val'}(R))`.
+pub fn comparison_algebra_unpivoted(table: &Table, spec: &ComparisonSpec) -> String {
+    let schema = table.schema();
+    let a = schema.attribute_name(spec.group_by);
+    let b = schema.attribute_name(spec.select_on);
+    let m = schema.measure_name(spec.measure);
+    let agg = spec.agg.sql_name();
+    let dict = table.dict(spec.select_on);
+    let v1 = dict.decode(spec.val);
+    let v2 = dict.decode(spec.val2);
+    let r = table.name();
+    format!("γ_{{{a},{b},{agg}({m})}}(σ_{{{b}={v1} ∨ {b}={v2}}}({r}))")
+}
+
+/// Renders a hypothesis query `π_{τ→hypothesis}(σ_p(q))` (Definition 3.7),
+/// with `p` spelled out and `q` given by [`comparison_algebra`].
+pub fn hypothesis_algebra(
+    table: &Table,
+    spec: &ComparisonSpec,
+    type_name: &str,
+    predicate: &str,
+) -> String {
+    format!(
+        "π_{{{type_name}→hypothesis}}(σ_{{{predicate}}}({}))",
+        comparison_algebra(table, spec)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFn;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn covid() -> Table {
+        let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        b.push_row(&["Africa", "4"], &[1.0]).unwrap();
+        b.push_row(&["Africa", "5"], &[2.0]).unwrap();
+        b.finish()
+    }
+
+    fn spec(t: &Table) -> ComparisonSpec {
+        let month = t.schema().attribute("month").unwrap();
+        ComparisonSpec {
+            group_by: t.schema().attribute("continent").unwrap(),
+            select_on: month,
+            val: t.dict(month).code("4").unwrap(),
+            val2: t.dict(month).code("5").unwrap(),
+            measure: t.schema().measure("cases").unwrap(),
+            agg: AggFn::Sum,
+        }
+    }
+
+    #[test]
+    fn join_form_matches_definition_3_1() {
+        let t = covid();
+        let alg = comparison_algebra(&t, &spec(&t));
+        assert!(alg.starts_with("τ_continent("));
+        assert!(alg.contains("γ_{continent,sum(cases)→4}(σ_{month=4}(covid))"));
+        assert!(alg.contains("⋈"));
+        assert!(alg.contains("γ_{continent,sum(cases)→5}(σ_{month=5}(covid))"));
+    }
+
+    #[test]
+    fn unpivoted_form_matches_section_3_1() {
+        let t = covid();
+        let alg = comparison_algebra_unpivoted(&t, &spec(&t));
+        assert_eq!(alg, "γ_{continent,month,sum(cases)}(σ_{month=4 ∨ month=5}(covid))");
+    }
+
+    #[test]
+    fn hypothesis_form_matches_definition_3_7() {
+        let t = covid();
+        let alg = hypothesis_algebra(&t, &spec(&t), "M", "avg(4) > avg(5)");
+        assert!(alg.starts_with("π_{M→hypothesis}(σ_{avg(4) > avg(5)}("));
+        assert!(alg.ends_with(")))))"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The comparison-query physical plan (Definition 3.1).
+//!
+//! A comparison query
+//! `τ_A((γ_{A,agg(M)}(σ_{B=val}(R))) ⋈ (γ_{A,agg(M)}(σ_{B=val'}(R))))`
+//! is described by the 6-tuple `(A, B, val, val', M, agg)` and executed as
+//! two filtered group-bys joined on the grouping attribute, sorted by the
+//! decoded group value — exactly the SQL of Figure 2.
+
+use crate::agg::AggFn;
+use crate::groupby::group_partials_single;
+use crate::predicate::Predicate;
+use cn_tabular::{AttrId, MeasureId, Table};
+
+/// The 6-tuple `(A, B, val, val', M, agg)` describing a comparison query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComparisonSpec {
+    /// Grouping attribute `A`.
+    pub group_by: AttrId,
+    /// Selection attribute `B` (`A ≠ B`).
+    pub select_on: AttrId,
+    /// First selected code `val ∈ dom(B)`.
+    pub val: u32,
+    /// Second selected code `val' ∈ dom(B)`.
+    pub val2: u32,
+    /// Compared measure `M`.
+    pub measure: MeasureId,
+    /// Aggregation function `agg`.
+    pub agg: AggFn,
+}
+
+/// Result of a comparison query: per group of `A`, the two aggregated
+/// series side by side (the tabular presentation of Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonResult {
+    /// Codes of the grouping attribute, sorted by decoded value.
+    pub group_codes: Vec<u32>,
+    /// `agg(M)` for `B = val`, parallel to `group_codes`.
+    pub left: Vec<f64>,
+    /// `agg(M)` for `B = val'`, parallel to `group_codes`.
+    pub right: Vec<f64>,
+    /// `θ_q`: number of tuples aggregated by the query (rows matching
+    /// `B = val ∨ B = val'`).
+    pub tuples_aggregated: usize,
+}
+
+impl ComparisonResult {
+    /// `γ_q`: number of groups in the result (after the inner join).
+    #[inline]
+    pub fn n_groups(&self) -> usize {
+        self.group_codes.len()
+    }
+}
+
+/// Executes a comparison query against the base table.
+pub fn execute(table: &Table, spec: &ComparisonSpec) -> ComparisonResult {
+    let lp = group_partials_single(
+        table,
+        spec.group_by,
+        spec.measure,
+        &Predicate::Eq(spec.select_on, spec.val),
+    );
+    let rp = group_partials_single(
+        table,
+        spec.group_by,
+        spec.measure,
+        &Predicate::Eq(spec.select_on, spec.val2),
+    );
+    let tuples = Predicate::In(spec.select_on, vec![spec.val, spec.val2]).count(table);
+
+    let dict = table.dict(spec.group_by);
+    let mut joined: Vec<(u32, f64, f64)> = lp
+        .into_iter()
+        .filter_map(|(code, pl)| {
+            let l = pl.finalize(spec.agg)?;
+            let r = rp.get(&code)?.finalize(spec.agg)?;
+            Some((code, l, r))
+        })
+        .collect();
+    joined.sort_by(|a, b| dict.decode(a.0).cmp(dict.decode(b.0)));
+
+    let mut group_codes = Vec::with_capacity(joined.len());
+    let mut left = Vec::with_capacity(joined.len());
+    let mut right = Vec::with_capacity(joined.len());
+    for (c, l, r) in joined {
+        group_codes.push(c);
+        left.push(l);
+        right.push(r);
+    }
+    ComparisonResult { group_codes, left, right, tuples_aggregated: tuples }
+}
+
+/// The raw series of measure `M` where `attr = code` — the random variable
+/// `X` (resp. `Y`) that the statistical tests of Section 3.2 compare.
+pub fn measure_slice(table: &Table, attr: AttrId, code: u32, measure: MeasureId) -> Vec<f64> {
+    let codes = table.codes(attr);
+    let values = table.measure(measure);
+    codes
+        .iter()
+        .zip(values.iter())
+        .filter(|(&c, _)| c == code)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    /// The Figure 2 table, reduced: cases by continent for months 4 and 5.
+    fn covid() -> Table {
+        let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (cont, m, c) in [
+            ("Africa", "4", 31598.0),
+            ("Africa", "5", 92626.0),
+            ("Europe", "4", 863874.0),
+            ("Europe", "5", 608110.0),
+            ("Asia", "4", 333821.0),
+            ("Asia", "5", 537584.0),
+            ("Oceania", "6", 99.0), // only month 6: must drop out of the join
+        ] {
+            b.push_row(&[cont, m], &[c]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn spec(t: &Table) -> ComparisonSpec {
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        ComparisonSpec {
+            group_by: cont,
+            select_on: month,
+            val: t.dict(month).code("4").unwrap(),
+            val2: t.dict(month).code("5").unwrap(),
+            measure: t.schema().measure("cases").unwrap(),
+            agg: AggFn::Sum,
+        }
+    }
+
+    #[test]
+    fn executes_figure_2_shape() {
+        let t = covid();
+        let res = execute(&t, &spec(&t));
+        let dict = t.dict(t.schema().attribute("continent").unwrap());
+        let names: Vec<&str> = res.group_codes.iter().map(|&c| dict.decode(c)).collect();
+        // Sorted by continent; Oceania joined away (no month-4/5 rows).
+        assert_eq!(names, vec!["Africa", "Asia", "Europe"]);
+        assert_eq!(res.left, vec![31598.0, 333821.0, 863874.0]);
+        assert_eq!(res.right, vec![92626.0, 537584.0, 608110.0]);
+        assert_eq!(res.n_groups(), 3);
+        // θ counts the month-4 and month-5 rows (6 of 7).
+        assert_eq!(res.tuples_aggregated, 6);
+    }
+
+    #[test]
+    fn avg_aggregation() {
+        let t = covid();
+        let mut s = spec(&t);
+        s.agg = AggFn::Avg;
+        let res = execute(&t, &s);
+        // One row per (continent, month): avg == the single value.
+        assert_eq!(res.left, vec![31598.0, 333821.0, 863874.0]);
+    }
+
+    #[test]
+    fn disjoint_values_give_empty_result() {
+        let t = covid();
+        let mut s = spec(&t);
+        let month = t.schema().attribute("month").unwrap();
+        s.val2 = t.dict(month).code("6").unwrap();
+        let res = execute(&t, &s);
+        // Month 6 exists only for Oceania and month 4 never does: no join.
+        assert_eq!(res.n_groups(), 0);
+        // Three month-4 rows plus the single month-6 row.
+        assert_eq!(res.tuples_aggregated, 4);
+    }
+
+    #[test]
+    fn measure_slice_extracts_series() {
+        let t = covid();
+        let month = t.schema().attribute("month").unwrap();
+        let cases = t.schema().measure("cases").unwrap();
+        let c4 = t.dict(month).code("4").unwrap();
+        let xs = measure_slice(&t, month, c4, cases);
+        assert_eq!(xs, vec![31598.0, 863874.0, 333821.0]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Materialized group-by sets with roll-up — the in-memory cache behind
+//! Algorithm 2 (Section 5.2.2).
+//!
+//! A [`Cube`] is the result of `γ_g(R)` for a group-by set `g`, holding for
+//! every distinct key a raw row count plus one [`PartialAgg`] per measure.
+//! Because partial aggregates merge, a cube over `g` can be **rolled up** to
+//! any `g' ⊆ g`, and any comparison query whose `{A, B} ⊆ g` can be answered
+//! "for free once the data is in memory" — which is exactly how the pipeline
+//! evaluates hypothesis queries from the set-cover solution.
+
+use crate::agg::PartialAgg;
+use crate::comparison::{ComparisonResult, ComparisonSpec};
+use cn_tabular::{AttrId, Table};
+use std::collections::HashMap;
+
+/// A materialized group-by set.
+#[derive(Debug, Clone)]
+pub struct Cube {
+    attrs: Vec<AttrId>,
+    /// Bit width of each attribute's code within the packed key.
+    widths: Vec<u32>,
+    /// Bit offset of each attribute within the packed key.
+    shifts: Vec<u32>,
+    /// Packed key → (raw row count, per-measure payloads).
+    groups: HashMap<u128, (u64, Vec<PartialAgg>)>,
+    n_measures: usize,
+}
+
+fn bits_for(domain: usize) -> u32 {
+    usize::BITS - domain.max(1).next_power_of_two().leading_zeros()
+}
+
+impl Cube {
+    /// Materializes `γ_attrs(R)` with all measures.
+    ///
+    /// # Panics
+    /// Panics if the attributes' packed key would exceed 128 bits (beyond
+    /// any realistic table of this system's scope) or `attrs` is empty.
+    pub fn build(table: &Table, attrs: &[AttrId]) -> Cube {
+        assert!(!attrs.is_empty(), "a cube needs at least one attribute");
+        let widths: Vec<u32> = attrs.iter().map(|&a| bits_for(table.dict(a).len())).collect();
+        let total: u32 = widths.iter().sum();
+        assert!(total <= 128, "packed group-by key exceeds 128 bits");
+        let mut shifts = Vec::with_capacity(attrs.len());
+        let mut acc = 0u32;
+        for &w in &widths {
+            shifts.push(acc);
+            acc += w;
+        }
+        let n_measures = table.schema().n_measures();
+        let cols: Vec<&[u32]> = attrs.iter().map(|&a| table.codes(a)).collect();
+        let meas: Vec<&[f64]> = table.schema().measure_ids().map(|m| table.measure(m)).collect();
+        let mut groups: HashMap<u128, (u64, Vec<PartialAgg>)> = HashMap::new();
+        for row in 0..table.n_rows() {
+            let mut key = 0u128;
+            for (i, col) in cols.iter().enumerate() {
+                key |= (col[row] as u128) << shifts[i];
+            }
+            let entry = groups
+                .entry(key)
+                .or_insert_with(|| (0, vec![PartialAgg::new(); n_measures]));
+            entry.0 += 1;
+            for (m, col) in meas.iter().enumerate() {
+                entry.1[m].push(col[row]);
+            }
+        }
+        Cube { attrs: attrs.to_vec(), widths, shifts, groups, n_measures }
+    }
+
+    /// The group-by set this cube materializes.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of distinct groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Actual in-memory footprint of the materialized groups, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.groups.len() * (16 + 8 + self.n_measures * PartialAgg::BYTES)
+    }
+
+    /// Unpacks a key into per-attribute codes (parallel to [`Cube::attrs`]).
+    fn unpack(&self, key: u128) -> Vec<u32> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((key >> self.shifts[i]) & ((1u128 << self.widths[i]) - 1)) as u32)
+            .collect()
+    }
+
+    /// Looks up a group by its codes (parallel to [`Cube::attrs`]).
+    pub fn get(&self, codes: &[u32]) -> Option<&[PartialAgg]> {
+        assert_eq!(codes.len(), self.attrs.len());
+        let mut key = 0u128;
+        for (i, &c) in codes.iter().enumerate() {
+            key |= (c as u128) << self.shifts[i];
+        }
+        self.groups.get(&key).map(|(_, p)| p.as_slice())
+    }
+
+    /// Rolls this cube up to a subset of its attributes.
+    ///
+    /// # Panics
+    /// Panics if `sub` is not a (non-empty) subset of [`Cube::attrs`].
+    pub fn rollup(&self, sub: &[AttrId]) -> Cube {
+        assert!(!sub.is_empty(), "roll-up target must be non-empty");
+        let positions: Vec<usize> = sub
+            .iter()
+            .map(|a| {
+                self.attrs
+                    .iter()
+                    .position(|b| b == a)
+                    .expect("roll-up target must be a subset of the cube's attributes")
+            })
+            .collect();
+        let widths: Vec<u32> = positions.iter().map(|&p| self.widths[p]).collect();
+        let mut shifts = Vec::with_capacity(sub.len());
+        let mut acc = 0u32;
+        for &w in &widths {
+            shifts.push(acc);
+            acc += w;
+        }
+        let mut groups: HashMap<u128, (u64, Vec<PartialAgg>)> = HashMap::new();
+        for (&key, (rows, payload)) in &self.groups {
+            let codes = self.unpack(key);
+            let mut sub_key = 0u128;
+            for (i, &p) in positions.iter().enumerate() {
+                sub_key |= (codes[p] as u128) << shifts[i];
+            }
+            let entry = groups
+                .entry(sub_key)
+                .or_insert_with(|| (0, vec![PartialAgg::new(); self.n_measures]));
+            entry.0 += rows;
+            for (m, pa) in payload.iter().enumerate() {
+                entry.1[m].merge(pa);
+            }
+        }
+        Cube { attrs: sub.to_vec(), widths, shifts, groups, n_measures: self.n_measures }
+    }
+
+    /// Answers a comparison query from this cube.
+    ///
+    /// Requires `{spec.group_by, spec.select_on} ⊆ attrs`; the cube is first
+    /// rolled up to exactly that pair when it is wider. Produces the same
+    /// result as [`crate::comparison::execute`] on the base table.
+    pub fn comparison(&self, table: &Table, spec: &ComparisonSpec) -> ComparisonResult {
+        let pair = [spec.group_by, spec.select_on];
+        let narrowed;
+        let cube = if self.attrs == pair {
+            self
+        } else {
+            narrowed = self.rollup(&pair);
+            &narrowed
+        };
+        // In `cube`, attribute 0 is A (group_by) and 1 is B (select_on).
+        let m = spec.measure.index();
+        let mut lefts: HashMap<u32, f64> = HashMap::new();
+        let mut rights: HashMap<u32, f64> = HashMap::new();
+        let mut tuples = 0u64;
+        for (&key, (rows, payload)) in &cube.groups {
+            let codes = cube.unpack(key);
+            let (a, b) = (codes[0], codes[1]);
+            if b == spec.val {
+                tuples += rows;
+                if let Some(v) = payload[m].finalize(spec.agg) {
+                    lefts.insert(a, v);
+                }
+            } else if b == spec.val2 {
+                tuples += rows;
+                if let Some(v) = payload[m].finalize(spec.agg) {
+                    rights.insert(a, v);
+                }
+            }
+        }
+        let dict = table.dict(spec.group_by);
+        let mut joined: Vec<(u32, f64, f64)> = lefts
+            .into_iter()
+            .filter_map(|(a, l)| rights.get(&a).map(|&r| (a, l, r)))
+            .collect();
+        joined.sort_by(|x, y| dict.decode(x.0).cmp(dict.decode(y.0)));
+        let mut group_codes = Vec::with_capacity(joined.len());
+        let mut left = Vec::with_capacity(joined.len());
+        let mut right = Vec::with_capacity(joined.len());
+        for (c, l, r) in joined {
+            group_codes.push(c);
+            left.push(l);
+            right.push(r);
+        }
+        ComparisonResult { group_codes, left, right, tuples_aggregated: tuples as usize }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFn;
+    use crate::comparison::execute;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn table3() -> Table {
+        let schema = Schema::new(vec!["a", "b", "c"], vec!["m1", "m2"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        let rows = [
+            ("a1", "b1", "c1", 1.0, 10.0),
+            ("a1", "b2", "c1", 2.0, 20.0),
+            ("a2", "b1", "c2", 3.0, 30.0),
+            ("a2", "b2", "c2", 4.0, 40.0),
+            ("a1", "b1", "c2", 5.0, 50.0),
+            ("a2", "b1", "c1", 6.0, f64::NAN),
+        ];
+        for (a, bb, c, m1, m2) in rows {
+            b.push_row(&[a, bb, c], &[m1, m2]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_counts_groups() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let cube = Cube::build(&t, &ids);
+        assert_eq!(cube.n_groups(), 6); // every row is a distinct (a,b,c)
+        let pair = Cube::build(&t, &ids[..2]);
+        assert_eq!(pair.n_groups(), 4);
+    }
+
+    #[test]
+    fn rollup_matches_direct_build() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let full = Cube::build(&t, &ids);
+        let rolled = full.rollup(&[ids[0], ids[1]]);
+        let direct = Cube::build(&t, &[ids[0], ids[1]]);
+        assert_eq!(rolled.n_groups(), direct.n_groups());
+        // Compare payloads group by group.
+        for a in 0..t.dict(ids[0]).len() as u32 {
+            for b in 0..t.dict(ids[1]).len() as u32 {
+                let x = rolled.get(&[a, b]);
+                let y = direct.get(&[a, b]);
+                match (x, y) {
+                    (None, None) => {}
+                    (Some(px), Some(py)) => {
+                        for (pa, pb) in px.iter().zip(py.iter()) {
+                            assert_eq!(pa.count, pb.count);
+                            assert!((pa.sum - pb.sum).abs() < 1e-9);
+                        }
+                    }
+                    _ => panic!("group presence mismatch at ({a},{b})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_from_cube_equals_base_execution() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let cube = Cube::build(&t, &ids);
+        for agg in AggFn::ALL {
+            for m in t.schema().measure_ids() {
+                let spec = ComparisonSpec {
+                    group_by: ids[0],
+                    select_on: ids[1],
+                    val: 0,
+                    val2: 1,
+                    measure: m,
+                    agg,
+                };
+                let from_cube = cube.comparison(&t, &spec);
+                let direct = execute(&t, &spec);
+                assert_eq!(from_cube.group_codes, direct.group_codes, "{agg:?}");
+                assert_eq!(from_cube.tuples_aggregated, direct.tuples_aggregated);
+                for (x, y) in from_cube.left.iter().zip(direct.left.iter()) {
+                    assert!((x - y).abs() < 1e-9, "{agg:?} left {x} vs {y}");
+                }
+                for (x, y) in from_cube.right.iter().zip(direct.right.iter()) {
+                    assert!((x - y).abs() < 1e-9, "{agg:?} right {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_groups_drop_out_like_sql_null() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        // m2 is NaN for the only (a2, b1, c1) row; group (a2,b1) still has a
+        // non-NaN m2 row elsewhere so stays; the cube must not lose counts.
+        let cube = Cube::build(&t, &[ids[0], ids[1]]);
+        let payload = cube.get(&[1, 0]).unwrap(); // (a2, b1)
+        assert_eq!(payload[0].count, 2); // m1 present twice
+        assert_eq!(payload[1].count, 1); // m2 present once (NaN skipped)
+    }
+
+    #[test]
+    #[should_panic(expected = "subset")]
+    fn rollup_to_non_subset_panics() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let cube = Cube::build(&t, &[ids[0]]);
+        let _ = cube.rollup(&[ids[1]]);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_groups() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let small = Cube::build(&t, &[ids[0]]);
+        let large = Cube::build(&t, &ids);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::agg::AggFn;
+    use crate::comparison::execute;
+    use cn_tabular::{Schema, TableBuilder};
+    use proptest::prelude::*;
+
+    fn arb_table() -> impl Strategy<Value = Table> {
+        proptest::collection::vec((0u32..4, 0u32..3, 0u32..3, -100.0f64..100.0), 1..60).prop_map(
+            |rows| {
+                let schema = Schema::new(vec!["a", "b", "c"], vec!["m"]).unwrap();
+                let mut b = TableBuilder::new("t", schema);
+                for (x, y, z, m) in rows {
+                    b.push_row(
+                        &[&format!("a{x}"), &format!("b{y}"), &format!("c{z}")],
+                        &[m],
+                    )
+                    .unwrap();
+                }
+                b.finish()
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn cube_comparison_always_matches_direct(t in arb_table(), val in 0u32..3, val2 in 0u32..3, agg_idx in 0usize..7) {
+            prop_assume!(val != val2);
+            let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+            prop_assume!((val as usize) < t.dict(ids[1]).len());
+            prop_assume!((val2 as usize) < t.dict(ids[1]).len());
+            let cube = Cube::build(&t, &ids);
+            let spec = ComparisonSpec {
+                group_by: ids[0],
+                select_on: ids[1],
+                val,
+                val2,
+                measure: t.schema().measure("m").unwrap(),
+                agg: AggFn::ALL[agg_idx],
+            };
+            let a = cube.comparison(&t, &spec);
+            let b = execute(&t, &spec);
+            prop_assert_eq!(a.group_codes, b.group_codes);
+            prop_assert_eq!(a.tuples_aggregated, b.tuples_aggregated);
+            for (x, y) in a.left.iter().zip(b.left.iter()) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+            for (x, y) in a.right.iter().zip(b.right.iter()) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Group-by size and footprint estimation.
+//!
+//! Algorithm 2 weights each candidate group-by set by "their estimated
+//! memory footprint, as obtained from the query optimizer". This module is
+//! that optimizer estimate: the expected number of distinct groups of
+//! `γ_g(R)` times the per-group payload size.
+
+use crate::agg::PartialAgg;
+use cn_tabular::{AttrId, Table};
+
+/// Estimated number of distinct groups of `γ_attrs(R)`.
+///
+/// Uses the classic attribute-value-independence estimate
+/// `min(|R|, Π |dom(A_i)|)` over *active* domains, further corrected by the
+/// standard balls-into-bins occupancy formula
+/// `D · (1 − (1 − 1/D)^N)` with `D = Π |dom|`, which accounts for sparse
+/// combinations when `D` approaches `|R|`.
+pub fn estimate_group_count(table: &Table, attrs: &[AttrId]) -> f64 {
+    let n = table.n_rows() as f64;
+    if attrs.is_empty() || table.n_rows() == 0 {
+        return 0.0;
+    }
+    let mut product = 1.0f64;
+    for &a in attrs {
+        product *= table.active_domain_size(a).max(1) as f64;
+        if product > 1e15 {
+            // Saturate early; the cap below applies anyway.
+            return n.min(1e15);
+        }
+    }
+    let occupied = product * (1.0 - (1.0 - 1.0 / product).powf(n));
+    occupied.min(n).min(product)
+}
+
+/// Exact number of distinct groups (materializes the key set; test oracle
+/// and fallback when exactness is worth the scan).
+pub fn exact_group_count(table: &Table, attrs: &[AttrId]) -> usize {
+    use std::collections::HashSet;
+    let cols: Vec<&[u32]> = attrs.iter().map(|&a| table.codes(a)).collect();
+    let mut keys: HashSet<Vec<u32>> = HashSet::new();
+    for row in 0..table.n_rows() {
+        keys.insert(cols.iter().map(|c| c[row]).collect());
+    }
+    keys.len()
+}
+
+/// Estimated memory footprint in bytes of materializing `γ_attrs(R)` with
+/// all measures (what [`crate::cube::Cube::build`] would allocate).
+pub fn estimate_cube_bytes(table: &Table, attrs: &[AttrId]) -> f64 {
+    let per_group = (16 + 8 + table.schema().n_measures() * PartialAgg::BYTES) as f64;
+    estimate_group_count(table, attrs) * per_group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_table(n_rows: usize, doms: &[usize], seed: u64) -> Table {
+        let names: Vec<String> = (0..doms.len()).map(|i| format!("a{i}")).collect();
+        let schema = Schema::new(names, vec!["m".to_string()]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n_rows {
+            let cats: Vec<String> = doms
+                .iter()
+                .map(|&d| format!("v{}", rng.random_range(0..d)))
+                .collect();
+            let refs: Vec<&str> = cats.iter().map(String::as_str).collect();
+            b.push_row(&refs, &[rng.random::<f64>()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn estimate_capped_by_rows_and_product() {
+        let t = random_table(100, &[50, 50], 1);
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let est = estimate_group_count(&t, &ids);
+        assert!(est <= 100.0 + 1e-9);
+        let single = estimate_group_count(&t, &ids[..1]);
+        assert!(single <= t.active_domain_size(ids[0]) as f64 + 1e-9);
+    }
+
+    #[test]
+    fn estimate_close_to_exact_on_uniform_data() {
+        let t = random_table(5000, &[10, 8], 2);
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let est = estimate_group_count(&t, &ids);
+        let exact = exact_group_count(&t, &ids) as f64;
+        // Uniform independent attributes: the AVI estimate should be within
+        // a few percent.
+        assert!((est - exact).abs() / exact < 0.1, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn occupancy_correction_kicks_in_when_sparse() {
+        // 20 rows over a 10×10 grid: far fewer than 100 groups appear.
+        let t = random_table(20, &[10, 10], 3);
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let est = estimate_group_count(&t, &ids);
+        assert!(est <= 20.0);
+        let exact = exact_group_count(&t, &ids) as f64;
+        assert!((est - exact).abs() <= 6.0, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        let t = random_table(0, &[3], 4);
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        assert_eq!(estimate_group_count(&t, &ids), 0.0);
+        let t2 = random_table(10, &[3], 5);
+        assert_eq!(estimate_group_count(&t2, &[]), 0.0);
+    }
+
+    #[test]
+    fn cube_bytes_positive_and_monotone_in_attrs() {
+        let t = random_table(1000, &[10, 10, 10], 6);
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let one = estimate_cube_bytes(&t, &ids[..1]);
+        let all = estimate_cube_bytes(&t, &ids);
+        assert!(one > 0.0);
+        assert!(all >= one);
+    }
+
+    #[test]
+    fn huge_domains_saturate_without_overflow() {
+        // Force the early-saturation path with a synthetic wide product.
+        let t = random_table(50, &[40, 40, 40, 40, 40, 40, 40, 40, 40], 7);
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let est = estimate_group_count(&t, &ids);
+        assert!(est.is_finite());
+        assert!(est <= 50.0 + 1e-9);
+    }
+}

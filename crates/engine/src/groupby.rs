@@ -1,0 +1,181 @@
+//! Hash group-by execution.
+
+use crate::agg::{AggFn, PartialAgg};
+use crate::predicate::Predicate;
+use cn_tabular::{AttrId, MeasureId, Table};
+use std::collections::HashMap;
+
+/// `γ_{A, agg(M)}(σ_pred(R))` over a single grouping attribute.
+///
+/// Returns `(group code, aggregate value)` pairs, sorted by the decoded
+/// group value (matching the `order by` of the paper's SQL form); groups
+/// whose aggregate is SQL-`NULL` (empty after `NaN` skipping) are omitted.
+pub fn group_by_single(
+    table: &Table,
+    group: AttrId,
+    measure: MeasureId,
+    agg: AggFn,
+    pred: &Predicate,
+) -> Vec<(u32, f64)> {
+    let partials = group_partials_single(table, group, measure, pred);
+    let mut out: Vec<(u32, f64)> = partials
+        .into_iter()
+        .filter_map(|(code, p)| p.finalize(agg).map(|v| (code, v)))
+        .collect();
+    let dict = table.dict(group);
+    out.sort_by(|a, b| dict.decode(a.0).cmp(dict.decode(b.0)));
+    out
+}
+
+/// Partial aggregates of one measure grouped by one attribute.
+pub fn group_partials_single(
+    table: &Table,
+    group: AttrId,
+    measure: MeasureId,
+    pred: &Predicate,
+) -> HashMap<u32, PartialAgg> {
+    let codes = table.codes(group);
+    let values = table.measure(measure);
+    let mut groups: HashMap<u32, PartialAgg> = HashMap::new();
+    match pred {
+        Predicate::True => {
+            for (&c, &v) in codes.iter().zip(values.iter()) {
+                groups.entry(c).or_default().push(v);
+            }
+        }
+        _ => {
+            for row in 0..table.n_rows() {
+                if pred.matches(table, row) {
+                    groups.entry(codes[row]).or_default().push(values[row]);
+                }
+            }
+        }
+    }
+    groups
+}
+
+/// Result of a multi-attribute group-by: distinct keys and, per key, a
+/// partial aggregate for every measure of the table.
+#[derive(Debug, Clone)]
+pub struct MultiGroupBy {
+    /// Grouping attributes, in key order.
+    pub attrs: Vec<AttrId>,
+    /// Distinct keys; `keys[i]` is the codes of group `i` (parallel to
+    /// `attrs`).
+    pub keys: Vec<Vec<u32>>,
+    /// `partials[i][m]` is the payload of measure `m` in group `i`.
+    pub partials: Vec<Vec<PartialAgg>>,
+}
+
+/// Groups by several attributes at once, accumulating all measures.
+pub fn group_by_multi(table: &Table, attrs: &[AttrId], pred: &Predicate) -> MultiGroupBy {
+    let n_meas = table.schema().n_measures();
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut keys: Vec<Vec<u32>> = Vec::new();
+    let mut partials: Vec<Vec<PartialAgg>> = Vec::new();
+    let cols: Vec<&[u32]> = attrs.iter().map(|&a| table.codes(a)).collect();
+    let meas: Vec<&[f64]> = table.schema().measure_ids().map(|m| table.measure(m)).collect();
+    let mut key = Vec::with_capacity(attrs.len());
+    for row in 0..table.n_rows() {
+        if !pred.matches(table, row) {
+            continue;
+        }
+        key.clear();
+        key.extend(cols.iter().map(|c| c[row]));
+        let slot = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = keys.len();
+                index.insert(key.clone(), i);
+                keys.push(key.clone());
+                partials.push(vec![PartialAgg::new(); n_meas]);
+                i
+            }
+        };
+        for (m, col) in meas.iter().enumerate() {
+            partials[slot][m].push(col[row]);
+        }
+    }
+    MultiGroupBy { attrs: attrs.to_vec(), keys, partials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn covid() -> Table {
+        let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (cont, m, c) in [
+            ("Europe", "4", 10.0),
+            ("Africa", "4", 1.0),
+            ("Africa", "4", 2.0),
+            ("Africa", "5", 7.0),
+            ("Europe", "5", 20.0),
+            ("Europe", "4", 30.0),
+        ] {
+            b.push_row(&[cont, m], &[c]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_group_by_with_selection() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let cases = t.schema().measure("cases").unwrap();
+        let c4 = t.dict(month).code("4").unwrap();
+        let res = group_by_single(&t, cont, cases, AggFn::Sum, &Predicate::Eq(month, c4));
+        // Sorted by decoded value: Africa before Europe.
+        let dict = t.dict(cont);
+        let named: Vec<(&str, f64)> = res.iter().map(|&(c, v)| (dict.decode(c), v)).collect();
+        assert_eq!(named, vec![("Africa", 3.0), ("Europe", 40.0)]);
+    }
+
+    #[test]
+    fn single_group_by_avg_no_selection() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let cases = t.schema().measure("cases").unwrap();
+        let res = group_by_single(&t, cont, cases, AggFn::Avg, &Predicate::True);
+        let dict = t.dict(cont);
+        let named: Vec<(&str, f64)> = res.iter().map(|&(c, v)| (dict.decode(c), v)).collect();
+        assert_eq!(named, vec![("Africa", 10.0 / 3.0), ("Europe", 20.0)]);
+    }
+
+    #[test]
+    fn empty_selection_yields_no_groups() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let cases = t.schema().measure("cases").unwrap();
+        // Code 99 doesn't exist.
+        let res = group_by_single(&t, cont, cases, AggFn::Sum, &Predicate::Eq(month, 99));
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn multi_group_by_covers_all_combinations() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let g = group_by_multi(&t, &[cont, month], &Predicate::True);
+        assert_eq!(g.keys.len(), 4); // (Europe,4),(Africa,4),(Africa,5),(Europe,5)
+        let total: u64 = g.partials.iter().map(|p| p[0].count).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn multi_group_by_respects_predicate() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let c5 = t.dict(month).code("5").unwrap();
+        let g = group_by_multi(&t, &[cont], &Predicate::Eq(month, c5));
+        assert_eq!(g.keys.len(), 2);
+        let total: u64 = g.partials.iter().map(|p| p[0].count).sum();
+        assert_eq!(total, 2);
+    }
+}

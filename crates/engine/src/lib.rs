@@ -1,0 +1,32 @@
+//! # cn-engine
+//!
+//! The query-execution substrate: everything the paper ran through
+//! PostgreSQL, reimplemented over the columnar store of `cn-tabular`.
+//!
+//! - [`agg`] — aggregate functions and mergeable partial aggregates
+//!   (`sum/count/min/max/sumsq`), from which every supported SQL aggregate
+//!   can be finalized.
+//! - [`predicate`] — the selection predicates comparison queries need
+//!   (`B = val`, `B ∈ {val, val'}`).
+//! - [`groupby`] — hash group-by execution over one or more attributes.
+//! - [`comparison`] — the comparison-query physical plan of Definition 3.1:
+//!   two filtered group-bys joined on the grouping attribute and sorted.
+//! - [`cube`] — materialized group-by sets with partial aggregates and
+//!   roll-up, the in-memory cache behind Algorithm 2 (Section 5.2.2).
+//! - [`estimate`] — group-count/footprint estimation standing in for the
+//!   "estimated memory footprint, as obtained from the query optimizer".
+//! - [`algebra`] — the extended-relational-algebra notation of
+//!   Definitions 3.1 and 3.7, for documentation and notebook annotations.
+
+pub mod agg;
+pub mod algebra;
+pub mod comparison;
+pub mod cube;
+pub mod estimate;
+pub mod groupby;
+pub mod predicate;
+
+pub use agg::{AggFn, PartialAgg};
+pub use comparison::{ComparisonResult, ComparisonSpec};
+pub use cube::Cube;
+pub use predicate::Predicate;

@@ -1,0 +1,150 @@
+//! Selection predicates over categorical attributes.
+
+use cn_tabular::{AttrId, Table};
+
+/// The selection predicates comparison queries use (`σ` in Definition 3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// Every row (no selection).
+    True,
+    /// `attr = code`
+    Eq(AttrId, u32),
+    /// `attr ∈ codes` — the join-free comparison form `B = val ∨ B = val'`.
+    In(AttrId, Vec<u32>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate on one row.
+    #[inline]
+    pub fn matches(&self, table: &Table, row: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(attr, code) => table.codes(*attr)[row] == *code,
+            Predicate::In(attr, codes) => codes.contains(&table.codes(*attr)[row]),
+        }
+    }
+
+    /// Row indices satisfying the predicate.
+    pub fn select(&self, table: &Table) -> Vec<u32> {
+        match self {
+            Predicate::True => (0..table.n_rows() as u32).collect(),
+            Predicate::Eq(attr, code) => {
+                let codes = table.codes(*attr);
+                codes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c == *code)
+                    .map(|(r, _)| r as u32)
+                    .collect()
+            }
+            Predicate::In(attr, wanted) => {
+                let codes = table.codes(*attr);
+                codes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| wanted.contains(&c))
+                    .map(|(r, _)| r as u32)
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of rows satisfying the predicate (no materialization).
+    pub fn count(&self, table: &Table) -> usize {
+        match self {
+            Predicate::True => table.n_rows(),
+            Predicate::Eq(attr, code) => {
+                table.codes(*attr).iter().filter(|&&c| c == *code).count()
+            }
+            Predicate::In(attr, wanted) => {
+                table.codes(*attr).iter().filter(|c| wanted.contains(c)).count()
+            }
+        }
+    }
+
+    /// SQL rendering of the predicate (decoded values, single-quoted).
+    pub fn to_sql(&self, table: &Table) -> String {
+        fn quote(v: &str) -> String {
+            format!("'{}'", v.replace('\'', "''"))
+        }
+        match self {
+            Predicate::True => "true".to_string(),
+            Predicate::Eq(attr, code) => {
+                let name = table.schema().attribute_name(*attr);
+                format!("{name} = {}", quote(table.dict(*attr).decode(*code)))
+            }
+            Predicate::In(attr, codes) => {
+                let name = table.schema().attribute_name(*attr);
+                let vals: Vec<String> =
+                    codes.iter().map(|&c| quote(table.dict(*attr).decode(c))).collect();
+                format!("{name} in ({})", vals.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec!["month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (m, c) in [("4", 1.0), ("5", 2.0), ("4", 3.0), ("6", 4.0)] {
+            b.push_row(&[m], &[c]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn eq_selects_matching_rows() {
+        let t = sample();
+        let month = t.schema().attribute("month").unwrap();
+        let code4 = t.dict(month).code("4").unwrap();
+        let p = Predicate::Eq(month, code4);
+        assert_eq!(p.select(&t), vec![0, 2]);
+        assert_eq!(p.count(&t), 2);
+        assert!(p.matches(&t, 0));
+        assert!(!p.matches(&t, 1));
+    }
+
+    #[test]
+    fn in_selects_union() {
+        let t = sample();
+        let month = t.schema().attribute("month").unwrap();
+        let c4 = t.dict(month).code("4").unwrap();
+        let c5 = t.dict(month).code("5").unwrap();
+        let p = Predicate::In(month, vec![c4, c5]);
+        assert_eq!(p.select(&t), vec![0, 1, 2]);
+        assert_eq!(p.count(&t), 3);
+    }
+
+    #[test]
+    fn true_selects_all() {
+        let t = sample();
+        assert_eq!(Predicate::True.select(&t).len(), 4);
+        assert_eq!(Predicate::True.count(&t), 4);
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let t = sample();
+        let month = t.schema().attribute("month").unwrap();
+        let c4 = t.dict(month).code("4").unwrap();
+        let c5 = t.dict(month).code("5").unwrap();
+        assert_eq!(Predicate::Eq(month, c4).to_sql(&t), "month = '4'");
+        assert_eq!(Predicate::In(month, vec![c4, c5]).to_sql(&t), "month in ('4', '5')");
+        assert_eq!(Predicate::True.to_sql(&t), "true");
+    }
+
+    #[test]
+    fn sql_escapes_quotes() {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(&["O'Brien"], &[1.0]).unwrap();
+        let t = b.finish();
+        let a = t.schema().attribute("a").unwrap();
+        assert_eq!(Predicate::Eq(a, 0).to_sql(&t), "a = 'O''Brien'");
+    }
+}

@@ -1,0 +1,188 @@
+//! Credibility of an insight (Definition 3.11) and the statistical error
+//! probabilities of Section 3.3.
+//!
+//! `credibility(i) = |{h ∈ Qⁱ | h ⊢ i}|` — the number of hypothesis queries
+//! postulating `i` that support it. With one hypothesis query per grouping
+//! attribute, `|Qⁱ| = n − 1` (minus FD-excluded pairs in practice).
+
+use crate::hypothesis::HypothesisQuery;
+use crate::types::Insight;
+use cn_engine::{AggFn, ComparisonResult, ComparisonSpec};
+use cn_tabular::AttrId;
+
+/// How hypothesis queries are counted for credibility (see DESIGN.md §5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CredibilityPolicy {
+    /// One hypothesis query per grouping attribute, built with a fixed
+    /// aggregation. Keeps `|Qⁱ| = n − 1` as in Definition 3.11. The
+    /// default is `avg`: the Figure 3 predicate applies `avg`/`var_pop`
+    /// over the comparison series, and unweighted per-group averages are
+    /// the reading under which group-level support can genuinely disagree
+    /// with the tuple-level marginal (count-weighted aggregations like
+    /// `sum` mechanically reproduce the marginal's direction).
+    PerAttribute(AggFn),
+    /// An attribute supports the insight if *any* of the listed
+    /// aggregations' comparison results support it.
+    AnyAgg(Vec<AggFn>),
+}
+
+impl Default for CredibilityPolicy {
+    fn default() -> Self {
+        CredibilityPolicy::PerAttribute(AggFn::Avg)
+    }
+}
+
+/// Credibility of one insight: supporting hypothesis queries out of the
+/// possible ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credibility {
+    /// `credibility(i)`: hypothesis queries supporting the insight.
+    pub supporting: u32,
+    /// `|Qⁱ|`: hypothesis queries postulating the insight.
+    pub possible: u32,
+}
+
+impl Credibility {
+    /// `credibility(i) / |Qⁱ|` (0 when nothing is possible).
+    pub fn ratio(&self) -> f64 {
+        if self.possible == 0 {
+            0.0
+        } else {
+            self.supporting as f64 / self.possible as f64
+        }
+    }
+
+    /// The surprise term of Definition 4.3 — the probability of a type II
+    /// error for a significant insight: `1 − credibility(i)/|Qⁱ|`.
+    pub fn type_ii_term(&self) -> f64 {
+        1.0 - self.ratio()
+    }
+}
+
+/// Computes credibility by evaluating the insight's hypothesis query for
+/// every grouping attribute in `grouping_attrs`, delegating comparison
+/// execution to `eval` (base-table or cube-backed, the caller decides).
+pub fn credibility_with<F>(
+    insight: &Insight,
+    grouping_attrs: &[AttrId],
+    policy: &CredibilityPolicy,
+    mut eval: F,
+) -> Credibility
+where
+    F: FnMut(&ComparisonSpec) -> ComparisonResult,
+{
+    let mut supporting = 0u32;
+    for &a in grouping_attrs {
+        debug_assert_ne!(a, insight.select_on, "grouping attribute must differ from B");
+        let supported = match policy {
+            CredibilityPolicy::PerAttribute(agg) => {
+                let h = HypothesisQuery::new(*insight, a, *agg);
+                h.supported_by(&eval(&h.spec))
+            }
+            CredibilityPolicy::AnyAgg(aggs) => aggs.iter().any(|&agg| {
+                let h = HypothesisQuery::new(*insight, a, agg);
+                h.supported_by(&eval(&h.spec))
+            }),
+        };
+        if supported {
+            supporting += 1;
+        }
+    }
+    Credibility { supporting, possible: grouping_attrs.len() as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::InsightType;
+    use cn_tabular::{Schema, Table, TableBuilder};
+
+    /// `flag = hi` rows have larger `m` uniformly, so every grouping
+    /// attribute's comparison supports "hi greater".
+    fn uniform_effect() -> Table {
+        let schema = Schema::new(vec!["flag", "g1", "g2"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..40 {
+            let flag = if i % 2 == 0 { "hi" } else { "lo" };
+            let base = if i % 2 == 0 { 100.0 } else { 1.0 };
+            let g1 = ["p", "q"][(i / 2) % 2];
+            let g2 = ["u", "v", "w"][i % 3];
+            b.push_row(&[flag, g1, g2], &[base + i as f64 * 0.01]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn hi_greater(t: &Table) -> Insight {
+        let flag = t.schema().attribute("flag").unwrap();
+        Insight {
+            measure: t.schema().measure("m").unwrap(),
+            select_on: flag,
+            val: t.dict(flag).code("hi").unwrap(),
+            val2: t.dict(flag).code("lo").unwrap(),
+            kind: InsightType::MeanGreater,
+        }
+    }
+
+    #[test]
+    fn full_support_gives_credibility_n_minus_1() {
+        let t = uniform_effect();
+        let i = hi_greater(&t);
+        let groupers: Vec<AttrId> = t
+            .schema()
+            .attribute_ids()
+            .filter(|&a| a != i.select_on)
+            .collect();
+        let c = credibility_with(&i, &groupers, &CredibilityPolicy::default(), |spec| {
+            cn_engine::comparison::execute(&t, spec)
+        });
+        assert_eq!(c.possible, 2);
+        assert_eq!(c.supporting, 2);
+        assert_eq!(c.ratio(), 1.0);
+        assert_eq!(c.type_ii_term(), 0.0);
+    }
+
+    #[test]
+    fn reversed_insight_has_zero_credibility() {
+        let t = uniform_effect();
+        let mut i = hi_greater(&t);
+        std::mem::swap(&mut i.val, &mut i.val2);
+        let groupers: Vec<AttrId> =
+            t.schema().attribute_ids().filter(|&a| a != i.select_on).collect();
+        let c = credibility_with(&i, &groupers, &CredibilityPolicy::default(), |spec| {
+            cn_engine::comparison::execute(&t, spec)
+        });
+        assert_eq!(c.supporting, 0);
+        assert_eq!(c.type_ii_term(), 1.0);
+    }
+
+    #[test]
+    fn any_agg_policy_is_at_least_as_supportive() {
+        let t = uniform_effect();
+        let i = hi_greater(&t);
+        let groupers: Vec<AttrId> =
+            t.schema().attribute_ids().filter(|&a| a != i.select_on).collect();
+        let single = credibility_with(&i, &groupers, &CredibilityPolicy::PerAttribute(AggFn::Sum), |s| {
+            cn_engine::comparison::execute(&t, s)
+        });
+        let any = credibility_with(
+            &i,
+            &groupers,
+            &CredibilityPolicy::AnyAgg(AggFn::DEFAULT.to_vec()),
+            |s| cn_engine::comparison::execute(&t, s),
+        );
+        assert!(any.supporting >= single.supporting);
+        assert_eq!(any.possible, single.possible);
+    }
+
+    #[test]
+    fn empty_grouping_set_is_safe() {
+        let t = uniform_effect();
+        let i = hi_greater(&t);
+        let c = credibility_with(&i, &[], &CredibilityPolicy::default(), |s| {
+            cn_engine::comparison::execute(&t, s)
+        });
+        assert_eq!(c.possible, 0);
+        assert_eq!(c.ratio(), 0.0);
+        assert_eq!(c.type_ii_term(), 1.0);
+    }
+}

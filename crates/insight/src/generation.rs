@@ -1,0 +1,640 @@
+//! Algorithm 1 — comparison-query generation — with the query-bounding
+//! optimization of Section 5.2.1.
+//!
+//! The naive algorithm loops over all potential insights, keeps the
+//! significant ones, and generates every hypothesis query (grouping
+//! attribute × aggregation) that supports them. The bounding optimization
+//! evaluates all hypothesis queries of an attribute pair `{A, B}` from one
+//! in-memory 2-group-by materialization — `n(n−1)/2` scans instead of one
+//! scan per hypothesis query.
+
+use crate::credibility::{Credibility, CredibilityPolicy};
+use crate::hypothesis::insight_supported;
+use crate::significance::{test_all_insights, SignificantInsight, TestConfig};
+use crate::transitivity::prune_deducible;
+use cn_engine::{AggFn, ComparisonResult, ComparisonSpec, Cube};
+use cn_tabular::{AttrId, MeasureId, Table};
+use std::collections::HashMap;
+
+/// Where the statistical tests read their data (Section 5.1.2).
+#[derive(Debug, Clone)]
+pub enum TestSource {
+    /// Test on the full table (no sampling).
+    Full,
+    /// Test on one shared sample (*random-sampling*).
+    Shared(Table),
+    /// Test attribute `A_i` on its own sample (*unbalanced-sampling*),
+    /// indexed by attribute id.
+    PerAttribute(Vec<Table>),
+}
+
+/// Configuration of the generation stage.
+#[derive(Debug, Clone)]
+pub struct GenerationConfig {
+    /// Aggregation functions generating comparison queries (`f` of
+    /// Lemma 3.2).
+    pub aggs: Vec<AggFn>,
+    /// Statistical testing configuration.
+    pub test: TestConfig,
+    /// Credibility counting policy.
+    pub credibility: CredibilityPolicy,
+    /// `(group_by, select_on)` pairs excluded as meaningless (FD
+    /// pre-processing, Section 6.1).
+    pub excluded_pairs: Vec<(AttrId, AttrId)>,
+    /// Prune insights deducible by transitivity (Section 3.3).
+    pub prune_transitive: bool,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        GenerationConfig {
+            aggs: AggFn::DEFAULT.to_vec(),
+            test: TestConfig::default(),
+            credibility: CredibilityPolicy::default(),
+            excluded_pairs: Vec::new(),
+            prune_transitive: true,
+        }
+    }
+}
+
+/// A significant insight with its credibility, as used by interestingness.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredInsight {
+    /// The insight and its significance.
+    pub detail: SignificantInsight,
+    /// Its credibility `(supporting, possible)`.
+    pub credibility: Credibility,
+}
+
+/// A generated comparison query supporting at least one insight.
+#[derive(Debug, Clone)]
+pub struct CandidateQuery {
+    /// The comparison query 6-tuple.
+    pub spec: ComparisonSpec,
+    /// Indices into [`GenerationOutput::insights`] of the supported
+    /// insights (`I_q`).
+    pub insight_ids: Vec<usize>,
+    /// `θ_q` — tuples aggregated by the query.
+    pub theta: usize,
+    /// `γ_q` — groups in the result.
+    pub gamma: usize,
+}
+
+/// Output of Algorithm 1 (before the interestingness-based deduplication of
+/// lines 14–17, which needs the interest function and lives in
+/// `cn-pipeline`).
+#[derive(Debug, Clone)]
+pub struct GenerationOutput {
+    /// The retained (significant, supported) insights.
+    pub insights: Vec<ScoredInsight>,
+    /// The comparison queries supporting them.
+    pub queries: Vec<CandidateQuery>,
+    /// Number of statistical tests performed.
+    pub n_tested: usize,
+    /// Number of significant insights before support filtering.
+    pub n_significant: usize,
+}
+
+/// An insight *site*: the `(B, {val, val'}, M)` shared by up to `T`
+/// oriented insights; the unit of hypothesis-query evaluation.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Selection attribute `B`.
+    pub select_on: AttrId,
+    /// Canonical lower value code.
+    pub val: u32,
+    /// Canonical higher value code.
+    pub val2: u32,
+    /// Measure `M`.
+    pub measure: MeasureId,
+    /// Indices into the significant-insight list.
+    pub members: Vec<usize>,
+}
+
+/// Groups significant insights into sites (stable order of first
+/// appearance).
+pub fn group_sites(significant: &[SignificantInsight]) -> Vec<Site> {
+    let mut index: HashMap<(u16, u32, u32, u16), usize> = HashMap::new();
+    let mut sites: Vec<Site> = Vec::new();
+    for (i, s) in significant.iter().enumerate() {
+        let (lo, hi) = if s.insight.val <= s.insight.val2 {
+            (s.insight.val, s.insight.val2)
+        } else {
+            (s.insight.val2, s.insight.val)
+        };
+        let key = (s.insight.select_on.0, lo, hi, s.insight.measure.0);
+        match index.get(&key) {
+            Some(&si) => sites[si].members.push(i),
+            None => {
+                index.insert(key, sites.len());
+                sites.push(Site {
+                    select_on: s.insight.select_on,
+                    val: lo,
+                    val2: hi,
+                    measure: s.insight.measure,
+                    members: vec![i],
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// A candidate produced while evaluating one site (insight references are
+/// slot positions within the site's `members`).
+#[derive(Debug, Clone)]
+pub struct PendingCandidate {
+    /// The comparison query.
+    pub spec: ComparisonSpec,
+    /// Positions within `site.members` of the supported insights.
+    pub member_slots: Vec<usize>,
+    /// `θ_q`.
+    pub theta: usize,
+    /// `γ_q`.
+    pub gamma: usize,
+}
+
+/// Everything learned from evaluating one site's hypothesis queries.
+#[derive(Debug, Clone)]
+pub struct SiteEval {
+    /// Candidate queries of the site (one per grouping attribute ×
+    /// aggregation that supports ≥ 1 member insight).
+    pub candidates: Vec<PendingCandidate>,
+    /// Per member insight: number of grouping attributes supporting it
+    /// under the credibility policy.
+    pub support_per_member: Vec<u32>,
+    /// `|Qⁱ|` for the members (the eligible grouping attributes).
+    pub possible: u32,
+}
+
+/// Evaluates all hypothesis queries of one site. `eval` supplies
+/// comparison results (the caller decides base-table vs cube execution and
+/// owns any caching).
+pub fn evaluate_site_with<F>(
+    site: &Site,
+    significant: &[SignificantInsight],
+    eligible: &[AttrId],
+    aggs: &[AggFn],
+    policy: &CredibilityPolicy,
+    mut eval: F,
+) -> SiteEval
+where
+    F: FnMut(&ComparisonSpec) -> ComparisonResult,
+{
+    // Aggregations needed: the generating set plus whatever the policy
+    // requires.
+    let mut eval_aggs: Vec<AggFn> = aggs.to_vec();
+    let policy_aggs: Vec<AggFn> = match policy {
+        CredibilityPolicy::PerAttribute(a) => vec![*a],
+        CredibilityPolicy::AnyAgg(list) => list.clone(),
+    };
+    for &a in &policy_aggs {
+        if !eval_aggs.contains(&a) {
+            eval_aggs.push(a);
+        }
+    }
+
+    let mut candidates = Vec::new();
+    let mut support_per_member = vec![0u32; site.members.len()];
+    for &a in eligible {
+        let mut supported_by_policy = vec![false; site.members.len()];
+        for &agg in &eval_aggs {
+            let spec = ComparisonSpec {
+                group_by: a,
+                select_on: site.select_on,
+                val: site.val,
+                val2: site.val2,
+                measure: site.measure,
+                agg,
+            };
+            let result = eval(&spec);
+            let mut member_slots = Vec::new();
+            for (slot, &mi) in site.members.iter().enumerate() {
+                if insight_supported(&significant[mi].insight, &spec, &result) {
+                    member_slots.push(slot);
+                    if policy_aggs.contains(&agg) {
+                        supported_by_policy[slot] = true;
+                    }
+                }
+            }
+            if aggs.contains(&agg) && !member_slots.is_empty() {
+                candidates.push(PendingCandidate {
+                    spec,
+                    member_slots,
+                    theta: result.tuples_aggregated,
+                    gamma: result.n_groups(),
+                });
+            }
+        }
+        for (slot, &s) in supported_by_policy.iter().enumerate() {
+            if s {
+                support_per_member[slot] += 1;
+            }
+        }
+    }
+    SiteEval { candidates, support_per_member, possible: eligible.len() as u32 }
+}
+
+/// Grouping attributes eligible for selection attribute `b`: all others,
+/// minus the FD-excluded `(A, B)` pairs.
+pub fn eligible_groupers(
+    table: &Table,
+    b: AttrId,
+    excluded: &[(AttrId, AttrId)],
+) -> Vec<AttrId> {
+    table
+        .schema()
+        .attribute_ids()
+        .filter(|&a| a != b && !excluded.contains(&(a, b)))
+        .collect()
+}
+
+/// Runs the full generation stage sequentially: statistical tests on the
+/// configured source, transitivity pruning, then hypothesis-query
+/// evaluation per site from cached 2-group-by cubes.
+pub fn generate_candidates(
+    table: &Table,
+    source: &TestSource,
+    config: &GenerationConfig,
+) -> GenerationOutput {
+    // 1. Statistical tests (Algorithm 1, lines 2–4).
+    let (mut significant, n_tested) = match source {
+        TestSource::Full => {
+            let r = test_all_insights(table, &config.test);
+            (r.significant, r.n_tested)
+        }
+        TestSource::Shared(sample) => {
+            let r = test_all_insights(sample, &config.test);
+            (r.significant, r.n_tested)
+        }
+        TestSource::PerAttribute(samples) => {
+            let mut sig = Vec::new();
+            let mut tested = 0;
+            for attr in table.schema().attribute_ids() {
+                let sample = &samples[attr.index()];
+                let tester = crate::significance::AttributeTester::new(sample, attr);
+                let mut family = Vec::new();
+                for (c1, c2) in tester.pairs() {
+                    family.extend(tester.test_pair(c1, c2, &config.test));
+                }
+                tested += family.len();
+                sig.extend(crate::significance::finalize_family(&family, &config.test));
+            }
+            (sig, tested)
+        }
+    };
+
+    if config.prune_transitive {
+        significant = prune_deducible(significant);
+    }
+    let n_significant = significant.len();
+
+    // 2. Hypothesis-query evaluation from pair cubes (lines 5–13 with the
+    // Section 5.2.1 bounding: one cube per unordered attribute pair).
+    let sites = group_sites(&significant);
+    let mut cube_cache: HashMap<(u16, u16), Cube> = HashMap::new();
+    let mut evals: Vec<SiteEval> = Vec::with_capacity(sites.len());
+    for site in &sites {
+        let eligible = eligible_groupers(table, site.select_on, &config.excluded_pairs);
+        let eval = evaluate_site_with(
+            site,
+            &significant,
+            &eligible,
+            &config.aggs,
+            &config.credibility,
+            |spec| {
+                let key = (spec.group_by.0, spec.select_on.0);
+                let cube = cube_cache
+                    .entry(key)
+                    .or_insert_with(|| Cube::build(table, &[spec.group_by, spec.select_on]));
+                cube.comparison(table, spec)
+            },
+        );
+        evals.push(eval);
+    }
+
+    assemble_output(&significant, &sites, evals, n_tested, n_significant)
+}
+
+/// Folds per-site evaluations into the final output: zero-support insights
+/// are dropped (no comparison a user sees would trigger them), candidate
+/// insight references are remapped, and empty candidates vanish.
+pub fn assemble_output(
+    significant: &[SignificantInsight],
+    sites: &[Site],
+    evals: Vec<SiteEval>,
+    n_tested: usize,
+    n_significant: usize,
+) -> GenerationOutput {
+    let mut final_id: HashMap<usize, usize> = HashMap::new();
+    let mut insights: Vec<ScoredInsight> = Vec::new();
+    for (site, eval) in sites.iter().zip(evals.iter()) {
+        for (slot, &mi) in site.members.iter().enumerate() {
+            let supporting = eval.support_per_member[slot];
+            if supporting > 0 {
+                final_id.insert(mi, insights.len());
+                insights.push(ScoredInsight {
+                    detail: significant[mi],
+                    credibility: Credibility { supporting, possible: eval.possible },
+                });
+            }
+        }
+    }
+    let mut queries: Vec<CandidateQuery> = Vec::new();
+    for (site, eval) in sites.iter().zip(evals) {
+        for cand in eval.candidates {
+            let insight_ids: Vec<usize> = cand
+                .member_slots
+                .iter()
+                .filter_map(|&slot| final_id.get(&site.members[slot]).copied())
+                .collect();
+            if !insight_ids.is_empty() {
+                queries.push(CandidateQuery {
+                    spec: cand.spec,
+                    insight_ids,
+                    theta: cand.theta,
+                    gamma: cand.gamma,
+                });
+            }
+        }
+    }
+    GenerationOutput { insights, queries, n_tested, n_significant }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::InsightType;
+    use cn_tabular::{Schema, TableBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// `region = south` has much larger sales; two auxiliary grouping
+    /// attributes.
+    fn planted() -> Table {
+        let schema =
+            Schema::new(vec!["region", "channel", "year"], vec!["sales"]).unwrap();
+        let mut b = TableBuilder::new("shop", schema);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..240 {
+            let (region, base) = if i % 2 == 0 { ("south", 50.0) } else { ("north", 10.0) };
+            let channel = ["web", "store"][(i / 2) % 2];
+            let year = ["2020", "2021", "2022"][i % 3];
+            let noise: f64 = rng.random::<f64>() - 0.5;
+            b.push_row(&[region, channel, year], &[base + noise]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn config() -> GenerationConfig {
+        GenerationConfig {
+            test: TestConfig { n_permutations: 99, seed: 3, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_queries_for_planted_insight() {
+        let t = planted();
+        let out = generate_candidates(&t, &TestSource::Full, &config());
+        assert!(out.n_tested > 0);
+        assert!(!out.insights.is_empty(), "the planted effect must surface");
+        assert!(!out.queries.is_empty());
+        let region = t.schema().attribute("region").unwrap();
+        let south = t.dict(region).code("south").unwrap();
+        let mean = out.insights.iter().find(|s| {
+            s.detail.insight.select_on == region
+                && s.detail.insight.kind == InsightType::MeanGreater
+        });
+        let mean = mean.expect("south-mean insight present");
+        assert_eq!(mean.detail.insight.val, south);
+        // Both other attributes' groupings should support it.
+        assert_eq!(mean.credibility.possible, 2);
+        assert_eq!(mean.credibility.supporting, 2);
+    }
+
+    #[test]
+    fn every_query_supports_at_least_one_listed_insight() {
+        let t = planted();
+        let out = generate_candidates(&t, &TestSource::Full, &config());
+        for q in &out.queries {
+            assert!(!q.insight_ids.is_empty());
+            for &id in &q.insight_ids {
+                let ins = &out.insights[id].detail.insight;
+                assert_eq!(ins.select_on, q.spec.select_on);
+                assert_eq!(ins.measure, q.spec.measure);
+                // Re-check support directly against the base table.
+                let res = cn_engine::comparison::execute(&t, &q.spec);
+                assert!(insight_supported(ins, &q.spec, &res));
+            }
+            assert!(q.gamma <= q.theta, "groups cannot exceed tuples");
+        }
+    }
+
+    #[test]
+    fn excluded_pairs_are_honored() {
+        let t = planted();
+        let region = t.schema().attribute("region").unwrap();
+        let channel = t.schema().attribute("channel").unwrap();
+        let mut cfg = config();
+        cfg.excluded_pairs = vec![(channel, region)];
+        let out = generate_candidates(&t, &TestSource::Full, &cfg);
+        assert!(out
+            .queries
+            .iter()
+            .all(|q| !(q.spec.group_by == channel && q.spec.select_on == region)));
+        // Credibility denominators shrink accordingly.
+        for s in &out.insights {
+            if s.detail.insight.select_on == region {
+                assert_eq!(s.credibility.possible, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_sample_source_runs() {
+        let t = planted();
+        let sample = cn_tabular::sampling::random_sample(&t, 0.5, 11);
+        let out = generate_candidates(&t, &TestSource::Shared(sample), &config());
+        // Effect is huge; even a 50% sample must find it.
+        assert!(!out.insights.is_empty());
+    }
+
+    #[test]
+    fn per_attribute_source_runs() {
+        let t = planted();
+        let samples: Vec<Table> = t
+            .schema()
+            .attribute_ids()
+            .map(|a| cn_tabular::sampling::unbalanced_sample(&t, a, 0.5, 13))
+            .collect();
+        let out = generate_candidates(&t, &TestSource::PerAttribute(samples), &config());
+        assert!(!out.insights.is_empty());
+    }
+
+    #[test]
+    fn sites_group_both_types_of_a_pair() {
+        let sigs = vec![
+            SignificantInsight {
+                insight: crate::types::Insight {
+                    measure: MeasureId(0),
+                    select_on: AttrId(0),
+                    val: 2,
+                    val2: 1,
+                    kind: InsightType::MeanGreater,
+                },
+                p_value: 0.01,
+                raw_p: 0.01,
+                observed_effect: 1.0,
+            },
+            SignificantInsight {
+                insight: crate::types::Insight {
+                    measure: MeasureId(0),
+                    select_on: AttrId(0),
+                    val: 1,
+                    val2: 2,
+                    kind: InsightType::VarianceGreater,
+                },
+                p_value: 0.02,
+                raw_p: 0.02,
+                observed_effect: 2.0,
+            },
+        ];
+        let sites = group_sites(&sigs);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].members, vec![0, 1]);
+        assert_eq!((sites[0].val, sites[0].val2), (1, 2));
+    }
+
+    #[test]
+    fn no_significant_insights_yields_empty_output() {
+        // Pure noise, tiny table: nothing should clear BH at α=0.05.
+        let schema = Schema::new(vec!["a", "b"], vec!["m"]).unwrap();
+        let mut builder = TableBuilder::new("t", schema);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..40 {
+            builder
+                .push_row(
+                    &[["x", "y"][i % 2], ["p", "q"][(i / 2) % 2]],
+                    &[rng.random::<f64>()],
+                )
+                .unwrap();
+        }
+        let t = builder.finish();
+        let out = generate_candidates(&t, &TestSource::Full, &config());
+        assert!(out.queries.len() <= 2, "noise should generate almost nothing");
+    }
+}
+
+/// The literal Algorithm 1, with **no** query-bounding optimization: every
+/// hypothesis query is evaluated by its own scan of the base table
+/// (`cn_engine::comparison::execute`). Kept as the fidelity reference —
+/// [`generate_candidates`] must produce exactly the same output from its
+/// in-memory cubes; the equivalence is asserted in tests. Cost grows with
+/// (significant insights × grouping attributes × aggregations) scans, which
+/// is precisely why Section 5.2 exists.
+pub fn generate_candidates_naive_reference(
+    table: &Table,
+    source: &TestSource,
+    config: &GenerationConfig,
+) -> GenerationOutput {
+    let (mut significant, n_tested) = match source {
+        TestSource::Full => {
+            let r = test_all_insights(table, &config.test);
+            (r.significant, r.n_tested)
+        }
+        TestSource::Shared(sample) => {
+            let r = test_all_insights(sample, &config.test);
+            (r.significant, r.n_tested)
+        }
+        TestSource::PerAttribute(samples) => {
+            let mut sig = Vec::new();
+            let mut tested = 0;
+            for attr in table.schema().attribute_ids() {
+                let tester =
+                    crate::significance::AttributeTester::new(&samples[attr.index()], attr);
+                let mut family = Vec::new();
+                for (c1, c2) in tester.pairs() {
+                    family.extend(tester.test_pair(c1, c2, &config.test));
+                }
+                tested += family.len();
+                sig.extend(crate::significance::finalize_family(&family, &config.test));
+            }
+            (sig, tested)
+        }
+    };
+    if config.prune_transitive {
+        significant = prune_deducible(significant);
+    }
+    let n_significant = significant.len();
+    let sites = group_sites(&significant);
+    let evals: Vec<SiteEval> = sites
+        .iter()
+        .map(|site| {
+            let eligible = eligible_groupers(table, site.select_on, &config.excluded_pairs);
+            evaluate_site_with(
+                site,
+                &significant,
+                &eligible,
+                &config.aggs,
+                &config.credibility,
+                |spec| cn_engine::comparison::execute(table, spec),
+            )
+        })
+        .collect();
+    assemble_output(&significant, &sites, evals, n_tested, n_significant)
+}
+
+#[cfg(test)]
+mod reference_tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec!["a", "b", "c"], vec!["m1", "m2"]).unwrap();
+        let mut builder = TableBuilder::new("t", schema);
+        let mut rng = StdRng::seed_from_u64(31);
+        for i in 0..240 {
+            let a = ["x", "y", "z"][i % 3];
+            let b = ["p", "q"][(i / 3) % 2];
+            let c = ["u", "v", "w"][(i / 6) % 3];
+            let base = if a == "x" { 30.0 } else { 5.0 };
+            let m2 = if b == "p" { 9.0 } else { 2.0 };
+            builder
+                .push_row(&[a, b, c], &[base + rng.random::<f64>(), m2 + rng.random::<f64>()])
+                .unwrap();
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn cube_bounded_generation_equals_the_naive_reference() {
+        let t = table();
+        let config = GenerationConfig {
+            test: crate::significance::TestConfig {
+                n_permutations: 99,
+                seed: 9,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let fast = generate_candidates(&t, &TestSource::Full, &config);
+        let slow = generate_candidates_naive_reference(&t, &TestSource::Full, &config);
+        assert_eq!(fast.n_tested, slow.n_tested);
+        assert_eq!(fast.n_significant, slow.n_significant);
+        assert_eq!(fast.insights.len(), slow.insights.len());
+        for (a, b) in fast.insights.iter().zip(slow.insights.iter()) {
+            assert_eq!(a.detail.insight, b.detail.insight);
+            assert_eq!(a.credibility, b.credibility);
+        }
+        assert_eq!(fast.queries.len(), slow.queries.len());
+        for (a, b) in fast.queries.iter().zip(slow.queries.iter()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.insight_ids, b.insight_ids);
+            assert_eq!(a.theta, b.theta);
+            assert_eq!(a.gamma, b.gamma);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Hypothesis queries (Definition 3.7) and support checking
+//! (Definition 3.8).
+//!
+//! A hypothesis query `π_{τ→hypothesis}(σ_p(q))` wraps a comparison query
+//! `q` with the insight's predicate `p`; `q ⊢_h i` iff `σ_p(q)` is true —
+//! i.e. the insight-type statistic of the `val` series exceeds that of the
+//! `val'` series in `q`'s result.
+
+use crate::types::{Insight, InsightType};
+use cn_engine::{ComparisonResult, ComparisonSpec};
+use cn_engine::{AggFn, Cube};
+use cn_tabular::Table;
+
+/// A hypothesis query: a comparison query plus the insight it postulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HypothesisQuery {
+    /// The underlying comparison query `q`.
+    pub spec: ComparisonSpec,
+    /// The postulated insight `i` (its `(B, val, val', M)` must match the
+    /// spec's, up to value order).
+    pub insight: Insight,
+}
+
+impl HypothesisQuery {
+    /// Builds the hypothesis query for `insight` grouped by `group_by` with
+    /// aggregation `agg`. The spec's values are canonicalized (`val <
+    /// val2`), so two insights of opposite direction share one comparison
+    /// query.
+    pub fn new(insight: Insight, group_by: cn_tabular::AttrId, agg: AggFn) -> Self {
+        let (val, val2) =
+            if insight.val <= insight.val2 { (insight.val, insight.val2) } else { (insight.val2, insight.val) };
+        HypothesisQuery {
+            spec: ComparisonSpec {
+                group_by,
+                select_on: insight.select_on,
+                val,
+                val2,
+                measure: insight.measure,
+                agg,
+            },
+            insight,
+        }
+    }
+
+    /// Checks `σ_p(q)` on an already-computed result of `self.spec`.
+    pub fn supported_by(&self, result: &ComparisonResult) -> bool {
+        insight_supported(&self.insight, &self.spec, result)
+    }
+
+    /// Evaluates the hypothesis query against the base table
+    /// (`h ⊢ i`, Definition 3.8).
+    pub fn evaluate(&self, table: &Table) -> bool {
+        self.supported_by(&cn_engine::comparison::execute(table, &self.spec))
+    }
+
+    /// Evaluates the hypothesis query from a materialized cube containing
+    /// `{A, B}` (the Algorithm 2 fast path).
+    pub fn evaluate_from_cube(&self, table: &Table, cube: &Cube) -> bool {
+        self.supported_by(&cube.comparison(table, &self.spec))
+    }
+}
+
+/// Orientation-aware support check: the insight declares its `val` side
+/// greater; the spec stores values canonically, so the insight's `val`
+/// series may be either `result.left` or `result.right`.
+pub fn insight_supported(
+    insight: &Insight,
+    spec: &ComparisonSpec,
+    result: &ComparisonResult,
+) -> bool {
+    debug_assert_eq!(insight.select_on, spec.select_on);
+    debug_assert_eq!(insight.measure, spec.measure);
+    let (greater, lesser): (&[f64], &[f64]) = if insight.val == spec.val {
+        (&result.left, &result.right)
+    } else {
+        debug_assert_eq!(insight.val, spec.val2);
+        (&result.right, &result.left)
+    };
+    insight.kind.supports(greater, lesser)
+}
+
+/// Convenience: support check when the insight type is known but no
+/// orientation juggling is needed (series already ordered greater-first).
+pub fn series_support(kind: InsightType, greater: &[f64], lesser: &[f64]) -> bool {
+    kind.supports(greater, lesser)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    /// Figure 2/3 analogue: month 5 has clearly larger per-continent sums.
+    fn covid() -> Table {
+        let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (cont, m, c) in [
+            ("Africa", "4", 31598.0),
+            ("Africa", "5", 92626.0),
+            ("Asia", "4", 333821.0),
+            ("Asia", "5", 537584.0),
+            ("Europe", "4", 863874.0),
+            ("Europe", "5", 608110.0),
+        ] {
+            b.push_row(&[cont, m], &[c]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn may_greater_insight(t: &Table) -> Insight {
+        let month = t.schema().attribute("month").unwrap();
+        Insight {
+            measure: t.schema().measure("cases").unwrap(),
+            select_on: month,
+            val: t.dict(month).code("5").unwrap(),
+            val2: t.dict(month).code("4").unwrap(),
+            kind: InsightType::MeanGreater,
+        }
+    }
+
+    #[test]
+    fn figure_3_hypothesis_query_supports() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let i = may_greater_insight(&t);
+        let h = HypothesisQuery::new(i, cont, AggFn::Sum);
+        // avg over continents: May (92626+537584+608110)/3 = 412773 >
+        // April (31598+333821+863874)/3 = 409764 — supported.
+        assert!(h.evaluate(&t));
+    }
+
+    #[test]
+    fn opposite_direction_is_not_supported() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let mut i = may_greater_insight(&t);
+        std::mem::swap(&mut i.val, &mut i.val2); // claim April greater
+        let h = HypothesisQuery::new(i, cont, AggFn::Sum);
+        assert!(!h.evaluate(&t));
+    }
+
+    #[test]
+    fn spec_is_canonicalized() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let i = may_greater_insight(&t); // val = May (code 1), val2 = April (code 0)
+        let h = HypothesisQuery::new(i, cont, AggFn::Sum);
+        assert!(h.spec.val < h.spec.val2);
+        assert_eq!(h.insight.val, h.spec.val2); // May sits on the right
+    }
+
+    #[test]
+    fn cube_evaluation_matches_direct() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let cube = Cube::build(&t, &[cont, month]);
+        for kind in InsightType::ALL {
+            let mut i = may_greater_insight(&t);
+            i.kind = kind;
+            for agg in AggFn::DEFAULT {
+                let h = HypothesisQuery::new(i, cont, agg);
+                assert_eq!(h.evaluate(&t), h.evaluate_from_cube(&t, &cube), "{kind:?} {agg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn variance_insight_support() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        // April's continental sums (31598, 333821, 863874) vary more than
+        // May's (92626, 537584, 608110).
+        let i = Insight {
+            measure: t.schema().measure("cases").unwrap(),
+            select_on: month,
+            val: t.dict(month).code("4").unwrap(),
+            val2: t.dict(month).code("5").unwrap(),
+            kind: InsightType::VarianceGreater,
+        };
+        let h = HypothesisQuery::new(i, cont, AggFn::Sum);
+        assert!(h.evaluate(&t));
+    }
+}

@@ -1,0 +1,33 @@
+//! # cn-insight
+//!
+//! The paper's logical framework (Section 3): comparison insights,
+//! hypothesis queries, their support and significance, credibility, and the
+//! transitivity-based pruning — plus the candidate-query generation of
+//! Algorithm 1 with the query-bounding optimization of Section 5.2.1.
+//!
+//! - [`types`] — insight types **M** (mean greater) and **V** (variance
+//!   greater), [`types::Insight`] tuples `(M, B, val, val', p)`, and
+//!   significant-insight records.
+//! - [`space`] — enumeration of the insight/comparison-query spaces and the
+//!   counting formulas of Lemmas 3.2 and 3.5.
+//! - [`significance`] — statistical testing of all candidate insights via
+//!   shared permutations and BH correction (Sections 3.2, 5.1.1).
+//! - [`hypothesis`] — hypothesis queries (Definition 3.7) and support
+//!   checking (Definition 3.8).
+//! - [`credibility`] — credibility of an insight (Definition 3.11) and the
+//!   type-I/II error probabilities of Section 3.3.
+//! - [`transitivity`] — pruning of insights deducible by transitivity.
+//! - [`generation`] — Algorithm 1: from significant insights to supported
+//!   comparison-query candidates, evaluated from in-memory cubes.
+
+pub mod credibility;
+pub mod generation;
+pub mod hypothesis;
+pub mod significance;
+pub mod space;
+pub mod transitivity;
+pub mod types;
+
+pub use generation::{generate_candidates, CandidateQuery, GenerationConfig, GenerationOutput};
+pub use significance::{test_all_insights, SignificantInsight, TestConfig};
+pub use types::{Insight, InsightType};

@@ -1,0 +1,336 @@
+//! Statistical testing of candidate insights (Sections 3.2 and 5.1.1).
+//!
+//! Every insight site (attribute, value pair, measure) is tested by a
+//! permutation test with the statistic of Table 1; permutations are shared
+//! across the measures and insight types of a pair, and p-values are
+//! Benjamini–Hochberg corrected per attribute family.
+
+use crate::types::{Insight, InsightType};
+use cn_stats::rng::derive_seed;
+use cn_stats::{benjamini_hochberg, shared_permutation_pvalues, TwoSample};
+use cn_tabular::{AttrId, Table};
+
+/// Configuration of the insight testing stage.
+#[derive(Debug, Clone)]
+pub struct TestConfig {
+    /// Number of random permutations per test (paper: resampling).
+    pub n_permutations: usize,
+    /// Significance threshold: an insight is significant when its
+    /// (corrected) p-value is ≤ `alpha`, i.e. `sig(i) ≥ 1 − alpha`
+    /// (paper: `sig(i) ≥ 0.95`).
+    pub alpha: f64,
+    /// Apply the BH FDR correction per attribute family (Section 5.1.1).
+    pub apply_bh: bool,
+    /// Root seed for the permutation draws.
+    pub seed: u64,
+    /// Insight types to test.
+    pub types: Vec<InsightType>,
+}
+
+impl Default for TestConfig {
+    fn default() -> Self {
+        TestConfig {
+            n_permutations: 200,
+            alpha: 0.05,
+            apply_bh: true,
+            seed: 0,
+            types: InsightType::ALL.to_vec(),
+        }
+    }
+}
+
+/// One tested (not yet corrected) insight.
+#[derive(Debug, Clone, Copy)]
+pub struct RawTest {
+    /// The oriented insight (its `val` is the observed-greater side).
+    pub insight: Insight,
+    /// Uncorrected permutation p-value.
+    pub raw_p: f64,
+    /// Observed statistic `|stat(X) − stat(Y)|` on the tested table.
+    pub observed_effect: f64,
+}
+
+/// A significant insight with its (possibly corrected) p-value.
+#[derive(Debug, Clone, Copy)]
+pub struct SignificantInsight {
+    /// The oriented insight.
+    pub insight: Insight,
+    /// BH-adjusted p-value when correction is on, else the raw p-value.
+    pub p_value: f64,
+    /// Uncorrected permutation p-value.
+    pub raw_p: f64,
+    /// Observed statistic on the tested table.
+    pub observed_effect: f64,
+}
+
+impl SignificantInsight {
+    /// `sig(i) = 1 − p` (Definition 3.9).
+    pub fn significance(&self) -> f64 {
+        1.0 - self.p_value
+    }
+}
+
+/// Per-attribute test preparation: the measure series partitioned by the
+/// attribute's values, ready for pairwise permutation testing.
+///
+/// Building one `AttributeTester` per attribute and spreading its pairs
+/// over workers is how the pipeline parallelizes this stage (Figure 8's
+/// "permutation testing over different groups of categorical attributes").
+pub struct AttributeTester {
+    /// The attribute `B` under test.
+    pub attr: AttrId,
+    /// `series[m][code]` — measure `m` restricted to `B = code`.
+    series: Vec<Vec<Vec<f64>>>,
+    /// Codes with at least one row.
+    present: Vec<u32>,
+}
+
+impl AttributeTester {
+    /// Partitions every measure of `table` by the values of `attr`.
+    pub fn new(table: &Table, attr: AttrId) -> Self {
+        let groups = table.rows_by_value(attr);
+        let n_codes = groups.len();
+        let mut series: Vec<Vec<Vec<f64>>> = Vec::with_capacity(table.schema().n_measures());
+        for m in table.schema().measure_ids() {
+            let col = table.measure(m);
+            let mut per_code: Vec<Vec<f64>> = Vec::with_capacity(n_codes);
+            for rows in &groups {
+                per_code.push(rows.iter().map(|&r| col[r as usize]).collect());
+            }
+            series.push(per_code);
+        }
+        let present =
+            (0..n_codes as u32).filter(|&c| !groups[c as usize].is_empty()).collect();
+        AttributeTester { attr, series, present }
+    }
+
+    /// Value codes present in the data, ascending.
+    pub fn present_codes(&self) -> &[u32] {
+        &self.present
+    }
+
+    /// All unordered pairs of present codes.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..self.present.len() {
+            for j in (i + 1)..self.present.len() {
+                out.push((self.present[i], self.present[j]));
+            }
+        }
+        out
+    }
+
+    /// Tests one value pair across all measures and the configured types,
+    /// sharing the permutations (Section 5.1.1). Returns one oriented
+    /// [`RawTest`] per (measure, type); pairs with a zero observed effect
+    /// are reported with `raw_p = 1` (no direction, never significant).
+    pub fn test_pair(&self, c1: u32, c2: u32, config: &TestConfig) -> Vec<RawTest> {
+        let n_meas = self.series.len();
+        let samples: Vec<TwoSample<'_>> = (0..n_meas)
+            .map(|m| TwoSample {
+                x: &self.series[m][c1 as usize],
+                y: &self.series[m][c2 as usize],
+            })
+            .collect();
+        let kinds: Vec<_> = config.types.iter().map(|t| t.test_kind()).collect();
+        let seed =
+            derive_seed(config.seed, &[self.attr.0 as u64, c1 as u64, c2 as u64]);
+        let pvalues =
+            shared_permutation_pvalues(&samples, &kinds, config.n_permutations, seed);
+        let mut out = Vec::with_capacity(n_meas * config.types.len());
+        for (mi, sample) in samples.iter().enumerate() {
+            for (ki, &ty) in config.types.iter().enumerate() {
+                let s1 = ty.series_statistic(sample.x);
+                let s2 = ty.series_statistic(sample.y);
+                let effect = (s1 - s2).abs();
+                let (val, val2, raw_p) = if s1 > s2 {
+                    (c1, c2, pvalues[mi][ki])
+                } else if s2 > s1 {
+                    (c2, c1, pvalues[mi][ki])
+                } else {
+                    (c1, c2, 1.0)
+                };
+                out.push(RawTest {
+                    insight: Insight {
+                        measure: cn_tabular::MeasureId(mi as u16),
+                        select_on: self.attr,
+                        val,
+                        val2,
+                        kind: ty,
+                    },
+                    raw_p,
+                    observed_effect: effect,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Applies the per-family BH correction and keeps the significant insights.
+pub fn finalize_family(raw: &[RawTest], config: &TestConfig) -> Vec<SignificantInsight> {
+    if raw.is_empty() {
+        return Vec::new();
+    }
+    let ps: Vec<f64> = raw.iter().map(|r| r.raw_p).collect();
+    let adjusted = if config.apply_bh { benjamini_hochberg(&ps) } else { ps.clone() };
+    raw.iter()
+        .zip(adjusted.iter())
+        .filter(|(_, &q)| q <= config.alpha)
+        .map(|(r, &q)| SignificantInsight {
+            insight: r.insight,
+            p_value: q,
+            raw_p: r.raw_p,
+            observed_effect: r.observed_effect,
+        })
+        .collect()
+}
+
+/// Full report of the testing stage.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// Significant insights, grouped by attribute in schema order.
+    pub significant: Vec<SignificantInsight>,
+    /// Total number of (site × type) tests performed.
+    pub n_tested: usize,
+}
+
+/// Tests every insight of `table` sequentially (Algorithm 1, lines 2–4).
+///
+/// The pipeline crate provides the multi-threaded equivalent; results are
+/// identical because seeds derive from `(attribute, pair)`.
+pub fn test_all_insights(table: &Table, config: &TestConfig) -> TestReport {
+    let mut significant = Vec::new();
+    let mut n_tested = 0usize;
+    for attr in table.schema().attribute_ids() {
+        let tester = AttributeTester::new(table, attr);
+        let mut family = Vec::new();
+        for (c1, c2) in tester.pairs() {
+            family.extend(tester.test_pair(c1, c2, config));
+        }
+        n_tested += family.len();
+        significant.extend(finalize_family(&family, config));
+    }
+    TestReport { significant, n_tested }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two groups of `region` with very different `sales` means, a third
+    /// identical to the first; an unrelated uniform attribute.
+    fn planted() -> Table {
+        let schema = Schema::new(vec!["region", "channel"], vec!["sales"]).unwrap();
+        let mut b = TableBuilder::new("shop", schema);
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..300 {
+            let (region, base) = match i % 3 {
+                0 => ("north", 10.0),
+                1 => ("south", 50.0),
+                _ => ("west", 10.0),
+            };
+            let channel = if i % 2 == 0 { "web" } else { "store" };
+            let noise: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            b.push_row(&[region, channel], &[base + noise]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn finds_planted_mean_insights_with_correct_orientation() {
+        let t = planted();
+        let config = TestConfig { n_permutations: 99, seed: 1, ..Default::default() };
+        let report = test_all_insights(&t, &config);
+        let region = t.schema().attribute("region").unwrap();
+        let south = t.dict(region).code("south").unwrap();
+        let mean_insights: Vec<_> = report
+            .significant
+            .iter()
+            .filter(|s| {
+                s.insight.select_on == region && s.insight.kind == InsightType::MeanGreater
+            })
+            .collect();
+        // south > north and south > west must be found; north vs west not.
+        assert_eq!(mean_insights.len(), 2, "{mean_insights:?}");
+        for s in &mean_insights {
+            assert_eq!(s.insight.val, south, "south must be the greater side");
+            assert!(s.significance() >= 0.95);
+        }
+    }
+
+    #[test]
+    fn channel_attribute_yields_no_insight() {
+        let t = planted();
+        let config = TestConfig { n_permutations: 99, seed: 2, ..Default::default() };
+        let report = test_all_insights(&t, &config);
+        let channel = t.schema().attribute("channel").unwrap();
+        assert!(
+            report.significant.iter().all(|s| s.insight.select_on != channel),
+            "no real effect exists on channel"
+        );
+    }
+
+    #[test]
+    fn n_tested_matches_lemma_count() {
+        let t = planted();
+        let config = TestConfig { n_permutations: 19, ..Default::default() };
+        let report = test_all_insights(&t, &config);
+        let expected = crate::space::count_insights(&t, InsightType::ALL.len());
+        assert_eq!(report.n_tested as f64, expected);
+    }
+
+    #[test]
+    fn bh_correction_only_shrinks_the_result() {
+        let t = planted();
+        let with_bh = test_all_insights(
+            &t,
+            &TestConfig { n_permutations: 99, seed: 3, apply_bh: true, ..Default::default() },
+        );
+        let without = test_all_insights(
+            &t,
+            &TestConfig { n_permutations: 99, seed: 3, apply_bh: false, ..Default::default() },
+        );
+        assert!(with_bh.significant.len() <= without.significant.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = planted();
+        let config = TestConfig { n_permutations: 49, seed: 7, ..Default::default() };
+        let a = test_all_insights(&t, &config);
+        let b = test_all_insights(&t, &config);
+        assert_eq!(a.significant.len(), b.significant.len());
+        for (x, y) in a.significant.iter().zip(b.significant.iter()) {
+            assert_eq!(x.insight, y.insight);
+            assert_eq!(x.p_value, y.p_value);
+        }
+    }
+
+    #[test]
+    fn zero_effect_pairs_get_p_one() {
+        let schema = Schema::new(vec!["g"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for v in ["a", "b"] {
+            for _ in 0..5 {
+                b.push_row(&[v], &[1.0]).unwrap();
+            }
+        }
+        let t = b.finish();
+        let tester = AttributeTester::new(&t, t.schema().attribute("g").unwrap());
+        let raws = tester.test_pair(0, 1, &TestConfig::default());
+        assert!(raws.iter().all(|r| r.raw_p == 1.0));
+    }
+
+    #[test]
+    fn tester_pairs_enumeration() {
+        let t = planted();
+        let region = t.schema().attribute("region").unwrap();
+        let tester = AttributeTester::new(&t, region);
+        assert_eq!(tester.present_codes().len(), 3);
+        assert_eq!(tester.pairs().len(), 3);
+    }
+}

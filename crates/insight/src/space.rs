@@ -1,0 +1,171 @@
+//! Enumeration and counting of the insight / comparison-query spaces
+//! (Lemmas 3.2 and 3.5).
+
+use crate::types::InsightType;
+use cn_tabular::{AttrId, MeasureId, Table};
+
+/// `C(d, 2)` as `f64` (pair counts get large on wide domains).
+fn pairs(d: usize) -> f64 {
+    (d as f64) * (d as f64 - 1.0) / 2.0
+}
+
+/// Lemma 3.2: number of possible comparison queries,
+/// `Σ_i C(|dom(A_i)|,2) × (n−1) × m × f`.
+///
+/// Domain sizes are *active* domains, matching the paper's `dom(A)`.
+pub fn count_comparison_queries(table: &Table, n_agg_functions: usize) -> f64 {
+    let schema = table.schema();
+    let n = schema.n_attributes();
+    let m = schema.n_measures();
+    if n < 2 {
+        return 0.0;
+    }
+    let sum_pairs: f64 =
+        schema.attribute_ids().map(|a| pairs(table.active_domain_size(a))).sum();
+    sum_pairs * (n as f64 - 1.0) * m as f64 * n_agg_functions as f64
+}
+
+/// Lemma 3.5: number of insights, `Σ_i C(|dom(A_i)|,2) × m × T`.
+pub fn count_insights(table: &Table, n_insight_types: usize) -> f64 {
+    let schema = table.schema();
+    let m = schema.n_measures();
+    let sum_pairs: f64 =
+        schema.attribute_ids().map(|a| pairs(table.active_domain_size(a))).sum();
+    sum_pairs * m as f64 * n_insight_types as f64
+}
+
+/// A candidate insight *site*: an attribute, an unordered pair of its
+/// present values, and a measure. Each site yields one insight per type
+/// once the statistical tests orient and validate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsightSite {
+    /// The selection attribute `B`.
+    pub select_on: AttrId,
+    /// First value code (lower code of the unordered pair).
+    pub val: u32,
+    /// Second value code.
+    pub val2: u32,
+    /// The measure `M`.
+    pub measure: MeasureId,
+}
+
+/// Enumerates every insight site of `table`: for each attribute, each
+/// unordered pair of values *present* in the data, and each measure.
+///
+/// Sites are emitted grouped by attribute then pair then measure, which is
+/// the iteration order the shared-permutation testing exploits.
+pub fn insight_sites(table: &Table) -> Vec<InsightSite> {
+    let schema = table.schema();
+    let mut out = Vec::new();
+    for b in schema.attribute_ids() {
+        let counts = table.value_counts(b);
+        let present: Vec<u32> = (0..counts.len() as u32).filter(|&c| counts[c as usize] > 0).collect();
+        for i in 0..present.len() {
+            for j in (i + 1)..present.len() {
+                for m in schema.measure_ids() {
+                    out.push(InsightSite {
+                        select_on: b,
+                        val: present[i],
+                        val2: present[j],
+                        measure: m,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of sites (`count_insights / T`), useful to pre-size buffers.
+pub fn count_sites(table: &Table) -> f64 {
+    count_insights(table, 1)
+}
+
+/// Sanity check used in tests and benches: enumerated sites must match
+/// Lemma 3.5's formula (with `T` insight types).
+pub fn verify_lemma_counts(table: &Table) -> bool {
+    let sites = insight_sites(table).len() as f64;
+    (sites * InsightType::ALL.len() as f64 - count_insights(table, InsightType::ALL.len()))
+        .abs()
+        < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    /// dom sizes: a → 3, b → 2; 2 measures.
+    fn t() -> Table {
+        let schema = Schema::new(vec!["a", "b"], vec!["m1", "m2"]).unwrap();
+        let mut builder = TableBuilder::new("t", schema);
+        for (a, b) in [("x", "p"), ("y", "q"), ("z", "p"), ("x", "q")] {
+            builder.push_row(&[a, b], &[1.0, 2.0]).unwrap();
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn lemma_3_2_count() {
+        let table = t();
+        // Σ C(d,2) = C(3,2)+C(2,2) = 3+1 = 4; n-1 = 1; m = 2; f = 2.
+        assert_eq!(count_comparison_queries(&table, 2), 4.0 * 1.0 * 2.0 * 2.0);
+    }
+
+    #[test]
+    fn lemma_3_5_count() {
+        let table = t();
+        // Σ C(d,2) = 4; m = 2; T = 2.
+        assert_eq!(count_insights(&table, 2), 16.0);
+    }
+
+    #[test]
+    fn vaccine_scale_comparison_count() {
+        // Table 2's Vaccine row: 6 categorical attributes, 1 measure,
+        // 700 comparison queries with the paper's agg set. We verify the
+        // formula shape on a small synthetic analogue instead of the real
+        // (unavailable) data: doms 2 and 3 with n=2, m=1, f=2 gives
+        // (1+3)·1·1·2 = 8.
+        let schema = Schema::new(vec!["a", "b"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("v", schema);
+        for (x, y) in [("u", "1"), ("v", "2"), ("u", "3"), ("v", "1")] {
+            b.push_row(&[x, y], &[0.0]).unwrap();
+        }
+        let table = b.finish();
+        assert_eq!(count_comparison_queries(&table, 2), 8.0);
+    }
+
+    #[test]
+    fn sites_match_lemma() {
+        let table = t();
+        assert!(verify_lemma_counts(&table));
+        let sites = insight_sites(&table);
+        assert_eq!(sites.len(), 8); // 4 pairs × 2 measures
+    }
+
+    #[test]
+    fn sites_skip_absent_values() {
+        let table = t();
+        // Shrink to rows 0..2: attribute a loses value "x"? No — keep rows
+        // where only two a-values survive.
+        let sub = table.take(&[0, 1]); // values x, y present; z absent
+        let a = sub.schema().attribute("a").unwrap();
+        assert_eq!(sub.active_domain_size(a), 2);
+        let sites = insight_sites(&sub);
+        // a: C(2,2)=1 pair; b: p,q both present C(2,2)=1; × 2 measures = 4.
+        assert_eq!(sites.len(), 4);
+        assert!(verify_lemma_counts(&sub));
+    }
+
+    #[test]
+    fn single_attribute_table_has_no_comparison_queries() {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(&["x"], &[1.0]).unwrap();
+        b.push_row(&["y"], &[2.0]).unwrap();
+        let table = b.finish();
+        assert_eq!(count_comparison_queries(&table, 2), 0.0);
+        // Insights still exist (they don't need a grouping attribute)…
+        assert_eq!(count_insights(&table, 2), 2.0);
+    }
+}

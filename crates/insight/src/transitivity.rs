@@ -1,0 +1,167 @@
+//! Transitivity pruning of deducible insights (Section 3.3).
+//!
+//! "If the mean of X is smaller than the mean of Y and the mean of Y is
+//! smaller than that of Z, then the mean of X is smaller than the mean of
+//! Z … an insight that can be deduced from the other two, and can be
+//! pruned out." For each family `(B, M, type)`, the significant insights
+//! form a DAG over the values of `B` (edges point from the greater value to
+//! the lesser one); we keep its transitive reduction.
+
+use crate::significance::SignificantInsight;
+use std::collections::HashMap;
+
+/// Computes the keep-mask of the transitive reduction of `edges`
+/// (`(from, to)` meaning `from > to`). An edge is pruned when an
+/// alternative path of length ≥ 2 connects its endpoints.
+///
+/// The input must be a DAG — guaranteed here because edges derive from a
+/// strict order on per-value statistics.
+pub fn transitive_reduction_mask(edges: &[(u32, u32)]) -> Vec<bool> {
+    use std::collections::{HashMap, HashSet};
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    let reachable_avoiding = |from: u32, to: u32, skip: (u32, u32)| -> bool {
+        // DFS from `from` to `to`, never taking the direct edge `skip`.
+        let mut stack = vec![from];
+        let mut seen: HashSet<u32> = HashSet::new();
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if let Some(nexts) = adj.get(&v) {
+                for &w in nexts {
+                    if v == skip.0 && w == skip.1 {
+                        continue;
+                    }
+                    if w == to {
+                        return true;
+                    }
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    };
+    edges.iter().map(|&(a, b)| !reachable_avoiding(a, b, (a, b))).collect()
+}
+
+/// Prunes deducible insights family by family, preserving order within the
+/// input. Only `(B, M, type)` families participate; an insight is dropped
+/// iff it is implied by others of its family.
+pub fn prune_deducible(insights: Vec<SignificantInsight>) -> Vec<SignificantInsight> {
+    // Group indices by family.
+    let mut families: HashMap<(u16, u16, crate::types::InsightType), Vec<usize>> = HashMap::new();
+    for (idx, s) in insights.iter().enumerate() {
+        families
+            .entry((s.insight.select_on.0, s.insight.measure.0, s.insight.kind))
+            .or_default()
+            .push(idx);
+    }
+    let mut keep = vec![true; insights.len()];
+    for indices in families.values() {
+        let edges: Vec<(u32, u32)> =
+            indices.iter().map(|&i| (insights[i].insight.val, insights[i].insight.val2)).collect();
+        let mask = transitive_reduction_mask(&edges);
+        for (&i, &k) in indices.iter().zip(mask.iter()) {
+            keep[i] = k;
+        }
+    }
+    insights
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(s, _)| s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Insight, InsightType};
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn sig(val: u32, val2: u32, kind: InsightType, measure: u16) -> SignificantInsight {
+        SignificantInsight {
+            insight: Insight {
+                measure: MeasureId(measure),
+                select_on: AttrId(0),
+                val,
+                val2,
+                kind,
+            },
+            p_value: 0.01,
+            raw_p: 0.01,
+            observed_effect: 1.0,
+        }
+    }
+
+    #[test]
+    fn chain_prunes_the_long_edge() {
+        // a > b, b > c, a > c: the last is deducible.
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        assert_eq!(transitive_reduction_mask(&edges), vec![true, true, false]);
+    }
+
+    #[test]
+    fn diamond_keeps_covering_edges() {
+        // a > b, a > c, b > d, c > d, a > d: only a > d is deducible.
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)];
+        assert_eq!(
+            transitive_reduction_mask(&edges),
+            vec![true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn independent_edges_all_kept() {
+        let edges = [(0, 1), (2, 3)];
+        assert_eq!(transitive_reduction_mask(&edges), vec![true, true]);
+    }
+
+    #[test]
+    fn longer_chain_keeps_only_covers() {
+        // Total order 0 > 1 > 2 > 3 with all 6 implied edges.
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let mask = transitive_reduction_mask(&edges);
+        assert_eq!(mask, vec![true, false, false, true, false, true]);
+    }
+
+    #[test]
+    fn families_do_not_interact() {
+        // Same value chain but split across measures: nothing prunable.
+        let insights = vec![
+            sig(0, 1, InsightType::MeanGreater, 0),
+            sig(1, 2, InsightType::MeanGreater, 1),
+            sig(0, 2, InsightType::MeanGreater, 0),
+        ];
+        let kept = prune_deducible(insights);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn within_family_pruning_applies() {
+        let insights = vec![
+            sig(0, 1, InsightType::MeanGreater, 0),
+            sig(1, 2, InsightType::MeanGreater, 0),
+            sig(0, 2, InsightType::MeanGreater, 0),
+            // Different type: untouched even with same values.
+            sig(0, 2, InsightType::VarianceGreater, 0),
+        ];
+        let kept = prune_deducible(insights);
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().any(|s| s.insight.kind == InsightType::VarianceGreater));
+        assert!(!kept
+            .iter()
+            .any(|s| s.insight.kind == InsightType::MeanGreater
+                && s.insight.val == 0
+                && s.insight.val2 == 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(prune_deducible(Vec::new()).is_empty());
+        assert!(transitive_reduction_mask(&[]).is_empty());
+    }
+}

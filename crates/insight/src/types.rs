@@ -1,0 +1,199 @@
+//! Insight types and insights (Definition 3.4).
+
+use cn_stats::TestKind;
+use cn_tabular::{AttrId, MeasureId, Table};
+
+/// The semantics of an insight (paper: "an insight type is a name giving
+/// the semantics of an insight"). The paper's two types plus the *extreme
+/// greater* extension built by the Section 7 recipe: (i) a SQL hypothesis
+/// predicate (`max(val) > max(val')`), (ii) a statistical test
+/// (permutation on `|max(X) − max(Y)|`), (iii) the unchanged
+/// interestingness/distance/cost functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InsightType {
+    /// `avg(val) > avg(val')` — type **M**.
+    MeanGreater,
+    /// `variance(val) > variance(val')` — type **V**.
+    VarianceGreater,
+    /// `max(val) > max(val')` — extension type **X** (extreme greater).
+    ExtremeGreater,
+}
+
+impl InsightType {
+    /// The paper's insight types, in paper order (M, V).
+    pub const ALL: [InsightType; 2] = [InsightType::MeanGreater, InsightType::VarianceGreater];
+
+    /// The paper's types plus the extreme-greater extension.
+    pub const EXTENDED: [InsightType; 3] = [
+        InsightType::MeanGreater,
+        InsightType::VarianceGreater,
+        InsightType::ExtremeGreater,
+    ];
+
+    /// Human-readable name, as emitted by hypothesis queries (Figure 3).
+    pub fn name(self) -> &'static str {
+        match self {
+            InsightType::MeanGreater => "mean greater",
+            InsightType::VarianceGreater => "variance greater",
+            InsightType::ExtremeGreater => "extreme greater",
+        }
+    }
+
+    /// The statistical test of Table 1 for this insight type.
+    pub fn test_kind(self) -> TestKind {
+        match self {
+            InsightType::MeanGreater => TestKind::MeanDiff,
+            InsightType::VarianceGreater => TestKind::VarDiff,
+            InsightType::ExtremeGreater => TestKind::MaxDiff,
+        }
+    }
+
+    /// The per-series statistic the support predicate compares: mean for M,
+    /// population variance for V.
+    pub fn series_statistic(self, series: &[f64]) -> f64 {
+        let s = cn_stats::Summary::of(series);
+        match self {
+            InsightType::MeanGreater => s.mean,
+            InsightType::VarianceGreater => s.variance_population(),
+            InsightType::ExtremeGreater => s.max,
+        }
+    }
+
+    /// The support predicate `p` over a comparison result's two series:
+    /// `stat(left) > stat(right)` (Definition 3.4's selection predicate).
+    pub fn supports(self, left: &[f64], right: &[f64]) -> bool {
+        if left.is_empty() || right.is_empty() {
+            return false;
+        }
+        self.series_statistic(left) > self.series_statistic(right)
+    }
+}
+
+/// An insight `i = (M, B, val, val', p)` over a relation (Definition 3.4).
+///
+/// Directional: it declares that the `val` side's statistic exceeds the
+/// `val'` side's. Enumeration orients each unordered pair by the observed
+/// full-data direction, matching Lemma 3.5's `C(|dom(B)|, 2)` count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Insight {
+    /// The compared measure `M`.
+    pub measure: MeasureId,
+    /// The categorical attribute `B` whose values are compared.
+    pub select_on: AttrId,
+    /// Code of the (declared greater) value `val ∈ dom(B)`.
+    pub val: u32,
+    /// Code of the value `val' ∈ dom(B)`.
+    pub val2: u32,
+    /// The insight type naming the predicate `p`.
+    pub kind: InsightType,
+}
+
+impl Insight {
+    /// Renders the insight as the natural-language declaration the paper
+    /// uses ("On average there were more COVID cases in May compared to
+    /// April" style).
+    pub fn describe(&self, table: &Table) -> String {
+        let schema = table.schema();
+        let b = schema.attribute_name(self.select_on);
+        let m = schema.measure_name(self.measure);
+        let v = table.dict(self.select_on).decode(self.val);
+        let v2 = table.dict(self.select_on).decode(self.val2);
+        match self.kind {
+            InsightType::MeanGreater => {
+                format!("on average, {m} is higher for {b} = {v} than for {b} = {v2}")
+            }
+            InsightType::VarianceGreater => {
+                format!("{m} varies more for {b} = {v} than for {b} = {v2}")
+            }
+            InsightType::ExtremeGreater => {
+                format!("{m} peaks higher for {b} = {v} than for {b} = {v2}")
+            }
+        }
+    }
+
+    /// The SQL `having` predicate of the hypothesis query postulating this
+    /// insight (Figure 3), over the two comparison columns named after the
+    /// selected values.
+    pub fn having_sql(&self, table: &Table, left_col: &str, right_col: &str) -> String {
+        let _ = table;
+        match self.kind {
+            InsightType::MeanGreater => format!("avg({left_col}) > avg({right_col})"),
+            InsightType::VarianceGreater => {
+                format!("var_pop({left_col}) > var_pop({right_col})")
+            }
+            InsightType::ExtremeGreater => format!("max({left_col}) > max({right_col})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    #[test]
+    fn support_predicates() {
+        let left = [10.0, 20.0, 30.0]; // mean 20, var 66.7
+        let right = [1.0, 2.0, 3.0]; // mean 2, var 0.67
+        assert!(InsightType::MeanGreater.supports(&left, &right));
+        assert!(!InsightType::MeanGreater.supports(&right, &left));
+        assert!(InsightType::VarianceGreater.supports(&left, &right));
+    }
+
+    #[test]
+    fn empty_series_never_support() {
+        assert!(!InsightType::MeanGreater.supports(&[], &[1.0]));
+        assert!(!InsightType::VarianceGreater.supports(&[1.0], &[]));
+    }
+
+    #[test]
+    fn equal_series_do_not_support() {
+        let s = [5.0, 5.0];
+        assert!(!InsightType::MeanGreater.supports(&s, &s));
+        assert!(!InsightType::VarianceGreater.supports(&s, &s));
+    }
+
+    #[test]
+    fn test_kinds_match_table_1() {
+        assert_eq!(InsightType::MeanGreater.test_kind(), cn_stats::TestKind::MeanDiff);
+        assert_eq!(InsightType::VarianceGreater.test_kind(), cn_stats::TestKind::VarDiff);
+        assert_eq!(InsightType::ExtremeGreater.test_kind(), cn_stats::TestKind::MaxDiff);
+    }
+
+    #[test]
+    fn extended_type_supports_by_maximum() {
+        let spiky = [1.0, 1.0, 20.0]; // mean 7.33, max 20
+        let flat = [10.0, 10.0, 10.0]; // mean 10, max 10
+        // Mean of `flat` is higher, but `spiky` peaks higher.
+        assert!(InsightType::MeanGreater.supports(&flat, &spiky));
+        assert!(InsightType::ExtremeGreater.supports(&spiky, &flat));
+    }
+
+    #[test]
+    fn extended_list_is_a_superset() {
+        for t in InsightType::ALL {
+            assert!(InsightType::EXTENDED.contains(&t));
+        }
+        assert_eq!(InsightType::EXTENDED.len(), 3);
+    }
+
+    #[test]
+    fn describe_reads_naturally() {
+        let schema = Schema::new(vec!["month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        b.push_row(&["May"], &[2.0]).unwrap();
+        b.push_row(&["April"], &[1.0]).unwrap();
+        let t = b.finish();
+        let month = t.schema().attribute("month").unwrap();
+        let i = Insight {
+            measure: t.schema().measure("cases").unwrap(),
+            select_on: month,
+            val: t.dict(month).code("May").unwrap(),
+            val2: t.dict(month).code("April").unwrap(),
+            kind: InsightType::MeanGreater,
+        };
+        let d = i.describe(&t);
+        assert!(d.contains("cases") && d.contains("May") && d.contains("April"));
+        assert_eq!(i.having_sql(&t, "May", "April"), "avg(May) > avg(April)");
+    }
+}

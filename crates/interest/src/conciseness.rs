@@ -1,0 +1,104 @@
+//! The conciseness function of Definition 4.3 (Figure 4).
+
+/// Parameters of the conciseness function.
+///
+/// - `alpha` "sets the growth rate of the ideal number of groups given the
+///   number of tuples, behaving like the slope in a linear function";
+/// - `delta` "allows to spread the ideal ratio".
+///
+/// Defaults are the empirically tuned trade-off used throughout the
+/// experiments (the paper also tunes them empirically, Section 6.1):
+/// aggregation queries produce far fewer groups than tuples, so the ideal
+/// group count is `θ/50` with a spread growing like `√θ` — e.g. a query
+/// aggregating 500 tuples peaks at 10 groups and still scores ≈ 0.8 at 20.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcisenessParams {
+    /// Slope of the ideal tuple-to-group line.
+    pub alpha: f64,
+    /// Spread exponent.
+    pub delta: f64,
+}
+
+impl Default for ConcisenessParams {
+    fn default() -> Self {
+        ConcisenessParams { alpha: 0.02, delta: 1.0 }
+    }
+}
+
+/// `conciseness(θ_q, γ_q) = exp(−(γ_q − θ_q·α)² / θ_q^δ)`.
+///
+/// `theta` is the number of tuples aggregated by the query and `gamma` the
+/// number of groups in its result. The zone `gamma > theta` is undefined in
+/// the paper ("the number of groups being greater than the number of tuples
+/// does not make sense"); we return 0 there, and 0 for an empty query.
+pub fn conciseness(theta: usize, gamma: usize, params: &ConcisenessParams) -> f64 {
+    if theta == 0 || gamma > theta || gamma == 0 {
+        return 0.0;
+    }
+    let t = theta as f64;
+    let g = gamma as f64;
+    let dev = g - t * params.alpha;
+    (-(dev * dev) / t.powf(params.delta)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_at_the_ideal_ratio() {
+        let p = ConcisenessParams { alpha: 0.25, delta: 1.0 };
+        // θ=100 → ideal γ=25.
+        let at_peak = conciseness(100, 25, &p);
+        assert!((at_peak - 1.0).abs() < 1e-12);
+        assert!(conciseness(100, 10, &p) < at_peak);
+        assert!(conciseness(100, 60, &p) < at_peak);
+    }
+
+    #[test]
+    fn non_monotonic_in_gamma() {
+        let p = ConcisenessParams::default();
+        let values: Vec<f64> = (1..=100).map(|g| conciseness(100, g, &p)).collect();
+        let max_idx = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(max_idx > 0 && max_idx < 99, "peak strictly inside");
+        // Rises before the peak, falls after.
+        assert!(values[0] < values[max_idx]);
+        assert!(values[99] < values[max_idx]);
+    }
+
+    #[test]
+    fn undefined_zone_is_zero() {
+        let p = ConcisenessParams::default();
+        assert_eq!(conciseness(10, 11, &p), 0.0);
+        assert_eq!(conciseness(0, 0, &p), 0.0);
+        assert_eq!(conciseness(10, 0, &p), 0.0);
+    }
+
+    #[test]
+    fn delta_spreads_the_ridge() {
+        // Larger δ → more tolerance for off-ideal group counts.
+        let narrow = ConcisenessParams { alpha: 0.25, delta: 0.5 };
+        let wide = ConcisenessParams { alpha: 0.25, delta: 2.0 };
+        let off_ideal = (100, 60);
+        assert!(
+            conciseness(off_ideal.0, off_ideal.1, &wide)
+                > conciseness(off_ideal.0, off_ideal.1, &narrow)
+        );
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let p = ConcisenessParams::default();
+        for theta in [1usize, 5, 50, 500, 5000] {
+            for gamma in [1usize, 2, theta / 2 + 1, theta] {
+                let c = conciseness(theta, gamma, &p);
+                assert!((0.0..=1.0).contains(&c), "c({theta},{gamma}) = {c}");
+            }
+        }
+    }
+}

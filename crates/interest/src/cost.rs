@@ -1,0 +1,75 @@
+//! Query cost model (Section 4.2).
+//!
+//! "Given the form of comparison queries … the cost of all comparison
+//! queries will roughly be the same" (confirmed by Figure 5), so the
+//! default model charges every query one unit and the time budget `ε_t`
+//! effectively bounds the number of queries in the notebook. A per-tuple
+//! model is kept for the general TAP formulation.
+
+use cn_insight::generation::CandidateQuery;
+
+/// How the TAP charges a comparison query against the time budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Every query costs the same constant (the paper's working model).
+    Uniform(f64),
+    /// `base + per_tuple × θ_q` — proportional to the tuples scanned.
+    PerTuple {
+        /// Fixed per-query overhead.
+        base: f64,
+        /// Marginal cost per aggregated tuple.
+        per_tuple: f64,
+    },
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::Uniform(1.0)
+    }
+}
+
+impl CostModel {
+    /// Cost of one candidate query.
+    pub fn cost(&self, query: &CandidateQuery) -> f64 {
+        match *self {
+            CostModel::Uniform(c) => c,
+            CostModel::PerTuple { base, per_tuple } => base + per_tuple * query.theta as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_engine::{AggFn, ComparisonSpec};
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn query(theta: usize) -> CandidateQuery {
+        CandidateQuery {
+            spec: ComparisonSpec {
+                group_by: AttrId(0),
+                select_on: AttrId(1),
+                val: 0,
+                val2: 1,
+                measure: MeasureId(0),
+                agg: AggFn::Sum,
+            },
+            insight_ids: vec![],
+            theta,
+            gamma: 1,
+        }
+    }
+
+    #[test]
+    fn uniform_ignores_size() {
+        let m = CostModel::Uniform(1.0);
+        assert_eq!(m.cost(&query(10)), m.cost(&query(10_000)));
+    }
+
+    #[test]
+    fn per_tuple_scales() {
+        let m = CostModel::PerTuple { base: 1.0, per_tuple: 0.001 };
+        assert!(m.cost(&query(10_000)) > m.cost(&query(10)));
+        assert!((m.cost(&query(1000)) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! The weighted Hamming distance between comparison queries (Section 4.2).
+//!
+//! "Weights are set to capture the cognitive effort of understanding the
+//! transition from one comparison query to another, precisely: val, val'
+//! the highest, followed by B, then A, and finally M and agg have the
+//! lowest impact."
+//!
+//! Each query part is compared with the discrete metric and the weighted
+//! sum is therefore itself a metric (symmetry and the triangle inequality
+//! hold coordinate-wise) — the property Section 4.2 demands so that the TAP
+//! never trades interestingness against a shortcut through a cheap query.
+
+use cn_engine::ComparisonSpec;
+
+/// Per-part weights of the distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceWeights {
+    /// Weight of the first selected value `val`.
+    pub val: f64,
+    /// Weight of the second selected value `val'`.
+    pub val2: f64,
+    /// Weight of the selection attribute `B`.
+    pub select_on: f64,
+    /// Weight of the grouping attribute `A`.
+    pub group_by: f64,
+    /// Weight of the measure `M`.
+    pub measure: f64,
+    /// Weight of the aggregation function `agg`.
+    pub agg: f64,
+}
+
+impl Default for DistanceWeights {
+    fn default() -> Self {
+        // The paper's ordering: val = val' > B > A > M = agg.
+        DistanceWeights { val: 4.0, val2: 4.0, select_on: 3.0, group_by: 2.0, measure: 1.0, agg: 1.0 }
+    }
+}
+
+impl DistanceWeights {
+    /// Maximum possible distance (all parts differ).
+    pub fn max_distance(&self) -> f64 {
+        self.val + self.val2 + self.select_on + self.group_by + self.measure + self.agg
+    }
+}
+
+/// Weighted Hamming distance between two comparison-query 6-tuples.
+///
+/// Value parts are only comparable within the same selection attribute: if
+/// `B` differs, both value coordinates count as differing (codes of
+/// different dictionaries never denote the same thing).
+pub fn distance(a: &ComparisonSpec, b: &ComparisonSpec, w: &DistanceWeights) -> f64 {
+    let mut d = 0.0;
+    let same_b = a.select_on == b.select_on;
+    if !same_b {
+        d += w.select_on;
+    }
+    if !(same_b && a.val == b.val) {
+        d += w.val;
+    }
+    if !(same_b && a.val2 == b.val2) {
+        d += w.val2;
+    }
+    if a.group_by != b.group_by {
+        d += w.group_by;
+    }
+    if a.measure != b.measure {
+        d += w.measure;
+    }
+    if a.agg != b.agg {
+        d += w.agg;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_engine::AggFn;
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn spec(a: u16, b: u16, v: u32, v2: u32, m: u16, agg: AggFn) -> ComparisonSpec {
+        ComparisonSpec {
+            group_by: AttrId(a),
+            select_on: AttrId(b),
+            val: v,
+            val2: v2,
+            measure: MeasureId(m),
+            agg,
+        }
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let w = DistanceWeights::default();
+        let q = spec(0, 1, 2, 3, 0, AggFn::Sum);
+        let r = spec(1, 2, 2, 3, 1, AggFn::Avg);
+        assert_eq!(distance(&q, &q, &w), 0.0);
+        assert_eq!(distance(&q, &r, &w), distance(&r, &q, &w));
+    }
+
+    #[test]
+    fn part_weights_match_paper_ordering() {
+        let w = DistanceWeights::default();
+        let base = spec(0, 1, 2, 3, 0, AggFn::Sum);
+        let d_val = distance(&base, &spec(0, 1, 9, 3, 0, AggFn::Sum), &w);
+        let d_b = distance(&base, &spec(0, 2, 2, 3, 0, AggFn::Sum), &w);
+        let d_a = distance(&base, &spec(5, 1, 2, 3, 0, AggFn::Sum), &w);
+        let d_m = distance(&base, &spec(0, 1, 2, 3, 1, AggFn::Sum), &w);
+        let d_agg = distance(&base, &spec(0, 1, 2, 3, 0, AggFn::Avg), &w);
+        // Changing B also invalidates both value coordinates.
+        assert_eq!(d_b, w.select_on + w.val + w.val2);
+        assert!(d_val > d_a && d_a > d_m);
+        assert_eq!(d_m, d_agg);
+    }
+
+    #[test]
+    fn changing_b_invalidates_values_even_with_equal_codes() {
+        let w = DistanceWeights::default();
+        let q = spec(0, 1, 2, 3, 0, AggFn::Sum);
+        let r = spec(0, 2, 2, 3, 0, AggFn::Sum);
+        // Same codes 2, 3 but different attribute: values differ too.
+        assert_eq!(distance(&q, &r, &w), w.select_on + w.val + w.val2);
+    }
+
+    #[test]
+    fn max_distance_when_everything_differs() {
+        let w = DistanceWeights::default();
+        let q = spec(0, 1, 2, 3, 0, AggFn::Sum);
+        let r = spec(1, 2, 7, 8, 1, AggFn::Max);
+        assert_eq!(distance(&q, &r, &w), w.max_distance());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cn_engine::AggFn;
+    use cn_tabular::{AttrId, MeasureId};
+    use proptest::prelude::*;
+
+    fn arb_spec() -> impl Strategy<Value = ComparisonSpec> {
+        (0u16..3, 0u16..3, 0u32..4, 0u32..4, 0u16..2, 0usize..3).prop_map(
+            |(a, b, v, v2, m, agg)| ComparisonSpec {
+                group_by: AttrId(a),
+                select_on: AttrId(b),
+                val: v,
+                val2: v2,
+                measure: MeasureId(m),
+                agg: [AggFn::Sum, AggFn::Avg, AggFn::Max][agg],
+            },
+        )
+    }
+
+    fn arb_weights() -> impl Strategy<Value = DistanceWeights> {
+        (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0)
+            .prop_map(|(val, val2, select_on, group_by, measure, agg)| DistanceWeights {
+                val,
+                val2,
+                select_on,
+                group_by,
+                measure,
+                agg,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn is_a_metric(q in arb_spec(), r in arb_spec(), s in arb_spec(), w in arb_weights()) {
+            // Symmetry.
+            prop_assert_eq!(distance(&q, &r, &w), distance(&r, &q, &w));
+            // Identity of indiscernibles (weights may be 0, so only the
+            // forward direction is universal).
+            prop_assert_eq!(distance(&q, &q, &w), 0.0);
+            // Triangle inequality.
+            let qr = distance(&q, &r, &w);
+            let rs = distance(&r, &s, &w);
+            let qs = distance(&q, &s, &w);
+            prop_assert!(qs <= qr + rs + 1e-12, "triangle violated: {} > {} + {}", qs, qr, rs);
+            // Non-negativity.
+            prop_assert!(qr >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Comparison-query interestingness (Definition 4.3).
+
+use crate::conciseness::{conciseness, ConcisenessParams};
+use cn_insight::generation::{CandidateQuery, ScoredInsight};
+
+/// Which components of the interestingness are active — the knobs behind
+/// the user-study variants of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterestComponents {
+    /// `conciseness × Σ ω·sig·(1 − cred/|Qⁱ|)` — the full Definition 4.3.
+    Full,
+    /// Significance only (`WSC-approx-sig`): `Σ ω·sig(i)`.
+    SigOnly,
+    /// Significance and credibility, no conciseness
+    /// (`WSC-approx-sig-cred`): `Σ ω·sig·(1 − cred/|Qⁱ|)`.
+    SigCred,
+}
+
+/// Parameters of the interestingness function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterestParams {
+    /// `ω`, "a weight ruling the importance of sig(i)".
+    pub omega: f64,
+    /// Conciseness parameters (`α`, `δ`).
+    pub conciseness: ConcisenessParams,
+    /// Active components.
+    pub components: InterestComponents,
+}
+
+impl Default for InterestParams {
+    fn default() -> Self {
+        InterestParams {
+            omega: 1.0,
+            conciseness: ConcisenessParams::default(),
+            components: InterestComponents::Full,
+        }
+    }
+}
+
+/// `interest(q)` for a generated candidate, reading the supported insights'
+/// significance and credibility from the generation output.
+pub fn interestingness(
+    query: &CandidateQuery,
+    insights: &[ScoredInsight],
+    params: &InterestParams,
+) -> f64 {
+    let mut sum = 0.0;
+    for &id in &query.insight_ids {
+        let s = &insights[id];
+        let sig = s.detail.significance();
+        let term = match params.components {
+            InterestComponents::SigOnly => params.omega * sig,
+            InterestComponents::Full | InterestComponents::SigCred => {
+                params.omega * sig * s.credibility.type_ii_term()
+            }
+        };
+        sum += term;
+    }
+    match params.components {
+        InterestComponents::Full => {
+            conciseness(query.theta, query.gamma, &params.conciseness) * sum
+        }
+        _ => sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_engine::{AggFn, ComparisonSpec};
+    use cn_insight::credibility::Credibility;
+    use cn_insight::significance::SignificantInsight;
+    use cn_insight::types::{Insight, InsightType};
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn scored(sig: f64, supporting: u32, possible: u32) -> ScoredInsight {
+        ScoredInsight {
+            detail: SignificantInsight {
+                insight: Insight {
+                    measure: MeasureId(0),
+                    select_on: AttrId(1),
+                    val: 0,
+                    val2: 1,
+                    kind: InsightType::MeanGreater,
+                },
+                p_value: 1.0 - sig,
+                raw_p: 1.0 - sig,
+                observed_effect: 1.0,
+            },
+            credibility: Credibility { supporting, possible },
+        }
+    }
+
+    fn query(ids: Vec<usize>, theta: usize, gamma: usize) -> CandidateQuery {
+        CandidateQuery {
+            spec: ComparisonSpec {
+                group_by: AttrId(0),
+                select_on: AttrId(1),
+                val: 0,
+                val2: 1,
+                measure: MeasureId(0),
+                agg: AggFn::Sum,
+            },
+            insight_ids: ids,
+            theta,
+            gamma,
+        }
+    }
+
+    #[test]
+    fn more_insights_more_interesting() {
+        let insights = vec![scored(0.99, 1, 3), scored(0.97, 1, 3)];
+        let p = InterestParams::default();
+        let one = interestingness(&query(vec![0], 100, 25), &insights, &p);
+        let two = interestingness(&query(vec![0, 1], 100, 25), &insights, &p);
+        assert!(two > one);
+    }
+
+    #[test]
+    fn surprise_term_rewards_low_credibility() {
+        // Same significance; the insight fewer queries support ("more
+        // surprising") scores higher.
+        let insights = vec![scored(0.99, 1, 4), scored(0.99, 3, 4)];
+        let p = InterestParams::default();
+        let surprising = interestingness(&query(vec![0], 100, 25), &insights, &p);
+        let mundane = interestingness(&query(vec![1], 100, 25), &insights, &p);
+        assert!(surprising > mundane);
+    }
+
+    #[test]
+    fn sig_only_ignores_credibility_and_conciseness() {
+        let insights = vec![scored(0.99, 4, 4)]; // fully credible → surprise 0
+        let full = InterestParams::default();
+        let sig_only =
+            InterestParams { components: InterestComponents::SigOnly, ..Default::default() };
+        let q = query(vec![0], 100, 99); // terrible conciseness too
+        assert_eq!(interestingness(&q, &insights, &full), 0.0);
+        assert!((interestingness(&q, &insights, &sig_only) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sig_cred_drops_only_conciseness() {
+        let insights = vec![scored(0.98, 1, 2)];
+        let q = query(vec![0], 100, 99); // conciseness ≈ 0
+        let sig_cred =
+            InterestParams { components: InterestComponents::SigCred, ..Default::default() };
+        let expect = 0.98 * 0.5;
+        assert!((interestingness(&q, &insights, &sig_cred) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_scales_linearly() {
+        let insights = vec![scored(0.96, 1, 2)];
+        let q = query(vec![0], 100, 25);
+        let base = interestingness(&q, &insights, &InterestParams::default());
+        let doubled = interestingness(
+            &q,
+            &insights,
+            &InterestParams { omega: 2.0, ..Default::default() },
+        );
+        assert!((doubled - 2.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_insight_list_scores_zero() {
+        let insights: Vec<ScoredInsight> = Vec::new();
+        let q = query(vec![], 100, 25);
+        assert_eq!(interestingness(&q, &insights, &InterestParams::default()), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # cn-interest
+//!
+//! Scoring of comparison queries (Section 4.2):
+//!
+//! - [`conciseness`] — the non-monotonic tuple-to-group conciseness function
+//!   `exp(−(γ − θα)² / θ^δ)` of Definition 4.3 (Figure 4).
+//! - [`interest`] — the manifold interestingness
+//!   `conciseness(θ_q, γ_q) × Σ_{i∈I_q} ω·sig(i)·(1 − credibility(i)/|Qⁱ|)`,
+//!   with the component toggles behind the Table 7 generator variants.
+//! - [`distance`] — the weighted Hamming distance over query parts, with
+//!   `val, val'` weighted highest, then `B`, then `A`, then `M` and `agg`
+//!   (a true metric; proptest-verified).
+//! - [`cost`] — the query cost model; uniform by default per the Figure 5
+//!   observation that all comparison queries cost roughly the same.
+
+pub mod conciseness;
+pub mod cost;
+pub mod distance;
+pub mod interest;
+
+pub use conciseness::{conciseness, ConcisenessParams};
+pub use cost::CostModel;
+pub use distance::{distance, DistanceWeights};
+pub use interest::{interestingness, InterestComponents, InterestParams};

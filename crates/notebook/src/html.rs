@@ -1,0 +1,152 @@
+//! Self-contained HTML report renderer.
+//!
+//! A single-file artifact a data worker can open in any browser or attach
+//! to an email — no Jupyter required. Styling is embedded; content matches
+//! the `.ipynb` rendering (insight annotations, SQL, result previews).
+
+use crate::model::Notebook;
+use std::fmt::Write as _;
+
+/// Escapes text for safe embedding in HTML.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+const STYLE: &str = "\
+body{font-family:system-ui,sans-serif;max-width:60rem;margin:2rem auto;\
+padding:0 1rem;color:#1a1a2e;line-height:1.5}\
+h1{border-bottom:2px solid #4361ee;padding-bottom:.4rem}\
+h2{margin-top:2.2rem;color:#3a0ca3}\
+.insight{background:#f0f4ff;border-left:4px solid #4361ee;margin:.4rem 0;\
+padding:.5rem .8rem;border-radius:0 6px 6px 0}\
+.meta{color:#6c757d;font-size:.85em}\
+pre{background:#14213d;color:#e5e5e5;padding:.9rem;border-radius:8px;\
+overflow-x:auto;font-size:.9em}\
+table{border-collapse:collapse;margin:.8rem 0}\
+th,td{border:1px solid #dee2e6;padding:.35rem .7rem;text-align:right}\
+th:first-child,td:first-child{text-align:left}\
+th{background:#e9ecef}";
+
+/// Renders the notebook as one self-contained HTML document.
+pub fn to_html(notebook: &Notebook) -> String {
+    let mut h = String::new();
+    let _ = write!(
+        h,
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{}</title>\n<style>{STYLE}</style>\n</head>\n<body>\n",
+        escape(&notebook.title)
+    );
+    let _ = write!(
+        h,
+        "<h1>{}</h1>\n<p class=\"meta\">Auto-generated comparison notebook over \
+         dataset <code>{}</code> — {} comparison queries.</p>\n",
+        escape(&notebook.title),
+        escape(&notebook.dataset),
+        notebook.len()
+    );
+    for (i, e) in notebook.entries.iter().enumerate() {
+        let _ = writeln!(h, "<h2>Comparison {}</h2>", i + 1);
+        for note in &e.insights {
+            let _ = writeln!(
+                h,
+                "<div class=\"insight\">{} <span class=\"meta\">(significance \
+                 {:.3}, credibility {}/{})</span></div>",
+                escape(&note.description),
+                note.significance,
+                note.credibility,
+                note.possible
+            );
+        }
+        let _ = writeln!(h, "<pre><code>{}</code></pre>", escape(&e.sql));
+        let (g, c1, c2) = &e.headers;
+        let _ = write!(
+            h,
+            "<table>\n<tr><th>{}</th><th>{}</th><th>{}</th></tr>\n",
+            escape(g),
+            escape(c1),
+            escape(c2)
+        );
+        for (name, l, r) in &e.preview {
+            let _ = writeln!(
+                h,
+                "<tr><td>{}</td><td>{l:.2}</td><td>{r:.2}</td></tr>",
+                escape(name)
+            );
+        }
+        h.push_str("</table>\n");
+    }
+    h.push_str("</body>\n</html>\n");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InsightNote, NotebookEntry};
+    use cn_engine::{AggFn, ComparisonSpec};
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn sample() -> Notebook {
+        Notebook {
+            title: "Report <1>".to_string(),
+            dataset: "shop".to_string(),
+            entries: vec![NotebookEntry {
+                spec: ComparisonSpec {
+                    group_by: AttrId(0),
+                    select_on: AttrId(1),
+                    val: 0,
+                    val2: 1,
+                    measure: MeasureId(0),
+                    agg: AggFn::Sum,
+                },
+                sql: "select a < b;".to_string(),
+                insights: vec![InsightNote {
+                    description: "x & y differ".to_string(),
+                    significance: 0.97,
+                    credibility: 1,
+                    possible: 2,
+                }],
+                headers: ("g".into(), "l".into(), "r".into()),
+                preview: vec![("<tag>".to_string(), 1.0, 2.0)],
+                interest: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn html_is_complete_and_escaped() {
+        let html = to_html(&sample());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("Report &lt;1&gt;"));
+        assert!(html.contains("select a &lt; b;"));
+        assert!(html.contains("x &amp; y differ"));
+        assert!(html.contains("&lt;tag&gt;"));
+        // No raw user text leaks through unescaped.
+        assert!(!html.contains("<tag>"));
+    }
+
+    #[test]
+    fn escape_covers_all_specials() {
+        assert_eq!(escape("a&b<c>d\"e'f"), "a&amp;b&lt;c&gt;d&quot;e&#39;f");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn empty_notebook_still_valid() {
+        let nb = Notebook { title: "T".into(), dataset: "d".into(), entries: vec![] };
+        let html = to_html(&nb);
+        assert!(html.contains("0 comparison queries"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # cn-notebook
+//!
+//! The deliverable of the whole system: **comparison notebooks** — ordered
+//! sequences of SQL comparison queries, each annotated with the insights it
+//! evidences — rendered to Jupyter (`.ipynb`), Markdown, and plain `.sql`.
+//!
+//! - [`sql`] — SQL text generation for comparison queries (the join form of
+//!   Figure 2 and the pivot-free variant of Section 3.1) and hypothesis
+//!   queries (Figure 3).
+//! - [`model`] — the notebook data model and its construction from
+//!   generated candidates.
+//! - [`render`] — `.ipynb` (nbformat 4.5), Markdown, and `.sql` renderers.
+//! - [`html`] — a self-contained single-file HTML report.
+
+pub mod html;
+pub mod model;
+pub mod render;
+pub mod sql;
+
+pub use model::{InsightNote, Notebook, NotebookEntry};
+pub use html::to_html;
+pub use render::{to_ipynb_json, to_markdown, to_sql_script, write_all};

@@ -1,0 +1,194 @@
+//! The comparison-notebook data model.
+
+use crate::sql::{column_aliases, comparison_sql};
+use cn_engine::comparison::execute;
+use cn_engine::ComparisonSpec;
+use cn_insight::generation::{CandidateQuery, ScoredInsight};
+use cn_tabular::Table;
+
+/// An insight annotation attached to a notebook entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsightNote {
+    /// Natural-language statement of the insight.
+    pub description: String,
+    /// `sig(i) = 1 − p`.
+    pub significance: f64,
+    /// `credibility(i)`.
+    pub credibility: u32,
+    /// `|Qⁱ|`.
+    pub possible: u32,
+}
+
+/// One cell pair of the notebook: a comparison query, its SQL, the insights
+/// it evidences, and a preview of its result.
+#[derive(Debug, Clone)]
+pub struct NotebookEntry {
+    /// The comparison-query 6-tuple.
+    pub spec: ComparisonSpec,
+    /// Rendered SQL (join form).
+    pub sql: String,
+    /// Insights the query supports.
+    pub insights: Vec<InsightNote>,
+    /// Column headers of the preview: group attribute, left alias, right
+    /// alias.
+    pub headers: (String, String, String),
+    /// First rows of the result (group value, left, right).
+    pub preview: Vec<(String, f64, f64)>,
+    /// The query's interestingness at generation time.
+    pub interest: f64,
+}
+
+/// A comparison notebook: an ordered sequence of comparison queries
+/// (Section 3.1), ready to render.
+#[derive(Debug, Clone)]
+pub struct Notebook {
+    /// Notebook title.
+    pub title: String,
+    /// Name of the explored relation.
+    pub dataset: String,
+    /// The entries, in TAP-solution order.
+    pub entries: Vec<NotebookEntry>,
+}
+
+impl Notebook {
+    /// Builds a notebook from a TAP solution over generated candidates,
+    /// executing each query against `table` for the preview.
+    ///
+    /// `sequence` holds indices into `queries`; `interests` is parallel to
+    /// `queries`. `preview_rows` caps the embedded result rows per entry.
+    pub fn build(
+        title: impl Into<String>,
+        table: &Table,
+        queries: &[CandidateQuery],
+        insights: &[ScoredInsight],
+        interests: &[f64],
+        sequence: &[usize],
+        preview_rows: usize,
+    ) -> Notebook {
+        let entries = sequence
+            .iter()
+            .map(|&qi| {
+                let q = &queries[qi];
+                let result = execute(table, &q.spec);
+                let (c1, c2) = column_aliases(table, &q.spec);
+                let group_name =
+                    table.schema().attribute_name(q.spec.group_by).to_string();
+                let dict = table.dict(q.spec.group_by);
+                let preview: Vec<(String, f64, f64)> = result
+                    .group_codes
+                    .iter()
+                    .take(preview_rows)
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        (dict.decode(c).to_string(), result.left[i], result.right[i])
+                    })
+                    .collect();
+                NotebookEntry {
+                    spec: q.spec,
+                    sql: comparison_sql(table, &q.spec),
+                    insights: q
+                        .insight_ids
+                        .iter()
+                        .map(|&id| {
+                            let s = &insights[id];
+                            InsightNote {
+                                description: s.detail.insight.describe(table),
+                                significance: s.detail.significance(),
+                                credibility: s.credibility.supporting,
+                                possible: s.credibility.possible,
+                            }
+                        })
+                        .collect(),
+                    headers: (group_name, c1, c2),
+                    preview,
+                    interest: interests[qi],
+                }
+            })
+            .collect();
+        Notebook { title: title.into(), dataset: table.name().to_string(), entries }
+    }
+
+    /// Number of comparison queries in the notebook.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the notebook has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of the entries' interestingness.
+    pub fn total_interest(&self) -> f64 {
+        self.entries.iter().map(|e| e.interest).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_insight::generation::{generate_candidates, GenerationConfig, TestSource};
+    use cn_insight::significance::TestConfig;
+    use cn_interest::{interestingness, InterestParams};
+    use cn_tabular::{Schema, TableBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted() -> Table {
+        // Three categorical attributes: with only two, |Qⁱ| = 1 and the
+        // surprise term 1 − cred/|Qⁱ| zeroes every full-interest score.
+        let schema = Schema::new(vec!["region", "channel", "year"], vec!["sales"]).unwrap();
+        let mut b = TableBuilder::new("shop", schema);
+        let mut rng = StdRng::seed_from_u64(21);
+        for i in 0..200 {
+            let (r, base) = if i % 2 == 0 { ("south", 60.0) } else { ("north", 5.0) };
+            let c = ["web", "store", "phone"][i % 3];
+            let y = ["2021", "2022"][(i / 3) % 2];
+            // Slight channel effect so supports differ across groupers.
+            let bump = if c == "web" { 1.5 } else { 0.0 };
+            b.push_row(&[r, c, y], &[base + bump + rng.random::<f64>()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_produces_entries_with_sql_and_previews() {
+        let t = planted();
+        let cfg = GenerationConfig {
+            test: TestConfig { n_permutations: 99, seed: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let out = generate_candidates(&t, &TestSource::Full, &cfg);
+        assert!(!out.queries.is_empty());
+        // SigOnly: planted effects this uniform are supported by *every*
+        // grouper, so the full formula's surprise term is legitimately 0.
+        let params = InterestParams {
+            components: cn_interest::InterestComponents::SigOnly,
+            ..Default::default()
+        };
+        let interests: Vec<f64> =
+            out.queries.iter().map(|q| interestingness(q, &out.insights, &params)).collect();
+        let seq: Vec<usize> = (0..out.queries.len().min(3)).collect();
+        let nb = Notebook::build("Test", &t, &out.queries, &out.insights, &interests, &seq, 5);
+        assert_eq!(nb.len(), seq.len());
+        assert_eq!(nb.dataset, "shop");
+        for e in &nb.entries {
+            assert!(e.sql.contains("select"));
+            assert!(!e.insights.is_empty());
+            assert!(!e.preview.is_empty());
+            for note in &e.insights {
+                assert!(note.significance >= 0.95);
+                assert!(note.credibility <= note.possible);
+            }
+        }
+        assert!(nb.total_interest() > 0.0);
+    }
+
+    #[test]
+    fn empty_sequence_gives_empty_notebook() {
+        let t = planted();
+        let nb = Notebook::build("Empty", &t, &[], &[], &[], &[], 5);
+        assert!(nb.is_empty());
+        assert_eq!(nb.total_interest(), 0.0);
+    }
+}

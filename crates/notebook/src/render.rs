@@ -1,0 +1,231 @@
+//! Notebook renderers: Jupyter `.ipynb` (nbformat 4.5), Markdown, and a
+//! plain `.sql` script.
+//!
+//! The paper deployed its generated notebooks on Jupyter for the user
+//! study (Section 6.5); [`to_ipynb_json`] produces files Jupyter loads
+//! directly.
+
+use crate::model::{Notebook, NotebookEntry};
+use serde_json::{json, Value};
+
+fn entry_markdown(idx: usize, e: &NotebookEntry) -> String {
+    let mut md = format!("## Comparison {}\n\n", idx + 1);
+    for note in &e.insights {
+        md.push_str(&format!(
+            "- **Insight**: {} *(significance {:.3}, credibility {}/{})*\n",
+            note.description, note.significance, note.credibility, note.possible
+        ));
+    }
+    md
+}
+
+fn result_table_text(e: &NotebookEntry) -> String {
+    let (g, c1, c2) = &e.headers;
+    let mut out = format!("{g:<20} {c1:>15} {c2:>15}\n");
+    for (name, l, r) in &e.preview {
+        out.push_str(&format!("{name:<20} {l:>15.2} {r:>15.2}\n"));
+    }
+    out
+}
+
+/// Renders the notebook as an nbformat-4.5 Jupyter JSON document: a title
+/// cell, then per entry a Markdown cell (the insights) and a code cell (the
+/// SQL) whose output carries the pre-executed result preview.
+pub fn to_ipynb_json(notebook: &Notebook) -> Value {
+    let mut cells = vec![json!({
+        "cell_type": "markdown",
+        "id": "title",
+        "metadata": {},
+        "source": [format!(
+            "# {}\n\nAuto-generated comparison notebook over dataset `{}` ({} comparison queries).",
+            notebook.title, notebook.dataset, notebook.len()
+        )],
+    })];
+    for (i, e) in notebook.entries.iter().enumerate() {
+        cells.push(json!({
+            "cell_type": "markdown",
+            "id": format!("md-{i}"),
+            "metadata": {},
+            "source": [entry_markdown(i, e)],
+        }));
+        cells.push(json!({
+            "cell_type": "code",
+            "id": format!("sql-{i}"),
+            "metadata": {},
+            "execution_count": i + 1,
+            "source": [e.sql.clone()],
+            "outputs": [{
+                "output_type": "execute_result",
+                "execution_count": i + 1,
+                "metadata": {},
+                "data": {"text/plain": [result_table_text(e)]},
+            }],
+        }));
+    }
+    json!({
+        "nbformat": 4,
+        "nbformat_minor": 5,
+        "metadata": {
+            "kernelspec": {"display_name": "SQL", "language": "sql", "name": "sql"},
+            "language_info": {"name": "sql"},
+        },
+        "cells": cells,
+    })
+}
+
+/// Renders the notebook as Markdown (insight annotations, SQL blocks,
+/// result tables).
+pub fn to_markdown(notebook: &Notebook) -> String {
+    let mut out = format!(
+        "# {}\n\nDataset: `{}` — {} comparison queries.\n\n",
+        notebook.title,
+        notebook.dataset,
+        notebook.len()
+    );
+    for (i, e) in notebook.entries.iter().enumerate() {
+        out.push_str(&entry_markdown(i, e));
+        out.push_str("\n```sql\n");
+        out.push_str(&e.sql);
+        out.push_str("\n```\n\n");
+        let (g, c1, c2) = &e.headers;
+        out.push_str(&format!("| {g} | {c1} | {c2} |\n|---|---|---|\n"));
+        for (name, l, r) in &e.preview {
+            out.push_str(&format!("| {name} | {l:.2} | {r:.2} |\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes all four renderings (`<stem>.ipynb`, `<stem>.md`, `<stem>.sql`,
+/// `<stem>.html`) into `dir`, creating it if needed. Returns the written
+/// paths.
+pub fn write_all(
+    notebook: &Notebook,
+    dir: &std::path::Path,
+    stem: &str,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let ipynb_path = dir.join(format!("{stem}.ipynb"));
+    let md_path = dir.join(format!("{stem}.md"));
+    let sql_path = dir.join(format!("{stem}.sql"));
+    let html_path = dir.join(format!("{stem}.html"));
+    let json = serde_json::to_string_pretty(&to_ipynb_json(notebook))
+        .expect("notebook JSON serializes");
+    std::fs::write(&ipynb_path, json)?;
+    std::fs::write(&md_path, to_markdown(notebook))?;
+    std::fs::write(&sql_path, to_sql_script(notebook))?;
+    std::fs::write(&html_path, crate::html::to_html(notebook))?;
+    Ok(vec![ipynb_path, md_path, sql_path, html_path])
+}
+
+/// Renders the notebook as an executable `.sql` script with comment
+/// annotations.
+pub fn to_sql_script(notebook: &Notebook) -> String {
+    let mut out = format!("-- {}\n-- dataset: {}\n\n", notebook.title, notebook.dataset);
+    for (i, e) in notebook.entries.iter().enumerate() {
+        out.push_str(&format!("-- Comparison {}\n", i + 1));
+        for note in &e.insights {
+            out.push_str(&format!(
+                "--   insight: {} (sig {:.3})\n",
+                note.description, note.significance
+            ));
+        }
+        out.push_str(&e.sql);
+        out.push_str("\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InsightNote, NotebookEntry};
+    use cn_engine::{AggFn, ComparisonSpec};
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn sample() -> Notebook {
+        let entry = NotebookEntry {
+            spec: ComparisonSpec {
+                group_by: AttrId(0),
+                select_on: AttrId(1),
+                val: 0,
+                val2: 1,
+                measure: MeasureId(0),
+                agg: AggFn::Sum,
+            },
+            sql: "select 1;".to_string(),
+            insights: vec![InsightNote {
+                description: "cases higher in May".to_string(),
+                significance: 0.99,
+                credibility: 2,
+                possible: 3,
+            }],
+            headers: ("continent".to_string(), "April".to_string(), "May".to_string()),
+            preview: vec![("Africa".to_string(), 1.0, 2.0)],
+            interest: 0.5,
+        };
+        Notebook {
+            title: "Covid".to_string(),
+            dataset: "covid".to_string(),
+            entries: vec![entry],
+        }
+    }
+
+    #[test]
+    fn ipynb_is_valid_nbformat() {
+        let nb = sample();
+        let v = to_ipynb_json(&nb);
+        assert_eq!(v["nbformat"], 4);
+        assert_eq!(v["nbformat_minor"], 5);
+        let cells = v["cells"].as_array().unwrap();
+        // Title + (markdown + code) per entry.
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[2]["cell_type"], "code");
+        let src = cells[2]["source"][0].as_str().unwrap();
+        assert!(src.contains("select 1;"));
+        // Round-trips through serde_json.
+        let text = serde_json::to_string_pretty(&v).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["cells"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn markdown_contains_everything() {
+        let md = to_markdown(&sample());
+        assert!(md.contains("# Covid"));
+        assert!(md.contains("cases higher in May"));
+        assert!(md.contains("```sql"));
+        assert!(md.contains("| Africa | 1.00 | 2.00 |"));
+    }
+
+    #[test]
+    fn sql_script_is_commented() {
+        let sql = to_sql_script(&sample());
+        assert!(sql.starts_with("-- Covid"));
+        assert!(sql.contains("--   insight: cases higher in May"));
+        assert!(sql.contains("select 1;"));
+    }
+
+    #[test]
+    fn write_all_creates_four_files() {
+        let nb = sample();
+        let dir = std::env::temp_dir().join(format!("cn_nb_test_{}", std::process::id()));
+        let paths = write_all(&nb, &dir, "demo").unwrap();
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert!(p.exists(), "{p:?}");
+        }
+        let json = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_notebook_renders() {
+        let nb = Notebook { title: "E".into(), dataset: "d".into(), entries: vec![] };
+        assert_eq!(to_ipynb_json(&nb)["cells"].as_array().unwrap().len(), 1);
+        assert!(to_markdown(&nb).contains("0 comparison queries"));
+        assert!(to_sql_script(&nb).contains("-- E"));
+    }
+}

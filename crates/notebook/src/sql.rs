@@ -1,0 +1,224 @@
+//! SQL text generation for comparison and hypothesis queries.
+//!
+//! The join form mirrors Figure 2 of the paper:
+//!
+//! ```sql
+//! select t1.continent, April, May
+//! from
+//!   (select month, continent, sum(cases) as April
+//!    from covid where month = '4' group by month, continent) t1,
+//!   (select month, continent, sum(cases) as May
+//!    from covid where month = '5' group by month, continent) t2
+//! where t1.continent = t2.continent
+//! order by t1.continent;
+//! ```
+
+use cn_engine::ComparisonSpec;
+use cn_insight::types::Insight;
+use cn_tabular::Table;
+
+/// Turns an arbitrary categorical value into a safe SQL column alias:
+/// alphanumerics and `_` pass through, everything else becomes `_`, and a
+/// leading digit gets a `v` prefix (so month `'4'` aliases as `v4`, keeping
+/// the Figure 2 spirit of naming columns after the selected values).
+pub fn alias_for(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 1);
+    for c in value.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('v');
+    }
+    if out.chars().next().unwrap().is_ascii_digit() {
+        out.insert(0, 'v');
+    }
+    out
+}
+
+/// The two column aliases of a comparison query, disambiguated when the
+/// sanitized values collide.
+pub fn column_aliases(table: &Table, spec: &ComparisonSpec) -> (String, String) {
+    let dict = table.dict(spec.select_on);
+    let left = alias_for(dict.decode(spec.val));
+    let mut right = alias_for(dict.decode(spec.val2));
+    if right == left {
+        right.push_str("_2");
+    }
+    (left, right)
+}
+
+fn quote_str(v: &str) -> String {
+    format!("'{}'", v.replace('\'', "''"))
+}
+
+/// Renders the join form of a comparison query (Definition 3.1 /
+/// Figure 2).
+pub fn comparison_sql(table: &Table, spec: &ComparisonSpec) -> String {
+    let schema = table.schema();
+    let a = schema.attribute_name(spec.group_by);
+    let b = schema.attribute_name(spec.select_on);
+    let m = schema.measure_name(spec.measure);
+    let agg = spec.agg.sql_name();
+    let dict = table.dict(spec.select_on);
+    let v1 = quote_str(dict.decode(spec.val));
+    let v2 = quote_str(dict.decode(spec.val2));
+    let (c1, c2) = column_aliases(table, spec);
+    let rel = table.name();
+    format!(
+        "select t1.{a}, {c1}, {c2}\nfrom\n  (select {b}, {a}, {agg}({m}) as {c1}\n   from {rel} where {b} = {v1}\n   group by {b}, {a}) t1,\n  (select {b}, {a}, {agg}({m}) as {c2}\n   from {rel} where {b} = {v2}\n   group by {b}, {a}) t2\nwhere t1.{a} = t2.{a}\norder by t1.{a};"
+    )
+}
+
+/// Renders the join-free (pivot-requiring) form of Section 3.1:
+/// `γ_{A,B,agg(M)}(σ_{B=val ∨ B=val'}(R))`.
+pub fn comparison_sql_unpivoted(table: &Table, spec: &ComparisonSpec) -> String {
+    let schema = table.schema();
+    let a = schema.attribute_name(spec.group_by);
+    let b = schema.attribute_name(spec.select_on);
+    let m = schema.measure_name(spec.measure);
+    let agg = spec.agg.sql_name();
+    let dict = table.dict(spec.select_on);
+    let v1 = quote_str(dict.decode(spec.val));
+    let v2 = quote_str(dict.decode(spec.val2));
+    let rel = table.name();
+    format!(
+        "select {a}, {b}, {agg}({m})\nfrom {rel}\nwhere {b} = {v1} or {b} = {v2}\ngroup by {a}, {b}\norder by {a}, {b};"
+    )
+}
+
+/// Renders the hypothesis query postulating `insight` over the comparison
+/// query `spec` (Definition 3.7 / Figure 3).
+pub fn hypothesis_sql(table: &Table, spec: &ComparisonSpec, insight: &Insight) -> String {
+    let comparison = comparison_sql(table, spec);
+    let comparison = comparison.trim_end_matches(';');
+    let (c1, c2) = column_aliases(table, spec);
+    // The insight's greater side may be either column of the canonical spec.
+    let (greater, lesser) =
+        if insight.val == spec.val { (c1.clone(), c2.clone()) } else { (c2.clone(), c1.clone()) };
+    let having = insight.having_sql(table, &greater, &lesser);
+    let label = insight.kind.name();
+    format!(
+        "with comparison as (\n{comparison}\n)\nselect '{label}' as hypothesis from comparison\nhaving {having};"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_engine::AggFn;
+    use cn_insight::types::InsightType;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn covid() -> Table {
+        let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (cont, m, c) in [("Africa", "4", 1.0), ("Africa", "5", 2.0)] {
+            b.push_row(&[cont, m], &[c]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn spec(t: &Table) -> ComparisonSpec {
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        ComparisonSpec {
+            group_by: cont,
+            select_on: month,
+            val: t.dict(month).code("4").unwrap(),
+            val2: t.dict(month).code("5").unwrap(),
+            measure: t.schema().measure("cases").unwrap(),
+            agg: AggFn::Sum,
+        }
+    }
+
+    #[test]
+    fn figure_2_shape() {
+        let t = covid();
+        let sql = comparison_sql(&t, &spec(&t));
+        assert!(sql.contains("select t1.continent, v4, v5"));
+        assert!(sql.contains("sum(cases) as v4"));
+        assert!(sql.contains("from covid where month = '4'"));
+        assert!(sql.contains("where t1.continent = t2.continent"));
+        assert!(sql.trim_end().ends_with("order by t1.continent;"));
+    }
+
+    #[test]
+    fn unpivoted_shape() {
+        let t = covid();
+        let sql = comparison_sql_unpivoted(&t, &spec(&t));
+        assert!(sql.contains("where month = '4' or month = '5'"));
+        assert!(sql.contains("group by continent, month"));
+    }
+
+    #[test]
+    fn figure_3_hypothesis_shape() {
+        let t = covid();
+        let s = spec(&t);
+        let month = t.schema().attribute("month").unwrap();
+        let insight = Insight {
+            measure: t.schema().measure("cases").unwrap(),
+            select_on: month,
+            val: t.dict(month).code("5").unwrap(), // May greater
+            val2: t.dict(month).code("4").unwrap(),
+            kind: InsightType::MeanGreater,
+        };
+        let sql = hypothesis_sql(&t, &s, &insight);
+        assert!(sql.starts_with("with comparison as ("));
+        assert!(sql.contains("select 'mean greater' as hypothesis from comparison"));
+        // val (May = v5) is the greater side.
+        assert!(sql.contains("having avg(v5) > avg(v4);"));
+    }
+
+    #[test]
+    fn aliases_sanitize_hostile_values() {
+        assert_eq!(alias_for("April"), "April");
+        assert_eq!(alias_for("4"), "v4");
+        assert_eq!(alias_for("New York"), "New_York");
+        assert_eq!(alias_for("a-b'c"), "a_b_c");
+        assert_eq!(alias_for(""), "v");
+    }
+
+    #[test]
+    fn alias_collision_is_disambiguated() {
+        let schema = Schema::new(vec!["g", "b"], vec!["m"]).unwrap();
+        let mut builder = TableBuilder::new("t", schema);
+        builder.push_row(&["x", "a b"], &[1.0]).unwrap();
+        builder.push_row(&["x", "a-b"], &[2.0]).unwrap();
+        let t = builder.finish();
+        let b = t.schema().attribute("b").unwrap();
+        let s = ComparisonSpec {
+            group_by: t.schema().attribute("g").unwrap(),
+            select_on: b,
+            val: 0,
+            val2: 1,
+            measure: t.schema().measure("m").unwrap(),
+            agg: AggFn::Sum,
+        };
+        let (c1, c2) = column_aliases(&t, &s);
+        assert_eq!(c1, "a_b");
+        assert_eq!(c2, "a_b_2");
+    }
+
+    #[test]
+    fn values_with_quotes_are_escaped() {
+        let schema = Schema::new(vec!["g", "b"], vec!["m"]).unwrap();
+        let mut builder = TableBuilder::new("t", schema);
+        builder.push_row(&["x", "O'Hare"], &[1.0]).unwrap();
+        builder.push_row(&["x", "JFK"], &[2.0]).unwrap();
+        let t = builder.finish();
+        let s = ComparisonSpec {
+            group_by: t.schema().attribute("g").unwrap(),
+            select_on: t.schema().attribute("b").unwrap(),
+            val: 0,
+            val2: 1,
+            measure: t.schema().measure("m").unwrap(),
+            agg: AggFn::Avg,
+        };
+        let sql = comparison_sql(&t, &s);
+        assert!(sql.contains("b = 'O''Hare'"));
+    }
+}

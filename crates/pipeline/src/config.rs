@@ -1,0 +1,240 @@
+//! Generator configurations — the implementations of Table 3 and the
+//! user-study variants of Table 7.
+
+use cn_insight::generation::GenerationConfig;
+use cn_interest::{CostModel, DistanceWeights, InterestComponents, InterestParams};
+use cn_tap::{Budgets, ExactConfig};
+use std::time::Duration;
+
+/// How the set of comparison queries `Q` is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryGeneration {
+    /// Algorithm 1 + the Section 5.2.1 bounding: one 2-group-by cube per
+    /// needed attribute pair, built directly from the table.
+    NaiveBounded,
+    /// Algorithm 2: greedy weighted set cover over the group-by lattice,
+    /// roll-ups answering the pairs. `memory_budget_bytes` triggers the
+    /// pairwise fallback.
+    Wsc {
+        /// Per-candidate footprint budget (`None` = unbounded).
+        memory_budget_bytes: Option<f64>,
+    },
+}
+
+/// Offline sampling strategy for the statistical tests (Section 5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplingStrategy {
+    /// Test on the full dataset.
+    None,
+    /// *random-sampling*: one uniform sample shared by all attributes.
+    Random {
+        /// Sample fraction in `(0, 1]`.
+        fraction: f64,
+    },
+    /// *unbalanced-sampling*: one per-value-balanced sample per attribute.
+    Unbalanced {
+        /// Sample fraction in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// How the TAP is solved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapSolverChoice {
+    /// Exact branch-and-bound (the CPLEX role), with its timeout.
+    Exact(ExactConfig),
+    /// Algorithm 3.
+    Heuristic,
+}
+
+/// Full configuration of a notebook generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Query-set generation scheme.
+    pub generation: QueryGeneration,
+    /// Sampling strategy for the tests.
+    pub sampling: SamplingStrategy,
+    /// TAP solver.
+    pub solver: TapSolverChoice,
+    /// Interestingness parameters (components select the Table 7 variant).
+    pub interest: InterestParams,
+    /// Query-distance weights.
+    pub distance: DistanceWeights,
+    /// Query cost model.
+    pub cost: CostModel,
+    /// TAP budgets (`ε_t`, `ε_d`).
+    pub budgets: Budgets,
+    /// Insight generation settings (aggs, test config, credibility, FD
+    /// exclusions are filled in by the run when `detect_fds`).
+    pub generation_config: GenerationConfig,
+    /// Run FD detection and exclude meaningless pairs (Section 6.1).
+    pub detect_fds: bool,
+    /// Worker threads for the parallel phases.
+    pub n_threads: usize,
+    /// Root seed (sampling, permutation tests).
+    pub seed: u64,
+    /// Result rows embedded per notebook entry.
+    pub preview_rows: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            generation: QueryGeneration::Wsc { memory_budget_bytes: None },
+            sampling: SamplingStrategy::None,
+            solver: TapSolverChoice::Heuristic,
+            interest: InterestParams::default(),
+            distance: DistanceWeights::default(),
+            cost: CostModel::default(),
+            budgets: Budgets { epsilon_t: 10.0, epsilon_d: 12.0 },
+            generation_config: GenerationConfig::default(),
+            detect_fds: true,
+            n_threads: 4,
+            seed: 0,
+            preview_rows: 8,
+        }
+    }
+}
+
+/// The named generator variants of Tables 3 and 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeneratorKind {
+    /// Algorithm 1 + bounding, exact TAP (CPLEX role).
+    NaiveExact,
+    /// Algorithm 1 + bounding, Algorithm 3.
+    NaiveApprox,
+    /// Algorithm 2, Algorithm 3, no sampling.
+    WscApprox,
+    /// Algorithm 2 + unbalanced sampling.
+    WscUnbApprox,
+    /// Algorithm 2 + random sampling.
+    WscRandApprox,
+    /// `WSC-approx` scoring with significance only (Table 7).
+    WscApproxSig,
+    /// `WSC-approx` scoring with significance and credibility (Table 7).
+    WscApproxSigCred,
+}
+
+impl GeneratorKind {
+    /// All Table 3 implementations.
+    pub const TABLE3: [GeneratorKind; 5] = [
+        GeneratorKind::NaiveExact,
+        GeneratorKind::NaiveApprox,
+        GeneratorKind::WscApprox,
+        GeneratorKind::WscUnbApprox,
+        GeneratorKind::WscRandApprox,
+    ];
+
+    /// All Table 7 user-study generators.
+    pub const TABLE7: [GeneratorKind; 6] = [
+        GeneratorKind::NaiveExact,
+        GeneratorKind::WscApprox,
+        GeneratorKind::WscApproxSig,
+        GeneratorKind::WscApproxSigCred,
+        GeneratorKind::WscUnbApprox,
+        GeneratorKind::WscRandApprox,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            GeneratorKind::NaiveExact => "Naive-exact",
+            GeneratorKind::NaiveApprox => "Naive-approx",
+            GeneratorKind::WscApprox => "WSC-approx",
+            GeneratorKind::WscUnbApprox => "WSC-unb-approx",
+            GeneratorKind::WscRandApprox => "WSC-rand-approx",
+            GeneratorKind::WscApproxSig => "WSC-approx-sig",
+            GeneratorKind::WscApproxSigCred => "WSC-approx-sig-cred",
+        }
+    }
+
+    /// Builds the variant's configuration on top of shared settings.
+    ///
+    /// `sample_fraction` applies to the sampling variants (the paper tunes
+    /// it per dataset, Figures 6 and 9); `tap_timeout` bounds the exact
+    /// solver.
+    pub fn configure(
+        self,
+        base: GeneratorConfig,
+        sample_fraction: f64,
+        tap_timeout: Duration,
+    ) -> GeneratorConfig {
+        let mut cfg = base;
+        match self {
+            GeneratorKind::NaiveExact => {
+                cfg.generation = QueryGeneration::NaiveBounded;
+                cfg.sampling = SamplingStrategy::None;
+                cfg.solver = TapSolverChoice::Exact(ExactConfig {
+                    timeout: tap_timeout,
+                    ..Default::default()
+                });
+            }
+            GeneratorKind::NaiveApprox => {
+                cfg.generation = QueryGeneration::NaiveBounded;
+                cfg.sampling = SamplingStrategy::None;
+                cfg.solver = TapSolverChoice::Heuristic;
+            }
+            GeneratorKind::WscApprox => {
+                cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+                cfg.sampling = SamplingStrategy::None;
+                cfg.solver = TapSolverChoice::Heuristic;
+            }
+            GeneratorKind::WscUnbApprox => {
+                cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+                cfg.sampling = SamplingStrategy::Unbalanced { fraction: sample_fraction };
+                cfg.solver = TapSolverChoice::Heuristic;
+            }
+            GeneratorKind::WscRandApprox => {
+                cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+                cfg.sampling = SamplingStrategy::Random { fraction: sample_fraction };
+                cfg.solver = TapSolverChoice::Heuristic;
+            }
+            GeneratorKind::WscApproxSig => {
+                cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+                cfg.sampling = SamplingStrategy::None;
+                cfg.solver = TapSolverChoice::Heuristic;
+                cfg.interest =
+                    InterestParams { components: InterestComponents::SigOnly, ..cfg.interest };
+            }
+            GeneratorKind::WscApproxSigCred => {
+                cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+                cfg.sampling = SamplingStrategy::None;
+                cfg.solver = TapSolverChoice::Heuristic;
+                cfg.interest =
+                    InterestParams { components: InterestComponents::SigCred, ..cfg.interest };
+            }
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(GeneratorKind::NaiveExact.name(), "Naive-exact");
+        assert_eq!(GeneratorKind::WscUnbApprox.name(), "WSC-unb-approx");
+        assert_eq!(GeneratorKind::TABLE3.len(), 5);
+        assert_eq!(GeneratorKind::TABLE7.len(), 6);
+    }
+
+    #[test]
+    fn configure_sets_the_right_knobs() {
+        let base = GeneratorConfig::default();
+        let t = Duration::from_secs(5);
+        let exact = GeneratorKind::NaiveExact.configure(base.clone(), 0.2, t);
+        assert!(matches!(exact.solver, TapSolverChoice::Exact(c) if c.timeout == t));
+        assert!(matches!(exact.generation, QueryGeneration::NaiveBounded));
+
+        let unb = GeneratorKind::WscUnbApprox.configure(base.clone(), 0.2, t);
+        assert!(matches!(unb.sampling, SamplingStrategy::Unbalanced { fraction } if fraction == 0.2));
+
+        let sig = GeneratorKind::WscApproxSig.configure(base.clone(), 0.2, t);
+        assert_eq!(sig.interest.components, InterestComponents::SigOnly);
+
+        let sig_cred = GeneratorKind::WscApproxSigCred.configure(base, 0.2, t);
+        assert_eq!(sig_cred.interest.components, InterestComponents::SigCred);
+    }
+}

@@ -1,0 +1,166 @@
+//! The interestingness-based deduplication of Algorithm 1 (lines 14–17).
+//!
+//! "If we consider the set of insights of any type over R, for measure M,
+//! attribute B and values val, val', the set of comparison queries of the
+//! form (A, B, val, val', M, agg) supporting such insights only differ in
+//! the grouping attribute A … only the most interesting query from this
+//! set should be kept, since all the other queries would evidence the same
+//! insights."
+
+use cn_insight::generation::CandidateQuery;
+use std::collections::HashMap;
+
+/// Keeps, for every `(B, val, val', M, agg)` group, only the candidate
+/// with maximal interest over the grouping attribute `A`. Returns the
+/// surviving `(query, interest)` pairs in first-appearance order of their
+/// groups; ties keep the earliest candidate.
+pub fn dedup_by_grouping(
+    queries: Vec<CandidateQuery>,
+    interests: Vec<f64>,
+) -> (Vec<CandidateQuery>, Vec<f64>) {
+    assert_eq!(queries.len(), interests.len());
+    let mut best: HashMap<(u16, u32, u32, u16, cn_engine::AggFn), usize> = HashMap::new();
+    let mut group_order: Vec<(u16, u32, u32, u16, cn_engine::AggFn)> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let key =
+            (q.spec.select_on.0, q.spec.val, q.spec.val2, q.spec.measure.0, q.spec.agg);
+        match best.get(&key) {
+            Some(&j) => {
+                if interests[i] > interests[j] {
+                    best.insert(key, i);
+                }
+            }
+            None => {
+                best.insert(key, i);
+                group_order.push(key);
+            }
+        }
+    }
+    let mut out_q = Vec::with_capacity(group_order.len());
+    let mut out_i = Vec::with_capacity(group_order.len());
+    for key in group_order {
+        let idx = best[&key];
+        out_q.push(queries[idx].clone());
+        out_i.push(interests[idx]);
+    }
+    (out_q, out_i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_engine::{AggFn, ComparisonSpec};
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn q(a: u16, b: u16, val: u32, agg: AggFn) -> CandidateQuery {
+        CandidateQuery {
+            spec: ComparisonSpec {
+                group_by: AttrId(a),
+                select_on: AttrId(b),
+                val,
+                val2: val + 1,
+                measure: MeasureId(0),
+                agg,
+            },
+            insight_ids: vec![0],
+            theta: 10,
+            gamma: 2,
+        }
+    }
+
+    #[test]
+    fn keeps_argmax_per_group() {
+        let queries = vec![q(0, 2, 0, AggFn::Sum), q(1, 2, 0, AggFn::Sum), q(3, 2, 0, AggFn::Sum)];
+        let interests = vec![0.5, 0.9, 0.7];
+        let (kept, ints) = dedup_by_grouping(queries, interests);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].spec.group_by, AttrId(1));
+        assert_eq!(ints, vec![0.9]);
+    }
+
+    #[test]
+    fn different_aggs_and_values_are_distinct_groups() {
+        let queries = vec![
+            q(0, 2, 0, AggFn::Sum),
+            q(1, 2, 0, AggFn::Avg),
+            q(0, 2, 5, AggFn::Sum),
+        ];
+        let interests = vec![0.1, 0.2, 0.3];
+        let (kept, _) = dedup_by_grouping(queries, interests);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn ties_keep_the_first() {
+        let queries = vec![q(0, 2, 0, AggFn::Sum), q(1, 2, 0, AggFn::Sum)];
+        let interests = vec![0.5, 0.5];
+        let (kept, _) = dedup_by_grouping(queries, interests);
+        assert_eq!(kept[0].spec.group_by, AttrId(0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (kept, ints) = dedup_by_grouping(vec![], vec![]);
+        assert!(kept.is_empty() && ints.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cn_engine::{AggFn, ComparisonSpec};
+    use cn_tabular::{AttrId, MeasureId};
+    use proptest::prelude::*;
+
+    fn arb_query() -> impl Strategy<Value = CandidateQuery> {
+        (0u16..4, 0u16..4, 0u32..3, 0usize..2).prop_map(|(a, b, v, agg)| CandidateQuery {
+            spec: ComparisonSpec {
+                group_by: AttrId(a),
+                select_on: AttrId(b),
+                val: v,
+                val2: v + 1,
+                measure: MeasureId(0),
+                agg: [AggFn::Sum, AggFn::Avg][agg],
+            },
+            insight_ids: vec![0],
+            theta: 10,
+            gamma: 2,
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn dedup_keeps_one_best_per_group(
+            queries in proptest::collection::vec(arb_query(), 0..40),
+            seeds in proptest::collection::vec(0.0f64..1.0, 0..40),
+        ) {
+            let n = queries.len().min(seeds.len());
+            let queries: Vec<_> = queries[..n].to_vec();
+            let interests: Vec<f64> = seeds[..n].to_vec();
+            let (kept, kept_interests) = dedup_by_grouping(queries.clone(), interests.clone());
+            prop_assert_eq!(kept.len(), kept_interests.len());
+            // One survivor per (B, val, val', M, agg) group…
+            let mut groups = std::collections::HashSet::new();
+            for q in &kept {
+                let key = (q.spec.select_on, q.spec.val, q.spec.val2, q.spec.measure, q.spec.agg);
+                prop_assert!(groups.insert(key), "duplicate group survived");
+            }
+            // …and it carries the group's maximal interest.
+            for (q, &i) in kept.iter().zip(kept_interests.iter()) {
+                let max = queries
+                    .iter()
+                    .zip(interests.iter())
+                    .filter(|(o, _)| {
+                        o.spec.select_on == q.spec.select_on
+                            && o.spec.val == q.spec.val
+                            && o.spec.val2 == q.spec.val2
+                            && o.spec.measure == q.spec.measure
+                            && o.spec.agg == q.spec.agg
+                    })
+                    .map(|(_, &v)| v)
+                    .fold(f64::MIN, f64::max);
+                prop_assert!((i - max).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # cn-pipeline
+//!
+//! End-to-end comparison-notebook generation: the implementations of
+//! Table 3 (scalability study) and Table 7 (user study), assembled from
+//! the substrate crates.
+//!
+//! A run goes through the phases of Figure 1: FD pre-processing → optional
+//! sampling → statistical tests (shared permutations + BH) → hypothesis
+//! query evaluation from in-memory aggregates (naive-bounded or the
+//! Algorithm 2 set-cover plan) → interestingness + per-grouping dedup
+//! (Algorithm 1 lines 14–17) → TAP resolution (exact or Algorithm 3) →
+//! notebook construction. Each phase is timed for the Figure 7 breakdown,
+//! and the two heavy phases parallelize over a crossbeam worker pool with
+//! an explicit thread count (Figure 8).
+
+pub mod config;
+pub mod dedup;
+pub mod parallel;
+pub mod phases;
+pub mod run;
+pub mod session;
+pub mod tap_adapter;
+
+pub use config::{GeneratorConfig, GeneratorKind, QueryGeneration, SamplingStrategy, TapSolverChoice};
+pub use phases::PhaseTimings;
+pub use run::{run, RunResult};
+pub use session::{continue_notebook, suggest_continuations, Suggestion};

@@ -1,0 +1,91 @@
+//! A small scoped worker pool with an explicit thread count.
+//!
+//! Figure 8 sweeps the generation stage from 1 to 48 threads, which needs
+//! per-run thread control — hence a tiny crossbeam-scoped pool rather than
+//! a global work-stealing runtime. Work items are pulled from an atomic
+//! cursor, so uneven item costs (small vs. huge attribute pairs) balance
+//! naturally.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, using `n_threads` workers, preserving input
+/// order in the output. With `n_threads <= 1` the call is plain
+/// sequential (no thread overhead, exact single-thread baseline for the
+/// speedup curve).
+pub fn parallel_map<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if n_threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let workers = n_threads.min(items.len());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                collected.lock().extend(local);
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut pairs = collected.into_inner();
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        let expect: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        let par = parallel_map(&items, 7, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicU32::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let _ = parallel_map(&items, 16, |_| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-phase wall-clock accounting (the Figure 7 runtime breakdown).
+
+use std::time::Duration;
+
+/// Wall-clock time of each pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// FD detection pre-processing.
+    pub fd_detection: Duration,
+    /// Offline sampling (zero for non-sampling variants).
+    pub sampling: Duration,
+    /// Statistical tests (permutation + BH) — the dominant phase.
+    pub stat_tests: Duration,
+    /// Algorithm 2 planning (zero for the naive variants).
+    pub set_cover: Duration,
+    /// Cube materialization + hypothesis-query evaluation.
+    pub hypothesis_eval: Duration,
+    /// Interestingness scoring and the Algorithm-1 dedup.
+    pub interest: Duration,
+    /// TAP resolution.
+    pub tap: Duration,
+    /// Notebook construction (query re-execution for previews).
+    pub notebook: Duration,
+}
+
+impl PhaseTimings {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.fd_detection
+            + self.sampling
+            + self.stat_tests
+            + self.set_cover
+            + self.hypothesis_eval
+            + self.interest
+            + self.tap
+            + self.notebook
+    }
+
+    /// Time spent generating the query set `Q` (everything but TAP and
+    /// notebook rendering) — the quantity Figures 7–9 break down.
+    pub fn generation(&self) -> Duration {
+        self.total() - self.tap - self.notebook
+    }
+
+    /// `(label, seconds)` rows for CSV emission.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("fd_detection", self.fd_detection.as_secs_f64()),
+            ("sampling", self.sampling.as_secs_f64()),
+            ("stat_tests", self.stat_tests.as_secs_f64()),
+            ("set_cover", self.set_cover.as_secs_f64()),
+            ("hypothesis_eval", self.hypothesis_eval.as_secs_f64()),
+            ("interest", self.interest.as_secs_f64()),
+            ("tap", self.tap.as_secs_f64()),
+            ("notebook", self.notebook.as_secs_f64()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = PhaseTimings {
+            stat_tests: Duration::from_millis(300),
+            tap: Duration::from_millis(50),
+            hypothesis_eval: Duration::from_millis(100),
+            ..Default::default()
+        };
+        assert_eq!(t.total(), Duration::from_millis(450));
+        assert_eq!(t.generation(), Duration::from_millis(400));
+        assert_eq!(t.rows().len(), 8);
+    }
+}

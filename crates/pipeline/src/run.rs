@@ -1,0 +1,528 @@
+//! The end-to-end notebook generation run (Figure 1).
+
+use crate::config::{GeneratorConfig, QueryGeneration, SamplingStrategy, TapSolverChoice};
+use crate::dedup::dedup_by_grouping;
+use crate::parallel::parallel_map;
+use crate::phases::PhaseTimings;
+use crate::tap_adapter::QueryTap;
+use cn_engine::Cube;
+use cn_insight::generation::{
+    assemble_output, eligible_groupers, evaluate_site_with, group_sites, CandidateQuery,
+    GenerationOutput, ScoredInsight, Site, SiteEval,
+};
+use cn_insight::significance::{finalize_family, AttributeTester, RawTest, SignificantInsight};
+use cn_insight::transitivity::prune_deducible;
+use cn_insight::types::InsightType;
+use cn_interest::interestingness;
+use cn_notebook::Notebook;
+use cn_stats::rng::derive_seed;
+use cn_tabular::sampling::{random_sample, unbalanced_sample};
+use cn_tabular::{AttrId, Table};
+use cn_tap::problem::Solution;
+use cn_tap::{solve_exact, solve_heuristic};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Everything a generation run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The generated comparison notebook.
+    pub notebook: Notebook,
+    /// The TAP solution over the deduplicated candidate queries.
+    pub solution: Solution,
+    /// Retained insights with credibility.
+    pub insights: Vec<ScoredInsight>,
+    /// Deduplicated candidate queries (the TAP's `Q`).
+    pub queries: Vec<CandidateQuery>,
+    /// Interestingness per query, parallel to `queries`.
+    pub interests: Vec<f64>,
+    /// Per-phase wall-clock breakdown.
+    pub timings: PhaseTimings,
+    /// Statistical tests performed.
+    pub n_tested: usize,
+    /// Significant insights (before support filtering).
+    pub n_significant: usize,
+    /// Candidate queries before the Algorithm-1 dedup.
+    pub n_queries_before_dedup: usize,
+    /// True when the exact TAP solver hit its timeout.
+    pub tap_timed_out: bool,
+}
+
+impl RunResult {
+    /// Canonical keys of the retained insights, for cross-run comparisons
+    /// (the "% of insights detected" of Figures 6 and 9).
+    pub fn insight_keys(&self) -> HashSet<(u16, u32, u32, u16, InsightType)> {
+        self.insights
+            .iter()
+            .map(|s| {
+                let i = s.detail.insight;
+                (i.select_on.0, i.val, i.val2, i.measure.0, i.kind)
+            })
+            .collect()
+    }
+}
+
+/// Runs a full generation pipeline on `table`.
+pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
+    let mut timings = PhaseTimings::default();
+    let mut gen_cfg = config.generation_config.clone();
+
+    // Phase 0: FD pre-processing (Section 6.1).
+    let t0 = Instant::now();
+    if config.detect_fds {
+        let fds = cn_tabular::fd::detect_fds(table);
+        for pair in cn_tabular::fd::meaningless_pairs(&fds) {
+            if !gen_cfg.excluded_pairs.contains(&pair) {
+                gen_cfg.excluded_pairs.push(pair);
+            }
+        }
+    }
+    timings.fd_detection = t0.elapsed();
+
+    // Phase 1: offline sampling (Section 5.1.2).
+    let t0 = Instant::now();
+    let sample_seed = derive_seed(config.seed, &[1]);
+    let test_tables: TestTables = match config.sampling {
+        SamplingStrategy::None => TestTables::Full,
+        SamplingStrategy::Random { fraction } => {
+            TestTables::Shared(random_sample(table, fraction, sample_seed))
+        }
+        SamplingStrategy::Unbalanced { fraction } => TestTables::PerAttribute(
+            table
+                .schema()
+                .attribute_ids()
+                .map(|a| {
+                    unbalanced_sample(table, a, fraction, derive_seed(sample_seed, &[a.0 as u64]))
+                })
+                .collect(),
+        ),
+    };
+    timings.sampling = t0.elapsed();
+
+    // Phase 2: statistical tests, parallel over (attribute, value pair).
+    let t0 = Instant::now();
+    let (significant, n_tested) =
+        run_tests_parallel(table, &test_tables, &gen_cfg, config.n_threads);
+    let significant =
+        if gen_cfg.prune_transitive { prune_deducible(significant) } else { significant };
+    let n_significant = significant.len();
+    timings.stat_tests = t0.elapsed();
+
+    // Phase 3: group-by planning + cube materialization + hypothesis-query
+    // evaluation.
+    let sites = group_sites(&significant);
+    let needed_pairs = collect_needed_pairs(table, &sites, &gen_cfg.excluded_pairs);
+
+    let t0 = Instant::now();
+    let pair_cubes = match config.generation {
+        QueryGeneration::NaiveBounded => {
+            timings.set_cover = std::time::Duration::ZERO;
+            build_pair_cubes_naive(table, &needed_pairs, config.n_threads)
+        }
+        QueryGeneration::Wsc { memory_budget_bytes } => {
+            let tsc = Instant::now();
+            let attrs: Vec<AttrId> = table.schema().attribute_ids().collect();
+            let plan = if attrs.len() >= 2 {
+                Some(cn_setcover::plan_group_by_sets(table, &attrs, memory_budget_bytes))
+            } else {
+                None
+            };
+            timings.set_cover = tsc.elapsed();
+            build_pair_cubes_wsc(table, &needed_pairs, plan.as_ref(), config.n_threads)
+        }
+    };
+    let evals: Vec<SiteEval> = parallel_map(&sites, config.n_threads, |site| {
+        let eligible = eligible_groupers(table, site.select_on, &gen_cfg.excluded_pairs);
+        evaluate_site_with(
+            site,
+            &significant,
+            &eligible,
+            &gen_cfg.aggs,
+            &gen_cfg.credibility,
+            |spec| {
+                pair_cubes[&(spec.group_by.0, spec.select_on.0)].comparison(table, spec)
+            },
+        )
+    });
+    let output: GenerationOutput =
+        assemble_output(&significant, &sites, evals, n_tested, n_significant);
+    timings.hypothesis_eval = t0.elapsed();
+
+    // Phase 4: interestingness + Algorithm 1 dedup. Zero-interest queries
+    // are kept: Algorithm 3 (and the exact model) admit any query within
+    // the budgets regardless of its score, exactly as in the paper.
+    let t0 = Instant::now();
+    let interests: Vec<f64> = output
+        .queries
+        .iter()
+        .map(|q| interestingness(q, &output.insights, &config.interest))
+        .collect();
+    let n_queries_before_dedup = output.queries.len();
+    let (queries, interests) = dedup_by_grouping(output.queries, interests);
+    timings.interest = t0.elapsed();
+
+    // Phase 5: TAP resolution.
+    let t0 = Instant::now();
+    let tap = QueryTap::new(&queries, &interests, &config.cost, config.distance);
+    let (solution, tap_timed_out) = match &config.solver {
+        TapSolverChoice::Heuristic => (solve_heuristic(&tap, &config.budgets), false),
+        TapSolverChoice::Exact(exact_cfg) => {
+            let r = solve_exact(&tap, &config.budgets, exact_cfg);
+            (r.solution, r.timed_out)
+        }
+    };
+    timings.tap = t0.elapsed();
+
+    // Phase 6: notebook construction.
+    let t0 = Instant::now();
+    let notebook = Notebook::build(
+        format!("Comparison notebook for {}", table.name()),
+        table,
+        &queries,
+        &output.insights,
+        &interests,
+        &solution.sequence,
+        config.preview_rows,
+    );
+    timings.notebook = t0.elapsed();
+
+    RunResult {
+        notebook,
+        solution,
+        insights: output.insights,
+        queries,
+        interests,
+        timings,
+        n_tested,
+        n_significant,
+        n_queries_before_dedup,
+        tap_timed_out,
+    }
+}
+
+enum TestTables {
+    Full,
+    Shared(Table),
+    PerAttribute(Vec<Table>),
+}
+
+/// Parallel statistical testing: one task per (attribute, value pair),
+/// with BH finalization per attribute family. Identical results to the
+/// sequential path because permutation seeds derive from the task identity.
+fn run_tests_parallel(
+    table: &Table,
+    test_tables: &TestTables,
+    gen_cfg: &cn_insight::generation::GenerationConfig,
+    n_threads: usize,
+) -> (Vec<SignificantInsight>, usize) {
+    let attrs: Vec<AttrId> = table.schema().attribute_ids().collect();
+    let testers: Vec<AttributeTester> = attrs
+        .iter()
+        .map(|&a| {
+            let source: &Table = match test_tables {
+                TestTables::Full => table,
+                TestTables::Shared(s) => s,
+                TestTables::PerAttribute(v) => &v[a.index()],
+            };
+            AttributeTester::new(source, a)
+        })
+        .collect();
+    let tasks: Vec<(usize, u32, u32)> = testers
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, t)| t.pairs().into_iter().map(move |(c1, c2)| (ai, c1, c2)))
+        .collect();
+    let raw_per_task: Vec<Vec<RawTest>> = parallel_map(&tasks, n_threads, |&(ai, c1, c2)| {
+        testers[ai].test_pair(c1, c2, &gen_cfg.test)
+    });
+    let mut n_tested = 0usize;
+    let mut families: Vec<Vec<RawTest>> = vec![Vec::new(); attrs.len()];
+    for ((ai, _, _), raws) in tasks.into_iter().zip(raw_per_task) {
+        n_tested += raws.len();
+        families[ai].extend(raws);
+    }
+    let mut significant = Vec::new();
+    for family in &families {
+        significant.extend(finalize_family(family, &gen_cfg.test));
+    }
+    (significant, n_tested)
+}
+
+/// Ordered `(A, B)` pairs that hypothesis-query evaluation will touch.
+fn collect_needed_pairs(
+    table: &Table,
+    sites: &[Site],
+    excluded: &[(AttrId, AttrId)],
+) -> Vec<(AttrId, AttrId)> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for site in sites {
+        for a in eligible_groupers(table, site.select_on, excluded) {
+            if seen.insert((a, site.select_on)) {
+                out.push((a, site.select_on));
+            }
+        }
+    }
+    out
+}
+
+/// Naive-bounded plan: one cube scan per *unordered* needed pair
+/// (`n(n−1)/2` scans at most, Section 5.2.1), rolled up into the ordered
+/// orientations required.
+fn build_pair_cubes_naive(
+    table: &Table,
+    needed: &[(AttrId, AttrId)],
+    n_threads: usize,
+) -> HashMap<(u16, u16), Cube> {
+    let mut by_unordered: HashMap<(AttrId, AttrId), Vec<(AttrId, AttrId)>> = HashMap::new();
+    for &(a, b) in needed {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        by_unordered.entry(key).or_default().push((a, b));
+    }
+    type PairGroup = ((AttrId, AttrId), Vec<(AttrId, AttrId)>);
+    let groups: Vec<PairGroup> = by_unordered.into_iter().collect();
+    let built: Vec<Vec<((u16, u16), Cube)>> =
+        parallel_map(&groups, n_threads, |(unordered, orientations)| {
+            let base = Cube::build(table, &[unordered.0, unordered.1]);
+            orientations
+                .iter()
+                .map(|&(a, b)| {
+                    let cube = if base.attrs() == [a, b] {
+                        base.clone()
+                    } else {
+                        base.rollup(&[a, b])
+                    };
+                    ((a.0, b.0), cube)
+                })
+                .collect()
+        });
+    built.into_iter().flatten().collect()
+}
+
+/// Algorithm 2 plan: materialize the set-cover's group-by sets (in
+/// parallel), then roll each needed pair up from its covering cube.
+fn build_pair_cubes_wsc(
+    table: &Table,
+    needed: &[(AttrId, AttrId)],
+    plan: Option<&cn_setcover::GroupByPlan>,
+    n_threads: usize,
+) -> HashMap<(u16, u16), Cube> {
+    let Some(plan) = plan else {
+        return build_pair_cubes_naive(table, needed, n_threads);
+    };
+    // Which plan sets do we actually need?
+    let mut set_for_pair: HashMap<(AttrId, AttrId), usize> = HashMap::new();
+    let mut needed_sets: Vec<usize> = Vec::new();
+    for &(a, b) in needed {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let idx = plan
+            .pair_cover
+            .iter()
+            .find(|(p, _)| *p == key)
+            .map(|&(_, i)| i)
+            .expect("plan covers every pair");
+        if !set_for_pair.values().any(|&v| v == idx) && !needed_sets.contains(&idx) {
+            needed_sets.push(idx);
+        }
+        set_for_pair.insert((a, b), idx);
+    }
+    let materialized: Vec<(usize, Cube)> = parallel_map(&needed_sets, n_threads, |&idx| {
+        (idx, Cube::build(table, &plan.group_by_sets[idx]))
+    });
+    let cube_by_set: HashMap<usize, Cube> = materialized.into_iter().collect();
+    let pairs: Vec<((AttrId, AttrId), usize)> = set_for_pair.into_iter().collect();
+    let rolled: Vec<((u16, u16), Cube)> = parallel_map(&pairs, n_threads, |&((a, b), idx)| {
+        let base = &cube_by_set[&idx];
+        let cube =
+            if base.attrs() == [a, b] { base.clone() } else { base.rollup(&[a, b]) };
+        ((a.0, b.0), cube)
+    });
+    rolled.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GeneratorKind, SamplingStrategy};
+    use cn_insight::significance::TestConfig;
+    use std::time::Duration;
+
+    fn test_table() -> Table {
+        cn_datagen_stub::planted_table()
+    }
+
+    /// Local mini-generator to avoid a dependency on cn-datagen (which
+    /// would be circular in the workspace layering used by benches).
+    mod cn_datagen_stub {
+        use cn_tabular::{Schema, Table, TableBuilder};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        pub fn planted_table() -> Table {
+            let schema =
+                Schema::new(vec!["region", "channel", "year"], vec!["sales", "units"]).unwrap();
+            let mut b = TableBuilder::new("shop", schema);
+            let mut rng = StdRng::seed_from_u64(77);
+            for i in 0..600 {
+                let r = ["south", "north", "west"][i % 3];
+                // South is 90% web; its store slice is *negative*. The
+                // tuple-level marginal keeps "south mean greater than
+                // north" significant, but the unweighted channel series
+                // (25 − 14)/2 = 5.5 < 10 rejects it — a Simpson-style flip
+                // that makes credibility partial (supported when grouped by
+                // year, rejected when grouped by channel), keeping the
+                // surprise term of the full interest formula non-zero.
+                let c = if r == "south" {
+                    if i % 30 == 0 { "store" } else { "web" }
+                } else {
+                    ["web", "store"][(i / 3) % 2]
+                };
+                let y = ["2020", "2021", "2022"][(i / 6) % 3];
+                let noise: f64 = rng.random::<f64>() * 4.0;
+                let base = match (r, c) {
+                    ("south", "web") => 25.0,
+                    ("south", "store") => -14.0,
+                    ("north", _) => 10.0,
+                    _ => 10.5,
+                };
+                let units = if c == "web" { 30.0 } else { 5.0 }
+                    + if y == "2021" { 9.0 } else { 0.0 }
+                    + rng.random::<f64>();
+                b.push_row(&[r, c, y], &[base + noise, units]).unwrap();
+            }
+            b.finish()
+        }
+    }
+
+    fn base_config() -> GeneratorConfig {
+        GeneratorConfig {
+            generation_config: cn_insight::generation::GenerationConfig {
+                test: TestConfig { n_permutations: 199, seed: 5, ..Default::default() },
+                ..Default::default()
+            },
+            n_threads: 2,
+            budgets: cn_tap::Budgets { epsilon_t: 5.0, epsilon_d: 30.0 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_run_produces_a_notebook() {
+        let t = test_table();
+        let result = run(&t, &base_config());
+        assert!(result.n_tested > 0);
+        assert!(result.n_significant > 0, "planted effects must be significant");
+        assert!(!result.queries.is_empty());
+        // The Simpson-flipped south insight must be partially credible.
+        assert!(
+            result
+                .insights
+                .iter()
+                .any(|s| s.credibility.supporting < s.credibility.possible),
+            "credibility spread expected"
+        );
+        assert!(!result.notebook.is_empty());
+        assert!(result.notebook.len() <= 5);
+        assert!(result.solution.total_distance <= 30.0 + 1e-9);
+        assert!(!result.tap_timed_out);
+        assert!(result.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn naive_and_wsc_generate_identical_query_sets() {
+        let t = test_table();
+        let mut naive_cfg = base_config();
+        naive_cfg.generation = QueryGeneration::NaiveBounded;
+        let mut wsc_cfg = base_config();
+        wsc_cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+        let a = run(&t, &naive_cfg);
+        let b = run(&t, &wsc_cfg);
+        // Same tests, same seeds → same insights and same queries.
+        assert_eq!(a.insight_keys(), b.insight_keys());
+        assert_eq!(a.queries.len(), b.queries.len());
+        let specs_a: HashSet<_> = a.queries.iter().map(|q| q.spec).collect();
+        let specs_b: HashSet<_> = b.queries.iter().map(|q| q.spec).collect();
+        assert_eq!(specs_a, specs_b);
+        for (qa, ia) in a.queries.iter().zip(a.interests.iter()) {
+            let j = b.queries.iter().position(|qb| qb.spec == qa.spec).unwrap();
+            assert!((ia - b.interests[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let t = test_table();
+        let mut c1 = base_config();
+        c1.n_threads = 1;
+        let mut c8 = base_config();
+        c8.n_threads = 8;
+        let a = run(&t, &c1);
+        let b = run(&t, &c8);
+        assert_eq!(a.insight_keys(), b.insight_keys());
+        assert_eq!(a.solution.sequence.len(), b.solution.sequence.len());
+        assert!((a.solution.total_interest - b.solution.total_interest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_variants_run_and_find_the_big_effect() {
+        let t = test_table();
+        let full = run(&t, &base_config());
+        for sampling in [
+            SamplingStrategy::Random { fraction: 0.5 },
+            SamplingStrategy::Unbalanced { fraction: 0.5 },
+        ] {
+            let mut cfg = base_config();
+            cfg.sampling = sampling;
+            let r = run(&t, &cfg);
+            let found = r.insight_keys();
+            let reference = full.insight_keys();
+            let overlap = found.intersection(&reference).count();
+            assert!(
+                overlap as f64 >= 0.4 * reference.len() as f64,
+                "{sampling:?} found {overlap}/{}",
+                reference.len()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_solver_variant_completes_on_small_q() {
+        let t = test_table();
+        let cfg = GeneratorKind::NaiveExact.configure(
+            base_config(),
+            0.2,
+            Duration::from_secs(20),
+        );
+        let r = run(&t, &cfg);
+        assert!(!r.notebook.is_empty());
+        // Exact never does worse than the heuristic on the same Q.
+        let heuristic = run(&t, &base_config());
+        if !r.tap_timed_out {
+            assert!(
+                r.solution.total_interest >= heuristic.solution.total_interest - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_bound_the_notebook_size() {
+        let t = test_table();
+        let mut cfg = base_config();
+        cfg.budgets = cn_tap::Budgets { epsilon_t: 2.0, epsilon_d: 30.0 };
+        let r = run(&t, &cfg);
+        assert!(r.notebook.len() <= 2);
+    }
+
+    #[test]
+    fn table7_variants_differ_in_scoring() {
+        let t = test_table();
+        let base = base_config();
+        let sig = GeneratorKind::WscApproxSig.configure(base.clone(), 0.2, Duration::from_secs(1));
+        let r_sig = run(&t, &sig);
+        let r_full = run(&t, &base);
+        // SigOnly keeps fully-credible insights' queries (surprise term
+        // removed), so it retains at least as many positive-interest
+        // queries.
+        assert!(r_sig.queries.len() >= r_full.queries.len());
+    }
+}

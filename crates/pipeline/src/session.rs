@@ -1,0 +1,150 @@
+//! Interactive continuation of a generated notebook.
+//!
+//! The paper frames notebooks as "starting points of the exploration of a
+//! potentially unknown dataset" (Section 6.5). This module is the
+//! follow-up step: given a generated notebook and an entry the analyst
+//! found interesting, propose the next comparison queries — close to the
+//! anchor in the Section 4.2 distance, interesting, and not already shown.
+
+use crate::run::RunResult;
+use cn_interest::{distance, DistanceWeights};
+use cn_notebook::Notebook;
+use cn_tabular::Table;
+
+/// A continuation suggestion.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// Index into [`RunResult::queries`].
+    pub query: usize,
+    /// Distance to the anchor entry.
+    pub distance: f64,
+    /// The query's interestingness.
+    pub interest: f64,
+    /// Ranking score (`interest / (1 + distance)` — interest per unit of
+    /// cognitive effort from where the analyst already is).
+    pub score: f64,
+}
+
+/// Ranks the queries not already in the notebook by proximity-weighted
+/// interest around `anchor_entry` (an index into the notebook's entries).
+///
+/// Returns up to `k` suggestions, best first.
+///
+/// # Panics
+/// Panics if `anchor_entry` is out of range.
+pub fn suggest_continuations(
+    run: &RunResult,
+    anchor_entry: usize,
+    k: usize,
+    weights: &DistanceWeights,
+) -> Vec<Suggestion> {
+    let anchor_query = run.solution.sequence[anchor_entry];
+    let shown: std::collections::HashSet<usize> =
+        run.solution.sequence.iter().copied().collect();
+    let anchor_spec = run.queries[anchor_query].spec;
+    let mut suggestions: Vec<Suggestion> = (0..run.queries.len())
+        .filter(|q| !shown.contains(q))
+        .map(|q| {
+            let d = distance(&anchor_spec, &run.queries[q].spec, weights);
+            let interest = run.interests[q];
+            Suggestion { query: q, distance: d, interest, score: interest / (1.0 + d) }
+        })
+        .collect();
+    suggestions.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.query.cmp(&b.query))
+    });
+    suggestions.truncate(k);
+    suggestions
+}
+
+/// Builds a follow-up notebook from the top continuations of
+/// `anchor_entry`, ordered by increasing distance from the anchor
+/// (nearest next — the natural reading order of a continuation).
+pub fn continue_notebook(
+    table: &Table,
+    run: &RunResult,
+    anchor_entry: usize,
+    k: usize,
+    weights: &DistanceWeights,
+) -> Notebook {
+    let mut suggestions = suggest_continuations(run, anchor_entry, k, weights);
+    suggestions.sort_by(|a, b| {
+        a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let sequence: Vec<usize> = suggestions.iter().map(|s| s.query).collect();
+    Notebook::build(
+        format!("Continuation of {} (entry {})", table.name(), anchor_entry + 1),
+        table,
+        &run.queries,
+        &run.insights,
+        &run.interests,
+        &sequence,
+        8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use cn_insight::significance::TestConfig;
+
+    fn sample() -> (cn_tabular::Table, RunResult) {
+        let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 41);
+        let cfg = GeneratorConfig {
+            budgets: cn_tap::Budgets { epsilon_t: 5.0, epsilon_d: 40.0 },
+            generation_config: cn_insight::generation::GenerationConfig {
+                test: TestConfig { n_permutations: 199, seed: 6, ..Default::default() },
+                ..Default::default()
+            },
+            n_threads: 2,
+            ..Default::default()
+        };
+        let r = crate::run::run(&t, &cfg);
+        (t, r)
+    }
+
+    #[test]
+    fn suggestions_exclude_shown_queries_and_rank_by_score() {
+        let (_, run) = sample();
+        assert!(!run.notebook.is_empty());
+        let w = DistanceWeights::default();
+        let s = suggest_continuations(&run, 0, 5, &w);
+        assert!(!s.is_empty());
+        let shown: std::collections::HashSet<usize> =
+            run.solution.sequence.iter().copied().collect();
+        for sug in &s {
+            assert!(!shown.contains(&sug.query));
+            assert!((sug.score - sug.interest / (1.0 + sug.distance)).abs() < 1e-12);
+        }
+        for pair in s.windows(2) {
+            assert!(pair[0].score >= pair[1].score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn continuation_notebook_is_ordered_by_proximity() {
+        let (t, run) = sample();
+        let w = DistanceWeights::default();
+        let nb = continue_notebook(&t, &run, 0, 4, &w);
+        assert!(nb.len() <= 4);
+        assert!(nb.title.contains("Continuation"));
+        // Entries ordered by increasing distance from the anchor.
+        let anchor_spec = run.queries[run.solution.sequence[0]].spec;
+        let dists: Vec<f64> =
+            nb.entries.iter().map(|e| distance(&anchor_spec, &e.spec, &w)).collect();
+        for pair in dists.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_k_yields_empty() {
+        let (t, run) = sample();
+        let nb = continue_notebook(&t, &run, 0, 0, &DistanceWeights::default());
+        assert!(nb.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Adapter exposing generated comparison queries as a TAP instance.
+//!
+//! Distances are computed on the fly from the query 6-tuples (Section 5.3:
+//! "distances can be computed on the fly, limiting memory consumption"),
+//! so no `N×N` matrix is materialized even for large `Q`.
+
+use cn_insight::generation::CandidateQuery;
+use cn_interest::{distance, CostModel, DistanceWeights};
+use cn_tap::TapProblem;
+
+/// A TAP view over candidate queries with precomputed interests.
+pub struct QueryTap<'a> {
+    queries: &'a [CandidateQuery],
+    interests: &'a [f64],
+    costs: Vec<f64>,
+    weights: DistanceWeights,
+}
+
+impl<'a> QueryTap<'a> {
+    /// Builds the adapter (costs are evaluated once).
+    pub fn new(
+        queries: &'a [CandidateQuery],
+        interests: &'a [f64],
+        cost_model: &CostModel,
+        weights: DistanceWeights,
+    ) -> Self {
+        assert_eq!(queries.len(), interests.len());
+        let costs = queries.iter().map(|q| cost_model.cost(q)).collect();
+        QueryTap { queries, interests, costs, weights }
+    }
+}
+
+impl TapProblem for QueryTap<'_> {
+    fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn interest(&self, i: usize) -> f64 {
+        self.interests[i]
+    }
+
+    fn cost(&self, i: usize) -> f64 {
+        self.costs[i]
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        distance(&self.queries[i].spec, &self.queries[j].spec, &self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_engine::{AggFn, ComparisonSpec};
+    use cn_tabular::{AttrId, MeasureId};
+
+    fn q(a: u16, val: u32, agg: AggFn) -> CandidateQuery {
+        CandidateQuery {
+            spec: ComparisonSpec {
+                group_by: AttrId(a),
+                select_on: AttrId(9),
+                val,
+                val2: val + 1,
+                measure: MeasureId(0),
+                agg,
+            },
+            insight_ids: vec![],
+            theta: 100,
+            gamma: 10,
+        }
+    }
+
+    #[test]
+    fn adapter_exposes_problem_terms() {
+        let queries = vec![q(0, 0, AggFn::Sum), q(1, 0, AggFn::Sum), q(0, 5, AggFn::Avg)];
+        let interests = vec![0.3, 0.2, 0.9];
+        let tap = QueryTap::new(
+            &queries,
+            &interests,
+            &CostModel::Uniform(1.0),
+            DistanceWeights::default(),
+        );
+        assert_eq!(tap.len(), 3);
+        assert_eq!(tap.interest(2), 0.9);
+        assert_eq!(tap.cost(0), 1.0);
+        // Queries 0 and 1 differ only in A.
+        let w = DistanceWeights::default();
+        assert_eq!(tap.dist(0, 1), w.group_by);
+        assert_eq!(tap.dist(0, 0), 0.0);
+        // 0 and 2 differ in val, val2 and agg.
+        assert_eq!(tap.dist(0, 2), w.val + w.val2 + w.agg);
+    }
+
+    #[test]
+    fn solvable_by_the_heuristic() {
+        let queries: Vec<CandidateQuery> =
+            (0..20).map(|i| q(i % 3, i as u32, AggFn::Sum)).collect();
+        let interests: Vec<f64> = (0..20).map(|i| 1.0 / (i + 1) as f64).collect();
+        let tap = QueryTap::new(
+            &queries,
+            &interests,
+            &CostModel::default(),
+            DistanceWeights::default(),
+        );
+        let s = cn_tap::solve_heuristic(
+            &tap,
+            &cn_tap::Budgets { epsilon_t: 5.0, epsilon_d: 50.0 },
+        );
+        assert_eq!(s.len(), 5);
+        assert!(s.total_distance <= 50.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Generic greedy weighted set cover.
+
+/// A candidate set: a weight and the universe elements it covers.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Non-negative cost of choosing this set.
+    pub weight: f64,
+    /// Covered universe elements (indices `< universe_size`).
+    pub elements: Vec<usize>,
+}
+
+/// Greedy approximation of weighted set cover.
+///
+/// Repeatedly picks the candidate minimizing `weight / |newly covered|`
+/// until the universe is covered or no candidate adds coverage. Returns the
+/// chosen candidate indices in pick order. The greedy ratio is `H(|U|)`,
+/// which is the classic guarantee the paper leans on.
+///
+/// Uncoverable elements (appearing in no candidate) are skipped; callers
+/// that need total coverage should check [`covers_universe`].
+pub fn greedy_weighted_set_cover(universe_size: usize, candidates: &[CandidateSet]) -> Vec<usize> {
+    // Normalize element lists so duplicates within a set cannot inflate its
+    // marginal gain.
+    let normalized: Vec<Vec<usize>> = candidates
+        .iter()
+        .map(|c| {
+            let mut e = c.elements.clone();
+            e.sort_unstable();
+            e.dedup();
+            e
+        })
+        .collect();
+    let mut covered = vec![false; universe_size];
+    let mut n_covered = 0usize;
+    let coverable: usize = {
+        let mut seen = vec![false; universe_size];
+        for e in normalized.iter().flatten() {
+            seen[*e] = true;
+        }
+        seen.iter().filter(|&&b| b).count()
+    };
+    let mut chosen = Vec::new();
+    let mut used = vec![false; candidates.len()];
+    while n_covered < coverable {
+        let mut best: Option<(usize, f64, usize)> = None; // (idx, ratio, gain)
+        for (i, c) in candidates.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let gain = normalized[i].iter().filter(|&&e| !covered[e]).count();
+            if gain == 0 {
+                continue;
+            }
+            let ratio = c.weight / gain as f64;
+            let better = match best {
+                None => true,
+                Some((_, r, g)) => {
+                    ratio < r - 1e-12 || ((ratio - r).abs() <= 1e-12 && gain > g)
+                }
+            };
+            if better {
+                best = Some((i, ratio, gain));
+            }
+        }
+        let Some((i, _, _)) = best else { break };
+        used[i] = true;
+        chosen.push(i);
+        for &e in &normalized[i] {
+            if !covered[e] {
+                covered[e] = true;
+                n_covered += 1;
+            }
+        }
+    }
+    chosen
+}
+
+/// Checks whether `chosen` (indices into `candidates`) covers all of
+/// `0..universe_size`.
+pub fn covers_universe(
+    universe_size: usize,
+    candidates: &[CandidateSet],
+    chosen: &[usize],
+) -> bool {
+    let mut covered = vec![false; universe_size];
+    for &i in chosen {
+        for &e in &candidates[i].elements {
+            covered[e] = true;
+        }
+    }
+    covered.into_iter().all(|b| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(weight: f64, elements: &[usize]) -> CandidateSet {
+        CandidateSet { weight, elements: elements.to_vec() }
+    }
+
+    #[test]
+    fn picks_cheap_big_set_first() {
+        let cands = vec![
+            set(1.0, &[0]),
+            set(1.0, &[1]),
+            set(1.0, &[2]),
+            set(2.0, &[0, 1, 2]),
+        ];
+        let chosen = greedy_weighted_set_cover(3, &cands);
+        assert_eq!(chosen, vec![3]);
+        assert!(covers_universe(3, &cands, &chosen));
+    }
+
+    #[test]
+    fn prefers_singletons_when_big_set_is_overpriced() {
+        let cands = vec![
+            set(1.0, &[0]),
+            set(1.0, &[1]),
+            set(1.0, &[2]),
+            set(10.0, &[0, 1, 2]),
+        ];
+        let chosen = greedy_weighted_set_cover(3, &cands);
+        assert_eq!(chosen.len(), 3);
+        assert!(!chosen.contains(&3));
+        assert!(covers_universe(3, &cands, &chosen));
+    }
+
+    #[test]
+    fn classic_greedy_counterexample_still_covers() {
+        // Greedy is approximate: elements {0..3}; optimal = two sets of 2,
+        // greedy may take the big slightly-cheaper-per-element set first.
+        let cands = vec![
+            set(1.0, &[0, 1]),
+            set(1.0, &[2, 3]),
+            set(1.5, &[0, 1, 2]),
+        ];
+        let chosen = greedy_weighted_set_cover(4, &cands);
+        assert!(covers_universe(4, &cands, &chosen));
+    }
+
+    #[test]
+    fn uncoverable_elements_are_skipped() {
+        let cands = vec![set(1.0, &[0])];
+        let chosen = greedy_weighted_set_cover(3, &cands);
+        assert_eq!(chosen, vec![0]);
+        assert!(!covers_universe(3, &cands, &chosen));
+    }
+
+    #[test]
+    fn empty_universe_and_candidates() {
+        assert!(greedy_weighted_set_cover(0, &[]).is_empty());
+        assert!(greedy_weighted_set_cover(0, &[set(1.0, &[])]).is_empty());
+        assert!(greedy_weighted_set_cover(2, &[]).is_empty());
+    }
+
+    #[test]
+    fn zero_weight_sets_are_fine() {
+        let cands = vec![set(0.0, &[0, 1]), set(0.0, &[1, 2])];
+        let chosen = greedy_weighted_set_cover(3, &cands);
+        assert!(covers_universe(3, &cands, &chosen));
+        assert_eq!(chosen.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_elements_in_a_set_do_not_inflate_gain() {
+        let cands = vec![set(1.0, &[0, 0, 0]), set(1.0, &[0, 1])];
+        let chosen = greedy_weighted_set_cover(2, &cands);
+        // The second set gains 2 distinct elements and must win.
+        assert_eq!(chosen[0], 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn greedy_covers_whenever_coverable(
+            sets in proptest::collection::vec(
+                (0.01f64..100.0, proptest::collection::vec(0usize..12, 1..6)),
+                1..20,
+            )
+        ) {
+            let universe = 12;
+            let candidates: Vec<CandidateSet> = sets
+                .into_iter()
+                .map(|(w, e)| CandidateSet { weight: w, elements: e })
+                .collect();
+            let chosen = greedy_weighted_set_cover(universe, &candidates);
+            // Whatever is coverable must be covered.
+            let mut coverable = vec![false; universe];
+            for c in &candidates {
+                for &e in &c.elements {
+                    coverable[e] = true;
+                }
+            }
+            let mut covered = vec![false; universe];
+            for &i in &chosen {
+                for &e in &candidates[i].elements {
+                    covered[e] = true;
+                }
+            }
+            for e in 0..universe {
+                prop_assert_eq!(covered[e], coverable[e], "element {}", e);
+            }
+            // No candidate chosen twice.
+            let mut sorted = chosen.clone();
+            sorted.sort_unstable();
+            let len_before = sorted.len();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), len_before);
+        }
+    }
+}
+
+/// Exact minimum-weight set cover by exhaustive branch-and-bound — a test
+/// oracle for the greedy (only for small candidate counts).
+///
+/// # Panics
+/// Panics beyond 20 candidates.
+pub fn exact_weighted_set_cover(
+    universe_size: usize,
+    candidates: &[CandidateSet],
+) -> Option<Vec<usize>> {
+    assert!(candidates.len() <= 20, "exact set cover limited to 20 candidates");
+    let masks: Vec<u64> = candidates
+        .iter()
+        .map(|c| c.elements.iter().fold(0u64, |m, &e| m | (1 << e)))
+        .collect();
+    let full: u64 = if universe_size == 64 { u64::MAX } else { (1u64 << universe_size) - 1 };
+    let coverable = masks.iter().fold(0u64, |m, &x| m | x);
+    if coverable & full != full {
+        return None;
+    }
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let n = candidates.len();
+    for subset in 0u32..(1u32 << n) {
+        let mut covered = 0u64;
+        let mut weight = 0.0;
+        for (i, mask) in masks.iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                covered |= mask;
+                weight += candidates[i].weight;
+            }
+        }
+        if covered & full == full && best.as_ref().is_none_or(|(w, _)| weight < *w) {
+            let chosen = (0..n).filter(|&i| subset & (1 << i) != 0).collect();
+            best = Some((weight, chosen));
+        }
+    }
+    best.map(|(_, chosen)| chosen)
+}
+
+#[cfg(test)]
+mod oracle_tests {
+    use super::*;
+
+    fn weight_of(candidates: &[CandidateSet], chosen: &[usize]) -> f64 {
+        chosen.iter().map(|&i| candidates[i].weight).sum()
+    }
+
+    #[test]
+    fn greedy_stays_within_the_harmonic_bound() {
+        // H(|U|) ratio guarantee, checked against the exact optimum on
+        // deterministic pseudo-random instances.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..30 {
+            let universe = 8usize;
+            let n_sets = 10usize;
+            let candidates: Vec<CandidateSet> = (0..n_sets)
+                .map(|_| {
+                    let size = 1 + (next() % 4) as usize;
+                    let elements: Vec<usize> =
+                        (0..size).map(|_| (next() % universe as u64) as usize).collect();
+                    CandidateSet { weight: 0.5 + (next() % 100) as f64 / 25.0, elements }
+                })
+                .collect();
+            let Some(opt) = exact_weighted_set_cover(universe, &candidates) else {
+                continue;
+            };
+            let greedy = greedy_weighted_set_cover(universe, &candidates);
+            assert!(covers_universe(universe, &candidates, &greedy));
+            let h: f64 = (1..=universe).map(|k| 1.0 / k as f64).sum();
+            let ratio = weight_of(&candidates, &greedy) / weight_of(&candidates, &opt);
+            assert!(ratio <= h + 1e-9, "greedy ratio {ratio:.3} exceeds H({universe}) = {h:.3}");
+        }
+    }
+
+    #[test]
+    fn exact_oracle_on_known_instance() {
+        let candidates = vec![
+            CandidateSet { weight: 1.0, elements: vec![0, 1] },
+            CandidateSet { weight: 1.0, elements: vec![2, 3] },
+            CandidateSet { weight: 1.5, elements: vec![0, 1, 2, 3] },
+        ];
+        let opt = exact_weighted_set_cover(4, &candidates).unwrap();
+        assert_eq!(opt, vec![2]);
+        assert!(exact_weighted_set_cover(5, &candidates).is_none());
+    }
+}

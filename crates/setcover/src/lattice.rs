@@ -1,0 +1,267 @@
+//! Algorithm 2 — finding the best set of group-by sets.
+//!
+//! Candidates `G = 2^A \ {singletons, ∅}`, universe `U` = the 2-group-by
+//! sets, weight = estimated cube footprint. A greedy weighted set cover
+//! picks the cheapest sub-collection of `G` covering `U`; if a memory
+//! budget excludes even the cover, the fallback "successively loads the
+//! smallest possible aggregates (i.e., the group-by sets of U)".
+
+use crate::greedy::{greedy_weighted_set_cover, CandidateSet};
+use cn_engine::estimate::estimate_cube_bytes;
+use cn_tabular::{AttrId, Table};
+
+/// The outcome of Algorithm 2: which group-by sets to materialize and which
+/// materialization answers each attribute pair.
+#[derive(Debug, Clone)]
+pub struct GroupByPlan {
+    /// Group-by sets to materialize, each a sorted list of attributes.
+    pub group_by_sets: Vec<Vec<AttrId>>,
+    /// For every unordered attribute pair `(a, b)` with `a < b`, the index
+    /// into [`GroupByPlan::group_by_sets`] that covers it.
+    pub pair_cover: Vec<((AttrId, AttrId), usize)>,
+    /// Total estimated footprint in bytes of the chosen sets.
+    pub estimated_bytes: f64,
+    /// True when the memory budget forced the pairwise fallback.
+    pub used_fallback: bool,
+}
+
+impl GroupByPlan {
+    /// The group-by set covering pair `(a, b)` (order-insensitive).
+    pub fn cover_for(&self, a: AttrId, b: AttrId) -> Option<&[AttrId]> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_cover
+            .iter()
+            .find(|(p, _)| *p == key)
+            .map(|&(_, i)| self.group_by_sets[i].as_slice())
+    }
+}
+
+/// Enumerates all subsets of `attrs` with at least 2 elements.
+fn subsets_ge2(attrs: &[AttrId]) -> Vec<Vec<AttrId>> {
+    let n = attrs.len();
+    assert!(n <= 16, "group-by lattice limited to 16 attributes (2^n subsets)");
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        if mask.count_ones() >= 2 {
+            let set: Vec<AttrId> =
+                (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| attrs[i]).collect();
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// Runs Algorithm 2 over the categorical attributes in `attrs`.
+///
+/// `memory_budget_bytes` bounds the estimated footprint of any *single*
+/// candidate; when the greedy cover (over the affordable candidates) cannot
+/// cover every pair, the plan falls back to materializing each missing
+/// 2-group-by set directly, mirroring the paper's fallback strategy.
+pub fn plan_group_by_sets(
+    table: &Table,
+    attrs: &[AttrId],
+    memory_budget_bytes: Option<f64>,
+) -> GroupByPlan {
+    assert!(attrs.len() >= 2, "need at least two attributes to have pairs");
+    let mut attrs = attrs.to_vec();
+    attrs.sort_unstable();
+
+    // Universe: unordered pairs, in lexicographic order.
+    let mut pairs: Vec<(AttrId, AttrId)> = Vec::new();
+    for i in 0..attrs.len() {
+        for j in (i + 1)..attrs.len() {
+            pairs.push((attrs[i], attrs[j]));
+        }
+    }
+    let pair_index = |a: AttrId, b: AttrId| -> usize {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        pairs.iter().position(|&p| p == key).expect("pair must exist")
+    };
+
+    // Candidates: all subsets of size >= 2 within budget.
+    let all_sets = subsets_ge2(&attrs);
+    let mut candidates: Vec<CandidateSet> = Vec::new();
+    let mut candidate_sets: Vec<Vec<AttrId>> = Vec::new();
+    for set in all_sets {
+        let weight = estimate_cube_bytes(table, &set);
+        if let Some(budget) = memory_budget_bytes {
+            if weight > budget && set.len() > 2 {
+                // Oversized non-pair candidates are dropped; pairs are the
+                // smallest possible aggregates and always stay available
+                // (they are what the fallback loads anyway).
+                continue;
+            }
+        }
+        let mut elements = Vec::new();
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                elements.push(pair_index(set[i], set[j]));
+            }
+        }
+        candidates.push(CandidateSet { weight, elements });
+        candidate_sets.push(set);
+    }
+
+    let chosen = greedy_weighted_set_cover(pairs.len(), &candidates);
+
+    let mut group_by_sets: Vec<Vec<AttrId>> = Vec::new();
+    let mut pair_cover: Vec<((AttrId, AttrId), usize)> = Vec::new();
+    let mut covered = vec![usize::MAX; pairs.len()];
+    for &ci in &chosen {
+        let idx = group_by_sets.len();
+        group_by_sets.push(candidate_sets[ci].clone());
+        for &e in &candidates[ci].elements {
+            if covered[e] == usize::MAX {
+                covered[e] = idx;
+            }
+        }
+    }
+
+    // Fallback for any uncovered pair (possible only under a budget that
+    // excluded everything containing it beyond the pair itself — or, in a
+    // pathological estimator state, the pair too; we load the pair
+    // regardless, as the paper's fallback does).
+    let mut used_fallback = false;
+    for (p, &cov) in pairs.iter().zip(covered.iter()) {
+        if cov == usize::MAX {
+            used_fallback = true;
+            let idx = group_by_sets.len();
+            group_by_sets.push(vec![p.0, p.1]);
+            pair_cover.push((*p, idx));
+        } else {
+            pair_cover.push((*p, cov));
+        }
+    }
+
+    let estimated_bytes =
+        group_by_sets.iter().map(|s| estimate_cube_bytes(table, s)).sum();
+    GroupByPlan { group_by_sets, pair_cover, estimated_bytes, used_fallback }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_table(n_rows: usize, doms: &[usize], seed: u64) -> Table {
+        let names: Vec<String> = (0..doms.len()).map(|i| format!("a{i}")).collect();
+        let schema = Schema::new(names, vec!["m".to_string()]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n_rows {
+            let cats: Vec<String> =
+                doms.iter().map(|&d| format!("v{}", rng.random_range(0..d))).collect();
+            let refs: Vec<&str> = cats.iter().map(String::as_str).collect();
+            b.push_row(&refs, &[rng.random::<f64>()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn plan_covers_every_pair() {
+        let t = random_table(500, &[4, 5, 3, 6], 1);
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let plan = plan_group_by_sets(&t, &attrs, None);
+        assert_eq!(plan.pair_cover.len(), 6); // C(4,2)
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                let cover = plan.cover_for(attrs[i], attrs[j]).unwrap();
+                assert!(cover.contains(&attrs[i]) && cover.contains(&attrs[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn small_table_prefers_one_wide_set() {
+        // With few rows, the full set costs the same as any pair (group
+        // count is capped by rows), so one set covering all pairs wins.
+        let t = random_table(30, &[3, 3, 3], 2);
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let plan = plan_group_by_sets(&t, &attrs, None);
+        assert_eq!(plan.group_by_sets.len(), 1);
+        assert_eq!(plan.group_by_sets[0].len(), 3);
+        assert!(!plan.used_fallback);
+    }
+
+    #[test]
+    fn tight_budget_forces_pairs() {
+        // Large domains: the triple-set blows past a tight budget, pairs
+        // survive (pairs always stay candidates).
+        let t = random_table(5000, &[40, 40, 40], 3);
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let pair_cost = cn_engine::estimate::estimate_cube_bytes(&t, &attrs[..2]);
+        let plan = plan_group_by_sets(&t, &attrs, Some(pair_cost * 1.5));
+        for set in &plan.group_by_sets {
+            assert_eq!(set.len(), 2, "budget must exclude wider sets");
+        }
+        assert_eq!(plan.pair_cover.len(), 3);
+    }
+
+    #[test]
+    fn cover_for_is_order_insensitive() {
+        let t = random_table(100, &[3, 3], 4);
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let plan = plan_group_by_sets(&t, &attrs, None);
+        assert_eq!(
+            plan.cover_for(attrs[0], attrs[1]),
+            plan.cover_for(attrs[1], attrs[0])
+        );
+    }
+
+    #[test]
+    fn estimated_bytes_accumulates() {
+        let t = random_table(200, &[4, 4, 4], 5);
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let plan = plan_group_by_sets(&t, &attrs, None);
+        assert!(plan.estimated_bytes > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_attribute_panics() {
+        let t = random_table(10, &[3], 6);
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let _ = plan_group_by_sets(&t, &attrs, None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn every_pair_always_covered(
+            rows in proptest::collection::vec((0u32..5, 0u32..4, 0u32..3, 0u32..6), 2..120),
+            budget_scale in proptest::option::of(0.1f64..10.0),
+        ) {
+            let schema = Schema::new(vec!["a", "b", "c", "d"], vec!["m"]).unwrap();
+            let mut b = TableBuilder::new("t", schema);
+            for (w, x, y, z) in &rows {
+                b.push_row(
+                    &[&format!("a{w}"), &format!("b{x}"), &format!("c{y}"), &format!("d{z}")],
+                    &[1.0],
+                ).unwrap();
+            }
+            let t = b.finish();
+            let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+            let budget = budget_scale
+                .map(|s| s * cn_engine::estimate::estimate_cube_bytes(&t, &attrs[..2]));
+            let plan = plan_group_by_sets(&t, &attrs, budget);
+            for i in 0..attrs.len() {
+                for j in (i + 1)..attrs.len() {
+                    let cover = plan.cover_for(attrs[i], attrs[j]);
+                    prop_assert!(cover.is_some());
+                    let cover = cover.unwrap();
+                    prop_assert!(cover.contains(&attrs[i]));
+                    prop_assert!(cover.contains(&attrs[j]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # cn-setcover
+//!
+//! Algorithm 2 of the paper: choose the set of group-by sets to materialize
+//! so that every 2-group-by set (every pair of categorical attributes) is
+//! covered at minimal total estimated memory footprint.
+//!
+//! - [`greedy`] — a generic greedy weighted-set-cover approximation
+//!   (`O(|U|·log|G|)`-flavoured, per the paper's citation of Young).
+//! - [`lattice`] — the group-by-set instance: candidates are all group-by
+//!   sets of size ≥ 2, the universe is the attribute pairs, weights come
+//!   from the engine's footprint estimator, and a memory budget triggers
+//!   the paper's fallback to loading the 2-group-by sets themselves.
+
+pub mod greedy;
+pub mod lattice;
+
+pub use greedy::{greedy_weighted_set_cover, CandidateSet};
+pub use lattice::{plan_group_by_sets, GroupByPlan};

@@ -1,0 +1,151 @@
+//! Abstract syntax of the notebook SQL dialect.
+//!
+//! The grammar is exactly what `cn-notebook`'s renderers emit:
+//!
+//! ```text
+//! stmt       := [with] select ';'?
+//! with       := WITH ident AS '(' select ')'
+//! select     := SELECT items FROM from_list [WHERE conj] [GROUP BY cols]
+//!               [HAVING cmp] [ORDER BY cols]
+//! items      := item (',' item)*
+//! item       := expr [AS ident]
+//! expr       := ident '(' colref ')' | colref | string
+//! from_list  := from_item (',' from_item)*
+//! from_item  := ident [ident] | '(' select ')' ident
+//! conj       := pred (AND pred)*
+//! pred       := colref '=' (string | colref)
+//!             | colref IN '(' string (',' string)* ')'
+//!             | '(' pred (OR pred)* ')'  | pred OR pred
+//! cmp        := expr ('>' | '<') expr
+//! colref     := ident ['.' ident]
+//! ```
+
+/// A column reference, optionally table-qualified (`t1.continent`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table/alias qualifier, if present.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// An unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColRef { table: None, column: column.into() }
+    }
+}
+
+/// A scalar or aggregate expression in a select list / having clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Plain column reference.
+    Col(ColRef),
+    /// Aggregate call `fn(col)`.
+    Agg {
+        /// Function name, lowercased (`sum`, `avg`, `count`, `min`, `max`,
+        /// `var_pop`, `stddev_pop`).
+        func: String,
+        /// Argument column.
+        arg: ColRef,
+    },
+    /// String literal (the hypothesis label).
+    Str(String),
+}
+
+/// One select-list item with its optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: Expr,
+    /// `AS alias`, if present.
+    pub alias: Option<String>,
+}
+
+/// A source in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// Base table (or `WITH` binding) with an optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Alias, if present.
+        alias: Option<String>,
+    },
+    /// Parenthesized sub-select with its alias.
+    Subquery {
+        /// The nested select.
+        select: Box<Select>,
+        /// The mandatory alias (`… ) t1`).
+        alias: String,
+    },
+}
+
+/// An atomic predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `col = 'value'`
+    EqStr(ColRef, String),
+    /// `t1.a = t2.a` (the join condition)
+    EqCol(ColRef, ColRef),
+    /// `col in ('a', 'b', …)`
+    InStr(ColRef, Vec<String>),
+    /// Disjunction (from the join-free form's `B = v OR B = v'`).
+    Or(Vec<Pred>),
+}
+
+/// A `HAVING` comparison between two (aggregate) expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Having {
+    /// Left side.
+    pub left: Expr,
+    /// `true` for `>`, `false` for `<`.
+    pub greater: bool,
+    /// Right side.
+    pub right: Expr,
+}
+
+/// A (possibly nested) `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Select-list items.
+    pub items: Vec<SelectItem>,
+    /// `FROM` sources (comma join).
+    pub from: Vec<FromItem>,
+    /// Conjunction of `WHERE` predicates.
+    pub where_: Vec<Pred>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<ColRef>,
+    /// `HAVING` comparison, if present.
+    pub having: Option<Having>,
+    /// `ORDER BY` columns (ascending).
+    pub order_by: Vec<ColRef>,
+}
+
+/// A full statement: an optional `WITH` binding plus the main select.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// `WITH <name> AS (<select>)`, if present.
+    pub with: Option<(String, Select)>,
+    /// The main query.
+    pub select: Select,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colref_constructors() {
+        let c = ColRef::bare("month");
+        assert_eq!(c.table, None);
+        assert_eq!(c.column, "month");
+    }
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let a = Expr::Agg { func: "sum".into(), arg: ColRef::bare("m") };
+        let b = Expr::Agg { func: "sum".into(), arg: ColRef::bare("m") };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,631 @@
+//! Executor for parsed notebook SQL against a `cn-tabular` table.
+
+use crate::ast::*;
+use crate::parser::parse;
+use crate::token::SqlError;
+use cn_tabular::Table;
+use std::collections::HashMap;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Categorical / text value.
+    Str(String),
+    /// Numeric value.
+    Num(f64),
+    /// SQL NULL (missing measure, empty aggregate).
+    Null,
+}
+
+impl Value {
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn cmp_for_order(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Num(a), Value::Num(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            (Value::Num(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Num(_)) => Ordering::Greater,
+        }
+    }
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows, parallel to `columns`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Columns of an intermediate relation, with their source qualifier.
+#[derive(Debug, Clone)]
+struct Frame {
+    cols: Vec<(Option<String>, String)>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Resolves a column reference against column metadata.
+fn resolve_cols(cols: &[(Option<String>, String)], c: &ColRef) -> Result<usize, SqlError> {
+    let matches: Vec<usize> = cols
+        .iter()
+        .enumerate()
+        .filter(|(_, (q, name))| {
+            name == &c.column && c.table.as_ref().is_none_or(|t| q.as_deref() == Some(t))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [i] => Ok(*i),
+        [] => Err(SqlError::new(format!(
+            "unknown column {}{}",
+            c.table.as_deref().map(|t| format!("{t}.")).unwrap_or_default(),
+            c.column
+        ))),
+        // Qualified duplicates cannot happen; unqualified ambiguity
+        // resolves to the first occurrence when all candidates carry the
+        // same name (the notebook dialect's join re-selects the same
+        // column from both sides).
+        many => Ok(many[0]),
+    }
+}
+
+impl Frame {
+    fn resolve(&self, c: &ColRef) -> Result<usize, SqlError> {
+        resolve_cols(&self.cols, c)
+    }
+}
+
+fn table_to_frame(table: &Table, alias: Option<&str>) -> Frame {
+    let schema = table.schema();
+    let q = alias.map(str::to_string);
+    let mut cols = Vec::new();
+    for a in schema.attribute_ids() {
+        cols.push((q.clone(), schema.attribute_name(a).to_string()));
+    }
+    for m in schema.measure_ids() {
+        cols.push((q.clone(), schema.measure_name(m).to_string()));
+    }
+    let mut rows = Vec::with_capacity(table.n_rows());
+    for r in 0..table.n_rows() {
+        let mut row = Vec::with_capacity(cols.len());
+        for a in schema.attribute_ids() {
+            row.push(Value::Str(table.value(r, a).to_string()));
+        }
+        for m in schema.measure_ids() {
+            let v = table.measure(m)[r];
+            row.push(if v.is_nan() { Value::Null } else { Value::Num(v) });
+        }
+        rows.push(row);
+    }
+    Frame { cols, rows }
+}
+
+fn result_to_frame(result: &ResultTable, alias: Option<&str>) -> Frame {
+    Frame {
+        cols: result
+            .columns
+            .iter()
+            .map(|c| (alias.map(str::to_string), c.clone()))
+            .collect(),
+        rows: result.rows.clone(),
+    }
+}
+
+fn eval_pred(
+    cols: &[(Option<String>, String)],
+    row: &[Value],
+    pred: &Pred,
+) -> Result<bool, SqlError> {
+    match pred {
+        Pred::EqStr(col, s) => {
+            let i = resolve_cols(cols, col)?;
+            Ok(matches!(&row[i], Value::Str(v) if v == s))
+        }
+        Pred::EqCol(a, b) => {
+            let i = resolve_cols(cols, a)?;
+            let j = resolve_cols(cols, b)?;
+            Ok(row[i] == row[j] && row[i] != Value::Null)
+        }
+        Pred::InStr(col, list) => {
+            let i = resolve_cols(cols, col)?;
+            Ok(matches!(&row[i], Value::Str(v) if list.contains(v)))
+        }
+        Pred::Or(alternatives) => {
+            for p in alternatives {
+                if eval_pred(cols, row, p)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Finalizable accumulator mirroring the engine's aggregate payload.
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc {
+    n: f64,
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc { n: 0.0, sum: 0.0, sumsq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.n += 1.0;
+        self.sum += v;
+        self.sumsq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn finalize(&self, func: &str) -> Result<Value, SqlError> {
+        if self.n == 0.0 {
+            return Ok(if func == "count" { Value::Num(0.0) } else { Value::Null });
+        }
+        let v = match func {
+            "sum" => self.sum,
+            "avg" => self.sum / self.n,
+            "count" => self.n,
+            "min" => self.min,
+            "max" => self.max,
+            "var_pop" | "variance" => {
+                (self.sumsq / self.n - (self.sum / self.n).powi(2)).max(0.0)
+            }
+            "stddev_pop" | "stddev" => {
+                (self.sumsq / self.n - (self.sum / self.n).powi(2)).max(0.0).sqrt()
+            }
+            other => return Err(SqlError::new(format!("unknown aggregate {other:?}"))),
+        };
+        Ok(Value::Num(v))
+    }
+}
+
+fn output_name(item: &SelectItem) -> String {
+    if let Some(a) = &item.alias {
+        return a.clone();
+    }
+    match &item.expr {
+        Expr::Col(c) => c.column.clone(),
+        Expr::Agg { func, arg } => format!("{func}({})", arg.column),
+        Expr::Str(_) => "?column?".to_string(),
+    }
+}
+
+fn collect_aggs<'a>(select: &'a Select) -> Vec<(&'a str, &'a ColRef)> {
+    let mut aggs: Vec<(&str, &ColRef)> = Vec::new();
+    let mut add = |e: &'a Expr| {
+        if let Expr::Agg { func, arg } = e {
+            if !aggs.iter().any(|(f, a)| *f == func.as_str() && *a == arg) {
+                aggs.push((func, arg));
+            }
+        }
+    };
+    for item in &select.items {
+        add(&item.expr);
+    }
+    if let Some(h) = &select.having {
+        add(&h.left);
+        add(&h.right);
+    }
+    aggs
+}
+
+struct Env<'a> {
+    base: &'a Table,
+    with: HashMap<String, ResultTable>,
+}
+
+fn exec_select(select: &Select, env: &Env<'_>) -> Result<ResultTable, SqlError> {
+    // FROM: resolve and cartesian-join the sources.
+    let mut frame: Option<Frame> = None;
+    for item in &select.from {
+        let next = match item {
+            FromItem::Table { name, alias } => {
+                if let Some(bound) = env.with.get(name) {
+                    result_to_frame(bound, alias.as_deref().or(Some(name)))
+                } else if name == env.base.name() {
+                    table_to_frame(env.base, alias.as_deref().or(Some(name)))
+                } else {
+                    return Err(SqlError::new(format!("unknown table {name:?}")));
+                }
+            }
+            FromItem::Subquery { select, alias } => {
+                let r = exec_select(select, env)?;
+                result_to_frame(&r, Some(alias))
+            }
+        };
+        frame = Some(match frame {
+            None => next,
+            Some(left) => {
+                let mut cols = left.cols.clone();
+                cols.extend(next.cols.clone());
+                let mut rows =
+                    Vec::with_capacity(left.rows.len().saturating_mul(next.rows.len()));
+                for l in &left.rows {
+                    for r in &next.rows {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                Frame { cols, rows }
+            }
+        });
+    }
+    let mut frame = frame.ok_or_else(|| SqlError::new("empty FROM clause"))?;
+
+    // WHERE.
+    if !select.where_.is_empty() {
+        let mut kept = Vec::new();
+        'rows: for row in frame.rows {
+            for p in &select.where_ {
+                if !eval_pred(&frame.cols, &row, p)? {
+                    continue 'rows;
+                }
+            }
+            kept.push(row);
+        }
+        frame = Frame { cols: frame.cols, rows: kept };
+    }
+
+    let aggs = collect_aggs(select);
+    let grouped = !select.group_by.is_empty() || !aggs.is_empty() || select.having.is_some();
+
+    let columns: Vec<String> = select.items.iter().map(output_name).collect();
+
+    if !grouped {
+        // Plain projection + order.
+        let idxs: Vec<usize> = select
+            .items
+            .iter()
+            .map(|item| match &item.expr {
+                Expr::Col(c) => frame.resolve(c),
+                Expr::Str(_) => Ok(usize::MAX),
+                Expr::Agg { .. } => unreachable!("aggregates imply grouping"),
+            })
+            .collect::<Result<_, _>>()?;
+        let order_idx: Vec<usize> = select
+            .order_by
+            .iter()
+            .map(|c| frame.resolve(c))
+            .collect::<Result<_, _>>()?;
+        let mut rows = frame.rows;
+        if !order_idx.is_empty() {
+            rows.sort_by(|a, b| {
+                order_idx
+                    .iter()
+                    .map(|&i| a[i].cmp_for_order(&b[i]))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        let projected = rows
+            .into_iter()
+            .map(|row| {
+                select
+                    .items
+                    .iter()
+                    .zip(idxs.iter())
+                    .map(|(item, &i)| match &item.expr {
+                        Expr::Str(s) => Value::Str(s.clone()),
+                        _ => row[i].clone(),
+                    })
+                    .collect()
+            })
+            .collect();
+        return Ok(ResultTable { columns, rows: projected });
+    }
+
+    // Grouped execution. Key = group-by columns (possibly empty = global).
+    let key_idx: Vec<usize> = select
+        .group_by
+        .iter()
+        .map(|c| frame.resolve(c))
+        .collect::<Result<_, _>>()?;
+    let agg_idx: Vec<usize> = aggs
+        .iter()
+        .map(|(_, arg)| frame.resolve(arg))
+        .collect::<Result<_, _>>()?;
+
+    let mut group_index: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+    let global = key_idx.is_empty();
+    if global {
+        groups.push((Vec::new(), vec![Acc::new(); aggs.len()]));
+    }
+    for row in &frame.rows {
+        let key: Vec<String> = key_idx
+            .iter()
+            .map(|&i| match &row[i] {
+                Value::Str(s) => s.clone(),
+                Value::Num(n) => n.to_string(),
+                Value::Null => "\u{0}NULL".to_string(),
+            })
+            .collect();
+        let slot = if global {
+            0
+        } else {
+            match group_index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    group_index.insert(key.clone(), g);
+                    groups
+                        .push((key_idx.iter().map(|&i| row[i].clone()).collect(), vec![
+                            Acc::new();
+                            aggs.len()
+                        ]));
+                    g
+                }
+            }
+        };
+        for (ai, &ci) in agg_idx.iter().enumerate() {
+            if let Some(v) = row[ci].as_num() {
+                groups[slot].1[ai].push(v);
+            }
+        }
+    }
+
+    let find_agg = |e: &Expr| -> Option<usize> {
+        if let Expr::Agg { func, arg } = e {
+            aggs.iter().position(|(f, a)| *f == func.as_str() && *a == arg)
+        } else {
+            None
+        }
+    };
+
+    let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    'groups: for (key, accs) in &groups {
+        // HAVING.
+        if let Some(h) = &select.having {
+            let side = |e: &Expr| -> Result<Value, SqlError> {
+                match find_agg(e) {
+                    Some(ai) => accs[ai].finalize(match e {
+                        Expr::Agg { func, .. } => func,
+                        _ => unreachable!(),
+                    }),
+                    None => Err(SqlError::new("HAVING sides must be aggregates")),
+                }
+            };
+            let (l, r) = (side(&h.left)?, side(&h.right)?);
+            let pass = match (l, r) {
+                (Value::Num(a), Value::Num(b)) => {
+                    if h.greater {
+                        a > b
+                    } else {
+                        a < b
+                    }
+                }
+                _ => false, // NULL comparisons are never true
+            };
+            if !pass {
+                continue 'groups;
+            }
+        }
+        let mut row = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            let v = match &item.expr {
+                Expr::Str(s) => Value::Str(s.clone()),
+                Expr::Agg { func, .. } => {
+                    let ai = find_agg(&item.expr).expect("collected above");
+                    accs[ai].finalize(func)?
+                }
+                Expr::Col(c) => {
+                    let pos = select
+                        .group_by
+                        .iter()
+                        .position(|g| {
+                            g.column == c.column
+                                && (c.table.is_none() || g.table == c.table || g.table.is_none())
+                        })
+                        .ok_or_else(|| {
+                            SqlError::new(format!(
+                                "column {} must appear in GROUP BY",
+                                c.column
+                            ))
+                        })?;
+                    key[pos].clone()
+                }
+            };
+            row.push(v);
+        }
+        out_rows.push(row);
+    }
+
+    // ORDER BY over the projected rows (columns referenced by output name
+    // or by their group-by column name).
+    if !select.order_by.is_empty() {
+        let order_idx: Vec<usize> = select
+            .order_by
+            .iter()
+            .map(|c| {
+                columns
+                    .iter()
+                    .position(|name| name == &c.column)
+                    .or_else(|| {
+                        // Fall back to matching the select item whose
+                        // expression is this column.
+                        select.items.iter().position(|item| {
+                            matches!(&item.expr, Expr::Col(cc) if cc.column == c.column)
+                        })
+                    })
+                    .ok_or_else(|| {
+                        SqlError::new(format!("ORDER BY column {} not in output", c.column))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        out_rows.sort_by(|a, b| {
+            order_idx
+                .iter()
+                .map(|&i| a[i].cmp_for_order(&b[i]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    Ok(ResultTable { columns, rows: out_rows })
+}
+
+/// Parses and executes one statement against `table`.
+pub fn run_sql(sql: &str, table: &Table) -> Result<ResultTable, SqlError> {
+    let stmt = parse(sql)?;
+    let mut env = Env { base: table, with: HashMap::new() };
+    if let Some((name, select)) = &stmt.with {
+        let bound = exec_select(select, &env)?;
+        env.with.insert(name.clone(), bound);
+    }
+    exec_select(&stmt.select, &env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn covid() -> Table {
+        let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (c, m, v) in [
+            ("Africa", "4", 31598.0),
+            ("Africa", "5", 92626.0),
+            ("Europe", "4", 863874.0),
+            ("Europe", "5", 608110.0),
+            ("Asia", "4", 333821.0),
+            ("Asia", "5", 537584.0),
+        ] {
+            b.push_row(&[c, m], &[v]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn flat_group_by_executes() {
+        let t = covid();
+        let r = run_sql(
+            "select continent, sum(cases) as total from covid group by continent order by continent;",
+            &t,
+        )
+        .unwrap();
+        assert_eq!(r.columns, vec!["continent", "total"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::Str("Africa".into()));
+        assert_eq!(r.rows[0][1], Value::Num(31598.0 + 92626.0));
+    }
+
+    #[test]
+    fn where_filter_applies() {
+        let t = covid();
+        let r = run_sql(
+            "select continent, sum(cases) as s from covid where month = '4' group by continent order by continent;",
+            &t,
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[2][1], Value::Num(863874.0)); // Europe, April
+    }
+
+    #[test]
+    fn join_form_runs_like_figure_2() {
+        let t = covid();
+        let sql = "select t1.continent, v4, v5\nfrom\n  (select month, continent, sum(cases) as v4\n   from covid where month = '4'\n   group by month, continent) t1,\n  (select month, continent, sum(cases) as v5\n   from covid where month = '5'\n   group by month, continent) t2\nwhere t1.continent = t2.continent\norder by t1.continent;";
+        let r = run_sql(sql, &t).unwrap();
+        assert_eq!(r.columns, vec!["continent", "v4", "v5"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Str("Africa".into()), Value::Num(31598.0), Value::Num(92626.0)]
+        );
+        assert_eq!(
+            r.rows[2],
+            vec![Value::Str("Europe".into()), Value::Num(863874.0), Value::Num(608110.0)]
+        );
+    }
+
+    #[test]
+    fn hypothesis_form_returns_a_row_iff_supported() {
+        let t = covid();
+        let base = "select t1.continent, v4, v5 from (select month, continent, avg(cases) as v4 from covid where month = '4' group by month, continent) t1, (select month, continent, avg(cases) as v5 from covid where month = '5' group by month, continent) t2 where t1.continent = t2.continent order by t1.continent";
+        // avg(v5) = 412773.3 > avg(v4) = 409764.3 — supported.
+        let supported = format!(
+            "with comparison as (\n{base}\n)\nselect 'mean greater' as hypothesis from comparison having avg(v5) > avg(v4);"
+        );
+        let r = run_sql(&supported, &t).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Str("mean greater".into())]]);
+        // The opposite direction must yield no rows.
+        let rejected = format!(
+            "with comparison as (\n{base}\n)\nselect 'mean greater' as hypothesis from comparison having avg(v4) > avg(v5);"
+        );
+        let r = run_sql(&rejected, &t).unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn or_form_groups_by_two_columns() {
+        let t = covid();
+        let r = run_sql(
+            "select continent, month, sum(cases) from covid where month = '4' or month = '5' group by continent, month order by continent, month;",
+            &t,
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 6);
+        assert_eq!(r.columns[2], "sum(cases)");
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let t = covid();
+        let r = run_sql("select count(cases) as n, max(cases) as hi from covid;", &t).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Num(6.0), Value::Num(863874.0)]]);
+    }
+
+    #[test]
+    fn empty_filter_yields_no_groups() {
+        let t = covid();
+        let r = run_sql(
+            "select continent, sum(cases) as s from covid where month = '9' group by continent;",
+            &t,
+        )
+        .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn unknown_table_and_column_error() {
+        let t = covid();
+        assert!(run_sql("select a from nope;", &t).is_err());
+        assert!(run_sql("select nope from covid;", &t).is_err());
+    }
+
+    #[test]
+    fn null_measures_are_skipped_by_aggregates() {
+        let schema = Schema::new(vec!["g"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(&["a"], &[1.0]).unwrap();
+        b.push_row(&["a"], &[f64::NAN]).unwrap();
+        b.push_row(&["a"], &[3.0]).unwrap();
+        let t = b.finish();
+        let r = run_sql("select g, avg(m) as a, count(m) as n from t group by g;", &t).unwrap();
+        assert_eq!(r.rows, vec![vec![
+            Value::Str("a".into()),
+            Value::Num(2.0),
+            Value::Num(2.0)
+        ]]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cn-sqlrun
+//!
+//! A tokenizer, parser, and executor for the SQL dialect the comparison
+//! notebooks emit (Figures 2–3 of the paper) — the piece that makes the
+//! generated notebooks *runnable* against the built-in engine rather than
+//! mere strings.
+//!
+//! The dialect is deliberately the notebook subset, documented in
+//! [`ast`]: `SELECT` with column references and aliased aggregates,
+//! `FROM` over the base table, parenthesized sub-selects with aliases, or
+//! a `WITH` binding; comma joins with equality predicates; `WHERE` with
+//! `=`/`or`/`in` over categorical attributes; `GROUP BY`; `ORDER BY`;
+//! `HAVING` with aggregate comparisons. Every query the renderers in
+//! `cn-notebook` produce parses and executes here; the round-trip
+//! (spec → SQL → parse → execute ≡ engine plan) is asserted in tests.
+//!
+//! ```
+//! use cn_tabular::{Schema, TableBuilder};
+//!
+//! let schema = Schema::new(vec!["city"], vec!["pop"]).unwrap();
+//! let mut b = TableBuilder::new("t", schema);
+//! b.push_row(&["nice"], &[10.0]).unwrap();
+//! b.push_row(&["nice"], &[20.0]).unwrap();
+//! b.push_row(&["lyon"], &[5.0]).unwrap();
+//! let table = b.finish();
+//!
+//! let result = cn_sqlrun::run_sql(
+//!     "select city, sum(pop) as total from t group by city order by city;",
+//!     &table,
+//! ).unwrap();
+//! assert_eq!(result.columns, vec!["city", "total"]);
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod fmt;
+pub mod parser;
+pub mod token;
+
+pub use exec::{run_sql, ResultTable, Value};
+pub use fmt::print_statement;
+pub use parser::parse;

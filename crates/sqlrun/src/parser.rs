@@ -1,0 +1,339 @@
+//! Recursive-descent parser for the notebook dialect (grammar in [`crate::ast`]).
+
+use crate::ast::*;
+use crate::token::{tokenize, SqlError, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, SqlError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::new(format!(
+                "expected keyword {kw:?}, found {:?}",
+                self.peek().map(ToString::to_string)
+            )))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), SqlError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(SqlError::new(format!(
+                "expected {t}, found {:?}",
+                self.peek().map(ToString::to_string)
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(SqlError::new(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            let column = self.ident()?;
+            Ok(ColRef { table: Some(first), column })
+        } else {
+            Ok(ColRef { table: None, column: first })
+        }
+    }
+
+    /// Expression: `fn(col)` | string | colref.
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        if let Some(Token::Str(s)) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            return Ok(Expr::Str(s));
+        }
+        let first = self.ident()?;
+        if self.eat(&Token::LParen) {
+            let arg = self.colref()?;
+            self.expect(&Token::RParen)?;
+            Ok(Expr::Agg { func: first.to_ascii_lowercase(), arg })
+        } else if self.eat(&Token::Dot) {
+            let column = self.ident()?;
+            Ok(Expr::Col(ColRef { table: Some(first), column }))
+        } else {
+            Ok(Expr::Col(ColRef { table: None, column: first }))
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem, SqlError> {
+        if self.eat(&Token::LParen) {
+            let select = self.select()?;
+            self.expect(&Token::RParen)?;
+            let alias = self.ident()?;
+            Ok(FromItem::Subquery { select: Box::new(select), alias })
+        } else {
+            let name = self.ident()?;
+            // An alias follows unless the next token starts a clause.
+            let alias = match self.peek() {
+                Some(Token::Ident(s))
+                    if !["where", "group", "order", "having", "select"]
+                        .iter()
+                        .any(|k| s.eq_ignore_ascii_case(k)) =>
+                {
+                    Some(self.ident()?)
+                }
+                _ => None,
+            };
+            Ok(FromItem::Table { name, alias })
+        }
+    }
+
+    /// One predicate, possibly a parenthesized OR-group.
+    fn pred(&mut self) -> Result<Pred, SqlError> {
+        if self.eat(&Token::LParen) {
+            let first = self.pred()?;
+            let mut ors = vec![first];
+            while self.eat_kw("or") {
+                ors.push(self.pred()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(if ors.len() == 1 { ors.pop().expect("non-empty") } else { Pred::Or(ors) });
+        }
+        let left = self.colref()?;
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut values = Vec::new();
+            loop {
+                match self.next()? {
+                    Token::Str(s) => values.push(s),
+                    other => {
+                        return Err(SqlError::new(format!("expected string in IN list, got {other}")))
+                    }
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Pred::InStr(left, values));
+        }
+        self.expect(&Token::Eq)?;
+        match self.next()? {
+            Token::Str(s) => Ok(Pred::EqStr(left, s)),
+            Token::Ident(first) => {
+                if self.eat(&Token::Dot) {
+                    let column = self.ident()?;
+                    Ok(Pred::EqCol(left, ColRef { table: Some(first), column }))
+                } else {
+                    Ok(Pred::EqCol(left, ColRef { table: None, column: first }))
+                }
+            }
+            other => Err(SqlError::new(format!("expected value after '=', got {other}"))),
+        }
+    }
+
+    /// WHERE conjunction with `AND`; top-level `OR` folds into a
+    /// disjunction of the last predicate (the join-free form).
+    fn where_clause(&mut self) -> Result<Vec<Pred>, SqlError> {
+        let mut preds = vec![self.pred()?];
+        loop {
+            if self.eat_kw("and") {
+                preds.push(self.pred()?);
+            } else if self.eat_kw("or") {
+                let right = self.pred()?;
+                let left = preds.pop().expect("non-empty");
+                match left {
+                    Pred::Or(mut v) => {
+                        v.push(right);
+                        preds.push(Pred::Or(v));
+                    }
+                    other => preds.push(Pred::Or(vec![other, right])),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    fn col_list(&mut self) -> Result<Vec<ColRef>, SqlError> {
+        let mut cols = vec![self.colref()?];
+        while self.eat(&Token::Comma) {
+            cols.push(self.colref()?);
+        }
+        Ok(cols)
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.from_item()?);
+        }
+        let where_ = if self.eat_kw("where") { self.where_clause()? } else { Vec::new() };
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            self.col_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw("having") {
+            let left = self.expr()?;
+            let greater = match self.next()? {
+                Token::Gt => true,
+                Token::Lt => false,
+                other => return Err(SqlError::new(format!("expected > or < in HAVING, got {other}"))),
+            };
+            let right = self.expr()?;
+            Some(Having { left, greater, right })
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            self.col_list()?
+        } else {
+            Vec::new()
+        };
+        Ok(Select { items, from, where_, group_by, having, order_by })
+    }
+}
+
+/// Parses one statement (optionally `WITH name AS (…)` + select).
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let with = if p.eat_kw("with") {
+        let name = p.ident()?;
+        p.expect_kw("as")?;
+        p.expect(&Token::LParen)?;
+        let select = p.select()?;
+        p.expect(&Token::RParen)?;
+        Some((name, select))
+    } else {
+        None
+    };
+    let select = p.select()?;
+    let _ = p.eat(&Token::Semi);
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::new(format!(
+            "trailing tokens after statement: {:?}",
+            p.tokens[p.pos..].iter().map(ToString::to_string).collect::<Vec<_>>()
+        )));
+    }
+    Ok(Statement { with, select })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_flat_group_by() {
+        let s = parse("select city, sum(pop) as total from t group by city order by city;")
+            .unwrap();
+        assert!(s.with.is_none());
+        assert_eq!(s.select.items.len(), 2);
+        assert_eq!(s.select.items[1].alias.as_deref(), Some("total"));
+        assert_eq!(s.select.group_by, vec![ColRef::bare("city")]);
+        assert_eq!(s.select.order_by, vec![ColRef::bare("city")]);
+    }
+
+    #[test]
+    fn parses_the_figure_2_join_form() {
+        let sql = "select t1.continent, v4, v5\nfrom\n  (select month, continent, sum(cases) as v4\n   from covid where month = '4'\n   group by month, continent) t1,\n  (select month, continent, sum(cases) as v5\n   from covid where month = '5'\n   group by month, continent) t2\nwhere t1.continent = t2.continent\norder by t1.continent;";
+        let s = parse(sql).unwrap();
+        assert_eq!(s.select.from.len(), 2);
+        match &s.select.from[0] {
+            FromItem::Subquery { select, alias } => {
+                assert_eq!(alias, "t1");
+                assert_eq!(select.group_by.len(), 2);
+                assert_eq!(select.where_, vec![Pred::EqStr(ColRef::bare("month"), "4".into())]);
+            }
+            other => panic!("expected subquery, got {other:?}"),
+        }
+        assert_eq!(
+            s.select.where_,
+            vec![Pred::EqCol(
+                ColRef { table: Some("t1".into()), column: "continent".into() },
+                ColRef { table: Some("t2".into()), column: "continent".into() }
+            )]
+        );
+    }
+
+    #[test]
+    fn parses_the_figure_3_hypothesis_form() {
+        let sql = "with comparison as (\nselect t1.c, a, b from (select x, c, avg(m) as a from r where x = 'p' group by x, c) t1, (select x, c, avg(m) as b from r where x = 'q' group by x, c) t2 where t1.c = t2.c order by t1.c\n)\nselect 'mean greater' as hypothesis from comparison\nhaving avg(a) > avg(b);";
+        let s = parse(sql).unwrap();
+        let (name, _) = s.with.as_ref().unwrap();
+        assert_eq!(name, "comparison");
+        assert_eq!(s.select.items[0].alias.as_deref(), Some("hypothesis"));
+        let h = s.select.having.as_ref().unwrap();
+        assert!(h.greater);
+        assert_eq!(h.left, Expr::Agg { func: "avg".into(), arg: ColRef::bare("a") });
+    }
+
+    #[test]
+    fn parses_or_and_in_predicates() {
+        let s = parse("select a, b, sum(m) from r where b = 'x' or b = 'y' group by a, b;")
+            .unwrap();
+        assert_eq!(s.select.where_.len(), 1);
+        assert!(matches!(&s.select.where_[0], Pred::Or(v) if v.len() == 2));
+        let s = parse("select a from r where b in ('x', 'y');").unwrap();
+        assert!(matches!(&s.select.where_[0], Pred::InStr(_, v) if v.len() == 2));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse("select a from t; select").is_err());
+        assert!(parse("select from t").is_err());
+        assert!(parse("select a t").is_err());
+        assert!(parse("").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! SQL tokenizer for the notebook dialect.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively at
+    /// parse time; the original spelling is preserved here).
+    Ident(String),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}
+
+impl Token {
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semi => write!(f, ";"),
+            Token::Eq => write!(f, "="),
+            Token::Gt => write!(f, ">"),
+            Token::Lt => write!(f, "<"),
+        }
+    }
+}
+
+/// Tokenization / parsing / execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// Human-readable message with positional context.
+    pub message: String,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl SqlError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SqlError { message: message.into() }
+    }
+}
+
+/// Tokenizes SQL text. Comments (`-- …`) run to end of line.
+pub fn tokenize(text: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '>' => {
+                out.push(Token::Gt);
+                i += 1;
+            }
+            '<' => {
+                out.push(Token::Lt);
+                i += 1;
+            }
+            '\'' => {
+                // Single-quoted string with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => return Err(SqlError::new("unterminated string literal")),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && matches!(bytes.get(i - 1), Some('e') | Some('E'))))
+                {
+                    i += 1;
+                }
+                let lit: String = bytes[start..i].iter().collect();
+                let n: f64 = lit
+                    .parse()
+                    .map_err(|_| SqlError::new(format!("bad numeric literal {lit:?}")))?;
+                out.push(Token::Num(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => return Err(SqlError::new(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_select() {
+        let toks = tokenize("select a, sum(m) from t where b = 'x';").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert!(toks.contains(&Token::LParen));
+        assert!(toks.contains(&Token::Str("x".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn strings_unescape_doubled_quotes() {
+        let toks = tokenize("'O''Hare'").unwrap();
+        assert_eq!(toks, vec![Token::Str("O'Hare".into())]);
+    }
+
+    #[test]
+    fn numbers_parse_including_floats() {
+        let toks = tokenize("1 2.5 3e2").unwrap();
+        assert_eq!(toks, vec![Token::Num(1.0), Token::Num(2.5), Token::Num(300.0)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("-- hello\nselect -- tail\n1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("select".into()), Token::Num(1.0)]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("SELECT").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(!toks[0].is_kw("from"));
+    }
+}

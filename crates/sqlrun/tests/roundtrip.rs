@@ -1,0 +1,198 @@
+//! The fidelity loop: every piece of SQL the notebook renderers emit must
+//! parse and execute here with results identical to the engine's physical
+//! plan. This is what makes the generated notebooks *runnable artifacts*
+//! rather than strings.
+
+use cn_engine::comparison::execute;
+use cn_engine::{AggFn, ComparisonSpec};
+use cn_insight::hypothesis::HypothesisQuery;
+use cn_insight::types::{Insight, InsightType};
+use cn_notebook::sql::{comparison_sql, comparison_sql_unpivoted, hypothesis_sql};
+use cn_sqlrun::{run_sql, Value};
+use cn_tabular::Table;
+
+fn dataset() -> Table {
+    cn_datagen::enedis_like(cn_datagen::Scale { rows: 0.01, domains: 0.03 }, 11)
+}
+
+fn all_specs(table: &Table, limit: usize) -> Vec<ComparisonSpec> {
+    let mut specs = Vec::new();
+    let attrs: Vec<_> = table.schema().attribute_ids().collect();
+    let measures: Vec<_> = table.schema().measure_ids().collect();
+    'outer: for &a in &attrs {
+        for &b in &attrs {
+            if a == b {
+                continue;
+            }
+            let dom = table.active_domain_size(b).min(3) as u32;
+            for val in 0..dom {
+                for val2 in (val + 1)..dom {
+                    for &measure in &measures {
+                        for agg in AggFn::DEFAULT {
+                            specs.push(ComparisonSpec {
+                                group_by: a,
+                                select_on: b,
+                                val,
+                                val2,
+                                measure,
+                                agg,
+                            });
+                            if specs.len() >= limit {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+#[test]
+fn comparison_sql_round_trips_against_the_engine() {
+    let table = dataset();
+    let specs = all_specs(&table, 60);
+    assert!(specs.len() >= 40, "need a meaningful sample");
+    for spec in specs {
+        let sql = comparison_sql(&table, &spec);
+        let via_sql = run_sql(&sql, &table)
+            .unwrap_or_else(|e| panic!("{e} in\n{sql}"));
+        let via_plan = execute(&table, &spec);
+        assert_eq!(
+            via_sql.rows.len(),
+            via_plan.n_groups(),
+            "row count mismatch for {spec:?}\n{sql}"
+        );
+        let dict = table.dict(spec.group_by);
+        for (row, (&code, (l, r))) in via_sql.rows.iter().zip(
+            via_plan
+                .group_codes
+                .iter()
+                .zip(via_plan.left.iter().zip(via_plan.right.iter())),
+        ) {
+            assert_eq!(row[0], Value::Str(dict.decode(code).to_string()));
+            match (&row[1], &row[2]) {
+                (Value::Num(x), Value::Num(y)) => {
+                    assert!((x - l).abs() < 1e-9 * (1.0 + l.abs()), "{x} vs {l}");
+                    assert!((y - r).abs() < 1e-9 * (1.0 + r.abs()), "{y} vs {r}");
+                }
+                other => panic!("non-numeric comparison cells: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn unpivoted_sql_aggregates_match_grouped_execution() {
+    let table = dataset();
+    for spec in all_specs(&table, 12) {
+        let sql = comparison_sql_unpivoted(&table, &spec);
+        let result = run_sql(&sql, &table).unwrap_or_else(|e| panic!("{e} in\n{sql}"));
+        // Each (A, B) group of the unpivoted form must carry the same
+        // aggregate the engine computes for its side of the comparison.
+        let plan = execute(&table, &spec);
+        let dict_a = table.dict(spec.group_by);
+        let dict_b = table.dict(spec.select_on);
+        for (i, &code) in plan.group_codes.iter().enumerate() {
+            let a_name = dict_a.decode(code);
+            for (side_code, expect) in [(spec.val, plan.left[i]), (spec.val2, plan.right[i])] {
+                let b_name = dict_b.decode(side_code);
+                let found = result.rows.iter().find(|row| {
+                    row[0] == Value::Str(a_name.to_string())
+                        && row[1] == Value::Str(b_name.to_string())
+                });
+                let row = found.unwrap_or_else(|| {
+                    panic!("missing group ({a_name}, {b_name}) in\n{sql}")
+                });
+                match &row[2] {
+                    Value::Num(x) => {
+                        assert!((x - expect).abs() < 1e-9 * (1.0 + expect.abs()))
+                    }
+                    other => panic!("non-numeric aggregate {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hypothesis_sql_support_matches_the_logical_check() {
+    let table = dataset();
+    let mut checked = 0;
+    for spec in all_specs(&table, 40) {
+        for kind in InsightType::EXTENDED {
+            for (val, val2) in [(spec.val, spec.val2), (spec.val2, spec.val)] {
+                let insight = Insight {
+                    measure: spec.measure,
+                    select_on: spec.select_on,
+                    val,
+                    val2,
+                    kind,
+                };
+                let h = HypothesisQuery::new(insight, spec.group_by, spec.agg);
+                let sql = hypothesis_sql(&table, &h.spec, &insight);
+                let via_sql = run_sql(&sql, &table)
+                    .unwrap_or_else(|e| panic!("{e} in\n{sql}"));
+                let logically = h.evaluate(&table);
+                assert_eq!(
+                    !via_sql.rows.is_empty(),
+                    logically,
+                    "support mismatch for {insight:?} via {:?}\n{sql}",
+                    spec.group_by
+                );
+                if logically {
+                    assert_eq!(
+                        via_sql.rows[0][0],
+                        Value::Str(kind.name().to_string())
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 200, "checked {checked} hypothesis queries");
+}
+
+#[test]
+fn every_notebook_entry_is_executable() {
+    // Generate a real notebook and run every SQL cell.
+    let table = dataset();
+    let cfg = cn_core_like_config();
+    let run = cn_pipeline_run(&table, &cfg);
+    assert!(!run.notebook.is_empty());
+    for entry in &run.notebook.entries {
+        let result = run_sql(&entry.sql, &table)
+            .unwrap_or_else(|e| panic!("{e} in\n{}", entry.sql));
+        // The preview is a prefix of the executed result.
+        for (row, (name, l, r)) in result.rows.iter().zip(entry.preview.iter()) {
+            assert_eq!(row[0], Value::Str(name.clone()));
+            assert_eq!(row[1], Value::Num(*l));
+            assert_eq!(row[2], Value::Num(*r));
+        }
+    }
+}
+
+// Local aliases keep this test free of a cn-core dependency (which would be
+// circular in dev-deps).
+fn cn_core_like_config() -> cn_pipeline::GeneratorConfig {
+    cn_pipeline::GeneratorConfig {
+        generation_config: cn_insight::generation::GenerationConfig {
+            test: cn_insight::significance::TestConfig {
+                n_permutations: 99,
+                seed: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        n_threads: 2,
+        ..Default::default()
+    }
+}
+
+fn cn_pipeline_run(
+    table: &Table,
+    cfg: &cn_pipeline::GeneratorConfig,
+) -> cn_pipeline::RunResult {
+    cn_pipeline::run(table, cfg)
+}

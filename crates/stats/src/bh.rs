@@ -1,0 +1,136 @@
+//! Benjamini–Hochberg false-discovery-rate correction (paper Section 5.1.1).
+
+/// Adjusts a family of p-values with the Benjamini–Hochberg step-up
+/// procedure, returning the adjusted values (q-values) in the *original*
+/// order.
+///
+/// `q_(k) = min_{j ≥ k} ( p_(j) · n / j )`, clamped to 1. Deciding
+/// `q_i ≤ α` is equivalent to the classic step-up rule at FDR level `α`.
+pub fn benjamini_hochberg(pvalues: &[f64]) -> Vec<f64> {
+    let n = pvalues.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        pvalues[a].partial_cmp(&pvalues[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut adjusted = vec![0.0f64; n];
+    let mut running_min = f64::INFINITY;
+    for rank in (0..n).rev() {
+        let i = order[rank];
+        let q = pvalues[i] * n as f64 / (rank + 1) as f64;
+        running_min = running_min.min(q);
+        adjusted[i] = running_min.min(1.0);
+    }
+    adjusted
+}
+
+/// Indices of discoveries at FDR level `alpha` (after BH adjustment).
+pub fn discoveries(pvalues: &[f64], alpha: f64) -> Vec<usize> {
+    benjamini_hochberg(pvalues)
+        .iter()
+        .enumerate()
+        .filter(|(_, &q)| q <= alpha)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_example() {
+        // Classic worked example.
+        let p = [0.01, 0.04, 0.03, 0.005];
+        let q = benjamini_hochberg(&p);
+        // sorted p: 0.005, 0.01, 0.03, 0.04 -> raw q: 0.02, 0.02, 0.04, 0.04
+        assert!((q[3] - 0.02).abs() < 1e-12);
+        assert!((q[0] - 0.02).abs() < 1e-12);
+        assert!((q[2] - 0.04).abs() < 1e-12);
+        assert!((q[1] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjusted_at_least_raw_and_at_most_one() {
+        let p = [0.001, 0.2, 0.9, 0.5, 0.04];
+        let q = benjamini_hochberg(&p);
+        for (pi, qi) in p.iter().zip(q.iter()) {
+            assert!(qi >= pi);
+            assert!(*qi <= 1.0);
+        }
+    }
+
+    #[test]
+    fn single_pvalue_unchanged() {
+        assert_eq!(benjamini_hochberg(&[0.03]), vec![0.03]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(benjamini_hochberg(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_equal_pvalues() {
+        let q = benjamini_hochberg(&[0.05; 4]);
+        for v in q {
+            assert!((v - 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discoveries_at_level() {
+        let p = [0.001, 0.2, 0.9, 0.5, 0.004];
+        let d = discoveries(&p, 0.05);
+        assert_eq!(d, vec![0, 4]);
+    }
+
+    #[test]
+    fn step_up_equivalence() {
+        // BH step-up: find max k with p_(k) <= k/n * alpha; reject 1..k.
+        let p = [0.01, 0.02, 0.03, 0.04, 0.2];
+        let alpha = 0.05;
+        let mut sorted: Vec<(usize, f64)> = p.iter().copied().enumerate().collect();
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let n = p.len();
+        let mut k = 0;
+        for (rank, &(_, pv)) in sorted.iter().enumerate() {
+            if pv <= (rank + 1) as f64 / n as f64 * alpha {
+                k = rank + 1;
+            }
+        }
+        let classic: std::collections::BTreeSet<usize> =
+            sorted[..k].iter().map(|&(i, _)| i).collect();
+        let ours: std::collections::BTreeSet<usize> =
+            discoveries(&p, alpha).into_iter().collect();
+        assert_eq!(classic, ours);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bh_preserves_order_and_bounds(p in proptest::collection::vec(0.0f64..=1.0, 0..50)) {
+            let q = benjamini_hochberg(&p);
+            prop_assert_eq!(p.len(), q.len());
+            for (pi, qi) in p.iter().zip(q.iter()) {
+                prop_assert!(*qi >= *pi - 1e-15);
+                prop_assert!(*qi <= 1.0 + 1e-15);
+            }
+            // Monotone: smaller p never gets a larger q.
+            for i in 0..p.len() {
+                for j in 0..p.len() {
+                    if p[i] < p[j] {
+                        prop_assert!(q[i] <= q[j] + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Descriptive statistics with `NaN`-as-missing semantics.
+
+/// Summary statistics of a numeric series, accumulated with Welford's
+/// online algorithm (numerically stable single pass).
+///
+/// `NaN` inputs are treated as missing and skipped, matching the measure
+/// encoding of `cn-tabular`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Count of non-missing observations.
+    pub n: u64,
+    /// Arithmetic mean (0 when `n == 0`).
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (`M2` in Welford's terms).
+    pub m2: f64,
+    /// Minimum (`+inf` when `n == 0`).
+    pub min: f64,
+    /// Maximum (`-inf` when `n == 0`).
+    pub max: f64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Summarizes a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation (`NaN` is skipped).
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.n += 1;
+        self.sum += v;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merges another summary into this one (parallel/Chan update).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Population variance (`M2 / n`; 0 when `n == 0`).
+    pub fn variance_population(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (`M2 / (n-1)`; 0 when `n < 2`).
+    pub fn variance_sample(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev_sample(&self) -> f64 {
+        self.variance_sample().sqrt()
+    }
+}
+
+/// Mean skipping `NaN` (0 for an all-missing slice).
+pub fn mean(values: &[f64]) -> f64 {
+    Summary::of(values).mean
+}
+
+/// Sample variance skipping `NaN`.
+pub fn variance(values: &[f64]) -> f64 {
+    Summary::of(values).variance_sample()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance_population() - 4.0).abs() < 1e-12);
+        assert!((s.variance_sample() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.sum, 40.0);
+    }
+
+    #[test]
+    fn nan_is_skipped() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.variance_sample(), 0.0);
+        assert_eq!(s.variance_population(), 0.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_variance() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.variance_sample(), 0.0);
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::of(&data);
+        let mut a = Summary::of(&data[..37]);
+        let b = Summary::of(&data[37..]);
+        a.merge(&b);
+        assert_eq!(a.n, whole.n);
+        assert!((a.mean - whole.mean).abs() < 1e-9);
+        assert!((a.m2 - whole.m2).abs() < 1e-6);
+        assert_eq!(a.min, whole.min);
+        assert_eq!(a.max, whole.max);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::of(&[1.0, 2.0]);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn welford_matches_naive(values in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let s = Summary::of(&values);
+            let n = values.len() as f64;
+            if !values.is_empty() {
+                let naive_mean: f64 = values.iter().sum::<f64>() / n;
+                prop_assert!((s.mean - naive_mean).abs() < 1e-6 * (1.0 + naive_mean.abs()));
+                let naive_var: f64 =
+                    values.iter().map(|v| (v - naive_mean).powi(2)).sum::<f64>() / n;
+                prop_assert!(
+                    (s.variance_population() - naive_var).abs() < 1e-4 * (1.0 + naive_var)
+                );
+            }
+        }
+
+        #[test]
+        fn merge_any_split_matches(values in proptest::collection::vec(-1e3f64..1e3, 1..100), split in 0usize..100) {
+            let split = split.min(values.len());
+            let whole = Summary::of(&values);
+            let mut a = Summary::of(&values[..split]);
+            a.merge(&Summary::of(&values[split..]));
+            prop_assert_eq!(a.n, whole.n);
+            prop_assert!((a.mean - whole.mean).abs() < 1e-8 * (1.0 + whole.mean.abs()));
+            prop_assert!((a.m2 - whole.m2).abs() < 1e-5 * (1.0 + whole.m2.abs()));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # cn-stats
+//!
+//! The statistical substrate of the comparison-notebook system:
+//!
+//! - [`describe`] — numerically stable descriptive statistics (Welford) with
+//!   `NaN`-as-missing semantics matching `cn-tabular`.
+//! - [`permutation`] — resampling-based hypothesis tests for the two insight
+//!   types of the paper (*mean greater*, *variance greater*), including the
+//!   shared-permutation optimization of Section 5.1.1.
+//! - [`bh`] — Benjamini–Hochberg false-discovery-rate correction.
+//! - [`power`] — simulation-based power analysis: how much sampling a
+//!   planned effect size tolerates (the quantitative side of Figures 6/9).
+//! - [`ttest`] — Welch's and paired t-tests (used by the user-study analysis
+//!   of Section 6.5), backed by a regularized incomplete-beta implementation.
+//! - [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible from a single root seed.
+
+pub mod bh;
+pub mod describe;
+pub mod permutation;
+pub mod power;
+pub mod rng;
+pub mod special;
+pub mod ttest;
+
+pub use bh::benjamini_hochberg;
+pub use describe::Summary;
+pub use permutation::{shared_permutation_pvalues, two_sample_pvalue, TestKind, TwoSample};
+pub use ttest::{paired_t_test, welch_t_test, TTestResult};

@@ -1,0 +1,361 @@
+//! Permutation (resampling) tests for comparison insights.
+//!
+//! The paper tests insights by resampling rather than parametrically
+//! (Section 5.1.1), "due to its advantages over parametric testing: it does
+//! not assume the distributions of the test statistics, nor does it impose
+//! samples to be large enough". Table 1 fixes the null hypotheses and test
+//! statistics per insight type:
+//!
+//! | Insight type       | Null            | Statistic          |
+//! |--------------------|-----------------|--------------------|
+//! | M (mean greater)   | `E[X] = E[Y]`   | `\|μ_X − μ_Y\|`    |
+//! | V (variance greater)| `var(X)=var(Y)`| `\|σ²_X − σ²_Y\|`  |
+//!
+//! [`shared_permutation_pvalues`] implements the optimization of reusing
+//! *the same permutations* for all measures tested on a given categorical
+//! attribute slice: all provided samples must share the same row split
+//! `(|X|, |Y|)`, and each random permutation is applied to every measure.
+
+use crate::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The statistical test associated with an insight type (paper Table 1,
+/// plus the extension type of Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestKind {
+    /// Absolute difference of means; null `E[X] = E[Y]`.
+    MeanDiff,
+    /// Absolute difference of (population) variances; null `var(X) = var(Y)`.
+    VarDiff,
+    /// Absolute difference of maxima; null: equal right tails. The test
+    /// statistic `|max(X) − max(Y)|` backs the *extreme greater* insight
+    /// type added per the paper's Section 7 extension recipe.
+    MaxDiff,
+}
+
+/// A pair of series to compare — measure `M` restricted to `B = val`
+/// (`x`) and `B = val'` (`y`). `NaN` entries are missing and ignored.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoSample<'a> {
+    /// Values for the first selection (`B = val`).
+    pub x: &'a [f64],
+    /// Values for the second selection (`B = val'`).
+    pub y: &'a [f64],
+}
+
+/// Sufficient statistics of one side of a split: count, sum, sum of
+/// squares, and maximum over non-missing values.
+#[derive(Debug, Clone, Copy)]
+struct Moments {
+    n: f64,
+    sum: f64,
+    sumsq: f64,
+    max: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Moments { n: 0.0, sum: 0.0, sumsq: 0.0, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Moments {
+    #[inline]
+    fn push(&mut self, v: f64) {
+        if !v.is_nan() {
+            self.n += 1.0;
+            self.sum += v;
+            self.sumsq += v * v;
+            if v > self.max {
+                self.max = v;
+            }
+        }
+    }
+
+    fn of(values: impl Iterator<Item = f64>) -> Self {
+        let mut m = Moments::default();
+        for v in values {
+            m.push(v);
+        }
+        m
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        if self.n == 0.0 {
+            0.0
+        } else {
+            self.sum / self.n
+        }
+    }
+
+    /// Population variance, clamped at 0 against rounding.
+    #[inline]
+    fn var(&self) -> f64 {
+        if self.n == 0.0 {
+            0.0
+        } else {
+            (self.sumsq / self.n - self.mean() * self.mean()).max(0.0)
+        }
+    }
+
+    /// Subtractive complement (count/sum/sumsq only). The maximum is not
+    /// subtractive, so `MaxDiff` cannot use the one-sided optimization —
+    /// see [`shared_permutation_pvalues`].
+    #[inline]
+    fn minus(&self, other: &Moments) -> Moments {
+        Moments {
+            n: self.n - other.n,
+            sum: self.sum - other.sum,
+            sumsq: self.sumsq - other.sumsq,
+            max: f64::NAN, // unknown; must not be read on this path
+        }
+    }
+}
+
+#[inline]
+fn statistic(kind: TestKind, x: &Moments, y: &Moments) -> f64 {
+    match kind {
+        TestKind::MeanDiff => (x.mean() - y.mean()).abs(),
+        TestKind::VarDiff => (x.var() - y.var()).abs(),
+        TestKind::MaxDiff => {
+            debug_assert!(!x.max.is_nan() && !y.max.is_nan());
+            if x.n == 0.0 || y.n == 0.0 {
+                0.0
+            } else {
+                (x.max - y.max).abs()
+            }
+        }
+    }
+}
+
+/// Runs permutation tests for several measures over the *same* row split,
+/// sharing the random permutations across measures.
+///
+/// `samples[i]` holds the `(x, y)` series of measure `i`; all samples must
+/// have equal `x.len()` and equal `y.len()` (they come from the same two
+/// selections of the same attribute). Returns `p[i][k]`, the p-value of
+/// `kinds[k]` on `samples[i]`, using the add-one-smoothing estimator
+/// `p = (1 + #{T_perm ≥ T_obs}) / (1 + n_permutations)`.
+pub fn shared_permutation_pvalues(
+    samples: &[TwoSample<'_>],
+    kinds: &[TestKind],
+    n_permutations: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    if samples.is_empty() || kinds.is_empty() {
+        return vec![vec![]; samples.len()];
+    }
+    let nx = samples[0].x.len();
+    let ny = samples[0].y.len();
+    assert!(
+        samples.iter().all(|s| s.x.len() == nx && s.y.len() == ny),
+        "shared permutations require identical splits across measures"
+    );
+    if nx == 0 || ny == 0 {
+        // Nothing to compare: never significant.
+        return vec![vec![1.0; kinds.len()]; samples.len()];
+    }
+    let total = nx + ny;
+    let n_meas = samples.len();
+
+    // Pooled values per measure (x then y) and their total moments.
+    let pooled: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| s.x.iter().chain(s.y.iter()).copied().collect())
+        .collect();
+    let totals: Vec<Moments> =
+        pooled.iter().map(|p| Moments::of(p.iter().copied())).collect();
+
+    // Observed statistics.
+    let mut observed = vec![vec![0.0f64; kinds.len()]; n_meas];
+    for (i, s) in samples.iter().enumerate() {
+        let mx = Moments::of(s.x.iter().copied());
+        let my = Moments::of(s.y.iter().copied());
+        for (k, &kind) in kinds.iter().enumerate() {
+            observed[i][k] = statistic(kind, &mx, &my);
+        }
+    }
+
+    let mut exceed = vec![vec![0u32; kinds.len()]; n_meas];
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, &[nx as u64, ny as u64]));
+    let mut perm: Vec<u32> = (0..total as u32).collect();
+
+    for _ in 0..n_permutations {
+        // Partial Fisher–Yates: only the first nx slots need to be uniform —
+        // they define the permuted X side; Y is the complement, recovered
+        // from the pooled totals.
+        for i in 0..nx.min(total - 1) {
+            let j = rng.random_range(i..total);
+            perm.swap(i, j);
+        }
+        let needs_full_y = kinds.contains(&TestKind::MaxDiff);
+        for (i, p) in pooled.iter().enumerate() {
+            let mut mx = Moments::default();
+            for &idx in &perm[..nx] {
+                mx.push(p[idx as usize]);
+            }
+            let my = if needs_full_y {
+                // Maxima are not subtractive: scan the Y side as well.
+                let mut m = Moments::default();
+                for &idx in &perm[nx..] {
+                    m.push(p[idx as usize]);
+                }
+                m
+            } else {
+                totals[i].minus(&mx)
+            };
+            for (k, &kind) in kinds.iter().enumerate() {
+                if statistic(kind, &mx, &my) >= observed[i][k] {
+                    exceed[i][k] += 1;
+                }
+            }
+        }
+    }
+
+    let denom = (n_permutations + 1) as f64;
+    exceed
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| (c as f64 + 1.0) / denom).collect())
+        .collect()
+}
+
+/// Permutation p-value for a single pair of series and a single test kind.
+pub fn two_sample_pvalue(
+    x: &[f64],
+    y: &[f64],
+    kind: TestKind,
+    n_permutations: usize,
+    seed: u64,
+) -> f64 {
+    shared_permutation_pvalues(&[TwoSample { x, y }], &[kind], n_permutations, seed)[0][0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+        // Box–Muller, adequate for tests.
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random::<f64>();
+        mu + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    #[test]
+    fn detects_clear_mean_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..60).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+        let y: Vec<f64> = (0..60).map(|_| normal(&mut rng, 3.0, 1.0)).collect();
+        let p = two_sample_pvalue(&x, &y, TestKind::MeanDiff, 199, 7);
+        assert!(p < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn detects_clear_variance_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<f64> = (0..80).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+        let y: Vec<f64> = (0..80).map(|_| normal(&mut rng, 0.0, 5.0)).collect();
+        let p = two_sample_pvalue(&x, &y, TestKind::VarDiff, 199, 7);
+        assert!(p < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn null_data_is_rarely_significant() {
+        // Under the null, p ≤ 0.05 should happen ~5% of the time.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0;
+        let reps = 100;
+        for rep in 0..reps {
+            let x: Vec<f64> = (0..30).map(|_| normal(&mut rng, 1.0, 2.0)).collect();
+            let y: Vec<f64> = (0..30).map(|_| normal(&mut rng, 1.0, 2.0)).collect();
+            if two_sample_pvalue(&x, &y, TestKind::MeanDiff, 99, rep) <= 0.05 {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 14, "false positive rate too high: {hits}/{reps}");
+    }
+
+    #[test]
+    fn pvalue_is_deterministic_per_seed() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 3.0, 4.0, 5.0];
+        let p1 = two_sample_pvalue(&x, &y, TestKind::MeanDiff, 99, 5);
+        let p2 = two_sample_pvalue(&x, &y, TestKind::MeanDiff, 99, 5);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn empty_side_gives_p_one() {
+        assert_eq!(two_sample_pvalue(&[], &[1.0], TestKind::MeanDiff, 99, 0), 1.0);
+        assert_eq!(two_sample_pvalue(&[1.0], &[], TestKind::VarDiff, 99, 0), 1.0);
+    }
+
+    #[test]
+    fn nan_values_are_ignored() {
+        let x = [1.0, f64::NAN, 1.0, 1.0, 1.0];
+        let y = [1.0, 1.0, f64::NAN, 1.0, 1.0];
+        // Identical after NaN removal: observed statistic 0, p must be 1.
+        let p = two_sample_pvalue(&x, &y, TestKind::MeanDiff, 99, 0);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_permutations_match_per_measure_shapes() {
+        let x1 = [0.0, 0.0, 0.1, 0.0];
+        let y1 = [5.0, 5.1, 5.0, 4.9];
+        let x2 = [1.0, 1.0, 1.0, 1.0];
+        let y2 = [1.0, 1.0, 1.0, 1.0];
+        let ps = shared_permutation_pvalues(
+            &[TwoSample { x: &x1, y: &y1 }, TwoSample { x: &x2, y: &y2 }],
+            &[TestKind::MeanDiff, TestKind::VarDiff],
+            199,
+            11,
+        );
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].len(), 2);
+        // Measure 1 has a blatant mean difference, measure 2 none at all.
+        assert!(ps[0][0] < 0.05, "p = {}", ps[0][0]);
+        assert!((ps[1][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical splits")]
+    fn mismatched_splits_panic() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        shared_permutation_pvalues(
+            &[TwoSample { x: &a, y: &a }, TwoSample { x: &a, y: &b }],
+            &[TestKind::MeanDiff],
+            9,
+            0,
+        );
+    }
+
+    #[test]
+    fn pvalues_are_valid_probabilities() {
+        let x = [1.0, 5.0, 2.0];
+        let y = [9.0, 1.0, 4.0, 2.0];
+        for kind in [TestKind::MeanDiff, TestKind::VarDiff] {
+            let p = two_sample_pvalue(&x, &y, kind, 49, 3);
+            assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn complement_moments_are_consistent() {
+        // The Y-side moments recovered by subtraction must equal direct
+        // computation; verified indirectly: a deterministic dataset where
+        // every permutation statistic can also be computed directly.
+        let x = [1.0, 2.0];
+        let y = [3.0, 4.0];
+        let p_shared = two_sample_pvalue(&x, &y, TestKind::MeanDiff, 999, 42);
+        // With 4 elements there are C(4,2)=6 equiprobable splits; statistic
+        // |mean diff| of observed split (1.5 vs 3.5) = 2 is the maximum and
+        // is achieved by 2 of the 6 splits, so the exact p is ~1/3.
+        assert!((p_shared - 1.0 / 3.0).abs() < 0.06, "p = {p_shared}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Simulation-based power analysis for the permutation tests.
+//!
+//! Sampling (Section 5.1.2) trades statistical power for runtime: a
+//! fraction-`f` sample shrinks both sides of every two-sample test by `f`,
+//! and the recoverable-insight curves of Figures 6 and 9 are exactly
+//! power curves. This module quantifies that trade-off for a planned
+//! effect size — the tool an analyst needs to *choose* a sample size
+//! rather than sweep it.
+
+use crate::permutation::{two_sample_pvalue, TestKind};
+use crate::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A planned two-sample comparison: normal populations with a mean shift
+/// expressed in standard-deviation units (Cohen's d).
+#[derive(Debug, Clone, Copy)]
+pub struct PowerPlan {
+    /// Per-side sample size at full data.
+    pub n_per_side: usize,
+    /// Standardized effect size (Cohen's d) of the real difference.
+    pub effect_d: f64,
+    /// Significance threshold (the paper's 0.05).
+    pub alpha: f64,
+    /// Permutations per simulated test.
+    pub n_permutations: usize,
+    /// Monte-Carlo repetitions.
+    pub n_sims: usize,
+}
+
+impl Default for PowerPlan {
+    fn default() -> Self {
+        PowerPlan { n_per_side: 100, effect_d: 0.5, alpha: 0.05, n_permutations: 99, n_sims: 100 }
+    }
+}
+
+fn box_muller(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Estimated probability that the permutation mean test detects the
+/// planned effect (`p ≤ alpha`).
+pub fn estimate_power(plan: &PowerPlan, seed: u64) -> f64 {
+    if plan.n_per_side == 0 || plan.n_sims == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for sim in 0..plan.n_sims {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, &[sim as u64]));
+        let x: Vec<f64> = (0..plan.n_per_side).map(|_| box_muller(&mut rng)).collect();
+        let y: Vec<f64> =
+            (0..plan.n_per_side).map(|_| box_muller(&mut rng) + plan.effect_d).collect();
+        let p = two_sample_pvalue(
+            &x,
+            &y,
+            TestKind::MeanDiff,
+            plan.n_permutations,
+            derive_seed(seed, &[1000 + sim as u64]),
+        );
+        if p <= plan.alpha {
+            hits += 1;
+        }
+    }
+    hits as f64 / plan.n_sims as f64
+}
+
+/// Power of the same plan on a fraction-`f` sample (both sides shrink).
+pub fn power_at_fraction(plan: &PowerPlan, fraction: f64, seed: u64) -> f64 {
+    let shrunk = PowerPlan {
+        n_per_side: ((plan.n_per_side as f64) * fraction.clamp(0.0, 1.0)).round() as usize,
+        ..*plan
+    };
+    estimate_power(&shrunk, seed)
+}
+
+/// Smallest sample fraction (on a grid of `steps`) whose estimated power
+/// reaches `target`; `None` when even the full data falls short.
+pub fn min_fraction_for_power(
+    plan: &PowerPlan,
+    target: f64,
+    steps: usize,
+    seed: u64,
+) -> Option<f64> {
+    for s in 1..=steps {
+        let fraction = s as f64 / steps as f64;
+        if power_at_fraction(plan, fraction, derive_seed(seed, &[s as u64])) >= target {
+            return Some(fraction);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_effects_have_high_power() {
+        let plan = PowerPlan { effect_d: 1.5, n_per_side: 60, n_sims: 40, ..Default::default() };
+        assert!(estimate_power(&plan, 1) >= 0.9);
+    }
+
+    #[test]
+    fn null_effect_stays_near_alpha() {
+        let plan = PowerPlan { effect_d: 0.0, n_per_side: 60, n_sims: 80, ..Default::default() };
+        let p = estimate_power(&plan, 2);
+        assert!(p <= 0.15, "false positive rate {p}");
+    }
+
+    #[test]
+    fn power_grows_with_sample_size() {
+        let small = PowerPlan { effect_d: 0.4, n_per_side: 15, n_sims: 60, ..Default::default() };
+        let large = PowerPlan { n_per_side: 150, ..small };
+        let ps = estimate_power(&small, 3);
+        let pl = estimate_power(&large, 3);
+        assert!(pl > ps, "{pl} vs {ps}");
+        assert!(pl >= 0.8);
+    }
+
+    #[test]
+    fn sampling_reduces_power_monotonically_ish() {
+        let plan = PowerPlan { effect_d: 0.5, n_per_side: 120, n_sims: 60, ..Default::default() };
+        let p10 = power_at_fraction(&plan, 0.1, 4);
+        let p100 = power_at_fraction(&plan, 1.0, 4);
+        assert!(p100 > p10, "{p100} vs {p10}");
+    }
+
+    #[test]
+    fn min_fraction_finds_a_threshold() {
+        let plan = PowerPlan { effect_d: 0.9, n_per_side: 120, n_sims: 40, ..Default::default() };
+        let f = min_fraction_for_power(&plan, 0.8, 5, 5).expect("full data has the power");
+        assert!(f <= 1.0 && f >= 0.2);
+        // An undetectable effect never reaches the target.
+        let hopeless =
+            PowerPlan { effect_d: 0.01, n_per_side: 20, n_sims: 30, ..Default::default() };
+        assert_eq!(min_fraction_for_power(&hopeless, 0.9, 4, 6), None);
+    }
+
+    #[test]
+    fn degenerate_plans_are_safe() {
+        let plan = PowerPlan { n_per_side: 0, ..Default::default() };
+        assert_eq!(estimate_power(&plan, 0), 0.0);
+        let plan = PowerPlan { n_sims: 0, ..Default::default() };
+        assert_eq!(estimate_power(&plan, 0), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Welch's and paired t-tests.
+//!
+//! The paper uses t-tests to analyze the human evaluation (Section 6.5:
+//! "a statistical t-test confirmed that the difference … is not
+//! significant"); `cn-study` uses these to reproduce that analysis over the
+//! simulated rater panel.
+
+use crate::describe::Summary;
+use crate::special::t_two_sided_pvalue;
+
+/// Result of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for the two-sample test).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's unequal-variances two-sample t-test (two-sided).
+///
+/// Returns `None` when either side has fewer than two observations or both
+/// variances are zero (the statistic is undefined).
+pub fn welch_t_test(x: &[f64], y: &[f64]) -> Option<TTestResult> {
+    let sx = Summary::of(x);
+    let sy = Summary::of(y);
+    if sx.n < 2 || sy.n < 2 {
+        return None;
+    }
+    let nx = sx.n as f64;
+    let ny = sy.n as f64;
+    let vx = sx.variance_sample();
+    let vy = sy.variance_sample();
+    let se2 = vx / nx + vy / ny;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (sx.mean - sy.mean) / se2.sqrt();
+    let df = se2 * se2 / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
+    Some(TTestResult { t, df, p_value: t_two_sided_pvalue(t, df) })
+}
+
+/// Paired t-test on the differences `x[i] - y[i]` (two-sided).
+///
+/// Returns `None` for fewer than two pairs, mismatched lengths, or zero
+/// variance of the differences.
+pub fn paired_t_test(x: &[f64], y: &[f64]) -> Option<TTestResult> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| a - b).collect();
+    let s = Summary::of(&diffs);
+    if s.n < 2 {
+        return None;
+    }
+    let n = s.n as f64;
+    let var = s.variance_sample();
+    if var <= 0.0 {
+        return None;
+    }
+    let t = s.mean / (var / n).sqrt();
+    let df = n - 1.0;
+    Some(TTestResult { t, df, p_value: t_two_sided_pvalue(t, df) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welch_on_identical_samples_is_insignificant() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = welch_t_test(&x, &x).unwrap();
+        assert!((r.t).abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_matches_analytic_reference() {
+        // Equal sizes and equal sample variances: Welch reduces to Student's
+        // t. x = [0,1,2] (mean 1, s² = 1), y = [1,2,3] (mean 2, s² = 1):
+        //   t  = (1-2)/sqrt(1/3 + 1/3) = -sqrt(3/2) = -1.2247449,
+        //   df = (2/3)² / (2 · (1/3)²/2) = 4,
+        //   p  = I_{4/(4+t²)}(2, 1/2) = 4/3 − 2√(1−x) + (2/3)(1−x)^{3/2}
+        //        over B(2,1/2) = 4/3, with x = 8/11  →  p = 0.2878641…
+        let x = [0.0, 1.0, 2.0];
+        let y = [1.0, 2.0, 3.0];
+        let r = welch_t_test(&x, &y).unwrap();
+        assert!((r.t + (1.5f64).sqrt()).abs() < 1e-12, "t = {}", r.t);
+        assert!((r.df - 4.0).abs() < 1e-9, "df = {}", r.df);
+        assert!((r.p_value - 0.2878641).abs() < 1e-5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_detects_big_shift() {
+        let x = [0.1, 0.2, 0.0, -0.1, 0.05, 0.12];
+        let y = [5.0, 5.1, 4.9, 5.2, 5.05, 4.95];
+        let r = welch_t_test(&x, &y).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn welch_degenerate_inputs() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none()); // zero variance
+    }
+
+    #[test]
+    fn paired_detects_consistent_improvement() {
+        let before = [5.0, 6.0, 4.5, 5.5, 6.2, 5.8];
+        let after: Vec<f64> = before.iter().map(|v| v + 1.0 + 0.01 * v).collect();
+        let r = paired_t_test(&after, &before).unwrap();
+        assert!(r.p_value < 1e-4);
+        assert!(r.t > 0.0);
+        assert_eq!(r.df, 5.0);
+    }
+
+    #[test]
+    fn paired_degenerate_inputs() {
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(paired_t_test(&[1.0], &[1.0]).is_none());
+        // Constant differences -> zero variance -> undefined.
+        assert!(paired_t_test(&[2.0, 3.0, 4.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn paired_no_effect_is_insignificant() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [1.1, 1.9, 3.05, 3.95, 5.1, 5.9];
+        let r = paired_t_test(&x, &y).unwrap();
+        assert!(r.p_value > 0.3, "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,22 @@
+//! # cn-study
+//!
+//! A **simulated** reproduction of the paper's human evaluation
+//! (Section 6.5, Figure 10). Nine volunteers rated six generated notebooks
+//! on four criteria; we obviously cannot run humans, so a panel of seeded
+//! *simulated raters* scores notebooks from measurable properties through
+//! per-rater weights, bias, and noise (see DESIGN.md §1 for the
+//! substitution argument). The analysis machinery — per-criterion means
+//! and paired t-tests between generators — is the paper's.
+//!
+//! - [`measures`] — objective notebook measurables (significance, surprise,
+//!   conciseness, coherence, diversity, repetition).
+//! - [`rater`] — the rater model and panel generation.
+//! - [`study`] — running the full study over the Table 7 generators.
+
+pub mod measures;
+pub mod rater;
+pub mod study;
+
+pub use measures::NotebookMeasures;
+pub use rater::{Criterion, Rater};
+pub use study::{run_user_study, StudyConfig, StudyResult};

@@ -1,0 +1,164 @@
+//! Objective notebook measurables feeding the simulated raters.
+
+use cn_interest::{conciseness, ConcisenessParams, distance, DistanceWeights};
+use cn_pipeline::RunResult;
+use std::collections::HashSet;
+
+/// Measurable properties of a generated notebook. All values are raw; the
+/// study layer standardizes them across the compared notebooks before
+/// scoring (raters judge relative quality).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NotebookMeasures {
+    /// Number of comparison queries.
+    pub n_entries: f64,
+    /// Mean significance of the evidenced insights.
+    pub mean_significance: f64,
+    /// Mean surprise (`1 − cred/|Qⁱ|`) of the evidenced insights.
+    pub mean_surprise: f64,
+    /// Mean conciseness of the queries.
+    pub mean_conciseness: f64,
+    /// Mean distance between consecutive queries (coherence is its
+    /// inverse).
+    pub mean_step_distance: f64,
+    /// Distinct selection attributes / entries (topic diversity).
+    pub attribute_diversity: f64,
+    /// 1 − distinct (B, val, val') sites / entries: how repetitive the
+    /// notebook feels.
+    pub repetition: f64,
+    /// Mean number of insights evidenced per query.
+    pub insight_density: f64,
+}
+
+impl NotebookMeasures {
+    /// Computes the measurables from a pipeline run.
+    pub fn from_run(
+        run: &RunResult,
+        weights: &DistanceWeights,
+        conc: &ConcisenessParams,
+    ) -> NotebookMeasures {
+        let seq = &run.solution.sequence;
+        let n = seq.len();
+        if n == 0 {
+            return NotebookMeasures {
+                n_entries: 0.0,
+                mean_significance: 0.0,
+                mean_surprise: 0.0,
+                mean_conciseness: 0.0,
+                mean_step_distance: 0.0,
+                attribute_diversity: 0.0,
+                repetition: 0.0,
+                insight_density: 0.0,
+            };
+        }
+        let mut sig_sum = 0.0;
+        let mut surprise_sum = 0.0;
+        let mut n_insights = 0usize;
+        let mut conc_sum = 0.0;
+        let mut attrs: HashSet<u16> = HashSet::new();
+        let mut sites: HashSet<(u16, u32, u32)> = HashSet::new();
+        for &qi in seq {
+            let q = &run.queries[qi];
+            conc_sum += conciseness(q.theta, q.gamma, conc);
+            attrs.insert(q.spec.select_on.0);
+            sites.insert((q.spec.select_on.0, q.spec.val, q.spec.val2));
+            for &id in &q.insight_ids {
+                let s = &run.insights[id];
+                sig_sum += s.detail.significance();
+                surprise_sum += s.credibility.type_ii_term();
+                n_insights += 1;
+            }
+        }
+        let step_sum: f64 = seq
+            .windows(2)
+            .map(|w| distance(&run.queries[w[0]].spec, &run.queries[w[1]].spec, weights))
+            .sum();
+        NotebookMeasures {
+            n_entries: n as f64,
+            mean_significance: if n_insights > 0 { sig_sum / n_insights as f64 } else { 0.0 },
+            mean_surprise: if n_insights > 0 { surprise_sum / n_insights as f64 } else { 0.0 },
+            mean_conciseness: conc_sum / n as f64,
+            mean_step_distance: if n > 1 { step_sum / (n - 1) as f64 } else { 0.0 },
+            attribute_diversity: attrs.len() as f64 / n as f64,
+            repetition: 1.0 - sites.len() as f64 / n as f64,
+            insight_density: n_insights as f64 / n as f64,
+        }
+    }
+
+    /// The measurables as a fixed-order vector (for standardization).
+    pub fn as_vec(&self) -> [f64; 8] {
+        [
+            self.n_entries,
+            self.mean_significance,
+            self.mean_surprise,
+            self.mean_conciseness,
+            self.mean_step_distance,
+            self.attribute_diversity,
+            self.repetition,
+            self.insight_density,
+        ]
+    }
+
+    /// Names matching [`NotebookMeasures::as_vec`] positions.
+    pub const NAMES: [&'static str; 8] = [
+        "n_entries",
+        "mean_significance",
+        "mean_surprise",
+        "mean_conciseness",
+        "mean_step_distance",
+        "attribute_diversity",
+        "repetition",
+        "insight_density",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_insight::significance::TestConfig;
+    use cn_pipeline::GeneratorConfig;
+
+    fn sample_run() -> RunResult {
+        let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 7);
+        let cfg = GeneratorConfig {
+            generation_config: cn_insight::generation::GenerationConfig {
+                test: TestConfig { n_permutations: 199, seed: 2, ..Default::default() },
+                ..Default::default()
+            },
+            n_threads: 4,
+            ..Default::default()
+        };
+        cn_pipeline::run(&t, &cfg)
+    }
+
+    #[test]
+    fn measures_are_in_sane_ranges() {
+        let run = sample_run();
+        let m = NotebookMeasures::from_run(
+            &run,
+            &DistanceWeights::default(),
+            &ConcisenessParams::default(),
+        );
+        assert!(m.n_entries >= 1.0);
+        assert!((0.0..=1.0).contains(&m.mean_significance) || m.mean_significance > 0.9);
+        assert!((0.0..=1.0).contains(&m.mean_surprise));
+        assert!((0.0..=1.0).contains(&m.mean_conciseness));
+        assert!(m.mean_step_distance >= 0.0);
+        assert!((0.0..=1.0).contains(&m.attribute_diversity));
+        assert!((0.0..=1.0).contains(&m.repetition));
+        assert!(m.insight_density >= 1.0);
+        assert_eq!(m.as_vec().len(), NotebookMeasures::NAMES.len());
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let mut run = sample_run();
+        run.solution.sequence.clear();
+        let m = NotebookMeasures::from_run(
+            &run,
+            &DistanceWeights::default(),
+            &ConcisenessParams::default(),
+        );
+        assert_eq!(m.n_entries, 0.0);
+        assert_eq!(m.insight_density, 0.0);
+    }
+}

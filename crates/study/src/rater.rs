@@ -1,0 +1,276 @@
+//! The simulated rater model.
+//!
+//! Each rater scores a notebook on the four criteria of [11] (as used in
+//! Section 6.5) from *standardized* notebook measurables through
+//! per-criterion weights, plus a personal bias and response noise. The
+//! archetype weights encode what each questionnaire item asks about;
+//! per-rater jitter encodes taste heterogeneity.
+
+use crate::measures::NotebookMeasures;
+use cn_stats::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four evaluation criteria of the questionnaire (Section 6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// "How informative is the notebook and how well does it capture
+    /// dataset highlights?"
+    Informativity,
+    /// "To what degree is the notebook comprehensible and easy to follow?"
+    Comprehensibility,
+    /// "What is the level of expertise of the notebook composer?"
+    Expertise,
+    /// "How closely does the notebook resemble a human-generated session?"
+    HumanEquivalence,
+}
+
+impl Criterion {
+    /// All four criteria, in the paper's order.
+    pub const ALL: [Criterion; 4] = [
+        Criterion::Informativity,
+        Criterion::Comprehensibility,
+        Criterion::Expertise,
+        Criterion::HumanEquivalence,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criterion::Informativity => "Informativity",
+            Criterion::Comprehensibility => "Comprehensibility",
+            Criterion::Expertise => "Expertise",
+            Criterion::HumanEquivalence => "Human Equivalence",
+        }
+    }
+
+    /// Archetype weights over the standardized measurables (same order as
+    /// [`NotebookMeasures::as_vec`]): `[n_entries, sig, surprise,
+    /// conciseness, step_distance, diversity, repetition, density]`.
+    fn archetype(self) -> [f64; 8] {
+        match self {
+            // Informative: significant, dense, covers topics.
+            Criterion::Informativity => [0.1, 0.8, 0.3, 0.1, 0.0, 0.5, -0.3, 0.5],
+            // Comprehensible: coherent steps, concise results, not
+            // overloaded.
+            Criterion::Comprehensibility => [0.0, 0.2, 0.0, 0.6, -0.8, 0.0, 0.1, -0.1],
+            // Expert: significant AND surprising findings, tidy outputs.
+            Criterion::Expertise => [0.0, 0.6, 0.7, 0.3, -0.1, 0.2, -0.2, 0.3],
+            // Human-like: balances coherence with variety; a human neither
+            // jumps randomly nor repeats near-identical queries ten times.
+            Criterion::HumanEquivalence => [0.1, 0.1, 0.2, 0.1, -0.4, 0.7, -0.8, 0.0],
+        }
+    }
+}
+
+/// One simulated participant.
+#[derive(Debug, Clone)]
+pub struct Rater {
+    /// Per-criterion weights over the standardized measurables.
+    weights: [[f64; 8]; 4],
+    /// Personal leniency, added to every score.
+    bias: f64,
+    /// Response-noise sigma (7-point-scale units).
+    noise_sigma: f64,
+    seed: u64,
+}
+
+impl Rater {
+    /// Draws a rater around the archetypes: weight jitter ±30%, bias
+    /// `N(0, 0.4)`, noise sigma 0.5.
+    pub fn draw(seed: u64) -> Rater {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = [[0.0; 8]; 4];
+        for (c, crit) in Criterion::ALL.iter().enumerate() {
+            let arch = crit.archetype();
+            for (k, &w) in arch.iter().enumerate() {
+                let jitter = 0.7 + 0.6 * rng.random::<f64>();
+                weights[c][k] = w * jitter;
+            }
+        }
+        let bias = (rng.random::<f64>() - 0.5) * 1.2;
+        Rater { weights, bias, noise_sigma: 0.5, seed }
+    }
+
+    /// Scores a notebook (whose measurables were standardized across the
+    /// compared set) on one criterion, on the 1–7 scale.
+    ///
+    /// `item` identifies the rated notebook so that the response noise is
+    /// a deterministic function of (rater, notebook, criterion).
+    pub fn score(&self, criterion: Criterion, standardized: &[f64; 8], item: u64) -> f64 {
+        let c = Criterion::ALL.iter().position(|&x| x == criterion).unwrap();
+        let raw: f64 = self.weights[c]
+            .iter()
+            .zip(standardized.iter())
+            .map(|(w, z)| w * z)
+            .sum();
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(self.seed, &[c as u64, item]));
+        let noise = (rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>() - 1.5)
+            * self.noise_sigma;
+        (4.0 + raw + self.bias + noise).clamp(1.0, 7.0)
+    }
+}
+
+/// Standardizes each measurable to zero mean / unit variance across the
+/// compared notebooks (constant columns become zero).
+pub fn standardize(all: &[NotebookMeasures]) -> Vec<[f64; 8]> {
+    let n = all.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let vecs: Vec<[f64; 8]> = all.iter().map(|m| m.as_vec()).collect();
+    let mut out = vec![[0.0; 8]; n];
+    for k in 0..8 {
+        let mean: f64 = vecs.iter().map(|v| v[k]).sum::<f64>() / n as f64;
+        let var: f64 = vecs.iter().map(|v| (v[k] - mean).powi(2)).sum::<f64>() / n as f64;
+        let std = var.sqrt();
+        for (i, v) in vecs.iter().enumerate() {
+            out[i][k] = if std > 1e-12 { (v[k] - mean) / std } else { 0.0 };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measures(sig: f64, step: f64, rep: f64) -> NotebookMeasures {
+        NotebookMeasures {
+            n_entries: 10.0,
+            mean_significance: sig,
+            mean_surprise: 0.5,
+            mean_conciseness: 0.5,
+            mean_step_distance: step,
+            attribute_diversity: 0.5,
+            repetition: rep,
+            insight_density: 1.5,
+        }
+    }
+
+    #[test]
+    fn scores_stay_on_the_scale() {
+        let r = Rater::draw(1);
+        for z in [[-3.0; 8], [0.0; 8], [3.0; 8]] {
+            for c in Criterion::ALL {
+                let s = r.score(c, &z, 0);
+                assert!((1.0..=7.0).contains(&s), "{c:?} -> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn scoring_is_deterministic() {
+        let r = Rater::draw(5);
+        let z = [0.4; 8];
+        assert_eq!(
+            r.score(Criterion::Expertise, &z, 3),
+            r.score(Criterion::Expertise, &z, 3)
+        );
+        // Different item → different noise draw (almost surely).
+        assert_ne!(
+            r.score(Criterion::Expertise, &z, 3),
+            r.score(Criterion::Expertise, &z, 4)
+        );
+    }
+
+    #[test]
+    fn informativity_prefers_significance() {
+        let ms = vec![measures(0.99, 5.0, 0.2), measures(0.5, 5.0, 0.2)];
+        let z = standardize(&ms);
+        // Average over many raters to wash out noise.
+        let mut better = 0;
+        for seed in 0..40 {
+            let r = Rater::draw(seed);
+            if r.score(Criterion::Informativity, &z[0], 0)
+                > r.score(Criterion::Informativity, &z[1], 1)
+            {
+                better += 1;
+            }
+        }
+        assert!(better >= 30, "significant notebook preferred ({better}/40)");
+    }
+
+    #[test]
+    fn human_equivalence_dislikes_repetition() {
+        let ms = vec![measures(0.9, 3.0, 0.0), measures(0.9, 3.0, 0.9)];
+        let z = standardize(&ms);
+        let mut better = 0;
+        for seed in 0..40 {
+            let r = Rater::draw(seed);
+            if r.score(Criterion::HumanEquivalence, &z[0], 0)
+                > r.score(Criterion::HumanEquivalence, &z[1], 1)
+            {
+                better += 1;
+            }
+        }
+        assert!(better >= 30, "non-repetitive notebook preferred ({better}/40)");
+    }
+
+    #[test]
+    fn standardize_zero_means() {
+        let ms = vec![measures(0.9, 1.0, 0.1), measures(0.5, 2.0, 0.3), measures(0.7, 3.0, 0.2)];
+        let z = standardize(&ms);
+        for k in 0..8 {
+            let mean: f64 = z.iter().map(|v| v[k]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+        }
+        // Constant column (n_entries) maps to zeros.
+        assert!(z.iter().all(|v| v[0] == 0.0));
+    }
+
+    #[test]
+    fn standardize_empty() {
+        assert!(standardize(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn scores_always_on_the_7_point_scale(
+            seed in 0u64..500,
+            z in proptest::array::uniform8(-5.0f64..5.0),
+            item in 0u64..20,
+        ) {
+            let r = Rater::draw(seed);
+            for c in Criterion::ALL {
+                let s = r.score(c, &z, item);
+                prop_assert!((1.0..=7.0).contains(&s), "{c:?} -> {s}");
+            }
+        }
+
+        #[test]
+        fn standardization_is_affine_invariant_in_rank(
+            values in proptest::collection::vec(0.0f64..1.0, 2..10),
+        ) {
+            // Standardizing preserves the ordering of any single measurable.
+            let ms: Vec<NotebookMeasures> = values
+                .iter()
+                .map(|&v| NotebookMeasures {
+                    n_entries: 10.0,
+                    mean_significance: v,
+                    mean_surprise: 0.5,
+                    mean_conciseness: 0.5,
+                    mean_step_distance: 1.0,
+                    attribute_diversity: 0.5,
+                    repetition: 0.1,
+                    insight_density: 1.0,
+                })
+                .collect();
+            let z = standardize(&ms);
+            for i in 0..values.len() {
+                for j in 0..values.len() {
+                    if values[i] < values[j] {
+                        prop_assert!(z[i][1] <= z[j][1] + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

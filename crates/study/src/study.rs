@@ -1,0 +1,219 @@
+//! Running the full simulated user study (Section 6.5 / Figure 10).
+
+use crate::measures::NotebookMeasures;
+use crate::rater::{standardize, Criterion, Rater};
+use cn_pipeline::{GeneratorConfig, GeneratorKind, RunResult};
+use cn_stats::rng::derive_seed;
+use cn_stats::{paired_t_test, TTestResult};
+use cn_tabular::Table;
+use std::time::Duration;
+
+/// Study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// The compared generators (default: the six of Table 7).
+    pub generators: Vec<GeneratorKind>,
+    /// Number of simulated raters (paper: 9 volunteers).
+    pub n_raters: usize,
+    /// Base pipeline configuration shared by all generators.
+    pub base: GeneratorConfig,
+    /// Sample fraction for the sampling generators (paper: 10%).
+    pub sample_fraction: f64,
+    /// Exact-TAP timeout for `Naive-exact`.
+    pub tap_timeout: Duration,
+    /// Study seed (rater panel).
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            generators: GeneratorKind::TABLE7.to_vec(),
+            n_raters: 9,
+            base: GeneratorConfig::default(),
+            sample_fraction: 0.1,
+            tap_timeout: Duration::from_secs(30),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of the study.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    /// The compared generators, in input order.
+    pub generators: Vec<GeneratorKind>,
+    /// The measured notebooks' properties, per generator.
+    pub measures: Vec<NotebookMeasures>,
+    /// `scores[g][c][r]`: rating of generator `g` on criterion `c` by
+    /// rater `r` (1–7).
+    pub scores: Vec<Vec<Vec<f64>>>,
+    /// The pipeline runs (for inspection / notebook export).
+    pub runs: Vec<RunResult>,
+}
+
+impl StudyResult {
+    /// Mean rating of a generator on a criterion (the Figure 10 bars).
+    pub fn mean_score(&self, g: usize, criterion: Criterion) -> f64 {
+        let c = Criterion::ALL.iter().position(|&x| x == criterion).unwrap();
+        let v = &self.scores[g][c];
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    }
+
+    /// Paired t-test between two generators on one criterion (the
+    /// Section 6.5 significance analysis; pairing is per rater).
+    pub fn compare(&self, g1: usize, g2: usize, criterion: Criterion) -> Option<TTestResult> {
+        let c = Criterion::ALL.iter().position(|&x| x == criterion).unwrap();
+        paired_t_test(&self.scores[g1][c], &self.scores[g2][c])
+    }
+
+    /// The generator with the best mean score on a criterion.
+    pub fn winner(&self, criterion: Criterion) -> usize {
+        (0..self.generators.len())
+            .max_by(|&a, &b| {
+                self.mean_score(a, criterion)
+                    .partial_cmp(&self.mean_score(b, criterion))
+                    .unwrap()
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Generates one notebook per configured generator on `table` and has the
+/// rater panel score them all.
+pub fn run_user_study(table: &Table, config: &StudyConfig) -> StudyResult {
+    // 1. Generate the notebooks.
+    let runs: Vec<RunResult> = config
+        .generators
+        .iter()
+        .map(|kind| {
+            let cfg =
+                kind.configure(config.base.clone(), config.sample_fraction, config.tap_timeout);
+            cn_pipeline::run(table, &cfg)
+        })
+        .collect();
+
+    // 2. Measure them.
+    let conc = config.base.interest.conciseness;
+    let measures: Vec<NotebookMeasures> = runs
+        .iter()
+        .map(|r| NotebookMeasures::from_run(r, &config.base.distance, &conc))
+        .collect();
+    let standardized = standardize(&measures);
+
+    // 3. Panel scoring.
+    let raters: Vec<Rater> =
+        (0..config.n_raters).map(|i| Rater::draw(derive_seed(config.seed, &[i as u64]))).collect();
+    let scores: Vec<Vec<Vec<f64>>> = (0..config.generators.len())
+        .map(|g| {
+            Criterion::ALL
+                .iter()
+                .map(|&c| {
+                    raters
+                        .iter()
+                        .map(|r| r.score(c, &standardized[g], g as u64))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    StudyResult { generators: config.generators.clone(), measures, scores, runs }
+}
+
+/// A cheaper entry point scoring pre-computed runs (used by tests and the
+/// harness when runs are reused across experiments).
+pub fn score_runs(
+    generators: Vec<GeneratorKind>,
+    runs: Vec<RunResult>,
+    base: &GeneratorConfig,
+    n_raters: usize,
+    seed: u64,
+) -> StudyResult {
+    let conc = base.interest.conciseness;
+    let measures: Vec<NotebookMeasures> =
+        runs.iter().map(|r| NotebookMeasures::from_run(r, &base.distance, &conc)).collect();
+    let standardized = standardize(&measures);
+    let raters: Vec<Rater> =
+        (0..n_raters).map(|i| Rater::draw(derive_seed(seed, &[i as u64]))).collect();
+    let scores: Vec<Vec<Vec<f64>>> = (0..generators.len())
+        .map(|g| {
+            Criterion::ALL
+                .iter()
+                .map(|&c| raters.iter().map(|r| r.score(c, &standardized[g], g as u64)).collect())
+                .collect()
+        })
+        .collect();
+    StudyResult { generators, measures, scores, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_insight::significance::TestConfig;
+
+    fn study_config() -> StudyConfig {
+        StudyConfig {
+            generators: vec![
+                GeneratorKind::WscApprox,
+                GeneratorKind::WscApproxSig,
+                GeneratorKind::WscRandApprox,
+            ],
+            n_raters: 9,
+            base: GeneratorConfig {
+                generation_config: cn_insight::generation::GenerationConfig {
+                    test: TestConfig { n_permutations: 99, seed: 4, ..Default::default() },
+                    ..Default::default()
+                },
+                budgets: cn_tap::Budgets { epsilon_t: 6.0, epsilon_d: 40.0 },
+                n_threads: 4,
+                ..Default::default()
+            },
+            sample_fraction: 0.5,
+            tap_timeout: Duration::from_secs(5),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn study_produces_scores_for_all_cells() {
+        let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 5);
+        let result = run_user_study(&t, &study_config());
+        assert_eq!(result.generators.len(), 3);
+        assert_eq!(result.scores.len(), 3);
+        for g in 0..3 {
+            assert_eq!(result.scores[g].len(), 4);
+            for c in 0..4 {
+                assert_eq!(result.scores[g][c].len(), 9);
+                for &s in &result.scores[g][c] {
+                    assert!((1.0..=7.0).contains(&s));
+                }
+            }
+        }
+        // Means and winner are well-defined.
+        for c in Criterion::ALL {
+            let w = result.winner(c);
+            assert!(w < 3);
+            assert!(result.mean_score(w, c) >= result.mean_score(0, c));
+        }
+    }
+
+    #[test]
+    fn t_tests_run_between_generators() {
+        let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 5);
+        let result = run_user_study(&t, &study_config());
+        let cmp = result.compare(0, 1, Criterion::Informativity);
+        // Ratings almost never have zero-variance differences.
+        if let Some(r) = cmp {
+            assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 5);
+        let a = run_user_study(&t, &study_config());
+        let b = run_user_study(&t, &study_config());
+        assert_eq!(a.scores, b.scores);
+    }
+}

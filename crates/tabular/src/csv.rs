@@ -1,0 +1,379 @@
+//! CSV import/export.
+//!
+//! The paper's entry scenario is "a data enthusiast … having to explore an
+//! unknown open data set in CSV format" where the user only distinguishes
+//! numeric from categorical attributes. [`read_str`] supports both modes:
+//! fully inferred typing (a column is a measure iff every non-empty field
+//! parses as a number) and an explicit user split via [`CsvOptions`].
+
+use crate::error::TabularError;
+use crate::schema::Schema;
+use crate::table::{Table, TableBuilder};
+use std::path::Path;
+
+/// Options controlling CSV ingestion.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Force these header names to be treated as measures; all others become
+    /// categorical. When `None`, types are inferred.
+    pub measures: Option<Vec<String>>,
+    /// Columns to drop entirely (e.g. free-text identifiers).
+    pub ignore: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: ',', measures: None, ignore: Vec::new() }
+    }
+}
+
+/// Splits raw CSV text into records, honouring double-quoted fields with
+/// `""` escapes and both `\n` and `\r\n` terminators.
+pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, TabularError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(TabularError::MalformedCsv {
+                            line,
+                            reason: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                '\r' => {} // swallow; `\n` terminates
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c if c == delimiter => record.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::MalformedCsv { line, reason: "unterminated quote".into() });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !saw_any {
+        return Err(TabularError::EmptyInput);
+    }
+    Ok(records)
+}
+
+fn parses_as_number(s: &str) -> bool {
+    let t = s.trim();
+    !t.is_empty() && t.parse::<f64>().is_ok()
+}
+
+/// Reads a table from CSV text. The first record is the header.
+pub fn read_str(name: &str, text: &str, options: &CsvOptions) -> Result<Table, TabularError> {
+    let records = parse_records(text, options.delimiter)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(TabularError::EmptyInput)?;
+    let rows: Vec<Vec<String>> = iter.collect();
+    if header.is_empty() {
+        return Err(TabularError::EmptyInput);
+    }
+
+    let keep: Vec<bool> = header.iter().map(|h| !options.ignore.iter().any(|i| i == h)).collect();
+
+    // Decide which kept columns are measures.
+    let is_measure: Vec<bool> = match &options.measures {
+        Some(forced) => header.iter().map(|h| forced.iter().any(|m| m == h)).collect(),
+        None => (0..header.len())
+            .map(|col| {
+                let mut any = false;
+                for row in &rows {
+                    let v = row.get(col).map(String::as_str).unwrap_or("");
+                    if !v.trim().is_empty() {
+                        if !parses_as_number(v) {
+                            return false;
+                        }
+                        any = true;
+                    }
+                }
+                any
+            })
+            .collect(),
+    };
+
+    let mut attr_names = Vec::new();
+    let mut meas_names = Vec::new();
+    for (i, h) in header.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        if is_measure[i] {
+            meas_names.push(h.clone());
+        } else {
+            attr_names.push(h.clone());
+        }
+    }
+    let schema = Schema::new(attr_names, meas_names)?;
+    let mut builder = TableBuilder::new(name, schema);
+    builder.reserve(rows.len());
+
+    let mut cats: Vec<&str> = Vec::new();
+    let mut meas: Vec<f64> = Vec::new();
+    for (r, row) in rows.iter().enumerate() {
+        // A trailing blank line yields a single empty field; skip it.
+        if row.len() == 1 && row[0].trim().is_empty() {
+            continue;
+        }
+        if row.len() != header.len() {
+            return Err(TabularError::ArityMismatch {
+                expected: header.len(),
+                got: row.len(),
+                row: r + 2, // 1-based, after header
+            });
+        }
+        cats.clear();
+        meas.clear();
+        for (i, v) in row.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            if is_measure[i] {
+                let t = v.trim();
+                if t.is_empty() {
+                    meas.push(f64::NAN);
+                } else {
+                    meas.push(t.parse::<f64>().map_err(|_| TabularError::BadNumber {
+                        column: header[i].clone(),
+                        row: r + 2,
+                        value: v.clone(),
+                    })?);
+                }
+            } else {
+                cats.push(v.as_str());
+            }
+        }
+        builder.push_row(&cats, &meas)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a table from a CSV file; the table is named after the file stem.
+pub fn read_path(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Table, TabularError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
+    read_str(&name, &text, options)
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes a table back to CSV (attributes first, then measures).
+pub fn write_str(table: &Table) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    let header: Vec<String> = schema
+        .attribute_names()
+        .iter()
+        .chain(schema.measure_names().iter())
+        .map(|s| escape_field(s))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..table.n_rows() {
+        let mut fields: Vec<String> = schema
+            .attribute_ids()
+            .map(|a| escape_field(table.value(row, a)))
+            .collect();
+        for m in schema.measure_ids() {
+            let v = table.measure(m)[row];
+            fields.push(if v.is_nan() { String::new() } else { format_num(v) });
+        }
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "continent,month,cases\nAfrica,4,31598\nAfrica,5,92626\nEurope,4,863874\n";
+
+    #[test]
+    fn infers_measures_from_numeric_columns() {
+        let t = read_str("covid", SAMPLE, &CsvOptions::default()).unwrap();
+        // `month` parses as numeric, so inference marks it a measure…
+        assert_eq!(t.schema().n_attributes(), 1);
+        assert_eq!(t.schema().n_measures(), 2);
+        assert!(t.schema().measure("month").is_ok());
+    }
+
+    #[test]
+    fn explicit_measures_override_inference() {
+        let opts = CsvOptions { measures: Some(vec!["cases".into()]), ..Default::default() };
+        let t = read_str("covid", SAMPLE, &opts).unwrap();
+        assert_eq!(t.schema().attribute_names(), &["continent".to_string(), "month".into()]);
+        assert_eq!(t.schema().measure_names(), &["cases".to_string()]);
+        assert_eq!(t.n_rows(), 3);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "a,m\n\"hello, world\",1\n\"say \"\"hi\"\"\",2\n";
+        let t = read_str("t", text, &CsvOptions::default()).unwrap();
+        let a = t.schema().attribute("a").unwrap();
+        assert_eq!(t.value(0, a), "hello, world");
+        assert_eq!(t.value(1, a), "say \"hi\"");
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline() {
+        let text = "a,m\r\nx,1\r\ny,2\r\n";
+        let t = read_str("t", text, &CsvOptions::default()).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn missing_measure_becomes_nan() {
+        let text = "a,m\nx,1\ny,\n";
+        let opts = CsvOptions { measures: Some(vec!["m".into()]), ..Default::default() };
+        let t = read_str("t", text, &opts).unwrap();
+        let m = t.schema().measure("m").unwrap();
+        assert!(t.measure(m)[1].is_nan());
+    }
+
+    #[test]
+    fn bad_number_reports_location() {
+        let text = "a,m\nx,oops\n";
+        let opts = CsvOptions { measures: Some(vec!["m".into()]), ..Default::default() };
+        let err = read_str("t", text, &opts).unwrap_err();
+        assert!(matches!(err, TabularError::BadNumber { row: 2, .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let text = "a,m\nx,1,extra\n";
+        let err = read_str("t", text, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TabularError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_detected() {
+        let text = "a,m\n\"x,1\n";
+        assert!(matches!(
+            read_str("t", text, &CsvOptions::default()),
+            Err(TabularError::MalformedCsv { .. })
+        ));
+    }
+
+    #[test]
+    fn ignore_drops_columns() {
+        let opts = CsvOptions { ignore: vec!["month".into()], ..Default::default() };
+        let t = read_str("covid", SAMPLE, &opts).unwrap();
+        assert!(t.schema().attribute("month").is_err());
+        assert!(t.schema().measure("month").is_err());
+    }
+
+    #[test]
+    fn round_trip_write_read() {
+        let opts = CsvOptions { measures: Some(vec!["cases".into()]), ..Default::default() };
+        let t = read_str("covid", SAMPLE, &opts).unwrap();
+        let text = write_str(&t);
+        let t2 = read_str("covid", &text, &opts).unwrap();
+        assert_eq!(t2.n_rows(), t.n_rows());
+        let a = t.schema().attribute("continent").unwrap();
+        for r in 0..t.n_rows() {
+            assert_eq!(t.value(r, a), t2.value(r, a));
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            read_str("t", "", &CsvOptions::default()),
+            Err(TabularError::EmptyInput)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Categorical values including CSV-hostile characters.
+    fn arb_value() -> impl Strategy<Value = String> {
+        proptest::string::string_regex("[a-z,\"\n' ]{0,8}").expect("valid regex")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn csv_round_trips_arbitrary_tables(
+            rows in proptest::collection::vec((arb_value(), arb_value(), -1e6f64..1e6), 1..40),
+        ) {
+            let schema = crate::schema::Schema::new(vec!["a", "b"], vec!["m"]).unwrap();
+            let mut builder = crate::table::TableBuilder::new("t", schema);
+            for (a, b, m) in &rows {
+                builder.push_row(&[a, b], &[*m]).unwrap();
+            }
+            let t = builder.finish();
+            let text = write_str(&t);
+            let opts = CsvOptions { measures: Some(vec!["m".into()]), ..Default::default() };
+            let t2 = read_str("t", &text, &opts).unwrap();
+            prop_assert_eq!(t2.n_rows(), t.n_rows());
+            let a = t.schema().attribute("a").unwrap();
+            let b = t.schema().attribute("b").unwrap();
+            let m = t.schema().measure("m").unwrap();
+            for r in 0..t.n_rows() {
+                prop_assert_eq!(t2.value(r, a), t.value(r, a));
+                prop_assert_eq!(t2.value(r, b), t.value(r, b));
+                let (x, y) = (t.measure(m)[r], t2.measure(m)[r]);
+                prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{} vs {}", x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-attribute dictionary encoding of categorical values.
+
+use std::collections::HashMap;
+
+/// Bidirectional mapping between category strings and dense `u32` codes.
+///
+/// Codes are assigned in first-seen order, so a column's code stream is
+/// stable under re-encoding of the same value sequence. The active domain
+/// `dom(A)` of an attribute is exactly the set of codes `0..len()`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the code for `value`, inserting it if unseen.
+    pub fn encode(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.index.get(value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), code);
+        code
+    }
+
+    /// Returns the code for `value` if it has been seen.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Returns the string for `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` was never issued by this dictionary.
+    pub fn decode(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Returns the string for `code`, if valid.
+    pub fn try_decode(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Size of the active domain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no value has been encoded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.encode("Africa");
+        let b = d.encode("Asia");
+        let a2 = d.encode("Africa");
+        assert_eq!(a, a2);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dictionary::new();
+        for v in ["x", "", "a b", "üñïçødé", "\"quoted\""] {
+            let c = d.encode(v);
+            assert_eq!(d.decode(c), v);
+            assert_eq!(d.code(v), Some(c));
+        }
+        assert_eq!(d.try_decode(999), None);
+    }
+
+    #[test]
+    fn values_in_code_order() {
+        let mut d = Dictionary::new();
+        d.encode("b");
+        d.encode("a");
+        d.encode("c");
+        assert_eq!(d.values(), &["b".to_string(), "a".into(), "c".into()]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the tabular layer.
+
+use std::fmt;
+
+/// Errors raised while building, loading, or slicing tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabularError {
+    /// A named attribute or measure does not exist in the schema.
+    UnknownColumn(String),
+    /// An attribute/measure id is out of range for the schema.
+    ColumnOutOfRange { kind: &'static str, id: usize, len: usize },
+    /// A row had the wrong number of fields for the schema.
+    ArityMismatch { expected: usize, got: usize, row: usize },
+    /// A field could not be parsed as a number where a measure was expected.
+    BadNumber { column: String, row: usize, value: String },
+    /// The CSV input was structurally malformed (e.g. unterminated quote).
+    MalformedCsv { line: usize, reason: String },
+    /// The input had no rows or no columns where data was required.
+    EmptyInput,
+    /// A duplicate column name in a schema.
+    DuplicateColumn(String),
+    /// An I/O error, stringified (keeps the error type `Clone`/`Eq`).
+    Io(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            TabularError::ColumnOutOfRange { kind, id, len } => {
+                write!(f, "{kind} id {id} out of range (schema has {len})")
+            }
+            TabularError::ArityMismatch { expected, got, row } => {
+                write!(f, "row {row}: expected {expected} fields, got {got}")
+            }
+            TabularError::BadNumber { column, row, value } => {
+                write!(f, "row {row}, column {column}: cannot parse {value:?} as a number")
+            }
+            TabularError::MalformedCsv { line, reason } => {
+                write!(f, "malformed CSV at line {line}: {reason}")
+            }
+            TabularError::EmptyInput => write!(f, "input has no usable rows/columns"),
+            TabularError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
+            TabularError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+impl From<std::io::Error> for TabularError {
+    fn from(e: std::io::Error) -> Self {
+        TabularError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TabularError::BadNumber {
+            column: "cases".into(),
+            row: 3,
+            value: "abc".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cases") && s.contains('3') && s.contains("abc"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TabularError = io.into();
+        assert!(matches!(e, TabularError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Functional-dependency detection among categorical attributes.
+//!
+//! The paper runs "a pre-processing step to detect functional dependencies
+//! among categorical attributes, to prevent meaningless queries from being
+//! generated" (Section 6.1) — e.g. selecting two days and grouping over
+//! months when `day → month` holds (footnote 2). We detect exact unary FDs
+//! `A → B` by checking that every code of `A` maps to a single code of `B`.
+
+use crate::schema::AttrId;
+use crate::table::Table;
+
+/// An exact functional dependency `lhs → rhs` between categorical attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determining attribute.
+    pub lhs: AttrId,
+    /// Determined attribute.
+    pub rhs: AttrId,
+}
+
+/// Checks whether `lhs → rhs` holds exactly on `table`.
+pub fn holds(table: &Table, lhs: AttrId, rhs: AttrId) -> bool {
+    if lhs == rhs {
+        return true;
+    }
+    const UNSET: u32 = u32::MAX;
+    let mut image = vec![UNSET; table.dict(lhs).len()];
+    let l = table.codes(lhs);
+    let r = table.codes(rhs);
+    for (&a, &b) in l.iter().zip(r.iter()) {
+        let slot = &mut image[a as usize];
+        if *slot == UNSET {
+            *slot = b;
+        } else if *slot != b {
+            return false;
+        }
+    }
+    true
+}
+
+/// Detects all unary FDs `A → B` with `A ≠ B` on `table`.
+///
+/// Quadratic in the number of attributes, linear in rows per pair — fine for
+/// the ≤ 10-attribute tables this system targets.
+pub fn detect_fds(table: &Table) -> Vec<Fd> {
+    let schema = table.schema();
+    let mut fds = Vec::new();
+    for lhs in schema.attribute_ids() {
+        for rhs in schema.attribute_ids() {
+            if lhs != rhs && holds(table, lhs, rhs) {
+                fds.push(Fd { lhs, rhs });
+            }
+        }
+    }
+    fds
+}
+
+/// The attribute pairs `(group_by, select_on)` that are *meaningless* for
+/// comparison queries, given detected FDs.
+///
+/// A comparison query `(A, B, val, val', M, agg)` groups by `A` while
+/// selecting on two values of `B`. If `B → A`, each selected `B`-slice hits a
+/// single `A` group and the "comparison" degenerates (the day/month example
+/// of footnote 2); such `(A, B)` combinations are excluded.
+pub fn meaningless_pairs(fds: &[Fd]) -> Vec<(AttrId, AttrId)> {
+    fds.iter().map(|fd| (fd.rhs, fd.lhs)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+
+    /// day → month holds, month → day doesn't; `other` is independent.
+    fn calendar() -> Table {
+        let schema = Schema::new(vec!["day", "month", "other"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("cal", schema);
+        let rows = [
+            ("d1", "jan", "x"),
+            ("d1", "jan", "y"),
+            ("d2", "jan", "x"),
+            ("d3", "feb", "y"),
+            ("d3", "feb", "x"),
+        ];
+        for (d, mo, o) in rows {
+            b.push_row(&[d, mo, o], &[1.0]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn detects_day_to_month() {
+        let t = calendar();
+        let day = t.schema().attribute("day").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        assert!(holds(&t, day, month));
+        assert!(!holds(&t, month, day));
+    }
+
+    #[test]
+    fn detect_fds_lists_exactly_the_true_ones() {
+        let t = calendar();
+        let day = t.schema().attribute("day").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let fds = detect_fds(&t);
+        assert!(fds.contains(&Fd { lhs: day, rhs: month }));
+        // `other` determines nothing and is determined by nothing here…
+        let other = t.schema().attribute("other").unwrap();
+        assert!(!fds.iter().any(|fd| fd.lhs == other || fd.rhs == other));
+        // …and month → day must be absent.
+        assert!(!fds.contains(&Fd { lhs: month, rhs: day }));
+    }
+
+    #[test]
+    fn meaningless_pairs_flips_the_fd() {
+        let t = calendar();
+        let day = t.schema().attribute("day").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let pairs = meaningless_pairs(&detect_fds(&t));
+        // day → month means: grouping by month while selecting on days is
+        // meaningless.
+        assert!(pairs.contains(&(month, day)));
+        assert!(!pairs.contains(&(day, month)));
+    }
+
+    #[test]
+    fn reflexive_fd_trivially_holds_but_is_not_listed() {
+        let t = calendar();
+        let day = t.schema().attribute("day").unwrap();
+        assert!(holds(&t, day, day));
+        assert!(!detect_fds(&t).iter().any(|fd| fd.lhs == fd.rhs));
+    }
+
+    #[test]
+    fn empty_table_has_all_fds() {
+        let schema = Schema::new(vec!["a", "b"], vec!["m"]).unwrap();
+        let t = TableBuilder::new("t", schema).finish();
+        let fds = detect_fds(&t);
+        assert_eq!(fds.len(), 2); // a→b and b→a hold vacuously
+    }
+}

@@ -1,0 +1,36 @@
+//! # cn-tabular
+//!
+//! A minimal in-memory, dictionary-encoded columnar store for a **single
+//! relation** `R[A_1, …, A_n, M_1, …, M_m]`, as assumed by the paper
+//! (Section 3.1): the `A_i` are *categorical attributes* and the `M_j` are
+//! numeric *measures*. This crate is the storage substrate that the query
+//! engine (`cn-engine`) and the whole comparison-notebook pipeline run on,
+//! playing the role PostgreSQL played in the original system.
+//!
+//! Provided here:
+//!
+//! - [`Schema`], [`Table`] and a [`TableBuilder`] — columnar storage with
+//!   per-attribute dictionaries ([`Dictionary`]) so categorical values are
+//!   compared as `u32` codes.
+//! - CSV import/export with type inference ([`csv`]).
+//! - The two offline sampling strategies of Section 5.1.2
+//!   ([`sampling::random_sample`] and [`sampling::unbalanced_sample`]).
+//! - Functional-dependency detection among categorical attributes
+//!   ([`fd::detect_fds`]), used as the pre-processing step that excludes
+//!   meaningless queries (footnote 2 / Section 6.1).
+//! - Column profiling ([`profile::profile`]) for the first look at an
+//!   unknown dataset.
+
+pub mod csv;
+pub mod dictionary;
+pub mod error;
+pub mod fd;
+pub mod profile;
+pub mod sampling;
+pub mod schema;
+pub mod table;
+
+pub use dictionary::Dictionary;
+pub use error::TabularError;
+pub use schema::{AttrId, MeasureId, Schema};
+pub use table::{Table, TableBuilder};

@@ -1,0 +1,201 @@
+//! Dataset profiling — the "first look" a data enthusiast takes before
+//! exploring (and what the `cn inspect` command prints).
+
+use crate::schema::{AttrId, MeasureId};
+use crate::table::Table;
+
+/// Profile of one categorical attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeProfile {
+    /// Attribute id.
+    pub attr: AttrId,
+    /// Column name.
+    pub name: String,
+    /// Number of distinct values present.
+    pub distinct: usize,
+    /// Most frequent value and its count.
+    pub top_value: Option<(String, u32)>,
+    /// Fraction of rows held by the most frequent value (skew indicator).
+    pub top_share: f64,
+    /// Shannon entropy of the value distribution, in bits.
+    pub entropy_bits: f64,
+}
+
+/// Profile of one measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureProfile {
+    /// Measure id.
+    pub measure: MeasureId,
+    /// Column name.
+    pub name: String,
+    /// Non-missing count.
+    pub n: u64,
+    /// Missing (NaN) count.
+    pub missing: u64,
+    /// Mean of non-missing values.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Full table profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableProfile {
+    /// Row count.
+    pub n_rows: usize,
+    /// Per-attribute profiles, in schema order.
+    pub attributes: Vec<AttributeProfile>,
+    /// Per-measure profiles, in schema order.
+    pub measures: Vec<MeasureProfile>,
+}
+
+/// Profiles every column of `table` in one pass per column.
+pub fn profile(table: &Table) -> TableProfile {
+    let schema = table.schema();
+    let n_rows = table.n_rows();
+    let attributes = schema
+        .attribute_ids()
+        .map(|a| {
+            let counts = table.value_counts(a);
+            let distinct = counts.iter().filter(|&&c| c > 0).count();
+            let top = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .filter(|&(_, &c)| c > 0)
+                .map(|(code, &c)| (table.dict(a).decode(code as u32).to_string(), c));
+            let top_share = top
+                .as_ref()
+                .map(|&(_, c)| c as f64 / n_rows.max(1) as f64)
+                .unwrap_or(0.0);
+            let entropy_bits = {
+                let n = n_rows.max(1) as f64;
+                -counts
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| {
+                        let p = c as f64 / n;
+                        p * p.log2()
+                    })
+                    .sum::<f64>()
+            };
+            AttributeProfile {
+                attr: a,
+                name: schema.attribute_name(a).to_string(),
+                distinct,
+                top_value: top,
+                top_share,
+                entropy_bits,
+            }
+        })
+        .collect();
+    let measures = schema
+        .measure_ids()
+        .map(|m| {
+            let col = table.measure(m);
+            let mut n = 0u64;
+            let mut missing = 0u64;
+            let mut mean = 0.0f64;
+            let mut m2 = 0.0f64;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &v in col {
+                if v.is_nan() {
+                    missing += 1;
+                    continue;
+                }
+                n += 1;
+                let delta = v - mean;
+                mean += delta / n as f64;
+                m2 += delta * (v - mean);
+                min = min.min(v);
+                max = max.max(v);
+            }
+            let stddev = if n > 1 { (m2 / (n - 1) as f64).sqrt() } else { 0.0 };
+            MeasureProfile {
+                measure: m,
+                name: schema.measure_name(m).to_string(),
+                n,
+                missing,
+                mean: if n > 0 { mean } else { 0.0 },
+                stddev,
+                min: if n > 0 { min } else { f64::NAN },
+                max: if n > 0 { max } else { f64::NAN },
+            }
+        })
+        .collect();
+    TableProfile { n_rows, attributes, measures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec!["city"], vec!["pop"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for (c, p) in [
+            ("paris", 1.0),
+            ("paris", 2.0),
+            ("paris", 3.0),
+            ("lyon", 4.0),
+            ("nice", f64::NAN),
+        ] {
+            b.push_row(&[c], &[p]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn attribute_profile_finds_the_mode_and_skew() {
+        let p = profile(&sample());
+        assert_eq!(p.n_rows, 5);
+        let a = &p.attributes[0];
+        assert_eq!(a.distinct, 3);
+        assert_eq!(a.top_value, Some(("paris".to_string(), 3)));
+        assert!((a.top_share - 0.6).abs() < 1e-12);
+        // Entropy of (3/5, 1/5, 1/5): 0.6·log2(5/3) + 2·0.2·log2(5) ≈ 1.371.
+        assert!((a.entropy_bits - 1.3710).abs() < 1e-3);
+    }
+
+    #[test]
+    fn measure_profile_handles_missing() {
+        let p = profile(&sample());
+        let m = &p.measures[0];
+        assert_eq!(m.n, 4);
+        assert_eq!(m.missing, 1);
+        assert!((m.mean - 2.5).abs() < 1e-12);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 4.0);
+    }
+
+    #[test]
+    fn empty_table_profile_is_safe() {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let t = TableBuilder::new("t", schema).finish();
+        let p = profile(&t);
+        assert_eq!(p.n_rows, 0);
+        assert_eq!(p.attributes[0].distinct, 0);
+        assert_eq!(p.attributes[0].top_value, None);
+        assert_eq!(p.measures[0].n, 0);
+        assert!(p.measures[0].min.is_nan());
+    }
+
+    #[test]
+    fn uniform_distribution_maximizes_entropy() {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..8 {
+            b.push_row(&[&format!("v{}", i % 4)], &[i as f64]).unwrap();
+        }
+        let t = b.finish();
+        let p = profile(&t);
+        assert!((p.attributes[0].entropy_bits - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline sampling strategies (paper Section 5.1.2).
+//!
+//! Two strategies speed up the statistical tests:
+//!
+//! - [`random_sample`] — *random-sampling*: a uniform sample of the whole
+//!   dataset.
+//! - [`unbalanced_sample`] — *unbalanced-sampling*: samples one categorical
+//!   attribute at a time, balancing the number of tuples kept per attribute
+//!   value so that very selective values are not under-represented. The
+//!   pipeline draws one such sample per attribute and uses it for the tests
+//!   concerning that attribute.
+
+use crate::schema::AttrId;
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniformly samples `⌈n_rows × fraction⌉` rows without replacement.
+///
+/// `fraction` is clamped to `[0, 1]`; row order is randomized.
+pub fn random_sample_indices(table: &Table, fraction: f64, seed: u64) -> Vec<u32> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = table.n_rows();
+    let k = ((n as f64) * fraction).ceil() as usize;
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<u32> = (0..n as u32).collect();
+    rows.shuffle(&mut rng);
+    rows.truncate(k);
+    rows
+}
+
+/// Uniform random sample as a new [`Table`].
+pub fn random_sample(table: &Table, fraction: f64, seed: u64) -> Table {
+    table.take(&random_sample_indices(table, fraction, seed))
+}
+
+/// Water-filling allocation: distribute a budget of `k` picks over groups of
+/// sizes `sizes`, as evenly as possible, never exceeding a group's size.
+///
+/// Groups smaller than the fair share contribute everything they have; the
+/// unused budget is re-spread over the remaining groups. This is what makes
+/// the strategy preserve minority values at low sampling rates.
+fn water_fill(sizes: &[usize], k: usize) -> Vec<usize> {
+    let mut alloc = vec![0usize; sizes.len()];
+    let total: usize = sizes.iter().sum();
+    let mut budget = k.min(total);
+    let mut open: Vec<usize> = (0..sizes.len()).filter(|&i| sizes[i] > 0).collect();
+    while budget > 0 && !open.is_empty() {
+        let fair = (budget / open.len()).max(1);
+        let mut next_open = Vec::with_capacity(open.len());
+        for &i in &open {
+            if budget == 0 {
+                break;
+            }
+            let want = fair.min(sizes[i] - alloc[i]).min(budget);
+            alloc[i] += want;
+            budget -= want;
+            if alloc[i] < sizes[i] {
+                next_open.push(i);
+            }
+        }
+        // If nothing was assignable we are done (all groups saturated).
+        if next_open.len() == open.len() && fair == 0 {
+            break;
+        }
+        open = next_open;
+    }
+    alloc
+}
+
+/// Samples rows balanced per value of `attr` (paper's *unbalanced-sampling*).
+///
+/// Targets `⌈n_rows × fraction⌉` rows in total, allocated across the values
+/// of `attr` by water-filling, then drawn uniformly within each value.
+/// Every value with at least one row keeps at least one row whenever the
+/// budget allows (budget ≥ number of non-empty values).
+pub fn unbalanced_sample_indices(
+    table: &Table,
+    attr: AttrId,
+    fraction: f64,
+    seed: u64,
+) -> Vec<u32> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = table.n_rows();
+    let k = (((n as f64) * fraction).ceil() as usize).min(n);
+    let groups = table.rows_by_value(attr);
+    let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let alloc = water_fill(&sizes, k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(k);
+    for (g, take) in groups.iter().zip(alloc.iter()) {
+        if *take == 0 {
+            continue;
+        }
+        if *take >= g.len() {
+            out.extend_from_slice(g);
+        } else {
+            let mut rows = g.clone();
+            rows.shuffle(&mut rng);
+            out.extend_from_slice(&rows[..*take]);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Unbalanced sample as a new [`Table`].
+pub fn unbalanced_sample(table: &Table, attr: AttrId, fraction: f64, seed: u64) -> Table {
+    table.take(&unbalanced_sample_indices(table, attr, fraction, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+
+    /// 1000 rows: attribute `a` has a 990-row majority value and two 5-row
+    /// minority values.
+    fn skewed() -> Table {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..1000u32 {
+            let v = if i < 990 {
+                "big"
+            } else if i < 995 {
+                "small1"
+            } else {
+                "small2"
+            };
+            b.push_row(&[v], &[i as f64]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn random_sample_has_requested_size() {
+        let t = skewed();
+        let s = random_sample(&t, 0.2, 42);
+        assert_eq!(s.n_rows(), 200);
+        let s = random_sample(&t, 0.0, 42);
+        assert_eq!(s.n_rows(), 0);
+        let s = random_sample(&t, 1.0, 42);
+        assert_eq!(s.n_rows(), 1000);
+    }
+
+    #[test]
+    fn random_sample_is_seed_deterministic() {
+        let t = skewed();
+        assert_eq!(
+            random_sample_indices(&t, 0.3, 7),
+            random_sample_indices(&t, 0.3, 7)
+        );
+        assert_ne!(
+            random_sample_indices(&t, 0.3, 7),
+            random_sample_indices(&t, 0.3, 8)
+        );
+    }
+
+    #[test]
+    fn random_sample_has_no_duplicates() {
+        let t = skewed();
+        let mut idx = random_sample_indices(&t, 0.5, 3);
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 500);
+    }
+
+    #[test]
+    fn unbalanced_preserves_minority_values() {
+        let t = skewed();
+        let a = t.schema().attribute("a").unwrap();
+        // At 2% (20 rows), a uniform sample would likely miss the minorities;
+        // water-filling keeps every value fully represented up to its share.
+        let s = unbalanced_sample(&t, a, 0.02, 42);
+        assert_eq!(s.n_rows(), 20);
+        assert_eq!(s.active_domain_size(a), 3);
+        let counts = s.value_counts(a);
+        // Fair share is ceil-ish around 6-7 per value; minorities keep all 5.
+        assert_eq!(counts[1], 5);
+        assert_eq!(counts[2], 5);
+        assert_eq!(counts[0], 10);
+    }
+
+    #[test]
+    fn unbalanced_full_fraction_keeps_everything() {
+        let t = skewed();
+        let a = t.schema().attribute("a").unwrap();
+        let s = unbalanced_sample(&t, a, 1.0, 1);
+        assert_eq!(s.n_rows(), 1000);
+    }
+
+    #[test]
+    fn water_fill_respects_sizes_and_budget() {
+        assert_eq!(water_fill(&[10, 10, 10], 9), vec![3, 3, 3]);
+        assert_eq!(water_fill(&[1, 100], 10), vec![1, 9]);
+        assert_eq!(water_fill(&[0, 5], 10), vec![0, 5]);
+        assert_eq!(water_fill(&[], 10), Vec::<usize>::new());
+        let alloc = water_fill(&[3, 3, 3], 100);
+        assert_eq!(alloc, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn unbalanced_is_seed_deterministic() {
+        let t = skewed();
+        let a = t.schema().attribute("a").unwrap();
+        assert_eq!(
+            unbalanced_sample_indices(&t, a, 0.1, 9),
+            unbalanced_sample_indices(&t, a, 0.1, 9)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use proptest::prelude::*;
+
+    fn table_with(values: Vec<u8>) -> Table {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for (i, v) in values.iter().enumerate() {
+            b.push_row(&[&format!("v{v}")], &[i as f64]).unwrap();
+        }
+        b.finish()
+    }
+
+    proptest! {
+        #[test]
+        fn random_sample_size_and_uniqueness(
+            values in proptest::collection::vec(0u8..5, 1..200),
+            frac in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let t = table_with(values);
+            let mut idx = random_sample_indices(&t, frac, seed);
+            let expect = ((t.n_rows() as f64) * frac).ceil() as usize;
+            prop_assert_eq!(idx.len(), expect.min(t.n_rows()));
+            idx.sort_unstable();
+            let before = idx.len();
+            idx.dedup();
+            prop_assert_eq!(idx.len(), before);
+        }
+
+        #[test]
+        fn unbalanced_sample_within_bounds_and_covers_values(
+            values in proptest::collection::vec(0u8..5, 1..200),
+            frac in 0.05f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let t = table_with(values);
+            let a = t.schema().attribute("a").unwrap();
+            let idx = unbalanced_sample_indices(&t, a, frac, seed);
+            let expect = (((t.n_rows() as f64) * frac).ceil() as usize).min(t.n_rows());
+            prop_assert_eq!(idx.len(), expect);
+            // Every index valid and unique.
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), before);
+            prop_assert!(sorted.iter().all(|&r| (r as usize) < t.n_rows()));
+            // If the budget covers all distinct values, each appears.
+            let distinct = t.active_domain_size(a);
+            if expect >= distinct {
+                let s = t.take(&idx);
+                prop_assert_eq!(s.active_domain_size(a), distinct);
+            }
+        }
+    }
+}

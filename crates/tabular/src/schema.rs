@@ -1,0 +1,175 @@
+//! Schema of the single relation `R[A_1, …, A_n, M_1, …, M_m]`.
+
+use crate::error::TabularError;
+
+/// Index of a categorical attribute `A_i` within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+/// Index of a measure `M_j` within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MeasureId(pub u16);
+
+impl AttrId {
+    /// The attribute index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MeasureId {
+    /// The measure index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Names of the categorical attributes and measures of a relation.
+///
+/// The paper assumes the user only distinguishes categorical attributes from
+/// numeric measures before exploring (Section 1); a `Schema` captures exactly
+/// that split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<String>,
+    measures: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names across both lists.
+    pub fn new<S: Into<String>>(
+        attributes: impl IntoIterator<Item = S>,
+        measures: impl IntoIterator<Item = S>,
+    ) -> Result<Self, TabularError> {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        let measures: Vec<String> = measures.into_iter().map(Into::into).collect();
+        let mut seen = std::collections::HashSet::new();
+        for name in attributes.iter().chain(measures.iter()) {
+            if !seen.insert(name.as_str()) {
+                return Err(TabularError::DuplicateColumn(name.clone()));
+            }
+        }
+        if attributes.is_empty() && measures.is_empty() {
+            return Err(TabularError::EmptyInput);
+        }
+        Ok(Schema { attributes, measures })
+    }
+
+    /// Number `n` of categorical attributes.
+    #[inline]
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number `m` of measures.
+    #[inline]
+    pub fn n_measures(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// Name of a categorical attribute.
+    pub fn attribute_name(&self, id: AttrId) -> &str {
+        &self.attributes[id.index()]
+    }
+
+    /// Name of a measure.
+    pub fn measure_name(&self, id: MeasureId) -> &str {
+        &self.measures[id.index()]
+    }
+
+    /// Looks up a categorical attribute by name.
+    pub fn attribute(&self, name: &str) -> Result<AttrId, TabularError> {
+        self.attributes
+            .iter()
+            .position(|a| a == name)
+            .map(|i| AttrId(i as u16))
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))
+    }
+
+    /// Looks up a measure by name.
+    pub fn measure(&self, name: &str) -> Result<MeasureId, TabularError> {
+        self.measures
+            .iter()
+            .position(|m| m == name)
+            .map(|i| MeasureId(i as u16))
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))
+    }
+
+    /// All attribute ids, in schema order.
+    pub fn attribute_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len()).map(|i| AttrId(i as u16))
+    }
+
+    /// All measure ids, in schema order.
+    pub fn measure_ids(&self) -> impl Iterator<Item = MeasureId> + '_ {
+        (0..self.measures.len()).map(|i| MeasureId(i as u16))
+    }
+
+    /// Attribute names, in schema order.
+    pub fn attribute_names(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Measure names, in schema order.
+    pub fn measure_names(&self) -> &[String] {
+        &self.measures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covid() -> Schema {
+        Schema::new(vec!["continent", "country", "month"], vec!["cases", "deaths"]).unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        let s = covid();
+        let a = s.attribute("country").unwrap();
+        assert_eq!(s.attribute_name(a), "country");
+        let m = s.measure("deaths").unwrap();
+        assert_eq!(s.measure_name(m), "deaths");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let s = covid();
+        assert!(matches!(s.attribute("cases"), Err(TabularError::UnknownColumn(_))));
+        assert!(matches!(s.measure("continent"), Err(TabularError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_kinds() {
+        assert!(matches!(
+            Schema::new(vec!["a", "b"], vec!["a"]),
+            Err(TabularError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            Schema::new(vec!["a", "a"], vec!["m"]),
+            Err(TabularError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn counts_and_iteration() {
+        let s = covid();
+        assert_eq!(s.n_attributes(), 3);
+        assert_eq!(s.n_measures(), 2);
+        let ids: Vec<_> = s.attribute_ids().collect();
+        assert_eq!(ids, vec![AttrId(0), AttrId(1), AttrId(2)]);
+        let ids: Vec<_> = s.measure_ids().collect();
+        assert_eq!(ids, vec![MeasureId(0), MeasureId(1)]);
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            Schema::new(Vec::<&str>::new(), Vec::<&str>::new()),
+            Err(TabularError::EmptyInput)
+        ));
+    }
+}

@@ -1,0 +1,341 @@
+//! Columnar table storage and construction.
+
+use crate::dictionary::Dictionary;
+use crate::error::TabularError;
+use crate::schema::{AttrId, MeasureId, Schema};
+
+/// An immutable, columnar instance of the relation `R`.
+///
+/// Categorical columns are dictionary-encoded (`u32` codes, one
+/// [`Dictionary`] per attribute); measures are `f64` columns where `NaN`
+/// marks a missing value (skipped by all aggregations in `cn-engine`).
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    cat_codes: Vec<Vec<u32>>,
+    dicts: Vec<Dictionary>,
+    measures: Vec<Vec<f64>>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// The table name used when rendering SQL (`from <name>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Dictionary-encoded codes of a categorical column.
+    #[inline]
+    pub fn codes(&self, attr: AttrId) -> &[u32] {
+        &self.cat_codes[attr.index()]
+    }
+
+    /// The dictionary of a categorical column.
+    #[inline]
+    pub fn dict(&self, attr: AttrId) -> &Dictionary {
+        &self.dicts[attr.index()]
+    }
+
+    /// A measure column (`NaN` = missing).
+    #[inline]
+    pub fn measure(&self, m: MeasureId) -> &[f64] {
+        &self.measures[m.index()]
+    }
+
+    /// Decoded categorical value at (`row`, `attr`).
+    pub fn value(&self, row: usize, attr: AttrId) -> &str {
+        self.dicts[attr.index()].decode(self.cat_codes[attr.index()][row])
+    }
+
+    /// Number of *distinct codes actually present* in a column.
+    ///
+    /// After sampling ([`crate::sampling`]) the dictionary may contain codes
+    /// with zero surviving rows, so this counts occupancy rather than
+    /// returning `dict.len()`.
+    pub fn active_domain_size(&self, attr: AttrId) -> usize {
+        self.value_counts(attr).iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Per-code row counts for a categorical column (indexed by code).
+    pub fn value_counts(&self, attr: AttrId) -> Vec<u32> {
+        let mut counts = vec![0u32; self.dicts[attr.index()].len()];
+        for &c in &self.cat_codes[attr.index()] {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Row indices grouped by code for a categorical column.
+    ///
+    /// `result[code]` lists the rows where the attribute equals `code`; this
+    /// is the index both the permutation tests and unbalanced sampling build
+    /// on.
+    pub fn rows_by_value(&self, attr: AttrId) -> Vec<Vec<u32>> {
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); self.dicts[attr.index()].len()];
+        for (row, &c) in self.cat_codes[attr.index()].iter().enumerate() {
+            groups[c as usize].push(row as u32);
+        }
+        groups
+    }
+
+    /// Builds a new table containing only `rows` (in the given order),
+    /// sharing the dictionaries of `self`.
+    pub fn take(&self, rows: &[u32]) -> Table {
+        let cat_codes = self
+            .cat_codes
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r as usize]).collect())
+            .collect();
+        let measures = self
+            .measures
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r as usize]).collect())
+            .collect();
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            cat_codes,
+            dicts: self.dicts.clone(),
+            measures,
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Rough in-memory footprint in bytes (codes + measures + dictionaries).
+    pub fn memory_bytes(&self) -> usize {
+        let codes = self.cat_codes.iter().map(|c| c.len() * 4).sum::<usize>();
+        let meas = self.measures.iter().map(|c| c.len() * 8).sum::<usize>();
+        let dicts = self
+            .dicts
+            .iter()
+            .flat_map(|d| d.values().iter())
+            .map(|v| v.len() + 24)
+            .sum::<usize>();
+        codes + meas + dicts
+    }
+}
+
+/// Row-at-a-time builder for a [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    cat_codes: Vec<Vec<u32>>,
+    dicts: Vec<Dictionary>,
+    measures: Vec<Vec<f64>>,
+    n_rows: usize,
+}
+
+impl TableBuilder {
+    /// Starts a builder for `schema`; `name` is used in rendered SQL.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let n_attr = schema.n_attributes();
+        let n_meas = schema.n_measures();
+        TableBuilder {
+            name: name.into(),
+            schema,
+            cat_codes: vec![Vec::new(); n_attr],
+            dicts: vec![Dictionary::new(); n_attr],
+            measures: vec![Vec::new(); n_meas],
+            n_rows: 0,
+        }
+    }
+
+    /// Reserves capacity for `rows` additional rows.
+    pub fn reserve(&mut self, rows: usize) {
+        for col in &mut self.cat_codes {
+            col.reserve(rows);
+        }
+        for col in &mut self.measures {
+            col.reserve(rows);
+        }
+    }
+
+    /// Appends one row given decoded categorical values and measures.
+    pub fn push_row(&mut self, cats: &[&str], meas: &[f64]) -> Result<(), TabularError> {
+        if cats.len() != self.schema.n_attributes() {
+            return Err(TabularError::ArityMismatch {
+                expected: self.schema.n_attributes(),
+                got: cats.len(),
+                row: self.n_rows,
+            });
+        }
+        if meas.len() != self.schema.n_measures() {
+            return Err(TabularError::ArityMismatch {
+                expected: self.schema.n_measures(),
+                got: meas.len(),
+                row: self.n_rows,
+            });
+        }
+        for (i, v) in cats.iter().enumerate() {
+            let code = self.dicts[i].encode(v);
+            self.cat_codes[i].push(code);
+        }
+        for (j, &x) in meas.iter().enumerate() {
+            self.measures[j].push(x);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Appends one row with pre-encoded categorical codes.
+    ///
+    /// The caller is responsible for codes being valid for the dictionaries
+    /// built so far (used by the dataset generators, which control their own
+    /// dictionaries via [`TableBuilder::intern`]).
+    pub fn push_encoded_row(&mut self, codes: &[u32], meas: &[f64]) -> Result<(), TabularError> {
+        if codes.len() != self.schema.n_attributes() || meas.len() != self.schema.n_measures() {
+            return Err(TabularError::ArityMismatch {
+                expected: self.schema.n_attributes() + self.schema.n_measures(),
+                got: codes.len() + meas.len(),
+                row: self.n_rows,
+            });
+        }
+        for (i, &c) in codes.iter().enumerate() {
+            debug_assert!((c as usize) < self.dicts[i].len(), "unissued code");
+            self.cat_codes[i].push(c);
+        }
+        for (j, &x) in meas.iter().enumerate() {
+            self.measures[j].push(x);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Pre-registers a categorical value, returning its code.
+    pub fn intern(&mut self, attr: AttrId, value: &str) -> u32 {
+        self.dicts[attr.index()].encode(value)
+    }
+
+    /// Number of rows appended so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Finalizes the table.
+    pub fn finish(self) -> Table {
+        Table {
+            name: self.name,
+            schema: self.schema,
+            cat_codes: self.cat_codes,
+            dicts: self.dicts,
+            measures: self.measures,
+            n_rows: self.n_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covid() -> Table {
+        let schema =
+            Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (cont, month, cases) in [
+            ("Africa", "4", 31598.0),
+            ("Africa", "5", 92626.0),
+            ("Europe", "4", 863874.0),
+            ("Europe", "5", 608110.0),
+            ("Asia", "4", 333821.0),
+        ] {
+            b.push_row(&[cont, month], &[cases]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builder_round_trips_values() {
+        let t = covid();
+        assert_eq!(t.n_rows(), 5);
+        let cont = t.schema().attribute("continent").unwrap();
+        assert_eq!(t.value(0, cont), "Africa");
+        assert_eq!(t.value(2, cont), "Europe");
+        let cases = t.schema().measure("cases").unwrap();
+        assert_eq!(t.measure(cases)[1], 92626.0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        assert!(b.push_row(&["x", "y"], &[1.0]).is_err());
+        assert!(b.push_row(&["x"], &[]).is_err());
+    }
+
+    #[test]
+    fn value_counts_and_active_domain() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let counts = t.value_counts(cont);
+        assert_eq!(counts, vec![2, 2, 1]); // Africa, Europe, Asia in first-seen order
+        assert_eq!(t.active_domain_size(cont), 3);
+    }
+
+    #[test]
+    fn rows_by_value_partitions_all_rows() {
+        let t = covid();
+        let month = t.schema().attribute("month").unwrap();
+        let groups = t.rows_by_value(month);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, t.n_rows());
+        // month "4" is code 0 (first seen), rows 0, 2, 4.
+        assert_eq!(groups[0], vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn take_keeps_dictionaries_and_shrinks_active_domain() {
+        let t = covid();
+        let sub = t.take(&[0, 1]);
+        assert_eq!(sub.n_rows(), 2);
+        let cont = sub.schema().attribute("continent").unwrap();
+        // Dictionary still has 3 entries, but only Africa is present.
+        assert_eq!(sub.dict(cont).len(), 3);
+        assert_eq!(sub.active_domain_size(cont), 1);
+        assert_eq!(sub.value(0, cont), "Africa");
+    }
+
+    #[test]
+    fn take_reorders_rows() {
+        let t = covid();
+        let sub = t.take(&[4, 0]);
+        let cont = sub.schema().attribute("continent").unwrap();
+        assert_eq!(sub.value(0, cont), "Asia");
+        assert_eq!(sub.value(1, cont), "Africa");
+    }
+
+    #[test]
+    fn memory_bytes_is_positive_and_monotone() {
+        let t = covid();
+        let sub = t.take(&[0]);
+        assert!(t.memory_bytes() > sub.memory_bytes());
+        assert!(sub.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn push_encoded_row_uses_interned_codes() {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        let a = AttrId(0);
+        let x = b.intern(a, "x");
+        let y = b.intern(a, "y");
+        b.push_encoded_row(&[y], &[1.0]).unwrap();
+        b.push_encoded_row(&[x], &[2.0]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.value(0, a), "y");
+        assert_eq!(t.value(1, a), "x");
+    }
+}

@@ -1,0 +1,64 @@
+//! The Section 6.4 baseline: "picking the top ε_t queries in terms of
+//! interestingness", with no distance awareness.
+
+use crate::problem::{evaluate, Budgets, Solution, TapProblem};
+
+/// Greedily takes queries by decreasing interest while the cost budget
+/// lasts (ties broken by index). The distance bound is ignored by
+/// construction — that is the point of the baseline; the reported
+/// `total_distance` is whatever the interest ordering happens to produce.
+pub fn solve_baseline<P: TapProblem + ?Sized>(problem: &P, budgets: &Budgets) -> Solution {
+    let n = problem.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        problem
+            .interest(b)
+            .partial_cmp(&problem.interest(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut sequence = Vec::new();
+    let mut cost = 0.0;
+    for &q in &order {
+        let c = problem.cost(q);
+        if cost + c <= budgets.epsilon_t + 1e-9 {
+            sequence.push(q);
+            cost += c;
+        }
+    }
+    evaluate(problem, &sequence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{generate_instance, InstanceConfig};
+
+    #[test]
+    fn takes_top_interests_under_uniform_cost() {
+        let mut cfg = InstanceConfig::new(20, 1);
+        cfg.cost_range = (1.0, 1.0);
+        let p = generate_instance(&cfg);
+        let s = solve_baseline(&p, &Budgets { epsilon_t: 5.0, epsilon_d: 0.0 });
+        assert_eq!(s.len(), 5);
+        // Sequence is in decreasing interest order.
+        for w in s.sequence.windows(2) {
+            assert!(p.interest(w[0]) >= p.interest(w[1]));
+        }
+    }
+
+    #[test]
+    fn ignores_the_distance_bound() {
+        let p = generate_instance(&InstanceConfig::new(50, 2));
+        let s = solve_baseline(&p, &Budgets { epsilon_t: 10.0, epsilon_d: 0.0 });
+        // Almost surely the free ordering violates a zero distance bound.
+        assert!(s.total_distance > 0.0);
+    }
+
+    #[test]
+    fn cost_budget_is_respected() {
+        let p = generate_instance(&InstanceConfig::new(100, 3));
+        let s = solve_baseline(&p, &Budgets { epsilon_t: 7.5, epsilon_d: 1.0 });
+        assert!(s.total_cost <= 7.5 + 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Solution-quality metrics (Tables 5 and 6).
+
+use crate::problem::Solution;
+
+/// `((cplex.z − algo3.z) / cplex.z) × 100` — percentage deviation of an
+/// approximate objective from the optimum (Table 5). Zero when the optimum
+/// is zero.
+pub fn deviation_percent(optimal: &Solution, approx: &Solution) -> f64 {
+    if optimal.total_interest <= 0.0 {
+        return 0.0;
+    }
+    (optimal.total_interest - approx.total_interest) / optimal.total_interest * 100.0
+}
+
+/// Recall of the approximate solution: the proportion of queries of the
+/// optimal solution also present in the approximate one (Table 6). One
+/// when the optimum is empty.
+pub fn recall(optimal: &Solution, approx: &Solution) -> f64 {
+    if optimal.sequence.is_empty() {
+        return 1.0;
+    }
+    let in_approx: std::collections::HashSet<usize> =
+        approx.sequence.iter().copied().collect();
+    let hits = optimal.sequence.iter().filter(|q| in_approx.contains(q)).count();
+    hits as f64 / optimal.sequence.len() as f64
+}
+
+/// Mean and sample standard deviation of a series (for the `avg ± stdev`
+/// rows of Tables 5–6).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    let s = cn_stats_summary(values);
+    (s.0, s.1)
+}
+
+fn cn_stats_summary(values: &[f64]) -> (f64, f64) {
+    // Local Welford to avoid a dependency cycle with cn-stats.
+    let n = values.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        let delta = v - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (v - mean);
+    }
+    let std = if n < 2 { 0.0 } else { (m2 / (n - 1) as f64).sqrt() };
+    (mean, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(seq: &[usize], z: f64) -> Solution {
+        Solution {
+            sequence: seq.to_vec(),
+            total_interest: z,
+            total_cost: seq.len() as f64,
+            total_distance: 0.0,
+        }
+    }
+
+    #[test]
+    fn deviation_basic() {
+        let opt = sol(&[0, 1, 2], 10.0);
+        let approx = sol(&[0, 3], 9.0);
+        assert!((deviation_percent(&opt, &approx) - 10.0).abs() < 1e-12);
+        assert_eq!(deviation_percent(&opt, &opt), 0.0);
+    }
+
+    #[test]
+    fn deviation_of_empty_optimum_is_zero() {
+        assert_eq!(deviation_percent(&sol(&[], 0.0), &sol(&[], 0.0)), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_overlap() {
+        let opt = sol(&[0, 1, 2, 3], 4.0);
+        let approx = sol(&[2, 0, 9], 3.0);
+        assert!((recall(&opt, &approx) - 0.5).abs() < 1e-12);
+        assert_eq!(recall(&opt, &opt), 1.0);
+        assert_eq!(recall(&sol(&[], 0.0), &approx), 1.0);
+        assert_eq!(recall(&opt, &sol(&[], 0.0)), 0.0);
+    }
+
+    #[test]
+    fn mean_std_matches_hand_computation() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+}

@@ -1,0 +1,536 @@
+//! Exact TAP resolution by combinatorial branch-and-bound.
+//!
+//! Plays the role CPLEX 20.10 plays in the paper (Section 5.3): an exact,
+//! anytime solver with a wall-clock timeout. Branching is include/exclude
+//! over queries in interest-density order; the interest upper bound is the
+//! fractional-knapsack relaxation; distance feasibility of the selected set
+//! is decided with the [`crate::hampath`] machinery (MST lower bound →
+//! prune, cheapest-insertion witness → accept, Held–Karp / ordering
+//! branch-and-bound → exact gap decision). Thanks to the metric distance,
+//! an infeasible set can prune its entire include-subtree (minimum
+//! Hamiltonian paths are monotone under insertion).
+
+use crate::hampath::{cheapest_insertion, decide_min_path, mst_length};
+use crate::heuristic::solve_heuristic;
+use crate::problem::{evaluate, Budgets, Solution, TapProblem};
+use std::time::{Duration, Instant};
+
+/// Exact solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactConfig {
+    /// Wall-clock timeout (the paper used one hour).
+    pub timeout: Duration,
+    /// Optional cap on explored branch-and-bound nodes.
+    pub node_limit: Option<u64>,
+    /// Switch point between Held–Karp and ordering branch-and-bound for
+    /// feasibility decisions.
+    pub held_karp_limit: usize,
+    /// Whether distances satisfy the triangle inequality. When true (the
+    /// real pipeline's weighted Hamming, Euclidean instances), an
+    /// infeasible selected set prunes its whole include-subtree (minimum
+    /// Hamiltonian paths are monotone under insertion in a metric). When
+    /// false (the Table 4–6 `UniformIid` instances), supersets of an
+    /// infeasible set may become feasible again, so the search keeps
+    /// exploring them and exact feasibility is only decided when an
+    /// incumbent is at stake.
+    pub assume_metric: bool,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            timeout: Duration::from_secs(60),
+            node_limit: None,
+            held_karp_limit: 14,
+            assume_metric: true,
+        }
+    }
+}
+
+/// Outcome of an exact run.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// Best solution found (optimal iff `timed_out` is false).
+    pub solution: Solution,
+    /// True when the timeout or node limit interrupted the search.
+    pub timed_out: bool,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+struct Search<'a, P: TapProblem + ?Sized> {
+    problem: &'a P,
+    budgets: Budgets,
+    config: ExactConfig,
+    order: Vec<usize>,
+    /// Query ids sorted by raw interest, descending (for relaxation 2).
+    by_interest: Vec<usize>,
+    /// `position[q]` = index of query `q` within `order`.
+    position: Vec<usize>,
+    /// Distance-implied cap on the solution cardinality: any sequence of
+    /// `m` queries has length ≥ `(m−1)·d_min`, so `m ≤ 1 + ε_d/d_min`.
+    /// Metric monotonicity makes this valid for every subtree.
+    max_cardinality: usize,
+    best_interest: f64,
+    best_sequence: Vec<usize>,
+    nodes: u64,
+    started: Instant,
+    aborted: bool,
+}
+
+impl<'a, P: TapProblem + ?Sized> Search<'a, P> {
+    /// Upper bound on the extra interest obtainable from `order[depth..]`
+    /// within `budget` and at most `slots` further queries: the minimum of
+    /// two relaxations, each valid on its own —
+    /// 1. the fractional knapsack over the cost budget (density order,
+    ///    cardinality ignored), and
+    /// 2. the sum of the `slots` largest remaining interests (cost
+    ///    ignored; the distance-implied cardinality cap).
+    fn knapsack_bound(&self, depth: usize, budget: f64, slots: usize) -> f64 {
+        // Relaxation 1: fractional knapsack (order is density-sorted).
+        let mut remaining = budget;
+        let mut frac = 0.0;
+        for &q in &self.order[depth..] {
+            if remaining <= 0.0 {
+                break;
+            }
+            let c = self.problem.cost(q);
+            let i = self.problem.interest(q);
+            if c <= remaining {
+                frac += i;
+                remaining -= c;
+            } else {
+                frac += i * remaining / c;
+                break;
+            }
+        }
+        // Relaxation 2: top-`slots` interests among the undecided items.
+        if slots < self.order.len().saturating_sub(depth) {
+            let mut cap = 0.0;
+            let mut taken = 0;
+            for &q in &self.by_interest {
+                if self.position[q] < depth {
+                    continue; // already decided
+                }
+                cap += self.problem.interest(q);
+                taken += 1;
+                if taken == slots {
+                    break;
+                }
+            }
+            frac.min(cap)
+        } else {
+            frac
+        }
+    }
+
+    /// Extends the parent's witness ordering with the newly included query
+    /// (cheap incremental best-insertion, falling back to a fresh
+    /// cheapest-insertion rebuild when the increment overshoots). The
+    /// returned ordering is the best known, but may exceed `ε_d`.
+    fn extend_witness(
+        &self,
+        chosen: &[usize],
+        parent_witness: &[usize],
+        parent_len: f64,
+    ) -> (Vec<usize>, f64) {
+        let dist = |i: usize, j: usize| self.problem.dist(i, j);
+        if chosen.len() <= 1 {
+            return (chosen.to_vec(), 0.0);
+        }
+        let q = *chosen.last().expect("chosen is non-empty");
+        let (pos, delta) = crate::hampath::best_insertion(parent_witness, q, &dist);
+        let mut inc_path = parent_witness.to_vec();
+        inc_path.insert(pos, q);
+        let inc_len = parent_len + delta;
+        if inc_len <= self.budgets.epsilon_d + 1e-12 {
+            return (inc_path, inc_len);
+        }
+        let (rebuilt, rebuilt_len) = cheapest_insertion(chosen, &dist);
+        if rebuilt_len < inc_len {
+            (rebuilt, rebuilt_len)
+        } else {
+            (inc_path, inc_len)
+        }
+    }
+
+    /// Exactly decides feasibility of `chosen` and returns a within-bound
+    /// ordering if one exists. `None` is a *proof* of set infeasibility.
+    fn decide_exactly(&self, chosen: &[usize]) -> Option<(Vec<usize>, f64)> {
+        let dist = |i: usize, j: usize| self.problem.dist(i, j);
+        let eps = self.budgets.epsilon_d;
+        if mst_length(chosen, &dist) > eps + 1e-12 {
+            return None;
+        }
+        let path = decide_min_path(chosen, &dist, eps, self.config.held_karp_limit)?;
+        let len = path.windows(2).map(|w| dist(w[0], w[1])).sum();
+        Some((path, len))
+    }
+
+    fn out_of_budget(&mut self) -> bool {
+        if self.aborted {
+            return true;
+        }
+        // Check the clock periodically, not at every node.
+        if self.nodes.is_multiple_of(64) && self.started.elapsed() > self.config.timeout {
+            self.aborted = true;
+            return true;
+        }
+        if let Some(limit) = self.config.node_limit {
+            if self.nodes >= limit {
+                self.aborted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn dfs(
+        &mut self,
+        depth: usize,
+        chosen: &mut Vec<usize>,
+        interest: f64,
+        cost: f64,
+        witness: &[usize],
+        witness_len: f64,
+    ) {
+        self.nodes += 1;
+        if self.out_of_budget() {
+            return;
+        }
+        if depth == self.order.len() {
+            return;
+        }
+        // Prune: even taking everything affordable (within the remaining
+        // cost budget and cardinality slots) cannot beat the best.
+        let slots = self.max_cardinality.saturating_sub(chosen.len());
+        let bound =
+            interest + self.knapsack_bound(depth, self.budgets.epsilon_t - cost, slots);
+        if bound <= self.best_interest + 1e-12 {
+            return;
+        }
+        let q = self.order[depth];
+        let q_cost = self.problem.cost(q);
+        // Include branch first (density order makes it the promising one).
+        if slots > 0 && cost + q_cost <= self.budgets.epsilon_t + 1e-9 {
+            chosen.push(q);
+            let new_interest = interest + self.problem.interest(q);
+            let eps = self.budgets.epsilon_d;
+            let (path, len) = self.extend_witness(chosen, witness, witness_len);
+            if len <= eps + 1e-12 {
+                // Witness proves feasibility.
+                if new_interest > self.best_interest + 1e-12 {
+                    self.best_interest = new_interest;
+                    self.best_sequence = path.clone();
+                }
+                self.dfs(depth + 1, chosen, new_interest, cost + q_cost, &path, len);
+            } else if self.config.assume_metric {
+                // Settle the set exactly: feasible → recurse with the exact
+                // ordering; infeasible → metric monotonicity prunes every
+                // superset.
+                if let Some((exact_path, exact_len)) = self.decide_exactly(chosen) {
+                    if new_interest > self.best_interest + 1e-12 {
+                        self.best_interest = new_interest;
+                        self.best_sequence = exact_path.clone();
+                    }
+                    self.dfs(
+                        depth + 1,
+                        chosen,
+                        new_interest,
+                        cost + q_cost,
+                        &exact_path,
+                        exact_len,
+                    );
+                }
+            } else {
+                // Non-metric: supersets of an infeasible set may recover, so
+                // always recurse; pay for an exact decision only when this
+                // very set would improve the incumbent.
+                let mut carried = (path, len);
+                if new_interest > self.best_interest + 1e-12 {
+                    if let Some((exact_path, exact_len)) = self.decide_exactly(chosen) {
+                        self.best_interest = new_interest;
+                        self.best_sequence = exact_path.clone();
+                        carried = (exact_path, exact_len);
+                    }
+                }
+                self.dfs(
+                    depth + 1,
+                    chosen,
+                    new_interest,
+                    cost + q_cost,
+                    &carried.0,
+                    carried.1,
+                );
+            }
+            chosen.pop();
+        }
+                if self.aborted {
+            return;
+        }
+        // Exclude branch.
+        self.dfs(depth + 1, chosen, interest, cost, witness, witness_len);
+    }
+}
+
+/// Solves the TAP exactly (up to the timeout) and returns the best
+/// solution found.
+pub fn solve_exact<P: TapProblem + ?Sized>(
+    problem: &P,
+    budgets: &Budgets,
+    config: &ExactConfig,
+) -> ExactResult {
+    let started = Instant::now();
+    let n = problem.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let wa = problem.interest(a) / problem.cost(a);
+        let wb = problem.interest(b) / problem.cost(b);
+        wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+
+    // Distance-implied cardinality cap from the global minimum distance.
+    let mut d_min = f64::INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = problem.dist(i, j);
+            if d < d_min {
+                d_min = d;
+            }
+        }
+    }
+    let max_cardinality = if n <= 1 || d_min <= 1e-12 || !d_min.is_finite() {
+        n
+    } else {
+        (1 + (budgets.epsilon_d / d_min).floor() as usize).min(n)
+    };
+
+    let mut by_interest: Vec<usize> = (0..n).collect();
+    by_interest.sort_by(|&a, &b| {
+        problem
+            .interest(b)
+            .partial_cmp(&problem.interest(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut position = vec![0usize; n];
+    for (idx, &q) in order.iter().enumerate() {
+        position[q] = idx;
+    }
+
+    // Warm start from Algorithm 3 — a feasible incumbent tightens the
+    // bound from the first node (CPLEX does the same with its heuristics).
+    let warm = solve_heuristic(problem, budgets);
+    let mut search = Search {
+        problem,
+        budgets: *budgets,
+        config: *config,
+        order,
+        by_interest,
+        position,
+        max_cardinality,
+        best_interest: warm.total_interest,
+        best_sequence: warm.sequence.clone(),
+        nodes: 0,
+        started,
+        aborted: false,
+    };
+    let mut chosen = Vec::new();
+    search.dfs(0, &mut chosen, 0.0, 0.0, &[], 0.0);
+
+    let solution = evaluate(problem, &search.best_sequence);
+    ExactResult {
+        solution,
+        timed_out: search.aborted,
+        nodes_explored: search.nodes,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Brute-force optimum for tiny instances (test oracle): enumerates all
+/// subsets, decides distance feasibility exactly, and returns the best.
+///
+/// # Panics
+/// Panics beyond 14 queries.
+pub fn solve_brute_force<P: TapProblem + ?Sized>(problem: &P, budgets: &Budgets) -> Solution {
+    let n = problem.len();
+    assert!(n <= 14, "brute force limited to 14 queries");
+    let dist = |i: usize, j: usize| problem.dist(i, j);
+    let mut best = Solution::empty();
+    for mask in 0u32..(1u32 << n) {
+        let subset: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let cost: f64 = subset.iter().map(|&i| problem.cost(i)).sum();
+        if cost > budgets.epsilon_t + 1e-9 {
+            continue;
+        }
+        let interest: f64 = subset.iter().map(|&i| problem.interest(i)).sum();
+        if interest <= best.total_interest + 1e-12 {
+            continue;
+        }
+        if let Some(order) = decide_min_path(&subset, &dist, budgets.epsilon_d, 14) {
+            best = evaluate(problem, &order);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{generate_instance, InstanceConfig};
+    use crate::problem::is_feasible;
+
+    fn budgets(t: f64, d: f64) -> Budgets {
+        Budgets { epsilon_t: t, epsilon_d: d }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        for seed in 0..8 {
+            let p = generate_instance(&InstanceConfig::new(10, seed));
+            for (t, d) in [(3.0, 0.5), (5.0, 1.0), (8.0, 2.0), (12.0, 0.3)] {
+                let b = budgets(t, d);
+                let exact = solve_exact(&p, &b, &ExactConfig::default());
+                assert!(!exact.timed_out, "tiny instance must not time out");
+                let brute = solve_brute_force(&p, &b);
+                assert!(
+                    (exact.solution.total_interest - brute.total_interest).abs() < 1e-9,
+                    "seed {seed} t {t} d {d}: exact {} vs brute {}",
+                    exact.solution.total_interest,
+                    brute.total_interest
+                );
+                assert!(is_feasible(&p, &exact.solution.sequence, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_at_least_heuristic() {
+        for seed in 0..5 {
+            let p = generate_instance(&InstanceConfig::new(30, seed + 100));
+            let b = budgets(8.0, 1.2);
+            let exact = solve_exact(&p, &b, &ExactConfig::default());
+            let heur = solve_heuristic(&p, &b);
+            assert!(
+                exact.solution.total_interest >= heur.total_interest - 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn unconstrained_distance_reduces_to_knapsack() {
+        let mut cfg = InstanceConfig::new(12, 9);
+        cfg.cost_range = (1.0, 1.0);
+        let p = generate_instance(&cfg);
+        let b = budgets(5.0, 1e9);
+        let exact = solve_exact(&p, &b, &ExactConfig::default());
+        // Optimal = top-5 interests.
+        let mut interests: Vec<f64> =
+            (0..12).map(|i| crate::problem::TapProblem::interest(&p, i)).collect();
+        interests.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top5: f64 = interests[..5].iter().sum();
+        assert!((exact.solution.total_interest - top5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_distance_budget_allows_single_query() {
+        let p = generate_instance(&InstanceConfig::new(15, 11));
+        let b = budgets(10.0, 0.0);
+        let exact = solve_exact(&p, &b, &ExactConfig::default());
+        assert_eq!(exact.solution.len(), 1);
+        // And it is the single most interesting affordable query.
+        let best: f64 = (0..15)
+            .filter(|&i| crate::problem::TapProblem::cost(&p, i) <= 10.0)
+            .map(|i| crate::problem::TapProblem::interest(&p, i))
+            .fold(0.0, f64::max);
+        assert!((exact.solution.total_interest - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_flags_and_still_returns_feasible() {
+        // Euclidean instances in the calibrated hard regime: n = 300 with a
+        // binding ε_d takes seconds, so a 5 ms budget must interrupt.
+        let p = generate_instance(&InstanceConfig::euclidean(300, 13));
+        let b = budgets(12.0, 0.6);
+        let cfg = ExactConfig {
+            timeout: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let r = solve_exact(&p, &b, &cfg);
+        // 300 queries in 30 ms: the search cannot finish.
+        assert!(r.timed_out);
+        assert!(is_feasible(&p, &r.solution.sequence, &b));
+        assert!(r.solution.total_interest > 0.0, "warm start guarantees an incumbent");
+    }
+
+    #[test]
+    fn node_limit_also_aborts() {
+        let p = generate_instance(&InstanceConfig::new(100, 17));
+        let b = budgets(20.0, 1.5);
+        let cfg = ExactConfig {
+            timeout: Duration::from_secs(3600),
+            node_limit: Some(50),
+            ..Default::default()
+        };
+        let r = solve_exact(&p, &b, &cfg);
+        assert!(r.timed_out);
+        assert!(r.nodes_explored <= 60);
+    }
+
+    #[test]
+    fn non_metric_mode_matches_brute_force() {
+        // UniformIid distances violate the triangle inequality; the solver
+        // must still find the optimum with assume_metric = false.
+        for seed in 0..8 {
+            let p = generate_instance(&InstanceConfig::uniform_iid(11, 500 + seed));
+            for (t, d) in [(4.0, 0.4), (6.0, 1.0), (9.0, 2.0)] {
+                let b = budgets(t, d);
+                let cfg = ExactConfig { assume_metric: false, ..Default::default() };
+                let exact = solve_exact(&p, &b, &cfg);
+                assert!(!exact.timed_out);
+                let brute = solve_brute_force(&p, &b);
+                assert!(
+                    (exact.solution.total_interest - brute.total_interest).abs() < 1e-9,
+                    "seed {seed} t {t} d {d}: exact {} vs brute {}",
+                    exact.solution.total_interest,
+                    brute.total_interest
+                );
+                assert!(is_feasible(&p, &exact.solution.sequence, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn non_metric_supersets_can_recover() {
+        // A hub-shaped violation: nodes 1 and 2 are far apart, but both
+        // are near hub 0. The pair {1, 2} is infeasible under ε_d = 0.4,
+        // yet the superset {0, 1, 2} is feasible as 1-0-2. A metric-
+        // assuming solver would prune it away after trying {1, 2}.
+        let interest = vec![0.1, 1.0, 1.0];
+        let cost = vec![1.0; 3];
+        #[rustfmt::skip]
+        let dist = vec![
+            0.0, 0.2, 0.2,
+            0.2, 0.0, 10.0,
+            0.2, 10.0, 0.0,
+        ];
+        let p = crate::problem::MatrixTap::new(interest, cost, dist);
+        let b = budgets(3.0, 0.4);
+        let cfg = ExactConfig { assume_metric: false, ..Default::default() };
+        let r = solve_exact(&p, &b, &cfg);
+        assert_eq!(r.solution.len(), 3, "hub path 1-0-2 must be found");
+        assert!((r.solution.total_interest - 2.1).abs() < 1e-9);
+        assert!((r.solution.total_distance - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let p = crate::problem::MatrixTap::new(vec![], vec![], vec![]);
+        let r = solve_exact(&p, &budgets(5.0, 5.0), &ExactConfig::default());
+        assert!(r.solution.is_empty());
+        assert!(!r.timed_out);
+    }
+}

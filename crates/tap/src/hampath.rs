@@ -1,0 +1,335 @@
+//! Minimum Hamiltonian-path machinery for the exact TAP solver.
+//!
+//! A selected query set `S` is distance-feasible iff some ordering of `S`
+//! has total consecutive distance ≤ `ε_d`, i.e. iff the minimum Hamiltonian
+//! path over `S` is within the bound. Deciding that exactly is itself
+//! NP-hard, so the solver layers three tools:
+//!
+//! 1. [`mst_length`] — a lower bound (any Hamiltonian path is a spanning
+//!    tree): `MST(S) > ε_d` proves infeasibility of `S` *and of every
+//!    superset* (with a metric, the minimum path is monotone under
+//!    insertion).
+//! 2. [`cheapest_insertion`] — a fast upper-bound witness: if the greedy
+//!    insertion path fits, `S` is feasible.
+//! 3. [`decide_min_path`] — the exact gap decision: Held–Karp for small
+//!    sets, otherwise an ordering branch-and-bound with MST pruning.
+
+/// Length of a minimum spanning tree over `nodes` (Prim, `O(k²)`).
+pub fn mst_length<D: Fn(usize, usize) -> f64>(nodes: &[usize], dist: &D) -> f64 {
+    let k = nodes.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut in_tree = vec![false; k];
+    let mut best = vec![f64::INFINITY; k];
+    in_tree[0] = true;
+    for i in 1..k {
+        best[i] = dist(nodes[0], nodes[i]);
+    }
+    let mut total = 0.0;
+    for _ in 1..k {
+        let mut next = usize::MAX;
+        let mut next_d = f64::INFINITY;
+        for i in 0..k {
+            if !in_tree[i] && best[i] < next_d {
+                next = i;
+                next_d = best[i];
+            }
+        }
+        total += next_d;
+        in_tree[next] = true;
+        for i in 0..k {
+            if !in_tree[i] {
+                let d = dist(nodes[next], nodes[i]);
+                if d < best[i] {
+                    best[i] = d;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Builds a path by inserting each node (in input order) at the position
+/// minimizing the total length. Returns `(ordering, length)`.
+///
+/// This mirrors the insertion step of Algorithm 3 and serves as the
+/// feasibility *witness* in the exact solver.
+pub fn cheapest_insertion<D: Fn(usize, usize) -> f64>(
+    nodes: &[usize],
+    dist: &D,
+) -> (Vec<usize>, f64) {
+    let mut path: Vec<usize> = Vec::with_capacity(nodes.len());
+    let mut length = 0.0;
+    for &v in nodes {
+        let (pos, delta) = best_insertion(&path, v, dist);
+        path.insert(pos, v);
+        length += delta;
+    }
+    (path, length)
+}
+
+/// Best position (and length delta) for inserting `v` into `path`.
+pub fn best_insertion<D: Fn(usize, usize) -> f64>(
+    path: &[usize],
+    v: usize,
+    dist: &D,
+) -> (usize, f64) {
+    if path.is_empty() {
+        return (0, 0.0);
+    }
+    // Prepend.
+    let mut best_pos = 0usize;
+    let mut best_delta = dist(v, path[0]);
+    // Middle positions.
+    for i in 0..path.len() - 1 {
+        let delta = dist(path[i], v) + dist(v, path[i + 1]) - dist(path[i], path[i + 1]);
+        if delta < best_delta {
+            best_delta = delta;
+            best_pos = i + 1;
+        }
+    }
+    // Append.
+    let delta = dist(path[path.len() - 1], v);
+    if delta < best_delta {
+        best_delta = delta;
+        best_pos = path.len();
+    }
+    (best_pos, best_delta)
+}
+
+/// Exact minimum Hamiltonian path by Held–Karp dynamic programming.
+/// Returns `(ordering, length)`.
+///
+/// # Panics
+/// Panics beyond 20 nodes (the DP table would not fit sensible memory).
+pub fn held_karp<D: Fn(usize, usize) -> f64>(nodes: &[usize], dist: &D) -> (Vec<usize>, f64) {
+    let k = nodes.len();
+    assert!(k <= 20, "Held–Karp limited to 20 nodes");
+    if k == 0 {
+        return (Vec::new(), 0.0);
+    }
+    if k == 1 {
+        return (vec![nodes[0]], 0.0);
+    }
+    let full = (1usize << k) - 1;
+    // dp[mask][last] = min length of a path visiting mask, ending at last.
+    let mut dp = vec![f64::INFINITY; (full + 1) * k];
+    let mut parent = vec![usize::MAX; (full + 1) * k];
+    for i in 0..k {
+        dp[(1 << i) * k + i] = 0.0;
+    }
+    for mask in 1..=full {
+        for last in 0..k {
+            let cur = dp[mask * k + last];
+            if !cur.is_finite() || mask & (1 << last) == 0 {
+                continue;
+            }
+            for next in 0..k {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let nmask = mask | (1 << next);
+                let cand = cur + dist(nodes[last], nodes[next]);
+                if cand < dp[nmask * k + next] {
+                    dp[nmask * k + next] = cand;
+                    parent[nmask * k + next] = last;
+                }
+            }
+        }
+    }
+    let (mut last, mut best) = (0usize, f64::INFINITY);
+    for i in 0..k {
+        if dp[full * k + i] < best {
+            best = dp[full * k + i];
+            last = i;
+        }
+    }
+    // Reconstruct.
+    let mut order = Vec::with_capacity(k);
+    let mut mask = full;
+    let mut cur = last;
+    while cur != usize::MAX {
+        order.push(nodes[cur]);
+        let p = parent[mask * k + cur];
+        mask &= !(1 << cur);
+        cur = p;
+    }
+    order.reverse();
+    (order, best)
+}
+
+/// Exactly decides whether some ordering of `nodes` has length ≤ `bound`;
+/// returns such an ordering if one exists.
+///
+/// Uses Held–Karp up to `hk_limit` nodes, else an ordering branch-and-bound
+/// pruned by `acc + MST(remaining ∪ {last}) > bound`.
+pub fn decide_min_path<D: Fn(usize, usize) -> f64>(
+    nodes: &[usize],
+    dist: &D,
+    bound: f64,
+    hk_limit: usize,
+) -> Option<Vec<usize>> {
+    let k = nodes.len();
+    if k <= 1 {
+        return Some(nodes.to_vec());
+    }
+    if k <= hk_limit {
+        let (order, len) = held_karp(nodes, dist);
+        return (len <= bound + 1e-12).then_some(order);
+    }
+    // Ordering branch-and-bound.
+    let mut used = vec![false; k];
+    let mut path: Vec<usize> = Vec::with_capacity(k);
+    fn dfs<D: Fn(usize, usize) -> f64>(
+        nodes: &[usize],
+        dist: &D,
+        bound: f64,
+        used: &mut [bool],
+        path: &mut Vec<usize>,
+        acc: f64,
+    ) -> bool {
+        let k = nodes.len();
+        if path.len() == k {
+            return acc <= bound + 1e-12;
+        }
+        // Lower bound: the remaining nodes plus the current endpoint must be
+        // connected by at least an MST.
+        let mut rest: Vec<usize> = (0..k).filter(|&i| !used[i]).map(|i| nodes[i]).collect();
+        if let Some(&last) = path.last() {
+            rest.push(last);
+        }
+        if acc + mst_length(&rest, dist) > bound + 1e-12 {
+            return false;
+        }
+        for i in 0..k {
+            if used[i] {
+                continue;
+            }
+            let step = path.last().map_or(0.0, |&l| dist(l, nodes[i]));
+            if acc + step > bound + 1e-12 {
+                continue;
+            }
+            used[i] = true;
+            path.push(nodes[i]);
+            if dfs(nodes, dist, bound, used, path, acc + step) {
+                return true;
+            }
+            path.pop();
+            used[i] = false;
+        }
+        false
+    }
+    if dfs(nodes, dist, bound, &mut used, &mut path, 0.0) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance function over points on a line.
+    fn line(points: &'static [f64]) -> impl Fn(usize, usize) -> f64 {
+        move |i, j| (points[i] - points[j]).abs()
+    }
+
+    #[test]
+    fn mst_on_a_line_is_span() {
+        let d = line(&[0.0, 3.0, 1.0, 2.0]);
+        let nodes = [0, 1, 2, 3];
+        assert!((mst_length(&nodes, &d) - 3.0).abs() < 1e-12);
+        assert_eq!(mst_length(&[0], &d), 0.0);
+        assert_eq!(mst_length(&[], &d), 0.0);
+    }
+
+    #[test]
+    fn held_karp_finds_the_line_order() {
+        let d = line(&[0.0, 3.0, 1.0, 2.0]);
+        let (order, len) = held_karp(&[0, 1, 2, 3], &d);
+        assert!((len - 3.0).abs() < 1e-12);
+        // Optimal path is sorted by position (or reversed).
+        let positions: Vec<f64> = order.iter().map(|&i| [0.0, 3.0, 1.0, 2.0][i]).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut rev = sorted.clone();
+        rev.reverse();
+        assert!(positions == sorted || positions == rev);
+    }
+
+    #[test]
+    fn cheapest_insertion_is_an_upper_bound() {
+        let pts: &[f64] = &[0.0, 5.0, 2.0, 8.0, 3.0, 1.0];
+        let d = line(pts);
+        let nodes: Vec<usize> = (0..pts.len()).collect();
+        let (_, ub) = cheapest_insertion(&nodes, &d);
+        let (_, opt) = held_karp(&nodes, &d);
+        assert!(ub >= opt - 1e-12);
+        assert!((opt - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mst_is_a_lower_bound_for_the_path() {
+        let pts: &[f64] = &[0.4, 0.9, 0.1, 0.7, 0.3];
+        let d = line(pts);
+        let nodes: Vec<usize> = (0..pts.len()).collect();
+        let (_, opt) = held_karp(&nodes, &d);
+        assert!(mst_length(&nodes, &d) <= opt + 1e-12);
+    }
+
+    #[test]
+    fn decide_min_path_tight_and_loose() {
+        let d = line(&[0.0, 1.0, 2.0, 3.0]);
+        let nodes = [0, 1, 2, 3];
+        // Optimal length is 3.
+        assert!(decide_min_path(&nodes, &d, 3.0, 16).is_some());
+        assert!(decide_min_path(&nodes, &d, 2.9, 16).is_none());
+        // Ordering B&B path (force hk_limit = 0).
+        let found = decide_min_path(&nodes, &d, 3.0, 0).unwrap();
+        let len: f64 = found.windows(2).map(|w| d(w[0], w[1])).sum();
+        assert!(len <= 3.0 + 1e-12);
+        assert!(decide_min_path(&nodes, &d, 2.9, 0).is_none());
+    }
+
+    #[test]
+    fn decide_agrees_between_hk_and_bnb() {
+        // 2-D points, moderately sized.
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin().abs();
+                let y = (i as f64 * 0.73).cos().abs();
+                (x, y)
+            })
+            .collect();
+        let d = move |i: usize, j: usize| {
+            let (ax, ay) = pts[i];
+            let (bx, by) = pts[j];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        };
+        let nodes: Vec<usize> = (0..10).collect();
+        let (_, opt) = held_karp(&nodes, &d);
+        for bound in [opt * 0.99, opt, opt * 1.01, opt * 2.0] {
+            let hk = decide_min_path(&nodes, &d, bound, 16).is_some();
+            let bnb = decide_min_path(&nodes, &d, bound, 0).is_some();
+            assert_eq!(hk, bnb, "bound {bound} (opt {opt})");
+        }
+    }
+
+    #[test]
+    fn single_and_empty_sets_are_trivially_feasible() {
+        let d = line(&[0.0, 1.0]);
+        assert_eq!(decide_min_path(&[], &d, 0.0, 16), Some(vec![]));
+        assert_eq!(decide_min_path(&[1], &d, 0.0, 16), Some(vec![1]));
+    }
+
+    #[test]
+    fn best_insertion_positions() {
+        let d = line(&[0.0, 10.0, 5.0]);
+        // Path [0, 1]; inserting 2 (pos 5) belongs in the middle.
+        let (pos, delta) = best_insertion(&[0, 1], 2, &d);
+        assert_eq!(pos, 1);
+        assert!((delta - 0.0).abs() < 1e-12); // 5+5-10
+    }
+}

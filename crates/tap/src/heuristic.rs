@@ -1,0 +1,206 @@
+//! Algorithm 3 — the "sort by item efficiency" heuristic.
+//!
+//! Queries are sorted by `interest/cost` (the Dantzig knapsack ordering)
+//! and greedily inserted into the sequence at the position minimizing the
+//! total distance, subject to both budgets. With uniform costs this reduces
+//! to sorting by interest and bounding the sequence length by `ε_t`,
+//! exactly as Section 5.3 remarks.
+
+use crate::hampath::best_insertion;
+use crate::problem::{Budgets, Solution, TapProblem};
+
+/// Runs Algorithm 3. Worst case `O(N log N + N·M)` with `M` the solution
+/// length — the sort dominates for any practical notebook size.
+pub fn solve_heuristic<P: TapProblem + ?Sized>(problem: &P, budgets: &Budgets) -> Solution {
+    let n = problem.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let wa = problem.interest(a) / problem.cost(a);
+        let wb = problem.interest(b) / problem.cost(b);
+        wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+
+    let dist = |i: usize, j: usize| problem.dist(i, j);
+    let mut sequence: Vec<usize> = Vec::new();
+    let mut total_cost = 0.0;
+    let mut total_distance = 0.0;
+    let mut total_interest = 0.0;
+    for &q in &order {
+        let cost = problem.cost(q);
+        if total_cost + cost > budgets.epsilon_t + 1e-9 {
+            continue;
+        }
+        let (pos, delta) = best_insertion(&sequence, q, &dist);
+        if total_distance + delta > budgets.epsilon_d + 1e-9 {
+            continue;
+        }
+        sequence.insert(pos, q);
+        total_cost += cost;
+        total_distance += delta;
+        total_interest += problem.interest(q);
+    }
+    Solution { sequence, total_interest, total_cost, total_distance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{generate_instance, InstanceConfig};
+    use crate::problem::{evaluate, is_feasible, MatrixTap};
+
+    #[test]
+    fn respects_both_budgets() {
+        let p = generate_instance(&InstanceConfig::new(100, 1));
+        let budgets = Budgets { epsilon_t: 10.0, epsilon_d: 2.0 };
+        let s = solve_heuristic(&p, &budgets);
+        assert!(is_feasible(&p, &s.sequence, &budgets));
+        assert!(!s.is_empty());
+        // Reported totals must match re-evaluation.
+        let re = evaluate(&p, &s.sequence);
+        assert!((re.total_interest - s.total_interest).abs() < 1e-9);
+        assert!((re.total_cost - s.total_cost).abs() < 1e-9);
+        // The incremental distance bookkeeping may over-estimate only never
+        // under-estimate? No: insertion deltas are exact.
+        assert!((re.total_distance - s.total_distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_costs_bound_the_length() {
+        let mut cfg = InstanceConfig::new(50, 2);
+        cfg.cost_range = (1.0, 1.0);
+        let p = generate_instance(&cfg);
+        let s = solve_heuristic(&p, &Budgets { epsilon_t: 7.0, epsilon_d: 1e9 });
+        assert_eq!(s.len(), 7);
+        // With no distance constraint, it picks the top-7 by interest.
+        let mut by_interest: Vec<usize> = (0..50).collect();
+        by_interest.sort_by(|&a, &b| {
+            crate::problem::TapProblem::interest(&p, b)
+                .partial_cmp(&crate::problem::TapProblem::interest(&p, a))
+                .unwrap()
+        });
+        let mut expect: Vec<usize> = by_interest[..7].to_vec();
+        expect.sort_unstable();
+        let mut got = s.sequence.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tight_distance_forces_nearby_queries() {
+        let p = generate_instance(&InstanceConfig::new(200, 3));
+        let loose = solve_heuristic(&p, &Budgets { epsilon_t: 20.0, epsilon_d: 1e9 });
+        let tight = solve_heuristic(&p, &Budgets { epsilon_t: 20.0, epsilon_d: 0.5 });
+        assert!(tight.total_distance <= 0.5 + 1e-9);
+        assert!(tight.total_interest <= loose.total_interest + 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_yields_empty_solution() {
+        let p = generate_instance(&InstanceConfig::new(10, 4));
+        let s = solve_heuristic(&p, &Budgets { epsilon_t: 0.0, epsilon_d: 0.0 });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insertion_minimizes_distance_on_a_line() {
+        // Points 0,1,2,3 on a line with equal interest: whatever the pick
+        // order, insertion keeps the path monotone (total distance = span).
+        let pos = [0.0f64, 1.0, 2.0, 3.0];
+        let mut dist = Vec::new();
+        for &a in &pos {
+            for &b in &pos {
+                dist.push((a - b).abs());
+            }
+        }
+        let p = MatrixTap::new(vec![0.9, 1.0, 0.8, 0.95], vec![1.0; 4], dist);
+        let s = solve_heuristic(&p, &Budgets { epsilon_t: 4.0, epsilon_d: 10.0 });
+        assert_eq!(s.len(), 4);
+        assert!((s.total_distance - 3.0).abs() < 1e-9, "got {}", s.total_distance);
+    }
+
+    #[test]
+    fn skips_unaffordable_but_keeps_scanning() {
+        // First item has huge cost; the rest fit.
+        let p = MatrixTap::new(
+            vec![10.0, 1.0, 1.0],
+            vec![100.0, 1.0, 1.0],
+            vec![0.0; 9],
+        );
+        let s = solve_heuristic(&p, &Budgets { epsilon_t: 2.0, epsilon_d: 1.0 });
+        let mut got = s.sequence.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::problem::{evaluate, is_feasible, MatrixTap};
+    use proptest::prelude::*;
+
+    /// Arbitrary symmetric non-negative distance matrix plus positive
+    /// interests/costs.
+    fn arb_instance() -> impl Strategy<Value = MatrixTap> {
+        (2usize..12).prop_flat_map(|n| {
+            let interests = proptest::collection::vec(0.01f64..1.0, n);
+            let costs = proptest::collection::vec(0.1f64..2.0, n);
+            let upper = proptest::collection::vec(0.0f64..3.0, n * (n - 1) / 2);
+            (interests, costs, upper).prop_map(move |(i, c, u)| {
+                let mut dist = vec![0.0; n * n];
+                let mut k = 0;
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        dist[a * n + b] = u[k];
+                        dist[b * n + a] = u[k];
+                        k += 1;
+                    }
+                }
+                MatrixTap::new(i, c, dist)
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn heuristic_solutions_always_feasible(
+            p in arb_instance(),
+            et in 0.0f64..10.0,
+            ed in 0.0f64..5.0,
+        ) {
+            let b = Budgets { epsilon_t: et, epsilon_d: ed };
+            let s = solve_heuristic(&p, &b);
+            prop_assert!(is_feasible(&p, &s.sequence, &b));
+            // Bookkeeping matches re-evaluation.
+            let re = evaluate(&p, &s.sequence);
+            prop_assert!((re.total_interest - s.total_interest).abs() < 1e-9);
+            prop_assert!((re.total_cost - s.total_cost).abs() < 1e-9);
+            prop_assert!((re.total_distance - s.total_distance).abs() < 1e-9);
+        }
+
+        #[test]
+        fn exact_dominates_heuristic_on_tiny_instances(
+            p in arb_instance(),
+            et in 0.5f64..6.0,
+            ed in 0.1f64..3.0,
+        ) {
+            use crate::exact::{solve_brute_force, solve_exact, ExactConfig};
+            let b = Budgets { epsilon_t: et, epsilon_d: ed };
+            // Distances here are arbitrary (non-metric): run without the
+            // metric assumption.
+            let cfg = ExactConfig { assume_metric: false, ..Default::default() };
+            let exact = solve_exact(&p, &b, &cfg);
+            prop_assert!(!exact.timed_out);
+            let heur = solve_heuristic(&p, &b);
+            prop_assert!(exact.solution.total_interest >= heur.total_interest - 1e-9);
+            // And the brute force agrees with the branch-and-bound.
+            let brute = solve_brute_force(&p, &b);
+            prop_assert!(
+                (exact.solution.total_interest - brute.total_interest).abs() < 1e-9,
+                "bnb {} vs brute {}",
+                exact.solution.total_interest,
+                brute.total_interest
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Local-search improvement of TAP solutions.
+//!
+//! Algorithm 3 fixes both *which* queries enter the sequence (greedy by
+//! efficiency) and *where* (best insertion). Two cheap post-passes can
+//! repair its myopia without giving up its speed:
+//!
+//! 1. [`two_opt`] — classic 2-opt on the ordering: reverse a sub-segment
+//!    whenever that shortens the path. Interest is order-invariant, so
+//!    2-opt can only slacken the distance constraint.
+//! 2. [`swap_improve`] — exchange a selected query for an unselected one
+//!    with higher interest whenever budgets still hold afterwards.
+//!
+//! [`solve_heuristic_improved`] chains Algorithm 3 with both passes; the
+//! `ablations` bench target quantifies what each pass buys.
+
+use crate::heuristic::solve_heuristic;
+use crate::problem::{evaluate, Budgets, Solution, TapProblem};
+
+/// 2-opt pass: repeatedly reverses segments while the total distance
+/// drops. Returns the improved solution (same query set, same interest,
+/// distance less than or equal to the input's).
+pub fn two_opt<P: TapProblem + ?Sized>(problem: &P, solution: &Solution) -> Solution {
+    let mut seq = solution.sequence.clone();
+    let k = seq.len();
+    if k < 3 {
+        return solution.clone();
+    }
+    let dist = |i: usize, j: usize| problem.dist(i, j);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        // Reversing seq[i..=j] changes only the edges (i-1, i) and (j, j+1).
+        for i in 0..k - 1 {
+            for j in (i + 1)..k {
+                let before_left = if i > 0 { dist(seq[i - 1], seq[i]) } else { 0.0 };
+                let before_right = if j + 1 < k { dist(seq[j], seq[j + 1]) } else { 0.0 };
+                let after_left = if i > 0 { dist(seq[i - 1], seq[j]) } else { 0.0 };
+                let after_right = if j + 1 < k { dist(seq[i], seq[j + 1]) } else { 0.0 };
+                if after_left + after_right + 1e-12 < before_left + before_right {
+                    seq[i..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    evaluate(problem, &seq)
+}
+
+/// Swap pass: for each unselected query (in decreasing interest), try to
+/// replace the lowest-interest selected query it can stand in for, keeping
+/// both budgets satisfied. One sweep; returns the improved solution.
+pub fn swap_improve<P: TapProblem + ?Sized>(
+    problem: &P,
+    solution: &Solution,
+    budgets: &Budgets,
+) -> Solution {
+    let mut current = solution.clone();
+    if current.sequence.is_empty() {
+        return current;
+    }
+    let selected: std::collections::HashSet<usize> =
+        current.sequence.iter().copied().collect();
+    let mut outsiders: Vec<usize> =
+        (0..problem.len()).filter(|q| !selected.contains(q)).collect();
+    outsiders.sort_by(|&a, &b| {
+        problem
+            .interest(b)
+            .partial_cmp(&problem.interest(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for outsider in outsiders {
+        // Candidate victims, least interesting first.
+        let mut victims: Vec<usize> = (0..current.sequence.len()).collect();
+        victims.sort_by(|&a, &b| {
+            problem
+                .interest(current.sequence[a])
+                .partial_cmp(&problem.interest(current.sequence[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for vpos in victims {
+            let victim = current.sequence[vpos];
+            if problem.interest(outsider) <= problem.interest(victim) + 1e-12 {
+                break; // no gain possible against any remaining victim
+            }
+            let mut candidate = current.sequence.clone();
+            candidate[vpos] = outsider;
+            let improved = two_opt(problem, &evaluate(problem, &candidate));
+            if improved.total_cost <= budgets.epsilon_t + 1e-9
+                && improved.total_distance <= budgets.epsilon_d + 1e-9
+            {
+                current = improved;
+                break;
+            }
+        }
+    }
+    current
+}
+
+/// Algorithm 3 followed by 2-opt and one swap sweep.
+pub fn solve_heuristic_improved<P: TapProblem + ?Sized>(
+    problem: &P,
+    budgets: &Budgets,
+) -> Solution {
+    let base = solve_heuristic(problem, budgets);
+    let reordered = two_opt(problem, &base);
+    swap_improve(problem, &reordered, budgets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{generate_instance, InstanceConfig};
+    use crate::problem::is_feasible;
+
+    #[test]
+    fn two_opt_untangles_a_crossing() {
+        // Points on a line, deliberately tangled ordering.
+        let pos: [f64; 4] = [0.0, 2.0, 1.0, 3.0];
+        let mut dist = Vec::new();
+        for &a in &pos {
+            for &b in &pos {
+                dist.push((a - b).abs());
+            }
+        }
+        let p = crate::problem::MatrixTap::new(vec![1.0; 4], vec![1.0; 4], dist);
+        let tangled = evaluate(&p, &[0, 1, 2, 3]); // 2 + 1 + 2 = 5
+        let fixed = two_opt(&p, &tangled);
+        assert!((fixed.total_distance - 3.0).abs() < 1e-9, "{}", fixed.total_distance);
+        assert_eq!(fixed.total_interest, tangled.total_interest);
+    }
+
+    #[test]
+    fn two_opt_never_worsens() {
+        for seed in 0..10 {
+            let p = generate_instance(&InstanceConfig::euclidean(60, seed));
+            let b = Budgets { epsilon_t: 10.0, epsilon_d: 1.5 };
+            let base = solve_heuristic(&p, &b);
+            let improved = two_opt(&p, &base);
+            assert!(improved.total_distance <= base.total_distance + 1e-9, "seed {seed}");
+            // Same query set, so the sums agree up to summation order.
+            assert!((improved.total_interest - base.total_interest).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn swap_never_lowers_interest_and_stays_feasible() {
+        for seed in 0..10 {
+            let p = generate_instance(&InstanceConfig::euclidean(80, 100 + seed));
+            let b = Budgets { epsilon_t: 8.0, epsilon_d: 1.0 };
+            let base = solve_heuristic(&p, &b);
+            let improved = solve_heuristic_improved(&p, &b);
+            assert!(
+                improved.total_interest >= base.total_interest - 1e-9,
+                "seed {seed}: {} < {}",
+                improved.total_interest,
+                base.total_interest
+            );
+            assert!(is_feasible(&p, &improved.sequence, &b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn improvement_respects_the_optimum() {
+        use crate::exact::{solve_exact, ExactConfig};
+        for seed in 0..5 {
+            let p = generate_instance(&InstanceConfig::euclidean(30, 200 + seed));
+            let b = Budgets { epsilon_t: 6.0, epsilon_d: 0.8 };
+            let exact = solve_exact(&p, &b, &ExactConfig::default());
+            if exact.timed_out {
+                continue;
+            }
+            let improved = solve_heuristic_improved(&p, &b);
+            assert!(
+                improved.total_interest <= exact.solution.total_interest + 1e-9,
+                "seed {seed}: heuristic above the optimum?"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let p = crate::problem::MatrixTap::new(vec![1.0], vec![1.0], vec![0.0]);
+        let b = Budgets { epsilon_t: 1.0, epsilon_d: 0.0 };
+        let s = solve_heuristic_improved(&p, &b);
+        assert_eq!(s.len(), 1);
+        let empty = crate::problem::MatrixTap::new(vec![], vec![], vec![]);
+        assert!(solve_heuristic_improved(&empty, &b).is_empty());
+    }
+}

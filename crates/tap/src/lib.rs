@@ -1,0 +1,40 @@
+//! # cn-tap
+//!
+//! The **Traveling Analyst Problem** (Definition 4.1): given queries with
+//! interestingness, cost, and a pairwise metric distance, find a sequence
+//! maximizing total interest subject to a cost budget `ε_t`, with the
+//! distance objective turned into the constraint
+//! `Σ dist(q_i, q_{i+1}) ≤ ε_d` (Section 5.3). TAP is strongly NP-hard.
+//!
+//! - [`problem`] — the problem abstraction, solutions, and feasibility.
+//! - [`instance`] — artificial instances with uniform interest/cost and
+//!   metric distances (the Section 6.2/6.4 workload).
+//! - [`exact`] — an exact branch-and-bound solver with a wall-clock
+//!   timeout (the role CPLEX plays in the paper; see DESIGN.md).
+//! - [`hampath`] — minimum Hamiltonian-path machinery (MST lower bound,
+//!   cheapest-insertion witness, Held–Karp, ordering branch-and-bound)
+//!   backing the exact solver's distance-feasibility decisions.
+//! - [`heuristic`] — Algorithm 3, the sort-by-efficiency + best-insertion
+//!   heuristic.
+//! - [`improve`] — 2-opt and swap local-search post-passes over
+//!   Algorithm 3 (an ablation of the paper's design choice to stop at one
+//!   greedy pass).
+//! - [`baseline`] — the top-`ε_t`-by-interest baseline of Section 6.4.
+//! - [`eval`] — deviation-to-optimal and recall metrics (Tables 5–6).
+//! - [`pareto`] — the `ε_d` sweep tracing the Pareto front.
+
+pub mod baseline;
+pub mod eval;
+pub mod exact;
+pub mod hampath;
+pub mod heuristic;
+pub mod improve;
+pub mod instance;
+pub mod pareto;
+pub mod problem;
+
+pub use exact::{solve_exact, ExactConfig, ExactResult};
+pub use heuristic::solve_heuristic;
+pub use improve::solve_heuristic_improved;
+pub use instance::{generate_instance, InstanceConfig};
+pub use problem::{Budgets, MatrixTap, Solution, TapProblem};

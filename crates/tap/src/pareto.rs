@@ -1,0 +1,87 @@
+//! Tracing the interest/distance Pareto front by sweeping `ε_d`
+//! (Section 5.3: "Varying ε_d allows to generate different points on the
+//! Pareto front of the original multi-objective problem").
+
+use crate::heuristic::solve_heuristic;
+use crate::problem::{Budgets, Solution, TapProblem};
+
+/// One point of the front.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The distance bound used.
+    pub epsilon_d: f64,
+    /// The heuristic solution under that bound.
+    pub solution: Solution,
+}
+
+/// Runs Algorithm 3 for each `ε_d` in `epsilon_ds` under a fixed `ε_t`.
+pub fn pareto_sweep<P: TapProblem + ?Sized>(
+    problem: &P,
+    epsilon_t: f64,
+    epsilon_ds: &[f64],
+) -> Vec<ParetoPoint> {
+    epsilon_ds
+        .iter()
+        .map(|&epsilon_d| ParetoPoint {
+            epsilon_d,
+            solution: solve_heuristic(problem, &Budgets { epsilon_t, epsilon_d }),
+        })
+        .collect()
+}
+
+/// Keeps only the non-dominated points (maximize interest, minimize
+/// distance).
+pub fn non_dominated(points: &[ParetoPoint]) -> Vec<&ParetoPoint> {
+    points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                q.solution.total_interest >= p.solution.total_interest + 1e-12
+                    && q.solution.total_distance <= p.solution.total_distance - 1e-12
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{generate_instance, InstanceConfig};
+
+    #[test]
+    fn sweep_trades_distance_for_interest() {
+        // Not strictly monotone in general (a looser ε_d can admit an
+        // expensive early query that crowds out cheaper later ones), but
+        // between a near-zero bound and an unconstrained one the trade-off
+        // must show, and uniform costs make the unconstrained end the
+        // plain top-k by interest.
+        let mut cfg = InstanceConfig::new(120, 5);
+        cfg.cost_range = (1.0, 1.0);
+        let p = generate_instance(&cfg);
+        let points = pareto_sweep(&p, 15.0, &[0.05, 1e9]);
+        assert!(
+            points[1].solution.total_interest > points[0].solution.total_interest,
+            "unconstrained ({}) must beat near-zero ({})",
+            points[1].solution.total_interest,
+            points[0].solution.total_interest
+        );
+        assert_eq!(points[1].solution.len(), 15);
+    }
+
+    #[test]
+    fn all_points_respect_their_bound() {
+        let p = generate_instance(&InstanceConfig::new(80, 6));
+        for point in pareto_sweep(&p, 10.0, &[0.1, 0.7, 3.0]) {
+            assert!(point.solution.total_distance <= point.epsilon_d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_dominated_filters() {
+        let p = generate_instance(&InstanceConfig::new(60, 7));
+        let points = pareto_sweep(&p, 8.0, &[0.1, 0.5, 1.0, 4.0]);
+        let front = non_dominated(&points);
+        assert!(!front.is_empty());
+        assert!(front.len() <= points.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! The TAP problem abstraction (Definition 4.1).
+
+/// A TAP instance: `N` queries with interestingness, cost, and a pairwise
+/// distance. Implementations may store a matrix or compute distances on the
+/// fly (Section 5.3: "distances can be computed on the fly, limiting memory
+/// consumption").
+pub trait TapProblem {
+    /// Number of queries `N`.
+    fn len(&self) -> usize;
+    /// `interest(q_i) > 0`.
+    fn interest(&self, i: usize) -> f64;
+    /// `cost(q_i) > 0`.
+    fn cost(&self, i: usize) -> f64;
+    /// Metric distance `dist(q_i, q_j)`.
+    fn dist(&self, i: usize, j: usize) -> f64;
+
+    /// True when the instance has no queries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The two budgets of the single-objective TAP: the time budget `ε_t`
+/// (constraint 2) and the distance bound `ε_d` (objective 3 turned into a
+/// constraint, Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budgets {
+    /// Total cost budget `ε_t`.
+    pub epsilon_t: f64,
+    /// Total consecutive-distance bound `ε_d`.
+    pub epsilon_d: f64,
+}
+
+/// A TAP solution: an ordered sequence of distinct query indices plus its
+/// evaluated objective terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The query sequence `⟨q_1, …, q_M⟩`.
+    pub sequence: Vec<usize>,
+    /// `Σ interest(q_i)` — the maximized objective `z`.
+    pub total_interest: f64,
+    /// `Σ cost(q_i)`.
+    pub total_cost: f64,
+    /// `Σ dist(q_i, q_{i+1})`.
+    pub total_distance: f64,
+}
+
+impl Solution {
+    /// The empty solution.
+    pub fn empty() -> Self {
+        Solution { sequence: Vec::new(), total_interest: 0.0, total_cost: 0.0, total_distance: 0.0 }
+    }
+
+    /// Number of queries in the sequence.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// True when no query was selected.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+/// Evaluates a sequence against a problem (recomputing all three terms).
+///
+/// # Panics
+/// Panics if the sequence repeats a query (solutions are "without
+/// repetition").
+pub fn evaluate<P: TapProblem + ?Sized>(problem: &P, sequence: &[usize]) -> Solution {
+    let mut seen = std::collections::HashSet::new();
+    for &i in sequence {
+        assert!(seen.insert(i), "query {i} repeated in sequence");
+    }
+    let total_interest = sequence.iter().map(|&i| problem.interest(i)).sum();
+    let total_cost = sequence.iter().map(|&i| problem.cost(i)).sum();
+    let total_distance =
+        sequence.windows(2).map(|w| problem.dist(w[0], w[1])).sum();
+    Solution { sequence: sequence.to_vec(), total_interest, total_cost, total_distance }
+}
+
+/// Checks both budget constraints.
+pub fn is_feasible<P: TapProblem + ?Sized>(
+    problem: &P,
+    sequence: &[usize],
+    budgets: &Budgets,
+) -> bool {
+    let s = evaluate(problem, sequence);
+    s.total_cost <= budgets.epsilon_t + 1e-9 && s.total_distance <= budgets.epsilon_d + 1e-9
+}
+
+/// A TAP instance backed by explicit vectors and a dense distance matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixTap {
+    interest: Vec<f64>,
+    cost: Vec<f64>,
+    dist: Vec<f64>,
+    n: usize,
+}
+
+impl MatrixTap {
+    /// Builds an instance from explicit data.
+    ///
+    /// # Panics
+    /// Panics on length mismatches or a non-square matrix.
+    pub fn new(interest: Vec<f64>, cost: Vec<f64>, dist: Vec<f64>) -> Self {
+        let n = interest.len();
+        assert_eq!(cost.len(), n, "cost length");
+        assert_eq!(dist.len(), n * n, "distance matrix must be n×n");
+        MatrixTap { interest, cost, dist, n }
+    }
+}
+
+impl TapProblem for MatrixTap {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn interest(&self, i: usize) -> f64 {
+        self.interest[i]
+    }
+
+    fn cost(&self, i: usize) -> f64 {
+        self.cost[i]
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> MatrixTap {
+        // Three queries on a line at 0, 1, 2.
+        let d = |a: f64, b: f64| (a - b).abs();
+        let pos = [0.0, 1.0, 2.0];
+        let mut dist = Vec::new();
+        for &a in &pos {
+            for &b in &pos {
+                dist.push(d(a, b));
+            }
+        }
+        MatrixTap::new(vec![1.0, 2.0, 3.0], vec![1.0; 3], dist)
+    }
+
+    #[test]
+    fn evaluate_sums_terms() {
+        let p = line3();
+        let s = evaluate(&p, &[0, 1, 2]);
+        assert_eq!(s.total_interest, 6.0);
+        assert_eq!(s.total_cost, 3.0);
+        assert_eq!(s.total_distance, 2.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn order_changes_distance_not_interest() {
+        let p = line3();
+        let a = evaluate(&p, &[0, 2, 1]);
+        let b = evaluate(&p, &[0, 1, 2]);
+        assert_eq!(a.total_interest, b.total_interest);
+        assert!(a.total_distance > b.total_distance);
+    }
+
+    #[test]
+    fn feasibility_checks_both_budgets() {
+        let p = line3();
+        let seq = [0, 1, 2];
+        assert!(is_feasible(&p, &seq, &Budgets { epsilon_t: 3.0, epsilon_d: 2.0 }));
+        assert!(!is_feasible(&p, &seq, &Budgets { epsilon_t: 2.5, epsilon_d: 2.0 }));
+        assert!(!is_feasible(&p, &seq, &Budgets { epsilon_t: 3.0, epsilon_d: 1.5 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn repetition_is_rejected() {
+        let p = line3();
+        let _ = evaluate(&p, &[0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_solution_is_feasible() {
+        let p = line3();
+        assert!(is_feasible(&p, &[], &Budgets { epsilon_t: 0.0, epsilon_d: 0.0 }));
+        assert!(Solution::empty().is_empty());
+    }
+}

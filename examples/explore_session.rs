@@ -1,0 +1,70 @@
+//! An interactive-exploration round: generate a starting notebook, pick an
+//! anchor entry, get continuation suggestions, and execute the suggested
+//! SQL through the bundled dialect executor.
+//!
+//! ```bash
+//! cargo run -p cn-core --release --example explore_session
+//! ```
+
+use cn_core::interest::DistanceWeights;
+use cn_core::pipeline::{continue_notebook, suggest_continuations};
+use cn_core::sqlrun::run_sql;
+
+fn main() {
+    let table = cn_core::datagen::enedis_like(
+        cn_core::datagen::Scale { rows: 0.05, domains: 0.05 },
+        23,
+    );
+    println!("dataset `{}`: {} rows\n", table.name(), table.n_rows());
+
+    // 1. The starting notebook (the paper's "entry point" artifact).
+    let run_result = cn_core::generate_notebook(
+        &table,
+        &cn_core::NotebookOptions { notebook_len: 5, n_permutations: 199, ..Default::default() },
+    );
+    println!("starting notebook: {} comparison queries", run_result.notebook.len());
+    for (i, e) in run_result.notebook.entries.iter().enumerate() {
+        println!(
+            "  {}. {}",
+            i + 1,
+            e.insights.first().map(|n| n.description.as_str()).unwrap_or("(no insight)")
+        );
+    }
+
+    // 2. The analyst likes entry 1 — what next?
+    let weights = DistanceWeights::default();
+    let suggestions = suggest_continuations(&run_result, 0, 3, &weights);
+    println!("\ncontinuations of entry 1:");
+    for s in &suggestions {
+        let q = &run_result.queries[s.query];
+        println!(
+            "  score {:.3} (interest {:.3}, distance {:.1}): group {} by {}",
+            s.score,
+            s.interest,
+            s.distance,
+            table.schema().attribute_name(q.spec.select_on),
+            table.schema().attribute_name(q.spec.group_by),
+        );
+    }
+
+    // 3. Materialize the continuation notebook and *execute* its first SQL
+    //    cell with the bundled executor.
+    let continuation = continue_notebook(&table, &run_result, 0, 3, &weights);
+    if let Some(entry) = continuation.entries.first() {
+        println!("\nfirst continuation query:\n\n{}\n", entry.sql);
+        let result = run_sql(&entry.sql, &table).expect("notebook SQL is executable");
+        println!("{}", result.columns.join(" | "));
+        for row in result.rows.iter().take(6) {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    cn_core::sqlrun::Value::Str(s) => s.clone(),
+                    cn_core::sqlrun::Value::Num(n) => format!("{n:.2}"),
+                    cn_core::sqlrun::Value::Null => "NULL".into(),
+                })
+                .collect();
+            println!("{}", cells.join(" | "));
+        }
+        println!("({} rows)", result.rows.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: from a CSV to a comparison notebook in a few lines.
+//!
+//! ```bash
+//! cargo run -p cn-core --release --example quickstart
+//! ```
+
+use cn_core::prelude::*;
+
+/// Builds the demo CSV: a shop dataset with a planted *Simpson-style*
+/// insight — `south` has the highest average sales overall, yet its store
+/// channel loses money, so the insight "south sales greater" is supported
+/// when grouping by quarter but rejected when grouping by channel. That
+/// partial credibility is exactly what the interestingness of
+/// Definition 4.3 rewards.
+fn demo_csv() -> String {
+    let mut out = String::from("region,channel,quarter,sales,units\n");
+    let mut state = 9u64;
+    let mut noise = move || {
+        // xorshift, scaled to [0, 4).
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 4000) as f64 / 1000.0
+    };
+    for i in 0..600usize {
+        let region = ["south", "north", "west", "east"][i % 4];
+        let channel = if region == "south" {
+            if i % 40 == 0 { "store" } else { "web" }
+        } else {
+            ["web", "store"][(i / 4) % 2]
+        };
+        let quarter = ["Q1", "Q2", "Q3"][(i / 8) % 3];
+        let sales = match (region, channel) {
+            ("south", "web") => 25.0,
+            ("south", "store") => -14.0,
+            ("north", _) => 10.0,
+            ("west", _) => 10.5,
+            _ => 11.0,
+        } + noise();
+        let units = if channel == "web" { 30.0 } else { 5.0 }
+            + if quarter == "Q2" { 9.0 } else { 0.0 }
+            + noise() / 4.0;
+        out.push_str(&format!("{region},{channel},{quarter},{sales:.2},{units:.2}\n"));
+    }
+    out
+}
+
+fn main() {
+    // 1. Load the dataset. The user only distinguishes measures from
+    //    categorical attributes (or lets inference decide).
+    let options = CsvOptions {
+        measures: Some(vec!["sales".into(), "units".into()]),
+        ..Default::default()
+    };
+    let table = read_str("shop", &demo_csv(), &options).expect("valid CSV");
+    println!(
+        "Loaded `{}`: {} rows, {} categorical attributes, {} measures\n",
+        table.name(),
+        table.n_rows(),
+        table.schema().n_attributes(),
+        table.schema().n_measures()
+    );
+
+    // 2. Generate a comparison notebook.
+    let opts = NotebookOptions { notebook_len: 5, n_permutations: 199, ..Default::default() };
+    let result = cn_core::generate_notebook(&table, &opts);
+
+    println!(
+        "Tested {} candidate insights, {} significant, {} comparison queries generated.",
+        result.n_tested,
+        result.n_significant,
+        result.queries.len()
+    );
+    println!(
+        "Notebook: {} queries, total interestingness {:.3}, total distance {:.1}\n",
+        result.notebook.len(),
+        result.solution.total_interest,
+        result.solution.total_distance
+    );
+
+    // 3. Render it.
+    println!("{}", to_markdown(&result.notebook));
+}

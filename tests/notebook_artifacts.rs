@@ -1,0 +1,163 @@
+//! Artifact-level integration tests: the rendered `.ipynb` must be valid
+//! nbformat JSON, the SQL must be faithful to the executed plans, and the
+//! previews must match real query results.
+
+use cn_core::datagen::covid_like;
+use cn_core::insight::significance::TestConfig;
+use cn_core::insight::types::InsightType;
+use cn_core::prelude::*;
+
+fn sample_run() -> (Table, RunResult) {
+    let t = covid_like(21);
+    let cfg = GeneratorConfig {
+        budgets: Budgets { epsilon_t: 5.0, epsilon_d: 50.0 },
+        generation_config: cn_core::insight::generation::GenerationConfig {
+            test: TestConfig { n_permutations: 199, seed: 2, ..Default::default() },
+            ..Default::default()
+        },
+        n_threads: 4,
+        ..Default::default()
+    };
+    let r = run(&t, &cfg);
+    (t, r)
+}
+
+#[test]
+fn ipynb_structure_is_valid_nbformat() {
+    let (_, r) = sample_run();
+    assert!(!r.notebook.is_empty());
+    let v = to_ipynb_json(&r.notebook);
+    assert_eq!(v["nbformat"], 4);
+    assert!(v["nbformat_minor"].as_i64().unwrap() >= 4);
+    let cells = v["cells"].as_array().unwrap();
+    assert_eq!(cells.len(), 1 + 2 * r.notebook.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let kind = cell["cell_type"].as_str().unwrap();
+        assert!(kind == "markdown" || kind == "code");
+        assert!(cell["source"].is_array());
+        if kind == "code" {
+            assert!(cell["outputs"].is_array());
+            assert!(cell["execution_count"].is_number(), "cell {i}");
+        }
+    }
+    // Round-trip through text.
+    let text = serde_json::to_string(&v).unwrap();
+    let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, v);
+}
+
+#[test]
+fn previews_match_direct_execution() {
+    let (t, r) = sample_run();
+    for (entry, &qi) in r.notebook.entries.iter().zip(r.solution.sequence.iter()) {
+        let spec = r.queries[qi].spec;
+        assert_eq!(entry.spec, spec);
+        let res = cn_core::engine::comparison::execute(&t, &spec);
+        assert!(entry.preview.len() <= res.n_groups());
+        let dict = t.dict(spec.group_by);
+        for (row, (name, l, rr)) in entry.preview.iter().enumerate() {
+            assert_eq!(name, dict.decode(res.group_codes[row]));
+            assert!((l - res.left[row]).abs() < 1e-9);
+            assert!((rr - res.right[row]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn sql_text_mentions_the_right_pieces() {
+    let (t, r) = sample_run();
+    for entry in &r.notebook.entries {
+        let schema = t.schema();
+        let a = schema.attribute_name(entry.spec.group_by);
+        let b = schema.attribute_name(entry.spec.select_on);
+        let m = schema.measure_name(entry.spec.measure);
+        let v1 = t.dict(entry.spec.select_on).decode(entry.spec.val);
+        let v2 = t.dict(entry.spec.select_on).decode(entry.spec.val2);
+        for needle in [a, b, m, v1, v2] {
+            assert!(entry.sql.contains(needle), "SQL misses {needle}: {}", entry.sql);
+        }
+        assert!(entry.sql.contains(entry.spec.agg.sql_name()));
+        assert!(entry.sql.ends_with(';'));
+    }
+}
+
+#[test]
+fn markdown_and_sql_renderers_cover_all_entries() {
+    let (_, r) = sample_run();
+    let md = to_markdown(&r.notebook);
+    let sql = to_sql_script(&r.notebook);
+    for (i, entry) in r.notebook.entries.iter().enumerate() {
+        assert!(md.contains(&format!("## Comparison {}", i + 1)));
+        assert!(sql.contains(&format!("-- Comparison {}", i + 1)));
+        for note in &entry.insights {
+            assert!(md.contains(&note.description));
+        }
+    }
+}
+
+#[test]
+fn hypothesis_sql_round_trips_insight_direction() {
+    let (t, r) = sample_run();
+    let q = &r.queries[r.solution.sequence[0]];
+    for &id in &q.insight_ids {
+        let ins = r.insights[id].detail.insight;
+        let sql = cn_core::notebook::sql::hypothesis_sql(&t, &q.spec, &ins);
+        assert!(sql.contains("as hypothesis"));
+        assert!(sql.contains(ins.kind.name()));
+        assert!(sql.contains("having"));
+    }
+}
+
+/// The paper's literal Figure 2 numbers: continental April/May case sums
+/// and Example 3.10's observed statistic avg(May) − avg(April) = 61346.4.
+#[test]
+fn figure_2_golden_numbers() {
+    let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+    let mut b = TableBuilder::new("covid", schema);
+    for (cont, apr, may) in [
+        ("Africa", 31598.0, 92626.0),
+        ("America", 1104862.0, 1404912.0),
+        ("Asia", 333821.0, 537584.0),
+        ("Europe", 863874.0, 608110.0),
+        ("Oceania", 2812.0, 467.0),
+    ] {
+        b.push_row(&[cont, "4"], &[apr]).unwrap();
+        b.push_row(&[cont, "5"], &[may]).unwrap();
+    }
+    let t = b.finish();
+    let month = t.schema().attribute("month").unwrap();
+    let spec = cn_core::engine::ComparisonSpec {
+        group_by: t.schema().attribute("continent").unwrap(),
+        select_on: month,
+        val: t.dict(month).code("4").unwrap(),
+        val2: t.dict(month).code("5").unwrap(),
+        measure: t.schema().measure("cases").unwrap(),
+        agg: cn_core::engine::AggFn::Sum,
+    };
+    let result = cn_core::engine::comparison::execute(&t, &spec);
+    // The exact Figure 2 rows, in continent order.
+    assert_eq!(result.left, vec![31598.0, 1104862.0, 333821.0, 863874.0, 2812.0]);
+    assert_eq!(result.right, vec![92626.0, 1404912.0, 537584.0, 608110.0, 467.0]);
+    // Example 3.10: avg(May) − avg(April) = 61346.4 at the continent level.
+    let avg_april: f64 = result.left.iter().sum::<f64>() / 5.0;
+    let avg_may: f64 = result.right.iter().sum::<f64>() / 5.0;
+    assert!((avg_may - avg_april - 61346.4).abs() < 1e-9);
+    // The mean-greater insight toward May is supported (Figure 3's query
+    // returns a row) and the rendered SQL executes to the same table.
+    let insight = cn_core::insight::types::Insight {
+        measure: spec.measure,
+        select_on: month,
+        val: spec.val2,
+        val2: spec.val,
+        kind: InsightType::MeanGreater,
+    };
+    let h = cn_core::insight::hypothesis::HypothesisQuery::new(
+        insight,
+        spec.group_by,
+        cn_core::engine::AggFn::Sum,
+    );
+    assert!(h.evaluate(&t));
+    let hyp_sql = cn_core::notebook::sql::hypothesis_sql(&t, &h.spec, &insight);
+    let rows = cn_core::sqlrun::run_sql(&hyp_sql, &t).unwrap();
+    assert_eq!(rows.rows.len(), 1, "Figure 3's hypothesis query returns one row");
+}

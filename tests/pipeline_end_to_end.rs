@@ -1,0 +1,163 @@
+//! End-to-end integration tests over the whole workspace: every Table 3
+//! generator variant must produce a valid, budget-respecting notebook on a
+//! seeded synthetic dataset, recover the planted insight structure, and be
+//! reproducible.
+
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::insight::significance::TestConfig;
+use cn_core::prelude::*;
+use std::time::Duration;
+
+fn base_config() -> GeneratorConfig {
+    GeneratorConfig {
+        budgets: Budgets { epsilon_t: 6.0, epsilon_d: 40.0 },
+        generation_config: cn_core::insight::generation::GenerationConfig {
+            test: TestConfig { n_permutations: 199, seed: 5, ..Default::default() },
+            ..Default::default()
+        },
+        n_threads: 4,
+        ..Default::default()
+    }
+}
+
+fn dataset() -> Table {
+    enedis_like(Scale::TEST, 13)
+}
+
+#[test]
+fn every_table3_variant_produces_a_valid_notebook() {
+    let t = dataset();
+    for kind in GeneratorKind::TABLE3 {
+        let cfg = kind.configure(base_config(), 0.4, Duration::from_secs(15));
+        let r = run(&t, &cfg);
+        assert!(r.n_tested > 0, "{}", kind.name());
+        assert!(!r.notebook.is_empty(), "{} produced an empty notebook", kind.name());
+        assert!(r.notebook.len() <= 6, "{}", kind.name());
+        assert!(
+            r.solution.total_distance <= 40.0 + 1e-9,
+            "{} violates ε_d",
+            kind.name()
+        );
+        assert!(r.solution.total_cost <= 6.0 + 1e-9, "{} violates ε_t", kind.name());
+        // Every notebook entry's insights reference the query's site.
+        for e in &r.notebook.entries {
+            assert!(!e.insights.is_empty(), "{}", kind.name());
+            assert!(e.sql.contains("group by"), "{}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let t = dataset();
+    let cfg = base_config();
+    let a = run(&t, &cfg);
+    let b = run(&t, &cfg);
+    assert_eq!(a.n_significant, b.n_significant);
+    assert_eq!(a.solution.sequence, b.solution.sequence);
+    assert_eq!(a.notebook.len(), b.notebook.len());
+    let sa = serde_json::to_string(&to_ipynb_json(&a.notebook)).unwrap();
+    let sb = serde_json::to_string(&to_ipynb_json(&b.notebook)).unwrap();
+    assert_eq!(sa, sb, "rendered artifacts must be byte-identical");
+}
+
+#[test]
+fn fd_exclusion_prevents_meaningless_queries() {
+    // enedis_like plants department → dep_zone; grouping by dep_zone while
+    // selecting departments is meaningless and must not appear.
+    let t = dataset();
+    let dep = t.schema().attribute("department").unwrap();
+    let zone = t.schema().attribute("dep_zone").unwrap();
+    let r = run(&t, &base_config());
+    for q in &r.queries {
+        assert!(
+            !(q.spec.group_by == zone && q.spec.select_on == dep),
+            "FD-meaningless query generated: {:?}",
+            q.spec
+        );
+    }
+}
+
+#[test]
+fn queries_support_their_insights_against_the_base_table() {
+    let t = dataset();
+    let r = run(&t, &base_config());
+    assert!(!r.queries.is_empty());
+    for q in &r.queries {
+        let result = cn_core::engine::comparison::execute(&t, &q.spec);
+        for &id in &q.insight_ids {
+            let ins = &r.insights[id].detail.insight;
+            assert!(
+                cn_core::insight::hypothesis::insight_supported(ins, &q.spec, &result),
+                "query {:?} listed as supporting {:?} but does not",
+                q.spec,
+                ins
+            );
+        }
+    }
+}
+
+#[test]
+fn interestingness_components_order_consistently() {
+    // SigOnly scores dominate SigCred scores query-by-query (the surprise
+    // factor is ≤ 1), and Full ≤ SigCred (conciseness ≤ 1).
+    let t = dataset();
+    let r = run(&t, &base_config());
+    let sig_only = InterestParams {
+        components: InterestComponents::SigOnly,
+        ..Default::default()
+    };
+    let sig_cred = InterestParams {
+        components: InterestComponents::SigCred,
+        ..Default::default()
+    };
+    let full = InterestParams::default();
+    for q in &r.queries {
+        let a = cn_core::interest::interestingness(q, &r.insights, &sig_only);
+        let b = cn_core::interest::interestingness(q, &r.insights, &sig_cred);
+        let c = cn_core::interest::interestingness(q, &r.insights, &full);
+        assert!(a >= b - 1e-12, "sig-only must dominate sig-cred");
+        assert!(b >= c - 1e-12, "sig-cred must dominate full");
+    }
+}
+
+#[test]
+fn notebook_len_tracks_epsilon_t() {
+    let t = dataset();
+    let mut sizes = Vec::new();
+    for budget in [2.0, 4.0, 6.0] {
+        let mut cfg = base_config();
+        cfg.budgets.epsilon_t = budget;
+        let r = run(&t, &cfg);
+        assert!(r.notebook.len() as f64 <= budget + 1e-9);
+        sizes.push(r.notebook.len());
+    }
+    assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2]);
+}
+
+#[test]
+fn bundled_sample_dataset_flows_end_to_end() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../data/covid_sample.csv");
+    let options = CsvOptions {
+        measures: Some(vec!["cases".into(), "deaths".into()]),
+        ..Default::default()
+    };
+    let table = read_path(&path, &options).expect("bundled CSV loads");
+    assert_eq!(table.n_rows(), 400);
+    assert_eq!(table.schema().n_attributes(), 3);
+    let result = cn_core::generate_notebook(
+        &table,
+        &cn_core::NotebookOptions {
+            notebook_len: 3,
+            n_permutations: 99,
+            n_threads: 2,
+            ..Default::default()
+        },
+    );
+    assert!(result.n_tested > 0);
+    // Every rendered SQL cell executes via the bundled dialect runner.
+    for entry in &result.notebook.entries {
+        cn_core::sqlrun::run_sql(&entry.sql, &table).expect("notebook SQL executes");
+    }
+}

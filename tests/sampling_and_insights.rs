@@ -1,0 +1,91 @@
+//! Sampling-vs-recovery integration tests (the Figure 6/9 mechanics) plus
+//! end-to-end statistical sanity.
+
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::insight::significance::TestConfig;
+use cn_core::prelude::*;
+use cn_core::tabular::sampling::{random_sample, unbalanced_sample};
+
+fn config(sampling: SamplingStrategy, seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        sampling,
+        generation_config: cn_core::insight::generation::GenerationConfig {
+            test: TestConfig { n_permutations: 199, seed, ..Default::default() },
+            ..Default::default()
+        },
+        n_threads: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn unbalanced_sampling_keeps_minority_values_visible() {
+    let t = enedis_like(Scale { rows: 0.05, domains: 0.1 }, 17);
+    // `city` is zipf-skewed: at 10%, uniform sampling loses tail values,
+    // the water-filling strategy keeps them.
+    let city = t.schema().attribute("city").unwrap();
+    let full_dom = t.active_domain_size(city);
+    let rnd = random_sample(&t, 0.05, 3);
+    let unb = unbalanced_sample(&t, city, 0.05, 3);
+    assert!(unb.active_domain_size(city) >= rnd.active_domain_size(city));
+    assert_eq!(unb.active_domain_size(city), full_dom);
+}
+
+#[test]
+fn sampled_runs_recover_most_reference_insights() {
+    let t = enedis_like(Scale::TEST, 23);
+    let reference = run(&t, &config(SamplingStrategy::None, 5)).insight_keys();
+    assert!(!reference.is_empty());
+    for (strategy, min_frac) in [
+        (SamplingStrategy::Unbalanced { fraction: 0.6 }, 0.5),
+        (SamplingStrategy::Random { fraction: 0.6 }, 0.4),
+    ] {
+        let found = run(&t, &config(strategy, 5)).insight_keys();
+        let overlap = found.intersection(&reference).count() as f64;
+        assert!(
+            overlap >= min_frac * reference.len() as f64,
+            "{strategy:?}: {overlap}/{} recovered",
+            reference.len()
+        );
+    }
+}
+
+#[test]
+fn aggressive_sampling_can_produce_spurious_insights() {
+    // The Figure 9 phenomenon: insights found on a small sample that do not
+    // exist on the full data. We only check the *mechanism*: the sampled
+    // insight set is not necessarily a subset of the reference.
+    let t = enedis_like(Scale::TEST, 29);
+    let reference = run(&t, &config(SamplingStrategy::None, 7)).insight_keys();
+    let sampled = run(&t, &config(SamplingStrategy::Random { fraction: 0.1 }, 7)).insight_keys();
+    // Ratio reported by the Figure 9 harness:
+    let ratio = sampled.len() as f64 / reference.len().max(1) as f64;
+    assert!(ratio.is_finite());
+}
+
+#[test]
+fn significance_threshold_is_respected() {
+    let t = enedis_like(Scale::TEST, 31);
+    let r = run(&t, &config(SamplingStrategy::None, 9));
+    for s in &r.insights {
+        assert!(
+            s.detail.significance() >= 0.95 - 1e-9,
+            "retained insight below the paper's sig threshold: {:?}",
+            s.detail
+        );
+        assert!(s.credibility.supporting >= 1, "zero-support insights must be dropped");
+        assert!(s.credibility.supporting <= s.credibility.possible);
+    }
+}
+
+#[test]
+fn transitivity_pruning_reduces_or_keeps_insights() {
+    let t = enedis_like(Scale::TEST, 37);
+    let with_pruning = run(&t, &config(SamplingStrategy::None, 11));
+    let mut cfg = config(SamplingStrategy::None, 11);
+    cfg.generation_config.prune_transitive = false;
+    let without = run(&t, &cfg);
+    assert!(with_pruning.n_significant <= without.n_significant);
+    // Pruned runs still produce a notebook.
+    assert!(!with_pruning.notebook.is_empty());
+}

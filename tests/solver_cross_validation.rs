@@ -1,0 +1,144 @@
+//! Cross-validation of the TAP solvers: the branch-and-bound must match
+//! brute force on every feasible tiny instance, dominate Algorithm 3, and
+//! the quality metrics must behave like Tables 5–6 on mid-size instances.
+
+use cn_core::tap::baseline::solve_baseline;
+use cn_core::tap::eval::{deviation_percent, recall};
+use cn_core::tap::exact::solve_brute_force;
+use cn_core::tap::problem::is_feasible;
+use cn_core::tap::{
+    generate_instance, solve_exact, solve_heuristic, Budgets, ExactConfig, InstanceConfig,
+};
+use std::time::Duration;
+
+#[test]
+fn exact_equals_brute_force_across_seeds_and_budgets() {
+    for seed in 0..12 {
+        let p = generate_instance(&InstanceConfig::new(11, 1000 + seed));
+        for (t, d) in [(4.0, 0.6), (6.0, 1.2), (9.0, 2.5)] {
+            let b = Budgets { epsilon_t: t, epsilon_d: d };
+            let exact = solve_exact(&p, &b, &ExactConfig::default());
+            assert!(!exact.timed_out);
+            let brute = solve_brute_force(&p, &b);
+            assert!(
+                (exact.solution.total_interest - brute.total_interest).abs() < 1e-9,
+                "seed {seed} ({t}, {d}): {} vs {}",
+                exact.solution.total_interest,
+                brute.total_interest
+            );
+            assert!(is_feasible(&p, &exact.solution.sequence, &b));
+        }
+    }
+}
+
+#[test]
+fn heuristic_never_beats_exact_and_stays_feasible() {
+    for seed in 0..6 {
+        let p = generate_instance(&InstanceConfig::new(60, 2000 + seed));
+        let b = Budgets { epsilon_t: 10.0, epsilon_d: 1.5 };
+        let exact = solve_exact(
+            &p,
+            &b,
+            &ExactConfig { timeout: Duration::from_secs(30), ..Default::default() },
+        );
+        let heur = solve_heuristic(&p, &b);
+        assert!(is_feasible(&p, &heur.sequence, &b));
+        if !exact.timed_out {
+            assert!(exact.solution.total_interest >= heur.total_interest - 1e-9);
+            let dev = deviation_percent(&exact.solution, &heur);
+            assert!((0.0..=100.0).contains(&dev));
+        }
+    }
+}
+
+#[test]
+fn heuristic_recall_vs_baseline_in_the_table6_regime() {
+    // The Table 6 comparison: Algorithm 3's recall of the optimal solution
+    // vs the distance-blind top-k baseline's. On our *metric* instances
+    // the gap is much smaller than the paper's 2.5–3× (see EXPERIMENTS.md:
+    // with a metric, every subset is somewhat connectable, so the optimum
+    // stays partially interest-correlated and the baseline overlaps it
+    // more) — but in the calibrated regime the heuristic still edges it
+    // out, it respects ε_d (the baseline does not), and both recalls are
+    // proper fractions. Seeds are fixed, so the comparison is exact.
+    let b = Budgets { epsilon_t: 10.0, epsilon_d: 0.8 };
+    let mut heur_recall = 0.0;
+    let mut base_recall = 0.0;
+    let mut n = 0;
+    for seed in 0..6 {
+        let p = generate_instance(&InstanceConfig::euclidean(100, 700 + seed));
+        let exact = solve_exact(
+            &p,
+            &b,
+            &ExactConfig { timeout: Duration::from_secs(60), ..Default::default() },
+        );
+        if exact.timed_out {
+            continue;
+        }
+        let heur = solve_heuristic(&p, &b);
+        assert!(heur.total_distance <= b.epsilon_d + 1e-9);
+        let hr = recall(&exact.solution, &heur);
+        let br = recall(&exact.solution, &solve_baseline(&p, &b));
+        assert!((0.0..=1.0).contains(&hr) && (0.0..=1.0).contains(&br));
+        heur_recall += hr;
+        base_recall += br;
+        n += 1;
+    }
+    assert!(n >= 4, "enough instances solved exactly");
+    assert!(heur_recall > 0.0, "heuristic must overlap the optimum somewhere");
+    assert!(
+        heur_recall >= base_recall,
+        "Algorithm 3 recall {heur_recall:.2} vs baseline {base_recall:.2} over {n} instances"
+    );
+}
+
+#[test]
+fn exact_timeout_degrades_gracefully() {
+    let p = generate_instance(&InstanceConfig::new(400, 9));
+    let b = Budgets { epsilon_t: 25.0, epsilon_d: 2.0 };
+    let r = solve_exact(
+        &p,
+        &b,
+        &ExactConfig { timeout: Duration::from_millis(50), ..Default::default() },
+    );
+    assert!(r.timed_out);
+    // Warm start guarantees at least the heuristic value.
+    let heur = solve_heuristic(&p, &b);
+    assert!(r.solution.total_interest >= heur.total_interest - 1e-9);
+    assert!(is_feasible(&p, &r.solution.sequence, &b));
+}
+
+#[test]
+fn deviation_shrinks_with_instance_size() {
+    // The Table 5 trend: with more queries to choose from, the greedy
+    // heuristic loses less. Compare a small and a large instance class.
+    let b = Budgets { epsilon_t: 10.0, epsilon_d: 0.8 };
+    let avg_dev = |n: usize, seeds: std::ops::Range<u64>| {
+        let mut total = 0.0;
+        let mut count = 0;
+        for seed in seeds {
+            let p = generate_instance(&InstanceConfig::euclidean(n, 4000 + seed));
+            let exact = solve_exact(
+                &p,
+                &b,
+                &ExactConfig { timeout: Duration::from_secs(20), ..Default::default() },
+            );
+            if exact.timed_out {
+                continue;
+            }
+            total += deviation_percent(&exact.solution, &solve_heuristic(&p, &b));
+            count += 1;
+        }
+        (total / count.max(1) as f64, count)
+    };
+    let (dev_small, n_small) = avg_dev(25, 0..8);
+    let (dev_large, n_large) = avg_dev(120, 0..8);
+    assert!(n_small >= 4 && n_large >= 4);
+    // Tolerance: the trend is statistical; with 8 seeds we only assert it
+    // does not reverse dramatically.
+    assert!(
+        dev_large <= dev_small + 5.0,
+        "deviation should not grow with size: {dev_small:.2}% -> {dev_large:.2}%"
+    );
+    assert!((0.0..=100.0).contains(&dev_small) && (0.0..=100.0).contains(&dev_large));
+}
