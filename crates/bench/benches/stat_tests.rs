@@ -2,8 +2,12 @@
 //! dominant pipeline phase (Figure 7) — including the shared-permutation
 //! optimization of Section 5.1.1.
 
+use cn_core::stats::rng::derive_seed;
+use cn_core::stats::{
+    shared_permutation_pvalues, two_sample_pvalue, AttributeBatch, BatchScratch, TestKind,
+    TwoSample,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cn_core::stats::{shared_permutation_pvalues, two_sample_pvalue, TestKind, TwoSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,17 +36,9 @@ fn bench_shared_vs_independent(c: &mut Criterion) {
     let ys: Vec<Vec<f64>> = (0..4).map(|i| series(n, 10 + i)).collect();
     c.bench_function("four_measures/shared_permutations", |b| {
         b.iter(|| {
-            let samples: Vec<TwoSample> = xs
-                .iter()
-                .zip(ys.iter())
-                .map(|(x, y)| TwoSample { x, y })
-                .collect();
-            shared_permutation_pvalues(
-                &samples,
-                &[TestKind::MeanDiff, TestKind::VarDiff],
-                200,
-                7,
-            )
+            let samples: Vec<TwoSample> =
+                xs.iter().zip(ys.iter()).map(|(x, y)| TwoSample { x, y }).collect();
+            shared_permutation_pvalues(&samples, &[TestKind::MeanDiff, TestKind::VarDiff], 200, 7)
         });
     });
     c.bench_function("four_measures/independent_tests", |b| {
@@ -57,6 +53,91 @@ fn bench_shared_vs_independent(c: &mut Criterion) {
     });
 }
 
+/// One categorical attribute's measure series, Zipf-skewed code sizes —
+/// the shape of an ENEDIS attribute (Table 2) at bench scale.
+fn attribute_series(n_rows: usize, n_codes: usize, n_meas: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n_codes).map(|c| 1.0 / ((c + 1) as f64).powf(0.8)).collect();
+    let wsum: f64 = weights.iter().sum();
+    (0..n_meas)
+        .map(|m| {
+            weights
+                .iter()
+                .enumerate()
+                .map(|(c, w)| {
+                    let len = ((w / wsum) * n_rows as f64).ceil() as usize;
+                    (0..len).map(|_| rng.random::<f64>() * 10.0 + (c * m) as f64 * 0.05).collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The Figure 7 hot path at attribute granularity: all value pairs of one
+/// attribute, every measure, 200 permutations (the default TestConfig).
+/// `seed_per_pair` is the pre-batch kernel — one `shared_permutation_pvalues`
+/// call per pair, pooling and shuffling from scratch each time. The batch
+/// kernels amortize: `pair_exact` compacts once and reuses scratch
+/// (bit-identical p-values); `shared_permutations` generates each
+/// permutation once per attribute and reuses it across all pairs.
+fn bench_attribute_kernels(c: &mut Criterion) {
+    let n_perms = 200;
+    let kinds = [TestKind::MeanDiff, TestKind::VarDiff];
+    for (label, n_codes) in [("sector12", 12usize), ("region26", 26usize)] {
+        let series = attribute_series(12_000, n_codes, 2, 42);
+        let batch = AttributeBatch::new(&series);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for c1 in 0..n_codes as u32 {
+            for c2 in (c1 + 1)..n_codes as u32 {
+                pairs.push((c1, c2));
+            }
+        }
+        let name = format!("attribute_200perms/{label}");
+        let mut group = c.benchmark_group(name.as_str());
+        group.bench_function("seed_per_pair", |b| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(pairs.len());
+                for &(c1, c2) in &pairs {
+                    let samples: Vec<TwoSample> = series
+                        .iter()
+                        .map(|m| TwoSample { x: &m[c1 as usize], y: &m[c2 as usize] })
+                        .collect();
+                    out.push(shared_permutation_pvalues(
+                        &samples,
+                        &kinds,
+                        n_perms,
+                        derive_seed(7, &[c1 as u64, c2 as u64]),
+                    ));
+                }
+                out
+            });
+        });
+        group.bench_function("batch_pair_exact", |b| {
+            let mut scratch = BatchScratch::default();
+            b.iter(|| {
+                let mut out = Vec::with_capacity(pairs.len());
+                for &(c1, c2) in &pairs {
+                    out.push(batch.pair_pvalues(
+                        c1 as usize,
+                        c2 as usize,
+                        &kinds,
+                        n_perms,
+                        derive_seed(7, &[c1 as u64, c2 as u64]),
+                        None,
+                        &mut scratch,
+                    ));
+                }
+                out
+            });
+        });
+        group.bench_function("batch_shared_permutations", |b| {
+            let mut scratch = BatchScratch::default();
+            b.iter(|| batch.batched_pvalues(&pairs, &kinds, n_perms, 7, &mut scratch));
+        });
+        group.finish();
+    }
+}
+
 fn bench_bh(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let ps: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>()).collect();
@@ -65,5 +146,11 @@ fn bench_bh(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_test, bench_shared_vs_independent, bench_bh);
+criterion_group!(
+    benches,
+    bench_single_test,
+    bench_shared_vs_independent,
+    bench_attribute_kernels,
+    bench_bh
+);
 criterion_main!(benches);

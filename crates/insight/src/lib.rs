@@ -29,5 +29,7 @@ pub mod transitivity;
 pub mod types;
 
 pub use generation::{generate_candidates, CandidateQuery, GenerationConfig, GenerationOutput};
-pub use significance::{test_all_insights, SignificantInsight, TestConfig};
+pub use significance::{
+    test_all_insights, test_all_insights_threaded, SignificantInsight, TestConfig,
+};
 pub use types::{Insight, InsightType};

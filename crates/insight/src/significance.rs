@@ -4,10 +4,22 @@
 //! permutation test with the statistic of Table 1; permutations are shared
 //! across the measures and insight types of a pair, and p-values are
 //! Benjamini–Hochberg corrected per attribute family.
+//!
+//! The tests run on the batched kernel of [`cn_stats::permutation::batch`]:
+//! [`AttributeTester::new`] compacts every per-code measure series once —
+//! `NaN` rows stripped at build time, not re-checked inside the permutation
+//! loop — and [`AttributeTester::test_pairs_with`] reuses a caller-provided
+//! [`BatchScratch`] so steady-state testing allocates nothing. The default
+//! [`TestKernel::PairExact`] replays the legacy per-pair RNG streams, so
+//! p-values are bit-identical per seed to the historical implementation on
+//! NaN-free data (and to it applied to the NaN-stripped series otherwise);
+//! [`TestKernel::Batched`] opts into the faster shared-per-attribute
+//! permutation stream of the batch kernel.
 
 use crate::types::{Insight, InsightType};
+use cn_stats::parallel::parallel_map_with;
 use cn_stats::rng::derive_seed;
-use cn_stats::{benjamini_hochberg, shared_permutation_pvalues, TwoSample};
+use cn_stats::{benjamini_hochberg, AttributeBatch, BatchScratch, TestKernel};
 use cn_tabular::{AttrId, Table};
 
 /// Configuration of the insight testing stage.
@@ -25,6 +37,20 @@ pub struct TestConfig {
     pub seed: u64,
     /// Insight types to test.
     pub types: Vec<InsightType>,
+    /// Which permutation kernel backs the tests. The default,
+    /// [`TestKernel::PairExact`], reproduces the historical per-pair RNG
+    /// streams bit for bit; [`TestKernel::Batched`] shares one
+    /// permutation stream per attribute across all of its value pairs
+    /// (statistically equivalent, not bit-identical — opt in for speed).
+    pub kernel: TestKernel,
+    /// Deterministic early termination of permutation loops whose
+    /// p-value can no longer reach [`TestConfig::alpha`]. Never flips a
+    /// significance decision at `alpha` (raw or BH-corrected) and leaves
+    /// every significant p-value unchanged, but non-significant p-values
+    /// are estimated from fewer permutations — off by default so
+    /// reproduction numbers match the paper protocol exactly. Only the
+    /// `PairExact` kernel supports it; `Batched` ignores the flag.
+    pub early_stop: bool,
 }
 
 impl Default for TestConfig {
@@ -35,6 +61,8 @@ impl Default for TestConfig {
             apply_bh: true,
             seed: 0,
             types: InsightType::ALL.to_vec(),
+            kernel: TestKernel::PairExact,
+            early_stop: false,
         }
     }
 }
@@ -79,14 +107,19 @@ impl SignificantInsight {
 pub struct AttributeTester {
     /// The attribute `B` under test.
     pub attr: AttrId,
-    /// `series[m][code]` — measure `m` restricted to `B = code`.
-    series: Vec<Vec<Vec<f64>>>,
+    /// The compacted per-(measure, code) series: `NaN` rows stripped once
+    /// at build time, values in flat contiguous buffers, sufficient
+    /// statistics cached.
+    batch: AttributeBatch,
     /// Codes with at least one row.
     present: Vec<u32>,
 }
 
 impl AttributeTester {
-    /// Partitions every measure of `table` by the values of `attr`.
+    /// Partitions every measure of `table` by the values of `attr` and
+    /// compacts the series for repeated permutation testing. `NaN`
+    /// (missing) measure values are stripped here, once — the permutation
+    /// kernels never re-check them.
     pub fn new(table: &Table, attr: AttrId) -> Self {
         let groups = table.rows_by_value(attr);
         let n_codes = groups.len();
@@ -99,9 +132,8 @@ impl AttributeTester {
             }
             series.push(per_code);
         }
-        let present =
-            (0..n_codes as u32).filter(|&c| !groups[c as usize].is_empty()).collect();
-        AttributeTester { attr, series, present }
+        let present = (0..n_codes as u32).filter(|&c| !groups[c as usize].is_empty()).collect();
+        AttributeTester { attr, batch: AttributeBatch::new(&series), present }
     }
 
     /// Value codes present in the data, ascending.
@@ -124,29 +156,90 @@ impl AttributeTester {
     /// sharing the permutations (Section 5.1.1). Returns one oriented
     /// [`RawTest`] per (measure, type); pairs with a zero observed effect
     /// are reported with `raw_p = 1` (no direction, never significant).
+    ///
+    /// Convenience wrapper over [`test_pairs_with`] that pays one scratch
+    /// allocation; batch callers should hold a per-worker [`BatchScratch`]
+    /// and call [`test_pairs_with`] instead.
+    ///
+    /// [`test_pairs_with`]: AttributeTester::test_pairs_with
     pub fn test_pair(&self, c1: u32, c2: u32, config: &TestConfig) -> Vec<RawTest> {
-        let n_meas = self.series.len();
-        let samples: Vec<TwoSample<'_>> = (0..n_meas)
-            .map(|m| TwoSample {
-                x: &self.series[m][c1 as usize],
-                y: &self.series[m][c2 as usize],
-            })
-            .collect();
+        self.test_pairs_with(&[(c1, c2)], config, &mut BatchScratch::default())
+    }
+
+    /// Tests a set of value pairs, reusing `scratch` across them (and
+    /// across calls) so the steady state is allocation-free apart from
+    /// the returned vector. Results are concatenated in `pairs` order,
+    /// one [`RawTest`] per (pair, measure, type).
+    ///
+    /// Chunking invariance: results depend only on `(attr, c1, c2)` and
+    /// the config — every seed derives from the test's identity, never
+    /// from how pairs are grouped into calls or spread over workers — so
+    /// any partition of the pair list reproduces the same numbers.
+    pub fn test_pairs_with(
+        &self,
+        pairs: &[(u32, u32)],
+        config: &TestConfig,
+        scratch: &mut BatchScratch,
+    ) -> Vec<RawTest> {
+        let n_meas = self.batch.n_measures();
         let kinds: Vec<_> = config.types.iter().map(|t| t.test_kind()).collect();
-        let seed =
-            derive_seed(config.seed, &[self.attr.0 as u64, c1 as u64, c2 as u64]);
-        let pvalues =
-            shared_permutation_pvalues(&samples, &kinds, config.n_permutations, seed);
-        let mut out = Vec::with_capacity(n_meas * config.types.len());
-        for (mi, sample) in samples.iter().enumerate() {
+        let mut out = Vec::with_capacity(pairs.len() * n_meas * config.types.len());
+        match config.kernel {
+            TestKernel::PairExact => {
+                let early = if config.early_stop { Some(config.alpha) } else { None };
+                for &(c1, c2) in pairs {
+                    let seed =
+                        derive_seed(config.seed, &[self.attr.0 as u64, c1 as u64, c2 as u64]);
+                    let pvalues = self.batch.pair_pvalues(
+                        c1 as usize,
+                        c2 as usize,
+                        &kinds,
+                        config.n_permutations,
+                        seed,
+                        early,
+                        scratch,
+                    );
+                    self.orient_pair(c1, c2, config, &pvalues, &mut out);
+                }
+            }
+            TestKernel::Batched => {
+                let attr_seed = derive_seed(config.seed, &[self.attr.0 as u64]);
+                let per_pair = self.batch.batched_pvalues(
+                    pairs,
+                    &kinds,
+                    config.n_permutations,
+                    attr_seed,
+                    scratch,
+                );
+                for (pvalues, &(c1, c2)) in per_pair.iter().zip(pairs) {
+                    self.orient_pair(c1, c2, config, pvalues, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Orients one pair's `pvalues[measure][kind]` into [`RawTest`]s by
+    /// the observed full-data direction (Lemma 3.5).
+    fn orient_pair(
+        &self,
+        c1: u32,
+        c2: u32,
+        config: &TestConfig,
+        pvalues: &[Vec<f64>],
+        out: &mut Vec<RawTest>,
+    ) {
+        for (mi, meas_ps) in pvalues.iter().enumerate().take(self.batch.n_measures()) {
+            let x = self.batch.series(mi, c1 as usize);
+            let y = self.batch.series(mi, c2 as usize);
             for (ki, &ty) in config.types.iter().enumerate() {
-                let s1 = ty.series_statistic(sample.x);
-                let s2 = ty.series_statistic(sample.y);
+                let s1 = ty.series_statistic(x);
+                let s2 = ty.series_statistic(y);
                 let effect = (s1 - s2).abs();
                 let (val, val2, raw_p) = if s1 > s2 {
-                    (c1, c2, pvalues[mi][ki])
+                    (c1, c2, meas_ps[ki])
                 } else if s2 > s1 {
-                    (c2, c1, pvalues[mi][ki])
+                    (c2, c1, meas_ps[ki])
                 } else {
                     (c1, c2, 1.0)
                 };
@@ -163,7 +256,6 @@ impl AttributeTester {
                 });
             }
         }
-        out
     }
 }
 
@@ -195,21 +287,68 @@ pub struct TestReport {
     pub n_tested: usize,
 }
 
-/// Tests every insight of `table` sequentially (Algorithm 1, lines 2–4).
-///
-/// The pipeline crate provides the multi-threaded equivalent; results are
-/// identical because seeds derive from `(attribute, pair)`.
-pub fn test_all_insights(table: &Table, config: &TestConfig) -> TestReport {
-    let mut significant = Vec::new();
-    let mut n_tested = 0usize;
-    for attr in table.schema().attribute_ids() {
-        let tester = AttributeTester::new(table, attr);
-        let mut family = Vec::new();
-        for (c1, c2) in tester.pairs() {
-            family.extend(tester.test_pair(c1, c2, config));
+/// Splits every tester's pair list into bounded chunks — the work items
+/// the testing stage fans out over (Figure 8's "permutation testing over
+/// different groups of categorical attributes", refined to pair chunks so
+/// one huge attribute still spreads across workers). Chunks preserve
+/// (attribute, pair) order, so an in-order merge of per-chunk results
+/// equals the sequential enumeration.
+pub fn chunked_pair_tasks(
+    testers: &[AttributeTester],
+    n_threads: usize,
+) -> Vec<(usize, Vec<(u32, u32)>)> {
+    let total: usize = testers
+        .iter()
+        .map(|t| {
+            let n = t.present_codes().len();
+            n * n.saturating_sub(1) / 2
+        })
+        .sum();
+    // Several chunks per worker for balance, without per-pair scheduling
+    // overhead; scratch warm-up amortizes over the whole chunk.
+    let chunk = (total / (8 * n_threads.max(1))).clamp(1, 64);
+    let mut tasks = Vec::new();
+    for (ai, tester) in testers.iter().enumerate() {
+        for pairs in tester.pairs().chunks(chunk) {
+            tasks.push((ai, pairs.to_vec()));
         }
-        n_tested += family.len();
-        significant.extend(finalize_family(&family, config));
+    }
+    tasks
+}
+
+/// Tests every insight of `table` (Algorithm 1, lines 2–4), sequentially.
+///
+/// Shorthand for [`test_all_insights_threaded`] with one thread; the
+/// multi-threaded run returns identical results because every permutation
+/// seed derives from `(attribute, pair)`, never from the scheduling.
+pub fn test_all_insights(table: &Table, config: &TestConfig) -> TestReport {
+    test_all_insights_threaded(table, config, 1)
+}
+
+/// Tests every insight of `table`, fanning (attribute, pair-chunk) work
+/// items over `n_threads` workers with one [`BatchScratch`] per worker.
+/// Results are bit-identical to the sequential path for any thread count.
+pub fn test_all_insights_threaded(
+    table: &Table,
+    config: &TestConfig,
+    n_threads: usize,
+) -> TestReport {
+    let testers: Vec<AttributeTester> =
+        table.schema().attribute_ids().map(|attr| AttributeTester::new(table, attr)).collect();
+    let tasks = chunked_pair_tasks(&testers, n_threads);
+    let raw_per_task: Vec<Vec<RawTest>> =
+        parallel_map_with(&tasks, n_threads, BatchScratch::default, |scratch, (ai, pairs)| {
+            testers[*ai].test_pairs_with(pairs, config, scratch)
+        });
+    let mut families: Vec<Vec<RawTest>> = vec![Vec::new(); testers.len()];
+    let mut n_tested = 0usize;
+    for ((ai, _), raws) in tasks.iter().zip(raw_per_task) {
+        n_tested += raws.len();
+        families[*ai].extend(raws);
+    }
+    let mut significant = Vec::new();
+    for family in &families {
+        significant.extend(finalize_family(family, config));
     }
     TestReport { significant, n_tested }
 }
@@ -250,9 +389,7 @@ mod tests {
         let mean_insights: Vec<_> = report
             .significant
             .iter()
-            .filter(|s| {
-                s.insight.select_on == region && s.insight.kind == InsightType::MeanGreater
-            })
+            .filter(|s| s.insight.select_on == region && s.insight.kind == InsightType::MeanGreater)
             .collect();
         // south > north and south > west must be found; north vs west not.
         assert_eq!(mean_insights.len(), 2, "{mean_insights:?}");
@@ -332,5 +469,112 @@ mod tests {
         let tester = AttributeTester::new(&t, region);
         assert_eq!(tester.present_codes().len(), 3);
         assert_eq!(tester.pairs().len(), 3);
+    }
+
+    fn reports_equal(a: &TestReport, b: &TestReport) {
+        assert_eq!(a.n_tested, b.n_tested);
+        assert_eq!(a.significant.len(), b.significant.len());
+        for (x, y) in a.significant.iter().zip(b.significant.iter()) {
+            assert_eq!(x.insight, y.insight);
+            assert_eq!(x.p_value, y.p_value);
+            assert_eq!(x.raw_p, y.raw_p);
+        }
+    }
+
+    #[test]
+    fn threaded_testing_is_bit_identical_to_sequential() {
+        let t = planted();
+        let config = TestConfig { n_permutations: 99, seed: 4, ..Default::default() };
+        let seq = test_all_insights(&t, &config);
+        for threads in [2, 3, 8] {
+            let par = test_all_insights_threaded(&t, &config, threads);
+            reports_equal(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn threaded_testing_is_bit_identical_with_batched_kernel() {
+        // The batched kernel shares one permutation stream per attribute;
+        // chunking over workers must not perturb it.
+        let t = planted();
+        let config = TestConfig {
+            n_permutations: 99,
+            seed: 4,
+            kernel: cn_stats::TestKernel::Batched,
+            ..Default::default()
+        };
+        let seq = test_all_insights(&t, &config);
+        let par = test_all_insights_threaded(&t, &config, 4);
+        reports_equal(&seq, &par);
+    }
+
+    #[test]
+    fn batched_kernel_finds_the_same_planted_insights() {
+        // Different RNG stream, same statistics: the blatant planted
+        // effects must be detected identically (orientation included).
+        let t = planted();
+        let exact = test_all_insights(
+            &t,
+            &TestConfig { n_permutations: 199, seed: 1, ..Default::default() },
+        );
+        let batched = test_all_insights(
+            &t,
+            &TestConfig {
+                n_permutations: 199,
+                seed: 1,
+                kernel: cn_stats::TestKernel::Batched,
+                ..Default::default()
+            },
+        );
+        let keys = |r: &TestReport| {
+            let mut k: Vec<_> = r
+                .significant
+                .iter()
+                .map(|s| (s.insight.select_on, s.insight.val, s.insight.val2, s.insight.kind))
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(keys(&exact), keys(&batched));
+    }
+
+    #[test]
+    fn nan_values_are_ignored_at_build_time() {
+        // A table with NaN (missing) measure entries must test exactly
+        // like the table with those rows dropped: NaNs are stripped once
+        // when the tester is built, and nothing downstream sees them.
+        let schema = Schema::new(vec!["g"], vec!["m"]).unwrap();
+        let mut with_nan = TableBuilder::new("t", schema.clone());
+        let mut without = TableBuilder::new("t", schema);
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..120 {
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            let base = if g == "a" { 1.0 } else { 9.0 };
+            let v = base + rng.random::<f64>();
+            // Skip rows 3, 10, 17, … (never the first rows of either
+            // group, so both tables build identical dictionaries).
+            if i % 7 == 3 {
+                with_nan.push_row(&[g], &[f64::NAN]).unwrap();
+            } else {
+                with_nan.push_row(&[g], &[v]).unwrap();
+                without.push_row(&[g], &[v]).unwrap();
+            }
+        }
+        let (t_nan, t_clean) = (with_nan.finish(), without.finish());
+        let config = TestConfig { n_permutations: 99, seed: 6, ..Default::default() };
+        let a = test_all_insights(&t_nan, &config);
+        let b = test_all_insights(&t_clean, &config);
+        reports_equal(&a, &b);
+        assert!(!a.significant.is_empty(), "planted effect must be found");
+    }
+
+    #[test]
+    fn early_stop_preserves_the_significant_set() {
+        let t = planted();
+        let base = TestConfig { n_permutations: 199, seed: 9, ..Default::default() };
+        let full = test_all_insights(&t, &base);
+        let stopped = test_all_insights(&t, &TestConfig { early_stop: true, ..base });
+        // Same insights, same p-values on everything significant.
+        reports_equal(&full, &stopped);
     }
 }

@@ -1,56 +1,25 @@
-//! A small scoped worker pool with an explicit thread count.
+//! The pipeline's worker pool — re-exported from [`cn_stats::parallel`].
 //!
 //! Figure 8 sweeps the generation stage from 1 to 48 threads, which needs
 //! per-run thread control — hence a tiny crossbeam-scoped pool rather than
-//! a global work-stealing runtime. Work items are pulled from an atomic
-//! cursor, so uneven item costs (small vs. huge attribute pairs) balance
-//! naturally.
+//! a global work-stealing runtime. The implementation lives in `cn-stats`
+//! so the statistical-testing stage (the dominant phase of Figure 7) can
+//! fan out with per-worker [`cn_stats::BatchScratch`] state; this module
+//! keeps the pipeline-facing path and the pool's behavioral test suite.
+//!
+//! Work items are pulled from an atomic cursor, so uneven item costs
+//! (small vs. huge attribute pairs) balance naturally. Each worker
+//! accumulates into a pre-sized local buffer and hands it back through
+//! its join handle — there is no shared collection lock, so a worker
+//! finishing early never contends with the stragglers (the tail of a
+//! Figure 8 run is pure compute).
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Applies `f` to every item, using `n_threads` workers, preserving input
-/// order in the output. With `n_threads <= 1` the call is plain
-/// sequential (no thread overhead, exact single-thread baseline for the
-/// speedup curve).
-pub fn parallel_map<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if n_threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-    let workers = n_threads.min(items.len());
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, f(&items[i])));
-                }
-                collected.lock().extend(local);
-            });
-        }
-    })
-    .expect("worker panicked");
-    let mut pairs = collected.into_inner();
-    pairs.sort_by_key(|&(i, _)| i);
-    debug_assert_eq!(pairs.len(), items.len());
-    pairs.into_iter().map(|(_, r)| r).collect()
-}
+pub use cn_stats::parallel::{parallel_map, parallel_map_with};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
     fn preserves_order() {
@@ -87,5 +56,38 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let items = [1u32, 2, 3];
         assert_eq!(parallel_map(&items, 64, |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn order_preserved_with_uneven_durations_and_many_workers() {
+        // Merge-at-join regression: give the first items long sleeps so
+        // worker completion order inverts item order; the output must
+        // still be input-ordered, with nothing lost or duplicated.
+        let items: Vec<u64> = (0..48).collect();
+        let out = parallel_map(&items, 12, |&x| {
+            if x < 12 {
+                std::thread::sleep(std::time::Duration::from_millis(8));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn scratch_state_survives_across_items_of_one_worker() {
+        // parallel_map_with must reuse one state per worker: with one
+        // thread, the counter observes every item in order.
+        let items: Vec<u32> = (0..10).collect();
+        let out = parallel_map_with(
+            &items,
+            1,
+            || 0u32,
+            |seen, &x| {
+                *seen += 1;
+                (*seen, x)
+            },
+        );
+        let counts: Vec<u32> = out.iter().map(|&(c, _)| c).collect();
+        assert_eq!(counts, (1..=10).collect::<Vec<u32>>());
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::config::{GeneratorConfig, QueryGeneration, SamplingStrategy, TapSolverChoice};
 use crate::dedup::dedup_by_grouping;
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map, parallel_map_with};
 use crate::phases::PhaseTimings;
 use crate::tap_adapter::QueryTap;
 use cn_engine::Cube;
@@ -10,7 +10,9 @@ use cn_insight::generation::{
     assemble_output, eligible_groupers, evaluate_site_with, group_sites, CandidateQuery,
     GenerationOutput, ScoredInsight, Site, SiteEval,
 };
-use cn_insight::significance::{finalize_family, AttributeTester, RawTest, SignificantInsight};
+use cn_insight::significance::{
+    chunked_pair_tasks, finalize_family, AttributeTester, RawTest, SignificantInsight,
+};
 use cn_insight::transitivity::prune_deducible;
 use cn_insight::types::InsightType;
 use cn_interest::interestingness;
@@ -139,9 +141,7 @@ pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
             &eligible,
             &gen_cfg.aggs,
             &gen_cfg.credibility,
-            |spec| {
-                pair_cubes[&(spec.group_by.0, spec.select_on.0)].comparison(table, spec)
-            },
+            |spec| pair_cubes[&(spec.group_by.0, spec.select_on.0)].comparison(table, spec),
         )
     });
     let output: GenerationOutput =
@@ -206,9 +206,11 @@ enum TestTables {
     PerAttribute(Vec<Table>),
 }
 
-/// Parallel statistical testing: one task per (attribute, value pair),
+/// Parallel statistical testing: one task per (attribute, pair-chunk),
+/// each worker reusing a [`cn_stats::BatchScratch`] across its chunks,
 /// with BH finalization per attribute family. Identical results to the
-/// sequential path because permutation seeds derive from the task identity.
+/// sequential path because permutation seeds derive from the test
+/// identity, never from the chunking or the schedule.
 fn run_tests_parallel(
     table: &Table,
     test_tables: &TestTables,
@@ -227,19 +229,18 @@ fn run_tests_parallel(
             AttributeTester::new(source, a)
         })
         .collect();
-    let tasks: Vec<(usize, u32, u32)> = testers
-        .iter()
-        .enumerate()
-        .flat_map(|(ai, t)| t.pairs().into_iter().map(move |(c1, c2)| (ai, c1, c2)))
-        .collect();
-    let raw_per_task: Vec<Vec<RawTest>> = parallel_map(&tasks, n_threads, |&(ai, c1, c2)| {
-        testers[ai].test_pair(c1, c2, &gen_cfg.test)
-    });
+    let tasks = chunked_pair_tasks(&testers, n_threads);
+    let raw_per_task: Vec<Vec<RawTest>> = parallel_map_with(
+        &tasks,
+        n_threads,
+        cn_stats::BatchScratch::default,
+        |scratch, (ai, pairs)| testers[*ai].test_pairs_with(pairs, &gen_cfg.test, scratch),
+    );
     let mut n_tested = 0usize;
     let mut families: Vec<Vec<RawTest>> = vec![Vec::new(); attrs.len()];
-    for ((ai, _, _), raws) in tasks.into_iter().zip(raw_per_task) {
+    for ((ai, _), raws) in tasks.iter().zip(raw_per_task) {
         n_tested += raws.len();
-        families[ai].extend(raws);
+        families[*ai].extend(raws);
     }
     let mut significant = Vec::new();
     for family in &families {
@@ -287,11 +288,8 @@ fn build_pair_cubes_naive(
             orientations
                 .iter()
                 .map(|&(a, b)| {
-                    let cube = if base.attrs() == [a, b] {
-                        base.clone()
-                    } else {
-                        base.rollup(&[a, b])
-                    };
+                    let cube =
+                        if base.attrs() == [a, b] { base.clone() } else { base.rollup(&[a, b]) };
                     ((a.0, b.0), cube)
                 })
                 .collect()
@@ -333,8 +331,7 @@ fn build_pair_cubes_wsc(
     let pairs: Vec<((AttrId, AttrId), usize)> = set_for_pair.into_iter().collect();
     let rolled: Vec<((u16, u16), Cube)> = parallel_map(&pairs, n_threads, |&((a, b), idx)| {
         let base = &cube_by_set[&idx];
-        let cube =
-            if base.attrs() == [a, b] { base.clone() } else { base.rollup(&[a, b]) };
+        let cube = if base.attrs() == [a, b] { base.clone() } else { base.rollup(&[a, b]) };
         ((a.0, b.0), cube)
     });
     rolled.into_iter().collect()
@@ -373,7 +370,11 @@ mod tests {
                 // year, rejected when grouped by channel), keeping the
                 // surprise term of the full interest formula non-zero.
                 let c = if r == "south" {
-                    if i % 30 == 0 { "store" } else { "web" }
+                    if i % 30 == 0 {
+                        "store"
+                    } else {
+                        "web"
+                    }
                 } else {
                     ["web", "store"][(i / 3) % 2]
                 };
@@ -415,10 +416,7 @@ mod tests {
         assert!(!result.queries.is_empty());
         // The Simpson-flipped south insight must be partially credible.
         assert!(
-            result
-                .insights
-                .iter()
-                .any(|s| s.credibility.supporting < s.credibility.possible),
+            result.insights.iter().any(|s| s.credibility.supporting < s.credibility.possible),
             "credibility spread expected"
         );
         assert!(!result.notebook.is_empty());
@@ -488,19 +486,13 @@ mod tests {
     #[test]
     fn exact_solver_variant_completes_on_small_q() {
         let t = test_table();
-        let cfg = GeneratorKind::NaiveExact.configure(
-            base_config(),
-            0.2,
-            Duration::from_secs(20),
-        );
+        let cfg = GeneratorKind::NaiveExact.configure(base_config(), 0.2, Duration::from_secs(20));
         let r = run(&t, &cfg);
         assert!(!r.notebook.is_empty());
         // Exact never does worse than the heuristic on the same Q.
         let heuristic = run(&t, &base_config());
         if !r.tap_timed_out {
-            assert!(
-                r.solution.total_interest >= heuristic.solution.total_interest - 1e-9
-            );
+            assert!(r.solution.total_interest >= heuristic.solution.total_interest - 1e-9);
         }
     }
 

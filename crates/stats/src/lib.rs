@@ -6,7 +6,10 @@
 //!   `NaN`-as-missing semantics matching `cn-tabular`.
 //! - [`permutation`] — resampling-based hypothesis tests for the two insight
 //!   types of the paper (*mean greater*, *variance greater*), including the
-//!   shared-permutation optimization of Section 5.1.1.
+//!   shared-permutation optimization of Section 5.1.1 and the batched,
+//!   allocation-free attribute kernel of [`permutation::batch`].
+//! - [`parallel`] — the scoped worker pool (explicit thread count,
+//!   per-worker state) that the testing stage and the pipeline fan out on.
 //! - [`bh`] — Benjamini–Hochberg false-discovery-rate correction.
 //! - [`power`] — simulation-based power analysis: how much sampling a
 //!   planned effect size tolerates (the quantitative side of Figures 6/9).
@@ -17,6 +20,7 @@
 
 pub mod bh;
 pub mod describe;
+pub mod parallel;
 pub mod permutation;
 pub mod power;
 pub mod rng;
@@ -25,5 +29,7 @@ pub mod ttest;
 
 pub use bh::benjamini_hochberg;
 pub use describe::Summary;
+pub use parallel::{parallel_map, parallel_map_with};
+pub use permutation::batch::{AttributeBatch, BatchScratch, TestKernel};
 pub use permutation::{shared_permutation_pvalues, two_sample_pvalue, TestKind, TwoSample};
 pub use ttest::{paired_t_test, welch_t_test, TTestResult};

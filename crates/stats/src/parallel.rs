@@ -1,0 +1,173 @@
+//! A small scoped worker pool with an explicit thread count and
+//! per-worker state.
+//!
+//! Figure 8 sweeps the generation stage from 1 to 48 threads, which needs
+//! per-run thread control — hence a tiny crossbeam-scoped pool rather than
+//! a global work-stealing runtime. Work items are pulled from an atomic
+//! cursor, so uneven item costs (small vs. huge attribute pairs) balance
+//! naturally.
+//!
+//! The pool lives in `cn-stats` (rather than the pipeline crate) so that
+//! the statistical-testing stage itself can parallelize: the batched
+//! permutation kernel ([`crate::permutation::batch`]) keeps all its
+//! working memory in a per-worker [`BatchScratch`], which maps exactly
+//! onto [`parallel_map_with`]'s per-worker state.
+//!
+//! [`BatchScratch`]: crate::permutation::batch::BatchScratch
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, using `n_threads` workers, preserving input
+/// order in the output. With `n_threads <= 1` the call is plain
+/// sequential (no thread overhead, exact single-thread baseline for the
+/// speedup curve).
+pub fn parallel_map<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(items, n_threads, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: every worker calls `init` once
+/// and threads the resulting value through each of its `f` calls. This is
+/// how callers reuse expensive scratch buffers across items without
+/// sharing them across threads (e.g. one
+/// [`crate::permutation::batch::BatchScratch`] per worker).
+///
+/// Results are merged at join — each worker returns its pre-sized local
+/// buffer through its join handle, so there is no shared collection lock
+/// for finishing workers to contend on.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], n_threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    if n_threads <= 1 || items.len() <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = n_threads.min(items.len());
+    // Pre-sized so the common balanced case never reallocates mid-loop.
+    let per_worker = items.len() / workers + 1;
+    let locals: Vec<Vec<(usize, R)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::with_capacity(per_worker);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&mut state, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("worker pool failed");
+    let mut pairs: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    for local in locals {
+        pairs.extend(local);
+    }
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        let expect: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        let par = parallel_map(&items, 7, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicU32::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let _ = parallel_map(&items, 16, |_| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_per_worker() {
+        let inits = AtomicU32::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = parallel_map_with(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u32
+            },
+            |calls, &x| {
+                *calls += 1;
+                (x, *calls)
+            },
+        );
+        // At most one init per worker (a worker may see no items).
+        assert!(inits.load(Ordering::SeqCst) <= 4);
+        // Every item processed, order preserved.
+        let xs: Vec<u32> = out.iter().map(|&(x, _)| x).collect();
+        assert_eq!(xs, items);
+        // Per-worker call counters sum to the item count.
+        let max_per_worker: Vec<u32> = out.iter().map(|&(_, c)| c).collect();
+        assert!(max_per_worker.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn order_preserved_under_uneven_item_durations() {
+        // Tail-contention regression: early items sleep, late items are
+        // instant, so workers finish their locals at very different
+        // times; the merged output must still be in input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_with(
+            &items,
+            8,
+            || (),
+            |(), &x| {
+                if x % 13 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                x
+            },
+        );
+        assert_eq!(out, items);
+    }
+}

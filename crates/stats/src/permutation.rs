@@ -20,6 +20,8 @@ use crate::rng::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod batch;
+
 /// The statistical test associated with an insight type (paper Table 1,
 /// plus the extension type of Section 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,6 +102,17 @@ impl Moments {
         }
     }
 
+    /// Merge of two disjoint sides (all four statistics combine).
+    #[inline]
+    fn plus(&self, other: &Moments) -> Moments {
+        Moments {
+            n: self.n + other.n,
+            sum: self.sum + other.sum,
+            sumsq: self.sumsq + other.sumsq,
+            max: self.max.max(other.max),
+        }
+    }
+
     /// Subtractive complement (count/sum/sumsq only). The maximum is not
     /// subtractive, so `MaxDiff` cannot use the one-sided optimization —
     /// see [`shared_permutation_pvalues`].
@@ -161,12 +174,9 @@ pub fn shared_permutation_pvalues(
     let n_meas = samples.len();
 
     // Pooled values per measure (x then y) and their total moments.
-    let pooled: Vec<Vec<f64>> = samples
-        .iter()
-        .map(|s| s.x.iter().chain(s.y.iter()).copied().collect())
-        .collect();
-    let totals: Vec<Moments> =
-        pooled.iter().map(|p| Moments::of(p.iter().copied())).collect();
+    let pooled: Vec<Vec<f64>> =
+        samples.iter().map(|s| s.x.iter().chain(s.y.iter()).copied().collect()).collect();
+    let totals: Vec<Moments> = pooled.iter().map(|p| Moments::of(p.iter().copied())).collect();
 
     // Observed statistics.
     let mut observed = vec![vec![0.0f64; kinds.len()]; n_meas];
@@ -182,6 +192,7 @@ pub fn shared_permutation_pvalues(
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, &[nx as u64, ny as u64]));
     let mut perm: Vec<u32> = (0..total as u32).collect();
 
+    let needs_full_y = kinds.contains(&TestKind::MaxDiff);
     for _ in 0..n_permutations {
         // Partial Fisher–Yates: only the first nx slots need to be uniform —
         // they define the permuted X side; Y is the complement, recovered
@@ -190,7 +201,6 @@ pub fn shared_permutation_pvalues(
             let j = rng.random_range(i..total);
             perm.swap(i, j);
         }
-        let needs_full_y = kinds.contains(&TestKind::MaxDiff);
         for (i, p) in pooled.iter().enumerate() {
             let mut mx = Moments::default();
             for &idx in &perm[..nx] {

