@@ -1,11 +1,11 @@
 //! Criterion microbenchmarks: end-to-end pipeline phases and the bundled
 //! SQL executor.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cn_core::datagen::{enedis_like, Scale};
 use cn_core::insight::generation::{generate_candidates, GenerationConfig, TestSource};
 use cn_core::insight::significance::TestConfig;
 use cn_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn small_table() -> Table {
     enedis_like(Scale { rows: 0.01, domains: 0.03 }, 3)

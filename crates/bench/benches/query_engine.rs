@@ -2,11 +2,11 @@
 //! execution from the base table vs from a materialized cube, cube
 //! building, and roll-up.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cn_core::datagen::{enedis_like, Scale};
 use cn_core::engine::comparison::execute;
 use cn_core::engine::{AggFn, ComparisonSpec, Cube};
 use cn_core::tabular::AttrId;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn setup() -> (cn_core::tabular::Table, ComparisonSpec, Vec<AttrId>) {
     let table = enedis_like(Scale { rows: 0.05, domains: 0.08 }, 3);

@@ -1,10 +1,10 @@
 //! Criterion microbenchmarks: TAP solver costs by instance size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cn_core::tap::baseline::solve_baseline;
 use cn_core::tap::{
     generate_instance, solve_exact, solve_heuristic, Budgets, ExactConfig, InstanceConfig,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn bench_heuristic(c: &mut Criterion) {

@@ -15,9 +15,7 @@ use cn_core::insight::credibility::CredibilityPolicy;
 use cn_core::interest::{ConcisenessParams, DistanceWeights};
 use cn_core::prelude::*;
 use cn_core::tap::eval::mean_std;
-use cn_core::tap::{
-    generate_instance, solve_heuristic, solve_heuristic_improved, InstanceConfig,
-};
+use cn_core::tap::{generate_instance, solve_heuristic, solve_heuristic_improved, InstanceConfig};
 
 fn base(opts: &Opts) -> GeneratorConfig {
     crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None)
@@ -32,11 +30,8 @@ fn credibility_policies(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
         let mut cfg = base(opts);
         cfg.generation_config.credibility = policy;
         let r = cn_core::pipeline::run(table, &cfg);
-        let partial = r
-            .insights
-            .iter()
-            .filter(|s| s.credibility.supporting < s.credibility.possible)
-            .count();
+        let partial =
+            r.insights.iter().filter(|s| s.credibility.supporting < s.credibility.possible).count();
         let mean_surprise = if r.insights.is_empty() {
             0.0
         } else {
@@ -71,19 +66,14 @@ fn distance_weights(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
         let mut cfg = base(opts);
         cfg.distance = weights;
         // Keep the *relative* tightness comparable across weightings.
-        cfg.budgets.epsilon_d =
-            0.4 * weights.max_distance() * cfg.budgets.epsilon_t;
+        cfg.budgets.epsilon_d = 0.4 * weights.max_distance() * cfg.budgets.epsilon_t;
         let r = cn_core::pipeline::run(table, &cfg);
         let steps: Vec<f64> = r
             .solution
             .sequence
             .windows(2)
             .map(|w| {
-                cn_core::interest::distance(
-                    &r.queries[w[0]].spec,
-                    &r.queries[w[1]].spec,
-                    &weights,
-                )
+                cn_core::interest::distance(&r.queries[w[0]].spec, &r.queries[w[1]].spec, &weights)
             })
             .collect();
         let (mean_step, _) = mean_std(&steps);
@@ -144,8 +134,7 @@ fn local_search(opts: &Opts, ctx: &mut ExperimentCtx) {
         let improved = solve_heuristic_improved(&p, &b);
         if plain.total_interest > 0.0 {
             gains.push(
-                100.0 * (improved.total_interest - plain.total_interest)
-                    / plain.total_interest,
+                100.0 * (improved.total_interest - plain.total_interest) / plain.total_interest,
             );
         }
         dist_drops.push(plain.total_distance - improved.total_distance);

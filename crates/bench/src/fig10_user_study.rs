@@ -61,8 +61,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
         let w = result.winner(c);
         ctx.note(format!("{}: best = {}", c.name(), result.generators[w].name()));
     }
-    let labels: Vec<String> =
-        result.generators.iter().map(|g| g.name().to_string()).collect();
+    let labels: Vec<String> = result.generators.iter().map(|g| g.name().to_string()).collect();
     let series: Vec<(String, Vec<f64>)> = Criterion::ALL
         .iter()
         .map(|&c| {
@@ -75,12 +74,24 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
     crate::plot::write_svg(
         &opts.out_dir,
         "fig10_user_study",
-        &crate::plot::bar_chart("Figure 10: simulated human evaluation", &labels, &series, "mean score (1-7)"),
+        &crate::plot::bar_chart(
+            "Figure 10: simulated human evaluation",
+            &labels,
+            &series,
+            "mean score (1-7)",
+        ),
     )?;
 
     // Paired t-tests between every generator pair, per criterion.
     let mut ttests = ExperimentCtx::new("fig10_t_tests", opts);
-    ttests.header(&["criterion", "generator_a", "generator_b", "t", "p_value", "significant_at_5pct"]);
+    ttests.header(&[
+        "criterion",
+        "generator_a",
+        "generator_b",
+        "t",
+        "p_value",
+        "significant_at_5pct",
+    ]);
     for c in Criterion::ALL {
         for a in 0..result.generators.len() {
             for b in (a + 1)..result.generators.len() {

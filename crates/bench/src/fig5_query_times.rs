@@ -67,8 +67,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
     for (i, &c) in counts.iter().enumerate() {
         ctx.row(&[format!("{:.3}", width * (i as f64 + 0.5)), c.to_string()]);
     }
-    let labels: Vec<String> =
-        (0..12).map(|i| format!("{:.2}", width * (i as f64 + 0.5))).collect();
+    let labels: Vec<String> = (0..12).map(|i| format!("{:.2}", width * (i as f64 + 0.5))).collect();
     crate::plot::write_svg(
         &opts.out_dir,
         "fig5_query_times",

@@ -78,11 +78,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
     ctx.finish()
 }
 
-fn run_generator(
-    table: &Table,
-    opts: &Opts,
-    sampling: SamplingStrategy,
-) -> (RunResult, f64) {
+fn run_generator(table: &Table, opts: &Opts, sampling: SamplingStrategy) -> (RunResult, f64) {
     let cfg = pipeline_config(opts, sampling);
     let t0 = Instant::now();
     let r = cn_core::pipeline::run(table, &cfg);

@@ -30,8 +30,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
     for kind in GeneratorKind::TABLE3 {
         let mut acc = cn_core::pipeline::PhaseTimings::default();
         let mut n_runs = 0u32;
-        let mut curve =
-            crate::plot::Series { name: kind.name().to_string(), points: vec![] };
+        let mut curve = crate::plot::Series { name: kind.name().to_string(), points: vec![] };
         for &epsilon_t in budgets {
             let mut base = crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None);
             base.budgets.epsilon_t = epsilon_t;
@@ -68,12 +67,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
     crate::plot::write_svg(
         &opts.out_dir,
         "fig7_runtime_by_budget",
-        &crate::plot::line_chart(
-            "Figure 7: runtime by budget",
-            "epsilon_t",
-            "seconds",
-            &curves,
-        ),
+        &crate::plot::line_chart("Figure 7: runtime by budget", "epsilon_t", "seconds", &curves),
     )?;
     top.note(
         "Runtime is flat in epsilon_t for the approximate variants (Section 6.3.2); \

@@ -30,7 +30,8 @@ pub struct Series {
 }
 
 fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    if !(hi > lo) {
+    // Degenerate or NaN range: a single tick.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return vec![lo];
     }
     let raw = (hi - lo) / n as f64;
@@ -51,10 +52,8 @@ fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 }
 
 fn fmt_tick(v: f64) -> String {
-    if v.abs() >= 1000.0 {
-        format!("{:.0}", v)
-    } else if v.fract().abs() < 1e-9 {
-        format!("{:.0}", v)
+    if v.abs() >= 1000.0 || v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
     } else {
         format!("{v:.2}")
     }
@@ -63,12 +62,10 @@ fn fmt_tick(v: f64) -> String {
 /// Draws a multi-series line chart.
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
     let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
-    let (x_lo, x_hi) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
-    let (y_lo, y_hi) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+    let (x_lo, x_hi) =
+        all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+    let (y_lo, y_hi) =
+        all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
     let (x_lo, x_hi) = if all.is_empty() { (0.0, 1.0) } else { (x_lo, x_hi) };
     let (y_lo, y_hi) = if all.is_empty() { (0.0, 1.0) } else { (0.0f64.min(y_lo), y_hi) };
     let y_hi = if y_hi > y_lo { y_hi } else { y_lo + 1.0 };
@@ -114,9 +111,14 @@ pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) 
                 format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, px(x), py(y))
             })
             .collect();
-        let _ = writeln!(svg, "<path d='{}' fill='none' stroke='{color}' stroke-width='2'/>", path.join(" "));
+        let _ = writeln!(
+            svg,
+            "<path d='{}' fill='none' stroke='{color}' stroke-width='2'/>",
+            path.join(" ")
+        );
         for &(x, y) in &s.points {
-            let _ = writeln!(svg, "<circle cx='{:.1}' cy='{:.1}' r='3' fill='{color}'/>", px(x), py(y));
+            let _ =
+                writeln!(svg, "<circle cx='{:.1}' cy='{:.1}' r='3' fill='{color}'/>", px(x), py(y));
         }
         let ly = MARGIN_T + 16.0 * si as f64;
         let _ = writeln!(
@@ -141,11 +143,7 @@ pub fn bar_chart(
     series: &[(String, Vec<f64>)],
     y_label: &str,
 ) -> String {
-    let y_hi = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let y_hi = series.iter().flat_map(|(_, v)| v.iter().copied()).fold(0.0f64, f64::max).max(1e-9);
     let py = |y: f64| H - MARGIN_B - y / y_hi * (H - MARGIN_T - MARGIN_B);
     let n_groups = labels.len().max(1);
     let group_w = (W - MARGIN_L - MARGIN_R) / n_groups as f64;

@@ -8,8 +8,7 @@ use cn_core::insight::space::count_comparison_queries;
 use cn_core::tabular::Table;
 
 fn describe(ctx: &mut ExperimentCtx, t: &Table) {
-    let cards: Vec<usize> =
-        t.schema().attribute_ids().map(|a| t.active_domain_size(a)).collect();
+    let cards: Vec<usize> = t.schema().attribute_ids().map(|a| t.active_domain_size(a)).collect();
     ctx.row(&[
         t.name().to_string(),
         t.n_rows().to_string(),

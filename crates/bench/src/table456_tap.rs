@@ -62,8 +62,7 @@ fn run_size(n: usize, protocol: &Protocol, opts: &Opts) -> SizeOutcome {
         recalls_heur: Vec::new(),
         recalls_base: Vec::new(),
     };
-    let cfg =
-        ExactConfig { timeout: opts.timeout, assume_metric: false, ..Default::default() };
+    let cfg = ExactConfig { timeout: opts.timeout, assume_metric: false, ..Default::default() };
     for i in 0..protocol.n_instances {
         // Early stop: if the first 5 instances all timed out, the size is
         // hopeless (the paper similarly dropped its 700-query size).
@@ -108,7 +107,14 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
         let o = run_size(n, &protocol, opts);
         let pct_timeout = 100.0 * o.timeouts as f64 / protocol.n_instances as f64;
         if o.times.is_empty() {
-            t4.row(&[n.to_string(), "-".into(), format!(">{:.0}", opts.timeout.as_secs_f64()), format!(">{:.0}", opts.timeout.as_secs_f64()), "-".into(), f2(pct_timeout)]);
+            t4.row(&[
+                n.to_string(),
+                "-".into(),
+                format!(">{:.0}", opts.timeout.as_secs_f64()),
+                format!(">{:.0}", opts.timeout.as_secs_f64()),
+                "-".into(),
+                f2(pct_timeout),
+            ]);
             // Like the paper, sizes with 100% timeouts drop from Tables 5-6
             // and end the sweep (larger sizes only get worse).
             break;

@@ -80,8 +80,7 @@ fn parse_args() -> Args {
     while i < rest.len() {
         match rest[i].as_str() {
             "--measures" => {
-                args.measures =
-                    Some(value(&rest, &mut i).split(',').map(str::to_string).collect())
+                args.measures = Some(value(&rest, &mut i).split(',').map(str::to_string).collect())
             }
             "--ignore" => {
                 args.ignore = value(&rest, &mut i).split(',').map(str::to_string).collect()
@@ -129,11 +128,7 @@ fn cmd_inspect(args: &Args) {
     println!("table `{}`: {} rows", t.name(), t.n_rows());
     println!("\ncategorical attributes:");
     for a in t.schema().attribute_ids() {
-        println!(
-            "  {:<24} |dom| = {}",
-            t.schema().attribute_name(a),
-            t.active_domain_size(a)
-        );
+        println!("  {:<24} |dom| = {}", t.schema().attribute_name(a), t.active_domain_size(a));
     }
     println!("\nmeasures:");
     for m in t.schema().measure_ids() {
@@ -184,9 +179,10 @@ fn cmd_notebook(args: &Args, table: Table) {
         let mut config = GeneratorConfig {
             budgets: Budgets {
                 epsilon_t: args.len as f64,
-                epsilon_d: options
-                    .epsilon_d
-                    .unwrap_or(0.5 * cn_core::interest::DistanceWeights::default().max_distance() * args.len.max(1) as f64),
+                epsilon_d: options.epsilon_d.unwrap_or(
+                    0.5 * cn_core::interest::DistanceWeights::default().max_distance()
+                        * args.len.max(1) as f64,
+                ),
             },
             n_threads: args.threads,
             seed: args.seed,
@@ -215,11 +211,7 @@ fn cmd_notebook(args: &Args, table: Table) {
     match &args.out {
         Some(stem) => {
             let dir = stem.parent().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
-            let name = stem
-                .file_name()
-                .and_then(|s| s.to_str())
-                .unwrap_or("notebook")
-                .to_string();
+            let name = stem.file_name().and_then(|s| s.to_str()).unwrap_or("notebook").to_string();
             match cn_core::notebook::write_all(&result.notebook, &dir, &name) {
                 Ok(paths) => {
                     for p in paths {

@@ -130,7 +130,14 @@ pub fn enedis_like(scale: Scale, seed: u64) -> Table {
                 log_mean: 7.0,
                 log_sigma: 1.1,
                 effect_sigma: 0.25,
-                interactions: vec![(1, 3, 0.9), (0, 2, 0.8), (2, 3, 0.7), (1, 4, 0.8), (3, 5, 0.7), (2, 4, 0.6)],
+                interactions: vec![
+                    (1, 3, 0.9),
+                    (0, 2, 0.8),
+                    (2, 3, 0.7),
+                    (1, 4, 0.8),
+                    (3, 5, 0.7),
+                    (2, 4, 0.6),
+                ],
                 ..MeasureSpec::new("consumption_kwh", vec![1, 2, 3])
             },
             MeasureSpec {
@@ -209,11 +216,7 @@ mod tests {
         assert_eq!(t.schema().n_attributes(), 6);
         assert_eq!(t.schema().n_measures(), 1);
         // Min/max cardinality in Table 2's 2–107 band.
-        let cards: Vec<usize> = t
-            .schema()
-            .attribute_ids()
-            .map(|a| t.dict(a).len())
-            .collect();
+        let cards: Vec<usize> = t.schema().attribute_ids().map(|a| t.dict(a).len()).collect();
         assert_eq!(*cards.iter().min().unwrap(), 2);
         assert_eq!(*cards.iter().max().unwrap(), 107);
     }
@@ -241,9 +244,7 @@ mod tests {
     fn comparison_query_space_grows_with_scale() {
         let small = enedis_like(Scale::TEST, 5);
         let bigger = enedis_like(Scale { rows: 0.05, domains: 0.1 }, 5);
-        assert!(
-            count_comparison_queries(&bigger, 2) > count_comparison_queries(&small, 2)
-        );
+        assert!(count_comparison_queries(&bigger, 2) > count_comparison_queries(&small, 2));
     }
 
     #[test]

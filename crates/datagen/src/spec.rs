@@ -130,11 +130,7 @@ pub fn generate(spec: &DatasetSpec) -> Table {
                 .map(|ai| {
                     if m.effect_attrs.contains(&ai) && m.effect_sigma > 0.0 {
                         let ln = LogNormal::new(0.0, m.effect_sigma).expect("valid effect sigma");
-                        Some(
-                            (0..spec.attrs[ai].cardinality)
-                                .map(|_| ln.sample(&mut rng))
-                                .collect(),
-                        )
+                        Some((0..spec.attrs[ai].cardinality).map(|_| ln.sample(&mut rng)).collect())
                     } else {
                         None
                     }
@@ -155,8 +151,7 @@ pub fn generate(spec: &DatasetSpec) -> Table {
                     let ln = LogNormal::new(0.0, sigma).expect("valid interaction sigma");
                     let card_a = spec.attrs[ai].cardinality;
                     let card_b = spec.attrs[bi].cardinality;
-                    let mat: Vec<f64> =
-                        (0..card_a * card_b).map(|_| ln.sample(&mut rng)).collect();
+                    let mat: Vec<f64> = (0..card_a * card_b).map(|_| ln.sample(&mut rng)).collect();
                     (ai, bi, mat)
                 })
                 .collect()
@@ -202,7 +197,9 @@ pub fn generate(spec: &DatasetSpec) -> Table {
                     .min(spec.attrs[i].cardinality as u32 - 1),
                 None => match &samplers[i] {
                     // Zipf samples in 1..=n.
-                    Some(z) => (z.sample(&mut rng) as u32 - 1).min(spec.attrs[i].cardinality as u32 - 1),
+                    Some(z) => {
+                        (z.sample(&mut rng) as u32 - 1).min(spec.attrs[i].cardinality as u32 - 1)
+                    }
                     None => rng.random_range(0..spec.attrs[i].cardinality as u32),
                 },
             };
@@ -241,10 +238,7 @@ mod tests {
             attrs: vec![
                 AttrSpec::new("region", 5),
                 AttrSpec { zipf: 1.2, ..AttrSpec::new("product", 20) },
-                AttrSpec {
-                    determined_by: Some(0),
-                    ..AttrSpec::new("zone", 3)
-                },
+                AttrSpec { determined_by: Some(0), ..AttrSpec::new("zone", 3) },
             ],
             measures: vec![
                 MeasureSpec::new("sales", vec![0]),
@@ -329,10 +323,7 @@ mod tests {
         let spec = DatasetSpec {
             name: "bad".into(),
             n_rows: 1,
-            attrs: vec![AttrSpec {
-                determined_by: Some(0),
-                ..AttrSpec::new("a", 2)
-            }],
+            attrs: vec![AttrSpec { determined_by: Some(0), ..AttrSpec::new("a", 2) }],
             measures: vec![MeasureSpec::new("m", vec![])],
             seed: 0,
         };

@@ -48,10 +48,7 @@ pub fn hypothesis_algebra(
     type_name: &str,
     predicate: &str,
 ) -> String {
-    format!(
-        "π_{{{type_name}→hypothesis}}(σ_{{{predicate}}}({}))",
-        comparison_algebra(table, spec)
-    )
+    format!("π_{{{type_name}→hypothesis}}(σ_{{{predicate}}}({}))", comparison_algebra(table, spec))
 }
 
 #[cfg(test)]

@@ -94,12 +94,7 @@ pub fn execute(table: &Table, spec: &ComparisonSpec) -> ComparisonResult {
 pub fn measure_slice(table: &Table, attr: AttrId, code: u32, measure: MeasureId) -> Vec<f64> {
     let codes = table.codes(attr);
     let values = table.measure(measure);
-    codes
-        .iter()
-        .zip(values.iter())
-        .filter(|(&c, _)| c == code)
-        .map(|(_, &v)| v)
-        .collect()
+    codes.iter().zip(values.iter()).filter(|(&c, _)| c == code).map(|(_, &v)| v).collect()
 }
 
 #[cfg(test)]

@@ -56,9 +56,8 @@ impl Cube {
             for (i, col) in cols.iter().enumerate() {
                 key |= (col[row] as u128) << shifts[i];
             }
-            let entry = groups
-                .entry(key)
-                .or_insert_with(|| (0, vec![PartialAgg::new(); n_measures]));
+            let entry =
+                groups.entry(key).or_insert_with(|| (0, vec![PartialAgg::new(); n_measures]));
             entry.0 += 1;
             for (m, col) in meas.iter().enumerate() {
                 entry.1[m].push(col[row]);
@@ -176,10 +175,8 @@ impl Cube {
             }
         }
         let dict = table.dict(spec.group_by);
-        let mut joined: Vec<(u32, f64, f64)> = lefts
-            .into_iter()
-            .filter_map(|(a, l)| rights.get(&a).map(|&r| (a, l, r)))
-            .collect();
+        let mut joined: Vec<(u32, f64, f64)> =
+            lefts.into_iter().filter_map(|(a, l)| rights.get(&a).map(|&r| (a, l, r))).collect();
         joined.sort_by(|x, y| dict.decode(x.0).cmp(dict.decode(y.0)));
         let mut group_codes = Vec::with_capacity(joined.len());
         let mut left = Vec::with_capacity(joined.len());
@@ -328,11 +325,8 @@ mod proptests {
                 let schema = Schema::new(vec!["a", "b", "c"], vec!["m"]).unwrap();
                 let mut b = TableBuilder::new("t", schema);
                 for (x, y, z, m) in rows {
-                    b.push_row(
-                        &[&format!("a{x}"), &format!("b{y}"), &format!("c{z}")],
-                        &[m],
-                    )
-                    .unwrap();
+                    b.push_row(&[&format!("a{x}"), &format!("b{y}"), &format!("c{z}")], &[m])
+                        .unwrap();
                 }
                 b.finish()
             },

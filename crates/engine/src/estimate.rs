@@ -64,10 +64,8 @@ mod tests {
         let mut b = TableBuilder::new("t", schema);
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..n_rows {
-            let cats: Vec<String> = doms
-                .iter()
-                .map(|&d| format!("v{}", rng.random_range(0..d)))
-                .collect();
+            let cats: Vec<String> =
+                doms.iter().map(|&d| format!("v{}", rng.random_range(0..d))).collect();
             let refs: Vec<&str> = cats.iter().map(String::as_str).collect();
             b.push_row(&refs, &[rng.random::<f64>()]).unwrap();
         }

@@ -18,10 +18,8 @@ pub fn group_by_single(
     pred: &Predicate,
 ) -> Vec<(u32, f64)> {
     let partials = group_partials_single(table, group, measure, pred);
-    let mut out: Vec<(u32, f64)> = partials
-        .into_iter()
-        .filter_map(|(code, p)| p.finalize(agg).map(|v| (code, v)))
-        .collect();
+    let mut out: Vec<(u32, f64)> =
+        partials.into_iter().filter_map(|(code, p)| p.finalize(agg).map(|v| (code, v))).collect();
     let dict = table.dict(group);
     out.sort_by(|a, b| dict.decode(a.0).cmp(dict.decode(b.0)));
     out

@@ -53,9 +53,7 @@ impl Predicate {
     pub fn count(&self, table: &Table) -> usize {
         match self {
             Predicate::True => table.n_rows(),
-            Predicate::Eq(attr, code) => {
-                table.codes(*attr).iter().filter(|&&c| c == *code).count()
-            }
+            Predicate::Eq(attr, code) => table.codes(*attr).iter().filter(|&&c| c == *code).count(),
             Predicate::In(attr, wanted) => {
                 table.codes(*attr).iter().filter(|c| wanted.contains(c)).count()
             }

@@ -127,11 +127,8 @@ mod tests {
     fn full_support_gives_credibility_n_minus_1() {
         let t = uniform_effect();
         let i = hi_greater(&t);
-        let groupers: Vec<AttrId> = t
-            .schema()
-            .attribute_ids()
-            .filter(|&a| a != i.select_on)
-            .collect();
+        let groupers: Vec<AttrId> =
+            t.schema().attribute_ids().filter(|&a| a != i.select_on).collect();
         let c = credibility_with(&i, &groupers, &CredibilityPolicy::default(), |spec| {
             cn_engine::comparison::execute(&t, spec)
         });
@@ -161,9 +158,10 @@ mod tests {
         let i = hi_greater(&t);
         let groupers: Vec<AttrId> =
             t.schema().attribute_ids().filter(|&a| a != i.select_on).collect();
-        let single = credibility_with(&i, &groupers, &CredibilityPolicy::PerAttribute(AggFn::Sum), |s| {
-            cn_engine::comparison::execute(&t, s)
-        });
+        let single =
+            credibility_with(&i, &groupers, &CredibilityPolicy::PerAttribute(AggFn::Sum), |s| {
+                cn_engine::comparison::execute(&t, s)
+            });
         let any = credibility_with(
             &i,
             &groupers,

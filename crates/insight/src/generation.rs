@@ -237,16 +237,8 @@ where
 
 /// Grouping attributes eligible for selection attribute `b`: all others,
 /// minus the FD-excluded `(A, B)` pairs.
-pub fn eligible_groupers(
-    table: &Table,
-    b: AttrId,
-    excluded: &[(AttrId, AttrId)],
-) -> Vec<AttrId> {
-    table
-        .schema()
-        .attribute_ids()
-        .filter(|&a| a != b && !excluded.contains(&(a, b)))
-        .collect()
+pub fn eligible_groupers(table: &Table, b: AttrId, excluded: &[(AttrId, AttrId)]) -> Vec<AttrId> {
+    table.schema().attribute_ids().filter(|&a| a != b && !excluded.contains(&(a, b))).collect()
 }
 
 /// Runs the full generation stage sequentially: statistical tests on the
@@ -372,8 +364,7 @@ mod tests {
     /// `region = south` has much larger sales; two auxiliary grouping
     /// attributes.
     fn planted() -> Table {
-        let schema =
-            Schema::new(vec!["region", "channel", "year"], vec!["sales"]).unwrap();
+        let schema = Schema::new(vec!["region", "channel", "year"], vec!["sales"]).unwrap();
         let mut b = TableBuilder::new("shop", schema);
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..240 {
@@ -514,10 +505,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for i in 0..40 {
             builder
-                .push_row(
-                    &[["x", "y"][i % 2], ["p", "q"][(i / 2) % 2]],
-                    &[rng.random::<f64>()],
-                )
+                .push_row(&[["x", "y"][i % 2], ["p", "q"][(i / 2) % 2]], &[rng.random::<f64>()])
                 .unwrap();
         }
         let t = builder.finish();

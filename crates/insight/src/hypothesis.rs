@@ -7,8 +7,8 @@
 //! `val'` series in `q`'s result.
 
 use crate::types::{Insight, InsightType};
-use cn_engine::{ComparisonResult, ComparisonSpec};
 use cn_engine::{AggFn, Cube};
+use cn_engine::{ComparisonResult, ComparisonSpec};
 use cn_tabular::Table;
 
 /// A hypothesis query: a comparison query plus the insight it postulates.
@@ -27,8 +27,11 @@ impl HypothesisQuery {
     /// val2`), so two insights of opposite direction share one comparison
     /// query.
     pub fn new(insight: Insight, group_by: cn_tabular::AttrId, agg: AggFn) -> Self {
-        let (val, val2) =
-            if insight.val <= insight.val2 { (insight.val, insight.val2) } else { (insight.val2, insight.val) };
+        let (val, val2) = if insight.val <= insight.val2 {
+            (insight.val, insight.val2)
+        } else {
+            (insight.val2, insight.val)
+        };
         HypothesisQuery {
             spec: ComparisonSpec {
                 group_by,

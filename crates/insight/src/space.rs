@@ -20,8 +20,7 @@ pub fn count_comparison_queries(table: &Table, n_agg_functions: usize) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let sum_pairs: f64 =
-        schema.attribute_ids().map(|a| pairs(table.active_domain_size(a))).sum();
+    let sum_pairs: f64 = schema.attribute_ids().map(|a| pairs(table.active_domain_size(a))).sum();
     sum_pairs * (n as f64 - 1.0) * m as f64 * n_agg_functions as f64
 }
 
@@ -29,8 +28,7 @@ pub fn count_comparison_queries(table: &Table, n_agg_functions: usize) -> f64 {
 pub fn count_insights(table: &Table, n_insight_types: usize) -> f64 {
     let schema = table.schema();
     let m = schema.n_measures();
-    let sum_pairs: f64 =
-        schema.attribute_ids().map(|a| pairs(table.active_domain_size(a))).sum();
+    let sum_pairs: f64 = schema.attribute_ids().map(|a| pairs(table.active_domain_size(a))).sum();
     sum_pairs * m as f64 * n_insight_types as f64
 }
 
@@ -59,7 +57,8 @@ pub fn insight_sites(table: &Table) -> Vec<InsightSite> {
     let mut out = Vec::new();
     for b in schema.attribute_ids() {
         let counts = table.value_counts(b);
-        let present: Vec<u32> = (0..counts.len() as u32).filter(|&c| counts[c as usize] > 0).collect();
+        let present: Vec<u32> =
+            (0..counts.len() as u32).filter(|&c| counts[c as usize] > 0).collect();
         for i in 0..present.len() {
             for j in (i + 1)..present.len() {
                 for m in schema.measure_ids() {
@@ -85,8 +84,7 @@ pub fn count_sites(table: &Table) -> f64 {
 /// Lemma 3.5's formula (with `T` insight types).
 pub fn verify_lemma_counts(table: &Table) -> bool {
     let sites = insight_sites(table).len() as f64;
-    (sites * InsightType::ALL.len() as f64 - count_insights(table, InsightType::ALL.len()))
-        .abs()
+    (sites * InsightType::ALL.len() as f64 - count_insights(table, InsightType::ALL.len())).abs()
         < 1e-9
 }
 

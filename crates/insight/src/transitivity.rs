@@ -68,12 +68,7 @@ pub fn prune_deducible(insights: Vec<SignificantInsight>) -> Vec<SignificantInsi
             keep[i] = k;
         }
     }
-    insights
-        .into_iter()
-        .zip(keep)
-        .filter(|(_, k)| *k)
-        .map(|(s, _)| s)
-        .collect()
+    insights.into_iter().zip(keep).filter(|(_, k)| *k).map(|(s, _)| s).collect()
 }
 
 #[cfg(test)]
@@ -84,13 +79,7 @@ mod tests {
 
     fn sig(val: u32, val2: u32, kind: InsightType, measure: u16) -> SignificantInsight {
         SignificantInsight {
-            insight: Insight {
-                measure: MeasureId(measure),
-                select_on: AttrId(0),
-                val,
-                val2,
-                kind,
-            },
+            insight: Insight { measure: MeasureId(measure), select_on: AttrId(0), val, val2, kind },
             p_value: 0.01,
             raw_p: 0.01,
             observed_effect: 1.0,
@@ -108,10 +97,7 @@ mod tests {
     fn diamond_keeps_covering_edges() {
         // a > b, a > c, b > d, c > d, a > d: only a > d is deducible.
         let edges = [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)];
-        assert_eq!(
-            transitive_reduction_mask(&edges),
-            vec![true, true, true, true, false]
-        );
+        assert_eq!(transitive_reduction_mask(&edges), vec![true, true, true, true, false]);
     }
 
     #[test]
@@ -152,11 +138,9 @@ mod tests {
         let kept = prune_deducible(insights);
         assert_eq!(kept.len(), 3);
         assert!(kept.iter().any(|s| s.insight.kind == InsightType::VarianceGreater));
-        assert!(!kept
-            .iter()
-            .any(|s| s.insight.kind == InsightType::MeanGreater
-                && s.insight.val == 0
-                && s.insight.val2 == 2));
+        assert!(!kept.iter().any(|s| s.insight.kind == InsightType::MeanGreater
+            && s.insight.val == 0
+            && s.insight.val2 == 2));
     }
 
     #[test]

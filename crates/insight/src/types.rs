@@ -24,11 +24,8 @@ impl InsightType {
     pub const ALL: [InsightType; 2] = [InsightType::MeanGreater, InsightType::VarianceGreater];
 
     /// The paper's types plus the extreme-greater extension.
-    pub const EXTENDED: [InsightType; 3] = [
-        InsightType::MeanGreater,
-        InsightType::VarianceGreater,
-        InsightType::ExtremeGreater,
-    ];
+    pub const EXTENDED: [InsightType; 3] =
+        [InsightType::MeanGreater, InsightType::VarianceGreater, InsightType::ExtremeGreater];
 
     /// Human-readable name, as emitted by hypothesis queries (Figure 3).
     pub fn name(self) -> &'static str {
@@ -164,7 +161,7 @@ mod tests {
     fn extended_type_supports_by_maximum() {
         let spiky = [1.0, 1.0, 20.0]; // mean 7.33, max 20
         let flat = [10.0, 10.0, 10.0]; // mean 10, max 10
-        // Mean of `flat` is higher, but `spiky` peaks higher.
+                                       // Mean of `flat` is higher, but `spiky` peaks higher.
         assert!(InsightType::MeanGreater.supports(&flat, &spiky));
         assert!(InsightType::ExtremeGreater.supports(&spiky, &flat));
     }

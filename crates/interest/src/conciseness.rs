@@ -59,12 +59,8 @@ mod tests {
     fn non_monotonic_in_gamma() {
         let p = ConcisenessParams::default();
         let values: Vec<f64> = (1..=100).map(|g| conciseness(100, g, &p)).collect();
-        let max_idx = values
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx =
+            values.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(max_idx > 0 && max_idx < 99, "peak strictly inside");
         // Rises before the peak, falls after.
         assert!(values[0] < values[max_idx]);

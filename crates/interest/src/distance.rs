@@ -32,7 +32,14 @@ pub struct DistanceWeights {
 impl Default for DistanceWeights {
     fn default() -> Self {
         // The paper's ordering: val = val' > B > A > M = agg.
-        DistanceWeights { val: 4.0, val2: 4.0, select_on: 3.0, group_by: 2.0, measure: 1.0, agg: 1.0 }
+        DistanceWeights {
+            val: 4.0,
+            val2: 4.0,
+            select_on: 3.0,
+            group_by: 2.0,
+            measure: 1.0,
+            agg: 1.0,
+        }
     }
 }
 

@@ -153,11 +153,8 @@ mod tests {
         let insights = vec![scored(0.96, 1, 2)];
         let q = query(vec![0], 100, 25);
         let base = interestingness(&q, &insights, &InterestParams::default());
-        let doubled = interestingness(
-            &q,
-            &insights,
-            &InterestParams { omega: 2.0, ..Default::default() },
-        );
+        let doubled =
+            interestingness(&q, &insights, &InterestParams { omega: 2.0, ..Default::default() });
         assert!((doubled - 2.0 * base).abs() < 1e-12);
     }
 

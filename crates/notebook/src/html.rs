@@ -78,11 +78,7 @@ pub fn to_html(notebook: &Notebook) -> String {
             escape(c2)
         );
         for (name, l, r) in &e.preview {
-            let _ = writeln!(
-                h,
-                "<tr><td>{}</td><td>{l:.2}</td><td>{r:.2}</td></tr>",
-                escape(name)
-            );
+            let _ = writeln!(h, "<tr><td>{}</td><td>{l:.2}</td><td>{r:.2}</td></tr>", escape(name));
         }
         h.push_str("</table>\n");
     }

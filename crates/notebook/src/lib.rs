@@ -17,6 +17,6 @@ pub mod model;
 pub mod render;
 pub mod sql;
 
-pub use model::{InsightNote, Notebook, NotebookEntry};
 pub use html::to_html;
+pub use model::{InsightNote, Notebook, NotebookEntry};
 pub use render::{to_ipynb_json, to_markdown, to_sql_script, write_all};

@@ -71,17 +71,14 @@ impl Notebook {
                 let q = &queries[qi];
                 let result = execute(table, &q.spec);
                 let (c1, c2) = column_aliases(table, &q.spec);
-                let group_name =
-                    table.schema().attribute_name(q.spec.group_by).to_string();
+                let group_name = table.schema().attribute_name(q.spec.group_by).to_string();
                 let dict = table.dict(q.spec.group_by);
                 let preview: Vec<(String, f64, f64)> = result
                     .group_codes
                     .iter()
                     .take(preview_rows)
                     .enumerate()
-                    .map(|(i, &c)| {
-                        (dict.decode(c).to_string(), result.left[i], result.right[i])
-                    })
+                    .map(|(i, &c)| (dict.decode(c).to_string(), result.left[i], result.right[i]))
                     .collect();
                 NotebookEntry {
                     spec: q.spec,

@@ -110,8 +110,8 @@ pub fn write_all(
     let md_path = dir.join(format!("{stem}.md"));
     let sql_path = dir.join(format!("{stem}.sql"));
     let html_path = dir.join(format!("{stem}.html"));
-    let json = serde_json::to_string_pretty(&to_ipynb_json(notebook))
-        .expect("notebook JSON serializes");
+    let json =
+        serde_json::to_string_pretty(&to_ipynb_json(notebook)).expect("notebook JSON serializes");
     std::fs::write(&ipynb_path, json)?;
     std::fs::write(&md_path, to_markdown(notebook))?;
     std::fs::write(&sql_path, to_sql_script(notebook))?;
@@ -165,11 +165,7 @@ mod tests {
             preview: vec![("Africa".to_string(), 1.0, 2.0)],
             interest: 0.5,
         };
-        Notebook {
-            title: "Covid".to_string(),
-            dataset: "covid".to_string(),
-            entries: vec![entry],
-        }
+        Notebook { title: "Covid".to_string(), dataset: "covid".to_string(), entries: vec![entry] }
     }
 
     #[test]

@@ -229,7 +229,9 @@ mod tests {
         assert!(matches!(exact.generation, QueryGeneration::NaiveBounded));
 
         let unb = GeneratorKind::WscUnbApprox.configure(base.clone(), 0.2, t);
-        assert!(matches!(unb.sampling, SamplingStrategy::Unbalanced { fraction } if fraction == 0.2));
+        assert!(
+            matches!(unb.sampling, SamplingStrategy::Unbalanced { fraction } if fraction == 0.2)
+        );
 
         let sig = GeneratorKind::WscApproxSig.configure(base.clone(), 0.2, t);
         assert_eq!(sig.interest.components, InterestComponents::SigOnly);

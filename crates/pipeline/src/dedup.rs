@@ -22,8 +22,7 @@ pub fn dedup_by_grouping(
     let mut best: HashMap<(u16, u32, u32, u16, cn_engine::AggFn), usize> = HashMap::new();
     let mut group_order: Vec<(u16, u32, u32, u16, cn_engine::AggFn)> = Vec::new();
     for (i, q) in queries.iter().enumerate() {
-        let key =
-            (q.spec.select_on.0, q.spec.val, q.spec.val2, q.spec.measure.0, q.spec.agg);
+        let key = (q.spec.select_on.0, q.spec.val, q.spec.val2, q.spec.measure.0, q.spec.agg);
         match best.get(&key) {
             Some(&j) => {
                 if interests[i] > interests[j] {
@@ -80,11 +79,7 @@ mod tests {
 
     #[test]
     fn different_aggs_and_values_are_distinct_groups() {
-        let queries = vec![
-            q(0, 2, 0, AggFn::Sum),
-            q(1, 2, 0, AggFn::Avg),
-            q(0, 2, 5, AggFn::Sum),
-        ];
+        let queries = vec![q(0, 2, 0, AggFn::Sum), q(1, 2, 0, AggFn::Avg), q(0, 2, 5, AggFn::Sum)];
         let interests = vec![0.1, 0.2, 0.3];
         let (kept, _) = dedup_by_grouping(queries, interests);
         assert_eq!(kept.len(), 3);

@@ -21,7 +21,9 @@ pub mod run;
 pub mod session;
 pub mod tap_adapter;
 
-pub use config::{GeneratorConfig, GeneratorKind, QueryGeneration, SamplingStrategy, TapSolverChoice};
+pub use config::{
+    GeneratorConfig, GeneratorKind, QueryGeneration, SamplingStrategy, TapSolverChoice,
+};
 pub use phases::PhaseTimings;
 pub use run::{run, RunResult};
 pub use session::{continue_notebook, suggest_continuations, Suggestion};

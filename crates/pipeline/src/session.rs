@@ -39,8 +39,7 @@ pub fn suggest_continuations(
     weights: &DistanceWeights,
 ) -> Vec<Suggestion> {
     let anchor_query = run.solution.sequence[anchor_entry];
-    let shown: std::collections::HashSet<usize> =
-        run.solution.sequence.iter().copied().collect();
+    let shown: std::collections::HashSet<usize> = run.solution.sequence.iter().copied().collect();
     let anchor_spec = run.queries[anchor_query].spec;
     let mut suggestions: Vec<Suggestion> = (0..run.queries.len())
         .filter(|q| !shown.contains(q))
@@ -71,9 +70,8 @@ pub fn continue_notebook(
     weights: &DistanceWeights,
 ) -> Notebook {
     let mut suggestions = suggest_continuations(run, anchor_entry, k, weights);
-    suggestions.sort_by(|a, b| {
-        a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    suggestions
+        .sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
     let sequence: Vec<usize> = suggestions.iter().map(|s| s.query).collect();
     Notebook::build(
         format!("Continuation of {} (entry {})", table.name(), anchor_entry + 1),

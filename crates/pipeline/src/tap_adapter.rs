@@ -96,16 +96,9 @@ mod tests {
         let queries: Vec<CandidateQuery> =
             (0..20).map(|i| q(i % 3, i as u32, AggFn::Sum)).collect();
         let interests: Vec<f64> = (0..20).map(|i| 1.0 / (i + 1) as f64).collect();
-        let tap = QueryTap::new(
-            &queries,
-            &interests,
-            &CostModel::default(),
-            DistanceWeights::default(),
-        );
-        let s = cn_tap::solve_heuristic(
-            &tap,
-            &cn_tap::Budgets { epsilon_t: 5.0, epsilon_d: 50.0 },
-        );
+        let tap =
+            QueryTap::new(&queries, &interests, &CostModel::default(), DistanceWeights::default());
+        let s = cn_tap::solve_heuristic(&tap, &cn_tap::Budgets { epsilon_t: 5.0, epsilon_d: 50.0 });
         assert_eq!(s.len(), 5);
         assert!(s.total_distance <= 50.0);
     }

@@ -54,9 +54,7 @@ pub fn greedy_weighted_set_cover(universe_size: usize, candidates: &[CandidateSe
             let ratio = c.weight / gain as f64;
             let better = match best {
                 None => true,
-                Some((_, r, g)) => {
-                    ratio < r - 1e-12 || ((ratio - r).abs() <= 1e-12 && gain > g)
-                }
+                Some((_, r, g)) => ratio < r - 1e-12 || ((ratio - r).abs() <= 1e-12 && gain > g),
             };
             if better {
                 best = Some((i, ratio, gain));
@@ -101,12 +99,7 @@ mod tests {
 
     #[test]
     fn picks_cheap_big_set_first() {
-        let cands = vec![
-            set(1.0, &[0]),
-            set(1.0, &[1]),
-            set(1.0, &[2]),
-            set(2.0, &[0, 1, 2]),
-        ];
+        let cands = vec![set(1.0, &[0]), set(1.0, &[1]), set(1.0, &[2]), set(2.0, &[0, 1, 2])];
         let chosen = greedy_weighted_set_cover(3, &cands);
         assert_eq!(chosen, vec![3]);
         assert!(covers_universe(3, &cands, &chosen));
@@ -114,12 +107,7 @@ mod tests {
 
     #[test]
     fn prefers_singletons_when_big_set_is_overpriced() {
-        let cands = vec![
-            set(1.0, &[0]),
-            set(1.0, &[1]),
-            set(1.0, &[2]),
-            set(10.0, &[0, 1, 2]),
-        ];
+        let cands = vec![set(1.0, &[0]), set(1.0, &[1]), set(1.0, &[2]), set(10.0, &[0, 1, 2])];
         let chosen = greedy_weighted_set_cover(3, &cands);
         assert_eq!(chosen.len(), 3);
         assert!(!chosen.contains(&3));
@@ -130,11 +118,7 @@ mod tests {
     fn classic_greedy_counterexample_still_covers() {
         // Greedy is approximate: elements {0..3}; optimal = two sets of 2,
         // greedy may take the big slightly-cheaper-per-element set first.
-        let cands = vec![
-            set(1.0, &[0, 1]),
-            set(1.0, &[2, 3]),
-            set(1.5, &[0, 1, 2]),
-        ];
+        let cands = vec![set(1.0, &[0, 1]), set(1.0, &[2, 3]), set(1.5, &[0, 1, 2])];
         let chosen = greedy_weighted_set_cover(4, &cands);
         assert!(covers_universe(4, &cands, &chosen));
     }
@@ -226,10 +210,8 @@ pub fn exact_weighted_set_cover(
     candidates: &[CandidateSet],
 ) -> Option<Vec<usize>> {
     assert!(candidates.len() <= 20, "exact set cover limited to 20 candidates");
-    let masks: Vec<u64> = candidates
-        .iter()
-        .map(|c| c.elements.iter().fold(0u64, |m, &e| m | (1 << e)))
-        .collect();
+    let masks: Vec<u64> =
+        candidates.iter().map(|c| c.elements.iter().fold(0u64, |m, &e| m | (1 << e))).collect();
     let full: u64 = if universe_size == 64 { u64::MAX } else { (1u64 << universe_size) - 1 };
     let coverable = masks.iter().fold(0u64, |m, &x| m | x);
     if coverable & full != full {

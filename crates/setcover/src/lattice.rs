@@ -133,8 +133,7 @@ pub fn plan_group_by_sets(
         }
     }
 
-    let estimated_bytes =
-        group_by_sets.iter().map(|s| estimate_cube_bytes(table, s)).sum();
+    let estimated_bytes = group_by_sets.iter().map(|s| estimate_cube_bytes(table, s)).sum();
     GroupByPlan { group_by_sets, pair_cover, estimated_bytes, used_fallback }
 }
 
@@ -204,10 +203,7 @@ mod tests {
         let t = random_table(100, &[3, 3], 4);
         let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
         let plan = plan_group_by_sets(&t, &attrs, None);
-        assert_eq!(
-            plan.cover_for(attrs[0], attrs[1]),
-            plan.cover_for(attrs[1], attrs[0])
-        );
+        assert_eq!(plan.cover_for(attrs[0], attrs[1]), plan.cover_for(attrs[1], attrs[0]));
     }
 
     #[test]

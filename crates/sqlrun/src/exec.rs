@@ -113,11 +113,7 @@ fn table_to_frame(table: &Table, alias: Option<&str>) -> Frame {
 
 fn result_to_frame(result: &ResultTable, alias: Option<&str>) -> Frame {
     Frame {
-        cols: result
-            .columns
-            .iter()
-            .map(|c| (alias.map(str::to_string), c.clone()))
-            .collect(),
+        cols: result.columns.iter().map(|c| (alias.map(str::to_string), c.clone())).collect(),
         rows: result.rows.clone(),
     }
 }
@@ -185,9 +181,7 @@ impl Acc {
             "count" => self.n,
             "min" => self.min,
             "max" => self.max,
-            "var_pop" | "variance" => {
-                (self.sumsq / self.n - (self.sum / self.n).powi(2)).max(0.0)
-            }
+            "var_pop" | "variance" => (self.sumsq / self.n - (self.sum / self.n).powi(2)).max(0.0),
             "stddev_pop" | "stddev" => {
                 (self.sumsq / self.n - (self.sum / self.n).powi(2)).max(0.0).sqrt()
             }
@@ -256,8 +250,7 @@ fn exec_select(select: &Select, env: &Env<'_>) -> Result<ResultTable, SqlError> 
             Some(left) => {
                 let mut cols = left.cols.clone();
                 cols.extend(next.cols.clone());
-                let mut rows =
-                    Vec::with_capacity(left.rows.len().saturating_mul(next.rows.len()));
+                let mut rows = Vec::with_capacity(left.rows.len().saturating_mul(next.rows.len()));
                 for l in &left.rows {
                     for r in &next.rows {
                         let mut row = l.clone();
@@ -301,11 +294,8 @@ fn exec_select(select: &Select, env: &Env<'_>) -> Result<ResultTable, SqlError> 
                 Expr::Agg { .. } => unreachable!("aggregates imply grouping"),
             })
             .collect::<Result<_, _>>()?;
-        let order_idx: Vec<usize> = select
-            .order_by
-            .iter()
-            .map(|c| frame.resolve(c))
-            .collect::<Result<_, _>>()?;
+        let order_idx: Vec<usize> =
+            select.order_by.iter().map(|c| frame.resolve(c)).collect::<Result<_, _>>()?;
         let mut rows = frame.rows;
         if !order_idx.is_empty() {
             rows.sort_by(|a, b| {
@@ -334,15 +324,10 @@ fn exec_select(select: &Select, env: &Env<'_>) -> Result<ResultTable, SqlError> 
     }
 
     // Grouped execution. Key = group-by columns (possibly empty = global).
-    let key_idx: Vec<usize> = select
-        .group_by
-        .iter()
-        .map(|c| frame.resolve(c))
-        .collect::<Result<_, _>>()?;
-    let agg_idx: Vec<usize> = aggs
-        .iter()
-        .map(|(_, arg)| frame.resolve(arg))
-        .collect::<Result<_, _>>()?;
+    let key_idx: Vec<usize> =
+        select.group_by.iter().map(|c| frame.resolve(c)).collect::<Result<_, _>>()?;
+    let agg_idx: Vec<usize> =
+        aggs.iter().map(|(_, arg)| frame.resolve(arg)).collect::<Result<_, _>>()?;
 
     let mut group_index: HashMap<Vec<String>, usize> = HashMap::new();
     let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
@@ -367,11 +352,10 @@ fn exec_select(select: &Select, env: &Env<'_>) -> Result<ResultTable, SqlError> 
                 None => {
                     let g = groups.len();
                     group_index.insert(key.clone(), g);
-                    groups
-                        .push((key_idx.iter().map(|&i| row[i].clone()).collect(), vec![
-                            Acc::new();
-                            aggs.len()
-                        ]));
+                    groups.push((
+                        key_idx.iter().map(|&i| row[i].clone()).collect(),
+                        vec![Acc::new(); aggs.len()],
+                    ));
                     g
                 }
             }
@@ -436,10 +420,7 @@ fn exec_select(select: &Select, env: &Env<'_>) -> Result<ResultTable, SqlError> 
                                 && (c.table.is_none() || g.table == c.table || g.table.is_none())
                         })
                         .ok_or_else(|| {
-                            SqlError::new(format!(
-                                "column {} must appear in GROUP BY",
-                                c.column
-                            ))
+                            SqlError::new(format!("column {} must appear in GROUP BY", c.column))
                         })?;
                     key[pos].clone()
                 }
@@ -462,9 +443,9 @@ fn exec_select(select: &Select, env: &Env<'_>) -> Result<ResultTable, SqlError> 
                     .or_else(|| {
                         // Fall back to matching the select item whose
                         // expression is this column.
-                        select.items.iter().position(|item| {
-                            matches!(&item.expr, Expr::Col(cc) if cc.column == c.column)
-                        })
+                        select.items.iter().position(
+                            |item| matches!(&item.expr, Expr::Col(cc) if cc.column == c.column),
+                        )
                     })
                     .ok_or_else(|| {
                         SqlError::new(format!("ORDER BY column {} not in output", c.column))
@@ -622,10 +603,6 @@ mod tests {
         b.push_row(&["a"], &[3.0]).unwrap();
         let t = b.finish();
         let r = run_sql("select g, avg(m) as a, count(m) as n from t group by g;", &t).unwrap();
-        assert_eq!(r.rows, vec![vec![
-            Value::Str("a".into()),
-            Value::Num(2.0),
-            Value::Num(2.0)
-        ]]);
+        assert_eq!(r.rows, vec![vec![Value::Str("a".into()), Value::Num(2.0), Value::Num(2.0)]]);
     }
 }

@@ -33,10 +33,7 @@ fn pred(p: &Pred) -> String {
             colref(c),
             list.iter().map(|s| quote_str(s)).collect::<Vec<_>>().join(", ")
         ),
-        Pred::Or(alts) => format!(
-            "({})",
-            alts.iter().map(pred).collect::<Vec<_>>().join(" or ")
-        ),
+        Pred::Or(alts) => format!("({})", alts.iter().map(pred).collect::<Vec<_>>().join(" or ")),
     }
 }
 
@@ -167,17 +164,17 @@ mod proptests {
 
     fn arb_select() -> impl Strategy<Value = Select> {
         (
-            proptest::collection::vec(
-                (arb_expr(), proptest::option::of(arb_ident())),
-                1..4,
-            ),
+            proptest::collection::vec((arb_expr(), proptest::option::of(arb_ident())), 1..4),
             arb_ident(),
             proptest::option::of(arb_ident()),
             proptest::collection::vec(
                 prop_oneof![
                     (arb_colref(), "[a-z]{0,5}").prop_map(|(c, s)| Pred::EqStr(c, s)),
                     (arb_colref(), arb_colref()).prop_map(|(a, b)| Pred::EqCol(a, b)),
-                    (arb_colref(), proptest::collection::vec("[a-z]{1,4}".prop_map(String::from), 1..3))
+                    (
+                        arb_colref(),
+                        proptest::collection::vec("[a-z]{1,4}".prop_map(String::from), 1..3)
+                    )
                         .prop_map(|(c, v)| Pred::InStr(c, v)),
                 ],
                 0..3,
@@ -186,10 +183,7 @@ mod proptests {
             proptest::collection::vec(arb_colref(), 0..2),
         )
             .prop_map(|(items, table, alias, where_, group_by, order_by)| Select {
-                items: items
-                    .into_iter()
-                    .map(|(expr, alias)| SelectItem { expr, alias })
-                    .collect(),
+                items: items.into_iter().map(|(expr, alias)| SelectItem { expr, alias }).collect(),
                 from: vec![FromItem::Table { name: table, alias }],
                 where_,
                 group_by,
@@ -202,8 +196,8 @@ mod proptests {
     /// them as identifiers (the renderers never emit such names).
     fn uses_keyword(s: &Select) -> bool {
         const KW: [&str; 12] = [
-            "select", "from", "where", "group", "by", "order", "having", "as", "and", "or",
-            "in", "with",
+            "select", "from", "where", "group", "by", "order", "having", "as", "and", "or", "in",
+            "with",
         ];
         let bad = |name: &str| KW.contains(&name);
         let col_bad = |c: &ColRef| bad(&c.column) || c.table.as_deref().is_some_and(bad);
@@ -214,9 +208,7 @@ mod proptests {
         };
         s.items.iter().any(|i| expr_bad(&i.expr) || i.alias.as_deref().is_some_and(bad))
             || s.from.iter().any(|f| match f {
-                FromItem::Table { name, alias } => {
-                    bad(name) || alias.as_deref().is_some_and(bad)
-                }
+                FromItem::Table { name, alias } => bad(name) || alias.as_deref().is_some_and(bad),
                 FromItem::Subquery { .. } => false,
             })
             || s.where_.iter().any(|p| match p {

@@ -106,6 +106,7 @@ impl Parser {
         Ok(SelectItem { expr, alias })
     }
 
+    #[allow(clippy::wrong_self_convention)] // parses a FROM item; not a conversion
     fn from_item(&mut self) -> Result<FromItem, SqlError> {
         if self.eat(&Token::LParen) {
             let select = self.select()?;
@@ -148,7 +149,9 @@ impl Parser {
                 match self.next()? {
                     Token::Str(s) => values.push(s),
                     other => {
-                        return Err(SqlError::new(format!("expected string in IN list, got {other}")))
+                        return Err(SqlError::new(format!(
+                            "expected string in IN list, got {other}"
+                        )))
                     }
                 }
                 if !self.eat(&Token::Comma) {
@@ -228,7 +231,9 @@ impl Parser {
             let greater = match self.next()? {
                 Token::Gt => true,
                 Token::Lt => false,
-                other => return Err(SqlError::new(format!("expected > or < in HAVING, got {other}"))),
+                other => {
+                    return Err(SqlError::new(format!("expected > or < in HAVING, got {other}")))
+                }
             };
             let right = self.expr()?;
             Some(Having { left, greater, right })
@@ -276,8 +281,8 @@ mod tests {
 
     #[test]
     fn parses_a_flat_group_by() {
-        let s = parse("select city, sum(pop) as total from t group by city order by city;")
-            .unwrap();
+        let s =
+            parse("select city, sum(pop) as total from t group by city order by city;").unwrap();
         assert!(s.with.is_none());
         assert_eq!(s.select.items.len(), 2);
         assert_eq!(s.select.items[1].alias.as_deref(), Some("total"));
@@ -321,8 +326,8 @@ mod tests {
 
     #[test]
     fn parses_or_and_in_predicates() {
-        let s = parse("select a, b, sum(m) from r where b = 'x' or b = 'y' group by a, b;")
-            .unwrap();
+        let s =
+            parse("select a, b, sum(m) from r where b = 'x' or b = 'y' group by a, b;").unwrap();
         assert_eq!(s.select.where_.len(), 1);
         assert!(matches!(&s.select.where_[0], Pred::Or(v) if v.len() == 2));
         let s = parse("select a from r where b in ('x', 'y');").unwrap();

@@ -148,7 +148,9 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>, SqlError> {
             c if c.is_ascii_digit() => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
                         || bytes[i] == 'E'
                         || ((bytes[i] == '+' || bytes[i] == '-')
                             && matches!(bytes.get(i - 1), Some('e') | Some('E'))))

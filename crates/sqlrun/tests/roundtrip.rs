@@ -56,8 +56,7 @@ fn comparison_sql_round_trips_against_the_engine() {
     assert!(specs.len() >= 40, "need a meaningful sample");
     for spec in specs {
         let sql = comparison_sql(&table, &spec);
-        let via_sql = run_sql(&sql, &table)
-            .unwrap_or_else(|e| panic!("{e} in\n{sql}"));
+        let via_sql = run_sql(&sql, &table).unwrap_or_else(|e| panic!("{e} in\n{sql}"));
         let via_plan = execute(&table, &spec);
         assert_eq!(
             via_sql.rows.len(),
@@ -65,12 +64,11 @@ fn comparison_sql_round_trips_against_the_engine() {
             "row count mismatch for {spec:?}\n{sql}"
         );
         let dict = table.dict(spec.group_by);
-        for (row, (&code, (l, r))) in via_sql.rows.iter().zip(
-            via_plan
-                .group_codes
-                .iter()
-                .zip(via_plan.left.iter().zip(via_plan.right.iter())),
-        ) {
+        for (row, (&code, (l, r))) in via_sql
+            .rows
+            .iter()
+            .zip(via_plan.group_codes.iter().zip(via_plan.left.iter().zip(via_plan.right.iter())))
+        {
             assert_eq!(row[0], Value::Str(dict.decode(code).to_string()));
             match (&row[1], &row[2]) {
                 (Value::Num(x), Value::Num(y)) => {
@@ -102,9 +100,8 @@ fn unpivoted_sql_aggregates_match_grouped_execution() {
                     row[0] == Value::Str(a_name.to_string())
                         && row[1] == Value::Str(b_name.to_string())
                 });
-                let row = found.unwrap_or_else(|| {
-                    panic!("missing group ({a_name}, {b_name}) in\n{sql}")
-                });
+                let row =
+                    found.unwrap_or_else(|| panic!("missing group ({a_name}, {b_name}) in\n{sql}"));
                 match &row[2] {
                     Value::Num(x) => {
                         assert!((x - expect).abs() < 1e-9 * (1.0 + expect.abs()))
@@ -123,17 +120,11 @@ fn hypothesis_sql_support_matches_the_logical_check() {
     for spec in all_specs(&table, 40) {
         for kind in InsightType::EXTENDED {
             for (val, val2) in [(spec.val, spec.val2), (spec.val2, spec.val)] {
-                let insight = Insight {
-                    measure: spec.measure,
-                    select_on: spec.select_on,
-                    val,
-                    val2,
-                    kind,
-                };
+                let insight =
+                    Insight { measure: spec.measure, select_on: spec.select_on, val, val2, kind };
                 let h = HypothesisQuery::new(insight, spec.group_by, spec.agg);
                 let sql = hypothesis_sql(&table, &h.spec, &insight);
-                let via_sql = run_sql(&sql, &table)
-                    .unwrap_or_else(|e| panic!("{e} in\n{sql}"));
+                let via_sql = run_sql(&sql, &table).unwrap_or_else(|e| panic!("{e} in\n{sql}"));
                 let logically = h.evaluate(&table);
                 assert_eq!(
                     !via_sql.rows.is_empty(),
@@ -142,10 +133,7 @@ fn hypothesis_sql_support_matches_the_logical_check() {
                     spec.group_by
                 );
                 if logically {
-                    assert_eq!(
-                        via_sql.rows[0][0],
-                        Value::Str(kind.name().to_string())
-                    );
+                    assert_eq!(via_sql.rows[0][0], Value::Str(kind.name().to_string()));
                 }
                 checked += 1;
             }
@@ -162,8 +150,8 @@ fn every_notebook_entry_is_executable() {
     let run = cn_pipeline_run(&table, &cfg);
     assert!(!run.notebook.is_empty());
     for entry in &run.notebook.entries {
-        let result = run_sql(&entry.sql, &table)
-            .unwrap_or_else(|e| panic!("{e} in\n{}", entry.sql));
+        let result =
+            run_sql(&entry.sql, &table).unwrap_or_else(|e| panic!("{e} in\n{}", entry.sql));
         // The preview is a prefix of the executed result.
         for (row, (name, l, r)) in result.rows.iter().zip(entry.preview.iter()) {
             assert_eq!(row[0], Value::Str(name.clone()));
@@ -190,9 +178,6 @@ fn cn_core_like_config() -> cn_pipeline::GeneratorConfig {
     }
 }
 
-fn cn_pipeline_run(
-    table: &Table,
-    cfg: &cn_pipeline::GeneratorConfig,
-) -> cn_pipeline::RunResult {
+fn cn_pipeline_run(table: &Table, cfg: &cn_pipeline::GeneratorConfig) -> cn_pipeline::RunResult {
     cn_pipeline::run(table, cfg)
 }

@@ -12,9 +12,8 @@ pub fn benjamini_hochberg(pvalues: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        pvalues[a].partial_cmp(&pvalues[b]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order
+        .sort_by(|&a, &b| pvalues[a].partial_cmp(&pvalues[b]).unwrap_or(std::cmp::Ordering::Equal));
     let mut adjusted = vec![0.0f64; n];
     let mut running_min = f64::INFINITY;
     for rank in (0..n).rev() {
@@ -103,8 +102,7 @@ mod tests {
         }
         let classic: std::collections::BTreeSet<usize> =
             sorted[..k].iter().map(|&(i, _)| i).collect();
-        let ours: std::collections::BTreeSet<usize> =
-            discoveries(&p, alpha).into_iter().collect();
+        let ours: std::collections::BTreeSet<usize> = discoveries(&p, alpha).into_iter().collect();
         assert_eq!(classic, ours);
     }
 }

@@ -131,7 +131,7 @@ mod tests {
     fn min_fraction_finds_a_threshold() {
         let plan = PowerPlan { effect_d: 0.9, n_per_side: 120, n_sims: 40, ..Default::default() };
         let f = min_fraction_for_power(&plan, 0.8, 5, 5).expect("full data has the power");
-        assert!(f <= 1.0 && f >= 0.2);
+        assert!((0.2..=1.0).contains(&f));
         // An undetectable effect never reaches the target.
         let hopeless =
             PowerPlan { effect_d: 0.01, n_per_side: 20, n_sims: 30, ..Default::default() };

@@ -1,6 +1,6 @@
 //! Objective notebook measurables feeding the simulated raters.
 
-use cn_interest::{conciseness, ConcisenessParams, distance, DistanceWeights};
+use cn_interest::{conciseness, distance, ConcisenessParams, DistanceWeights};
 use cn_pipeline::RunResult;
 use std::collections::HashSet;
 

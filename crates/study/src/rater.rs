@@ -99,13 +99,8 @@ impl Rater {
     /// a deterministic function of (rater, notebook, criterion).
     pub fn score(&self, criterion: Criterion, standardized: &[f64; 8], item: u64) -> f64 {
         let c = Criterion::ALL.iter().position(|&x| x == criterion).unwrap();
-        let raw: f64 = self.weights[c]
-            .iter()
-            .zip(standardized.iter())
-            .map(|(w, z)| w * z)
-            .sum();
-        let mut rng =
-            StdRng::seed_from_u64(derive_seed(self.seed, &[c as u64, item]));
+        let raw: f64 = self.weights[c].iter().zip(standardized.iter()).map(|(w, z)| w * z).sum();
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, &[c as u64, item]));
         let noise = (rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>() - 1.5)
             * self.noise_sigma;
         (4.0 + raw + self.bias + noise).clamp(1.0, 7.0)
@@ -164,15 +159,9 @@ mod tests {
     fn scoring_is_deterministic() {
         let r = Rater::draw(5);
         let z = [0.4; 8];
-        assert_eq!(
-            r.score(Criterion::Expertise, &z, 3),
-            r.score(Criterion::Expertise, &z, 3)
-        );
+        assert_eq!(r.score(Criterion::Expertise, &z, 3), r.score(Criterion::Expertise, &z, 3));
         // Different item → different noise draw (almost surely).
-        assert_ne!(
-            r.score(Criterion::Expertise, &z, 3),
-            r.score(Criterion::Expertise, &z, 4)
-        );
+        assert_ne!(r.score(Criterion::Expertise, &z, 3), r.score(Criterion::Expertise, &z, 4));
     }
 
     #[test]

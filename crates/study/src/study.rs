@@ -71,9 +71,7 @@ impl StudyResult {
     pub fn winner(&self, criterion: Criterion) -> usize {
         (0..self.generators.len())
             .max_by(|&a, &b| {
-                self.mean_score(a, criterion)
-                    .partial_cmp(&self.mean_score(b, criterion))
-                    .unwrap()
+                self.mean_score(a, criterion).partial_cmp(&self.mean_score(b, criterion)).unwrap()
             })
             .unwrap_or(0)
     }
@@ -95,10 +93,8 @@ pub fn run_user_study(table: &Table, config: &StudyConfig) -> StudyResult {
 
     // 2. Measure them.
     let conc = config.base.interest.conciseness;
-    let measures: Vec<NotebookMeasures> = runs
-        .iter()
-        .map(|r| NotebookMeasures::from_run(r, &config.base.distance, &conc))
-        .collect();
+    let measures: Vec<NotebookMeasures> =
+        runs.iter().map(|r| NotebookMeasures::from_run(r, &config.base.distance, &conc)).collect();
     let standardized = standardize(&measures);
 
     // 3. Panel scoring.
@@ -108,12 +104,7 @@ pub fn run_user_study(table: &Table, config: &StudyConfig) -> StudyResult {
         .map(|g| {
             Criterion::ALL
                 .iter()
-                .map(|&c| {
-                    raters
-                        .iter()
-                        .map(|r| r.score(c, &standardized[g], g as u64))
-                        .collect()
-                })
+                .map(|&c| raters.iter().map(|r| r.score(c, &standardized[g], g as u64)).collect())
                 .collect()
         })
         .collect();

@@ -214,10 +214,8 @@ pub fn write_str(table: &Table) -> String {
     out.push_str(&header.join(","));
     out.push('\n');
     for row in 0..table.n_rows() {
-        let mut fields: Vec<String> = schema
-            .attribute_ids()
-            .map(|a| escape_field(table.value(row, a)))
-            .collect();
+        let mut fields: Vec<String> =
+            schema.attribute_ids().map(|a| escape_field(table.value(row, a))).collect();
         for m in schema.measure_ids() {
             let v = table.measure(m)[row];
             fields.push(if v.is_nan() { String::new() } else { format_num(v) });
@@ -332,10 +330,7 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(
-            read_str("t", "", &CsvOptions::default()),
-            Err(TabularError::EmptyInput)
-        ));
+        assert!(matches!(read_str("t", "", &CsvOptions::default()), Err(TabularError::EmptyInput)));
     }
 }
 

@@ -60,11 +60,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TabularError::BadNumber {
-            column: "cases".into(),
-            row: 3,
-            value: "abc".into(),
-        };
+        let e = TabularError::BadNumber { column: "cases".into(), row: 3, value: "abc".into() };
         let s = e.to_string();
         assert!(s.contains("cases") && s.contains('3') && s.contains("abc"));
     }

@@ -68,10 +68,8 @@ pub fn profile(table: &Table) -> TableProfile {
                 .max_by_key(|&(_, &c)| c)
                 .filter(|&(_, &c)| c > 0)
                 .map(|(code, &c)| (table.dict(a).decode(code as u32).to_string(), c));
-            let top_share = top
-                .as_ref()
-                .map(|&(_, c)| c as f64 / n_rows.max(1) as f64)
-                .unwrap_or(0.0);
+            let top_share =
+                top.as_ref().map(|&(_, c)| c as f64 / n_rows.max(1) as f64).unwrap_or(0.0);
             let entropy_bits = {
                 let n = n_rows.max(1) as f64;
                 -counts
@@ -140,13 +138,9 @@ mod tests {
     fn sample() -> Table {
         let schema = Schema::new(vec!["city"], vec!["pop"]).unwrap();
         let mut b = TableBuilder::new("t", schema);
-        for (c, p) in [
-            ("paris", 1.0),
-            ("paris", 2.0),
-            ("paris", 3.0),
-            ("lyon", 4.0),
-            ("nice", f64::NAN),
-        ] {
+        for (c, p) in
+            [("paris", 1.0), ("paris", 2.0), ("paris", 3.0), ("lyon", 4.0), ("nice", f64::NAN)]
+        {
             b.push_row(&[c], &[p]).unwrap();
         }
         b.finish()

@@ -149,14 +149,8 @@ mod tests {
     #[test]
     fn random_sample_is_seed_deterministic() {
         let t = skewed();
-        assert_eq!(
-            random_sample_indices(&t, 0.3, 7),
-            random_sample_indices(&t, 0.3, 7)
-        );
-        assert_ne!(
-            random_sample_indices(&t, 0.3, 7),
-            random_sample_indices(&t, 0.3, 8)
-        );
+        assert_eq!(random_sample_indices(&t, 0.3, 7), random_sample_indices(&t, 0.3, 7));
+        assert_ne!(random_sample_indices(&t, 0.3, 7), random_sample_indices(&t, 0.3, 8));
     }
 
     #[test]

@@ -117,12 +117,8 @@ impl Table {
     pub fn memory_bytes(&self) -> usize {
         let codes = self.cat_codes.iter().map(|c| c.len() * 4).sum::<usize>();
         let meas = self.measures.iter().map(|c| c.len() * 8).sum::<usize>();
-        let dicts = self
-            .dicts
-            .iter()
-            .flat_map(|d| d.values().iter())
-            .map(|v| v.len() + 24)
-            .sum::<usize>();
+        let dicts =
+            self.dicts.iter().flat_map(|d| d.values().iter()).map(|v| v.len() + 24).sum::<usize>();
         codes + meas + dicts
     }
 }
@@ -242,8 +238,7 @@ mod tests {
     use super::*;
 
     fn covid() -> Table {
-        let schema =
-            Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
+        let schema = Schema::new(vec!["continent", "month"], vec!["cases"]).unwrap();
         let mut b = TableBuilder::new("covid", schema);
         for (cont, month, cases) in [
             ("Africa", "4", 31598.0),

@@ -19,8 +19,7 @@ pub fn recall(optimal: &Solution, approx: &Solution) -> f64 {
     if optimal.sequence.is_empty() {
         return 1.0;
     }
-    let in_approx: std::collections::HashSet<usize> =
-        approx.sequence.iter().copied().collect();
+    let in_approx: std::collections::HashSet<usize> = approx.sequence.iter().copied().collect();
     let hits = optimal.sequence.iter().filter(|q| in_approx.contains(q)).count();
     hits as f64 / optimal.sequence.len() as f64
 }

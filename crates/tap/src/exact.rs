@@ -206,8 +206,7 @@ impl<'a, P: TapProblem + ?Sized> Search<'a, P> {
         // Prune: even taking everything affordable (within the remaining
         // cost budget and cardinality slots) cannot beat the best.
         let slots = self.max_cardinality.saturating_sub(chosen.len());
-        let bound =
-            interest + self.knapsack_bound(depth, self.budgets.epsilon_t - cost, slots);
+        let bound = interest + self.knapsack_bound(depth, self.budgets.epsilon_t - cost, slots);
         if bound <= self.best_interest + 1e-12 {
             return;
         }
@@ -256,18 +255,11 @@ impl<'a, P: TapProblem + ?Sized> Search<'a, P> {
                         carried = (exact_path, exact_len);
                     }
                 }
-                self.dfs(
-                    depth + 1,
-                    chosen,
-                    new_interest,
-                    cost + q_cost,
-                    &carried.0,
-                    carried.1,
-                );
+                self.dfs(depth + 1, chosen, new_interest, cost + q_cost, &carried.0, carried.1);
             }
             chosen.pop();
         }
-                if self.aborted {
+        if self.aborted {
             return;
         }
         // Exclude branch.
@@ -413,10 +405,7 @@ mod tests {
             let b = budgets(8.0, 1.2);
             let exact = solve_exact(&p, &b, &ExactConfig::default());
             let heur = solve_heuristic(&p, &b);
-            assert!(
-                exact.solution.total_interest >= heur.total_interest - 1e-9,
-                "seed {seed}"
-            );
+            assert!(exact.solution.total_interest >= heur.total_interest - 1e-9, "seed {seed}");
         }
     }
 
@@ -455,10 +444,7 @@ mod tests {
         // binding ε_d takes seconds, so a 5 ms budget must interrupt.
         let p = generate_instance(&InstanceConfig::euclidean(300, 13));
         let b = budgets(12.0, 0.6);
-        let cfg = ExactConfig {
-            timeout: Duration::from_millis(5),
-            ..Default::default()
-        };
+        let cfg = ExactConfig { timeout: Duration::from_millis(5), ..Default::default() };
         let r = solve_exact(&p, &b, &cfg);
         // 300 queries in 30 ms: the search cannot finish.
         assert!(r.timed_out);

@@ -121,11 +121,7 @@ mod tests {
     #[test]
     fn skips_unaffordable_but_keeps_scanning() {
         // First item has huge cost; the rest fit.
-        let p = MatrixTap::new(
-            vec![10.0, 1.0, 1.0],
-            vec![100.0, 1.0, 1.0],
-            vec![0.0; 9],
-        );
+        let p = MatrixTap::new(vec![10.0, 1.0, 1.0], vec![100.0, 1.0, 1.0], vec![0.0; 9]);
         let s = solve_heuristic(&p, &Budgets { epsilon_t: 2.0, epsilon_d: 1.0 });
         let mut got = s.sequence.clone();
         got.sort_unstable();

@@ -58,15 +58,10 @@ pub fn swap_improve<P: TapProblem + ?Sized>(
     if current.sequence.is_empty() {
         return current;
     }
-    let selected: std::collections::HashSet<usize> =
-        current.sequence.iter().copied().collect();
-    let mut outsiders: Vec<usize> =
-        (0..problem.len()).filter(|q| !selected.contains(q)).collect();
+    let selected: std::collections::HashSet<usize> = current.sequence.iter().copied().collect();
+    let mut outsiders: Vec<usize> = (0..problem.len()).filter(|q| !selected.contains(q)).collect();
     outsiders.sort_by(|&a, &b| {
-        problem
-            .interest(b)
-            .partial_cmp(&problem.interest(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        problem.interest(b).partial_cmp(&problem.interest(a)).unwrap_or(std::cmp::Ordering::Equal)
     });
     for outsider in outsiders {
         // Candidate victims, least interesting first.

@@ -107,9 +107,8 @@ pub fn generate_instance(config: &InstanceConfig) -> MatrixTap {
     let mut dist = vec![0.0f64; n * n];
     match config.distances {
         DistanceModel::Euclidean { dims, scale } => {
-            let points: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..dims).map(|_| rng.random_range(0.0..scale)).collect())
-                .collect();
+            let points: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..dims).map(|_| rng.random_range(0.0..scale)).collect()).collect();
             for i in 0..n {
                 for j in (i + 1)..n {
                     let d: f64 = points[i]

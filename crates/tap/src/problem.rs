@@ -74,8 +74,7 @@ pub fn evaluate<P: TapProblem + ?Sized>(problem: &P, sequence: &[usize]) -> Solu
     }
     let total_interest = sequence.iter().map(|&i| problem.interest(i)).sum();
     let total_cost = sequence.iter().map(|&i| problem.cost(i)).sum();
-    let total_distance =
-        sequence.windows(2).map(|w| problem.dist(w[0], w[1])).sum();
+    let total_distance = sequence.windows(2).map(|w| problem.dist(w[0], w[1])).sum();
     Solution { sequence: sequence.to_vec(), total_interest, total_cost, total_distance }
 }
 

@@ -38,7 +38,11 @@ fn main() {
     println!("{}\n", comparison_sql_unpivoted(&table, &spec));
 
     let result = execute(&table, &spec);
-    println!("=== Result ({} groups, {} tuples aggregated) ===\n", result.n_groups(), result.tuples_aggregated);
+    println!(
+        "=== Result ({} groups, {} tuples aggregated) ===\n",
+        result.n_groups(),
+        result.tuples_aggregated
+    );
     let dict = table.dict(continent);
     println!("{:<14} {:>14} {:>14}", "continent", "month_3", "month_4");
     for (i, &c) in result.group_codes.iter().enumerate() {

@@ -11,10 +11,8 @@ use cn_core::pipeline::{continue_notebook, suggest_continuations};
 use cn_core::sqlrun::run_sql;
 
 fn main() {
-    let table = cn_core::datagen::enedis_like(
-        cn_core::datagen::Scale { rows: 0.05, domains: 0.05 },
-        23,
-    );
+    let table =
+        cn_core::datagen::enedis_like(cn_core::datagen::Scale { rows: 0.05, domains: 0.05 }, 23);
     println!("dataset `{}`: {} rows\n", table.name(), table.n_rows());
 
     // 1. The starting notebook (the paper's "entry point" artifact).

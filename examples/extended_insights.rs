@@ -12,10 +12,8 @@ use cn_core::insight::types::InsightType;
 use cn_core::prelude::*;
 
 fn main() {
-    let table = cn_core::datagen::enedis_like(
-        cn_core::datagen::Scale { rows: 0.05, domains: 0.05 },
-        19,
-    );
+    let table =
+        cn_core::datagen::enedis_like(cn_core::datagen::Scale { rows: 0.05, domains: 0.05 }, 19);
     println!("dataset `{}`: {} rows\n", table.name(), table.n_rows());
 
     let mut config = GeneratorConfig {
@@ -23,8 +21,12 @@ fn main() {
         n_threads: 4,
         ..Default::default()
     };
-    config.generation_config.test =
-        TestConfig { n_permutations: 199, seed: 7, types: InsightType::EXTENDED.to_vec(), ..Default::default() };
+    config.generation_config.test = TestConfig {
+        n_permutations: 199,
+        seed: 7,
+        types: InsightType::EXTENDED.to_vec(),
+        ..Default::default()
+    };
 
     let result = run(&table, &config);
     println!(
@@ -50,16 +52,11 @@ fn main() {
         let id = *q
             .insight_ids
             .iter()
-            .find(|&&id| {
-                result.insights[id].detail.insight.kind == InsightType::ExtremeGreater
-            })
+            .find(|&&id| result.insights[id].detail.insight.kind == InsightType::ExtremeGreater)
             .unwrap();
         let insight = result.insights[id].detail.insight;
         println!("\nexample extreme-greater insight: {}", insight.describe(&table));
-        println!(
-            "\n{}",
-            cn_core::notebook::sql::hypothesis_sql(&table, &q.spec, &insight)
-        );
+        println!("\n{}", cn_core::notebook::sql::hypothesis_sql(&table, &q.spec, &insight));
     }
 
     println!("\nnotebook of {} queries generated.", result.notebook.len());

@@ -25,7 +25,11 @@ fn demo_csv() -> String {
     for i in 0..600usize {
         let region = ["south", "north", "west", "east"][i % 4];
         let channel = if region == "south" {
-            if i % 40 == 0 { "store" } else { "web" }
+            if i % 40 == 0 {
+                "store"
+            } else {
+                "web"
+            }
         } else {
             ["web", "store"][(i / 4) % 2]
         };
@@ -48,10 +52,8 @@ fn demo_csv() -> String {
 fn main() {
     // 1. Load the dataset. The user only distinguishes measures from
     //    categorical attributes (or lets inference decide).
-    let options = CsvOptions {
-        measures: Some(vec!["sales".into(), "units".into()]),
-        ..Default::default()
-    };
+    let options =
+        CsvOptions { measures: Some(vec!["sales".into(), "units".into()]), ..Default::default() };
     let table = read_str("shop", &demo_csv(), &options).expect("valid CSV");
     println!(
         "Loaded `{}`: {} rows, {} categorical attributes, {} measures\n",

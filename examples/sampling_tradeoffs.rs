@@ -31,16 +31,9 @@ fn main() {
     let reference = run(&table, &config(SamplingStrategy::None));
     let full_time = t0.elapsed();
     let reference_keys = reference.insight_keys();
-    println!(
-        "no sampling: {} insights, {:.2}s\n",
-        reference_keys.len(),
-        full_time.as_secs_f64()
-    );
+    println!("no sampling: {} insights, {:.2}s\n", reference_keys.len(), full_time.as_secs_f64());
 
-    println!(
-        "{:>8} {:>22} {:>22}",
-        "sample", "unbalanced (found, s)", "random (found, s)"
-    );
+    println!("{:>8} {:>22} {:>22}", "sample", "unbalanced (found, s)", "random (found, s)");
     for fraction in [0.05, 0.1, 0.2, 0.4] {
         let t0 = Instant::now();
         let unb = run(&table, &config(SamplingStrategy::Unbalanced { fraction }));

@@ -33,11 +33,7 @@ fn every_table3_variant_produces_a_valid_notebook() {
         assert!(r.n_tested > 0, "{}", kind.name());
         assert!(!r.notebook.is_empty(), "{} produced an empty notebook", kind.name());
         assert!(r.notebook.len() <= 6, "{}", kind.name());
-        assert!(
-            r.solution.total_distance <= 40.0 + 1e-9,
-            "{} violates ε_d",
-            kind.name()
-        );
+        assert!(r.solution.total_distance <= 40.0 + 1e-9, "{} violates ε_d", kind.name());
         assert!(r.solution.total_cost <= 6.0 + 1e-9, "{} violates ε_t", kind.name());
         // Every notebook entry's insights reference the query's site.
         for e in &r.notebook.entries {
@@ -103,14 +99,8 @@ fn interestingness_components_order_consistently() {
     // factor is ≤ 1), and Full ≤ SigCred (conciseness ≤ 1).
     let t = dataset();
     let r = run(&t, &base_config());
-    let sig_only = InterestParams {
-        components: InterestComponents::SigOnly,
-        ..Default::default()
-    };
-    let sig_cred = InterestParams {
-        components: InterestComponents::SigCred,
-        ..Default::default()
-    };
+    let sig_only = InterestParams { components: InterestComponents::SigOnly, ..Default::default() };
+    let sig_cred = InterestParams { components: InterestComponents::SigCred, ..Default::default() };
     let full = InterestParams::default();
     for q in &r.queries {
         let a = cn_core::interest::interestingness(q, &r.insights, &sig_only);
@@ -137,12 +127,9 @@ fn notebook_len_tracks_epsilon_t() {
 
 #[test]
 fn bundled_sample_dataset_flows_end_to_end() {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../data/covid_sample.csv");
-    let options = CsvOptions {
-        measures: Some(vec!["cases".into(), "deaths".into()]),
-        ..Default::default()
-    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data/covid_sample.csv");
+    let options =
+        CsvOptions { measures: Some(vec!["cases".into(), "deaths".into()]), ..Default::default() };
     let table = read_path(&path, &options).expect("bundled CSV loads");
     assert_eq!(table.n_rows(), 400);
     assert_eq!(table.schema().n_attributes(), 3);
