@@ -24,7 +24,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("end_to_end_small_enedis", |b| {
-        b.iter(|| cn_core::pipeline::run(&table, &cfg));
+        b.iter(|| cn_core::pipeline::run(&table, &cfg).expect("pipeline run"));
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn credibility_policies(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
     ] {
         let mut cfg = base(opts);
         cfg.generation_config.credibility = policy;
-        let r = cn_core::pipeline::run(table, &cfg);
+        let r = cn_core::pipeline::run(table, &cfg).expect("pipeline run");
         let partial =
             r.insights.iter().filter(|s| s.credibility.supporting < s.credibility.possible).count();
         let mean_surprise = if r.insights.is_empty() {
@@ -67,7 +67,7 @@ fn distance_weights(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
         cfg.distance = weights;
         // Keep the *relative* tightness comparable across weightings.
         cfg.budgets.epsilon_d = 0.4 * weights.max_distance() * cfg.budgets.epsilon_t;
-        let r = cn_core::pipeline::run(table, &cfg);
+        let r = cn_core::pipeline::run(table, &cfg).expect("pipeline run");
         let steps: Vec<f64> = r
             .solution
             .sequence
@@ -95,7 +95,7 @@ fn conciseness_params(opts: &Opts, table: &Table, ctx: &mut ExperimentCtx) {
     ] {
         let mut cfg = base(opts);
         cfg.interest.conciseness = params;
-        let r = cn_core::pipeline::run(table, &cfg);
+        let r = cn_core::pipeline::run(table, &cfg).expect("pipeline run");
         let mean_conc = if r.solution.sequence.is_empty() {
             0.0
         } else {

@@ -81,6 +81,6 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
 fn run_generator(table: &Table, opts: &Opts, sampling: SamplingStrategy) -> (RunResult, f64) {
     let cfg = pipeline_config(opts, sampling);
     let t0 = Instant::now();
-    let r = cn_core::pipeline::run(table, &cfg);
+    let r = cn_core::pipeline::run(table, &cfg).expect("pipeline run");
     (r, t0.elapsed().as_secs_f64())
 }

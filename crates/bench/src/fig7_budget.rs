@@ -35,7 +35,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
             let mut base = crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None);
             base.budgets.epsilon_t = epsilon_t;
             let cfg = kind.configure(base, sample_fraction, opts.timeout);
-            let r = cn_core::pipeline::run(&table, &cfg);
+            let r = cn_core::pipeline::run(&table, &cfg).expect("pipeline run");
             top.row(&[
                 kind.name().to_string(),
                 f2(epsilon_t),

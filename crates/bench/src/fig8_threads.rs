@@ -29,7 +29,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
     for &n in &threads {
         let mut cfg = crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None);
         cfg.n_threads = n;
-        let r = cn_core::pipeline::run(&table, &cfg);
+        let r = cn_core::pipeline::run(&table, &cfg).expect("pipeline run");
         let gen = r.timings.generation().as_secs_f64();
         let speedup = baseline.get_or_insert(gen).to_owned() / gen;
         ctx.row(&[

@@ -24,7 +24,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
     // denominator for the % detected).
     let base_cfg = crate::fig6_sample_size::pipeline_config(opts, SamplingStrategy::None);
     let t0 = Instant::now();
-    let reference = cn_core::pipeline::run(&table, &base_cfg);
+    let reference = cn_core::pipeline::run(&table, &base_cfg).expect("pipeline run");
     let full_secs = t0.elapsed().as_secs_f64();
     let reference_keys = reference.insight_keys();
     println!("  reference: {} insights in {:.1}s", reference_keys.len(), full_secs);
@@ -55,7 +55,7 @@ pub fn run(opts: &Opts) -> std::io::Result<()> {
         {
             let cfg = crate::fig6_sample_size::pipeline_config(opts, strategy);
             let t0 = Instant::now();
-            let r = cn_core::pipeline::run(&table, &cfg);
+            let r = cn_core::pipeline::run(&table, &cfg).expect("pipeline run");
             let secs = t0.elapsed().as_secs_f64();
             let found = r.insight_keys();
             // The Figure 9 ratio counts everything found on the sample,

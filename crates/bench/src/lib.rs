@@ -21,6 +21,7 @@ pub mod fig7_budget;
 pub mod fig8_threads;
 pub mod fig9_flights;
 pub mod plot;
+pub mod smoke;
 pub mod table2_datasets;
 pub mod table456_tap;
 

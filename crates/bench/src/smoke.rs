@@ -1,0 +1,97 @@
+//! `repro smoke` — a fast end-to-end pipeline run that exports the
+//! cn-obs metrics report, plus the `validate-metrics` gate CI runs on
+//! the exported JSON.
+
+use crate::common::Opts;
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::obs::Registry;
+use cn_core::prelude::*;
+use std::path::Path;
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Runs a TEST-scale pipeline under a fresh registry and writes the
+/// metrics report to `metrics` (when given). Any pipeline error fails
+/// the process so CI trips.
+pub fn run(opts: &Opts, metrics: Option<&Path>) -> std::io::Result<()> {
+    println!("== smoke: end-to-end run with observability export ==");
+    let table = enedis_like(Scale::TEST, opts.seed);
+    let cfg = GeneratorConfig::builder()
+        .budgets(6.0, 40.0)
+        .n_threads(opts.threads)
+        .seed(opts.seed)
+        .build()
+        .map_err(|e| invalid(e.to_string()))?;
+    let registry = Registry::new();
+    let result = run_observed(&table, &cfg, &registry).map_err(|e| invalid(e.to_string()))?;
+    let report = registry.report();
+    println!(
+        "  {} insights tested, {} significant, notebook of {}",
+        result.n_tested,
+        result.n_significant,
+        result.notebook.len()
+    );
+    print!("{}", report.to_text());
+    if let Some(path) = metrics {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, report.to_json_string())?;
+        println!("  wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// `repro validate-metrics <report.json>` — checks an exported report
+/// against the checked-in `schemas/metrics.schema.json`.
+pub fn validate(report_path: &Path, schema_path: &Path) -> std::io::Result<()> {
+    let report: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(report_path)?)
+        .map_err(|e| invalid(format!("{}: {e}", report_path.display())))?;
+    let schema: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(schema_path)?)
+        .map_err(|e| invalid(format!("{}: {e}", schema_path.display())))?;
+    match cn_core::obs::schema::validate(&report, &schema) {
+        Ok(()) => {
+            println!("{} conforms to {}", report_path.display(), schema_path.display());
+            Ok(())
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            Err(invalid(format!("{} schema violation(s)", errors.len())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cn_smoke_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn smoke_report_validates_against_checked_in_schema() {
+        let metrics = tmp("metrics.json");
+        let opts = Opts { quick: true, threads: 2, ..Default::default() };
+        run(&opts, Some(&metrics)).unwrap();
+        // The checked-in schema lives at the repository root.
+        let schema = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../schemas/metrics.schema.json");
+        validate(&metrics, &schema).unwrap();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn validate_rejects_malformed_reports() {
+        let bad = tmp("bad.json");
+        std::fs::write(&bad, "{\"version\": 2, \"counters\": {}}").unwrap();
+        let schema = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../schemas/metrics.schema.json");
+        assert!(validate(&bad, &schema).is_err());
+        std::fs::remove_file(&bad).ok();
+    }
+}

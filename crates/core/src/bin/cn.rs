@@ -32,7 +32,9 @@ fn usage() -> ! {
            --threads N        worker threads (default 4)\n\
            --seed N           root seed (default 0)\n\
            --out PATH         output stem; writes PATH.ipynb/.md/.sql\n\
-                              (default: print markdown to stdout)"
+                              (default: print markdown to stdout)\n\
+           --metrics PATH     write a JSON observability report (span tree,\n\
+                              counters, histograms) to PATH; `-` for stderr"
     );
     exit(2)
 }
@@ -51,6 +53,7 @@ struct Args {
     threads: usize,
     seed: u64,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +73,7 @@ fn parse_args() -> Args {
         threads: 4,
         seed: 0,
         out: None,
+        metrics: None,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -97,6 +101,7 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(PathBuf::from(value(&rest, &mut i))),
+            "--metrics" => args.metrics = Some(PathBuf::from(value(&rest, &mut i))),
             "--data" => args.data = Some(PathBuf::from(value(&rest, &mut i))),
             flag if flag.starts_with("--") => usage(),
             path if args.input.is_none() => args.input = Some(PathBuf::from(path)),
@@ -164,6 +169,21 @@ fn cmd_inspect(args: &Args) {
     );
 }
 
+/// Writes the observability report as pretty JSON to `path` (`-` =
+/// stderr).
+fn write_metrics(registry: &Registry, path: &std::path::Path) {
+    let json = registry.report().to_json_string();
+    if path.as_os_str() == "-" {
+        eprintln!("{json}");
+        return;
+    }
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error writing metrics to {}: {e}", path.display());
+        exit(1)
+    }
+    eprintln!("wrote metrics to {}", path.display());
+}
+
 fn cmd_notebook(args: &Args, table: Table) {
     let mut options = NotebookOptions {
         notebook_len: args.len,
@@ -173,6 +193,7 @@ fn cmd_notebook(args: &Args, table: Table) {
         n_threads: args.threads,
         seed: args.seed,
     };
+    let registry = Registry::new();
     // The one-call API covers the defaults; the extended insight set needs
     // the full config.
     let result = if args.extended {
@@ -194,11 +215,21 @@ fn cmd_notebook(args: &Args, table: Table) {
         if let Some(fraction) = args.sample {
             config.sampling = SamplingStrategy::Unbalanced { fraction };
         }
-        run(&table, &config)
+        run_observed(&table, &config, &registry)
     } else {
         options.n_threads = args.threads;
-        cn_core::generate_notebook(&table, &options)
+        cn_core::generate_notebook_observed(&table, &options, &registry)
     };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1)
+        }
+    };
+    if let Some(path) = &args.metrics {
+        write_metrics(&registry, path);
+    }
 
     eprintln!(
         "tested {} insights, {} significant, {} queries; notebook of {} (interest {:.3})",

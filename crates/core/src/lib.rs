@@ -16,11 +16,15 @@
 //! // A tiny synthetic dataset shaped like the paper's running example.
 //! let table = cn_core::datagen::covid_like(42);
 //! let options = NotebookOptions { notebook_len: 5, ..Default::default() };
-//! let result = cn_core::generate_notebook(&table, &options);
+//! let result = cn_core::generate_notebook(&table, &options).expect("valid input");
 //! assert!(result.notebook.len() <= 5);
 //! let ipynb = cn_core::notebook::to_ipynb_json(&result.notebook);
 //! assert_eq!(ipynb["nbformat"], 4);
 //! ```
+//!
+//! To observe a run — spans per phase, counters from every substrate —
+//! pass a [`obs::Registry`] to [`generate_notebook_observed`] and export
+//! `registry.report()` as JSON or text.
 //!
 //! Subsystem map (one crate per substrate; see `DESIGN.md`):
 //!
@@ -44,6 +48,7 @@ pub use cn_engine as engine;
 pub use cn_insight as insight;
 pub use cn_interest as interest;
 pub use cn_notebook as notebook;
+pub use cn_obs as obs;
 pub use cn_pipeline as pipeline;
 pub use cn_setcover as setcover;
 pub use cn_sqlrun as sqlrun;
@@ -53,17 +58,22 @@ pub use cn_tabular as tabular;
 pub use cn_tap as tap;
 
 use cn_insight::significance::TestConfig;
-use cn_pipeline::{GeneratorConfig, RunResult};
+use cn_obs::Registry;
+use cn_pipeline::{GeneratorConfig, PipelineError, RunResult};
 use cn_tabular::Table;
 use cn_tap::Budgets;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
-    pub use crate::{generate_notebook, NotebookOptions};
+    pub use crate::{generate_notebook, generate_notebook_observed, NotebookOptions};
     pub use cn_insight::types::{Insight, InsightType};
     pub use cn_interest::{InterestComponents, InterestParams};
     pub use cn_notebook::{to_ipynb_json, to_markdown, to_sql_script, Notebook};
-    pub use cn_pipeline::{run, GeneratorConfig, GeneratorKind, RunResult, SamplingStrategy};
+    pub use cn_obs::{Registry, Report};
+    pub use cn_pipeline::{
+        run, run_observed, ConfigError, ExplorationSession, GeneratorConfig, GeneratorKind,
+        PipelineError, RunResult, SamplingStrategy,
+    };
     pub use cn_tabular::csv::{read_path, read_str, CsvOptions};
     pub use cn_tabular::{Schema, Table, TableBuilder};
     pub use cn_tap::Budgets;
@@ -104,7 +114,27 @@ impl Default for NotebookOptions {
 
 /// One-call notebook generation with sensible defaults: WSC generation,
 /// Algorithm 3 for the TAP, full interestingness.
-pub fn generate_notebook(table: &Table, options: &NotebookOptions) -> RunResult {
+///
+/// # Errors
+/// As [`cn_pipeline::run`] — degenerate tables and invalid options come
+/// back as a typed [`PipelineError`].
+pub fn generate_notebook(
+    table: &Table,
+    options: &NotebookOptions,
+) -> Result<RunResult, PipelineError> {
+    generate_notebook_observed(table, options, Registry::discard())
+}
+
+/// [`generate_notebook`] recording spans, counters, and histograms into
+/// `obs` (export with [`cn_obs::Registry::report`]).
+///
+/// # Errors
+/// As [`generate_notebook`].
+pub fn generate_notebook_observed(
+    table: &Table,
+    options: &NotebookOptions,
+    obs: &Registry,
+) -> Result<RunResult, PipelineError> {
     let epsilon_d = options.epsilon_d.unwrap_or_else(|| {
         // Roughly "stay close": allow an average step of half the maximum
         // distance.
@@ -129,7 +159,7 @@ pub fn generate_notebook(table: &Table, options: &NotebookOptions) -> RunResult 
         seed: options.seed,
         ..Default::default()
     };
-    cn_pipeline::run(table, &config)
+    cn_pipeline::run_observed(table, &config, obs)
 }
 
 #[cfg(test)]
@@ -145,7 +175,7 @@ mod tests {
             n_threads: 2,
             ..Default::default()
         };
-        let result = generate_notebook(&table, &options);
+        let result = generate_notebook(&table, &options).unwrap();
         assert!(result.notebook.len() <= 4);
         assert!(!result.notebook.is_empty());
         assert!(result.solution.total_cost <= 4.0 + 1e-9);
@@ -161,7 +191,25 @@ mod tests {
             n_threads: 2,
             ..Default::default()
         };
-        let result = generate_notebook(&table, &options);
+        let result = generate_notebook(&table, &options).unwrap();
         assert!(result.n_tested > 0);
+    }
+
+    #[test]
+    fn observed_generation_exports_the_phase_tree() {
+        let table = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 1);
+        let options = NotebookOptions {
+            notebook_len: 4,
+            n_permutations: 99,
+            n_threads: 2,
+            ..Default::default()
+        };
+        let obs = cn_obs::Registry::new();
+        let result = generate_notebook_observed(&table, &options, &obs).unwrap();
+        let report = obs.report();
+        assert!(report.span("run").is_some());
+        assert!(report.span("stat_tests").is_some());
+        assert!(report.counter("tests_performed") >= result.n_tested as u64);
+        assert!(report.counter("notebook_entries") == result.notebook.len() as u64);
     }
 }

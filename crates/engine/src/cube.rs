@@ -10,6 +10,7 @@
 
 use crate::agg::PartialAgg;
 use crate::comparison::{ComparisonResult, ComparisonSpec};
+use cn_obs::{Hist, Metric, Registry};
 use cn_tabular::{AttrId, Table};
 use std::collections::HashMap;
 
@@ -37,6 +38,15 @@ impl Cube {
     /// Panics if the attributes' packed key would exceed 128 bits (beyond
     /// any realistic table of this system's scope) or `attrs` is empty.
     pub fn build(table: &Table, attrs: &[AttrId]) -> Cube {
+        Cube::build_observed(table, attrs, Registry::discard())
+    }
+
+    /// [`Cube::build`] recording rows scanned, cubes built, and the
+    /// group-count distribution into `obs`.
+    ///
+    /// # Panics
+    /// As [`Cube::build`].
+    pub fn build_observed(table: &Table, attrs: &[AttrId], obs: &Registry) -> Cube {
         assert!(!attrs.is_empty(), "a cube needs at least one attribute");
         let widths: Vec<u32> = attrs.iter().map(|&a| bits_for(table.dict(a).len())).collect();
         let total: u32 = widths.iter().sum();
@@ -63,6 +73,9 @@ impl Cube {
                 entry.1[m].push(col[row]);
             }
         }
+        obs.add(Metric::RowsScanned, table.n_rows() as u64);
+        obs.inc(Metric::CubesBuilt);
+        obs.record(Hist::CubeGroups, groups.len() as u64);
         Cube { attrs: attrs.to_vec(), widths, shifts, groups, n_measures }
     }
 
@@ -105,6 +118,14 @@ impl Cube {
     /// # Panics
     /// Panics if `sub` is not a (non-empty) subset of [`Cube::attrs`].
     pub fn rollup(&self, sub: &[AttrId]) -> Cube {
+        self.rollup_observed(sub, Registry::discard())
+    }
+
+    /// [`Cube::rollup`] recording the roll-up into `obs`.
+    ///
+    /// # Panics
+    /// As [`Cube::rollup`].
+    pub fn rollup_observed(&self, sub: &[AttrId], obs: &Registry) -> Cube {
         assert!(!sub.is_empty(), "roll-up target must be non-empty");
         let positions: Vec<usize> = sub
             .iter()
@@ -137,6 +158,7 @@ impl Cube {
                 entry.1[m].merge(pa);
             }
         }
+        obs.inc(Metric::CubeRollups);
         Cube { attrs: sub.to_vec(), widths, shifts, groups, n_measures: self.n_measures }
     }
 
@@ -146,12 +168,24 @@ impl Cube {
     /// rolled up to exactly that pair when it is wider. Produces the same
     /// result as [`crate::comparison::execute`] on the base table.
     pub fn comparison(&self, table: &Table, spec: &ComparisonSpec) -> ComparisonResult {
+        self.comparison_observed(table, spec, Registry::discard())
+    }
+
+    /// [`Cube::comparison`] recording the query evaluation (and any
+    /// implied roll-up) into `obs`.
+    pub fn comparison_observed(
+        &self,
+        table: &Table,
+        spec: &ComparisonSpec,
+        obs: &Registry,
+    ) -> ComparisonResult {
+        obs.inc(Metric::QueriesEvaluated);
         let pair = [spec.group_by, spec.select_on];
         let narrowed;
         let cube = if self.attrs == pair {
             self
         } else {
-            narrowed = self.rollup(&pair);
+            narrowed = self.rollup_observed(&pair, obs);
             &narrowed
         };
         // In `cube`, attribute 0 is A (group_by) and 1 is B (select_on).

@@ -30,6 +30,7 @@ pub mod types;
 
 pub use generation::{generate_candidates, CandidateQuery, GenerationConfig, GenerationOutput};
 pub use significance::{
-    test_all_insights, test_all_insights_threaded, SignificantInsight, TestConfig,
+    test_all_insights, test_all_insights_observed, test_all_insights_threaded, SignificantInsight,
+    TestConfig,
 };
 pub use types::{Insight, InsightType};

@@ -17,7 +17,8 @@
 //! permutation stream of the batch kernel.
 
 use crate::types::{Insight, InsightType};
-use cn_stats::parallel::parallel_map_with;
+use cn_obs::{Hist, Metric, Registry};
+use cn_stats::parallel::parallel_map_collect;
 use cn_stats::rng::derive_seed;
 use cn_stats::{benjamini_hochberg, AttributeBatch, BatchScratch, TestKernel};
 use cn_tabular::{AttrId, Table};
@@ -216,6 +217,7 @@ impl AttributeTester {
                 }
             }
         }
+        scratch.metrics.add(Metric::TestsPerformed, out.len() as u64);
         out
     }
 
@@ -261,12 +263,23 @@ impl AttributeTester {
 
 /// Applies the per-family BH correction and keeps the significant insights.
 pub fn finalize_family(raw: &[RawTest], config: &TestConfig) -> Vec<SignificantInsight> {
+    finalize_family_observed(raw, config, Registry::discard())
+}
+
+/// [`finalize_family`] recording the number of rejected null hypotheses
+/// (`bh_rejections`) into `obs`.
+pub fn finalize_family_observed(
+    raw: &[RawTest],
+    config: &TestConfig,
+    obs: &Registry,
+) -> Vec<SignificantInsight> {
     if raw.is_empty() {
         return Vec::new();
     }
     let ps: Vec<f64> = raw.iter().map(|r| r.raw_p).collect();
     let adjusted = if config.apply_bh { benjamini_hochberg(&ps) } else { ps.clone() };
-    raw.iter()
+    let significant: Vec<SignificantInsight> = raw
+        .iter()
         .zip(adjusted.iter())
         .filter(|(_, &q)| q <= config.alpha)
         .map(|(r, &q)| SignificantInsight {
@@ -275,7 +288,9 @@ pub fn finalize_family(raw: &[RawTest], config: &TestConfig) -> Vec<SignificantI
             raw_p: r.raw_p,
             observed_effect: r.observed_effect,
         })
-        .collect()
+        .collect();
+    obs.add(Metric::BhRejections, significant.len() as u64);
+    significant
 }
 
 /// Full report of the testing stage.
@@ -333,22 +348,40 @@ pub fn test_all_insights_threaded(
     config: &TestConfig,
     n_threads: usize,
 ) -> TestReport {
+    test_all_insights_observed(table, config, n_threads, Registry::discard())
+}
+
+/// [`test_all_insights_threaded`] recording into `obs`: tests performed,
+/// permutation rounds and early stops (from each worker's
+/// [`BatchScratch::metrics`], merged at join so every counter total is
+/// identical for any thread count), per-task test-count histogram, and
+/// BH rejections.
+pub fn test_all_insights_observed(
+    table: &Table,
+    config: &TestConfig,
+    n_threads: usize,
+    obs: &Registry,
+) -> TestReport {
     let testers: Vec<AttributeTester> =
         table.schema().attribute_ids().map(|attr| AttributeTester::new(table, attr)).collect();
     let tasks = chunked_pair_tasks(&testers, n_threads);
-    let raw_per_task: Vec<Vec<RawTest>> =
-        parallel_map_with(&tasks, n_threads, BatchScratch::default, |scratch, (ai, pairs)| {
+    let (raw_per_task, scratches) =
+        parallel_map_collect(&tasks, n_threads, BatchScratch::default, |scratch, (ai, pairs)| {
             testers[*ai].test_pairs_with(pairs, config, scratch)
         });
+    for scratch in &scratches {
+        obs.merge_local(&scratch.metrics);
+    }
     let mut families: Vec<Vec<RawTest>> = vec![Vec::new(); testers.len()];
     let mut n_tested = 0usize;
     for ((ai, _), raws) in tasks.iter().zip(raw_per_task) {
+        obs.record(Hist::TestsPerTask, raws.len() as u64);
         n_tested += raws.len();
         families[*ai].extend(raws);
     }
     let mut significant = Vec::new();
     for family in &families {
-        significant.extend(finalize_family(family, config));
+        significant.extend(finalize_family_observed(family, config, obs));
     }
     TestReport { significant, n_tested }
 }

@@ -64,6 +64,22 @@ pub fn interestingness(
     }
 }
 
+/// Scores every candidate query, recording the count of scores computed
+/// and their distribution (in milli-units) into `obs`.
+pub fn score_queries(
+    queries: &[CandidateQuery],
+    insights: &[ScoredInsight],
+    params: &InterestParams,
+    obs: &cn_obs::Registry,
+) -> Vec<f64> {
+    let scores: Vec<f64> = queries.iter().map(|q| interestingness(q, insights, params)).collect();
+    obs.add(cn_obs::Metric::InterestScores, scores.len() as u64);
+    for &s in &scores {
+        obs.record(cn_obs::Hist::InterestScoreMilli, (s.max(0.0) * 1000.0) as u64);
+    }
+    scores
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

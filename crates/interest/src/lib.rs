@@ -21,4 +21,4 @@ pub mod interest;
 pub use conciseness::{conciseness, ConcisenessParams};
 pub use cost::CostModel;
 pub use distance::{distance, DistanceWeights};
-pub use interest::{interestingness, InterestComponents, InterestParams};
+pub use interest::{interestingness, score_queries, InterestComponents, InterestParams};

@@ -1,0 +1,41 @@
+//! # cn-obs — structured observability for the notebook-generation system
+//!
+//! The paper's evaluation hinges on knowing where time goes (the Figure 7
+//! phase breakdown); this crate is the instrumentation layer that every
+//! substrate crate records into, so the benchmark tables and the
+//! production path share one source of truth.
+//!
+//! Three primitives, all thread-safe and cheap on the hot path:
+//!
+//! - **Spans** ([`Registry::span`]) — named wall-clock intervals with
+//!   parent links (a thread-local stack tracks nesting) and the recording
+//!   thread. The pipeline opens one span per Figure 1 phase under a root
+//!   `run` span.
+//! - **Counters** ([`Metric`]) — monotonic `u64`s behind relaxed atomics:
+//!   rows scanned, permutations run, queries evaluated, BH rejections,
+//!   TAP nodes, dictionary bytes, … Hot kernels accumulate into a plain
+//!   per-worker [`LocalMetrics`] (no atomics at all) that is merged into
+//!   the registry **at join**, so totals are bit-identical for any thread
+//!   count and the steady-state cost is one integer add.
+//! - **Histograms** ([`Hist`]) — power-of-two-bucketed distributions
+//!   (cube group counts, per-task test counts, interest scores).
+//!
+//! A [`Registry`] is an explicit value — create one per run (or one per
+//! long-lived session) and pass `&Registry` down; there is no global
+//! mutable default. Call sites that keep an un-instrumented signature
+//! delegate to [`Registry::discard`], a process-wide sink whose counters
+//! are never read and which drops spans on the floor.
+//!
+//! [`Registry::report`] snapshots everything into a [`Report`], which
+//! exports to JSON ([`Report::to_json`], validated by the checked-in
+//! `schemas/metrics.schema.json` via [`schema::validate`]) and to a
+//! human-readable text tree ([`Report::to_text`]).
+
+pub mod metric;
+pub mod registry;
+pub mod report;
+pub mod schema;
+
+pub use metric::{Hist, LocalMetrics, Metric};
+pub use registry::{Registry, SpanGuard};
+pub use report::{CounterValue, HistogramReport, Report, SpanRecord};

@@ -1,0 +1,262 @@
+//! The fixed vocabulary of counters and histograms.
+//!
+//! A closed enum (rather than string keys) keeps the hot path to an array
+//! index: recording is `counts[m as usize] += n` on a plain `u64`
+//! ([`LocalMetrics`]) or one relaxed atomic add ([`crate::Registry`]).
+
+/// Monotonic counters recorded across the pipeline. Names are stable —
+/// they are the keys of the exported JSON report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Table rows scanned by cube materializations.
+    RowsScanned,
+    /// Bytes of dictionary-encoded categorical columns (codes + dictionary
+    /// strings) of the input table.
+    DictBytes,
+    /// Rows selected into statistical-test samples.
+    SampledRows,
+    /// Statistical tests performed (one per site × insight type).
+    TestsPerformed,
+    /// Permutation rounds executed by the kernels (per measure group for
+    /// the pair-exact kernel, per attribute batch for the batched one).
+    PermutationRounds,
+    /// Measure groups whose permutation loop terminated early.
+    EarlyStopHits,
+    /// Null hypotheses rejected after the per-family BH correction.
+    BhRejections,
+    /// Group-by cubes materialized from the base table.
+    CubesBuilt,
+    /// Cube roll-ups (answering a pair from a wider cube).
+    CubeRollups,
+    /// Hypothesis/comparison queries evaluated against cubes.
+    QueriesEvaluated,
+    /// Cardinality-estimator invocations (Algorithm 2 planning).
+    EstimatorCalls,
+    /// Candidate group-by sets weighed by the set-cover planner.
+    SetCoverCandidates,
+    /// Interestingness scores computed.
+    InterestScores,
+    /// Candidate queries dropped by the Algorithm-1 per-grouping dedup.
+    DedupDropped,
+    /// Queries offered to the TAP solver.
+    TapCandidates,
+    /// Sequence insertions accepted by the TAP solvers.
+    TapInsertions,
+    /// Branch-and-bound nodes explored by the exact TAP solver.
+    TapNodesExplored,
+    /// Branch-and-bound subtrees pruned (bound or infeasibility).
+    TapNodesPruned,
+    /// Entries rendered into notebooks.
+    NotebookEntries,
+    /// Continuation suggestions served by exploration sessions.
+    SuggestionsServed,
+    /// Anchor-distance vectors served from the session cache.
+    DistanceCacheHits,
+}
+
+impl Metric {
+    /// Every counter, in export order.
+    pub const ALL: [Metric; 21] = [
+        Metric::RowsScanned,
+        Metric::DictBytes,
+        Metric::SampledRows,
+        Metric::TestsPerformed,
+        Metric::PermutationRounds,
+        Metric::EarlyStopHits,
+        Metric::BhRejections,
+        Metric::CubesBuilt,
+        Metric::CubeRollups,
+        Metric::QueriesEvaluated,
+        Metric::EstimatorCalls,
+        Metric::SetCoverCandidates,
+        Metric::InterestScores,
+        Metric::DedupDropped,
+        Metric::TapCandidates,
+        Metric::TapInsertions,
+        Metric::TapNodesExplored,
+        Metric::TapNodesPruned,
+        Metric::NotebookEntries,
+        Metric::SuggestionsServed,
+        Metric::DistanceCacheHits,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Metric::ALL.len();
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::RowsScanned => "rows_scanned",
+            Metric::DictBytes => "dict_bytes",
+            Metric::SampledRows => "sampled_rows",
+            Metric::TestsPerformed => "tests_performed",
+            Metric::PermutationRounds => "permutation_rounds",
+            Metric::EarlyStopHits => "early_stop_hits",
+            Metric::BhRejections => "bh_rejections",
+            Metric::CubesBuilt => "cubes_built",
+            Metric::CubeRollups => "cube_rollups",
+            Metric::QueriesEvaluated => "queries_evaluated",
+            Metric::EstimatorCalls => "estimator_calls",
+            Metric::SetCoverCandidates => "set_cover_candidates",
+            Metric::InterestScores => "interest_scores",
+            Metric::DedupDropped => "dedup_dropped",
+            Metric::TapCandidates => "tap_candidates",
+            Metric::TapInsertions => "tap_insertions",
+            Metric::TapNodesExplored => "tap_nodes_explored",
+            Metric::TapNodesPruned => "tap_nodes_pruned",
+            Metric::NotebookEntries => "notebook_entries",
+            Metric::SuggestionsServed => "suggestions_served",
+            Metric::DistanceCacheHits => "distance_cache_hits",
+        }
+    }
+}
+
+/// Power-of-two-bucketed distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Tests produced per (attribute, pair-chunk) work item.
+    TestsPerTask,
+    /// Distinct groups per materialized cube.
+    CubeGroups,
+    /// Interestingness scores in milli-units (`score × 1000`).
+    InterestScoreMilli,
+}
+
+impl Hist {
+    /// Every histogram, in export order.
+    pub const ALL: [Hist; 3] = [Hist::TestsPerTask, Hist::CubeGroups, Hist::InterestScoreMilli];
+
+    /// Number of histograms.
+    pub const COUNT: usize = Hist::ALL.len();
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::TestsPerTask => "tests_per_task",
+            Hist::CubeGroups => "cube_groups",
+            Hist::InterestScoreMilli => "interest_score_milli",
+        }
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts values whose bit length
+/// is `i` (0, 1, 2–3, 4–7, …), saturating at the last bucket.
+pub const N_BUCKETS: usize = 32;
+
+/// Bucket index of a value.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(N_BUCKETS - 1)
+}
+
+/// A plain, single-threaded counter block for hot kernels.
+///
+/// Workers accumulate here (one integer add per event, no atomics, no
+/// sharing) and the coordinator merges every worker's block into the
+/// [`crate::Registry`] **at join** — so totals are independent of how
+/// work was chunked or scheduled, and identical for any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalMetrics {
+    counts: [u64; Metric::COUNT],
+}
+
+impl Default for LocalMetrics {
+    fn default() -> Self {
+        LocalMetrics { counts: [0; Metric::COUNT] }
+    }
+}
+
+impl LocalMetrics {
+    /// A zeroed block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to `m`.
+    #[inline]
+    pub fn add(&mut self, m: Metric, n: u64) {
+        self.counts[m as usize] += n;
+    }
+
+    /// Increments `m` by one.
+    #[inline]
+    pub fn inc(&mut self, m: Metric) {
+        self.counts[m as usize] += 1;
+    }
+
+    /// Current value of `m`.
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counts[m as usize]
+    }
+
+    /// Folds another block into this one.
+    pub fn merge(&mut self, other: &LocalMetrics) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Resets every counter to zero (scratch blocks are reused across
+    /// merges).
+    pub fn reset(&mut self) {
+        self.counts = [0; Metric::COUNT];
+    }
+
+    /// Raw counter array, indexed by `Metric as usize`.
+    pub fn counts(&self) -> &[u64; Metric::COUNT] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for m in Metric::ALL {
+            assert!(seen.insert(m.name()), "duplicate metric name {}", m.name());
+            assert!(m.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        for h in Hist::ALL {
+            assert!(seen.insert(h.name()), "duplicate hist name {}", h.name());
+        }
+    }
+
+    #[test]
+    fn enum_discriminants_index_the_all_array() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn local_merge_is_additive() {
+        let mut a = LocalMetrics::new();
+        let mut b = LocalMetrics::new();
+        a.add(Metric::RowsScanned, 10);
+        b.add(Metric::RowsScanned, 5);
+        b.inc(Metric::CubesBuilt);
+        a.merge(&b);
+        assert_eq!(a.get(Metric::RowsScanned), 15);
+        assert_eq!(a.get(Metric::CubesBuilt), 1);
+        a.reset();
+        assert_eq!(a.get(Metric::RowsScanned), 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The thread-safe recording surface: counters, histograms, and spans.
+
+use crate::metric::{bucket_of, Hist, LocalMetrics, Metric, N_BUCKETS};
+use crate::report::{CounterValue, HistogramReport, Report, SpanRecord};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+struct AtomicHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A collection point for one run (or one long-lived session).
+///
+/// Counters and histograms are relaxed atomics — safe to hit from worker
+/// threads, with additive (therefore schedule-independent) totals. Spans
+/// are recorded under a mutex on the cold path only (a handful per run).
+pub struct Registry {
+    /// Distinguishes registries on the thread-local span stack, so nested
+    /// guards of *different* registries never adopt each other.
+    id: u64,
+    epoch: Instant,
+    /// When set, spans are not retained (the [`Registry::discard`] sink
+    /// must not grow without bound).
+    discarding: bool,
+    counters: [AtomicU64; Metric::COUNT],
+    hists: [AtomicHistogram; Hist::COUNT],
+    spans: Mutex<Vec<SpanRecord>>,
+    next_span: AtomicU64,
+}
+
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of `(registry id, span id)` for parent attribution.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            discarding: false,
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| AtomicHistogram::new()),
+            spans: Mutex::new(Vec::new()),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    /// The process-wide discard sink: counters are absorbed (never read),
+    /// spans are dropped. Lets un-instrumented legacy entry points
+    /// delegate to the observed implementations without carrying a
+    /// registry.
+    pub fn discard() -> &'static Registry {
+        static DISCARD: OnceLock<Registry> = OnceLock::new();
+        DISCARD.get_or_init(|| Registry { discarding: true, ..Registry::new() })
+    }
+
+    /// Adds `n` to counter `m`.
+    #[inline]
+    pub fn add(&self, m: Metric, n: u64) {
+        self.counters[m as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments counter `m` by one.
+    #[inline]
+    pub fn inc(&self, m: Metric) {
+        self.add(m, 1);
+    }
+
+    /// Current value of counter `m`.
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters[m as usize].load(Ordering::Relaxed)
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn record(&self, h: Hist, v: u64) {
+        self.hists[h as usize].record(v);
+    }
+
+    /// Folds a worker's local block in (the merge-at-join step).
+    pub fn merge_local(&self, local: &LocalMetrics) {
+        for (m, &v) in Metric::ALL.iter().zip(local.counts().iter()) {
+            if v != 0 {
+                self.add(*m, v);
+            }
+        }
+    }
+
+    /// Snapshot of every counter, indexed like [`Metric::ALL`]. Used by
+    /// determinism tests to compare whole runs.
+    pub fn counter_snapshot(&self) -> Vec<u64> {
+        Metric::ALL.iter().map(|&m| self.get(m)).collect()
+    }
+
+    /// Opens a span. The guard records on [`SpanGuard::finish`] (or on
+    /// drop); spans opened while another guard of this registry is live
+    /// on the same thread become its children.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let stack = s.borrow();
+            stack.iter().rev().find(|(rid, _)| *rid == self.id).map(|&(_, sid)| sid)
+        });
+        SPAN_STACK.with(|s| s.borrow_mut().push((self.id, id)));
+        SpanGuard {
+            registry: self,
+            name,
+            id,
+            parent,
+            start_offset: self.epoch.elapsed(),
+            started: Instant::now(),
+            closed: false,
+        }
+    }
+
+    fn record_span(&self, record: SpanRecord) {
+        if !self.discarding {
+            self.spans.lock().push(record);
+        }
+    }
+
+    /// Snapshots counters, histograms, and spans into a [`Report`].
+    pub fn report(&self) -> Report {
+        let counters = Metric::ALL
+            .iter()
+            .map(|&m| CounterValue { name: m.name(), value: self.get(m) })
+            .collect();
+        let histograms = Hist::ALL
+            .iter()
+            .map(|&h| {
+                let a = &self.hists[h as usize];
+                HistogramReport {
+                    name: h.name(),
+                    count: a.count.load(Ordering::Relaxed),
+                    sum: a.sum.load(Ordering::Relaxed),
+                    buckets: a.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                }
+            })
+            .collect();
+        let mut spans = self.spans.lock().clone();
+        spans.sort_by_key(|s| (s.start, s.id));
+        Report { counters, histograms, spans }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("id", &self.id)
+            .field("spans", &self.spans.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII span: created by [`Registry::span`], records its wall time when
+/// finished or dropped.
+#[must_use = "a span measures until it is dropped or finished"]
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start_offset: Duration,
+    started: Instant,
+    closed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now and returns its duration — the pipeline derives
+    /// its phase table from these values, so the bench numbers and the
+    /// exported report come from the same clock reads.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        let dur = self.started.elapsed();
+        if self.closed {
+            return dur;
+        }
+        self.closed = true;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) =
+                stack.iter().rposition(|&(rid, sid)| rid == self.registry.id && sid == self.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let thread = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("{:?}", std::thread::current().id()));
+        self.registry.record_span(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start: self.start_offset,
+            duration: dur,
+            thread,
+        });
+        dur
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.add(Metric::RowsScanned, 7);
+        r.inc(Metric::RowsScanned);
+        assert_eq!(r.get(Metric::RowsScanned), 8);
+        assert_eq!(r.get(Metric::CubesBuilt), 0);
+    }
+
+    #[test]
+    fn merge_local_is_the_join_step() {
+        let r = Registry::new();
+        let mut a = LocalMetrics::new();
+        a.add(Metric::PermutationRounds, 100);
+        let mut b = LocalMetrics::new();
+        b.add(Metric::PermutationRounds, 50);
+        b.inc(Metric::EarlyStopHits);
+        r.merge_local(&a);
+        r.merge_local(&b);
+        assert_eq!(r.get(Metric::PermutationRounds), 150);
+        assert_eq!(r.get(Metric::EarlyStopHits), 1);
+    }
+
+    #[test]
+    fn spans_nest_via_the_thread_local_stack() {
+        let r = Registry::new();
+        {
+            let _root = r.span("root");
+            {
+                let _child = r.span("child");
+                let _grand = r.span("grandchild");
+            }
+            let _sibling = r.span("sibling");
+        }
+        let report = r.report();
+        assert_eq!(report.spans.len(), 4);
+        let by_name = |n: &str| report.spans.iter().find(|s| s.name == n).unwrap();
+        let root = by_name("root");
+        assert_eq!(root.parent, None);
+        assert_eq!(by_name("child").parent, Some(root.id));
+        assert_eq!(by_name("grandchild").parent, Some(by_name("child").id));
+        assert_eq!(by_name("sibling").parent, Some(root.id));
+    }
+
+    #[test]
+    fn two_registries_do_not_adopt_each_other() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let _outer = a.span("outer");
+        {
+            let _inner = b.span("inner");
+        }
+        drop(_outer);
+        let rb = b.report();
+        assert_eq!(rb.spans.len(), 1);
+        assert_eq!(rb.spans[0].parent, None, "b's span must not parent into a's");
+    }
+
+    #[test]
+    fn finish_returns_the_recorded_duration() {
+        let r = Registry::new();
+        let g = r.span("work");
+        std::thread::sleep(Duration::from_millis(5));
+        let d = g.finish();
+        let report = r.report();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].duration, d);
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn discard_sink_absorbs_without_growing() {
+        let d = Registry::discard();
+        let before = d.spans.lock().len();
+        for _ in 0..10 {
+            let _s = d.span("noise");
+        }
+        d.add(Metric::RowsScanned, 1);
+        assert_eq!(d.spans.lock().len(), before);
+    }
+
+    #[test]
+    fn counters_from_many_threads_sum_exactly() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        r.inc(Metric::TestsPerformed);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.get(Metric::TestsPerformed), 8000);
+    }
+
+    #[test]
+    fn histograms_record_count_sum_buckets() {
+        let r = Registry::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            r.record(Hist::CubeGroups, v);
+        }
+        let rep = r.report();
+        let h = rep.histograms.iter().find(|h| h.name == "cube_groups").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 5);
+    }
+}

@@ -1,0 +1,226 @@
+//! Snapshot of a registry, with JSON and human-readable exporters.
+
+use serde_json::{json, Map, Value};
+use std::time::Duration;
+
+/// One counter at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterValue {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+/// One histogram at snapshot time (power-of-two buckets, see
+/// [`crate::metric::bucket_of`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramReport {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: &'static str,
+    /// Offset from the registry epoch at which the span opened.
+    pub start: Duration,
+    pub duration: Duration,
+    /// Name (or id) of the thread that closed the span.
+    pub thread: String,
+}
+
+/// Everything a [`crate::Registry`] recorded, ready for export.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub counters: Vec<CounterValue>,
+    pub histograms: Vec<HistogramReport>,
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Report {
+    /// Value of a counter by its exported name (0 for unknown names — a
+    /// report always carries the full vocabulary).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
+    }
+
+    /// The first span with this name, if any.
+    pub fn span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Duration of the first span with this name (zero if absent).
+    pub fn phase_duration(&self, name: &str) -> Duration {
+        self.span(name).map(|s| s.duration).unwrap_or(Duration::ZERO)
+    }
+
+    /// Children of span `id`, in start order (spans are already sorted by
+    /// start at snapshot time).
+    pub fn children(&self, id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Top-level spans (no parent), in start order.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// The JSON document, matching `schemas/metrics.schema.json`:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "counters": {"rows_scanned": 123, ...},
+    ///   "histograms": {"cube_groups": {"count": 2, "sum": 9, "buckets": [...]}},
+    ///   "spans": [{"id": 1, "parent": null, "name": "run",
+    ///              "start_us": 0, "duration_us": 42, "thread": "main"}]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Value {
+        let mut counters = Map::new();
+        for c in &self.counters {
+            counters.insert(c.name.to_owned(), json!(c.value));
+        }
+        let mut histograms = Map::new();
+        for h in &self.histograms {
+            histograms.insert(
+                h.name.to_owned(),
+                json!({"count": h.count, "sum": h.sum, "buckets": h.buckets.clone()}),
+            );
+        }
+        let spans: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let parent = s.parent.map(Value::from).unwrap_or(Value::Null);
+                json!({
+                    "id": s.id,
+                    "parent": parent,
+                    "name": s.name,
+                    "start_us": s.start.as_micros() as u64,
+                    "duration_us": s.duration.as_micros() as u64,
+                    "thread": s.thread.clone(),
+                })
+            })
+            .collect();
+        json!({
+            "version": 1,
+            "counters": Value::Object(counters),
+            "histograms": Value::Object(histograms),
+            "spans": spans,
+        })
+    }
+
+    /// Pretty-printed JSON string.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("report JSON serializes")
+    }
+
+    /// Human-readable summary: the span tree with durations, then every
+    /// non-zero counter, then histogram summaries.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("spans:\n");
+        for root in self.roots() {
+            self.render_span(&mut out, root, 1);
+        }
+        out.push_str("counters:\n");
+        for c in self.counters.iter().filter(|c| c.value != 0) {
+            out.push_str(&format!("  {:<24} {}\n", c.name, c.value));
+        }
+        let live: Vec<&HistogramReport> = self.histograms.iter().filter(|h| h.count != 0).collect();
+        if !live.is_empty() {
+            out.push_str("histograms:\n");
+            for h in live {
+                let mean = h.sum as f64 / h.count as f64;
+                out.push_str(&format!(
+                    "  {:<24} count={} sum={} mean={:.1}\n",
+                    h.name, h.count, h.sum, mean
+                ));
+            }
+        }
+        out
+    }
+
+    fn render_span(&self, out: &mut String, span: &SpanRecord, depth: usize) {
+        out.push_str(&format!(
+            "{}{:<width$} {:>10.3} ms  [{}]\n",
+            "  ".repeat(depth),
+            span.name,
+            span.duration.as_secs_f64() * 1e3,
+            span.thread,
+            width = 24usize.saturating_sub(2 * (depth - 1)),
+        ));
+        for child in self.children(span.id) {
+            self.render_span(out, child, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{Hist, Metric};
+    use crate::registry::Registry;
+
+    fn sample_report() -> Report {
+        let r = Registry::new();
+        r.add(Metric::RowsScanned, 42);
+        r.record(Hist::CubeGroups, 9);
+        {
+            let _run = r.span("run");
+            let _child = r.span("stat_tests");
+        }
+        r.report()
+    }
+
+    #[test]
+    fn json_has_version_counters_histograms_spans() {
+        let v = sample_report().to_json();
+        assert_eq!(v["version"], 1);
+        assert_eq!(v["counters"]["rows_scanned"], 42);
+        assert_eq!(v["histograms"]["cube_groups"]["count"], 1);
+        assert_eq!(v["histograms"]["cube_groups"]["sum"], 9);
+        let spans = v["spans"].as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0]["name"], "run");
+        assert!(spans[0]["parent"].is_null());
+        assert_eq!(spans[1]["parent"], spans[0]["id"]);
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let rep = sample_report();
+        assert_eq!(rep.counter("rows_scanned"), 42);
+        assert_eq!(rep.counter("no_such_counter"), 0);
+    }
+
+    #[test]
+    fn text_export_shows_tree_and_nonzero_counters() {
+        let txt = sample_report().to_text();
+        assert!(txt.contains("run"));
+        assert!(txt.contains("stat_tests"));
+        assert!(txt.contains("rows_scanned"));
+        assert!(!txt.contains("tap_candidates"), "zero counters are suppressed");
+    }
+
+    #[test]
+    fn children_are_in_start_order() {
+        let r = Registry::new();
+        {
+            let _root = r.span("root");
+            for name in ["a", "b", "c"] {
+                let _s = r.span(name);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let rep = r.report();
+        let root = rep.span("root").unwrap();
+        let names: Vec<&str> = rep.children(root.id).iter().map(|s| s.name).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+}

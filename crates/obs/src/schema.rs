@@ -1,0 +1,247 @@
+//! A minimal JSON-Schema-subset validator for the exported metrics report.
+//!
+//! Supports the keywords the checked-in `schemas/metrics.schema.json`
+//! actually uses — `type` (string or array of strings), `required`,
+//! `properties`, `additionalProperties` (bool or schema), `items`,
+//! `enum`, `minimum` — so CI can gate the report format without pulling
+//! in a full JSON-Schema crate.
+
+use serde_json::Value;
+
+/// Validates `value` against `schema`. Returns every violation found
+/// (empty ⇒ valid), each prefixed with a `$`-rooted JSON path.
+pub fn validate(value: &Value, schema: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    check(value, schema, "$", &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Number(n) => {
+            if n.fract() == 0.0 {
+                "integer"
+            } else {
+                "number"
+            }
+        }
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn matches_type(v: &Value, ty: &str) -> bool {
+    match ty {
+        // every integer is also a number
+        "number" => matches!(v, Value::Number(_)),
+        other => type_name(v) == other,
+    }
+}
+
+fn check(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(schema) = schema.as_object() else {
+        // `true` permits anything; `false` rejects everything.
+        if schema == &Value::Bool(false) {
+            errors.push(format!("{path}: schema forbids any value"));
+        }
+        return;
+    };
+
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<&str> = match ty {
+            Value::String(s) => vec![s.as_str()],
+            Value::Array(a) => a.iter().filter_map(Value::as_str).collect(),
+            _ => vec![],
+        };
+        if !allowed.is_empty() && !allowed.iter().any(|t| matches_type(value, t)) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                allowed.join("|"),
+                type_name(value)
+            ));
+            return; // further keyword checks would only cascade
+        }
+    }
+
+    if let Some(options) = schema.get("enum").and_then(Value::as_array) {
+        if !options.contains(value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let Some(min) = schema.get("minimum").and_then(Value::as_f64) {
+        if let Some(n) = value.as_f64() {
+            if n < min {
+                errors.push(format!("{path}: {n} below minimum {min}"));
+            }
+        }
+    }
+
+    if let Some(obj) = value.as_object() {
+        if let Some(required) = schema.get("required").and_then(Value::as_array) {
+            for key in required.iter().filter_map(Value::as_str) {
+                if !obj.contains_key(key) {
+                    errors.push(format!("{path}: missing required property \"{key}\""));
+                }
+            }
+        }
+        let props = schema.get("properties").and_then(Value::as_object);
+        for (key, sub) in obj {
+            let sub_path = format!("{path}.{key}");
+            if let Some(prop_schema) = props.and_then(|p| p.get(key)) {
+                check(sub, prop_schema, &sub_path, errors);
+            } else if let Some(ap) = schema.get("additionalProperties") {
+                match ap {
+                    Value::Bool(false) => {
+                        errors.push(format!("{path}: unexpected property \"{key}\""))
+                    }
+                    Value::Bool(true) => {}
+                    other => check(sub, other, &sub_path, errors),
+                }
+            }
+        }
+    }
+
+    if let Some(arr) = value.as_array() {
+        if let Some(items) = schema.get("items") {
+            for (i, item) in arr.iter().enumerate() {
+                check(item, items, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn report_schema() -> Value {
+        json!({
+            "type": "object",
+            "required": ["version", "counters", "spans"],
+            "additionalProperties": false,
+            "properties": {
+                "version": {"type": "integer", "enum": [1]},
+                "counters": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer", "minimum": 0}
+                },
+                "histograms": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "object",
+                        "required": ["count", "sum", "buckets"],
+                        "properties": {
+                            "count": {"type": "integer", "minimum": 0},
+                            "sum": {"type": "integer", "minimum": 0},
+                            "buckets": {"type": "array", "items": {"type": "integer"}}
+                        }
+                    }
+                },
+                "spans": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["id", "name", "duration_us"],
+                        "properties": {
+                            "id": {"type": "integer"},
+                            "parent": {"type": ["integer", "null"]},
+                            "name": {"type": "string"},
+                            "duration_us": {"type": "integer", "minimum": 0}
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc = json!({
+            "version": 1,
+            "counters": {"rows_scanned": 5},
+            "spans": [{"id": 1, "parent": null, "name": "run", "duration_us": 10}]
+        });
+        assert!(validate(&doc, &report_schema()).is_ok());
+    }
+
+    #[test]
+    fn missing_required_is_reported_with_path() {
+        let doc = json!({"version": 1, "counters": {}});
+        let errs = validate(&doc, &report_schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("spans")), "{errs:?}");
+    }
+
+    #[test]
+    fn wrong_type_is_reported() {
+        let doc = json!({"version": "one", "counters": {}, "spans": []});
+        let errs = validate(&doc, &report_schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("$.version")), "{errs:?}");
+    }
+
+    #[test]
+    fn union_types_accept_null_parent() {
+        let doc = json!({
+            "version": 1,
+            "counters": {},
+            "spans": [
+                {"id": 1, "parent": null, "name": "run", "duration_us": 0},
+                {"id": 2, "parent": 1, "name": "child", "duration_us": 0}
+            ]
+        });
+        assert!(validate(&doc, &report_schema()).is_ok());
+    }
+
+    #[test]
+    fn additional_properties_false_rejects_extras() {
+        let doc = json!({"version": 1, "counters": {}, "spans": [], "extra": true});
+        let errs = validate(&doc, &report_schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("extra")), "{errs:?}");
+    }
+
+    #[test]
+    fn additional_properties_schema_applies_to_values() {
+        let doc = json!({"version": 1, "counters": {"x": -3}, "spans": []});
+        let errs = validate(&doc, &report_schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("$.counters.x")), "{errs:?}");
+    }
+
+    #[test]
+    fn enum_violation_is_reported() {
+        let doc = json!({"version": 2, "counters": {}, "spans": []});
+        let errs = validate(&doc, &report_schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("enum")), "{errs:?}");
+    }
+
+    #[test]
+    fn array_items_report_indexed_paths() {
+        let doc = json!({
+            "version": 1,
+            "counters": {},
+            "spans": [{"id": 1, "name": "run", "duration_us": 0}, {"id": 2}]
+        });
+        let errs = validate(&doc, &report_schema()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("$.spans[1]")), "{errs:?}");
+    }
+
+    #[test]
+    fn exported_report_validates_against_own_schema() {
+        use crate::metric::Metric;
+        use crate::registry::Registry;
+        let r = Registry::new();
+        r.add(Metric::RowsScanned, 1);
+        {
+            let _s = r.span("run");
+        }
+        let doc = r.report().to_json();
+        assert!(validate(&doc, &report_schema()).is_ok());
+    }
+}

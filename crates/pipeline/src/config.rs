@@ -1,6 +1,12 @@
 //! Generator configurations — the implementations of Table 3 and the
 //! user-study variants of Table 7.
+//!
+//! Prefer [`GeneratorConfig::builder`] over struct-literal construction:
+//! the builder validates every knob at [`GeneratorConfigBuilder::build`]
+//! and returns a [`ConfigError`] instead of letting a nonsensical budget
+//! or thread count surface as a panic deep inside a run.
 
+use crate::error::ConfigError;
 use cn_insight::generation::GenerationConfig;
 use cn_interest::{CostModel, DistanceWeights, InterestComponents, InterestParams};
 use cn_tap::{Budgets, ExactConfig};
@@ -93,6 +99,133 @@ impl Default for GeneratorConfig {
             seed: 0,
             preview_rows: 8,
         }
+    }
+}
+
+impl GeneratorConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> GeneratorConfigBuilder {
+        GeneratorConfigBuilder { config: GeneratorConfig::default() }
+    }
+
+    /// Checks every knob; [`crate::run::run`] calls this before doing any
+    /// work, so a config constructed by hand is vetted exactly like one
+    /// from the builder.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let b = &self.budgets;
+        if !(b.epsilon_t.is_finite() && b.epsilon_t > 0.0) {
+            return Err(ConfigError::TimeBudget(b.epsilon_t));
+        }
+        if !(b.epsilon_d.is_finite() && b.epsilon_d >= 0.0) {
+            return Err(ConfigError::DistanceBudget(b.epsilon_d));
+        }
+        match self.sampling {
+            SamplingStrategy::None => {}
+            SamplingStrategy::Random { fraction } | SamplingStrategy::Unbalanced { fraction } => {
+                if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+                    return Err(ConfigError::SampleFraction(fraction));
+                }
+            }
+        }
+        if self.n_threads == 0 {
+            return Err(ConfigError::Threads(self.n_threads));
+        }
+        let test = &self.generation_config.test;
+        if test.n_permutations == 0 {
+            return Err(ConfigError::Permutations(test.n_permutations));
+        }
+        if !(test.alpha.is_finite() && test.alpha > 0.0 && test.alpha < 1.0) {
+            return Err(ConfigError::Alpha(test.alpha));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`GeneratorConfig`] — the supported construction path.
+/// Field-by-field struct literals still compile but skip validation;
+/// examples and benches use the builder.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfigBuilder {
+    config: GeneratorConfig,
+}
+
+impl GeneratorConfigBuilder {
+    /// Query-set generation scheme.
+    pub fn generation(mut self, g: QueryGeneration) -> Self {
+        self.config.generation = g;
+        self
+    }
+
+    /// Sampling strategy for the statistical tests.
+    pub fn sampling(mut self, s: SamplingStrategy) -> Self {
+        self.config.sampling = s;
+        self
+    }
+
+    /// TAP solver choice.
+    pub fn solver(mut self, s: TapSolverChoice) -> Self {
+        self.config.solver = s;
+        self
+    }
+
+    /// Interestingness parameters.
+    pub fn interest(mut self, p: InterestParams) -> Self {
+        self.config.interest = p;
+        self
+    }
+
+    /// Query-distance weights.
+    pub fn distance(mut self, w: DistanceWeights) -> Self {
+        self.config.distance = w;
+        self
+    }
+
+    /// Query cost model.
+    pub fn cost(mut self, c: CostModel) -> Self {
+        self.config.cost = c;
+        self
+    }
+
+    /// TAP budgets `(ε_t, ε_d)`.
+    pub fn budgets(mut self, epsilon_t: f64, epsilon_d: f64) -> Self {
+        self.config.budgets = Budgets { epsilon_t, epsilon_d };
+        self
+    }
+
+    /// Insight generation settings (tests, aggregates, credibility).
+    pub fn generation_config(mut self, g: GenerationConfig) -> Self {
+        self.config.generation_config = g;
+        self
+    }
+
+    /// Toggle FD detection pre-processing.
+    pub fn detect_fds(mut self, on: bool) -> Self {
+        self.config.detect_fds = on;
+        self
+    }
+
+    /// Worker threads for the parallel phases.
+    pub fn n_threads(mut self, n: usize) -> Self {
+        self.config.n_threads = n;
+        self
+    }
+
+    /// Root seed for sampling and permutation tests.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Result rows embedded per notebook entry.
+    pub fn preview_rows(mut self, n: usize) -> Self {
+        self.config.preview_rows = n;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<GeneratorConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -238,5 +371,76 @@ mod tests {
 
         let sig_cred = GeneratorKind::WscApproxSigCred.configure(base, 0.2, t);
         assert_eq!(sig_cred.interest.components, InterestComponents::SigCred);
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let cfg = GeneratorConfig::builder().build().unwrap();
+        assert_eq!(cfg.n_threads, GeneratorConfig::default().n_threads);
+    }
+
+    #[test]
+    fn builder_rejects_each_bad_knob() {
+        assert!(matches!(
+            GeneratorConfig::builder().budgets(0.0, 5.0).build(),
+            Err(ConfigError::TimeBudget(_))
+        ));
+        assert!(matches!(
+            GeneratorConfig::builder().budgets(5.0, -1.0).build(),
+            Err(ConfigError::DistanceBudget(_))
+        ));
+        assert!(matches!(
+            GeneratorConfig::builder().budgets(f64::NAN, 5.0).build(),
+            Err(ConfigError::TimeBudget(_))
+        ));
+        assert!(matches!(
+            GeneratorConfig::builder().sampling(SamplingStrategy::Random { fraction: 0.0 }).build(),
+            Err(ConfigError::SampleFraction(_))
+        ));
+        assert!(matches!(
+            GeneratorConfig::builder()
+                .sampling(SamplingStrategy::Unbalanced { fraction: 1.5 })
+                .build(),
+            Err(ConfigError::SampleFraction(_))
+        ));
+        assert!(matches!(
+            GeneratorConfig::builder().n_threads(0).build(),
+            Err(ConfigError::Threads(0))
+        ));
+        let mut gen_cfg = GenerationConfig::default();
+        gen_cfg.test.n_permutations = 0;
+        assert!(matches!(
+            GeneratorConfig::builder().generation_config(gen_cfg.clone()).build(),
+            Err(ConfigError::Permutations(0))
+        ));
+        gen_cfg.test.n_permutations = 99;
+        gen_cfg.test.alpha = 1.0;
+        assert!(matches!(
+            GeneratorConfig::builder().generation_config(gen_cfg).build(),
+            Err(ConfigError::Alpha(_))
+        ));
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = GeneratorConfig::builder()
+            .generation(QueryGeneration::NaiveBounded)
+            .sampling(SamplingStrategy::Random { fraction: 0.5 })
+            .solver(TapSolverChoice::Heuristic)
+            .budgets(3.0, 7.0)
+            .detect_fds(false)
+            .n_threads(2)
+            .seed(42)
+            .preview_rows(3)
+            .build()
+            .unwrap();
+        assert!(matches!(cfg.generation, QueryGeneration::NaiveBounded));
+        assert!(matches!(cfg.sampling, SamplingStrategy::Random { fraction } if fraction == 0.5));
+        assert_eq!(cfg.budgets.epsilon_t, 3.0);
+        assert_eq!(cfg.budgets.epsilon_d, 7.0);
+        assert!(!cfg.detect_fds);
+        assert_eq!(cfg.n_threads, 2);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.preview_rows, 3);
     }
 }

@@ -1,0 +1,136 @@
+//! Error taxonomy of the fallible pipeline API.
+//!
+//! [`crate::run::run`] used to panic on degenerate inputs (empty tables,
+//! nonsensical budgets, uncovered plan pairs); every failure is now a
+//! typed [`PipelineError`] so embedding tools — the `cn` CLI, the bench
+//! harness, notebook servers — can report and recover instead of
+//! unwinding.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected [`crate::config::GeneratorConfig`] field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `ε_t` must be a finite, strictly positive cost budget.
+    TimeBudget(f64),
+    /// `ε_d` must be a finite, non-negative distance budget.
+    DistanceBudget(f64),
+    /// Sampling fractions live in `(0, 1]`.
+    SampleFraction(f64),
+    /// At least one worker thread is required.
+    Threads(usize),
+    /// Permutation tests need at least one permutation.
+    Permutations(usize),
+    /// The significance threshold `α` lives in `(0, 1)`.
+    Alpha(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::TimeBudget(v) => {
+                write!(f, "time budget ε_t must be finite and > 0, got {v}")
+            }
+            ConfigError::DistanceBudget(v) => {
+                write!(f, "distance budget ε_d must be finite and ≥ 0, got {v}")
+            }
+            ConfigError::SampleFraction(v) => {
+                write!(f, "sample fraction must be in (0, 1], got {v}")
+            }
+            ConfigError::Threads(v) => write!(f, "thread count must be ≥ 1, got {v}"),
+            ConfigError::Permutations(v) => {
+                write!(f, "permutation count must be ≥ 1, got {v}")
+            }
+            ConfigError::Alpha(v) => write!(f, "significance level α must be in (0, 1), got {v}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Everything that can go wrong in a generation run or a continuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The input table has no rows to test.
+    EmptyTable,
+    /// The input table has no measure columns — nothing to compare.
+    NoMeasures,
+    /// The input table has no categorical attributes — nothing to group by.
+    NoAttributes,
+    /// The configuration failed validation.
+    InvalidConfig(ConfigError),
+    /// The Algorithm 2 plan failed to cover a needed attribute pair
+    /// (an internal invariant violation; attribute ids are reported).
+    PlanGap {
+        /// Grouping attribute of the uncovered pair.
+        group_by: u16,
+        /// Selection attribute of the uncovered pair.
+        select_on: u16,
+    },
+    /// A continuation anchor points past the notebook's entries.
+    AnchorOutOfRange {
+        /// The offending entry index.
+        anchor: usize,
+        /// Number of entries in the notebook sequence.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyTable => write!(f, "input table has no rows"),
+            PipelineError::NoMeasures => write!(f, "input table has no measure columns"),
+            PipelineError::NoAttributes => {
+                write!(f, "input table has no categorical attributes")
+            }
+            PipelineError::InvalidConfig(e) => write!(f, "invalid generator config: {e}"),
+            PipelineError::PlanGap { group_by, select_on } => {
+                write!(f, "group-by plan does not cover attribute pair ({group_by}, {select_on})")
+            }
+            PipelineError::AnchorOutOfRange { anchor, len } => {
+                write!(f, "anchor entry {anchor} out of range for a {len}-entry notebook")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::InvalidConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for PipelineError {
+    fn from(e: ConfigError) -> Self {
+        PipelineError::InvalidConfig(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offending_value() {
+        assert!(ConfigError::TimeBudget(-1.0).to_string().contains("-1"));
+        assert!(ConfigError::SampleFraction(1.5).to_string().contains("1.5"));
+        assert!(ConfigError::Alpha(0.0).to_string().contains('0'));
+        let e = PipelineError::PlanGap { group_by: 3, select_on: 7 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('7'));
+        let a = PipelineError::AnchorOutOfRange { anchor: 9, len: 2 };
+        assert!(a.to_string().contains('9') && a.to_string().contains('2'));
+    }
+
+    #[test]
+    fn config_errors_wrap_with_source() {
+        let e: PipelineError = ConfigError::Threads(0).into();
+        assert!(matches!(e, PipelineError::InvalidConfig(ConfigError::Threads(0))));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&PipelineError::EmptyTable).is_none());
+    }
+}

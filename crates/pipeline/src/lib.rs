@@ -9,12 +9,19 @@
 //! query evaluation from in-memory aggregates (naive-bounded or the
 //! Algorithm 2 set-cover plan) → interestingness + per-grouping dedup
 //! (Algorithm 1 lines 14–17) → TAP resolution (exact or Algorithm 3) →
-//! notebook construction. Each phase is timed for the Figure 7 breakdown,
-//! and the two heavy phases parallelize over a crossbeam worker pool with
-//! an explicit thread count (Figure 8).
+//! notebook construction. Each phase runs under a [`cn_obs`] span (the
+//! Figure 7 breakdown is a projection of the span tree), counters from
+//! every substrate crate accumulate into the caller's
+//! [`cn_obs::Registry`], and the two heavy phases parallelize over a
+//! crossbeam worker pool with an explicit thread count (Figure 8).
+//!
+//! The API is fallible: [`run`] returns `Result<RunResult,
+//! PipelineError>` and configs are built via the validating
+//! [`GeneratorConfig::builder`].
 
 pub mod config;
 pub mod dedup;
+pub mod error;
 pub mod parallel;
 pub mod phases;
 pub mod run;
@@ -22,8 +29,10 @@ pub mod session;
 pub mod tap_adapter;
 
 pub use config::{
-    GeneratorConfig, GeneratorKind, QueryGeneration, SamplingStrategy, TapSolverChoice,
+    GeneratorConfig, GeneratorConfigBuilder, GeneratorKind, QueryGeneration, SamplingStrategy,
+    TapSolverChoice,
 };
-pub use phases::PhaseTimings;
-pub use run::{run, RunResult};
-pub use session::{continue_notebook, suggest_continuations, Suggestion};
+pub use error::{ConfigError, PipelineError};
+pub use phases::{PhaseTimings, PHASES, ROOT_SPAN};
+pub use run::{run, run_observed, RunResult};
+pub use session::{continue_notebook, suggest_continuations, ExplorationSession, Suggestion};

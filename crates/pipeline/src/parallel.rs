@@ -14,7 +14,7 @@
 //! finishing early never contends with the stragglers (the tail of a
 //! Figure 8 run is pure compute).
 
-pub use cn_stats::parallel::{parallel_map, parallel_map_with};
+pub use cn_stats::parallel::{parallel_map, parallel_map_collect, parallel_map_with};
 
 #[cfg(test)]
 mod tests {

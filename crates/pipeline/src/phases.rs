@@ -1,6 +1,29 @@
 //! Per-phase wall-clock accounting (the Figure 7 runtime breakdown).
+//!
+//! Since the observability redesign the numbers originate from
+//! [`cn_obs`] spans — [`PhaseTimings`] is a fixed-shape projection of the
+//! span tree ([`PhaseTimings::from_report`]), kept because the bench and
+//! figure harnesses want a plain struct to tabulate.
 
+use cn_obs::Report;
 use std::time::Duration;
+
+/// Span names of the Figure 1 phases, in execution order. `set_cover`
+/// runs nested inside `hypothesis_eval` (it is part of query generation);
+/// the others are direct children of the root `run` span.
+pub const PHASES: [&str; 8] = [
+    "fd_detection",
+    "sampling",
+    "stat_tests",
+    "set_cover",
+    "hypothesis_eval",
+    "interest",
+    "tap",
+    "notebook",
+];
+
+/// Name of the root span of a pipeline run.
+pub const ROOT_SPAN: &str = "run";
 
 /// Wall-clock time of each pipeline phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -24,6 +47,23 @@ pub struct PhaseTimings {
 }
 
 impl PhaseTimings {
+    /// Rebuilds the phase breakdown from an exported span tree — the
+    /// inverse of running the pipeline with an observing registry.
+    /// Phases without a span (e.g. `set_cover` under the naive generator)
+    /// come back as zero.
+    pub fn from_report(report: &Report) -> PhaseTimings {
+        PhaseTimings {
+            fd_detection: report.phase_duration("fd_detection"),
+            sampling: report.phase_duration("sampling"),
+            stat_tests: report.phase_duration("stat_tests"),
+            set_cover: report.phase_duration("set_cover"),
+            hypothesis_eval: report.phase_duration("hypothesis_eval"),
+            interest: report.phase_duration("interest"),
+            tap: report.phase_duration("tap"),
+            notebook: report.phase_duration("notebook"),
+        }
+    }
+
     /// Total across phases.
     pub fn total(&self) -> Duration {
         self.fd_detection
@@ -72,5 +112,30 @@ mod tests {
         assert_eq!(t.total(), Duration::from_millis(450));
         assert_eq!(t.generation(), Duration::from_millis(400));
         assert_eq!(t.rows().len(), 8);
+    }
+
+    #[test]
+    fn from_report_projects_span_durations() {
+        let reg = cn_obs::Registry::new();
+        {
+            let root = reg.span("run");
+            let sp = reg.span("stat_tests");
+            std::thread::sleep(Duration::from_millis(2));
+            sp.finish();
+            root.finish();
+        }
+        let t = PhaseTimings::from_report(&reg.report());
+        assert!(t.stat_tests >= Duration::from_millis(1));
+        assert_eq!(t.set_cover, Duration::ZERO);
+        assert_eq!(t.total(), t.stat_tests);
+    }
+
+    #[test]
+    fn phase_names_cover_the_rows() {
+        let rows = PhaseTimings::default().rows();
+        assert_eq!(rows.len(), PHASES.len());
+        for ((label, _), phase) in rows.iter().zip(PHASES.iter()) {
+            assert_eq!(label, phase);
+        }
     }
 }

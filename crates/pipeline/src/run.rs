@@ -1,8 +1,13 @@
 //! The end-to-end notebook generation run (Figure 1).
+//!
+//! Every phase executes under a [`cn_obs`] span, so the Figure 7/8 wall
+//! clock tables and the production `--metrics` export derive from the same
+//! instrumentation; [`PhaseTimings`] is now a projection of the span tree.
 
 use crate::config::{GeneratorConfig, QueryGeneration, SamplingStrategy, TapSolverChoice};
 use crate::dedup::dedup_by_grouping;
-use crate::parallel::{parallel_map, parallel_map_with};
+use crate::error::PipelineError;
+use crate::parallel::{parallel_map, parallel_map_collect};
 use crate::phases::PhaseTimings;
 use crate::tap_adapter::QueryTap;
 use cn_engine::Cube;
@@ -11,19 +16,19 @@ use cn_insight::generation::{
     GenerationOutput, ScoredInsight, Site, SiteEval,
 };
 use cn_insight::significance::{
-    chunked_pair_tasks, finalize_family, AttributeTester, RawTest, SignificantInsight,
+    chunked_pair_tasks, finalize_family_observed, AttributeTester, RawTest, SignificantInsight,
 };
 use cn_insight::transitivity::prune_deducible;
 use cn_insight::types::InsightType;
-use cn_interest::interestingness;
+use cn_interest::score_queries;
 use cn_notebook::Notebook;
+use cn_obs::{Hist, Metric, Registry};
 use cn_stats::rng::derive_seed;
 use cn_tabular::sampling::{random_sample, unbalanced_sample};
 use cn_tabular::{AttrId, Table};
 use cn_tap::problem::Solution;
-use cn_tap::{solve_exact, solve_heuristic};
+use cn_tap::{solve_exact_observed, solve_heuristic_observed};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// Everything a generation run produces.
 #[derive(Debug, Clone)]
@@ -64,13 +69,47 @@ impl RunResult {
     }
 }
 
-/// Runs a full generation pipeline on `table`.
-pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
+/// Runs a full generation pipeline on `table`, discarding metrics.
+///
+/// # Errors
+/// Rejects degenerate tables ([`PipelineError::EmptyTable`],
+/// [`PipelineError::NoMeasures`], [`PipelineError::NoAttributes`]) and
+/// invalid configurations ([`PipelineError::InvalidConfig`]).
+pub fn run(table: &Table, config: &GeneratorConfig) -> Result<RunResult, PipelineError> {
+    run_observed(table, config, Registry::discard())
+}
+
+/// [`run`] with full observability: every phase opens a span in `obs`
+/// (the Figure 1 sequence, with `set_cover` nested inside
+/// `hypothesis_eval`), counters and histograms accumulate from every
+/// substrate crate, and the returned [`PhaseTimings`] are the spans'
+/// durations.
+///
+/// # Errors
+/// As [`run`].
+pub fn run_observed(
+    table: &Table,
+    config: &GeneratorConfig,
+    obs: &Registry,
+) -> Result<RunResult, PipelineError> {
+    config.validate()?;
+    if table.n_rows() == 0 {
+        return Err(PipelineError::EmptyTable);
+    }
+    if table.schema().n_measures() == 0 {
+        return Err(PipelineError::NoMeasures);
+    }
+    if table.schema().n_attributes() == 0 {
+        return Err(PipelineError::NoAttributes);
+    }
+
+    let root = obs.span("run");
+    obs.add(Metric::DictBytes, table.dict_bytes() as u64);
     let mut timings = PhaseTimings::default();
     let mut gen_cfg = config.generation_config.clone();
 
     // Phase 0: FD pre-processing (Section 6.1).
-    let t0 = Instant::now();
+    let sp = obs.span("fd_detection");
     if config.detect_fds {
         let fds = cn_tabular::fd::detect_fds(table);
         for pair in cn_tabular::fd::meaningless_pairs(&fds) {
@@ -79,10 +118,10 @@ pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
             }
         }
     }
-    timings.fd_detection = t0.elapsed();
+    timings.fd_detection = sp.finish();
 
     // Phase 1: offline sampling (Section 5.1.2).
-    let t0 = Instant::now();
+    let sp = obs.span("sampling");
     let sample_seed = derive_seed(config.seed, &[1]);
     let test_tables: TestTables = match config.sampling {
         SamplingStrategy::None => TestTables::Full,
@@ -99,38 +138,50 @@ pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
                 .collect(),
         ),
     };
-    timings.sampling = t0.elapsed();
+    match &test_tables {
+        TestTables::Full => {}
+        TestTables::Shared(s) => obs.add(Metric::SampledRows, s.n_rows() as u64),
+        TestTables::PerAttribute(v) => {
+            obs.add(Metric::SampledRows, v.iter().map(|t| t.n_rows() as u64).sum())
+        }
+    }
+    timings.sampling = sp.finish();
 
     // Phase 2: statistical tests, parallel over (attribute, value pair).
-    let t0 = Instant::now();
+    let sp = obs.span("stat_tests");
     let (significant, n_tested) =
-        run_tests_parallel(table, &test_tables, &gen_cfg, config.n_threads);
+        run_tests_parallel(table, &test_tables, &gen_cfg, config.n_threads, obs);
     let significant =
         if gen_cfg.prune_transitive { prune_deducible(significant) } else { significant };
     let n_significant = significant.len();
-    timings.stat_tests = t0.elapsed();
+    timings.stat_tests = sp.finish();
 
     // Phase 3: group-by planning + cube materialization + hypothesis-query
     // evaluation.
+    let sp = obs.span("hypothesis_eval");
     let sites = group_sites(&significant);
     let needed_pairs = collect_needed_pairs(table, &sites, &gen_cfg.excluded_pairs);
 
-    let t0 = Instant::now();
     let pair_cubes = match config.generation {
         QueryGeneration::NaiveBounded => {
             timings.set_cover = std::time::Duration::ZERO;
-            build_pair_cubes_naive(table, &needed_pairs, config.n_threads)
+            build_pair_cubes_naive(table, &needed_pairs, config.n_threads, obs)
         }
         QueryGeneration::Wsc { memory_budget_bytes } => {
-            let tsc = Instant::now();
+            let sc = obs.span("set_cover");
             let attrs: Vec<AttrId> = table.schema().attribute_ids().collect();
             let plan = if attrs.len() >= 2 {
-                Some(cn_setcover::plan_group_by_sets(table, &attrs, memory_budget_bytes))
+                Some(cn_setcover::plan_group_by_sets_observed(
+                    table,
+                    &attrs,
+                    memory_budget_bytes,
+                    obs,
+                ))
             } else {
                 None
             };
-            timings.set_cover = tsc.elapsed();
-            build_pair_cubes_wsc(table, &needed_pairs, plan.as_ref(), config.n_threads)
+            timings.set_cover = sc.finish();
+            build_pair_cubes_wsc(table, &needed_pairs, plan.as_ref(), config.n_threads, obs)?
         }
     };
     let evals: Vec<SiteEval> = parallel_map(&sites, config.n_threads, |site| {
@@ -141,40 +192,41 @@ pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
             &eligible,
             &gen_cfg.aggs,
             &gen_cfg.credibility,
-            |spec| pair_cubes[&(spec.group_by.0, spec.select_on.0)].comparison(table, spec),
+            |spec| {
+                pair_cubes[&(spec.group_by.0, spec.select_on.0)]
+                    .comparison_observed(table, spec, obs)
+            },
         )
     });
     let output: GenerationOutput =
         assemble_output(&significant, &sites, evals, n_tested, n_significant);
-    timings.hypothesis_eval = t0.elapsed();
+    timings.hypothesis_eval = sp.finish();
 
     // Phase 4: interestingness + Algorithm 1 dedup. Zero-interest queries
     // are kept: Algorithm 3 (and the exact model) admit any query within
     // the budgets regardless of its score, exactly as in the paper.
-    let t0 = Instant::now();
-    let interests: Vec<f64> = output
-        .queries
-        .iter()
-        .map(|q| interestingness(q, &output.insights, &config.interest))
-        .collect();
+    let sp = obs.span("interest");
+    let interests: Vec<f64> =
+        score_queries(&output.queries, &output.insights, &config.interest, obs);
     let n_queries_before_dedup = output.queries.len();
     let (queries, interests) = dedup_by_grouping(output.queries, interests);
-    timings.interest = t0.elapsed();
+    obs.add(Metric::DedupDropped, (n_queries_before_dedup - queries.len()) as u64);
+    timings.interest = sp.finish();
 
     // Phase 5: TAP resolution.
-    let t0 = Instant::now();
+    let sp = obs.span("tap");
     let tap = QueryTap::new(&queries, &interests, &config.cost, config.distance);
     let (solution, tap_timed_out) = match &config.solver {
-        TapSolverChoice::Heuristic => (solve_heuristic(&tap, &config.budgets), false),
+        TapSolverChoice::Heuristic => (solve_heuristic_observed(&tap, &config.budgets, obs), false),
         TapSolverChoice::Exact(exact_cfg) => {
-            let r = solve_exact(&tap, &config.budgets, exact_cfg);
+            let r = solve_exact_observed(&tap, &config.budgets, exact_cfg, obs);
             (r.solution, r.timed_out)
         }
     };
-    timings.tap = t0.elapsed();
+    timings.tap = sp.finish();
 
     // Phase 6: notebook construction.
-    let t0 = Instant::now();
+    let sp = obs.span("notebook");
     let notebook = Notebook::build(
         format!("Comparison notebook for {}", table.name()),
         table,
@@ -184,9 +236,11 @@ pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
         &solution.sequence,
         config.preview_rows,
     );
-    timings.notebook = t0.elapsed();
+    obs.add(Metric::NotebookEntries, notebook.len() as u64);
+    timings.notebook = sp.finish();
+    root.finish();
 
-    RunResult {
+    Ok(RunResult {
         notebook,
         solution,
         insights: output.insights,
@@ -197,7 +251,7 @@ pub fn run(table: &Table, config: &GeneratorConfig) -> RunResult {
         n_significant,
         n_queries_before_dedup,
         tap_timed_out,
-    }
+    })
 }
 
 enum TestTables {
@@ -216,6 +270,7 @@ fn run_tests_parallel(
     test_tables: &TestTables,
     gen_cfg: &cn_insight::generation::GenerationConfig,
     n_threads: usize,
+    obs: &Registry,
 ) -> (Vec<SignificantInsight>, usize) {
     let attrs: Vec<AttrId> = table.schema().attribute_ids().collect();
     let testers: Vec<AttributeTester> = attrs
@@ -230,21 +285,29 @@ fn run_tests_parallel(
         })
         .collect();
     let tasks = chunked_pair_tasks(&testers, n_threads);
-    let raw_per_task: Vec<Vec<RawTest>> = parallel_map_with(
-        &tasks,
-        n_threads,
-        cn_stats::BatchScratch::default,
-        |scratch, (ai, pairs)| testers[*ai].test_pairs_with(pairs, &gen_cfg.test, scratch),
-    );
+    // Workers count into their scratch's LocalMetrics; the per-worker
+    // states merge into `obs` at join, so counters are bit-identical
+    // across thread counts.
+    let (raw_per_task, scratches): (Vec<Vec<RawTest>>, Vec<cn_stats::BatchScratch>) =
+        parallel_map_collect(
+            &tasks,
+            n_threads,
+            cn_stats::BatchScratch::default,
+            |scratch, (ai, pairs)| testers[*ai].test_pairs_with(pairs, &gen_cfg.test, scratch),
+        );
+    for scratch in &scratches {
+        obs.merge_local(&scratch.metrics);
+    }
     let mut n_tested = 0usize;
     let mut families: Vec<Vec<RawTest>> = vec![Vec::new(); attrs.len()];
     for ((ai, _), raws) in tasks.iter().zip(raw_per_task) {
+        obs.record(Hist::TestsPerTask, raws.len() as u64);
         n_tested += raws.len();
         families[*ai].extend(raws);
     }
     let mut significant = Vec::new();
     for family in &families {
-        significant.extend(finalize_family(family, &gen_cfg.test));
+        significant.extend(finalize_family_observed(family, &gen_cfg.test, obs));
     }
     (significant, n_tested)
 }
@@ -274,6 +337,7 @@ fn build_pair_cubes_naive(
     table: &Table,
     needed: &[(AttrId, AttrId)],
     n_threads: usize,
+    obs: &Registry,
 ) -> HashMap<(u16, u16), Cube> {
     let mut by_unordered: HashMap<(AttrId, AttrId), Vec<(AttrId, AttrId)>> = HashMap::new();
     for &(a, b) in needed {
@@ -284,12 +348,15 @@ fn build_pair_cubes_naive(
     let groups: Vec<PairGroup> = by_unordered.into_iter().collect();
     let built: Vec<Vec<((u16, u16), Cube)>> =
         parallel_map(&groups, n_threads, |(unordered, orientations)| {
-            let base = Cube::build(table, &[unordered.0, unordered.1]);
+            let base = Cube::build_observed(table, &[unordered.0, unordered.1], obs);
             orientations
                 .iter()
                 .map(|&(a, b)| {
-                    let cube =
-                        if base.attrs() == [a, b] { base.clone() } else { base.rollup(&[a, b]) };
+                    let cube = if base.attrs() == [a, b] {
+                        base.clone()
+                    } else {
+                        base.rollup_observed(&[a, b], obs)
+                    };
                     ((a.0, b.0), cube)
                 })
                 .collect()
@@ -304,9 +371,10 @@ fn build_pair_cubes_wsc(
     needed: &[(AttrId, AttrId)],
     plan: Option<&cn_setcover::GroupByPlan>,
     n_threads: usize,
-) -> HashMap<(u16, u16), Cube> {
+    obs: &Registry,
+) -> Result<HashMap<(u16, u16), Cube>, PipelineError> {
     let Some(plan) = plan else {
-        return build_pair_cubes_naive(table, needed, n_threads);
+        return Ok(build_pair_cubes_naive(table, needed, n_threads, obs));
     };
     // Which plan sets do we actually need?
     let mut set_for_pair: HashMap<(AttrId, AttrId), usize> = HashMap::new();
@@ -318,23 +386,24 @@ fn build_pair_cubes_wsc(
             .iter()
             .find(|(p, _)| *p == key)
             .map(|&(_, i)| i)
-            .expect("plan covers every pair");
+            .ok_or(PipelineError::PlanGap { group_by: a.0, select_on: b.0 })?;
         if !set_for_pair.values().any(|&v| v == idx) && !needed_sets.contains(&idx) {
             needed_sets.push(idx);
         }
         set_for_pair.insert((a, b), idx);
     }
     let materialized: Vec<(usize, Cube)> = parallel_map(&needed_sets, n_threads, |&idx| {
-        (idx, Cube::build(table, &plan.group_by_sets[idx]))
+        (idx, Cube::build_observed(table, &plan.group_by_sets[idx], obs))
     });
     let cube_by_set: HashMap<usize, Cube> = materialized.into_iter().collect();
     let pairs: Vec<((AttrId, AttrId), usize)> = set_for_pair.into_iter().collect();
     let rolled: Vec<((u16, u16), Cube)> = parallel_map(&pairs, n_threads, |&((a, b), idx)| {
         let base = &cube_by_set[&idx];
-        let cube = if base.attrs() == [a, b] { base.clone() } else { base.rollup(&[a, b]) };
+        let cube =
+            if base.attrs() == [a, b] { base.clone() } else { base.rollup_observed(&[a, b], obs) };
         ((a.0, b.0), cube)
     });
-    rolled.into_iter().collect()
+    Ok(rolled.into_iter().collect())
 }
 
 #[cfg(test)]
@@ -410,7 +479,7 @@ mod tests {
     #[test]
     fn full_run_produces_a_notebook() {
         let t = test_table();
-        let result = run(&t, &base_config());
+        let result = run(&t, &base_config()).unwrap();
         assert!(result.n_tested > 0);
         assert!(result.n_significant > 0, "planted effects must be significant");
         assert!(!result.queries.is_empty());
@@ -433,8 +502,8 @@ mod tests {
         naive_cfg.generation = QueryGeneration::NaiveBounded;
         let mut wsc_cfg = base_config();
         wsc_cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
-        let a = run(&t, &naive_cfg);
-        let b = run(&t, &wsc_cfg);
+        let a = run(&t, &naive_cfg).unwrap();
+        let b = run(&t, &wsc_cfg).unwrap();
         // Same tests, same seeds → same insights and same queries.
         assert_eq!(a.insight_keys(), b.insight_keys());
         assert_eq!(a.queries.len(), b.queries.len());
@@ -454,8 +523,8 @@ mod tests {
         c1.n_threads = 1;
         let mut c8 = base_config();
         c8.n_threads = 8;
-        let a = run(&t, &c1);
-        let b = run(&t, &c8);
+        let a = run(&t, &c1).unwrap();
+        let b = run(&t, &c8).unwrap();
         assert_eq!(a.insight_keys(), b.insight_keys());
         assert_eq!(a.solution.sequence.len(), b.solution.sequence.len());
         assert!((a.solution.total_interest - b.solution.total_interest).abs() < 1e-9);
@@ -464,14 +533,14 @@ mod tests {
     #[test]
     fn sampling_variants_run_and_find_the_big_effect() {
         let t = test_table();
-        let full = run(&t, &base_config());
+        let full = run(&t, &base_config()).unwrap();
         for sampling in [
             SamplingStrategy::Random { fraction: 0.5 },
             SamplingStrategy::Unbalanced { fraction: 0.5 },
         ] {
             let mut cfg = base_config();
             cfg.sampling = sampling;
-            let r = run(&t, &cfg);
+            let r = run(&t, &cfg).unwrap();
             let found = r.insight_keys();
             let reference = full.insight_keys();
             let overlap = found.intersection(&reference).count();
@@ -487,10 +556,10 @@ mod tests {
     fn exact_solver_variant_completes_on_small_q() {
         let t = test_table();
         let cfg = GeneratorKind::NaiveExact.configure(base_config(), 0.2, Duration::from_secs(20));
-        let r = run(&t, &cfg);
+        let r = run(&t, &cfg).unwrap();
         assert!(!r.notebook.is_empty());
         // Exact never does worse than the heuristic on the same Q.
-        let heuristic = run(&t, &base_config());
+        let heuristic = run(&t, &base_config()).unwrap();
         if !r.tap_timed_out {
             assert!(r.solution.total_interest >= heuristic.solution.total_interest - 1e-9);
         }
@@ -501,7 +570,7 @@ mod tests {
         let t = test_table();
         let mut cfg = base_config();
         cfg.budgets = cn_tap::Budgets { epsilon_t: 2.0, epsilon_d: 30.0 };
-        let r = run(&t, &cfg);
+        let r = run(&t, &cfg).unwrap();
         assert!(r.notebook.len() <= 2);
     }
 
@@ -510,11 +579,33 @@ mod tests {
         let t = test_table();
         let base = base_config();
         let sig = GeneratorKind::WscApproxSig.configure(base.clone(), 0.2, Duration::from_secs(1));
-        let r_sig = run(&t, &sig);
-        let r_full = run(&t, &base);
+        let r_sig = run(&t, &sig).unwrap();
+        let r_full = run(&t, &base).unwrap();
         // SigOnly keeps fully-credible insights' queries (surprise term
         // removed), so it retains at least as many positive-interest
         // queries.
         assert!(r_sig.queries.len() >= r_full.queries.len());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        use crate::error::{ConfigError, PipelineError};
+        let schema = cn_tabular::Schema::new(vec!["a", "b"], vec!["m"]).unwrap();
+        let empty = cn_tabular::TableBuilder::new("empty", schema).finish();
+        assert!(matches!(run(&empty, &base_config()), Err(PipelineError::EmptyTable)));
+
+        let t = test_table();
+        let mut bad = base_config();
+        bad.n_threads = 0;
+        assert!(matches!(
+            run(&t, &bad),
+            Err(PipelineError::InvalidConfig(ConfigError::Threads(0)))
+        ));
+        let mut bad = base_config();
+        bad.budgets.epsilon_t = -3.0;
+        assert!(matches!(
+            run(&t, &bad),
+            Err(PipelineError::InvalidConfig(ConfigError::TimeBudget(_)))
+        ));
     }
 }

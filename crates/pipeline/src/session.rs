@@ -5,11 +5,26 @@
 //! follow-up step: given a generated notebook and an entry the analyst
 //! found interesting, propose the next comparison queries — close to the
 //! anchor in the Section 4.2 distance, interesting, and not already shown.
+//!
+//! Two entry points:
+//!
+//! - the free functions [`suggest_continuations`] / [`continue_notebook`]
+//!   for one-shot use, and
+//! - [`ExplorationSession`], the cached artifact for interactive use: it
+//!   owns the [`RunResult`] and memoizes per-anchor distance vectors, so
+//!   the batched kernel results of the original run (insights, interests,
+//!   query set) and previously computed distances are reused across
+//!   repeated suggestion requests instead of being recomputed.
 
+use crate::error::PipelineError;
 use crate::run::RunResult;
 use cn_interest::{distance, DistanceWeights};
 use cn_notebook::Notebook;
+use cn_obs::{Metric, Registry};
 use cn_tabular::Table;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A continuation suggestion.
 #[derive(Debug, Clone)]
@@ -25,26 +40,19 @@ pub struct Suggestion {
     pub score: f64,
 }
 
-/// Ranks the queries not already in the notebook by proximity-weighted
-/// interest around `anchor_entry` (an index into the notebook's entries).
-///
-/// Returns up to `k` suggestions, best first.
-///
-/// # Panics
-/// Panics if `anchor_entry` is out of range.
-pub fn suggest_continuations(
-    run: &RunResult,
-    anchor_entry: usize,
-    k: usize,
-    weights: &DistanceWeights,
-) -> Vec<Suggestion> {
-    let anchor_query = run.solution.sequence[anchor_entry];
+fn anchor_query(run: &RunResult, anchor_entry: usize) -> Result<usize, PipelineError> {
+    run.solution.sequence.get(anchor_entry).copied().ok_or(PipelineError::AnchorOutOfRange {
+        anchor: anchor_entry,
+        len: run.solution.sequence.len(),
+    })
+}
+
+fn rank(run: &RunResult, distances: &[f64], k: usize) -> Vec<Suggestion> {
     let shown: std::collections::HashSet<usize> = run.solution.sequence.iter().copied().collect();
-    let anchor_spec = run.queries[anchor_query].spec;
     let mut suggestions: Vec<Suggestion> = (0..run.queries.len())
         .filter(|q| !shown.contains(q))
         .map(|q| {
-            let d = distance(&anchor_spec, &run.queries[q].spec, weights);
+            let d = distances[q];
             let interest = run.interests[q];
             Suggestion { query: q, distance: d, interest, score: interest / (1.0 + d) }
         })
@@ -59,21 +67,48 @@ pub fn suggest_continuations(
     suggestions
 }
 
+fn distances_from(run: &RunResult, anchor_query: usize, weights: &DistanceWeights) -> Vec<f64> {
+    let anchor_spec = run.queries[anchor_query].spec;
+    run.queries.iter().map(|q| distance(&anchor_spec, &q.spec, weights)).collect()
+}
+
+/// Ranks the queries not already in the notebook by proximity-weighted
+/// interest around `anchor_entry` (an index into the notebook's entries).
+///
+/// Returns up to `k` suggestions, best first.
+///
+/// # Errors
+/// [`PipelineError::AnchorOutOfRange`] when `anchor_entry` points past
+/// the notebook sequence.
+pub fn suggest_continuations(
+    run: &RunResult,
+    anchor_entry: usize,
+    k: usize,
+    weights: &DistanceWeights,
+) -> Result<Vec<Suggestion>, PipelineError> {
+    let anchor = anchor_query(run, anchor_entry)?;
+    let distances = distances_from(run, anchor, weights);
+    Ok(rank(run, &distances, k))
+}
+
 /// Builds a follow-up notebook from the top continuations of
 /// `anchor_entry`, ordered by increasing distance from the anchor
 /// (nearest next — the natural reading order of a continuation).
+///
+/// # Errors
+/// As [`suggest_continuations`].
 pub fn continue_notebook(
     table: &Table,
     run: &RunResult,
     anchor_entry: usize,
     k: usize,
     weights: &DistanceWeights,
-) -> Notebook {
-    let mut suggestions = suggest_continuations(run, anchor_entry, k, weights);
+) -> Result<Notebook, PipelineError> {
+    let mut suggestions = suggest_continuations(run, anchor_entry, k, weights)?;
     suggestions
         .sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
     let sequence: Vec<usize> = suggestions.iter().map(|s| s.query).collect();
-    Notebook::build(
+    Ok(Notebook::build(
         format!("Continuation of {} (entry {})", table.name(), anchor_entry + 1),
         table,
         &run.queries,
@@ -81,7 +116,89 @@ pub fn continue_notebook(
         &run.interests,
         &sequence,
         8,
-    )
+    ))
+}
+
+/// A cached exploration artifact: owns a [`RunResult`] and serves
+/// suggestion/continuation requests against it, memoizing the per-anchor
+/// distance vectors so repeated requests around the same anchor reuse
+/// earlier work. Thread-safe — the cache sits behind a mutex, so a
+/// notebook server can share one session across request handlers.
+pub struct ExplorationSession {
+    run: RunResult,
+    weights: DistanceWeights,
+    obs: Option<Arc<Registry>>,
+    cache: Mutex<HashMap<usize, Arc<Vec<f64>>>>,
+}
+
+impl ExplorationSession {
+    /// Wraps a finished run for interactive continuation.
+    pub fn new(run: RunResult, weights: DistanceWeights) -> Self {
+        ExplorationSession { run, weights, obs: None, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// As [`ExplorationSession::new`], recording cache hits and served
+    /// suggestions into `obs`.
+    pub fn with_registry(run: RunResult, weights: DistanceWeights, obs: Arc<Registry>) -> Self {
+        ExplorationSession { run, weights, obs: Some(obs), cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The underlying run.
+    pub fn run(&self) -> &RunResult {
+        &self.run
+    }
+
+    fn obs(&self) -> &Registry {
+        self.obs.as_deref().unwrap_or_else(|| Registry::discard())
+    }
+
+    fn cached_distances(&self, anchor_query: usize) -> Arc<Vec<f64>> {
+        if let Some(d) = self.cache.lock().get(&anchor_query) {
+            self.obs().inc(Metric::DistanceCacheHits);
+            return d.clone();
+        }
+        let d = Arc::new(distances_from(&self.run, anchor_query, &self.weights));
+        self.cache.lock().insert(anchor_query, d.clone());
+        d
+    }
+
+    /// [`suggest_continuations`] against the cached artifact.
+    ///
+    /// # Errors
+    /// As [`suggest_continuations`].
+    pub fn suggest(&self, anchor_entry: usize, k: usize) -> Result<Vec<Suggestion>, PipelineError> {
+        let anchor = anchor_query(&self.run, anchor_entry)?;
+        let distances = self.cached_distances(anchor);
+        let out = rank(&self.run, &distances, k);
+        self.obs().add(Metric::SuggestionsServed, out.len() as u64);
+        Ok(out)
+    }
+
+    /// [`continue_notebook`] against the cached artifact.
+    ///
+    /// # Errors
+    /// As [`suggest_continuations`].
+    pub fn continue_notebook(
+        &self,
+        table: &Table,
+        anchor_entry: usize,
+        k: usize,
+    ) -> Result<Notebook, PipelineError> {
+        let mut suggestions = self.suggest(anchor_entry, k)?;
+        suggestions.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let sequence: Vec<usize> = suggestions.iter().map(|s| s.query).collect();
+        Ok(Notebook::build(
+            format!("Continuation of {} (entry {})", table.name(), anchor_entry + 1),
+            table,
+            &self.run.queries,
+            &self.run.insights,
+            &self.run.interests,
+            &sequence,
+            8,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +218,7 @@ mod tests {
             n_threads: 2,
             ..Default::default()
         };
-        let r = crate::run::run(&t, &cfg);
+        let r = crate::run::run(&t, &cfg).unwrap();
         (t, r)
     }
 
@@ -110,7 +227,7 @@ mod tests {
         let (_, run) = sample();
         assert!(!run.notebook.is_empty());
         let w = DistanceWeights::default();
-        let s = suggest_continuations(&run, 0, 5, &w);
+        let s = suggest_continuations(&run, 0, 5, &w).unwrap();
         assert!(!s.is_empty());
         let shown: std::collections::HashSet<usize> =
             run.solution.sequence.iter().copied().collect();
@@ -127,7 +244,7 @@ mod tests {
     fn continuation_notebook_is_ordered_by_proximity() {
         let (t, run) = sample();
         let w = DistanceWeights::default();
-        let nb = continue_notebook(&t, &run, 0, 4, &w);
+        let nb = continue_notebook(&t, &run, 0, 4, &w).unwrap();
         assert!(nb.len() <= 4);
         assert!(nb.title.contains("Continuation"));
         // Entries ordered by increasing distance from the anchor.
@@ -142,7 +259,45 @@ mod tests {
     #[test]
     fn zero_k_yields_empty() {
         let (t, run) = sample();
-        let nb = continue_notebook(&t, &run, 0, 0, &DistanceWeights::default());
+        let nb = continue_notebook(&t, &run, 0, 0, &DistanceWeights::default()).unwrap();
         assert!(nb.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_anchor_is_an_error() {
+        let (t, run) = sample();
+        let w = DistanceWeights::default();
+        let n = run.solution.sequence.len();
+        assert!(matches!(
+            suggest_continuations(&run, n + 3, 4, &w),
+            Err(PipelineError::AnchorOutOfRange { anchor, len }) if anchor == n + 3 && len == n
+        ));
+        assert!(continue_notebook(&t, &run, n, 4, &w).is_err());
+    }
+
+    #[test]
+    fn session_matches_free_functions_and_caches() {
+        let (t, run) = sample();
+        let w = DistanceWeights::default();
+        let free = suggest_continuations(&run, 0, 5, &w).unwrap();
+        let obs = Arc::new(Registry::new());
+        let session = ExplorationSession::with_registry(run, w, obs.clone());
+        let first = session.suggest(0, 5).unwrap();
+        assert_eq!(obs.get(Metric::DistanceCacheHits), 0);
+        let second = session.suggest(0, 5).unwrap();
+        assert_eq!(obs.get(Metric::DistanceCacheHits), 1, "second request must hit the cache");
+        assert_eq!(obs.get(Metric::SuggestionsServed), (first.len() + second.len()) as u64);
+        assert_eq!(free.len(), first.len());
+        for (a, b) in free.iter().zip(first.iter()) {
+            assert_eq!(a.query, b.query);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+        for (a, b) in first.iter().zip(second.iter()) {
+            assert_eq!(a.query, b.query);
+        }
+        // The continuation notebook also comes out of the cached artifact.
+        let nb = session.continue_notebook(&t, 0, 4).unwrap();
+        assert!(nb.len() <= 4);
+        assert!(session.suggest(99_999, 1).is_err());
     }
 }

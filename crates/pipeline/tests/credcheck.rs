@@ -4,19 +4,19 @@
 //! interestingness.
 
 fn run_on(t: &cn_tabular::Table) -> cn_pipeline::RunResult {
-    let cfg = cn_pipeline::GeneratorConfig {
-        generation_config: cn_insight::generation::GenerationConfig {
+    let cfg = cn_pipeline::GeneratorConfig::builder()
+        .generation_config(cn_insight::generation::GenerationConfig {
             test: cn_insight::significance::TestConfig {
                 n_permutations: 199,
                 seed: 5,
                 ..Default::default()
             },
             ..Default::default()
-        },
-        n_threads: 4,
-        ..Default::default()
-    };
-    cn_pipeline::run(t, &cfg)
+        })
+        .n_threads(4)
+        .build()
+        .expect("valid config");
+    cn_pipeline::run(t, &cfg).expect("pipeline run")
 }
 
 #[test]
@@ -61,7 +61,7 @@ fn extended_insight_types_flow_through_the_pipeline() {
         ..Default::default()
     };
     cfg.budgets.epsilon_t = 6.0;
-    let r = cn_pipeline::run(&t, &cfg);
+    let r = cn_pipeline::run(&t, &cfg).expect("pipeline run");
     // Three types tested per site instead of two.
     assert_eq!(r.n_tested % 3, 0);
     // The extension type must actually surface somewhere (max effects are

@@ -1,0 +1,99 @@
+//! Golden tests for the observability contract: the exported span tree
+//! must follow the Figure 1 phase sequence, the per-phase durations must
+//! account for the root span, and the counters must be independent of
+//! the worker-thread count (so Figure 8 sweeps compare identical work).
+
+use cn_insight::significance::TestConfig;
+use cn_obs::Registry;
+use cn_pipeline::{GeneratorConfig, ROOT_SPAN};
+use proptest::prelude::*;
+
+fn config(n_threads: usize, n_permutations: usize) -> GeneratorConfig {
+    GeneratorConfig::builder()
+        .generation_config(cn_insight::generation::GenerationConfig {
+            test: TestConfig { n_permutations, seed: 5, ..Default::default() },
+            ..Default::default()
+        })
+        .n_threads(n_threads)
+        .build()
+        .expect("valid config")
+}
+
+/// The Figure 1 phase sequence, as direct children of the root span.
+/// `set_cover` is absent here: Algorithm 2 runs *inside* the hypothesis
+/// evaluation phase, so its span nests under `hypothesis_eval`.
+const FIGURE_1_SEQUENCE: [&str; 7] =
+    ["fd_detection", "sampling", "stat_tests", "hypothesis_eval", "interest", "tap", "notebook"];
+
+#[test]
+fn span_tree_matches_figure_1_phase_sequence() {
+    let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 3);
+    let obs = Registry::new();
+    cn_pipeline::run_observed(&t, &config(4, 199), &obs).expect("pipeline run");
+    let report = obs.report();
+
+    let roots = report.roots();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    let root = roots[0];
+    assert_eq!(root.name, ROOT_SPAN);
+
+    let children: Vec<&str> = report.children(root.id).iter().map(|s| s.name).collect();
+    assert_eq!(children, FIGURE_1_SEQUENCE, "phases must run in Figure 1 order");
+
+    // The default generator is WSC: Algorithm 2's span nests inside the
+    // hypothesis evaluation window (the seed's timing semantics).
+    let set_cover = report.span("set_cover").expect("WSC emits a set_cover span");
+    let hyp = report.span("hypothesis_eval").unwrap();
+    assert_eq!(set_cover.parent, Some(hyp.id));
+    assert!(set_cover.duration <= hyp.duration + std::time::Duration::from_millis(1));
+}
+
+#[test]
+fn phase_durations_sum_to_the_root_span() {
+    let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 3);
+    let obs = Registry::new();
+    cn_pipeline::run_observed(&t, &config(4, 199), &obs).expect("pipeline run");
+    let report = obs.report();
+
+    let root = report.span(ROOT_SPAN).unwrap().duration;
+    // Sum the direct children only (set_cover is already inside
+    // hypothesis_eval).
+    let phases: f64 =
+        FIGURE_1_SEQUENCE.iter().map(|p| report.phase_duration(p).as_secs_f64()).sum();
+    let root = root.as_secs_f64();
+    assert!(phases <= root + 1e-6, "children cannot exceed the root: {phases} > {root}");
+    // The glue between phases (validation, result assembly) is tiny
+    // relative to the phases themselves.
+    let epsilon = 0.1 * root + 0.02;
+    assert!(root - phases <= epsilon, "unaccounted root time: {} s", root - phases);
+
+    // And the span-derived PhaseTimings projection agrees with the tree.
+    let timings = cn_pipeline::PhaseTimings::from_report(&report);
+    assert_eq!(timings.stat_tests, report.phase_duration("stat_tests"));
+    assert_eq!(timings.set_cover, report.phase_duration("set_cover"));
+}
+
+/// Counter determinism across thread counts: worker-local metrics merge
+/// at join, so the exported counters — the work accounting behind the
+/// Figure 8 sweep — must be bit-identical whatever the parallelism.
+fn counter_snapshot(n_threads: usize, seed: u64) -> Vec<(&'static str, u64)> {
+    let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, seed);
+    let obs = Registry::new();
+    let mut cfg = config(n_threads, 49);
+    cfg.generation_config.test.seed = seed;
+    cn_pipeline::run_observed(&t, &cfg, &obs).expect("pipeline run");
+    obs.report().counters.iter().map(|c| (c.name, c.value)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn counters_are_identical_across_thread_counts(
+        threads in 2usize..=6,
+        seed in 0u64..4,
+    ) {
+        let single = counter_snapshot(1, seed);
+        let multi = counter_snapshot(threads, seed);
+        prop_assert_eq!(single, multi);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::greedy::{greedy_weighted_set_cover, CandidateSet};
 use cn_engine::estimate::estimate_cube_bytes;
+use cn_obs::{Metric, Registry};
 use cn_tabular::{AttrId, Table};
 
 /// The outcome of Algorithm 2: which group-by sets to materialize and which
@@ -62,6 +63,20 @@ pub fn plan_group_by_sets(
     attrs: &[AttrId],
     memory_budget_bytes: Option<f64>,
 ) -> GroupByPlan {
+    plan_group_by_sets_observed(table, attrs, memory_budget_bytes, Registry::discard())
+}
+
+/// [`plan_group_by_sets`] recording the number of candidate sets weighed
+/// and estimator invocations into `obs`.
+///
+/// # Panics
+/// As [`plan_group_by_sets`].
+pub fn plan_group_by_sets_observed(
+    table: &Table,
+    attrs: &[AttrId],
+    memory_budget_bytes: Option<f64>,
+    obs: &Registry,
+) -> GroupByPlan {
     assert!(attrs.len() >= 2, "need at least two attributes to have pairs");
     let mut attrs = attrs.to_vec();
     attrs.sort_unstable();
@@ -80,9 +95,11 @@ pub fn plan_group_by_sets(
 
     // Candidates: all subsets of size >= 2 within budget.
     let all_sets = subsets_ge2(&attrs);
+    obs.add(Metric::SetCoverCandidates, all_sets.len() as u64);
     let mut candidates: Vec<CandidateSet> = Vec::new();
     let mut candidate_sets: Vec<Vec<AttrId>> = Vec::new();
     for set in all_sets {
+        obs.inc(Metric::EstimatorCalls);
         let weight = estimate_cube_bytes(table, &set);
         if let Some(budget) = memory_budget_bytes {
             if weight > budget && set.len() > 2 {
@@ -133,6 +150,7 @@ pub fn plan_group_by_sets(
         }
     }
 
+    obs.add(Metric::EstimatorCalls, group_by_sets.len() as u64);
     let estimated_bytes = group_by_sets.iter().map(|s| estimate_cube_bytes(table, s)).sum();
     GroupByPlan { group_by_sets, pair_cover, estimated_bytes, used_fallback }
 }

@@ -15,4 +15,4 @@ pub mod greedy;
 pub mod lattice;
 
 pub use greedy::{greedy_weighted_set_cover, CandidateSet};
-pub use lattice::{plan_group_by_sets, GroupByPlan};
+pub use lattice::{plan_group_by_sets, plan_group_by_sets_observed, GroupByPlan};

@@ -179,5 +179,5 @@ fn cn_core_like_config() -> cn_pipeline::GeneratorConfig {
 }
 
 fn cn_pipeline_run(table: &Table, cfg: &cn_pipeline::GeneratorConfig) -> cn_pipeline::RunResult {
-    cn_pipeline::run(table, cfg)
+    cn_pipeline::run(table, cfg).expect("pipeline run")
 }

@@ -29,7 +29,7 @@ pub mod ttest;
 
 pub use bh::benjamini_hochberg;
 pub use describe::Summary;
-pub use parallel::{parallel_map, parallel_map_with};
+pub use parallel::{parallel_map, parallel_map_collect, parallel_map_with};
 pub use permutation::batch::{AttributeBatch, BatchScratch, TestKernel};
 pub use permutation::{shared_permutation_pvalues, two_sample_pvalue, TestKind, TwoSample};
 pub use ttest::{paired_t_test, welch_t_test, TTestResult};

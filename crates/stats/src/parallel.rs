@@ -83,6 +83,66 @@ where
     pairs.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`parallel_map_with`] that also returns every worker's final state.
+///
+/// This is the collection half of merge-at-join instrumentation: workers
+/// accumulate counters (or other summaries) into their private state with
+/// plain integer adds, and the caller folds the returned states together
+/// after the pool has joined. Totals are therefore independent of how the
+/// atomic cursor interleaved items across workers — identical for any
+/// thread count.
+pub fn parallel_map_collect<T, R, S, I, F>(
+    items: &[T],
+    n_threads: usize,
+    init: I,
+    f: F,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    if n_threads <= 1 || items.len() <= 1 {
+        let mut state = init();
+        let out = items.iter().map(|item| f(&mut state, item)).collect();
+        return (out, vec![state]);
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = n_threads.min(items.len());
+    let per_worker = items.len() / workers + 1;
+    let locals: Vec<(Vec<(usize, R)>, S)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::with_capacity(per_worker);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&mut state, &items[i])));
+                    }
+                    (local, state)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("worker pool failed");
+    let mut pairs: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut states: Vec<S> = Vec::with_capacity(workers);
+    for (local, state) in locals {
+        pairs.extend(local);
+        states.push(state);
+    }
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    (pairs.into_iter().map(|(_, r)| r).collect(), states)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +209,25 @@ mod tests {
         // Per-worker call counters sum to the item count.
         let max_per_worker: Vec<u32> = out.iter().map(|&(_, c)| c).collect();
         assert!(max_per_worker.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn collect_returns_states_whose_totals_match_sequential() {
+        let items: Vec<u64> = (0..313).collect();
+        for threads in [1, 2, 5, 16] {
+            let (out, states) = parallel_map_collect(
+                &items,
+                threads,
+                || 0u64,
+                |acc, &x| {
+                    *acc += x;
+                    x * 3
+                },
+            );
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+            let total: u64 = states.iter().sum();
+            assert_eq!(total, items.iter().sum::<u64>(), "threads={threads}");
+        }
     }
 
     #[test]

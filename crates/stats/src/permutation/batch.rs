@@ -41,6 +41,7 @@
 
 use super::{statistic, Moments, TestKind};
 use crate::rng::derive_seed;
+use cn_obs::{LocalMetrics, Metric};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,6 +62,11 @@ pub enum TestKernel {
 /// call; after warm-up no call allocates.
 #[derive(Default)]
 pub struct BatchScratch {
+    /// Kernel-side counters (permutation rounds run, early stops taken).
+    /// Plain integer adds — the worker's block is merged into a
+    /// [`cn_obs::Registry`] at join, keeping totals thread-count
+    /// invariant and the hot loop atomic-free.
+    pub metrics: LocalMetrics,
     // PairExact state.
     perm: Vec<u32>,
     pooled: Vec<f64>,
@@ -366,6 +372,11 @@ impl AttributeBatch {
             }
         }
 
+        scratch.metrics.add(Metric::PermutationRounds, t_done as u64);
+        if t_done < n_permutations {
+            scratch.metrics.inc(Metric::EarlyStopHits);
+        }
+
         let denom = (t_done + 1) as f64;
         for (g, &m) in members.iter().enumerate() {
             for (k, p) in out[m].iter_mut().enumerate() {
@@ -429,6 +440,7 @@ impl AttributeBatch {
         }
 
         if n_slots > 1 {
+            scratch.metrics.add(Metric::PermutationRounds, n_permutations as u64);
             let pref_len = self.values.len() + n_spans;
             scratch.order.clear();
             scratch.order.extend(0..n_slots as u32);

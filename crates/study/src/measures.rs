@@ -127,7 +127,7 @@ mod tests {
             n_threads: 4,
             ..Default::default()
         };
-        cn_pipeline::run(&t, &cfg)
+        cn_pipeline::run(&t, &cfg).expect("pipeline run")
     }
 
     #[test]

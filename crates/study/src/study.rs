@@ -87,7 +87,7 @@ pub fn run_user_study(table: &Table, config: &StudyConfig) -> StudyResult {
         .map(|kind| {
             let cfg =
                 kind.configure(config.base.clone(), config.sample_fraction, config.tap_timeout);
-            cn_pipeline::run(table, &cfg)
+            cn_pipeline::run(table, &cfg).expect("study pipeline run")
         })
         .collect();
 

@@ -121,6 +121,12 @@ impl Table {
             self.dicts.iter().flat_map(|d| d.values().iter()).map(|v| v.len() + 24).sum::<usize>();
         codes + meas + dicts
     }
+
+    /// Bytes held by the per-attribute dictionaries alone (the
+    /// dictionary-encoded payload, excluding code and measure columns).
+    pub fn dict_bytes(&self) -> usize {
+        self.dicts.iter().flat_map(|d| d.values().iter()).map(|v| v.len() + 24).sum::<usize>()
+    }
 }
 
 /// Row-at-a-time builder for a [`Table`].

@@ -13,6 +13,7 @@
 use crate::hampath::{cheapest_insertion, decide_min_path, mst_length};
 use crate::heuristic::solve_heuristic;
 use crate::problem::{evaluate, Budgets, Solution, TapProblem};
+use cn_obs::{Metric, Registry};
 use std::time::{Duration, Instant};
 
 /// Exact solver configuration.
@@ -56,6 +57,8 @@ pub struct ExactResult {
     pub timed_out: bool,
     /// Branch-and-bound nodes explored.
     pub nodes_explored: u64,
+    /// Subtrees cut by the interest bound or by metric infeasibility.
+    pub nodes_pruned: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }
@@ -76,6 +79,7 @@ struct Search<'a, P: TapProblem + ?Sized> {
     best_interest: f64,
     best_sequence: Vec<usize>,
     nodes: u64,
+    pruned: u64,
     started: Instant,
     aborted: bool,
 }
@@ -208,6 +212,7 @@ impl<'a, P: TapProblem + ?Sized> Search<'a, P> {
         let slots = self.max_cardinality.saturating_sub(chosen.len());
         let bound = interest + self.knapsack_bound(depth, self.budgets.epsilon_t - cost, slots);
         if bound <= self.best_interest + 1e-12 {
+            self.pruned += 1;
             return;
         }
         let q = self.order[depth];
@@ -242,6 +247,9 @@ impl<'a, P: TapProblem + ?Sized> Search<'a, P> {
                         &exact_path,
                         exact_len,
                     );
+                } else {
+                    // Infeasible set: metric monotonicity cuts the subtree.
+                    self.pruned += 1;
                 }
             } else {
                 // Non-metric: supersets of an infeasible set may recover, so
@@ -273,6 +281,17 @@ pub fn solve_exact<P: TapProblem + ?Sized>(
     problem: &P,
     budgets: &Budgets,
     config: &ExactConfig,
+) -> ExactResult {
+    solve_exact_observed(problem, budgets, config, Registry::discard())
+}
+
+/// [`solve_exact`] recording explored and pruned branch-and-bound nodes
+/// into `obs`.
+pub fn solve_exact_observed<P: TapProblem + ?Sized>(
+    problem: &P,
+    budgets: &Budgets,
+    config: &ExactConfig,
+    obs: &Registry,
 ) -> ExactResult {
     let started = Instant::now();
     let n = problem.len();
@@ -326,17 +345,21 @@ pub fn solve_exact<P: TapProblem + ?Sized>(
         best_interest: warm.total_interest,
         best_sequence: warm.sequence.clone(),
         nodes: 0,
+        pruned: 0,
         started,
         aborted: false,
     };
     let mut chosen = Vec::new();
     search.dfs(0, &mut chosen, 0.0, 0.0, &[], 0.0);
 
+    obs.add(Metric::TapNodesExplored, search.nodes);
+    obs.add(Metric::TapNodesPruned, search.pruned);
     let solution = evaluate(problem, &search.best_sequence);
     ExactResult {
         solution,
         timed_out: search.aborted,
         nodes_explored: search.nodes,
+        nodes_pruned: search.pruned,
         elapsed: started.elapsed(),
     }
 }

@@ -8,11 +8,23 @@
 
 use crate::hampath::best_insertion;
 use crate::problem::{Budgets, Solution, TapProblem};
+use cn_obs::{Metric, Registry};
 
 /// Runs Algorithm 3. Worst case `O(N log N + N·M)` with `M` the solution
 /// length — the sort dominates for any practical notebook size.
 pub fn solve_heuristic<P: TapProblem + ?Sized>(problem: &P, budgets: &Budgets) -> Solution {
+    solve_heuristic_observed(problem, budgets, Registry::discard())
+}
+
+/// [`solve_heuristic`] recording the candidate pool size and accepted
+/// insertions into `obs`.
+pub fn solve_heuristic_observed<P: TapProblem + ?Sized>(
+    problem: &P,
+    budgets: &Budgets,
+    obs: &Registry,
+) -> Solution {
     let n = problem.len();
+    obs.add(Metric::TapCandidates, n as u64);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         let wa = problem.interest(a) / problem.cost(a);
@@ -35,6 +47,7 @@ pub fn solve_heuristic<P: TapProblem + ?Sized>(problem: &P, budgets: &Budgets) -
             continue;
         }
         sequence.insert(pos, q);
+        obs.inc(Metric::TapInsertions);
         total_cost += cost;
         total_distance += delta;
         total_interest += problem.interest(q);

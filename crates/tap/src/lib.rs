@@ -33,8 +33,8 @@ pub mod instance;
 pub mod pareto;
 pub mod problem;
 
-pub use exact::{solve_exact, ExactConfig, ExactResult};
-pub use heuristic::solve_heuristic;
+pub use exact::{solve_exact, solve_exact_observed, ExactConfig, ExactResult};
+pub use heuristic::{solve_heuristic, solve_heuristic_observed};
 pub use improve::solve_heuristic_improved;
 pub use instance::{generate_instance, InstanceConfig};
 pub use problem::{Budgets, MatrixTap, Solution, TapProblem};

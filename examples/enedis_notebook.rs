@@ -32,7 +32,7 @@ fn main() {
         ..Default::default()
     };
     let config = GeneratorKind::WscUnbApprox.configure(base, 0.2, Duration::from_secs(30));
-    let result = run(&table, &config);
+    let result = run(&table, &config).expect("pipeline run");
 
     println!("\n--- Phase breakdown ---");
     for (phase, secs) in result.timings.rows() {

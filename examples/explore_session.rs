@@ -1,25 +1,31 @@
-//! An interactive-exploration round: generate a starting notebook, pick an
-//! anchor entry, get continuation suggestions, and execute the suggested
-//! SQL through the bundled dialect executor.
+//! An interactive-exploration round: generate a starting notebook, open an
+//! [`ExplorationSession`] over the run artifact, pick an anchor entry, get
+//! continuation suggestions (served from the session's distance cache),
+//! and execute the suggested SQL through the bundled dialect executor.
 //!
 //! ```bash
 //! cargo run -p cn-core --release --example explore_session
 //! ```
 
 use cn_core::interest::DistanceWeights;
-use cn_core::pipeline::{continue_notebook, suggest_continuations};
+use cn_core::pipeline::ExplorationSession;
 use cn_core::sqlrun::run_sql;
+use std::sync::Arc;
 
 fn main() {
     let table =
         cn_core::datagen::enedis_like(cn_core::datagen::Scale { rows: 0.05, domains: 0.05 }, 23);
     println!("dataset `{}`: {} rows\n", table.name(), table.n_rows());
 
-    // 1. The starting notebook (the paper's "entry point" artifact).
-    let run_result = cn_core::generate_notebook(
+    // 1. The starting notebook (the paper's "entry point" artifact),
+    //    instrumented so the session's cache behavior is visible below.
+    let registry = Arc::new(cn_core::obs::Registry::new());
+    let run_result = cn_core::generate_notebook_observed(
         &table,
         &cn_core::NotebookOptions { notebook_len: 5, n_permutations: 199, ..Default::default() },
-    );
+        &registry,
+    )
+    .expect("pipeline run");
     println!("starting notebook: {} comparison queries", run_result.notebook.len());
     for (i, e) in run_result.notebook.entries.iter().enumerate() {
         println!(
@@ -29,12 +35,20 @@ fn main() {
         );
     }
 
-    // 2. The analyst likes entry 1 — what next?
-    let weights = DistanceWeights::default();
-    let suggestions = suggest_continuations(&run_result, 0, 3, &weights);
+    // 2. Open a session over the finished run. The session keeps the
+    //    batched kernel results (queries, insights, interest scores) and
+    //    memoizes per-anchor distance rows across calls.
+    let session = ExplorationSession::with_registry(
+        run_result,
+        DistanceWeights::default(),
+        Arc::clone(&registry),
+    );
+
+    // 3. The analyst likes entry 1 — what next?
+    let suggestions = session.suggest(0, 3).expect("anchor in range");
     println!("\ncontinuations of entry 1:");
     for s in &suggestions {
-        let q = &run_result.queries[s.query];
+        let q = &session.run().queries[s.query];
         println!(
             "  score {:.3} (interest {:.3}, distance {:.1}): group {} by {}",
             s.score,
@@ -45,9 +59,10 @@ fn main() {
         );
     }
 
-    // 3. Materialize the continuation notebook and *execute* its first SQL
+    // 4. Materialize the continuation notebook — the second call on the
+    //    same anchor hits the distance cache — and *execute* its first SQL
     //    cell with the bundled executor.
-    let continuation = continue_notebook(&table, &run_result, 0, 3, &weights);
+    let continuation = session.continue_notebook(&table, 0, 3).expect("anchor in range");
     if let Some(entry) = continuation.entries.first() {
         println!("\nfirst continuation query:\n\n{}\n", entry.sql);
         let result = run_sql(&entry.sql, &table).expect("notebook SQL is executable");
@@ -65,4 +80,13 @@ fn main() {
         }
         println!("({} rows)", result.rows.len());
     }
+
+    // 5. The registry saw the whole exploration: phase spans from the
+    //    generation run plus the session's serving counters.
+    let report = registry.report();
+    println!(
+        "\nobservability: {} suggestions served, {} distance-cache hit(s)",
+        report.counter("suggestions_served"),
+        report.counter("distance_cache_hits"),
+    );
 }

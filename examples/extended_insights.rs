@@ -28,7 +28,7 @@ fn main() {
         ..Default::default()
     };
 
-    let result = run(&table, &config);
+    let result = run(&table, &config).expect("pipeline run");
     println!(
         "tested {} (3 insight types), {} significant, {} retained",
         result.n_tested,

@@ -65,7 +65,7 @@ fn main() {
 
     // 2. Generate a comparison notebook.
     let opts = NotebookOptions { notebook_len: 5, n_permutations: 199, ..Default::default() };
-    let result = cn_core::generate_notebook(&table, &opts);
+    let result = cn_core::generate_notebook(&table, &opts).expect("pipeline run");
 
     println!(
         "Tested {} candidate insights, {} significant, {} comparison queries generated.",

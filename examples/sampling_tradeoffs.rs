@@ -28,7 +28,7 @@ fn main() {
     println!("Dataset: {} rows\n", table.n_rows());
 
     let t0 = Instant::now();
-    let reference = run(&table, &config(SamplingStrategy::None));
+    let reference = run(&table, &config(SamplingStrategy::None)).expect("pipeline run");
     let full_time = t0.elapsed();
     let reference_keys = reference.insight_keys();
     println!("no sampling: {} insights, {:.2}s\n", reference_keys.len(), full_time.as_secs_f64());
@@ -36,10 +36,12 @@ fn main() {
     println!("{:>8} {:>22} {:>22}", "sample", "unbalanced (found, s)", "random (found, s)");
     for fraction in [0.05, 0.1, 0.2, 0.4] {
         let t0 = Instant::now();
-        let unb = run(&table, &config(SamplingStrategy::Unbalanced { fraction }));
+        let unb =
+            run(&table, &config(SamplingStrategy::Unbalanced { fraction })).expect("pipeline run");
         let unb_time = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let rnd = run(&table, &config(SamplingStrategy::Random { fraction }));
+        let rnd =
+            run(&table, &config(SamplingStrategy::Random { fraction })).expect("pipeline run");
         let rnd_time = t0.elapsed().as_secs_f64();
         let pct = |r: &RunResult| {
             100.0 * r.insight_keys().intersection(&reference_keys).count() as f64

@@ -18,7 +18,7 @@ fn sample_run() -> (Table, RunResult) {
         n_threads: 4,
         ..Default::default()
     };
-    let r = run(&t, &cfg);
+    let r = run(&t, &cfg).expect("pipeline run");
     (t, r)
 }
 

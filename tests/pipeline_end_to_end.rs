@@ -29,7 +29,7 @@ fn every_table3_variant_produces_a_valid_notebook() {
     let t = dataset();
     for kind in GeneratorKind::TABLE3 {
         let cfg = kind.configure(base_config(), 0.4, Duration::from_secs(15));
-        let r = run(&t, &cfg);
+        let r = run(&t, &cfg).expect("pipeline run");
         assert!(r.n_tested > 0, "{}", kind.name());
         assert!(!r.notebook.is_empty(), "{} produced an empty notebook", kind.name());
         assert!(r.notebook.len() <= 6, "{}", kind.name());
@@ -47,8 +47,8 @@ fn every_table3_variant_produces_a_valid_notebook() {
 fn runs_are_reproducible() {
     let t = dataset();
     let cfg = base_config();
-    let a = run(&t, &cfg);
-    let b = run(&t, &cfg);
+    let a = run(&t, &cfg).expect("pipeline run");
+    let b = run(&t, &cfg).expect("pipeline run");
     assert_eq!(a.n_significant, b.n_significant);
     assert_eq!(a.solution.sequence, b.solution.sequence);
     assert_eq!(a.notebook.len(), b.notebook.len());
@@ -64,7 +64,7 @@ fn fd_exclusion_prevents_meaningless_queries() {
     let t = dataset();
     let dep = t.schema().attribute("department").unwrap();
     let zone = t.schema().attribute("dep_zone").unwrap();
-    let r = run(&t, &base_config());
+    let r = run(&t, &base_config()).expect("pipeline run");
     for q in &r.queries {
         assert!(
             !(q.spec.group_by == zone && q.spec.select_on == dep),
@@ -77,7 +77,7 @@ fn fd_exclusion_prevents_meaningless_queries() {
 #[test]
 fn queries_support_their_insights_against_the_base_table() {
     let t = dataset();
-    let r = run(&t, &base_config());
+    let r = run(&t, &base_config()).expect("pipeline run");
     assert!(!r.queries.is_empty());
     for q in &r.queries {
         let result = cn_core::engine::comparison::execute(&t, &q.spec);
@@ -98,7 +98,7 @@ fn interestingness_components_order_consistently() {
     // SigOnly scores dominate SigCred scores query-by-query (the surprise
     // factor is ≤ 1), and Full ≤ SigCred (conciseness ≤ 1).
     let t = dataset();
-    let r = run(&t, &base_config());
+    let r = run(&t, &base_config()).expect("pipeline run");
     let sig_only = InterestParams { components: InterestComponents::SigOnly, ..Default::default() };
     let sig_cred = InterestParams { components: InterestComponents::SigCred, ..Default::default() };
     let full = InterestParams::default();
@@ -118,7 +118,7 @@ fn notebook_len_tracks_epsilon_t() {
     for budget in [2.0, 4.0, 6.0] {
         let mut cfg = base_config();
         cfg.budgets.epsilon_t = budget;
-        let r = run(&t, &cfg);
+        let r = run(&t, &cfg).expect("pipeline run");
         assert!(r.notebook.len() as f64 <= budget + 1e-9);
         sizes.push(r.notebook.len());
     }
@@ -141,7 +141,8 @@ fn bundled_sample_dataset_flows_end_to_end() {
             n_threads: 2,
             ..Default::default()
         },
-    );
+    )
+    .expect("pipeline run");
     assert!(result.n_tested > 0);
     // Every rendered SQL cell executes via the bundled dialect runner.
     for entry in &result.notebook.entries {

@@ -34,13 +34,14 @@ fn unbalanced_sampling_keeps_minority_values_visible() {
 #[test]
 fn sampled_runs_recover_most_reference_insights() {
     let t = enedis_like(Scale::TEST, 23);
-    let reference = run(&t, &config(SamplingStrategy::None, 5)).insight_keys();
+    let reference =
+        run(&t, &config(SamplingStrategy::None, 5)).expect("pipeline run").insight_keys();
     assert!(!reference.is_empty());
     for (strategy, min_frac) in [
         (SamplingStrategy::Unbalanced { fraction: 0.6 }, 0.5),
         (SamplingStrategy::Random { fraction: 0.6 }, 0.4),
     ] {
-        let found = run(&t, &config(strategy, 5)).insight_keys();
+        let found = run(&t, &config(strategy, 5)).expect("pipeline run").insight_keys();
         let overlap = found.intersection(&reference).count() as f64;
         assert!(
             overlap >= min_frac * reference.len() as f64,
@@ -56,8 +57,11 @@ fn aggressive_sampling_can_produce_spurious_insights() {
     // exist on the full data. We only check the *mechanism*: the sampled
     // insight set is not necessarily a subset of the reference.
     let t = enedis_like(Scale::TEST, 29);
-    let reference = run(&t, &config(SamplingStrategy::None, 7)).insight_keys();
-    let sampled = run(&t, &config(SamplingStrategy::Random { fraction: 0.1 }, 7)).insight_keys();
+    let reference =
+        run(&t, &config(SamplingStrategy::None, 7)).expect("pipeline run").insight_keys();
+    let sampled = run(&t, &config(SamplingStrategy::Random { fraction: 0.1 }, 7))
+        .expect("pipeline run")
+        .insight_keys();
     // Ratio reported by the Figure 9 harness:
     let ratio = sampled.len() as f64 / reference.len().max(1) as f64;
     assert!(ratio.is_finite());
@@ -66,7 +70,7 @@ fn aggressive_sampling_can_produce_spurious_insights() {
 #[test]
 fn significance_threshold_is_respected() {
     let t = enedis_like(Scale::TEST, 31);
-    let r = run(&t, &config(SamplingStrategy::None, 9));
+    let r = run(&t, &config(SamplingStrategy::None, 9)).expect("pipeline run");
     for s in &r.insights {
         assert!(
             s.detail.significance() >= 0.95 - 1e-9,
@@ -81,10 +85,10 @@ fn significance_threshold_is_respected() {
 #[test]
 fn transitivity_pruning_reduces_or_keeps_insights() {
     let t = enedis_like(Scale::TEST, 37);
-    let with_pruning = run(&t, &config(SamplingStrategy::None, 11));
+    let with_pruning = run(&t, &config(SamplingStrategy::None, 11)).expect("pipeline run");
     let mut cfg = config(SamplingStrategy::None, 11);
     cfg.generation_config.prune_transitive = false;
-    let without = run(&t, &cfg);
+    let without = run(&t, &cfg).expect("pipeline run");
     assert!(with_pruning.n_significant <= without.n_significant);
     // Pruned runs still produce a notebook.
     assert!(!with_pruning.notebook.is_empty());
