@@ -20,6 +20,15 @@ fn usage() -> ! {
            cn notebook <csv> [options]   generate a comparison notebook\n\
            cn inspect  <csv> [options]   show schema, FDs, and insight-space size\n\
            cn demo [--seed N]            run on a built-in synthetic dataset\n\
+           cn serve [options]            run the notebook-generation HTTP service\n\
+         \n\
+         SERVE OPTIONS:\n\
+           --port N           listen port (default 7878; 0 = ephemeral)\n\
+           --dataset NAME=CSV register a dataset (repeatable)\n\
+           --demo-data        register the built-in demo dataset as `demo`\n\
+           --queue-depth N    bounded job-queue depth (default 16)\n\
+           --serve-workers N  pipeline worker threads (default 2)\n\
+           --deadline-ms N    default per-request deadline (default: none)\n\
          \n\
          OPTIONS:\n\
            --measures a,b,c   treat these columns as measures (default: inferred)\n\
@@ -54,6 +63,12 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    port: u16,
+    datasets: Vec<String>,
+    demo_data: bool,
+    queue_depth: usize,
+    serve_workers: usize,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +89,12 @@ fn parse_args() -> Args {
         seed: 0,
         out: None,
         metrics: None,
+        port: 7878,
+        datasets: Vec::new(),
+        demo_data: false,
+        queue_depth: 16,
+        serve_workers: 2,
+        deadline_ms: None,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -103,6 +124,18 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(PathBuf::from(value(&rest, &mut i))),
             "--metrics" => args.metrics = Some(PathBuf::from(value(&rest, &mut i))),
             "--data" => args.data = Some(PathBuf::from(value(&rest, &mut i))),
+            "--port" => args.port = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--dataset" => args.datasets.push(value(&rest, &mut i)),
+            "--demo-data" => args.demo_data = true,
+            "--queue-depth" => {
+                args.queue_depth = value(&rest, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--serve-workers" => {
+                args.serve_workers = value(&rest, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(value(&rest, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
             flag if flag.starts_with("--") => usage(),
             path if args.input.is_none() => args.input = Some(PathBuf::from(path)),
             _ => usage(),
@@ -315,11 +348,57 @@ fn cmd_run(args: &Args) {
     }
 }
 
+fn cmd_serve(args: &Args) {
+    use cn_core::serve::{start, Catalog, DatasetSpec, ServeConfig};
+
+    let registry = std::sync::Arc::new(Registry::new());
+    let mut catalog = Catalog::new(8, registry);
+    for entry in &args.datasets {
+        let Some((name, path)) = entry.split_once('=') else {
+            eprintln!("--dataset expects NAME=CSV, got `{entry}`");
+            exit(2)
+        };
+        catalog.register(DatasetSpec {
+            name: name.to_string(),
+            path: PathBuf::from(path),
+            measures: args.measures.clone(),
+            ignore: args.ignore.clone(),
+        });
+    }
+    if args.demo_data || args.datasets.is_empty() {
+        let table = cn_core::datagen::enedis_like(cn_core::datagen::Scale::TEST, args.seed);
+        eprintln!("registered built-in dataset `demo` ({} rows)", table.n_rows());
+        catalog.register_table("demo", table);
+    }
+    let config = ServeConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        pipeline_workers: args.serve_workers,
+        queue_depth: args.queue_depth,
+        default_deadline: args.deadline_ms.map(std::time::Duration::from_millis),
+        run_threads: args.threads,
+        ..ServeConfig::default()
+    };
+    let handle = match start(config, catalog) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error starting server: {e}");
+            exit(1)
+        }
+    };
+    eprintln!("cn-serve listening on http://{}", handle.addr());
+    eprintln!("  POST /v1/notebooks {{\"dataset\": \"demo\", \"len\": 5}}");
+    eprintln!("  GET  /v1/datasets · GET /metrics · GET /healthz");
+    // Runs until the process is killed; workers drain via Handle::shutdown
+    // when embedded programmatically.
+    handle.join();
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
         "inspect" => cmd_inspect(&args),
         "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
         "notebook" => {
             let table = load_table(&args);
             cmd_notebook(&args, table);

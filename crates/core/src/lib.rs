@@ -40,6 +40,7 @@
 //! | [`notebook`] | SQL generation, ipynb/markdown/sql/html rendering |
 //! | [`sqlrun`] | parser + executor for the emitted SQL dialect |
 //! | [`pipeline`] | the end-to-end generators of Tables 3 and 7 |
+//! | [`serve`] | HTTP service: dataset catalog, admission control, cancellation |
 //! | [`datagen`] | synthetic datasets shaped like Table 2 |
 //! | [`study`] | the simulated user study of Figure 10 |
 
@@ -50,6 +51,7 @@ pub use cn_interest as interest;
 pub use cn_notebook as notebook;
 pub use cn_obs as obs;
 pub use cn_pipeline as pipeline;
+pub use cn_serve as serve;
 pub use cn_setcover as setcover;
 pub use cn_sqlrun as sqlrun;
 pub use cn_stats as stats;

@@ -10,6 +10,7 @@
 
 use crate::agg::PartialAgg;
 use crate::comparison::{ComparisonResult, ComparisonSpec};
+use crate::error::EngineError;
 use cn_obs::{Hist, Metric, Registry};
 use cn_tabular::{AttrId, Table};
 use std::collections::HashMap;
@@ -47,10 +48,36 @@ impl Cube {
     /// # Panics
     /// As [`Cube::build`].
     pub fn build_observed(table: &Table, attrs: &[AttrId], obs: &Registry) -> Cube {
-        assert!(!attrs.is_empty(), "a cube needs at least one attribute");
+        Cube::try_build_observed(table, attrs, obs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Cube::build`]: rejects an empty attribute set
+    /// ([`EngineError::EmptyGroupBy`]) and key overflow
+    /// ([`EngineError::KeyTooWide`]) instead of panicking.
+    ///
+    /// # Errors
+    /// As above.
+    pub fn try_build(table: &Table, attrs: &[AttrId]) -> Result<Cube, EngineError> {
+        Cube::try_build_observed(table, attrs, Registry::discard())
+    }
+
+    /// [`Cube::try_build`] recording into `obs`.
+    ///
+    /// # Errors
+    /// As [`Cube::try_build`].
+    pub fn try_build_observed(
+        table: &Table,
+        attrs: &[AttrId],
+        obs: &Registry,
+    ) -> Result<Cube, EngineError> {
+        if attrs.is_empty() {
+            return Err(EngineError::EmptyGroupBy);
+        }
         let widths: Vec<u32> = attrs.iter().map(|&a| bits_for(table.dict(a).len())).collect();
         let total: u32 = widths.iter().sum();
-        assert!(total <= 128, "packed group-by key exceeds 128 bits");
+        if total > 128 {
+            return Err(EngineError::KeyTooWide { bits: total });
+        }
         let mut shifts = Vec::with_capacity(attrs.len());
         let mut acc = 0u32;
         for &w in &widths {
@@ -76,7 +103,7 @@ impl Cube {
         obs.add(Metric::RowsScanned, table.n_rows() as u64);
         obs.inc(Metric::CubesBuilt);
         obs.record(Hist::CubeGroups, groups.len() as u64);
-        Cube { attrs: attrs.to_vec(), widths, shifts, groups, n_measures }
+        Ok(Cube { attrs: attrs.to_vec(), widths, shifts, groups, n_measures })
     }
 
     /// The group-by set this cube materializes.
@@ -126,16 +153,36 @@ impl Cube {
     /// # Panics
     /// As [`Cube::rollup`].
     pub fn rollup_observed(&self, sub: &[AttrId], obs: &Registry) -> Cube {
-        assert!(!sub.is_empty(), "roll-up target must be non-empty");
+        self.try_rollup_observed(sub, obs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Cube::rollup`]: rejects an empty target
+    /// ([`EngineError::EmptyGroupBy`]) and a target that is not a subset
+    /// of this cube's attributes ([`EngineError::RollupNotSubset`]).
+    ///
+    /// # Errors
+    /// As above.
+    pub fn try_rollup(&self, sub: &[AttrId]) -> Result<Cube, EngineError> {
+        self.try_rollup_observed(sub, Registry::discard())
+    }
+
+    /// [`Cube::try_rollup`] recording into `obs`.
+    ///
+    /// # Errors
+    /// As [`Cube::try_rollup`].
+    pub fn try_rollup_observed(&self, sub: &[AttrId], obs: &Registry) -> Result<Cube, EngineError> {
+        if sub.is_empty() {
+            return Err(EngineError::EmptyGroupBy);
+        }
         let positions: Vec<usize> = sub
             .iter()
             .map(|a| {
                 self.attrs
                     .iter()
                     .position(|b| b == a)
-                    .expect("roll-up target must be a subset of the cube's attributes")
+                    .ok_or(EngineError::RollupNotSubset { attr: a.0 })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let widths: Vec<u32> = positions.iter().map(|&p| self.widths[p]).collect();
         let mut shifts = Vec::with_capacity(sub.len());
         let mut acc = 0u32;
@@ -159,7 +206,39 @@ impl Cube {
             }
         }
         obs.inc(Metric::CubeRollups);
-        Cube { attrs: sub.to_vec(), widths, shifts, groups, n_measures: self.n_measures }
+        Ok(Cube { attrs: sub.to_vec(), widths, shifts, groups, n_measures: self.n_measures })
+    }
+
+    /// Verifies that `other` materializes exactly the same groups as this
+    /// cube (both must be over the same group-by set) — the consistency
+    /// invariant between a roll-up and a direct build.
+    ///
+    /// # Errors
+    /// [`EngineError::RollupNotSubset`] when the group-by sets differ;
+    /// [`EngineError::GroupPresenceMismatch`] naming the codes of a group
+    /// present in exactly one of the cubes.
+    pub fn check_same_groups(&self, other: &Cube) -> Result<(), EngineError> {
+        if self.attrs != other.attrs {
+            let attr = self
+                .attrs
+                .iter()
+                .chain(other.attrs.iter())
+                .find(|a| !(self.attrs.contains(a) && other.attrs.contains(a)))
+                .map(|a| a.0)
+                .unwrap_or_default();
+            return Err(EngineError::RollupNotSubset { attr });
+        }
+        for &key in self.groups.keys() {
+            if !other.groups.contains_key(&key) {
+                return Err(EngineError::GroupPresenceMismatch { codes: self.unpack(key) });
+            }
+        }
+        for &key in other.groups.keys() {
+            if !self.groups.contains_key(&key) {
+                return Err(EngineError::GroupPresenceMismatch { codes: other.unpack(key) });
+            }
+        }
+        Ok(())
     }
 
     /// Answers a comparison query from this cube.
@@ -266,23 +345,63 @@ mod tests {
         let rolled = full.rollup(&[ids[0], ids[1]]);
         let direct = Cube::build(&t, &[ids[0], ids[1]]);
         assert_eq!(rolled.n_groups(), direct.n_groups());
+        // Group presence is the typed invariant check; a mismatch comes
+        // back as EngineError::GroupPresenceMismatch, not a panic.
+        rolled.check_same_groups(&direct).unwrap();
         // Compare payloads group by group.
         for a in 0..t.dict(ids[0]).len() as u32 {
             for b in 0..t.dict(ids[1]).len() as u32 {
-                let x = rolled.get(&[a, b]);
-                let y = direct.get(&[a, b]);
-                match (x, y) {
-                    (None, None) => {}
-                    (Some(px), Some(py)) => {
-                        for (pa, pb) in px.iter().zip(py.iter()) {
-                            assert_eq!(pa.count, pb.count);
-                            assert!((pa.sum - pb.sum).abs() < 1e-9);
-                        }
+                if let (Some(px), Some(py)) = (rolled.get(&[a, b]), direct.get(&[a, b])) {
+                    for (pa, pb) in px.iter().zip(py.iter()) {
+                        assert_eq!(pa.count, pb.count);
+                        assert!((pa.sum - pb.sum).abs() < 1e-9);
                     }
-                    _ => panic!("group presence mismatch at ({a},{b})"),
                 }
             }
         }
+    }
+
+    #[test]
+    fn group_presence_mismatch_is_a_typed_error() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let full = Cube::build(&t, &[ids[0], ids[1]]);
+        // A cube over a truncated table misses groups the full one has.
+        let schema = Schema::new(vec!["a", "b", "c"], vec!["m1", "m2"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(&["a1", "b1", "c1"], &[1.0, 10.0]).unwrap();
+        b.push_row(&["a1", "b2", "c1"], &[2.0, 20.0]).unwrap();
+        b.push_row(&["a2", "b1", "c2"], &[3.0, 30.0]).unwrap();
+        let partial_t = b.finish();
+        let partial = Cube::build(&partial_t, &[ids[0], ids[1]]);
+        let err = full.check_same_groups(&partial).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::GroupPresenceMismatch { codes } if codes.len() == 2),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("group presence mismatch"));
+        // Different group-by sets are rejected before any key compare.
+        let narrow = Cube::build(&t, &[ids[0]]);
+        assert!(matches!(
+            full.check_same_groups(&narrow),
+            Err(EngineError::RollupNotSubset { .. })
+        ));
+        // Matching cubes pass.
+        full.check_same_groups(&Cube::build(&t, &[ids[0], ids[1]])).unwrap();
+    }
+
+    #[test]
+    fn fallible_cube_apis_return_typed_errors() {
+        let t = table3();
+        let ids: Vec<AttrId> = t.schema().attribute_ids().collect();
+        assert!(matches!(Cube::try_build(&t, &[]), Err(EngineError::EmptyGroupBy)));
+        let cube = Cube::try_build(&t, &[ids[0]]).unwrap();
+        assert_eq!(cube.n_groups(), 2);
+        assert!(matches!(
+            cube.try_rollup(&[ids[1]]),
+            Err(EngineError::RollupNotSubset { attr }) if attr == ids[1].0
+        ));
+        assert!(matches!(cube.try_rollup(&[]), Err(EngineError::EmptyGroupBy)));
     }
 
     #[test]

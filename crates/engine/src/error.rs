@@ -1,0 +1,72 @@
+//! Typed errors of the execution engine.
+//!
+//! Cube construction and roll-up used to `panic!`/`assert!` on violated
+//! preconditions and on cross-cube group-presence mismatches. Embedding
+//! layers — the pipeline's `Result` plumbing, a long-lived notebook
+//! server — need those failures as values, so every invariant violation
+//! is an [`EngineError`] here; the legacy panicking entry points remain
+//! as thin wrappers over the `try_*` APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything cube materialization and roll-up can reject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A cube (or roll-up target) needs at least one attribute.
+    EmptyGroupBy,
+    /// The packed group-by key would not fit the 128-bit key space.
+    KeyTooWide {
+        /// Bits the requested attribute set needs.
+        bits: u32,
+    },
+    /// A roll-up target attribute is not part of the source cube.
+    RollupNotSubset {
+        /// The offending attribute id.
+        attr: u16,
+    },
+    /// Two cubes over the same group-by set disagree on which groups
+    /// exist (an internal invariant violation between a roll-up and a
+    /// direct materialization).
+    GroupPresenceMismatch {
+        /// Codes of the group present in exactly one of the cubes.
+        codes: Vec<u32>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyGroupBy => write!(f, "a cube needs at least one attribute"),
+            EngineError::KeyTooWide { bits } => {
+                write!(f, "packed group-by key exceeds 128 bits (needs {bits})")
+            }
+            EngineError::RollupNotSubset { attr } => {
+                write!(
+                    f,
+                    "roll-up target attribute {attr} is not a subset of the cube's attributes"
+                )
+            }
+            EngineError::GroupPresenceMismatch { codes } => {
+                write!(f, "group presence mismatch at {codes:?}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_violation() {
+        assert!(EngineError::EmptyGroupBy.to_string().contains("at least one"));
+        assert!(EngineError::KeyTooWide { bits: 200 }.to_string().contains("200"));
+        assert!(EngineError::RollupNotSubset { attr: 3 }.to_string().contains("subset"));
+        let e = EngineError::GroupPresenceMismatch { codes: vec![1, 2] };
+        assert!(e.to_string().contains("mismatch"));
+        assert!(e.to_string().contains('1') && e.to_string().contains('2'));
+    }
+}

@@ -22,6 +22,7 @@ pub mod agg;
 pub mod algebra;
 pub mod comparison;
 pub mod cube;
+pub mod error;
 pub mod estimate;
 pub mod groupby;
 pub mod predicate;
@@ -29,4 +30,5 @@ pub mod predicate;
 pub use agg::{AggFn, PartialAgg};
 pub use comparison::{ComparisonResult, ComparisonSpec};
 pub use cube::Cube;
+pub use error::EngineError;
 pub use predicate::Predicate;

@@ -17,6 +17,7 @@
 //! permutation stream of the batch kernel.
 
 use crate::types::{Insight, InsightType};
+use cn_obs::cancel::{CancelToken, Cancelled};
 use cn_obs::{Hist, Metric, Registry};
 use cn_stats::parallel::parallel_map_collect;
 use cn_stats::rng::derive_seed;
@@ -221,6 +222,45 @@ impl AttributeTester {
         out
     }
 
+    /// [`test_pairs_with`] polling `cancel` inside the permutation-test
+    /// loop: once per pair for [`TestKernel::PairExact`] (each pair runs
+    /// its full permutation rounds between polls), once per call for the
+    /// batched kernel (which computes all pairs in one sweep). Results
+    /// already produced are discarded on cancellation — the caller wants
+    /// out, not a partial family.
+    ///
+    /// Identical numbers to [`test_pairs_with`] when never cancelled:
+    /// chunking invariance guarantees the per-pair replay reproduces the
+    /// exact same seeds and p-values.
+    ///
+    /// # Errors
+    /// [`Cancelled`] once the token fires.
+    ///
+    /// [`test_pairs_with`]: AttributeTester::test_pairs_with
+    pub fn test_pairs_cancellable(
+        &self,
+        pairs: &[(u32, u32)],
+        config: &TestConfig,
+        scratch: &mut BatchScratch,
+        cancel: &CancelToken,
+    ) -> Result<Vec<RawTest>, Cancelled> {
+        match config.kernel {
+            TestKernel::PairExact => {
+                let mut out =
+                    Vec::with_capacity(pairs.len() * self.batch.n_measures() * config.types.len());
+                for &pair in pairs {
+                    cancel.check()?;
+                    out.extend(self.test_pairs_with(&[pair], config, scratch));
+                }
+                Ok(out)
+            }
+            TestKernel::Batched => {
+                cancel.check()?;
+                Ok(self.test_pairs_with(pairs, config, scratch))
+            }
+        }
+    }
+
     /// Orients one pair's `pvalues[measure][kind]` into [`RawTest`]s by
     /// the observed full-data direction (Lemma 3.5).
     fn orient_pair(
@@ -410,6 +450,36 @@ mod tests {
             b.push_row(&[region, channel], &[base + noise]).unwrap();
         }
         b.finish()
+    }
+
+    #[test]
+    fn cancellable_testing_matches_and_stops() {
+        let t = planted();
+        let config = TestConfig { n_permutations: 99, seed: 1, ..Default::default() };
+        let region = t.schema().attribute("region").unwrap();
+        let tester = AttributeTester::new(&t, region);
+        let pairs = tester.pairs();
+        let mut scratch = BatchScratch::default();
+        let plain = tester.test_pairs_with(&pairs, &config, &mut scratch);
+        // Never-cancelled run replays the exact same numbers.
+        let live = CancelToken::new();
+        let cancellable =
+            tester.test_pairs_cancellable(&pairs, &config, &mut scratch, &live).unwrap();
+        assert_eq!(plain.len(), cancellable.len());
+        for (a, b) in plain.iter().zip(cancellable.iter()) {
+            assert_eq!(a.insight, b.insight);
+            assert_eq!(a.raw_p, b.raw_p);
+        }
+        // A fired token stops before any work.
+        let fired = CancelToken::new();
+        fired.cancel();
+        let err = tester.test_pairs_cancellable(&pairs, &config, &mut scratch, &fired).unwrap_err();
+        assert!(!err.deadline_exceeded);
+        // A past deadline does too, reporting the deadline.
+        let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let err =
+            tester.test_pairs_cancellable(&pairs, &config, &mut scratch, &expired).unwrap_err();
+        assert!(err.deadline_exceeded);
     }
 
     #[test]

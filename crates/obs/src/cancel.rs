@@ -1,0 +1,181 @@
+//! Cooperative cancellation and deadlines.
+//!
+//! A [`CancelToken`] is the generalization of the wall-clock timeout the
+//! exact TAP solver has always used: instead of each long-running phase
+//! carrying its own `Instant` bookkeeping, the caller hands one token
+//! down the stack and every loop that can run for a while polls it
+//! between units of work. Polling is cheap — one relaxed atomic load,
+//! plus one `Instant::now()` when a deadline is set — so kernels can
+//! afford to check once per work item.
+//!
+//! The token is shared by cloning (an `Arc` internally): a serving layer
+//! keeps one half to call [`CancelToken::cancel`] on client disconnect
+//! or shutdown, and threads the other half into the pipeline, which
+//! returns a typed error instead of completing a run nobody wants.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Why a cancelled computation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// True when the token's deadline passed; false when
+    /// [`CancelToken::cancel`] was called explicitly.
+    pub deadline_exceeded: bool,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.deadline_exceeded {
+            write!(f, "cancelled: deadline exceeded")
+        } else {
+            write!(f, "cancelled by caller")
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle with an optional deadline.
+///
+/// All clones observe the same state: `cancel()` on any clone makes
+/// every holder's [`CancelToken::check`] fail from then on.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline that only cancels explicitly.
+    pub fn new() -> Self {
+        CancelToken { inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that cancels itself `timeout` from now (or explicitly,
+    /// whichever comes first).
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now().checked_add(timeout).unwrap_or_else(far_future))
+    }
+
+    /// A token that cancels itself at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { flag: AtomicBool::new(false), deadline: Some(deadline) }),
+        }
+    }
+
+    /// The process-wide never-cancelled token, for un-instrumented entry
+    /// points that delegate to cancellable implementations.
+    pub fn never() -> &'static CancelToken {
+        static NEVER: OnceLock<CancelToken> = OnceLock::new();
+        NEVER.get_or_init(CancelToken::new)
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// The deadline, when one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left before the deadline (`None` when no deadline is set;
+    /// zero when it already passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the token is cancelled (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// The poll: `Ok` while work should continue, a typed [`Cancelled`]
+    /// once it should stop.
+    #[inline]
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return Err(Cancelled { deadline_exceeded: false });
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(Cancelled { deadline_exceeded: true });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn far_future() -> Instant {
+    // ~30 years out; effectively "no deadline" without an Option dance.
+    Instant::now() + Duration::from_secs(60 * 60 * 24 * 365 * 30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_is_seen_by_every_clone() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        let err = t.check().unwrap_err();
+        assert!(!err.deadline_exceeded);
+        assert!(t.is_cancelled() && clone.is_cancelled());
+        assert_eq!(err.to_string(), "cancelled by caller");
+    }
+
+    #[test]
+    fn past_deadline_cancels_with_the_deadline_flag() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        let err = t.check().unwrap_err();
+        assert!(err.deadline_exceeded);
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn future_deadline_is_still_live_and_reports_remaining() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        let rem = t.remaining().unwrap();
+        assert!(rem > Duration::from_secs(3000) && rem <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn never_token_survives_cancel_checks() {
+        assert!(CancelToken::never().check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline_reporting() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        t.cancel();
+        assert!(!t.check().unwrap_err().deadline_exceeded);
+    }
+}

@@ -31,11 +31,13 @@
 //! `schemas/metrics.schema.json` via [`schema::validate`]) and to a
 //! human-readable text tree ([`Report::to_text`]).
 
+pub mod cancel;
 pub mod metric;
 pub mod registry;
 pub mod report;
 pub mod schema;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use metric::{Hist, LocalMetrics, Metric};
 pub use registry::{Registry, SpanGuard};
 pub use report::{CounterValue, HistogramReport, Report, SpanRecord};

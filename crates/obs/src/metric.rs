@@ -53,11 +53,24 @@ pub enum Metric {
     SuggestionsServed,
     /// Anchor-distance vectors served from the session cache.
     DistanceCacheHits,
+    /// Dataset-catalog lookups answered from the in-memory cache (no
+    /// CSV re-parse).
+    CatalogHits,
+    /// Dataset-catalog lookups that had to load (and parse) the source.
+    CatalogMisses,
+    /// HTTP requests accepted by the serving layer.
+    HttpRequests,
+    /// Generation jobs rejected by admission control (queue full).
+    AdmissionRejected,
+    /// Generation jobs completed by the serving worker pool.
+    JobsCompleted,
+    /// Generation jobs that ended cancelled (deadline or explicit).
+    JobsCancelled,
 }
 
 impl Metric {
     /// Every counter, in export order.
-    pub const ALL: [Metric; 21] = [
+    pub const ALL: [Metric; 27] = [
         Metric::RowsScanned,
         Metric::DictBytes,
         Metric::SampledRows,
@@ -79,6 +92,12 @@ impl Metric {
         Metric::NotebookEntries,
         Metric::SuggestionsServed,
         Metric::DistanceCacheHits,
+        Metric::CatalogHits,
+        Metric::CatalogMisses,
+        Metric::HttpRequests,
+        Metric::AdmissionRejected,
+        Metric::JobsCompleted,
+        Metric::JobsCancelled,
     ];
 
     /// Number of counters.
@@ -108,6 +127,12 @@ impl Metric {
             Metric::NotebookEntries => "notebook_entries",
             Metric::SuggestionsServed => "suggestions_served",
             Metric::DistanceCacheHits => "distance_cache_hits",
+            Metric::CatalogHits => "catalog_hits",
+            Metric::CatalogMisses => "catalog_misses",
+            Metric::HttpRequests => "http_requests",
+            Metric::AdmissionRejected => "admission_rejected",
+            Metric::JobsCompleted => "jobs_completed",
+            Metric::JobsCancelled => "jobs_cancelled",
         }
     }
 }

@@ -117,6 +117,41 @@ impl Registry {
         }
     }
 
+    /// Folds another registry's counters and histograms into this one —
+    /// the request-end step of the serving layer's merge-at-join
+    /// discipline: each request records into its own registry, and the
+    /// finished snapshot is added to the server-global one here, so the
+    /// global totals are additive and independent of request
+    /// interleaving. Spans are *not* merged: a span tree describes one
+    /// run, and the per-request registry remains the place to export it.
+    ///
+    /// Reads of `other` are relaxed snapshots; merge a registry after
+    /// its run has finished (concurrent writers would not corrupt
+    /// anything, but the merged totals would be a point-in-time cut).
+    pub fn merge(&self, other: &Registry) {
+        for m in Metric::ALL {
+            let v = other.get(m);
+            if v != 0 {
+                self.add(m, v);
+            }
+        }
+        for i in 0..Hist::COUNT {
+            let src = &other.hists[i];
+            if src.count.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let dst = &self.hists[i];
+            dst.count.fetch_add(src.count.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.sum.fetch_add(src.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            for (d, s) in dst.buckets.iter().zip(src.buckets.iter()) {
+                let v = s.load(Ordering::Relaxed);
+                if v != 0 {
+                    d.fetch_add(v, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Snapshot of every counter, indexed like [`Metric::ALL`]. Used by
     /// determinism tests to compare whole runs.
     pub fn counter_snapshot(&self) -> Vec<u64> {
@@ -265,6 +300,32 @@ mod tests {
         r.merge_local(&b);
         assert_eq!(r.get(Metric::PermutationRounds), 150);
         assert_eq!(r.get(Metric::EarlyStopHits), 1);
+    }
+
+    #[test]
+    fn merge_folds_counters_and_histograms_but_not_spans() {
+        let global = Registry::new();
+        global.add(Metric::HttpRequests, 2);
+        global.record(Hist::CubeGroups, 4);
+        let request = Registry::new();
+        request.add(Metric::RowsScanned, 10);
+        request.record(Hist::CubeGroups, 4);
+        request.record(Hist::CubeGroups, 1000);
+        {
+            let _s = request.span("run");
+        }
+        global.merge(&request);
+        assert_eq!(global.get(Metric::RowsScanned), 10);
+        assert_eq!(global.get(Metric::HttpRequests), 2);
+        let rep = global.report();
+        let h = rep.histograms.iter().find(|h| h.name == "cube_groups").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1008);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+        assert!(rep.spans.is_empty(), "merge must not adopt the request's span tree");
+        // Merging twice keeps adding (the caller owns idempotence).
+        global.merge(&request);
+        assert_eq!(global.get(Metric::RowsScanned), 20);
     }
 
     #[test]

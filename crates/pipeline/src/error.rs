@@ -6,6 +6,8 @@
 //! harness, notebook servers — can report and recover instead of
 //! unwinding.
 
+use cn_engine::EngineError;
+use cn_obs::cancel::Cancelled;
 use std::error::Error;
 use std::fmt;
 
@@ -75,6 +77,16 @@ pub enum PipelineError {
         /// Number of entries in the notebook sequence.
         len: usize,
     },
+    /// The run was cancelled cooperatively — its
+    /// [`cn_obs::CancelToken`] fired between phases or inside the
+    /// permutation-test loop.
+    Cancelled {
+        /// True when the token's deadline passed, false when a caller
+        /// cancelled explicitly (client gone, server draining).
+        deadline_exceeded: bool,
+    },
+    /// A cube invariant violation surfaced by the execution engine.
+    Engine(EngineError),
 }
 
 impl fmt::Display for PipelineError {
@@ -92,6 +104,10 @@ impl fmt::Display for PipelineError {
             PipelineError::AnchorOutOfRange { anchor, len } => {
                 write!(f, "anchor entry {anchor} out of range for a {len}-entry notebook")
             }
+            PipelineError::Cancelled { deadline_exceeded } => {
+                Cancelled { deadline_exceeded: *deadline_exceeded }.fmt(f)
+            }
+            PipelineError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -100,6 +116,7 @@ impl Error for PipelineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PipelineError::InvalidConfig(e) => Some(e),
+            PipelineError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -108,6 +125,18 @@ impl Error for PipelineError {
 impl From<ConfigError> for PipelineError {
     fn from(e: ConfigError) -> Self {
         PipelineError::InvalidConfig(e)
+    }
+}
+
+impl From<Cancelled> for PipelineError {
+    fn from(e: Cancelled) -> Self {
+        PipelineError::Cancelled { deadline_exceeded: e.deadline_exceeded }
+    }
+}
+
+impl From<EngineError> for PipelineError {
+    fn from(e: EngineError) -> Self {
+        PipelineError::Engine(e)
     }
 }
 
@@ -124,6 +153,19 @@ mod tests {
         assert!(e.to_string().contains('3') && e.to_string().contains('7'));
         let a = PipelineError::AnchorOutOfRange { anchor: 9, len: 2 };
         assert!(a.to_string().contains('9') && a.to_string().contains('2'));
+    }
+
+    #[test]
+    fn cancellation_and_engine_errors_convert_and_display() {
+        let e: PipelineError = Cancelled { deadline_exceeded: true }.into();
+        assert!(matches!(e, PipelineError::Cancelled { deadline_exceeded: true }));
+        assert!(e.to_string().contains("deadline"));
+        let e: PipelineError = Cancelled { deadline_exceeded: false }.into();
+        assert!(e.to_string().contains("cancelled"));
+        let e: PipelineError = EngineError::RollupNotSubset { attr: 4 }.into();
+        assert!(matches!(&e, PipelineError::Engine(_)));
+        assert!(e.to_string().contains("subset"));
+        assert!(Error::source(&e).is_some());
     }
 
     #[test]

@@ -28,11 +28,12 @@ pub mod run;
 pub mod session;
 pub mod tap_adapter;
 
+pub use cn_obs::CancelToken;
 pub use config::{
     GeneratorConfig, GeneratorConfigBuilder, GeneratorKind, QueryGeneration, SamplingStrategy,
     TapSolverChoice,
 };
 pub use error::{ConfigError, PipelineError};
 pub use phases::{PhaseTimings, PHASES, ROOT_SPAN};
-pub use run::{run, run_observed, RunResult};
+pub use run::{run, run_cancellable, run_observed, RunResult};
 pub use session::{continue_notebook, suggest_continuations, ExplorationSession, Suggestion};

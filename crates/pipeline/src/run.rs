@@ -22,7 +22,7 @@ use cn_insight::transitivity::prune_deducible;
 use cn_insight::types::InsightType;
 use cn_interest::score_queries;
 use cn_notebook::Notebook;
-use cn_obs::{Hist, Metric, Registry};
+use cn_obs::{CancelToken, Hist, Metric, Registry};
 use cn_stats::rng::derive_seed;
 use cn_tabular::sampling::{random_sample, unbalanced_sample};
 use cn_tabular::{AttrId, Table};
@@ -92,7 +92,27 @@ pub fn run_observed(
     config: &GeneratorConfig,
     obs: &Registry,
 ) -> Result<RunResult, PipelineError> {
+    run_cancellable(table, config, obs, CancelToken::never())
+}
+
+/// [`run_observed`] under a cooperative [`CancelToken`]: the token is
+/// polled between every Figure 1 phase and inside the permutation-test
+/// loop (once per value pair), so a fired token — explicit cancel or a
+/// passed deadline — surfaces as [`PipelineError::Cancelled`] within one
+/// unit of work instead of after the run completes. A deadline also caps
+/// the exact TAP solver's wall-clock timeout, generalizing the mechanism
+/// that solver has always used.
+///
+/// # Errors
+/// As [`run`], plus [`PipelineError::Cancelled`].
+pub fn run_cancellable(
+    table: &Table,
+    config: &GeneratorConfig,
+    obs: &Registry,
+    cancel: &CancelToken,
+) -> Result<RunResult, PipelineError> {
     config.validate()?;
+    cancel.check()?;
     if table.n_rows() == 0 {
         return Err(PipelineError::EmptyTable);
     }
@@ -119,6 +139,7 @@ pub fn run_observed(
         }
     }
     timings.fd_detection = sp.finish();
+    cancel.check()?;
 
     // Phase 1: offline sampling (Section 5.1.2).
     let sp = obs.span("sampling");
@@ -146,15 +167,17 @@ pub fn run_observed(
         }
     }
     timings.sampling = sp.finish();
+    cancel.check()?;
 
     // Phase 2: statistical tests, parallel over (attribute, value pair).
     let sp = obs.span("stat_tests");
     let (significant, n_tested) =
-        run_tests_parallel(table, &test_tables, &gen_cfg, config.n_threads, obs);
+        run_tests_parallel(table, &test_tables, &gen_cfg, config.n_threads, obs, cancel)?;
     let significant =
         if gen_cfg.prune_transitive { prune_deducible(significant) } else { significant };
     let n_significant = significant.len();
     timings.stat_tests = sp.finish();
+    cancel.check()?;
 
     // Phase 3: group-by planning + cube materialization + hypothesis-query
     // evaluation.
@@ -165,7 +188,7 @@ pub fn run_observed(
     let pair_cubes = match config.generation {
         QueryGeneration::NaiveBounded => {
             timings.set_cover = std::time::Duration::ZERO;
-            build_pair_cubes_naive(table, &needed_pairs, config.n_threads, obs)
+            build_pair_cubes_naive(table, &needed_pairs, config.n_threads, obs)?
         }
         QueryGeneration::Wsc { memory_budget_bytes } => {
             let sc = obs.span("set_cover");
@@ -184,6 +207,7 @@ pub fn run_observed(
             build_pair_cubes_wsc(table, &needed_pairs, plan.as_ref(), config.n_threads, obs)?
         }
     };
+    cancel.check()?;
     let evals: Vec<SiteEval> = parallel_map(&sites, config.n_threads, |site| {
         let eligible = eligible_groupers(table, site.select_on, &gen_cfg.excluded_pairs);
         evaluate_site_with(
@@ -201,6 +225,7 @@ pub fn run_observed(
     let output: GenerationOutput =
         assemble_output(&significant, &sites, evals, n_tested, n_significant);
     timings.hypothesis_eval = sp.finish();
+    cancel.check()?;
 
     // Phase 4: interestingness + Algorithm 1 dedup. Zero-interest queries
     // are kept: Algorithm 3 (and the exact model) admit any query within
@@ -212,6 +237,7 @@ pub fn run_observed(
     let (queries, interests) = dedup_by_grouping(output.queries, interests);
     obs.add(Metric::DedupDropped, (n_queries_before_dedup - queries.len()) as u64);
     timings.interest = sp.finish();
+    cancel.check()?;
 
     // Phase 5: TAP resolution.
     let sp = obs.span("tap");
@@ -219,11 +245,19 @@ pub fn run_observed(
     let (solution, tap_timed_out) = match &config.solver {
         TapSolverChoice::Heuristic => (solve_heuristic_observed(&tap, &config.budgets, obs), false),
         TapSolverChoice::Exact(exact_cfg) => {
-            let r = solve_exact_observed(&tap, &config.budgets, exact_cfg, obs);
+            // A request deadline caps the solver's own timeout — the
+            // anytime search returns its best feasible sequence within
+            // whatever wall clock the token leaves us.
+            let mut exact_cfg = *exact_cfg;
+            if let Some(remaining) = cancel.remaining() {
+                exact_cfg.timeout = exact_cfg.timeout.min(remaining);
+            }
+            let r = solve_exact_observed(&tap, &config.budgets, &exact_cfg, obs);
             (r.solution, r.timed_out)
         }
     };
     timings.tap = sp.finish();
+    cancel.check()?;
 
     // Phase 6: notebook construction.
     let sp = obs.span("notebook");
@@ -271,7 +305,8 @@ fn run_tests_parallel(
     gen_cfg: &cn_insight::generation::GenerationConfig,
     n_threads: usize,
     obs: &Registry,
-) -> (Vec<SignificantInsight>, usize) {
+    cancel: &CancelToken,
+) -> Result<(Vec<SignificantInsight>, usize), PipelineError> {
     let attrs: Vec<AttrId> = table.schema().attribute_ids().collect();
     let testers: Vec<AttributeTester> = attrs
         .iter()
@@ -288,12 +323,18 @@ fn run_tests_parallel(
     // Workers count into their scratch's LocalMetrics; the per-worker
     // states merge into `obs` at join, so counters are bit-identical
     // across thread counts.
-    let (raw_per_task, scratches): (Vec<Vec<RawTest>>, Vec<cn_stats::BatchScratch>) =
+    // Cancellation is polled inside each worker's permutation-test loop
+    // (per value pair); a fired token makes the remaining tasks no-ops,
+    // and the first worker error surfaces after the join.
+    type TaskResult = Result<Vec<RawTest>, cn_obs::Cancelled>;
+    let (raw_per_task, scratches): (Vec<TaskResult>, Vec<cn_stats::BatchScratch>) =
         parallel_map_collect(
             &tasks,
             n_threads,
             cn_stats::BatchScratch::default,
-            |scratch, (ai, pairs)| testers[*ai].test_pairs_with(pairs, &gen_cfg.test, scratch),
+            |scratch, (ai, pairs)| {
+                testers[*ai].test_pairs_cancellable(pairs, &gen_cfg.test, scratch, cancel)
+            },
         );
     for scratch in &scratches {
         obs.merge_local(&scratch.metrics);
@@ -301,6 +342,7 @@ fn run_tests_parallel(
     let mut n_tested = 0usize;
     let mut families: Vec<Vec<RawTest>> = vec![Vec::new(); attrs.len()];
     for ((ai, _), raws) in tasks.iter().zip(raw_per_task) {
+        let raws = raws?;
         obs.record(Hist::TestsPerTask, raws.len() as u64);
         n_tested += raws.len();
         families[*ai].extend(raws);
@@ -309,7 +351,7 @@ fn run_tests_parallel(
     for family in &families {
         significant.extend(finalize_family_observed(family, &gen_cfg.test, obs));
     }
-    (significant, n_tested)
+    Ok((significant, n_tested))
 }
 
 /// Ordered `(A, B)` pairs that hypothesis-query evaluation will touch.
@@ -330,6 +372,9 @@ fn collect_needed_pairs(
     out
 }
 
+/// An oriented pair cube keyed by raw attribute ids.
+type PairCube = ((u16, u16), Cube);
+
 /// Naive-bounded plan: one cube scan per *unordered* needed pair
 /// (`n(n−1)/2` scans at most, Section 5.2.1), rolled up into the ordered
 /// orientations required.
@@ -338,7 +383,7 @@ fn build_pair_cubes_naive(
     needed: &[(AttrId, AttrId)],
     n_threads: usize,
     obs: &Registry,
-) -> HashMap<(u16, u16), Cube> {
+) -> Result<HashMap<(u16, u16), Cube>, PipelineError> {
     let mut by_unordered: HashMap<(AttrId, AttrId), Vec<(AttrId, AttrId)>> = HashMap::new();
     for &(a, b) in needed {
         let key = if a <= b { (a, b) } else { (b, a) };
@@ -346,22 +391,26 @@ fn build_pair_cubes_naive(
     }
     type PairGroup = ((AttrId, AttrId), Vec<(AttrId, AttrId)>);
     let groups: Vec<PairGroup> = by_unordered.into_iter().collect();
-    let built: Vec<Vec<((u16, u16), Cube)>> =
+    let built: Vec<Result<Vec<PairCube>, cn_engine::EngineError>> =
         parallel_map(&groups, n_threads, |(unordered, orientations)| {
-            let base = Cube::build_observed(table, &[unordered.0, unordered.1], obs);
+            let base = Cube::try_build_observed(table, &[unordered.0, unordered.1], obs)?;
             orientations
                 .iter()
                 .map(|&(a, b)| {
                     let cube = if base.attrs() == [a, b] {
                         base.clone()
                     } else {
-                        base.rollup_observed(&[a, b], obs)
+                        base.try_rollup_observed(&[a, b], obs)?
                     };
-                    ((a.0, b.0), cube)
+                    Ok(((a.0, b.0), cube))
                 })
                 .collect()
         });
-    built.into_iter().flatten().collect()
+    let mut out = HashMap::new();
+    for group in built {
+        out.extend(group?);
+    }
+    Ok(out)
 }
 
 /// Algorithm 2 plan: materialize the set-cover's group-by sets (in
@@ -374,7 +423,7 @@ fn build_pair_cubes_wsc(
     obs: &Registry,
 ) -> Result<HashMap<(u16, u16), Cube>, PipelineError> {
     let Some(plan) = plan else {
-        return Ok(build_pair_cubes_naive(table, needed, n_threads, obs));
+        return build_pair_cubes_naive(table, needed, n_threads, obs);
     };
     // Which plan sets do we actually need?
     let mut set_for_pair: HashMap<(AttrId, AttrId), usize> = HashMap::new();
@@ -392,18 +441,28 @@ fn build_pair_cubes_wsc(
         }
         set_for_pair.insert((a, b), idx);
     }
-    let materialized: Vec<(usize, Cube)> = parallel_map(&needed_sets, n_threads, |&idx| {
-        (idx, Cube::build_observed(table, &plan.group_by_sets[idx], obs))
-    });
-    let cube_by_set: HashMap<usize, Cube> = materialized.into_iter().collect();
+    let materialized: Vec<Result<(usize, Cube), cn_engine::EngineError>> =
+        parallel_map(&needed_sets, n_threads, |&idx| {
+            Ok((idx, Cube::try_build_observed(table, &plan.group_by_sets[idx], obs)?))
+        });
+    let cube_by_set: HashMap<usize, Cube> = materialized.into_iter().collect::<Result<_, _>>()?;
     let pairs: Vec<((AttrId, AttrId), usize)> = set_for_pair.into_iter().collect();
-    let rolled: Vec<((u16, u16), Cube)> = parallel_map(&pairs, n_threads, |&((a, b), idx)| {
-        let base = &cube_by_set[&idx];
-        let cube =
-            if base.attrs() == [a, b] { base.clone() } else { base.rollup_observed(&[a, b], obs) };
-        ((a.0, b.0), cube)
-    });
-    Ok(rolled.into_iter().collect())
+    let rolled: Vec<Result<PairCube, cn_engine::EngineError>> =
+        parallel_map(&pairs, n_threads, |&((a, b), idx)| {
+            let base = &cube_by_set[&idx];
+            let cube = if base.attrs() == [a, b] {
+                base.clone()
+            } else {
+                base.try_rollup_observed(&[a, b], obs)?
+            };
+            Ok(((a.0, b.0), cube))
+        });
+    let mut out = HashMap::new();
+    for r in rolled {
+        let (k, v) = r?;
+        out.insert(k, v);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -585,6 +644,26 @@ mod tests {
         // removed), so it retains at least as many positive-interest
         // queries.
         assert!(r_sig.queries.len() >= r_full.queries.len());
+    }
+
+    #[test]
+    fn cancelled_runs_surface_a_typed_error() {
+        let t = test_table();
+        // An already-fired token cancels before any phase runs.
+        let token = CancelToken::new();
+        token.cancel();
+        let r = run_cancellable(&t, &base_config(), Registry::discard(), &token);
+        assert!(matches!(r, Err(PipelineError::Cancelled { deadline_exceeded: false })));
+        // An expired deadline cancels too, and says why.
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let r = run_cancellable(&t, &base_config(), Registry::discard(), &token);
+        assert!(matches!(r, Err(PipelineError::Cancelled { deadline_exceeded: true })));
+        // A generous deadline changes nothing about the result.
+        let token = CancelToken::with_deadline(Duration::from_secs(600));
+        let a = run_cancellable(&t, &base_config(), Registry::discard(), &token).unwrap();
+        let b = run(&t, &base_config()).unwrap();
+        assert_eq!(a.insight_keys(), b.insight_keys());
+        assert_eq!(a.notebook.len(), b.notebook.len());
     }
 
     #[test]

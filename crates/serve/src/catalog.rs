@@ -1,0 +1,240 @@
+//! The dataset catalog: named datasets resolved to loaded [`Table`]s,
+//! with an LRU cache so a warm dataset is never re-parsed from CSV.
+//!
+//! Registration happens at server construction (CSV paths or already
+//! built in-memory tables); requests then refer to datasets by name.
+//! Every lookup lands on exactly one of two counters — `catalog_hits`
+//! (served from memory) or `catalog_misses` (had to parse the CSV) —
+//! so `/metrics` can prove that a warmed-up server does no repeated
+//! parsing work.
+
+use cn_obs::{Metric, Registry};
+use cn_tabular::csv::{read_path, CsvOptions};
+use cn_tabular::Table;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// A CSV-backed dataset registration.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Name clients use in requests.
+    pub name: String,
+    /// CSV file to load on first use.
+    pub path: PathBuf,
+    /// Columns treated as measures (`None` = inferred).
+    pub measures: Option<Vec<String>>,
+    /// Columns dropped entirely.
+    pub ignore: Vec<String>,
+}
+
+/// Why a dataset lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// No dataset registered under this name.
+    Unknown(String),
+    /// The CSV exists in the catalog but failed to load.
+    Load {
+        /// Dataset name.
+        name: String,
+        /// The loader's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Unknown(name) => write!(f, "unknown dataset `{name}`"),
+            CatalogError::Load { name, message } => {
+                write!(f, "failed to load dataset `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+struct Lru {
+    map: HashMap<String, Arc<Table>>,
+    /// Names from least- to most-recently used.
+    order: Vec<String>,
+}
+
+impl Lru {
+    fn touch(&mut self, name: &str) {
+        self.order.retain(|n| n != name);
+        self.order.push(name.to_string());
+    }
+}
+
+/// The catalog itself. Shared across workers behind an `Arc`; the LRU
+/// state sits under one mutex, which also serializes cold loads so a
+/// thundering herd on an unloaded dataset parses the CSV once.
+pub struct Catalog {
+    specs: Vec<DatasetSpec>,
+    /// In-memory datasets (demo tables); never evicted, always a hit.
+    pinned: HashMap<String, Arc<Table>>,
+    cache: Mutex<Lru>,
+    capacity: usize,
+    obs: Arc<Registry>,
+}
+
+impl Catalog {
+    /// An empty catalog caching at most `capacity` CSV-backed tables.
+    pub fn new(capacity: usize, obs: Arc<Registry>) -> Catalog {
+        Catalog {
+            specs: Vec::new(),
+            pinned: HashMap::new(),
+            cache: Mutex::new(Lru { map: HashMap::new(), order: Vec::new() }),
+            capacity: capacity.max(1),
+            obs,
+        }
+    }
+
+    /// The registry this catalog counts hits and misses into.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.obs.clone()
+    }
+
+    /// True when a dataset is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.pinned.contains_key(name) || self.specs.iter().any(|s| s.name == name)
+    }
+
+    /// Registers a CSV-backed dataset (loaded lazily, LRU-cached).
+    pub fn register(&mut self, spec: DatasetSpec) {
+        self.specs.retain(|s| s.name != spec.name);
+        self.specs.push(spec);
+    }
+
+    /// Registers an in-memory dataset under `name` (never re-loaded).
+    pub fn register_table(&mut self, name: &str, table: Table) {
+        self.pinned.insert(name.to_string(), Arc::new(table));
+    }
+
+    /// `(name, loaded)` for every registered dataset, sorted by name.
+    pub fn list(&self) -> Vec<(String, bool)> {
+        let cache = self.cache.lock().unwrap();
+        let mut out: Vec<(String, bool)> = self
+            .specs
+            .iter()
+            .map(|s| (s.name.clone(), cache.map.contains_key(&s.name)))
+            .chain(self.pinned.keys().map(|n| (n.clone(), true)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Resolves `name` to a loaded table, counting a hit or a miss.
+    ///
+    /// # Errors
+    /// [`CatalogError::Unknown`] for unregistered names,
+    /// [`CatalogError::Load`] when the CSV fails to parse.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>, CatalogError> {
+        if let Some(t) = self.pinned.get(name) {
+            self.obs.inc(Metric::CatalogHits);
+            return Ok(t.clone());
+        }
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| CatalogError::Unknown(name.to_string()))?;
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(t) = cache.map.get(name).cloned() {
+            self.obs.inc(Metric::CatalogHits);
+            cache.touch(name);
+            return Ok(t);
+        }
+        self.obs.inc(Metric::CatalogMisses);
+        let options = CsvOptions {
+            measures: spec.measures.clone(),
+            ignore: spec.ignore.clone(),
+            ..Default::default()
+        };
+        let table = read_path(&spec.path, &options)
+            .map(Arc::new)
+            .map_err(|e| CatalogError::Load { name: name.to_string(), message: e.to_string() })?;
+        if cache.map.len() >= self.capacity {
+            if let Some(evicted) = cache.order.first().cloned() {
+                cache.order.remove(0);
+                cache.map.remove(&evicted);
+            }
+        }
+        cache.map.insert(name.to_string(), table.clone());
+        cache.touch(name);
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn csv_file(dir: &std::path::Path, name: &str, rows: usize) -> PathBuf {
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "region,channel,sales").unwrap();
+        for i in 0..rows {
+            writeln!(f, "r{},c{},{}.5", i % 3, i % 2, i).unwrap();
+        }
+        path
+    }
+
+    fn spec(name: &str, path: PathBuf) -> DatasetSpec {
+        DatasetSpec { name: name.to_string(), path, measures: None, ignore: Vec::new() }
+    }
+
+    #[test]
+    fn caches_loads_and_counts_hits_and_misses() {
+        let dir = std::env::temp_dir().join("cn_serve_catalog_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Arc::new(Registry::new());
+        let mut catalog = Catalog::new(4, obs.clone());
+        catalog.register(spec("a", csv_file(&dir, "a.csv", 12)));
+        assert_eq!(catalog.get("a").unwrap().n_rows(), 12);
+        assert_eq!(catalog.get("a").unwrap().n_rows(), 12);
+        assert_eq!(obs.get(Metric::CatalogMisses), 1, "one cold load");
+        assert_eq!(obs.get(Metric::CatalogHits), 1, "one warm hit");
+        assert!(matches!(catalog.get("nope"), Err(CatalogError::Unknown(_))));
+        let bad = dir.join("missing.csv");
+        catalog.register(spec("bad", bad));
+        assert!(matches!(catalog.get("bad"), Err(CatalogError::Load { .. })));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let dir = std::env::temp_dir().join("cn_serve_catalog_lru");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Arc::new(Registry::new());
+        let mut catalog = Catalog::new(2, obs.clone());
+        for name in ["a", "b", "c"] {
+            catalog.register(spec(name, csv_file(&dir, &format!("{name}.csv"), 6)));
+        }
+        catalog.get("a").unwrap();
+        catalog.get("b").unwrap();
+        catalog.get("a").unwrap(); // refresh `a`; `b` is now the LRU entry
+        catalog.get("c").unwrap(); // evicts `b`
+        assert_eq!(obs.get(Metric::CatalogMisses), 3);
+        catalog.get("a").unwrap(); // still cached
+        assert_eq!(obs.get(Metric::CatalogMisses), 3);
+        catalog.get("b").unwrap(); // evicted → reload
+        assert_eq!(obs.get(Metric::CatalogMisses), 4);
+    }
+
+    #[test]
+    fn pinned_tables_always_hit_and_appear_loaded() {
+        let schema = cn_tabular::Schema::new(vec!["g"], vec!["m"]).unwrap();
+        let mut b = cn_tabular::TableBuilder::new("demo", schema);
+        b.push_row(&["x"], &[1.0]).unwrap();
+        let obs = Arc::new(Registry::new());
+        let mut catalog = Catalog::new(2, obs.clone());
+        catalog.register_table("demo", b.finish());
+        assert_eq!(catalog.get("demo").unwrap().n_rows(), 1);
+        assert_eq!(obs.get(Metric::CatalogMisses), 0);
+        assert_eq!(obs.get(Metric::CatalogHits), 1);
+        assert_eq!(catalog.list(), vec![("demo".to_string(), true)]);
+    }
+}

@@ -1,0 +1,210 @@
+//! A deliberately small HTTP/1.1 subset over `std::net`.
+//!
+//! The service speaks exactly what its JSON API needs: request line +
+//! headers + optional `Content-Length` body in, `Connection: close`
+//! JSON responses out. No keep-alive, no chunked encoding, no TLS —
+//! the same dependency-light discipline as the rest of the workspace
+//! (cf. the `cn-obs` schema validator).
+
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest request body the server will read (1 MiB) — the API only
+/// carries small JSON documents, so anything bigger is hostile.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw body bytes (empty when the request has none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body parsed as JSON; `None` when empty or malformed.
+    pub fn json(&self) -> Option<Value> {
+        let text = std::str::from_utf8(&self.body).ok()?;
+        serde_json::from_str(text).ok()
+    }
+
+    /// Path split into non-empty segments (`/v1/notebooks/3` →
+    /// `["v1", "notebooks", "3"]`).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The stream closed or timed out before a full request arrived.
+    Io(String),
+    /// The request line or a header was malformed.
+    Malformed(&'static str),
+    /// The declared body length exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error reading request: {e}"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::BodyTooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte limit")
+            }
+        }
+    }
+}
+
+/// Reads one request from `stream`, honoring `Content-Length`.
+///
+/// # Errors
+/// [`ParseError`] on a malformed request line, unreadable headers, or
+/// an oversized body.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    // A slow or stalled client must not wedge a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| ParseError::Io(e.to_string()))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(ParseError::Malformed("empty request line"))?.to_uppercase();
+    let target = parts.next().ok_or(ParseError::Malformed("missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header).map_err(|e| ParseError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ParseError::Malformed("connection closed inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("unparseable content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| ParseError::Io(e.to_string()))?;
+    Ok(Request { method, path, body })
+}
+
+/// An outgoing JSON response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Pre-serialized JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with `status` and a JSON `body`.
+    pub fn json(status: u16, body: &Value) -> Response {
+        Response { status, body: serde_json::to_string(body).unwrap_or_default() }
+    }
+
+    /// The standard error envelope: `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &serde_json::json!({ "error": message }))
+    }
+
+    /// Writes the response (status line, headers, body) and flushes.
+    pub fn write(&self, stream: &mut TcpStream) {
+        let reason = reason_phrase(self.status);
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.body.len()
+        );
+        // The client may already be gone; nothing useful to do about it.
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(self.body.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn roundtrip(raw: &str) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(
+            "POST /v1/notebooks?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 16\r\n\r\n{\"dataset\":\"d\"}\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/notebooks");
+        assert_eq!(req.segments(), vec!["v1", "notebooks"]);
+        let json = req.json().unwrap();
+        assert_eq!(json["dataset"], "d");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = roundtrip("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.json().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_requests() {
+        assert!(matches!(roundtrip("\r\n\r\n"), Err(ParseError::Malformed(_))));
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(roundtrip(&huge), Err(ParseError::BodyTooLarge(_))));
+    }
+}

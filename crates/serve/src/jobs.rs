@@ -1,0 +1,264 @@
+//! Generation jobs: the unit of work flowing through the bounded queue,
+//! the shared job store, and the worker loop that runs the pipeline
+//! under a per-request [`CancelToken`] and a per-request metrics
+//! registry.
+
+use crate::catalog::{Catalog, CatalogError};
+use cn_interest::DistanceWeights;
+use cn_obs::{CancelToken, Metric, Registry};
+use cn_pipeline::{run_cancellable, ExplorationSession, GeneratorConfig, PipelineError};
+use cn_tabular::Table;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// What a client asked for (already validated by the HTTP layer).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job id (also the session id for continuations).
+    pub id: u64,
+    /// Catalog name of the dataset.
+    pub dataset: String,
+    /// Wanted notebook length (`ε_t` with unit costs).
+    pub notebook_len: usize,
+    /// Permutations per statistical test.
+    pub n_permutations: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Distance budget override (`None` derives a default).
+    pub epsilon_d: Option<f64>,
+}
+
+/// A queued unit of work.
+pub struct Job {
+    /// The request.
+    pub spec: JobSpec,
+    /// Cancellation signal (explicit or deadline-driven).
+    pub cancel: CancelToken,
+    /// Fired once the job reaches a terminal state in the store.
+    pub done: mpsc::Sender<()>,
+}
+
+/// A finished generation run, kept for `GET /v1/notebooks/{id}` and
+/// `POST /v1/sessions/{id}/continue`.
+pub struct CompletedJob {
+    /// Dataset the notebook was generated from.
+    pub dataset: String,
+    /// The loaded table (shared with the catalog cache).
+    pub table: Arc<Table>,
+    /// Cached exploration artifact serving continuations.
+    pub session: ExplorationSession,
+}
+
+/// Terminal failure of a job, pre-mapped to an HTTP status.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// HTTP status the failure translates to.
+    pub status: u16,
+    /// Human-readable error.
+    pub message: String,
+}
+
+/// Lifecycle of a job in the store.
+#[derive(Clone)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is running the pipeline.
+    Running,
+    /// Finished successfully.
+    Done(Arc<CompletedJob>),
+    /// Finished with an error (including cancellation).
+    Failed(JobFailure),
+}
+
+impl JobStatus {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Shared id allocator + job table.
+pub struct JobStore {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobStatus>>,
+}
+
+impl JobStore {
+    /// An empty store; ids start at 1.
+    pub fn new() -> JobStore {
+        JobStore { next_id: AtomicU64::new(1), jobs: Mutex::new(HashMap::new()) }
+    }
+
+    /// Allocates an id and registers it as [`JobStatus::Queued`].
+    pub fn create(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.jobs.lock().unwrap().insert(id, JobStatus::Queued);
+        id
+    }
+
+    /// Replaces the status of `id`.
+    pub fn set(&self, id: u64, status: JobStatus) {
+        self.jobs.lock().unwrap().insert(id, status);
+    }
+
+    /// Forgets `id` (used when admission control rejects the job).
+    pub fn remove(&self, id: u64) {
+        self.jobs.lock().unwrap().remove(&id);
+    }
+
+    /// Snapshot of the status of `id`.
+    pub fn get(&self, id: u64) -> Option<JobStatus> {
+        self.jobs.lock().unwrap().get(&id).cloned()
+    }
+}
+
+impl Default for JobStore {
+    fn default() -> Self {
+        JobStore::new()
+    }
+}
+
+/// Maps a pipeline failure to its HTTP status.
+fn status_of(e: &PipelineError) -> u16 {
+    match e {
+        PipelineError::Cancelled { .. } => 408,
+        PipelineError::EmptyTable
+        | PipelineError::NoMeasures
+        | PipelineError::NoAttributes
+        | PipelineError::InvalidConfig(_)
+        | PipelineError::AnchorOutOfRange { .. } => 400,
+        PipelineError::PlanGap { .. } | PipelineError::Engine(_) => 500,
+    }
+}
+
+fn generator_config(spec: &JobSpec, n_threads: usize) -> GeneratorConfig {
+    let mut config = GeneratorConfig { n_threads, seed: spec.seed, ..GeneratorConfig::default() };
+    config.budgets.epsilon_t = spec.notebook_len.max(1) as f64;
+    config.budgets.epsilon_d = spec.epsilon_d.unwrap_or_else(|| {
+        0.5 * DistanceWeights::default().max_distance() * spec.notebook_len.max(1) as f64
+    });
+    config.generation_config.test.n_permutations = spec.n_permutations;
+    config.generation_config.test.seed = spec.seed;
+    config
+}
+
+/// Runs one job to a terminal state in `store`, then fires its `done`
+/// channel. Metrics accumulate in a per-request registry that merges
+/// into `global` at the end, win or lose, so `/metrics` reflects every
+/// request exactly once.
+pub fn execute(job: Job, catalog: &Catalog, store: &JobStore, global: &Registry, n_threads: usize) {
+    let id = job.spec.id;
+    store.set(id, JobStatus::Running);
+    let status = match run_job(&job, catalog, global, n_threads) {
+        Ok(completed) => {
+            global.inc(Metric::JobsCompleted);
+            JobStatus::Done(Arc::new(completed))
+        }
+        Err(failure) => {
+            if failure.status == 408 {
+                global.inc(Metric::JobsCancelled);
+            }
+            JobStatus::Failed(failure)
+        }
+    };
+    store.set(id, status);
+    let _ = job.done.send(());
+}
+
+fn run_job(
+    job: &Job,
+    catalog: &Catalog,
+    global: &Registry,
+    n_threads: usize,
+) -> Result<CompletedJob, JobFailure> {
+    // A job that sat in the queue past its deadline must not load data
+    // or start the pipeline at all.
+    job.cancel.check().map_err(|e| JobFailure { status: 408, message: e.to_string() })?;
+    let table = catalog.get(&job.spec.dataset).map_err(|e| JobFailure {
+        status: match e {
+            CatalogError::Unknown(_) => 404,
+            CatalogError::Load { .. } => 500,
+        },
+        message: e.to_string(),
+    })?;
+    let config = generator_config(&job.spec, n_threads);
+    let per_request = Registry::new();
+    let result = run_cancellable(&table, &config, &per_request, &job.cancel);
+    global.merge(&per_request);
+    let run = result.map_err(|e| JobFailure { status: status_of(&e), message: e.to_string() })?;
+    let session = ExplorationSession::new(run, DistanceWeights::default());
+    Ok(CompletedJob { dataset: job.spec.dataset.clone(), table, session })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn store_with_catalog() -> (JobStore, Catalog, Arc<Registry>) {
+        let global = Arc::new(Registry::new());
+        let mut catalog = Catalog::new(2, global.clone());
+        catalog.register_table("demo", cn_datagen::enedis_like(cn_datagen::Scale::TEST, 3));
+        (JobStore::new(), catalog, global)
+    }
+
+    fn spec(id: u64, dataset: &str) -> JobSpec {
+        JobSpec {
+            id,
+            dataset: dataset.to_string(),
+            notebook_len: 3,
+            n_permutations: 99,
+            seed: 1,
+            epsilon_d: None,
+        }
+    }
+
+    #[test]
+    fn a_job_runs_to_done_and_counts() {
+        let (store, catalog, global) = store_with_catalog();
+        let id = store.create();
+        assert_eq!(id, 1);
+        let (tx, rx) = mpsc::channel();
+        let job = Job { spec: spec(id, "demo"), cancel: CancelToken::new(), done: tx };
+        execute(job, &catalog, &store, &global, 2);
+        rx.recv().unwrap();
+        let status = store.get(id).unwrap();
+        assert_eq!(status.name(), "done");
+        let JobStatus::Done(completed) = status else { panic!("expected done") };
+        assert!(!completed.session.run().notebook.is_empty());
+        assert!(completed.session.suggest(0, 2).is_ok());
+        assert_eq!(global.get(Metric::JobsCompleted), 1);
+        // The per-request pipeline counters merged into the global view.
+        assert!(global.get(Metric::TestsPerformed) > 0);
+    }
+
+    #[test]
+    fn expired_deadlines_and_unknown_datasets_fail_typed() {
+        let (store, catalog, global) = store_with_catalog();
+        let (tx, _rx) = mpsc::channel();
+        let id = store.create();
+        let job = Job {
+            spec: spec(id, "demo"),
+            cancel: CancelToken::with_deadline(Duration::ZERO),
+            done: tx.clone(),
+        };
+        execute(job, &catalog, &store, &global, 2);
+        let JobStatus::Failed(f) = store.get(id).unwrap() else { panic!("expected failure") };
+        assert_eq!(f.status, 408);
+        assert!(f.message.contains("deadline"));
+        assert_eq!(global.get(Metric::JobsCancelled), 1);
+
+        let id = store.create();
+        let job = Job { spec: spec(id, "nope"), cancel: CancelToken::new(), done: tx };
+        execute(job, &catalog, &store, &global, 2);
+        let JobStatus::Failed(f) = store.get(id).unwrap() else { panic!("expected failure") };
+        assert_eq!(f.status, 404);
+    }
+}

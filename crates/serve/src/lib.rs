@@ -1,0 +1,62 @@
+//! # cn-serve
+//!
+//! A concurrent notebook-generation service over the `cn-pipeline`
+//! generators — the interactive deployment story the paper sketches
+//! ("starting points of the exploration of a potentially unknown
+//! dataset", Section 6.5), turned into an HTTP API:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/notebooks` | generate a notebook on a named dataset |
+//! | `GET /v1/notebooks/{id}` | job status / finished notebook |
+//! | `POST /v1/sessions/{id}/continue` | continuations from the cached session |
+//! | `GET /v1/datasets` | the dataset catalog |
+//! | `GET /metrics` | `cn-obs` report (validates against `schemas/metrics.schema.json`) |
+//! | `GET /healthz` | liveness + queue depth |
+//!
+//! Three properties carry the design:
+//!
+//! - **Dataset catalog** ([`catalog`]): named datasets resolve to loaded
+//!   tables through an LRU cache; a warm dataset is never re-parsed,
+//!   and the `catalog_hits` / `catalog_misses` counters prove it.
+//! - **Admission control** ([`queue`]): generation jobs flow through a
+//!   bounded queue; at depth, submission fails *immediately* with
+//!   HTTP 429 instead of queueing unbounded latency.
+//! - **Cooperative cancellation** ([`jobs`]): each request carries a
+//!   [`cn_obs::CancelToken`] (optionally deadline-armed) that
+//!   `cn_pipeline::run_cancellable` polls between phases and inside the
+//!   permutation-test loop, so a cancelled request frees its worker
+//!   within one unit of work and surfaces as HTTP 408.
+//!
+//! Everything is `std`-only — homegrown HTTP parsing in [`http`], the
+//! same dependency-light discipline as the `cn-obs` schema validator.
+//!
+//! ```no_run
+//! use cn_serve::{start, Catalog, DatasetSpec, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(cn_serve::Registry::new());
+//! let mut catalog = Catalog::new(8, registry);
+//! catalog.register(DatasetSpec {
+//!     name: "covid".into(),
+//!     path: "data/covid_sample.csv".into(),
+//!     measures: None,
+//!     ignore: vec![],
+//! });
+//! let handle = start(ServeConfig::default(), catalog).expect("bind");
+//! println!("listening on {}", handle.addr());
+//! handle.shutdown();
+//! handle.join();
+//! ```
+
+pub mod catalog;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+pub mod server;
+
+pub use catalog::{Catalog, CatalogError, DatasetSpec};
+pub use cn_obs::Registry;
+pub use jobs::{JobSpec, JobStatus, JobStore};
+pub use queue::{JobQueue, SubmitError};
+pub use server::{start, Handle, ServeConfig};

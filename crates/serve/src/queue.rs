@@ -1,0 +1,147 @@
+//! A bounded MPMC job queue with admission control.
+//!
+//! `submit` never blocks: a full queue rejects the job immediately (the
+//! server turns that into HTTP 429), which keeps tail latency bounded
+//! instead of letting a backlog grow without limit. `pop` blocks until
+//! work arrives or the queue is closed; closing still drains what was
+//! already admitted, which is exactly the graceful-shutdown contract.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue holds `depth` jobs already — admission control fired.
+    Full,
+    /// The queue was closed (server draining); no new work accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "job queue full"),
+            SubmitError::Closed => write!(f, "job queue closed"),
+        }
+    }
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    depth: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `depth` outstanding jobs.
+    pub fn new(depth: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            cond: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues `item`, or rejects it without blocking.
+    ///
+    /// # Errors
+    /// [`SubmitError::Full`] at depth, [`SubmitError::Closed`] after
+    /// [`JobQueue::close`].
+    pub fn submit(&self, item: T) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.items.len() >= self.depth {
+            return Err(SubmitError::Full);
+        }
+        state.items.push_back(item);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cond.wait(state).unwrap();
+        }
+    }
+
+    /// Stops admission and wakes every blocked consumer. Already-queued
+    /// jobs still drain through [`JobQueue::pop`].
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Jobs currently waiting (not the ones already being worked).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when no job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn admission_control_rejects_at_depth() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.submit(1), Ok(()));
+        assert_eq!(q.submit(2), Ok(()));
+        assert_eq!(q.submit(3), Err(SubmitError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.submit(3), Ok(()), "popping frees a slot");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_queued_work_then_stops() {
+        let q = JobQueue::new(4);
+        q.submit("a").unwrap();
+        q.submit("b").unwrap();
+        q.close();
+        assert_eq!(q.submit("c"), Err(SubmitError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays closed");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_submit_and_close() {
+        let q = Arc::new(JobQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.submit(7u32).unwrap();
+        q.close();
+        let mut got: Vec<Option<u32>> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+}

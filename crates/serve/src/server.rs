@@ -1,0 +1,374 @@
+//! The service: a fixed HTTP worker pool over `std::net::TcpListener`,
+//! a bounded generation queue with its own pipeline workers, and a
+//! graceful-shutdown handle.
+//!
+//! Request flow for `POST /v1/notebooks`: the HTTP worker validates the
+//! body, registers the job, submits it to the bounded queue (HTTP 429
+//! right here when admission control refuses), then blocks on the job's
+//! completion signal and renders whatever terminal state the pipeline
+//! worker recorded. Deadlines ride along as a [`CancelToken`] that the
+//! pipeline polls between phases and inside the permutation-test loop.
+
+use crate::catalog::Catalog;
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::jobs::{execute, Job, JobSpec, JobStatus, JobStore};
+use crate::queue::{JobQueue, SubmitError};
+use cn_notebook::to_markdown;
+use cn_obs::{CancelToken, Metric, Registry};
+use serde_json::{json, Value};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Threads answering HTTP connections.
+    pub http_workers: usize,
+    /// Threads running generation jobs.
+    pub pipeline_workers: usize,
+    /// Bounded generation-queue depth (admission control).
+    pub queue_depth: usize,
+    /// LRU capacity of the dataset catalog.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not set `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Worker threads *inside* each pipeline run.
+    pub run_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_workers: 4,
+            pipeline_workers: 2,
+            queue_depth: 16,
+            cache_capacity: 8,
+            default_deadline: None,
+            run_threads: 2,
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    catalog: Catalog,
+    store: JobStore,
+    queue: JobQueue<Job>,
+    global: Arc<Registry>,
+    draining: AtomicBool,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`Handle::shutdown`] then [`Handle::join`].
+pub struct Handle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Handle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server-global metrics registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.shared.global.clone()
+    }
+
+    /// Starts a graceful shutdown: new generation work is refused with
+    /// HTTP 503, already-admitted jobs drain, workers then exit.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for every server thread to exit ([`Handle::shutdown`] first).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `config.addr`, spawns the worker pools, and returns the handle.
+///
+/// # Errors
+/// The bind error, stringified, when the address is unavailable.
+pub fn start(config: ServeConfig, catalog: Catalog) -> Result<Handle, String> {
+    let listener = TcpListener::bind(&config.addr).map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // The catalog was built against the server registry; reuse it so
+    // catalog counters and job counters land in one place.
+    let global = catalog.registry();
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_depth),
+        config,
+        catalog,
+        store: JobStore::new(),
+        global,
+        draining: AtomicBool::new(false),
+    });
+
+    let mut threads = Vec::new();
+    // Pipeline workers: drain the bounded queue until close + empty.
+    for i in 0..shared.config.pipeline_workers.max(1) {
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name(format!("cn-serve-pipeline-{i}"))
+                .spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        execute(
+                            job,
+                            &shared.catalog,
+                            &shared.store,
+                            &shared.global,
+                            shared.config.run_threads,
+                        );
+                    }
+                })
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    // HTTP workers feed from an internal connection queue.
+    let connections: Arc<JobQueue<TcpStream>> = Arc::new(JobQueue::new(1024));
+    for i in 0..shared.config.http_workers.max(1) {
+        let shared = shared.clone();
+        let connections = connections.clone();
+        threads.push(
+            thread::Builder::new()
+                .name(format!("cn-serve-http-{i}"))
+                .spawn(move || {
+                    while let Some(mut stream) = connections.pop() {
+                        serve_connection(&mut stream, &shared);
+                    }
+                })
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    // Accept loop: hand sockets to the HTTP pool until shutdown.
+    {
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("cn-serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        // On a saturated or closing pool the socket simply
+                        // drops, which the client sees as a reset.
+                        let _ = connections.submit(stream);
+                    }
+                    connections.close();
+                })
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    Ok(Handle { addr, shared, threads })
+}
+
+fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
+    let response = match read_request(stream) {
+        Ok(request) => {
+            shared.global.inc(Metric::HttpRequests);
+            route(&request, shared)
+        }
+        Err(ParseError::BodyTooLarge(n)) => {
+            Response::error(413, &format!("body of {n} bytes too large"))
+        }
+        Err(ParseError::Malformed(what)) => Response::error(400, what),
+        // Nothing sensible to say to a dead socket.
+        Err(ParseError::Io(_)) => return,
+    };
+    response.write(stream);
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => handle_healthz(shared),
+        ("GET", ["metrics"]) => handle_metrics(shared),
+        ("GET", ["v1", "datasets"]) => handle_datasets(shared),
+        ("POST", ["v1", "notebooks"]) => handle_generate(request, shared),
+        ("GET", ["v1", "notebooks", id]) => handle_get_notebook(id, shared),
+        ("POST", ["v1", "sessions", id, "continue"]) => handle_continue(id, request, shared),
+        ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
+        _ => Response::error(405, "unsupported method"),
+    }
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let draining = shared.draining.load(Ordering::SeqCst);
+    Response::json(
+        200,
+        &json!({
+            "status": if draining { "draining" } else { "ok" },
+            "jobs_queued": shared.queue.len() as u64,
+        }),
+    )
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    Response { status: 200, body: shared.global.report().to_json_string() }
+}
+
+fn handle_datasets(shared: &Shared) -> Response {
+    let datasets: Vec<Value> = shared
+        .catalog
+        .list()
+        .into_iter()
+        .map(|(name, loaded)| json!({ "name": name, "loaded": loaded }))
+        .collect();
+    Response::json(200, &json!({ "datasets": datasets }))
+}
+
+/// Reads a non-negative integer field, tolerating its absence.
+fn u64_field(body: &Value, key: &str) -> Option<u64> {
+    body.get(key).and_then(Value::as_u64)
+}
+
+fn handle_generate(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "server is draining; not accepting new work");
+    }
+    let Some(body) = request.json() else {
+        return Response::error(400, "request body must be a JSON object");
+    };
+    let Some(dataset) = body.get("dataset").and_then(Value::as_str) else {
+        return Response::error(400, "missing required field `dataset`");
+    };
+    // Fail unknown names before burning a queue slot.
+    if !shared.catalog.contains(dataset) {
+        return Response::error(404, &format!("unknown dataset `{dataset}`"));
+    }
+    let deadline = match u64_field(&body, "deadline_ms") {
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => shared.config.default_deadline,
+    };
+    let cancel = match deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    let id = shared.store.create();
+    let spec = JobSpec {
+        id,
+        dataset: dataset.to_string(),
+        notebook_len: u64_field(&body, "len").unwrap_or(5) as usize,
+        n_permutations: u64_field(&body, "perms").unwrap_or(200).max(1) as usize,
+        seed: u64_field(&body, "seed").unwrap_or(0),
+        epsilon_d: body.get("epsilon_d").and_then(Value::as_f64),
+    };
+    let (done, finished) = mpsc::channel();
+    match shared.queue.submit(Job { spec, cancel, done }) {
+        Ok(()) => {}
+        Err(SubmitError::Full) => {
+            shared.store.remove(id);
+            shared.global.inc(Metric::AdmissionRejected);
+            return Response::error(429, "generation queue full; retry later");
+        }
+        Err(SubmitError::Closed) => {
+            shared.store.remove(id);
+            return Response::error(503, "server is draining; not accepting new work");
+        }
+    }
+    // Wait for the pipeline worker to drive the job to a terminal state.
+    let _ = finished.recv();
+    match shared.store.get(id) {
+        Some(JobStatus::Done(completed)) => Response::json(200, &notebook_payload(id, &completed)),
+        Some(JobStatus::Failed(f)) => Response::error(f.status, &f.message),
+        _ => Response::error(500, "job finished without a terminal state"),
+    }
+}
+
+fn parse_id(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+fn handle_get_notebook(raw_id: &str, shared: &Shared) -> Response {
+    let Some(id) = parse_id(raw_id) else {
+        return Response::error(400, "notebook id must be an integer");
+    };
+    match shared.store.get(id) {
+        None => Response::error(404, &format!("no notebook job {id}")),
+        Some(JobStatus::Done(completed)) => Response::json(200, &notebook_payload(id, &completed)),
+        Some(JobStatus::Failed(f)) => Response::json(
+            200,
+            &json!({ "id": id, "status": "failed", "http_status": f.status, "error": f.message }),
+        ),
+        Some(status) => Response::json(200, &json!({ "id": id, "status": status.name() })),
+    }
+}
+
+fn notebook_payload(id: u64, completed: &crate::jobs::CompletedJob) -> Value {
+    let run = completed.session.run();
+    json!({
+        "id": id,
+        "status": "done",
+        "dataset": completed.dataset.clone(),
+        "entries": run.notebook.len() as u64,
+        "n_tested": run.n_tested as u64,
+        "n_significant": run.n_significant as u64,
+        "total_interest": run.solution.total_interest,
+        "markdown": to_markdown(&run.notebook),
+    })
+}
+
+fn handle_continue(raw_id: &str, request: &Request, shared: &Shared) -> Response {
+    let Some(id) = parse_id(raw_id) else {
+        return Response::error(400, "session id must be an integer");
+    };
+    let completed = match shared.store.get(id) {
+        Some(JobStatus::Done(c)) => c,
+        Some(status) => {
+            return Response::error(
+                409,
+                &format!("session {id} is {}; only done jobs can continue", status.name()),
+            )
+        }
+        None => return Response::error(404, &format!("no session {id}")),
+    };
+    let body = request.json().unwrap_or(Value::Null);
+    let anchor = u64_field(&body, "anchor").unwrap_or(0) as usize;
+    let k = u64_field(&body, "k").unwrap_or(3) as usize;
+    let suggestions = match completed.session.suggest(anchor, k) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let notebook = match completed.session.continue_notebook(&completed.table, anchor, k) {
+        Ok(nb) => nb,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let suggestions: Vec<Value> = suggestions
+        .iter()
+        .map(|s| {
+            json!({
+                "query": s.query as u64,
+                "distance": s.distance,
+                "interest": s.interest,
+                "score": s.score,
+            })
+        })
+        .collect();
+    Response::json(
+        200,
+        &json!({
+            "id": id,
+            "anchor": anchor as u64,
+            "suggestions": suggestions,
+            "markdown": to_markdown(&notebook),
+        }),
+    )
+}

@@ -1,0 +1,198 @@
+//! End-to-end service tests over a real socket: concurrent generation
+//! against the cached catalog, admission-control overflow, deadline
+//! cancellation, and `/metrics` schema validity.
+
+use cn_serve::{start, Catalog, DatasetSpec, Handle, Registry, ServeConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn covid_csv() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../data/covid_sample.csv")
+}
+
+fn schema_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/metrics.schema.json")
+}
+
+fn test_server(queue_depth: usize, pipeline_workers: usize) -> Handle {
+    let registry = Arc::new(Registry::new());
+    let mut catalog = Catalog::new(4, registry);
+    catalog.register(DatasetSpec {
+        name: "covid".to_string(),
+        path: covid_csv(),
+        measures: None,
+        ignore: Vec::new(),
+    });
+    let config =
+        ServeConfig { http_workers: 8, pipeline_workers, queue_depth, ..ServeConfig::default() };
+    start(config, catalog).expect("bind an ephemeral port")
+}
+
+/// Minimal HTTP client: one request, `Connection: close` response.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let json_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .filter(|b| !b.is_empty())
+        .and_then(|b| serde_json::from_str(b).ok())
+        .unwrap_or(Value::Null);
+    (status, json_body)
+}
+
+#[test]
+fn concurrent_generation_over_a_cached_catalog() {
+    let handle = test_server(32, 2);
+    let addr = handle.addr();
+
+    let (status, health) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(health["status"], "ok");
+
+    let (status, datasets) = request(addr, "GET", "/v1/datasets", None);
+    assert_eq!(status, 200);
+    assert_eq!(datasets["datasets"][0]["name"], "covid");
+    assert_eq!(datasets["datasets"][0]["loaded"], false, "nothing loaded yet");
+
+    // Eight concurrent generation requests over the same dataset.
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            thread::spawn(move || {
+                request(
+                    addr,
+                    "POST",
+                    "/v1/notebooks",
+                    Some(&format!(r#"{{"dataset":"covid","len":3,"perms":99,"seed":{i}}}"#)),
+                )
+            })
+        })
+        .collect();
+    let results: Vec<(u16, Value)> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for (status, body) in &results {
+        assert_eq!(*status, 200, "generation failed: {body:?}");
+        assert_eq!(body["status"], "done");
+        assert!(body["entries"].as_u64().unwrap() > 0);
+        assert!(body["markdown"].as_str().unwrap().contains("Comparison notebook"));
+    }
+
+    // The catalog parsed the CSV once; every other lookup was a hit.
+    let report = handle.registry().report();
+    assert_eq!(report.counter("catalog_misses"), 1, "exactly one cold CSV parse");
+    assert_eq!(report.counter("catalog_hits"), 7, "seven warm lookups");
+    assert_eq!(report.counter("jobs_completed"), 8);
+    assert!(report.counter("tests_performed") > 0, "per-request registries merged");
+
+    // A finished job is retrievable, and its session serves continuations.
+    let id = results[0].1["id"].as_u64().unwrap();
+    let (status, body) = request(addr, "GET", &format!("/v1/notebooks/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(body["status"], "done");
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/v1/sessions/{id}/continue"),
+        Some(r#"{"anchor":0,"k":2}"#),
+    );
+    assert_eq!(status, 200, "continuation failed: {body:?}");
+    assert!(!body["suggestions"].as_array().unwrap().is_empty());
+    assert!(body["markdown"].as_str().unwrap().contains("Continuation"));
+
+    // Unknown datasets and unknown jobs are typed 404s.
+    let (status, _) = request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"nope"}"#));
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/v1/notebooks/99999", None);
+    assert_eq!(status, 404);
+
+    // /metrics validates against the repository schema.
+    let (status, metrics) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let schema_text = std::fs::read_to_string(schema_path()).unwrap();
+    let schema: Value = serde_json::from_str(&schema_text).unwrap();
+    cn_core_schema_validate(&metrics, &schema);
+    assert!(metrics["counters"]["http_requests"].as_u64().unwrap() >= 12);
+
+    handle.shutdown();
+    handle.join();
+    assert!(TcpStream::connect(addr).is_err(), "listener closed after shutdown");
+}
+
+fn cn_core_schema_validate(value: &Value, schema: &Value) {
+    if let Err(violations) = cn_obs::schema::validate(value, schema) {
+        panic!("/metrics violates schemas/metrics.schema.json: {violations:?}");
+    }
+}
+
+#[test]
+fn overflow_is_rejected_with_429_and_deadlines_cancel() {
+    let handle = test_server(1, 1);
+    let addr = handle.addr();
+
+    // Occupy the single pipeline worker with a slow job...
+    let slow = thread::spawn(move || {
+        request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"covid","len":4,"perms":20000}"#))
+    });
+    // ... give it time to be admitted and picked up ...
+    thread::sleep(Duration::from_millis(300));
+    // ... then burst: depth 1 means one queues, the rest bounce with 429.
+    let burst: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(move || {
+                request(
+                    addr,
+                    "POST",
+                    "/v1/notebooks",
+                    Some(r#"{"dataset":"covid","len":3,"perms":99}"#),
+                )
+            })
+        })
+        .collect();
+    let burst_results: Vec<(u16, Value)> = burst.into_iter().map(|c| c.join().unwrap()).collect();
+    let rejected = burst_results.iter().filter(|(s, _)| *s == 429).count();
+    let accepted = burst_results.iter().filter(|(s, _)| *s == 200).count();
+    assert!(rejected >= 2, "expected admission rejections, got {burst_results:?}");
+    assert!(accepted >= 1, "the queued request should complete");
+    let (slow_status, _) = slow.join().unwrap();
+    assert_eq!(slow_status, 200);
+
+    // A request whose deadline already passed returns a cancellation
+    // error instead of hanging or running to completion.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/notebooks",
+        Some(r#"{"dataset":"covid","len":3,"perms":99,"deadline_ms":0}"#),
+    );
+    assert_eq!(status, 408, "expected cancellation, got {body:?}");
+    assert!(body["error"].as_str().unwrap().contains("deadline"));
+
+    // The worker pool survives cancellation: the next request succeeds.
+    let (status, body) =
+        request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"covid","len":3,"perms":99}"#));
+    assert_eq!(status, 200, "pool poisoned after cancellation: {body:?}");
+
+    let report = handle.registry().report();
+    assert!(report.counter("admission_rejected") >= 2);
+    assert!(report.counter("jobs_cancelled") >= 1);
+
+    handle.shutdown();
+    handle.join();
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke test of the cn-serve HTTP service against the bundled demo CSV:
+# start the server, generate a notebook, continue the session, pull
+# /metrics, and validate the report against the checked-in schema.
+set -euo pipefail
+
+PORT="${PORT:-7979}"
+BASE="http://127.0.0.1:${PORT}"
+METRICS_OUT="${METRICS_OUT:-serve-metrics.json}"
+
+# SKIP_BUILD=1 reuses existing release binaries (local runs).
+if [ -z "${SKIP_BUILD:-}" ]; then
+  cargo build --release -p cn-core --bin cn
+  cargo build --release -p cn-bench --bin repro
+fi
+
+./target/release/cn serve \
+  --port "${PORT}" \
+  --dataset covid=data/covid_sample.csv \
+  --queue-depth 8 --serve-workers 2 --threads 2 &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "${BASE}/healthz"
+echo
+
+curl -sf "${BASE}/v1/datasets" | grep -q '"covid"'
+
+# Generate a notebook (the body mirrors examples/serve_request.json).
+RESPONSE=$(curl -sf -X POST "${BASE}/v1/notebooks" \
+  -H 'Content-Type: application/json' \
+  -d '{"dataset": "covid", "len": 4, "perms": 99, "seed": 7}')
+echo "${RESPONSE}" | grep -q '"status": *"done"'
+ID=$(echo "${RESPONSE}" | sed -n 's/.*"id": *\([0-9]*\).*/\1/p')
+
+# The finished job is retrievable and serves continuations.
+curl -sf "${BASE}/v1/notebooks/${ID}" | grep -q '"done"'
+curl -sf -X POST "${BASE}/v1/sessions/${ID}/continue" \
+  -d '{"anchor": 0, "k": 2}' | grep -q '"suggestions"'
+
+# A second request must hit the warm catalog (no CSV re-parse).
+curl -sf -X POST "${BASE}/v1/notebooks" \
+  -d '{"dataset": "covid", "len": 3, "perms": 99}' >/dev/null
+curl -sf "${BASE}/metrics" >"${METRICS_OUT}"
+grep -q '"catalog_hits": *1' "${METRICS_OUT}"
+grep -q '"catalog_misses": *1' "${METRICS_OUT}"
+
+./target/release/repro validate-metrics "${METRICS_OUT}" \
+  --schema schemas/metrics.schema.json
+echo "serve smoke passed"
