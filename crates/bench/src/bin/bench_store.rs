@@ -1,0 +1,159 @@
+//! `bench_store` — cold vs. warm generation over the precomputed-insight
+//! store.
+//!
+//! Runs the full pipeline cold, then warm through a disk round-tripped
+//! [`StoreArtifact`], on the same `(table, config)`, and writes
+//! `BENCH_store.json` with the latency split. The warm span tree has no
+//! `stat_tests` span at all — the artifact replaces Phases 0–2 — which
+//! is the whole point: the paper's cost breakdown shows the permutation
+//! tests dominate end-to-end time, and they depend only on data the
+//! store captures once.
+//!
+//! ```bash
+//! cargo run -p cn-bench --release --bin bench_store -- --out BENCH_store.json
+//! ```
+
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::notebook::to_markdown;
+use cn_core::obs::Registry;
+use cn_core::pipeline::store::{build_store_artifact, run_from_store_observed};
+use cn_core::pipeline::{run_observed, GeneratorConfig};
+use cn_core::store::Store;
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_store [--out PATH] [--perms N] [--threads N] [--seed N] [--runs N]\n\
+         defaults: --out BENCH_store.json --perms 200 --threads 2 --seed 21 --runs 3"
+    );
+    std::process::exit(2)
+}
+
+struct Opts {
+    out: PathBuf,
+    perms: usize,
+    threads: usize,
+    seed: u64,
+    runs: usize,
+}
+
+fn parse() -> Opts {
+    let mut opts =
+        Opts { out: PathBuf::from("BENCH_store.json"), perms: 200, threads: 2, seed: 21, runs: 3 };
+    let rest: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |rest: &[String], i: &mut usize| -> String {
+        *i += 1;
+        rest.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => opts.out = PathBuf::from(value(&rest, &mut i)),
+            "--perms" => opts.perms = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => opts.threads = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--runs" => {
+                opts.runs = value(&rest, &mut i).parse().unwrap_or_else(|_| usage());
+                opts.runs = opts.runs.max(1);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let opts = parse();
+    let table = enedis_like(Scale::BENCH, opts.seed);
+    let mut config =
+        GeneratorConfig { n_threads: opts.threads, seed: opts.seed, ..GeneratorConfig::default() };
+    config.generation_config.test.n_permutations = opts.perms;
+    config.generation_config.test.seed = opts.seed;
+
+    // Build once, round-trip through disk so the warm path includes real
+    // deserialization + validation work.
+    let build_started = Instant::now();
+    let artifact = build_store_artifact(&table, &config, "bench").expect("build artifact");
+    let build_time = build_started.elapsed();
+    let dir = std::env::temp_dir().join(format!("cn-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("open store");
+    let artifact_bytes = store.save(&artifact).expect("save artifact");
+
+    // Best-of-N for both paths; the warm run re-loads the artifact every
+    // time, as the server does.
+    let mut cold_best = Duration::MAX;
+    let mut warm_best = Duration::MAX;
+    let mut cold_stat_tests = Duration::ZERO;
+    let mut warm_store_load = Duration::ZERO;
+    let mut warm_has_stat_tests = false;
+    let mut cold_md = String::new();
+    let mut warm_md = String::new();
+    for _ in 0..opts.runs {
+        let obs = Registry::new();
+        let started = Instant::now();
+        let cold = run_observed(&table, &config, &obs).expect("cold run");
+        let elapsed = started.elapsed();
+        if elapsed < cold_best {
+            cold_best = elapsed;
+            cold_stat_tests = obs.report().phase_duration("stat_tests");
+            cold_md = to_markdown(&cold.notebook);
+        }
+
+        let obs = Registry::new();
+        let started = Instant::now();
+        let loaded = store.load("bench").expect("load artifact");
+        let warm = run_from_store_observed(&table, &loaded, &config, &obs).expect("warm run");
+        let elapsed = started.elapsed();
+        let report = obs.report();
+        warm_has_stat_tests |= report.span("stat_tests").is_some();
+        if elapsed < warm_best {
+            warm_best = elapsed;
+            warm_store_load = report.phase_duration("store_load");
+            warm_md = to_markdown(&warm.notebook);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(cold_md, warm_md, "warm result must be bit-identical to cold");
+    assert!(!warm_has_stat_tests, "warm runs must not open a stat_tests span");
+
+    let speedup = ms(cold_best) / ms(warm_best).max(1e-9);
+    let payload = json!({
+        "dataset": "enedis_like(BENCH)",
+        "n_rows": table.n_rows() as u64,
+        "n_permutations": opts.perms as u64,
+        "threads": opts.threads as u64,
+        "runs": opts.runs as u64,
+        "build_ms": ms(build_time),
+        "artifact_bytes": artifact_bytes,
+        "cold_ms": ms(cold_best),
+        "warm_ms": ms(warm_best),
+        "speedup": speedup,
+        "cold_stat_tests_ms": ms(cold_stat_tests),
+        "warm_stat_tests_ms": 0.0,
+        "warm_store_load_ms": ms(warm_store_load),
+        "identical_output": true,
+    });
+    let rendered = serde_json::to_string_pretty(&payload).expect("render report");
+    std::fs::write(&opts.out, rendered).expect("write report");
+    eprintln!(
+        "cold {:.1} ms (stat tests {:.1} ms) → warm {:.1} ms (store load {:.1} ms): {speedup:.1}x",
+        ms(cold_best),
+        ms(cold_stat_tests),
+        ms(warm_best),
+        ms(warm_store_load)
+    );
+    eprintln!("wrote {}", opts.out.display());
+    if speedup < 5.0 {
+        eprintln!("WARNING: speedup below the 5x acceptance bar");
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,9 @@ fn usage() -> ! {
            cn inspect  <csv> [options]   show schema, FDs, and insight-space size\n\
            cn demo [--seed N]            run on a built-in synthetic dataset\n\
            cn serve [options]            run the notebook-generation HTTP service\n\
+           cn store build [options]      precompute warm-start artifacts\n\
+           cn store inspect [options]    describe the artifacts in a store\n\
+           cn store verify [options]     check artifacts against their datasets\n\
          \n\
          SERVE OPTIONS:\n\
            --port N           listen port (default 7878; 0 = ephemeral)\n\
@@ -29,6 +32,14 @@ fn usage() -> ! {
            --queue-depth N    bounded job-queue depth (default 16)\n\
            --serve-workers N  pipeline worker threads (default 2)\n\
            --deadline-ms N    default per-request deadline (default: none)\n\
+           --store-dir DIR    warm-start artifact store + precompute worker\n\
+         \n\
+         STORE OPTIONS:\n\
+           --store-dir DIR    artifact directory (required)\n\
+           --dataset NAME=CSV dataset to build/verify (repeatable)\n\
+           --demo-data        use the built-in demo dataset as `demo`\n\
+           (build/verify also honor --perms, --seed, --sample, --threads;\n\
+            defaults match the server's default request)\n\
          \n\
          OPTIONS:\n\
            --measures a,b,c   treat these columns as measures (default: inferred)\n\
@@ -69,6 +80,7 @@ struct Args {
     queue_depth: usize,
     serve_workers: usize,
     deadline_ms: Option<u64>,
+    store_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -95,6 +107,7 @@ fn parse_args() -> Args {
         queue_depth: 16,
         serve_workers: 2,
         deadline_ms: None,
+        store_dir: None,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -136,6 +149,7 @@ fn parse_args() -> Args {
             "--deadline-ms" => {
                 args.deadline_ms = Some(value(&rest, &mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--store-dir" => args.store_dir = Some(PathBuf::from(value(&rest, &mut i))),
             flag if flag.starts_with("--") => usage(),
             path if args.input.is_none() => args.input = Some(PathBuf::from(path)),
             _ => usage(),
@@ -376,6 +390,7 @@ fn cmd_serve(args: &Args) {
         queue_depth: args.queue_depth,
         default_deadline: args.deadline_ms.map(std::time::Duration::from_millis),
         run_threads: args.threads,
+        store_dir: args.store_dir.clone(),
         ..ServeConfig::default()
     };
     let handle = match start(config, catalog) {
@@ -385,6 +400,9 @@ fn cmd_serve(args: &Args) {
             exit(1)
         }
     };
+    if let Some(dir) = &args.store_dir {
+        eprintln!("warm-start store at {}; precompute worker running", dir.display());
+    }
     eprintln!("cn-serve listening on http://{}", handle.addr());
     eprintln!("  POST /v1/notebooks {{\"dataset\": \"demo\", \"len\": 5}}");
     eprintln!("  GET  /v1/datasets · GET /metrics · GET /healthz");
@@ -393,12 +411,161 @@ fn cmd_serve(args: &Args) {
     handle.join();
 }
 
+/// The datasets named on the command line, loaded eagerly: `--dataset
+/// NAME=CSV` entries plus (or defaulting to) the built-in demo table.
+/// Shared by `cn store build` and `cn store verify`, mirroring how `cn
+/// serve` registers its catalog.
+fn cli_datasets(args: &Args) -> Vec<(String, Table)> {
+    let mut out = Vec::new();
+    for entry in &args.datasets {
+        let Some((name, path)) = entry.split_once('=') else {
+            eprintln!("--dataset expects NAME=CSV, got `{entry}`");
+            exit(2)
+        };
+        let options = CsvOptions {
+            measures: args.measures.clone(),
+            ignore: args.ignore.clone(),
+            ..Default::default()
+        };
+        match read_path(std::path::Path::new(path), &options) {
+            Ok(t) => out.push((name.to_string(), t)),
+            Err(e) => {
+                eprintln!("error reading {path}: {e}");
+                exit(1)
+            }
+        }
+    }
+    if args.demo_data || out.is_empty() {
+        let table = cn_core::datagen::enedis_like(cn_core::datagen::Scale::TEST, args.seed);
+        out.push(("demo".to_string(), table));
+    }
+    out
+}
+
+/// The build/verify configuration: identical prefix fields to what the
+/// server derives for a request leaving `seed`/`perms` at their
+/// defaults, so CLI-built artifacts warm-start served requests.
+fn store_config(args: &Args) -> GeneratorConfig {
+    let mut config =
+        GeneratorConfig { n_threads: args.threads, seed: args.seed, ..GeneratorConfig::default() };
+    config.generation_config.test.n_permutations = args.perms;
+    config.generation_config.test.seed = args.seed;
+    if let Some(fraction) = args.sample {
+        config.sampling = SamplingStrategy::Unbalanced { fraction };
+    }
+    config
+}
+
+fn cmd_store(args: &Args) {
+    use cn_core::pipeline::store::{build_store_artifact, prefix_fingerprint};
+    use cn_core::store::Store;
+
+    let sub = args.input.as_ref().and_then(|p| p.to_str()).unwrap_or_else(|| usage());
+    let dir = args.store_dir.clone().unwrap_or_else(|| usage());
+    let store = match Store::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error opening store at {}: {e}", dir.display());
+            exit(1)
+        }
+    };
+    match sub {
+        "build" => {
+            let config = store_config(args);
+            for (name, table) in cli_datasets(args) {
+                let started = std::time::Instant::now();
+                let artifact = match build_store_artifact(&table, &config, &name) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        eprintln!("error building `{name}`: {e}");
+                        exit(1)
+                    }
+                };
+                match store.save(&artifact) {
+                    Ok(bytes) => eprintln!(
+                        "built `{name}`: {} insights over {} attributes in {:.1?} \
+                         ({bytes} bytes, fingerprint {})",
+                        artifact.families.iter().map(|f| f.insights.len()).sum::<usize>(),
+                        artifact.families.len(),
+                        started.elapsed(),
+                        artifact.fingerprint
+                    ),
+                    Err(e) => {
+                        eprintln!("error saving `{name}`: {e}");
+                        exit(1)
+                    }
+                }
+            }
+        }
+        "inspect" => {
+            let names = match store.list() {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("error listing {}: {e}", dir.display());
+                    exit(1)
+                }
+            };
+            if names.is_empty() {
+                println!("store at {} is empty", dir.display());
+            }
+            for name in names {
+                match store.load(&name) {
+                    Ok(a) => println!(
+                        "{name}: {} rows, {} attrs, {} measures, {} insights, n_tested {}, \
+                         perms {}, fingerprint {}",
+                        a.n_rows,
+                        a.attributes.len(),
+                        a.measures.len(),
+                        a.families.iter().map(|f| f.insights.len()).sum::<usize>(),
+                        a.n_tested,
+                        a.prefix.n_permutations,
+                        a.fingerprint
+                    ),
+                    Err(e) => println!("{name}: UNREADABLE ({e})"),
+                }
+            }
+        }
+        "verify" => {
+            let config = store_config(args);
+            let mut failed = false;
+            for (name, table) in cli_datasets(args) {
+                // `load` already checks magic, version, checksum, and
+                // structural validity; what is left is the binding to
+                // *this* dataset + configuration.
+                match store.load(&name) {
+                    Ok(a) => {
+                        let expected = prefix_fingerprint(&table, &config).to_string();
+                        if a.fingerprint == expected {
+                            println!("{name}: ok (fingerprint {expected})");
+                        } else {
+                            println!(
+                                "{name}: STALE — artifact {}, dataset+config {expected}",
+                                a.fingerprint
+                            );
+                            failed = true;
+                        }
+                    }
+                    Err(e) => {
+                        println!("{name}: INVALID ({e})");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                exit(1)
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
         "inspect" => cmd_inspect(&args),
         "run" => cmd_run(&args),
         "serve" => cmd_serve(&args),
+        "store" => cmd_store(&args),
         "notebook" => {
             let table = load_table(&args);
             cmd_notebook(&args, table);

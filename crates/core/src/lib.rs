@@ -41,6 +41,7 @@
 //! | [`sqlrun`] | parser + executor for the emitted SQL dialect |
 //! | [`pipeline`] | the end-to-end generators of Tables 3 and 7 |
 //! | [`serve`] | HTTP service: dataset catalog, admission control, cancellation |
+//! | [`store`] | persistent precomputed-insight store (warm-start artifacts) |
 //! | [`datagen`] | synthetic datasets shaped like Table 2 |
 //! | [`study`] | the simulated user study of Figure 10 |
 
@@ -55,6 +56,7 @@ pub use cn_serve as serve;
 pub use cn_setcover as setcover;
 pub use cn_sqlrun as sqlrun;
 pub use cn_stats as stats;
+pub use cn_store as store;
 pub use cn_study as study;
 pub use cn_tabular as tabular;
 pub use cn_tap as tap;

@@ -66,11 +66,28 @@ pub enum Metric {
     JobsCompleted,
     /// Generation jobs that ended cancelled (deadline or explicit).
     JobsCancelled,
+    /// Generation requests warm-started from a store artifact (Phases
+    /// 0–2 skipped).
+    StoreHits,
+    /// Generation requests that ran cold although a store was configured
+    /// (no artifact, or fingerprint mismatch).
+    StoreMisses,
+    /// Store artifacts rejected at load time (corrupt, version skew, or
+    /// invalid payload); each also counts as a miss.
+    StoreInvalid,
+    /// Background store builds started (startup precompute or first
+    /// miss).
+    StoreBuildsStarted,
+    /// Background store builds that completed and persisted an artifact.
+    StoreBuildsCompleted,
+    /// Background store builds that failed (pipeline error or write
+    /// failure).
+    StoreBuildsFailed,
 }
 
 impl Metric {
     /// Every counter, in export order.
-    pub const ALL: [Metric; 27] = [
+    pub const ALL: [Metric; 33] = [
         Metric::RowsScanned,
         Metric::DictBytes,
         Metric::SampledRows,
@@ -98,6 +115,12 @@ impl Metric {
         Metric::AdmissionRejected,
         Metric::JobsCompleted,
         Metric::JobsCancelled,
+        Metric::StoreHits,
+        Metric::StoreMisses,
+        Metric::StoreInvalid,
+        Metric::StoreBuildsStarted,
+        Metric::StoreBuildsCompleted,
+        Metric::StoreBuildsFailed,
     ];
 
     /// Number of counters.
@@ -133,6 +156,12 @@ impl Metric {
             Metric::AdmissionRejected => "admission_rejected",
             Metric::JobsCompleted => "jobs_completed",
             Metric::JobsCancelled => "jobs_cancelled",
+            Metric::StoreHits => "store_hits",
+            Metric::StoreMisses => "store_misses",
+            Metric::StoreInvalid => "store_invalid",
+            Metric::StoreBuildsStarted => "store_builds_started",
+            Metric::StoreBuildsCompleted => "store_builds_completed",
+            Metric::StoreBuildsFailed => "store_builds_failed",
         }
     }
 }

@@ -87,6 +87,10 @@ pub enum PipelineError {
     },
     /// A cube invariant violation surfaced by the execution engine.
     Engine(EngineError),
+    /// A store artifact could not be used for a warm start: its
+    /// fingerprint does not match the (table, config) pair, or its
+    /// payload violates an invariant. Callers fall back to a cold run.
+    Artifact(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -108,6 +112,9 @@ impl fmt::Display for PipelineError {
                 Cancelled { deadline_exceeded: *deadline_exceeded }.fmt(f)
             }
             PipelineError::Engine(e) => write!(f, "engine error: {e}"),
+            PipelineError::Artifact(reason) => {
+                write!(f, "store artifact unusable for warm start: {reason}")
+            }
         }
     }
 }

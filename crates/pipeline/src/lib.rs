@@ -26,6 +26,7 @@ pub mod parallel;
 pub mod phases;
 pub mod run;
 pub mod session;
+pub mod store;
 pub mod tap_adapter;
 
 pub use cn_obs::CancelToken;
@@ -37,3 +38,7 @@ pub use error::{ConfigError, PipelineError};
 pub use phases::{PhaseTimings, PHASES, ROOT_SPAN};
 pub use run::{run, run_cancellable, run_observed, RunResult};
 pub use session::{continue_notebook, suggest_continuations, ExplorationSession, Suggestion};
+pub use store::{
+    build_store_artifact, build_store_artifact_observed, prefix_fingerprint, run_from_store,
+    run_from_store_cancellable, run_from_store_observed, table_fingerprint,
+};

@@ -113,15 +113,7 @@ pub fn run_cancellable(
 ) -> Result<RunResult, PipelineError> {
     config.validate()?;
     cancel.check()?;
-    if table.n_rows() == 0 {
-        return Err(PipelineError::EmptyTable);
-    }
-    if table.schema().n_measures() == 0 {
-        return Err(PipelineError::NoMeasures);
-    }
-    if table.schema().n_attributes() == 0 {
-        return Err(PipelineError::NoAttributes);
-    }
+    check_table(table)?;
 
     let root = obs.span("run");
     obs.add(Metric::DictBytes, table.dict_bytes() as u64);
@@ -171,14 +163,60 @@ pub fn run_cancellable(
 
     // Phase 2: statistical tests, parallel over (attribute, value pair).
     let sp = obs.span("stat_tests");
-    let (significant, n_tested) =
+    let (families, n_tested) =
         run_tests_parallel(table, &test_tables, &gen_cfg, config.n_threads, obs, cancel)?;
+    let significant: Vec<SignificantInsight> = families.into_iter().flatten().collect();
     let significant =
         if gen_cfg.prune_transitive { prune_deducible(significant) } else { significant };
     let n_significant = significant.len();
     timings.stat_tests = sp.finish();
     cancel.check()?;
 
+    let result = run_suffix(
+        table,
+        config,
+        &gen_cfg,
+        significant,
+        n_tested,
+        n_significant,
+        timings,
+        obs,
+        cancel,
+    )?;
+    root.finish();
+    Ok(result)
+}
+
+/// Rejects degenerate tables with their typed errors.
+pub(crate) fn check_table(table: &Table) -> Result<(), PipelineError> {
+    if table.n_rows() == 0 {
+        return Err(PipelineError::EmptyTable);
+    }
+    if table.schema().n_measures() == 0 {
+        return Err(PipelineError::NoMeasures);
+    }
+    if table.schema().n_attributes() == 0 {
+        return Err(PipelineError::NoAttributes);
+    }
+    Ok(())
+}
+
+/// Phases 3–6 of Figure 1, shared verbatim by the cold path above and the
+/// warm-start path ([`crate::store::run_from_store`]): any two callers
+/// that hand in the same `(table, config, gen_cfg, significant,
+/// n_tested)` get bit-identical results.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_suffix(
+    table: &Table,
+    config: &GeneratorConfig,
+    gen_cfg: &cn_insight::generation::GenerationConfig,
+    significant: Vec<SignificantInsight>,
+    n_tested: usize,
+    n_significant: usize,
+    mut timings: PhaseTimings,
+    obs: &Registry,
+    cancel: &CancelToken,
+) -> Result<RunResult, PipelineError> {
     // Phase 3: group-by planning + cube materialization + hypothesis-query
     // evaluation.
     let sp = obs.span("hypothesis_eval");
@@ -272,7 +310,6 @@ pub fn run_cancellable(
     );
     obs.add(Metric::NotebookEntries, notebook.len() as u64);
     timings.notebook = sp.finish();
-    root.finish();
 
     Ok(RunResult {
         notebook,
@@ -288,7 +325,7 @@ pub fn run_cancellable(
     })
 }
 
-enum TestTables {
+pub(crate) enum TestTables {
     Full,
     Shared(Table),
     PerAttribute(Vec<Table>),
@@ -299,14 +336,18 @@ enum TestTables {
 /// with BH finalization per attribute family. Identical results to the
 /// sequential path because permutation seeds derive from the test
 /// identity, never from the chunking or the schedule.
-fn run_tests_parallel(
+///
+/// Returns the significant insights grouped per attribute family, in
+/// schema order (the store artifact persists exactly this grouping), plus
+/// the total test count (the BH denominator).
+pub(crate) fn run_tests_parallel(
     table: &Table,
     test_tables: &TestTables,
     gen_cfg: &cn_insight::generation::GenerationConfig,
     n_threads: usize,
     obs: &Registry,
     cancel: &CancelToken,
-) -> Result<(Vec<SignificantInsight>, usize), PipelineError> {
+) -> Result<(Vec<Vec<SignificantInsight>>, usize), PipelineError> {
     let attrs: Vec<AttrId> = table.schema().attribute_ids().collect();
     let testers: Vec<AttributeTester> = attrs
         .iter()
@@ -347,10 +388,10 @@ fn run_tests_parallel(
         n_tested += raws.len();
         families[*ai].extend(raws);
     }
-    let mut significant = Vec::new();
-    for family in &families {
-        significant.extend(finalize_family_observed(family, &gen_cfg.test, obs));
-    }
+    let significant = families
+        .iter()
+        .map(|family| finalize_family_observed(family, &gen_cfg.test, obs))
+        .collect();
     Ok((significant, n_tested))
 }
 

@@ -1,0 +1,313 @@
+//! Warm-start entry points over the persistent insight store.
+//!
+//! The paper's cost breakdown shows the permutation tests dominate
+//! end-to-end generation and depend only on the dataset and a small
+//! prefix of the configuration — never on the user's budgets. This
+//! module materializes that observation:
+//!
+//! - [`build_store_artifact`] runs Phases 0–2 once (through the *same*
+//!   internal functions as a cold [`crate::run::run`]) and captures their
+//!   output in a [`StoreArtifact`];
+//! - [`run_from_store`] replays that prefix from the artifact and hands
+//!   off to the shared Phase 3–6 suffix, producing a [`RunResult`] that
+//!   is **bit-identical** to a cold run of the same `(table, config)`.
+//!
+//! The binding contract is the [`prefix_fingerprint`]: table contents
+//! plus exactly the config fields Phases 0–2 read (`detect_fds`, the
+//! sampling strategy and fraction, the pipeline seed, and every
+//! statistical-test knob). Fields the prefix never reads — budgets,
+//! solver choice, interest weights, thread count, request-side pair
+//! exclusions, transitive pruning — are deliberately *not* hashed, so
+//! one artifact serves every request that varies only those. Exclusions
+//! and pruning are replayed at load time instead: the artifact stores
+//! the *full* FD pair list and the *pre-prune* significant set.
+
+use crate::config::{GeneratorConfig, SamplingStrategy};
+use crate::error::PipelineError;
+use crate::phases::PhaseTimings;
+use crate::run::{check_table, run_suffix, run_tests_parallel, RunResult, TestTables};
+use cn_insight::transitivity::prune_deducible;
+use cn_obs::{CancelToken, Metric, Registry};
+use cn_stats::rng::derive_seed;
+use cn_stats::TestKernel;
+use cn_store::{
+    hash_table, kind_to_name, FamilyArtifact, Fingerprint, FingerprintHasher, PrefixSummary,
+    SampleSet, StoreArtifact, StoredInsight, FORMAT_VERSION,
+};
+use cn_tabular::sampling::{random_sample_indices, unbalanced_sample_indices};
+use cn_tabular::{AttrId, Table};
+
+/// Fingerprint of the table contents alone (schema names, row count,
+/// dictionaries, codes, measure bits — not the display name).
+pub fn table_fingerprint(table: &Table) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    hash_table(&mut h, table);
+    h.finish()
+}
+
+/// Hash exactly the config fields Phases 0–2 read. Keep this in sync
+/// with the prefix replay in [`run_from_store_cancellable`] and the
+/// cold path in [`crate::run::run_cancellable`]: a field is hashed if
+/// and only if changing it can change the Phase 0–2 output.
+fn hash_prefix_config(h: &mut FingerprintHasher, config: &GeneratorConfig) {
+    h.write_str("cn-prefix-v1");
+    h.write_bool(config.detect_fds);
+    match config.sampling {
+        SamplingStrategy::None => h.write_u8(0),
+        SamplingStrategy::Random { fraction } => {
+            h.write_u8(1);
+            h.write_f64(fraction);
+        }
+        SamplingStrategy::Unbalanced { fraction } => {
+            h.write_u8(2);
+            h.write_f64(fraction);
+        }
+    }
+    h.write_u64(config.seed);
+    let t = &config.generation_config.test;
+    h.write_u64(t.n_permutations as u64);
+    h.write_f64(t.alpha);
+    h.write_bool(t.apply_bh);
+    h.write_u64(t.seed);
+    h.write_u64(t.types.len() as u64);
+    for &ty in &t.types {
+        h.write_str(kind_to_name(ty));
+    }
+    h.write_u8(match t.kernel {
+        TestKernel::PairExact => 0,
+        TestKernel::Batched => 1,
+    });
+    h.write_bool(t.early_stop);
+}
+
+/// The warm-start match key: table contents + prefix config.
+pub fn prefix_fingerprint(table: &Table, config: &GeneratorConfig) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    hash_table(&mut h, table);
+    hash_prefix_config(&mut h, config);
+    h.finish()
+}
+
+fn kernel_name(kernel: TestKernel) -> &'static str {
+    match kernel {
+        TestKernel::PairExact => "pair_exact",
+        TestKernel::Batched => "batched",
+    }
+}
+
+/// [`build_store_artifact`] with observability: Phase spans open under a
+/// `store_build` root and counters accumulate into `obs`.
+///
+/// # Errors
+/// As [`crate::run::run`] for degenerate tables and invalid configs.
+pub fn build_store_artifact_observed(
+    table: &Table,
+    config: &GeneratorConfig,
+    dataset: &str,
+    obs: &Registry,
+) -> Result<StoreArtifact, PipelineError> {
+    config.validate()?;
+    check_table(table)?;
+    let root = obs.span("store_build");
+
+    // Phase 0 — but capture the *full* FD-derived pair list, unfiltered
+    // by whatever exclusions this config happens to carry: warm starts
+    // replay the merge against the requesting config's own exclusions.
+    let sp = obs.span("fd_detection");
+    let fd_pairs: Vec<(AttrId, AttrId)> = if config.detect_fds {
+        cn_tabular::fd::meaningless_pairs(&cn_tabular::fd::detect_fds(table))
+    } else {
+        Vec::new()
+    };
+    sp.finish();
+
+    // Phase 1 — compute sample *indices* first, then materialize the
+    // test tables through the same `take` the cold path's samplers use.
+    let sp = obs.span("sampling");
+    let sample_seed = derive_seed(config.seed, &[1]);
+    let (samples, test_tables) = match config.sampling {
+        SamplingStrategy::None => (Vec::new(), TestTables::Full),
+        SamplingStrategy::Random { fraction } => {
+            let rows = random_sample_indices(table, fraction, sample_seed);
+            let sampled = table.take(&rows);
+            (vec![SampleSet { attr: None, rows }], TestTables::Shared(sampled))
+        }
+        SamplingStrategy::Unbalanced { fraction } => {
+            let mut sets = Vec::new();
+            let mut tables = Vec::new();
+            for a in table.schema().attribute_ids() {
+                let rows = unbalanced_sample_indices(
+                    table,
+                    a,
+                    fraction,
+                    derive_seed(sample_seed, &[a.0 as u64]),
+                );
+                tables.push(table.take(&rows));
+                sets.push(SampleSet { attr: Some(a.0), rows });
+            }
+            (sets, TestTables::PerAttribute(tables))
+        }
+    };
+    obs.add(Metric::SampledRows, samples.iter().map(|s| s.rows.len() as u64).sum());
+    sp.finish();
+
+    // Phase 2 — exclusions never reach the testing stage (they gate the
+    // Phase 3+ grouper choices), so the artifact's families are valid
+    // for any request-side exclusion set.
+    let sp = obs.span("stat_tests");
+    let (families, n_tested) = run_tests_parallel(
+        table,
+        &test_tables,
+        &config.generation_config,
+        config.n_threads,
+        obs,
+        CancelToken::never(),
+    )?;
+    sp.finish();
+    root.finish();
+
+    let t = &config.generation_config.test;
+    let prefix = PrefixSummary {
+        detect_fds: config.detect_fds,
+        sampling: match config.sampling {
+            SamplingStrategy::None => "none",
+            SamplingStrategy::Random { .. } => "random",
+            SamplingStrategy::Unbalanced { .. } => "unbalanced",
+        }
+        .to_string(),
+        sample_fraction_bits: match config.sampling {
+            SamplingStrategy::None => None,
+            SamplingStrategy::Random { fraction } | SamplingStrategy::Unbalanced { fraction } => {
+                Some(fraction.to_bits())
+            }
+        },
+        seed: config.seed,
+        n_permutations: t.n_permutations as u32,
+        alpha_bits: t.alpha.to_bits(),
+        apply_bh: t.apply_bh,
+        kernel: kernel_name(t.kernel).to_string(),
+        early_stop: t.early_stop,
+        types: t.types.iter().map(|&ty| kind_to_name(ty).to_string()).collect(),
+    };
+    Ok(StoreArtifact {
+        format_version: FORMAT_VERSION,
+        dataset: dataset.to_string(),
+        n_rows: table.n_rows() as u64,
+        attributes: table.schema().attribute_names().to_vec(),
+        measures: table.schema().measure_names().to_vec(),
+        table_fingerprint: table_fingerprint(table).to_string(),
+        fingerprint: prefix_fingerprint(table, config).to_string(),
+        prefix,
+        fd_pairs: fd_pairs.iter().map(|&(a, b)| (a.0, b.0)).collect(),
+        samples,
+        n_tested: n_tested as u64,
+        families: families
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_empty())
+            .map(|(ai, f)| FamilyArtifact {
+                attr: ai as u16,
+                insights: f.iter().map(StoredInsight::from_significant).collect(),
+            })
+            .collect(),
+    })
+}
+
+/// Runs Phases 0–2 on `table` and packages their output as a
+/// [`StoreArtifact`] stamped with the binding fingerprint.
+///
+/// # Errors
+/// As [`crate::run::run`].
+pub fn build_store_artifact(
+    table: &Table,
+    config: &GeneratorConfig,
+    dataset: &str,
+) -> Result<StoreArtifact, PipelineError> {
+    build_store_artifact_observed(table, config, dataset, Registry::discard())
+}
+
+/// Warm-start generation: replay Phases 0–2 from `artifact`, then run
+/// the shared Phase 3–6 suffix. Bit-identical to a cold
+/// [`crate::run::run`] of the same `(table, config)`.
+///
+/// # Errors
+/// As [`crate::run::run`], plus [`PipelineError::Artifact`] when the
+/// artifact's fingerprint does not match `(table, config)`.
+pub fn run_from_store(
+    table: &Table,
+    artifact: &StoreArtifact,
+    config: &GeneratorConfig,
+) -> Result<RunResult, PipelineError> {
+    run_from_store_cancellable(table, artifact, config, Registry::discard(), CancelToken::never())
+}
+
+/// [`run_from_store`] with observability.
+pub fn run_from_store_observed(
+    table: &Table,
+    artifact: &StoreArtifact,
+    config: &GeneratorConfig,
+    obs: &Registry,
+) -> Result<RunResult, PipelineError> {
+    run_from_store_cancellable(table, artifact, config, obs, CancelToken::never())
+}
+
+/// [`run_from_store_observed`] under a cooperative [`CancelToken`]. The
+/// prefix replay opens a `store_load` span where a cold run would open
+/// `fd_detection`/`sampling`/`stat_tests`; the suffix spans are
+/// unchanged, so the warm span tree shows the statistical-test time at
+/// (effectively) zero.
+pub fn run_from_store_cancellable(
+    table: &Table,
+    artifact: &StoreArtifact,
+    config: &GeneratorConfig,
+    obs: &Registry,
+    cancel: &CancelToken,
+) -> Result<RunResult, PipelineError> {
+    config.validate()?;
+    cancel.check()?;
+    check_table(table)?;
+    let expected = prefix_fingerprint(table, config).to_string();
+    if artifact.fingerprint != expected {
+        return Err(PipelineError::Artifact(format!(
+            "fingerprint mismatch: artifact {}, table+config {expected}",
+            artifact.fingerprint
+        )));
+    }
+
+    let root = obs.span("run");
+    obs.add(Metric::DictBytes, table.dict_bytes() as u64);
+    let timings = PhaseTimings::default();
+
+    // Phases 0–2, replayed from the artifact.
+    let sp = obs.span("store_load");
+    let mut gen_cfg = config.generation_config.clone();
+    for &(a, b) in &artifact.fd_pairs {
+        let pair = (AttrId(a), AttrId(b));
+        if !gen_cfg.excluded_pairs.contains(&pair) {
+            gen_cfg.excluded_pairs.push(pair);
+        }
+    }
+    obs.add(Metric::SampledRows, artifact.samples.iter().map(|s| s.rows.len() as u64).sum());
+    let significant =
+        artifact.significant_insights().map_err(|e| PipelineError::Artifact(e.to_string()))?;
+    let significant =
+        if gen_cfg.prune_transitive { prune_deducible(significant) } else { significant };
+    let n_tested = artifact.n_tested as usize;
+    let n_significant = significant.len();
+    sp.finish();
+    cancel.check()?;
+
+    let result = run_suffix(
+        table,
+        config,
+        &gen_cfg,
+        significant,
+        n_tested,
+        n_significant,
+        timings,
+        obs,
+        cancel,
+    )?;
+    root.finish();
+    Ok(result)
+}

@@ -9,11 +9,12 @@
 //! parsing work.
 
 use cn_obs::{Metric, Registry};
+use cn_store::{Store, StoreError};
 use cn_tabular::csv::{read_path, CsvOptions};
 use cn_tabular::Table;
 use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// A CSV-backed dataset registration.
 #[derive(Debug, Clone)]
@@ -55,6 +56,40 @@ impl std::fmt::Display for CatalogError {
 
 impl std::error::Error for CatalogError {}
 
+/// Store-side lifecycle of a dataset, as reported by `GET /v1/datasets`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreStatus {
+    /// No usable artifact on disk (yet).
+    Cold,
+    /// The precompute worker is building (or queued to build) one.
+    Building,
+    /// A validated artifact is on disk and serves warm starts.
+    Warm,
+}
+
+impl StoreStatus {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreStatus::Cold => "cold",
+            StoreStatus::Building => "building",
+            StoreStatus::Warm => "warm",
+        }
+    }
+}
+
+/// The artifact store attached to a catalog, plus the per-dataset status
+/// book-keeping and the channel into the background precompute worker.
+struct StoreState {
+    store: Store,
+    /// `name → (status, artifact fingerprint when warm)`.
+    status: Mutex<HashMap<String, (StoreStatus, Option<String>)>>,
+    /// Build requests flow here; `None` until the worker is spawned (and
+    /// again after shutdown, which is what lets the worker's receiver
+    /// disconnect and the thread exit).
+    build_tx: Mutex<Option<mpsc::Sender<String>>>,
+}
+
 struct Lru {
     map: HashMap<String, Arc<Table>>,
     /// Names from least- to most-recently used.
@@ -78,6 +113,8 @@ pub struct Catalog {
     cache: Mutex<Lru>,
     capacity: usize,
     obs: Arc<Registry>,
+    /// Warm-start artifact store; `None` runs every request cold.
+    store: Option<StoreState>,
 }
 
 impl Catalog {
@@ -89,12 +126,93 @@ impl Catalog {
             cache: Mutex::new(Lru { map: HashMap::new(), order: Vec::new() }),
             capacity: capacity.max(1),
             obs,
+            store: None,
         }
     }
 
     /// The registry this catalog counts hits and misses into.
     pub fn registry(&self) -> Arc<Registry> {
         self.obs.clone()
+    }
+
+    /// Attaches a warm-start artifact store rooted at `dir` (created if
+    /// absent). All datasets start [`StoreStatus::Cold`]; the precompute
+    /// worker promotes them.
+    ///
+    /// # Errors
+    /// The underlying [`StoreError`] when the directory cannot be created.
+    pub fn set_store(&mut self, dir: &Path) -> Result<(), StoreError> {
+        let store = Store::open(dir)?;
+        self.store = Some(StoreState {
+            store,
+            status: Mutex::new(HashMap::new()),
+            build_tx: Mutex::new(None),
+        });
+        Ok(())
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref().map(|s| &s.store)
+    }
+
+    /// Store status of `name`: `None` without a store, otherwise the
+    /// current `(status, fingerprint-when-warm)` pair.
+    pub fn store_status(&self, name: &str) -> Option<(StoreStatus, Option<String>)> {
+        let state = self.store.as_ref()?;
+        let status = state.status.lock().unwrap();
+        Some(status.get(name).cloned().unwrap_or((StoreStatus::Cold, None)))
+    }
+
+    /// Records a store status transition for `name` (worker-side).
+    pub fn mark_store_status(&self, name: &str, status: StoreStatus, fingerprint: Option<String>) {
+        if let Some(state) = &self.store {
+            state.status.lock().unwrap().insert(name.to_string(), (status, fingerprint));
+        }
+    }
+
+    /// Connects the precompute worker's build-request channel.
+    pub fn set_build_trigger(&self, tx: mpsc::Sender<String>) {
+        if let Some(state) = &self.store {
+            *state.build_tx.lock().unwrap() = Some(tx);
+        }
+    }
+
+    /// Disconnects the build channel; the worker's receiver then drains
+    /// and the thread exits.
+    pub fn close_build_trigger(&self) {
+        if let Some(state) = &self.store {
+            *state.build_tx.lock().unwrap() = None;
+        }
+    }
+
+    /// Asks the precompute worker to (re)build `name`'s artifact.
+    /// Duplicate requests are deduplicated by flipping the status to
+    /// [`StoreStatus::Building`] up front; without a connected worker the
+    /// dataset stays cold so a later request can retry.
+    pub fn request_build(&self, name: &str) {
+        let Some(state) = &self.store else { return };
+        {
+            let mut status = state.status.lock().unwrap();
+            let entry = status.entry(name.to_string()).or_insert((StoreStatus::Cold, None));
+            if entry.0 == StoreStatus::Building {
+                return;
+            }
+            *entry = (StoreStatus::Building, None);
+        }
+        let sent = state
+            .build_tx
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|tx| tx.send(name.to_string()).is_ok())
+            .unwrap_or(false);
+        if !sent {
+            let mut status = state.status.lock().unwrap();
+            if let Some(entry) = status.get_mut(name) {
+                *entry = (StoreStatus::Cold, None);
+            }
+        }
     }
 
     /// True when a dataset is registered under `name`.
@@ -222,6 +340,38 @@ mod tests {
         assert_eq!(obs.get(Metric::CatalogMisses), 3);
         catalog.get("b").unwrap(); // evicted → reload
         assert_eq!(obs.get(Metric::CatalogMisses), 4);
+    }
+
+    #[test]
+    fn store_status_tracks_build_requests_and_transitions() {
+        let dir = std::env::temp_dir().join("cn_serve_catalog_store");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Arc::new(Registry::new());
+        let mut catalog = Catalog::new(2, obs);
+        assert_eq!(catalog.store_status("x"), None, "no store attached yet");
+
+        catalog.set_store(&dir).unwrap();
+        assert!(catalog.store().is_some());
+        assert_eq!(catalog.store_status("x"), Some((StoreStatus::Cold, None)));
+
+        // Without a connected worker a build request must not wedge the
+        // dataset in `building` forever.
+        catalog.request_build("x");
+        assert_eq!(catalog.store_status("x"), Some((StoreStatus::Cold, None)));
+
+        let (tx, rx) = mpsc::channel();
+        catalog.set_build_trigger(tx);
+        catalog.request_build("x");
+        assert_eq!(rx.try_recv().unwrap(), "x");
+        assert_eq!(catalog.store_status("x"), Some((StoreStatus::Building, None)));
+        // Duplicate requests while building are deduplicated.
+        catalog.request_build("x");
+        assert!(rx.try_recv().is_err());
+
+        catalog.mark_store_status("x", StoreStatus::Warm, Some("abc".to_string()));
+        assert_eq!(catalog.store_status("x"), Some((StoreStatus::Warm, Some("abc".to_string()))));
+        catalog.close_build_trigger();
+        assert!(rx.recv().is_err(), "channel disconnects at shutdown");
     }
 
     #[test]

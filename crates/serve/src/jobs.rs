@@ -6,7 +6,11 @@
 use crate::catalog::{Catalog, CatalogError};
 use cn_interest::DistanceWeights;
 use cn_obs::{CancelToken, Metric, Registry};
-use cn_pipeline::{run_cancellable, ExplorationSession, GeneratorConfig, PipelineError};
+use cn_pipeline::{
+    prefix_fingerprint, run_cancellable, run_from_store_cancellable, ExplorationSession,
+    GeneratorConfig, PipelineError, RunResult,
+};
+use cn_store::StoreError;
 use cn_tabular::Table;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,7 +138,11 @@ fn status_of(e: &PipelineError) -> u16 {
         | PipelineError::NoAttributes
         | PipelineError::InvalidConfig(_)
         | PipelineError::AnchorOutOfRange { .. } => 400,
-        PipelineError::PlanGap { .. } | PipelineError::Engine(_) => 500,
+        // The warm path pre-checks fingerprints, so an artifact error
+        // reaching a client is an internal inconsistency, not bad input.
+        PipelineError::PlanGap { .. } | PipelineError::Engine(_) | PipelineError::Artifact(_) => {
+            500
+        }
     }
 }
 
@@ -190,11 +198,51 @@ fn run_job(
     })?;
     let config = generator_config(&job.spec, n_threads);
     let per_request = Registry::new();
-    let result = run_cancellable(&table, &config, &per_request, &job.cancel);
+    let result = run_warm_or_cold(job, catalog, &table, &config, &per_request);
     global.merge(&per_request);
     let run = result.map_err(|e| JobFailure { status: status_of(&e), message: e.to_string() })?;
     let session = ExplorationSession::new(run, DistanceWeights::default());
     Ok(CompletedJob { dataset: job.spec.dataset.clone(), table, session })
+}
+
+/// Cold-or-warm dispatch. With a store configured, a fingerprint-matching
+/// artifact replays Phases 0–2 (`store_hits`); anything else counts a
+/// miss and falls back to the cold pipeline. A missing or unreadable
+/// artifact additionally queues a background (re)build; a *valid*
+/// artifact for a different prefix config does not — one request's
+/// custom knobs must never clobber the default artifact.
+fn run_warm_or_cold(
+    job: &Job,
+    catalog: &Catalog,
+    table: &Table,
+    config: &GeneratorConfig,
+    obs: &Registry,
+) -> Result<RunResult, PipelineError> {
+    let Some(store) = catalog.store() else {
+        return run_cancellable(table, config, obs, &job.cancel);
+    };
+    let name = &job.spec.dataset;
+    match store.load(name) {
+        Ok(artifact) => {
+            if artifact.fingerprint == prefix_fingerprint(table, config).to_string() {
+                obs.inc(Metric::StoreHits);
+                return run_from_store_cancellable(table, &artifact, config, obs, &job.cancel);
+            }
+            obs.inc(Metric::StoreMisses);
+        }
+        Err(StoreError::NotFound(_)) => {
+            obs.inc(Metric::StoreMisses);
+            catalog.request_build(name);
+        }
+        Err(_) => {
+            // Corrupt, wrong version, or unreadable: never fatal for the
+            // request — count it, rebuild it, serve this one cold.
+            obs.inc(Metric::StoreMisses);
+            obs.inc(Metric::StoreInvalid);
+            catalog.request_build(name);
+        }
+    }
+    run_cancellable(table, config, obs, &job.cancel)
 }
 
 #[cfg(test)]

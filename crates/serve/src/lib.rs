@@ -28,6 +28,14 @@
 //!   permutation-test loop, so a cancelled request frees its worker
 //!   within one unit of work and surfaces as HTTP 408.
 //!
+//! With a store directory configured ([`ServeConfig::store_dir`]), a
+//! fourth property joins: **warm starts**. A background precompute
+//! worker builds `cn-store` artifacts (Phases 0–2, the expensive
+//! statistical prefix) per dataset; fingerprint-matching requests replay
+//! them through `cn_pipeline::run_from_store_cancellable` —
+//! bit-identical results, `store_hits` in `/metrics`, and cold fallback
+//! (never a panic) on stale or corrupt artifacts.
+//!
 //! Everything is `std`-only — homegrown HTTP parsing in [`http`], the
 //! same dependency-light discipline as the `cn-obs` schema validator.
 //!
@@ -52,10 +60,11 @@
 pub mod catalog;
 pub mod http;
 pub mod jobs;
+mod precompute;
 pub mod queue;
 pub mod server;
 
-pub use catalog::{Catalog, CatalogError, DatasetSpec};
+pub use catalog::{Catalog, CatalogError, DatasetSpec, StoreStatus};
 pub use cn_obs::Registry;
 pub use jobs::{JobSpec, JobStatus, JobStore};
 pub use queue::{JobQueue, SubmitError};

@@ -1,0 +1,89 @@
+//! The background precomputation worker: builds warm-start artifacts so
+//! requests skip Phases 0–2 entirely.
+//!
+//! One thread per server, spawned by [`crate::server::start`] only when a
+//! store directory is configured. At startup it scans the store — an
+//! artifact already on disk marks its dataset warm immediately; every
+//! other registered dataset is queued for building. Afterwards it drains
+//! build requests (startup gaps plus first-miss triggers from the job
+//! workers) until the catalog's build channel closes at shutdown.
+//!
+//! Artifacts are built with the *default request* configuration (seed 0,
+//! 200 permutations, no sampling — the values `POST /v1/notebooks` uses
+//! when `seed`/`perms` are omitted), so the common request is the one
+//! that warm-starts. Requests that override prefix knobs simply miss and
+//! run cold; they never clobber the default artifact.
+
+use crate::catalog::{Catalog, StoreStatus};
+use cn_obs::{Metric, Registry};
+use cn_pipeline::{build_store_artifact_observed, GeneratorConfig};
+use cn_store::StoreError;
+use std::sync::mpsc;
+
+/// The build configuration for precomputed artifacts: what
+/// [`crate::jobs`] derives for a request that sets no `seed`, `perms`,
+/// or sampling overrides. Only prefix fields matter for the fingerprint;
+/// budgets and thread count are free.
+pub(crate) fn default_build_config(n_threads: usize) -> GeneratorConfig {
+    let mut config = GeneratorConfig { n_threads, seed: 0, ..GeneratorConfig::default() };
+    config.generation_config.test.n_permutations = 200;
+    config.generation_config.test.seed = 0;
+    config
+}
+
+/// Body of the `cn-serve-precompute` thread.
+pub(crate) fn worker_loop(
+    catalog: &Catalog,
+    global: &Registry,
+    n_threads: usize,
+    rx: &mpsc::Receiver<String>,
+) {
+    // Startup scan: adopt what is already on disk, queue the rest.
+    for (name, _) in catalog.list() {
+        let Some(store) = catalog.store() else { return };
+        match store.load(&name) {
+            Ok(artifact) => {
+                catalog.mark_store_status(&name, StoreStatus::Warm, Some(artifact.fingerprint));
+            }
+            Err(StoreError::NotFound(_)) => catalog.request_build(&name),
+            Err(_) => {
+                // Corrupt or version-mismatched leftovers: count, rebuild.
+                global.inc(Metric::StoreInvalid);
+                catalog.request_build(&name);
+            }
+        }
+    }
+    while let Ok(name) = rx.recv() {
+        build_one(catalog, global, n_threads, &name);
+    }
+}
+
+/// Builds and persists one artifact, driving the status Cold→Building→
+/// Warm (or back to Cold on failure — a failed build is a counter, not a
+/// crashed worker).
+fn build_one(catalog: &Catalog, global: &Registry, n_threads: usize, name: &str) {
+    global.inc(Metric::StoreBuildsStarted);
+    catalog.mark_store_status(name, StoreStatus::Building, None);
+    let built = (|| {
+        let table = catalog.get(name).map_err(|e| e.to_string())?;
+        let config = default_build_config(n_threads);
+        let per_build = Registry::new();
+        let artifact = build_store_artifact_observed(&table, &config, name, &per_build)
+            .map_err(|e| e.to_string())?;
+        global.merge(&per_build);
+        let store = catalog.store().ok_or("store detached")?;
+        store.save(&artifact).map_err(|e| e.to_string())?;
+        Ok::<String, String>(artifact.fingerprint)
+    })();
+    match built {
+        Ok(fingerprint) => {
+            global.inc(Metric::StoreBuildsCompleted);
+            catalog.mark_store_status(name, StoreStatus::Warm, Some(fingerprint));
+        }
+        Err(message) => {
+            global.inc(Metric::StoreBuildsFailed);
+            catalog.mark_store_status(name, StoreStatus::Cold, None);
+            eprintln!("precompute: build of `{name}` failed: {message}");
+        }
+    }
+}

@@ -15,8 +15,9 @@ use crate::jobs::{execute, Job, JobSpec, JobStatus, JobStore};
 use crate::queue::{JobQueue, SubmitError};
 use cn_notebook::to_markdown;
 use cn_obs::{CancelToken, Metric, Registry};
-use serde_json::{json, Value};
+use serde_json::{json, Map, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
@@ -39,6 +40,9 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Worker threads *inside* each pipeline run.
     pub run_threads: usize,
+    /// Warm-start artifact store directory; `None` disables the store
+    /// and the background precompute worker.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +55,7 @@ impl Default for ServeConfig {
             cache_capacity: 8,
             default_deadline: None,
             run_threads: 2,
+            store_dir: None,
         }
     }
 }
@@ -88,6 +93,10 @@ impl Handle {
     pub fn shutdown(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.queue.close();
+        // Disconnect the precompute worker's build channel so its
+        // receiver drains and the thread exits (after any in-flight
+        // build finishes).
+        self.shared.catalog.close_build_trigger();
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
     }
@@ -104,9 +113,14 @@ impl Handle {
 ///
 /// # Errors
 /// The bind error, stringified, when the address is unavailable.
-pub fn start(config: ServeConfig, catalog: Catalog) -> Result<Handle, String> {
+pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String> {
     let listener = TcpListener::bind(&config.addr).map_err(|e| e.to_string())?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(dir) = &config.store_dir {
+        catalog
+            .set_store(dir)
+            .map_err(|e| format!("cannot open artifact store at {}: {e}", dir.display()))?;
+    }
     // The catalog was built against the server registry; reuse it so
     // catalog counters and job counters land in one place.
     let global = catalog.registry();
@@ -120,6 +134,28 @@ pub fn start(config: ServeConfig, catalog: Catalog) -> Result<Handle, String> {
     });
 
     let mut threads = Vec::new();
+    // Precompute worker: one thread scanning the store and building
+    // warm-start artifacts, fed by the catalog's build channel. Spawned
+    // only when a store is configured, so storeless deployments behave
+    // (and count) exactly as before.
+    if shared.catalog.store().is_some() {
+        let (tx, rx) = mpsc::channel();
+        shared.catalog.set_build_trigger(tx);
+        let shared = shared.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("cn-serve-precompute".to_string())
+                .spawn(move || {
+                    crate::precompute::worker_loop(
+                        &shared.catalog,
+                        &shared.global,
+                        shared.config.run_threads,
+                        &rx,
+                    );
+                })
+                .map_err(|e| e.to_string())?,
+        );
+    }
     // Pipeline workers: drain the bounded queue until close + empty.
     for i in 0..shared.config.pipeline_workers.max(1) {
         let shared = shared.clone();
@@ -230,7 +266,25 @@ fn handle_datasets(shared: &Shared) -> Response {
         .catalog
         .list()
         .into_iter()
-        .map(|(name, loaded)| json!({ "name": name, "loaded": loaded }))
+        .map(|(name, loaded)| {
+            let mut d = Map::new();
+            let store = shared.catalog.store_status(&name);
+            d.insert("name".to_string(), Value::String(name));
+            d.insert("loaded".to_string(), Value::Bool(loaded));
+            match store {
+                Some((status, fingerprint)) => {
+                    d.insert("store".to_string(), Value::String(status.name().to_string()));
+                    d.insert(
+                        "fingerprint".to_string(),
+                        fingerprint.map(Value::String).unwrap_or(Value::Null),
+                    );
+                }
+                None => {
+                    d.insert("store".to_string(), Value::String("disabled".to_string()));
+                }
+            }
+            Value::Object(d)
+        })
         .collect();
     Response::json(200, &json!({ "datasets": datasets }))
 }

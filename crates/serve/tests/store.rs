@@ -1,0 +1,214 @@
+//! Service-level tests of the warm-start store: background
+//! precomputation, store hits across LRU eviction of the *table* cache,
+//! and cold fallback (never a panic, never a wrong answer) on corrupted
+//! or version-mismatched artifacts.
+
+use cn_serve::{start, Catalog, DatasetSpec, Handle, Registry, ServeConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A small CSV with a strong region→sales effect so the default build
+/// config (200 permutations) finds significant insights quickly.
+fn signal_csv(dir: &Path, name: &str) -> PathBuf {
+    // Contents must differ per dataset — the store fingerprint hashes
+    // table *contents*, not the registered name.
+    let salt = name.len() as f64;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "region,channel,sales").unwrap();
+    for i in 0..60 {
+        let region = i % 3;
+        let base = [5.0, 40.0, 90.0][region];
+        writeln!(f, "r{},c{},{:.2}", region, i % 2, base + salt + (i % 7) as f64).unwrap();
+    }
+    path
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cn-serve-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn store_server(dir: &Path, store_dir: Option<PathBuf>, cache_capacity: usize) -> Handle {
+    let registry = Arc::new(Registry::new());
+    let mut catalog = Catalog::new(cache_capacity, registry);
+    for name in ["alpha", "beta"] {
+        catalog.register(DatasetSpec {
+            name: name.to_string(),
+            path: signal_csv(dir, name),
+            measures: None,
+            ignore: Vec::new(),
+        });
+    }
+    let config = ServeConfig { cache_capacity, store_dir, ..ServeConfig::default() };
+    start(config, catalog).expect("bind an ephemeral port")
+}
+
+/// Minimal HTTP client: one request, `Connection: close` response.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let json_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .filter(|b| !b.is_empty())
+        .and_then(|b| serde_json::from_str(b).ok())
+        .unwrap_or(Value::Null);
+    (status, json_body)
+}
+
+/// The `/v1/datasets` entry for `name`.
+fn dataset_entry(addr: SocketAddr, name: &str) -> Value {
+    let (status, body) = request(addr, "GET", "/v1/datasets", None);
+    assert_eq!(status, 200);
+    body["datasets"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|d| d["name"].as_str() == Some(name))
+        .cloned()
+        .unwrap_or_else(|| panic!("dataset {name} missing from {body:?}"))
+}
+
+/// Polls until `name` reports `warm`, returning its fingerprint.
+fn wait_warm(addr: SocketAddr, name: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let entry = dataset_entry(addr, name);
+        if entry["store"].as_str() == Some("warm") {
+            return entry["fingerprint"].as_str().expect("warm entries carry a fingerprint").into();
+        }
+        assert!(Instant::now() < deadline, "`{name}` never became warm: {entry:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn precomputed_artifacts_serve_store_hits_across_lru_eviction() {
+    let dir = temp_dir("lru");
+    // A table cache of one: every alternating request evicts the *other*
+    // dataset's table — which must not cost a store miss, because the
+    // artifact lives on disk, not in the LRU.
+    let handle = store_server(&dir, Some(dir.join("store")), 1);
+    let addr = handle.addr();
+
+    let fp_a = wait_warm(addr, "alpha");
+    let fp_b = wait_warm(addr, "beta");
+    assert_eq!(fp_a.len(), 32, "fingerprint is 32 hex chars: {fp_a}");
+    assert!(fp_a.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(fp_a, fp_b, "different tables, different fingerprints");
+
+    // Default seed/perms match the precomputed prefix → every request is
+    // a warm start, regardless of table-cache churn.
+    for name in ["alpha", "beta", "alpha", "beta"] {
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/v1/notebooks",
+            Some(&format!(r#"{{"dataset":"{name}","len":3}}"#)),
+        );
+        assert_eq!(status, 200, "generation failed: {body:?}");
+        assert_eq!(body["status"], "done");
+    }
+
+    let report = handle.registry().report();
+    assert_eq!(report.counter("store_hits"), 4, "all four requests warm-started");
+    assert_eq!(report.counter("store_misses"), 0);
+    assert_eq!(report.counter("store_invalid"), 0);
+    assert_eq!(report.counter("store_builds_completed"), 2, "one build per dataset");
+    assert_eq!(report.counter("store_builds_failed"), 0);
+    // The LRU genuinely churned underneath: capacity 1, two datasets.
+    assert!(report.counter("catalog_misses") >= 3, "table cache was evicting");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn bad_artifacts_fall_back_to_cold_runs_and_rebuild() {
+    let dir = temp_dir("bad");
+    let store_dir = dir.join("store");
+    let handle = store_server(&dir, Some(store_dir.clone()), 4);
+    let addr = handle.addr();
+    wait_warm(addr, "alpha");
+
+    let artifact_path = cn_core_store_path(&store_dir, "alpha");
+
+    // 1. Corrupt the artifact wholesale: the request still succeeds
+    //    (cold), counts `store_invalid`, and triggers a rebuild.
+    std::fs::write(&artifact_path, b"garbage garbage garbage garbage garbage").unwrap();
+    let (status, body) =
+        request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"alpha","len":3}"#));
+    assert_eq!(status, 200, "corrupt artifact must not fail the request: {body:?}");
+    let report = handle.registry().report();
+    assert!(report.counter("store_invalid") >= 1, "corruption counted");
+    assert!(report.counter("store_misses") >= 1);
+    wait_warm(addr, "alpha");
+
+    // 2. A version-mismatched artifact (future format) is equally
+    //    non-fatal: craft a valid envelope with a bumped version word.
+    let mut bytes = b"CNSTORE\n".to_vec();
+    bytes.extend_from_slice(&999u32.to_le_bytes());
+    bytes.extend_from_slice(&2u64.to_le_bytes());
+    bytes.extend_from_slice(b"{}");
+    bytes.extend_from_slice(&[0u8; 8]);
+    std::fs::write(&artifact_path, bytes).unwrap();
+    let invalid_before = handle.registry().report().counter("store_invalid");
+    let (status, _) =
+        request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"alpha","len":3}"#));
+    assert_eq!(status, 200);
+    assert!(handle.registry().report().counter("store_invalid") > invalid_before);
+    let fp = wait_warm(addr, "alpha");
+
+    // 3. A request overriding a prefix knob (seed) misses without
+    //    invalidating or clobbering the default artifact.
+    let (status, _) =
+        request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"alpha","len":3,"seed":7}"#));
+    assert_eq!(status, 200);
+    let entry = dataset_entry(addr, "alpha");
+    assert_eq!(entry["store"].as_str(), Some("warm"));
+    assert_eq!(entry["fingerprint"].as_str(), Some(fp.as_str()), "artifact untouched");
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The on-disk path the server's store uses for `name` (mirrors
+/// `Store::path_for` without reaching into cn-store from this test).
+fn cn_core_store_path(store_dir: &Path, name: &str) -> PathBuf {
+    store_dir.join(format!("{name}.cnstore"))
+}
+
+#[test]
+fn datasets_route_reports_disabled_without_a_store() {
+    let dir = temp_dir("nostore");
+    let handle = store_server(&dir, None, 4);
+    let entry = dataset_entry(handle.addr(), "alpha");
+    assert_eq!(entry["store"].as_str(), Some("disabled"));
+    assert!(entry["fingerprint"].is_null() || entry.get("fingerprint").is_none());
+    let report = handle.registry().report();
+    assert_eq!(report.counter("store_builds_started"), 0, "no worker without a store");
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

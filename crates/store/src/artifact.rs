@@ -1,0 +1,634 @@
+//! The serialized pipeline prefix.
+//!
+//! A [`StoreArtifact`] captures everything Phases 0–2 produce that the
+//! downstream phases consume, in a form that replays **bit-identically**:
+//!
+//! - FD-derived excluded pairs (the Phase-0 additions only, so they can
+//!   be merged with whatever exclusions a request brings of its own);
+//! - sample row *indices* (Phase 1) — `table.take(indices)` is exactly
+//!   how the sampled tables were built, so replay is the identity;
+//! - the per-attribute-family significant insights (Phase 2, post-BH,
+//!   **pre-prune** — transitive pruning is a config choice applied at
+//!   load time), with every `f64` stored as its IEEE-754 bit pattern.
+//!
+//! Two fingerprints bind the artifact: `table_fingerprint` over the
+//! table contents alone, and `fingerprint` over contents + the prefix
+//! config. The human-readable [`PrefixSummary`] mirrors the hashed
+//! config fields for `cn store inspect`; the fingerprint remains the
+//! binding contract.
+//!
+//! Serialization is hand-written against `serde_json::Value` (the
+//! workspace idiom). Every `u64` bit pattern and seed is stored as a
+//! 16-hex-digit string, never a JSON number: JSON numbers round-trip
+//! through `f64` and would silently lose bits past 2^53, which breaks
+//! the bit-identical contract.
+
+use crate::error::StoreError;
+use crate::fingerprint::Fingerprint;
+use crate::format::FORMAT_VERSION;
+use cn_insight::{Insight, InsightType, SignificantInsight};
+use cn_tabular::{AttrId, MeasureId};
+use serde_json::{json, Value};
+
+/// Stable name for an [`InsightType`] in the JSON payload.
+pub fn kind_to_name(kind: InsightType) -> &'static str {
+    match kind {
+        InsightType::MeanGreater => "mean_greater",
+        InsightType::VarianceGreater => "variance_greater",
+        InsightType::ExtremeGreater => "extreme_greater",
+    }
+}
+
+/// Inverse of [`kind_to_name`].
+pub fn kind_from_name(name: &str) -> Option<InsightType> {
+    match name {
+        "mean_greater" => Some(InsightType::MeanGreater),
+        "variance_greater" => Some(InsightType::VarianceGreater),
+        "extreme_greater" => Some(InsightType::ExtremeGreater),
+        _ => None,
+    }
+}
+
+/// A `u64` (bit pattern or seed) as a fixed-width hex string.
+fn hex64(bits: u64) -> String {
+    format!("{bits:016x}")
+}
+
+fn invalid(field: &str, want: &str) -> StoreError {
+    StoreError::Invalid(format!("field `{field}`: expected {want}"))
+}
+
+fn get<'a>(obj: &'a Value, field: &str) -> Result<&'a Value, StoreError> {
+    match obj.get(field) {
+        Some(v) => Ok(v),
+        None => Err(StoreError::Invalid(format!("missing field `{field}`"))),
+    }
+}
+
+fn get_str(obj: &Value, field: &str) -> Result<String, StoreError> {
+    get(obj, field)?.as_str().map(str::to_string).ok_or_else(|| invalid(field, "a string"))
+}
+
+fn get_u64(obj: &Value, field: &str) -> Result<u64, StoreError> {
+    get(obj, field)?.as_u64().ok_or_else(|| invalid(field, "an unsigned integer"))
+}
+
+fn get_u32(obj: &Value, field: &str) -> Result<u32, StoreError> {
+    u32::try_from(get_u64(obj, field)?).map_err(|_| invalid(field, "a u32"))
+}
+
+fn get_u16(obj: &Value, field: &str) -> Result<u16, StoreError> {
+    u16::try_from(get_u64(obj, field)?).map_err(|_| invalid(field, "a u16"))
+}
+
+fn get_bool(obj: &Value, field: &str) -> Result<bool, StoreError> {
+    get(obj, field)?.as_bool().ok_or_else(|| invalid(field, "a bool"))
+}
+
+fn get_array<'a>(obj: &'a Value, field: &str) -> Result<&'a Vec<Value>, StoreError> {
+    get(obj, field)?.as_array().ok_or_else(|| invalid(field, "an array"))
+}
+
+fn parse_hex64(v: &Value, field: &str) -> Result<u64, StoreError> {
+    let s = v.as_str().ok_or_else(|| invalid(field, "a 16-hex-digit string"))?;
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(invalid(field, "a 16-hex-digit string"));
+    }
+    u64::from_str_radix(s, 16).map_err(|_| invalid(field, "a 16-hex-digit string"))
+}
+
+fn get_hex64(obj: &Value, field: &str) -> Result<u64, StoreError> {
+    parse_hex64(get(obj, field)?, field)
+}
+
+/// One significant insight, serialization form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredInsight {
+    /// Measure column index.
+    pub measure: u16,
+    /// Attribute column index compared on.
+    pub select_on: u16,
+    /// Code of the declared-greater value.
+    pub val: u32,
+    /// Code of the other value.
+    pub val2: u32,
+    /// Insight type name (see [`kind_to_name`]).
+    pub kind: String,
+    /// BH-adjusted p-value, IEEE-754 bits.
+    pub p_value_bits: u64,
+    /// Raw permutation p-value, IEEE-754 bits.
+    pub raw_p_bits: u64,
+    /// Observed effect statistic, IEEE-754 bits.
+    pub effect_bits: u64,
+}
+
+impl StoredInsight {
+    pub fn from_significant(s: &SignificantInsight) -> StoredInsight {
+        StoredInsight {
+            measure: s.insight.measure.0,
+            select_on: s.insight.select_on.0,
+            val: s.insight.val,
+            val2: s.insight.val2,
+            kind: kind_to_name(s.insight.kind).to_string(),
+            p_value_bits: s.p_value.to_bits(),
+            raw_p_bits: s.raw_p.to_bits(),
+            effect_bits: s.observed_effect.to_bits(),
+        }
+    }
+
+    pub fn to_significant(&self) -> Result<SignificantInsight, StoreError> {
+        let kind = kind_from_name(&self.kind)
+            .ok_or_else(|| StoreError::Invalid(format!("unknown insight kind `{}`", self.kind)))?;
+        Ok(SignificantInsight {
+            insight: Insight {
+                measure: MeasureId(self.measure),
+                select_on: AttrId(self.select_on),
+                val: self.val,
+                val2: self.val2,
+                kind,
+            },
+            p_value: f64::from_bits(self.p_value_bits),
+            raw_p: f64::from_bits(self.raw_p_bits),
+            observed_effect: f64::from_bits(self.effect_bits),
+        })
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "measure": self.measure,
+            "select_on": self.select_on,
+            "val": self.val,
+            "val2": self.val2,
+            "kind": self.kind.as_str(),
+            "p_value": hex64(self.p_value_bits),
+            "raw_p": hex64(self.raw_p_bits),
+            "effect": hex64(self.effect_bits),
+        })
+    }
+
+    fn from_json(v: &Value) -> Result<StoredInsight, StoreError> {
+        Ok(StoredInsight {
+            measure: get_u16(v, "measure")?,
+            select_on: get_u16(v, "select_on")?,
+            val: get_u32(v, "val")?,
+            val2: get_u32(v, "val2")?,
+            kind: get_str(v, "kind")?,
+            p_value_bits: get_hex64(v, "p_value")?,
+            raw_p_bits: get_hex64(v, "raw_p")?,
+            effect_bits: get_hex64(v, "effect")?,
+        })
+    }
+}
+
+/// One sample row set from Phase 1.
+///
+/// `attr: None` is the shared sample (`Random` strategy); `Some(a)` is
+/// the per-attribute unbalanced sample for attribute `a`. A full-table
+/// strategy stores no sample sets at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleSet {
+    pub attr: Option<u16>,
+    pub rows: Vec<u32>,
+}
+
+impl SampleSet {
+    fn to_json(&self) -> Value {
+        let attr = match self.attr {
+            Some(a) => Value::from(a),
+            None => Value::Null,
+        };
+        json!({ "attr": attr, "rows": self.rows.clone() })
+    }
+
+    fn from_json(v: &Value) -> Result<SampleSet, StoreError> {
+        let attr = match get(v, "attr")? {
+            Value::Null => None,
+            other => Some(
+                other
+                    .as_u64()
+                    .and_then(|a| u16::try_from(a).ok())
+                    .ok_or_else(|| invalid("attr", "null or a u16"))?,
+            ),
+        };
+        let rows = get_array(v, "rows")?
+            .iter()
+            .map(|r| r.as_u64().and_then(|r| u32::try_from(r).ok()))
+            .collect::<Option<Vec<u32>>>()
+            .ok_or_else(|| invalid("rows", "an array of u32"))?;
+        Ok(SampleSet { attr, rows })
+    }
+}
+
+/// The significant insights of one attribute family (all insights whose
+/// tests shared attribute `attr`), in the exact order Phase 2 emitted
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyArtifact {
+    pub attr: u16,
+    pub insights: Vec<StoredInsight>,
+}
+
+impl FamilyArtifact {
+    fn to_json(&self) -> Value {
+        json!({
+            "attr": self.attr,
+            "insights": Value::Array(self.insights.iter().map(|i| i.to_json()).collect()),
+        })
+    }
+
+    fn from_json(v: &Value) -> Result<FamilyArtifact, StoreError> {
+        Ok(FamilyArtifact {
+            attr: get_u16(v, "attr")?,
+            insights: get_array(v, "insights")?
+                .iter()
+                .map(StoredInsight::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Human-readable mirror of the config fields the fingerprint hashes.
+/// Informational (for `cn store inspect`); the fingerprint is what
+/// binds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSummary {
+    pub detect_fds: bool,
+    /// Sampling strategy name: `none` | `random` | `unbalanced`.
+    pub sampling: String,
+    /// Sample fraction, IEEE-754 bits; absent for `none`.
+    pub sample_fraction_bits: Option<u64>,
+    /// Pipeline seed.
+    pub seed: u64,
+    pub n_permutations: u32,
+    /// Significance level, IEEE-754 bits.
+    pub alpha_bits: u64,
+    pub apply_bh: bool,
+    /// Test kernel name: `pair_exact` | `batched`.
+    pub kernel: String,
+    pub early_stop: bool,
+    /// Insight type names tested, in order.
+    pub types: Vec<String>,
+}
+
+impl PrefixSummary {
+    fn to_json(&self) -> Value {
+        let fraction = match self.sample_fraction_bits {
+            Some(bits) => Value::from(hex64(bits)),
+            None => Value::Null,
+        };
+        json!({
+            "detect_fds": self.detect_fds,
+            "sampling": self.sampling.as_str(),
+            "sample_fraction": fraction,
+            "seed": hex64(self.seed),
+            "n_permutations": self.n_permutations,
+            "alpha": hex64(self.alpha_bits),
+            "apply_bh": self.apply_bh,
+            "kernel": self.kernel.as_str(),
+            "early_stop": self.early_stop,
+            "types": self.types.clone(),
+        })
+    }
+
+    fn from_json(v: &Value) -> Result<PrefixSummary, StoreError> {
+        let sample_fraction_bits = match get(v, "sample_fraction")? {
+            Value::Null => None,
+            other => Some(parse_hex64(other, "sample_fraction")?),
+        };
+        Ok(PrefixSummary {
+            detect_fds: get_bool(v, "detect_fds")?,
+            sampling: get_str(v, "sampling")?,
+            sample_fraction_bits,
+            seed: get_hex64(v, "seed")?,
+            n_permutations: get_u32(v, "n_permutations")?,
+            alpha_bits: get_hex64(v, "alpha")?,
+            apply_bh: get_bool(v, "apply_bh")?,
+            kernel: get_str(v, "kernel")?,
+            early_stop: get_bool(v, "early_stop")?,
+            types: get_array(v, "types")?
+                .iter()
+                .map(|t| t.as_str().map(str::to_string))
+                .collect::<Option<Vec<String>>>()
+                .ok_or_else(|| invalid("types", "an array of strings"))?,
+        })
+    }
+}
+
+/// A complete persisted pipeline prefix for one dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreArtifact {
+    /// Payload schema version; must equal the envelope's.
+    pub format_version: u32,
+    /// Dataset name the artifact is stored under (catalog key — not part
+    /// of the fingerprint).
+    pub dataset: String,
+    /// Row count of the source table (for validation and `inspect`).
+    pub n_rows: u64,
+    /// Attribute column names, in schema order.
+    pub attributes: Vec<String>,
+    /// Measure column names, in schema order.
+    pub measures: Vec<String>,
+    /// Fingerprint of the table contents alone, 32 hex digits.
+    pub table_fingerprint: String,
+    /// Fingerprint of table contents + prefix config, 32 hex digits.
+    /// This is the match key for warm starts.
+    pub fingerprint: String,
+    /// Human-readable mirror of the hashed config fields.
+    pub prefix: PrefixSummary,
+    /// FD-derived pair exclusions Phase 0 *added* (grouper attr, selector
+    /// attr), in detection order.
+    pub fd_pairs: Vec<(u16, u16)>,
+    /// Phase-1 sample row sets (empty for full-table testing).
+    pub samples: Vec<SampleSet>,
+    /// Total hypotheses tested in Phase 2 (the BH denominator).
+    pub n_tested: u64,
+    /// Per-attribute-family significant insights, pre-prune, in
+    /// attribute order.
+    pub families: Vec<FamilyArtifact>,
+}
+
+impl StoreArtifact {
+    /// Serialize to the JSON payload form.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "format_version": self.format_version,
+            "dataset": self.dataset.as_str(),
+            "n_rows": self.n_rows,
+            "attributes": self.attributes.clone(),
+            "measures": self.measures.clone(),
+            "table_fingerprint": self.table_fingerprint.as_str(),
+            "fingerprint": self.fingerprint.as_str(),
+            "prefix": self.prefix.to_json(),
+            "fd_pairs": Value::Array(
+                self.fd_pairs.iter().map(|&(a, b)| json!([a, b])).collect()
+            ),
+            "samples": Value::Array(self.samples.iter().map(|s| s.to_json()).collect()),
+            "n_tested": self.n_tested,
+            "families": Value::Array(self.families.iter().map(|f| f.to_json()).collect()),
+        })
+    }
+
+    /// Deserialize from the JSON payload form. Shape violations surface
+    /// as [`StoreError::Invalid`].
+    pub fn from_json(v: &Value) -> Result<StoreArtifact, StoreError> {
+        let fd_pairs = get_array(v, "fd_pairs")?
+            .iter()
+            .map(|p| {
+                let pair = p.as_array()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                let a = pair[0].as_u64().and_then(|a| u16::try_from(a).ok())?;
+                let b = pair[1].as_u64().and_then(|b| u16::try_from(b).ok())?;
+                Some((a, b))
+            })
+            .collect::<Option<Vec<(u16, u16)>>>()
+            .ok_or_else(|| invalid("fd_pairs", "an array of [u16, u16] pairs"))?;
+        let names = |field: &str| -> Result<Vec<String>, StoreError> {
+            get_array(v, field)?
+                .iter()
+                .map(|n| n.as_str().map(str::to_string))
+                .collect::<Option<Vec<String>>>()
+                .ok_or_else(|| invalid(field, "an array of strings"))
+        };
+        Ok(StoreArtifact {
+            format_version: get_u32(v, "format_version")?,
+            dataset: get_str(v, "dataset")?,
+            n_rows: get_u64(v, "n_rows")?,
+            attributes: names("attributes")?,
+            measures: names("measures")?,
+            table_fingerprint: get_str(v, "table_fingerprint")?,
+            fingerprint: get_str(v, "fingerprint")?,
+            prefix: PrefixSummary::from_json(get(v, "prefix")?)?,
+            fd_pairs,
+            samples: get_array(v, "samples")?
+                .iter()
+                .map(SampleSet::from_json)
+                .collect::<Result<_, _>>()?,
+            n_tested: get_u64(v, "n_tested")?,
+            families: get_array(v, "families")?
+                .iter()
+                .map(FamilyArtifact::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Structural validation beyond what parsing enforces: version match,
+    /// parseable fingerprints, known insight kinds, in-range sample
+    /// rows. Run after every load so a tampered payload surfaces as
+    /// [`StoreError::Invalid`] instead of a downstream panic.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        if self.format_version != FORMAT_VERSION {
+            return Err(StoreError::Version {
+                found: self.format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if Fingerprint::parse(&self.fingerprint).is_none() {
+            return Err(StoreError::Invalid(format!(
+                "malformed fingerprint `{}`",
+                self.fingerprint
+            )));
+        }
+        if Fingerprint::parse(&self.table_fingerprint).is_none() {
+            return Err(StoreError::Invalid(format!(
+                "malformed table fingerprint `{}`",
+                self.table_fingerprint
+            )));
+        }
+        for set in &self.samples {
+            if let Some(&row) = set.rows.iter().find(|&&r| u64::from(r) >= self.n_rows) {
+                return Err(StoreError::Invalid(format!(
+                    "sample row {row} out of range for {} rows",
+                    self.n_rows
+                )));
+            }
+        }
+        for fam in &self.families {
+            for ins in &fam.insights {
+                if kind_from_name(&ins.kind).is_none() {
+                    return Err(StoreError::Invalid(format!(
+                        "unknown insight kind `{}`",
+                        ins.kind
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reassemble the Phase-2 output: all families' insights
+    /// concatenated in stored (attribute) order.
+    pub fn significant_insights(&self) -> Result<Vec<SignificantInsight>, StoreError> {
+        let mut out = Vec::with_capacity(self.families.iter().map(|f| f.insights.len()).sum());
+        for fam in &self.families {
+            for ins in &fam.insights {
+                out.push(ins.to_significant()?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> StoreArtifact {
+        StoreArtifact {
+            format_version: FORMAT_VERSION,
+            dataset: "demo".into(),
+            n_rows: 100,
+            attributes: vec!["region".into()],
+            measures: vec!["sales".into()],
+            table_fingerprint: format!("{:032x}", 1u128),
+            fingerprint: format!("{:032x}", 2u128),
+            prefix: PrefixSummary {
+                detect_fds: true,
+                sampling: "none".into(),
+                sample_fraction_bits: None,
+                seed: 0,
+                n_permutations: 200,
+                alpha_bits: 0.05f64.to_bits(),
+                apply_bh: true,
+                kernel: "pair_exact".into(),
+                early_stop: false,
+                types: vec!["mean_greater".into(), "variance_greater".into()],
+            },
+            fd_pairs: vec![(0, 1)],
+            samples: vec![SampleSet { attr: None, rows: vec![0, 7, 99] }],
+            n_tested: 42,
+            families: vec![FamilyArtifact {
+                attr: 0,
+                insights: vec![StoredInsight {
+                    measure: 0,
+                    select_on: 0,
+                    val: 1,
+                    val2: 2,
+                    kind: "mean_greater".into(),
+                    p_value_bits: 0.01f64.to_bits(),
+                    raw_p_bits: 0.005f64.to_bits(),
+                    effect_bits: 3.5f64.to_bits(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn insight_round_trips_exact_bits() {
+        let sig = SignificantInsight {
+            insight: Insight {
+                measure: MeasureId(2),
+                select_on: AttrId(1),
+                val: 3,
+                val2: 4,
+                kind: InsightType::VarianceGreater,
+            },
+            p_value: 0.012345678901234567,
+            raw_p: 0.1 + 0.2, // deliberately non-representable sum
+            observed_effect: f64::MIN_POSITIVE,
+        };
+        let back = StoredInsight::from_significant(&sig).to_significant().unwrap();
+        assert_eq!(back.insight, sig.insight);
+        assert_eq!(back.p_value.to_bits(), sig.p_value.to_bits());
+        assert_eq!(back.raw_p.to_bits(), sig.raw_p.to_bits());
+        assert_eq!(back.observed_effect.to_bits(), sig.observed_effect.to_bits());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in
+            [InsightType::MeanGreater, InsightType::VarianceGreater, InsightType::ExtremeGreater]
+        {
+            assert_eq!(kind_from_name(kind_to_name(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_name("median_greater"), None);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        sample_artifact().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_version_skew() {
+        let mut a = sample_artifact();
+        a.format_version = 7;
+        assert!(matches!(a.validate().unwrap_err(), StoreError::Version { found: 7, .. }));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fingerprint() {
+        let mut a = sample_artifact();
+        a.fingerprint = "zz".into();
+        assert!(matches!(a.validate().unwrap_err(), StoreError::Invalid(_)));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_sample_row() {
+        let mut a = sample_artifact();
+        a.samples[0].rows.push(100);
+        assert!(matches!(a.validate().unwrap_err(), StoreError::Invalid(_)));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_kind() {
+        let mut a = sample_artifact();
+        a.families[0].insights[0].kind = "mystery".into();
+        assert!(matches!(a.validate().unwrap_err(), StoreError::Invalid(_)));
+    }
+
+    #[test]
+    fn significant_insights_concatenates_in_order() {
+        let mut a = sample_artifact();
+        a.families.push(FamilyArtifact {
+            attr: 1,
+            insights: vec![StoredInsight {
+                measure: 0,
+                select_on: 1,
+                val: 0,
+                val2: 1,
+                kind: "variance_greater".into(),
+                p_value_bits: 0.02f64.to_bits(),
+                raw_p_bits: 0.02f64.to_bits(),
+                effect_bits: 1.0f64.to_bits(),
+            }],
+        });
+        let sigs = a.significant_insights().unwrap();
+        assert_eq!(sigs.len(), 2);
+        assert_eq!(sigs[0].insight.select_on, AttrId(0));
+        assert_eq!(sigs[1].insight.select_on, AttrId(1));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut a = sample_artifact();
+        a.prefix.seed = u64::MAX - 3; // would not survive an f64 round trip
+        a.prefix.sample_fraction_bits = Some(0.25f64.to_bits());
+        let text = serde_json::to_string(&a.to_json()).unwrap();
+        let value: Value = serde_json::from_str(&text).unwrap();
+        let back = StoreArtifact::from_json(&value).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_and_mistyped_fields() {
+        let a = sample_artifact();
+        let good = a.to_json();
+        assert!(StoreArtifact::from_json(&good).is_ok());
+
+        let mut missing = good.as_object().unwrap().clone();
+        missing.remove("families");
+        assert!(matches!(
+            StoreArtifact::from_json(&Value::Object(missing)).unwrap_err(),
+            StoreError::Invalid(_)
+        ));
+
+        let mut mistyped = good.as_object().unwrap().clone();
+        mistyped.insert("n_tested".into(), Value::String("lots".into()));
+        assert!(matches!(
+            StoreArtifact::from_json(&Value::Object(mistyped)).unwrap_err(),
+            StoreError::Invalid(_)
+        ));
+    }
+}

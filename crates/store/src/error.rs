@@ -1,0 +1,69 @@
+//! The failure taxonomy of the store: every way an artifact can be
+//! missing, stale, or damaged is a typed variant, because the serving
+//! layer's contract is "fall back to a cold run, never panic".
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem failure (open/read/write/rename).
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// The file does not start with the `CNSTORE` magic — not an
+    /// artifact at all.
+    BadMagic,
+    /// The artifact was written by an incompatible format version.
+    Version {
+        /// Version found in the envelope.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The envelope is truncated or its checksum does not match — the
+    /// bytes on disk are damaged.
+    Corrupt(String),
+    /// The payload parsed but violates the artifact's invariants
+    /// (unknown insight kind, malformed fingerprint, out-of-range rows).
+    Invalid(String),
+    /// No artifact stored under this dataset name.
+    NotFound(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "store I/O error on {path}: {message}"),
+            StoreError::BadMagic => write!(f, "not a cn-store artifact (bad magic)"),
+            StoreError::Version { found, supported } => {
+                write!(
+                    f,
+                    "artifact format version {found} unsupported (this build reads {supported})"
+                )
+            }
+            StoreError::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
+            StoreError::Invalid(what) => write!(f, "invalid artifact: {what}"),
+            StoreError::NotFound(name) => write!(f, "no store artifact for dataset `{name}`"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = StoreError::Version { found: 9, supported: 1 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('1'));
+        assert!(StoreError::NotFound("demo".into()).to_string().contains("demo"));
+        assert!(StoreError::Corrupt("checksum".into()).to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Content fingerprinting for store artifacts.
+//!
+//! An artifact is valid for exactly one (table contents, prefix config)
+//! pair. We bind that pair with a 128-bit fingerprint built from two
+//! decorrelated FNV-1a-64 streams — std-only, deterministic across
+//! platforms, and fast enough to recompute per request (hashing the
+//! table is a single linear scan; the permutation tests it replaces are
+//! thousands of scans).
+//!
+//! The *table* fingerprint covers schema names, row count, dictionary
+//! values, attribute codes, and measure bit patterns. The table's
+//! display name is deliberately excluded: a renamed but byte-identical
+//! dataset still warm-starts, and the name only feeds the notebook
+//! title, which the warm suffix renders live.
+
+use cn_tabular::Table;
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset perturbation for the high stream (golden-ratio constant), so
+/// the two 64-bit lanes do not collide on the same inputs.
+const HI_TWEAK: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A 128-bit content fingerprint, displayed as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Parse the 32-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+
+    /// The two 64-bit lanes (hi, lo) — handy for feeding a fingerprint
+    /// into another hasher.
+    pub fn lanes(&self) -> (u64, u64) {
+        ((self.0 >> 64) as u64, self.0 as u64)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Dual-stream FNV-1a hasher producing a [`Fingerprint`].
+///
+/// The low lane is textbook FNV-1a-64; the high lane starts from a
+/// tweaked offset and hashes each byte XOR `0xA5` so the lanes stay
+/// decorrelated even on structured input.
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintHasher {
+    pub fn new() -> Self {
+        FingerprintHasher { lo: FNV_OFFSET, hi: FNV_OFFSET ^ HI_TWEAK }
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b ^ 0xA5)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    pub fn write_u16(&mut self, v: u16) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Hash an `f64` by bit pattern — the fingerprint binds exact bits,
+    /// matching the bit-identical warm-start contract.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Length-prefixed string hash, so `("ab","c")` and `("a","bc")`
+    /// fingerprint differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint((u128::from(self.hi) << 64) | u128::from(self.lo))
+    }
+}
+
+/// Hash a table's *contents* into `h`: schema names, row count,
+/// dictionaries, codes, and measure bit patterns. The table name is
+/// excluded (see module docs).
+pub fn hash_table(h: &mut FingerprintHasher, table: &Table) {
+    h.write_str("cn-table-v1");
+    h.write_u64(table.n_rows() as u64);
+
+    let schema = table.schema();
+    h.write_u64(schema.n_attributes() as u64);
+    for name in schema.attribute_names() {
+        h.write_str(name);
+    }
+    h.write_u64(schema.n_measures() as u64);
+    for name in schema.measure_names() {
+        h.write_str(name);
+    }
+
+    for attr in schema.attribute_ids() {
+        let dict = table.dict(attr);
+        h.write_u64(dict.values().len() as u64);
+        for v in dict.values() {
+            h.write_str(v);
+        }
+        for &code in table.codes(attr) {
+            h.write_u32(code);
+        }
+    }
+    for m in schema.measure_ids() {
+        for &v in table.measure(m) {
+            h.write_f64(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn tiny(name: &str, vals: &[f64]) -> Table {
+        let schema = Schema::new(vec!["a"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new(name, schema);
+        for &v in vals {
+            let g = format!("g{}", (v as i64) % 2);
+            b.push_row(&[&g], &[v]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let t = tiny("t", &[1.0, 2.0, 3.0, 4.0]);
+        let mut h1 = FingerprintHasher::new();
+        hash_table(&mut h1, &t);
+        let mut h2 = FingerprintHasher::new();
+        hash_table(&mut h2, &t);
+        assert_eq!(h1.finish(), h2.finish());
+
+        let t2 = tiny("t", &[1.0, 2.0, 3.0, 5.0]);
+        let mut h3 = FingerprintHasher::new();
+        hash_table(&mut h3, &t2);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn table_name_does_not_matter() {
+        let a = tiny("alpha", &[1.0, 2.0, 3.0, 4.0]);
+        let b = tiny("beta", &[1.0, 2.0, 3.0, 4.0]);
+        let mut ha = FingerprintHasher::new();
+        hash_table(&mut ha, &a);
+        let mut hb = FingerprintHasher::new();
+        hash_table(&mut hb, &b);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let mut h = FingerprintHasher::new();
+        h.write_str("hello");
+        let fp = h.finish();
+        let s = fp.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(Fingerprint::parse(&s), Some(fp));
+        assert_eq!(Fingerprint::parse("nope"), None);
+        assert_eq!(Fingerprint::parse(&s[..31]), None);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        let mut h1 = FingerprintHasher::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = FingerprintHasher::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn lanes_differ() {
+        let mut h = FingerprintHasher::new();
+        h.write_bytes(b"some input");
+        let (hi, lo) = h.finish().lanes();
+        assert_ne!(hi, lo);
+    }
+}

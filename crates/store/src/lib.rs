@@ -1,0 +1,47 @@
+//! # cn-store
+//!
+//! The persistent precomputed-insight store: a versioned, on-disk
+//! artifact format for the **dataset-dependent prefix** of the notebook
+//! pipeline — FD pre-processing (Phase 0), offline sample row sets
+//! (Phase 1), and the full statistical-test results including BH-adjusted
+//! p-values (Phase 2).
+//!
+//! The paper's cost breakdown (Section 7) shows the permutation tests
+//! dominate end-to-end generation, and notes their results depend only on
+//! the dataset — not on the user's query budgets — so they can be
+//! computed offline and shared across requests. This crate is that
+//! materialization layer:
+//!
+//! - [`fingerprint`] — a 128-bit content fingerprint over the table bytes
+//!   and exactly the config fields Phases 0–2 read. Any change to either
+//!   invalidates the artifact *cleanly* (it simply stops matching).
+//! - [`artifact`] — the serialized prefix: FD-derived excluded pairs,
+//!   sample row indices, and per-attribute-family significant insights
+//!   with every `f64` stored as its IEEE-754 bit pattern, so a warm start
+//!   replays **bit-identical** numbers.
+//! - [`format`] — the envelope: magic, format version, payload length,
+//!   JSON payload, FNV-1a checksum. Corruption and version skew surface
+//!   as typed [`StoreError`]s, never panics.
+//! - [`store`] — a directory of artifacts keyed by dataset name, with
+//!   atomic writes (`tmp` + rename).
+//!
+//! The warm-start entry points live in `cn-pipeline`
+//! (`run_from_store`, `build_store_artifact`); the serving integration
+//! (background precomputation, `store_hits`/`store_misses` counters) in
+//! `cn-serve`. This crate stays dependency-light: tables and insight
+//! types only.
+
+pub mod artifact;
+pub mod error;
+pub mod fingerprint;
+pub mod format;
+pub mod store;
+
+pub use artifact::{
+    kind_from_name, kind_to_name, FamilyArtifact, PrefixSummary, SampleSet, StoreArtifact,
+    StoredInsight,
+};
+pub use error::StoreError;
+pub use fingerprint::{hash_table, Fingerprint, FingerprintHasher};
+pub use format::{decode_envelope, encode_envelope, FORMAT_VERSION, MAGIC};
+pub use store::Store;

@@ -1,0 +1,229 @@
+//! A directory of artifacts keyed by dataset name.
+//!
+//! One file per dataset, `<sanitized-name>.cnstore`, written atomically
+//! (temp file + rename) so a crashed build never leaves a half-written
+//! artifact where a reader will find it.
+
+use crate::artifact::StoreArtifact;
+use crate::error::StoreError;
+use crate::format::{decode_envelope, encode_envelope};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File extension for store artifacts.
+pub const EXTENSION: &str = "cnstore";
+
+fn io_err(path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Map a dataset name to a safe file stem: anything outside
+/// `[A-Za-z0-9._-]` becomes `_`, and a leading dot is replaced so the
+/// file is never hidden.
+fn sanitize(name: &str) -> String {
+    let mut stem: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect();
+    if stem.is_empty() {
+        stem.push('_');
+    }
+    if stem.starts_with('.') {
+        stem.replace_range(..1, "_");
+    }
+    stem
+}
+
+/// A store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) a store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(Store { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path the artifact for `dataset` lives at.
+    pub fn path_for(&self, dataset: &str) -> PathBuf {
+        self.dir.join(format!("{}.{}", sanitize(dataset), EXTENSION))
+    }
+
+    /// Persist an artifact under its dataset name. Returns the number
+    /// of bytes written.
+    pub fn save(&self, artifact: &StoreArtifact) -> Result<u64, StoreError> {
+        let payload = serde_json::to_string(&artifact.to_json())
+            .map_err(|e| StoreError::Invalid(format!("serialize: {e}")))?;
+        let bytes = encode_envelope(payload.as_bytes());
+        let path = self.path_for(&artifact.dataset);
+        let tmp = path.with_extension(format!("{EXTENSION}.tmp"));
+        fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Load and validate the artifact for `dataset`.
+    pub fn load(&self, dataset: &str) -> Result<StoreArtifact, StoreError> {
+        let path = self.path_for(dataset);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(dataset.to_string()))
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let payload = decode_envelope(&bytes)?;
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| StoreError::Corrupt(format!("payload not UTF-8: {e}")))?;
+        let value: serde_json::Value = serde_json::from_str(text)
+            .map_err(|e| StoreError::Corrupt(format!("payload parse: {e}")))?;
+        let artifact = StoreArtifact::from_json(&value)?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Whether an artifact file exists for `dataset` (no validation).
+    pub fn contains(&self, dataset: &str) -> bool {
+        self.path_for(dataset).is_file()
+    }
+
+    /// Sorted file stems of all artifacts in the store.
+    pub fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, e))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(EXTENSION) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Delete the artifact for `dataset`; `Ok(false)` if none existed.
+    pub fn remove(&self, dataset: &str) -> Result<bool, StoreError> {
+        let path = self.path_for(dataset);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::PrefixSummary;
+    use crate::format::FORMAT_VERSION;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cn-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn artifact(dataset: &str) -> StoreArtifact {
+        StoreArtifact {
+            format_version: FORMAT_VERSION,
+            dataset: dataset.into(),
+            n_rows: 10,
+            attributes: vec!["a".into()],
+            measures: vec!["m".into()],
+            table_fingerprint: format!("{:032x}", 5u128),
+            fingerprint: format!("{:032x}", 6u128),
+            prefix: PrefixSummary {
+                detect_fds: true,
+                sampling: "none".into(),
+                sample_fraction_bits: None,
+                seed: 0,
+                n_permutations: 200,
+                alpha_bits: 0.05f64.to_bits(),
+                apply_bh: true,
+                kernel: "pair_exact".into(),
+                early_stop: false,
+                types: vec!["mean_greater".into()],
+            },
+            fd_pairs: vec![],
+            samples: vec![],
+            n_tested: 0,
+            families: vec![],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmp_dir("round-trip");
+        let store = Store::open(&dir).unwrap();
+        let a = artifact("demo");
+        let bytes = store.save(&a).unwrap();
+        assert!(bytes > 0);
+        assert!(store.contains("demo"));
+        assert_eq!(store.load("demo").unwrap(), a);
+        assert_eq!(store.list().unwrap(), vec!["demo".to_string()]);
+        assert!(store.remove("demo").unwrap());
+        assert!(!store.remove("demo").unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_artifact_is_not_found() {
+        let dir = tmp_dir("missing");
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.load("nope").unwrap_err(), StoreError::NotFound("nope".into()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_reported_not_panicked() {
+        let dir = tmp_dir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        fs::write(
+            store.path_for("bad"),
+            b"definitely not an artifact, long enough to pass the length check",
+        )
+        .unwrap();
+        assert!(matches!(store.load("bad").unwrap_err(), StoreError::BadMagic));
+
+        let a = artifact("flip");
+        store.save(&a).unwrap();
+        let path = store.path_for("flip");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load("flip").unwrap_err(), StoreError::Corrupt(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitization_keeps_names_on_disk_safe() {
+        assert_eq!(sanitize("demo"), "demo");
+        assert!(!sanitize("../../etc/passwd").contains('/'));
+        assert!(!sanitize("../x").contains('/'));
+        assert_eq!(sanitize(""), "_");
+        assert_eq!(sanitize(".hidden"), "_hidden");
+
+        let dir = tmp_dir("sanitize");
+        let store = Store::open(&dir).unwrap();
+        let mut a = artifact("weird name/with:chars");
+        a.dataset = "weird name/with:chars".into();
+        store.save(&a).unwrap();
+        assert!(store.contains("weird name/with:chars"));
+        assert_eq!(store.load("weird name/with:chars").unwrap(), a);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Cold-vs-warm benchmark of the precomputed-insight store. Writes
+# BENCH_store.json at the repository root; exits non-zero when the warm
+# path is less than 5x faster than cold (the acceptance bar).
+set -euo pipefail
+
+OUT="${OUT:-BENCH_store.json}"
+
+# SKIP_BUILD=1 reuses an existing release binary (local runs).
+if [ -z "${SKIP_BUILD:-}" ]; then
+  cargo build --release -p cn-bench --bin bench_store
+fi
+
+./target/release/bench_store --out "${OUT}" "$@"

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke test of the warm-start store: precompute an artifact for the
+# demo dataset with the CLI, verify it, serve with the store attached,
+# and assert that a served request actually warm-started (a `store_hits`
+# count in a schema-valid /metrics report).
+set -euo pipefail
+
+PORT="${PORT:-7981}"
+BASE="http://127.0.0.1:${PORT}"
+STORE_DIR="${STORE_DIR:-target/store-smoke}"
+METRICS_OUT="${METRICS_OUT:-store-metrics.json}"
+
+# SKIP_BUILD=1 reuses existing release binaries (local runs).
+if [ -z "${SKIP_BUILD:-}" ]; then
+  cargo build --release -p cn-core --bin cn
+  cargo build --release -p cn-bench --bin repro
+fi
+
+rm -rf "${STORE_DIR}"
+
+# Build + verify the artifact offline. The defaults (seed 0, 200
+# permutations) are exactly what the server derives for a request that
+# sets neither `seed` nor `perms`.
+./target/release/cn store build --store-dir "${STORE_DIR}" --demo-data
+./target/release/cn store verify --store-dir "${STORE_DIR}" --demo-data
+./target/release/cn store inspect --store-dir "${STORE_DIR}" | grep -q '^demo:'
+
+./target/release/cn serve \
+  --port "${PORT}" --demo-data --store-dir "${STORE_DIR}" \
+  --queue-depth 8 --serve-workers 2 --threads 2 &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "${BASE}/healthz"
+echo
+
+# The startup scan adopts the CLI-built artifact: demo reports warm.
+for _ in $(seq 1 50); do
+  if curl -sf "${BASE}/v1/datasets" | grep -q '"store": *"warm"'; then break; fi
+  sleep 0.2
+done
+curl -sf "${BASE}/v1/datasets" | grep -q '"store": *"warm"'
+curl -sf "${BASE}/v1/datasets" | grep -q '"fingerprint": *"[0-9a-f]\{32\}"'
+
+# A default request warm-starts from the artifact.
+RESPONSE=$(curl -sf -X POST "${BASE}/v1/notebooks" \
+  -H 'Content-Type: application/json' \
+  -d '{"dataset": "demo", "len": 4}')
+echo "${RESPONSE}" | grep -q '"status": *"done"'
+
+curl -sf "${BASE}/metrics" >"${METRICS_OUT}"
+grep -q '"store_hits": *1' "${METRICS_OUT}"
+grep -q '"store_misses": *0' "${METRICS_OUT}"
+grep -q '"store_invalid": *0' "${METRICS_OUT}"
+
+./target/release/repro validate-metrics "${METRICS_OUT}" \
+  --schema schemas/metrics.schema.json
+echo "store smoke passed"

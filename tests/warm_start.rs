@@ -1,0 +1,181 @@
+//! Golden warm-start tests: `run_from_store` must be **bit-identical**
+//! to a cold `run` for the same `(table, config)`, across configs that
+//! exercise every Phase 0–2 path (full-table, shared-sample, unbalanced
+//! per-attribute sample, pruning on/off), and the prefix fingerprint
+//! must move exactly when a Phase 0–2 input moves.
+
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::insight::significance::TestConfig;
+use cn_core::notebook::to_markdown;
+use cn_core::pipeline::store::{build_store_artifact, prefix_fingerprint, run_from_store};
+use cn_core::pipeline::{run, GeneratorConfig, PipelineError, RunResult, SamplingStrategy};
+use cn_core::store::Store;
+use cn_core::tabular::{AttrId, Table};
+use cn_core::tap::Budgets;
+
+fn dataset() -> Table {
+    enedis_like(Scale::TEST, 13)
+}
+
+fn base_config() -> GeneratorConfig {
+    GeneratorConfig {
+        budgets: Budgets { epsilon_t: 5.0, epsilon_d: 35.0 },
+        generation_config: cn_core::insight::generation::GenerationConfig {
+            test: TestConfig { n_permutations: 99, seed: 5, ..Default::default() },
+            ..Default::default()
+        },
+        n_threads: 2,
+        ..Default::default()
+    }
+}
+
+/// Every externally observable field of a [`RunResult`], compared at the
+/// bit level — the warm-start contract.
+fn assert_identical(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(to_markdown(&a.notebook), to_markdown(&b.notebook), "{label}: notebook");
+    assert_eq!(a.solution.sequence, b.solution.sequence, "{label}: TAP sequence");
+    assert_eq!(
+        a.solution.total_interest.to_bits(),
+        b.solution.total_interest.to_bits(),
+        "{label}: total interest"
+    );
+    assert_eq!(a.solution.total_cost.to_bits(), b.solution.total_cost.to_bits(), "{label}");
+    assert_eq!(a.solution.total_distance.to_bits(), b.solution.total_distance.to_bits(), "{label}");
+    assert_eq!(a.n_tested, b.n_tested, "{label}: n_tested");
+    assert_eq!(a.n_significant, b.n_significant, "{label}: n_significant");
+    assert_eq!(a.n_queries_before_dedup, b.n_queries_before_dedup, "{label}");
+    assert_eq!(a.tap_timed_out, b.tap_timed_out, "{label}");
+    assert_eq!(a.queries.len(), b.queries.len(), "{label}: query count");
+    for (qa, qb) in a.queries.iter().zip(&b.queries) {
+        assert_eq!(qa.spec, qb.spec, "{label}: query spec");
+        assert_eq!(qa.insight_ids, qb.insight_ids, "{label}");
+        assert_eq!((qa.theta, qa.gamma), (qb.theta, qb.gamma), "{label}");
+    }
+    for (ia, ib) in a.interests.iter().zip(&b.interests) {
+        assert_eq!(ia.to_bits(), ib.to_bits(), "{label}: interest score");
+    }
+    assert_eq!(a.insights.len(), b.insights.len(), "{label}: insight count");
+    for (sa, sb) in a.insights.iter().zip(&b.insights) {
+        assert_eq!(sa.detail.insight, sb.detail.insight, "{label}");
+        assert_eq!(sa.detail.p_value.to_bits(), sb.detail.p_value.to_bits(), "{label}");
+        assert_eq!(sa.detail.raw_p.to_bits(), sb.detail.raw_p.to_bits(), "{label}");
+        assert_eq!(
+            sa.detail.observed_effect.to_bits(),
+            sb.detail.observed_effect.to_bits(),
+            "{label}"
+        );
+        assert_eq!(sa.credibility.supporting, sb.credibility.supporting, "{label}");
+        assert_eq!(sa.credibility.possible, sb.credibility.possible, "{label}");
+    }
+}
+
+#[test]
+fn warm_start_is_bit_identical_across_prefix_variants() {
+    let t = dataset();
+    let mut variants: Vec<(&str, GeneratorConfig)> = Vec::new();
+    variants.push(("full-table", base_config()));
+    let mut c = base_config();
+    c.sampling = SamplingStrategy::Random { fraction: 0.6 };
+    variants.push(("random-sample", c));
+    let mut c = base_config();
+    c.sampling = SamplingStrategy::Unbalanced { fraction: 0.6 };
+    variants.push(("unbalanced-sample", c));
+    let mut c = base_config();
+    c.generation_config.prune_transitive = false;
+    variants.push(("prune-off", c));
+    let mut c = base_config();
+    c.detect_fds = false;
+    variants.push(("no-fd", c));
+
+    for (label, cfg) in &variants {
+        let artifact = build_store_artifact(&t, cfg, "enedis").expect("build");
+        let cold = run(&t, cfg).expect("cold run");
+        let warm = run_from_store(&t, &artifact, cfg).expect("warm run");
+        assert_identical(&cold, &warm, label);
+    }
+}
+
+#[test]
+fn warm_start_is_identical_after_a_disk_round_trip() {
+    let t = dataset();
+    let cfg = base_config();
+    let artifact = build_store_artifact(&t, &cfg, "enedis").unwrap();
+
+    let dir = std::env::temp_dir().join(format!("cn-warm-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    store.save(&artifact).unwrap();
+    let loaded = store.load("enedis").unwrap();
+    assert_eq!(loaded, artifact);
+
+    let cold = run(&t, &cfg).unwrap();
+    let warm = run_from_store(&t, &loaded, &cfg).unwrap();
+    assert_identical(&cold, &warm, "disk-round-trip");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_serves_requests_that_vary_only_suffix_config() {
+    let t = dataset();
+    let build_cfg = base_config();
+    let artifact = build_store_artifact(&t, &build_cfg, "enedis").unwrap();
+
+    // Tighter budgets, more threads, an extra request-side exclusion:
+    // none of these touch Phases 0–2, so the same artifact must serve
+    // them — and still match the cold run bit for bit.
+    let mut request = base_config();
+    request.budgets = Budgets { epsilon_t: 3.0, epsilon_d: 20.0 };
+    request.n_threads = 4;
+    request.generation_config.excluded_pairs.push((AttrId(0), AttrId(1)));
+    assert_eq!(
+        prefix_fingerprint(&t, &build_cfg),
+        prefix_fingerprint(&t, &request),
+        "suffix-only changes must not move the fingerprint"
+    );
+    let cold = run(&t, &request).unwrap();
+    let warm = run_from_store(&t, &artifact, &request).unwrap();
+    assert_identical(&cold, &warm, "suffix-variation");
+}
+
+#[test]
+fn fingerprint_moves_with_every_prefix_field() {
+    let t = dataset();
+    let base = prefix_fingerprint(&t, &base_config());
+
+    let mut c = base_config();
+    c.seed = 6;
+    assert_ne!(base, prefix_fingerprint(&t, &c), "pipeline seed");
+    let mut c = base_config();
+    c.generation_config.test.n_permutations = 100;
+    assert_ne!(base, prefix_fingerprint(&t, &c), "permutation count");
+    let mut c = base_config();
+    c.generation_config.test.alpha = 0.01;
+    assert_ne!(base, prefix_fingerprint(&t, &c), "alpha");
+    let mut c = base_config();
+    c.generation_config.test.apply_bh = false;
+    assert_ne!(base, prefix_fingerprint(&t, &c), "BH toggle");
+    let mut c = base_config();
+    c.generation_config.test.seed = 99;
+    assert_ne!(base, prefix_fingerprint(&t, &c), "test seed");
+    let mut c = base_config();
+    c.sampling = SamplingStrategy::Random { fraction: 0.5 };
+    assert_ne!(base, prefix_fingerprint(&t, &c), "sampling strategy");
+    let mut c = base_config();
+    c.detect_fds = false;
+    assert_ne!(base, prefix_fingerprint(&t, &c), "FD detection toggle");
+
+    // And with the table contents.
+    let other = enedis_like(Scale::TEST, 14);
+    assert_ne!(base, prefix_fingerprint(&other, &base_config()), "table contents");
+}
+
+#[test]
+fn mismatched_artifact_is_a_typed_error_not_a_wrong_answer() {
+    let t = dataset();
+    let artifact = build_store_artifact(&t, &base_config(), "enedis").unwrap();
+    let mut other = base_config();
+    other.generation_config.test.n_permutations = 42;
+    let err = run_from_store(&t, &artifact, &other).unwrap_err();
+    assert!(matches!(err, PipelineError::Artifact(_)), "got {err:?}");
+    assert!(err.to_string().contains("fingerprint"));
+}
