@@ -1,0 +1,205 @@
+//! `bench_suffix` — the warm query-evaluation suffix under the three
+//! group-by kernels.
+//!
+//! Every run replays Phases 0–2 from a precomputed store artifact, so
+//! the measured work is exactly the Phase 3 suffix the server executes
+//! on a warm request: group-by materialization + hypothesis-query
+//! evaluation. Three configurations over the same `(table, artifact)`:
+//!
+//! 1. `wsc` — the seed's Algorithm 2 set-cover kernel (sparse cubes);
+//! 2. `shared` — the COMPARE-style shared-scan dense kernel, cold cache;
+//! 3. `cached` — the shared-scan kernel against a pre-warmed
+//!    [`GroupByCache`], i.e. a repeat request.
+//!
+//! Asserts the three notebooks are byte-identical and writes
+//! `BENCH_suffix.json` with the `hypothesis_eval` phase times, the
+//! kernel speedup, and the cache hit rate.
+//!
+//! ```bash
+//! cargo run -p cn-bench --release --bin bench_suffix -- --out BENCH_suffix.json
+//! ```
+
+use cn_core::datagen::{enedis_like, Scale};
+use cn_core::notebook::to_markdown;
+use cn_core::obs::{CancelToken, Metric, Registry};
+use cn_core::pipeline::store::{build_store_artifact, run_from_store_cached};
+use cn_core::pipeline::{run_from_store_observed, GeneratorConfig, GroupByCache, QueryGeneration};
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_suffix [--out PATH] [--perms N] [--threads N] [--seed N] [--runs N] [--small]\n\
+         defaults: --out BENCH_suffix.json --perms 200 --threads 1 --seed 21 --runs 3\n\
+         --small: TEST-scale table, no speedup bar (CI smoke preset)"
+    );
+    std::process::exit(2)
+}
+
+struct Opts {
+    out: PathBuf,
+    perms: usize,
+    threads: usize,
+    seed: u64,
+    runs: usize,
+    small: bool,
+}
+
+fn parse() -> Opts {
+    let mut opts = Opts {
+        out: PathBuf::from("BENCH_suffix.json"),
+        perms: 200,
+        threads: 1,
+        seed: 21,
+        runs: 3,
+        small: false,
+    };
+    let rest: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |rest: &[String], i: &mut usize| -> String {
+        *i += 1;
+        rest.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => opts.out = PathBuf::from(value(&rest, &mut i)),
+            "--perms" => opts.perms = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => opts.threads = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--runs" => {
+                opts.runs = value(&rest, &mut i).parse().unwrap_or_else(|_| usage());
+                opts.runs = opts.runs.max(1);
+            }
+            "--small" => opts.small = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-N `hypothesis_eval` phase time for one configuration; also
+/// returns the last run's notebook markdown for the identity check.
+fn measure<F>(runs: usize, mut one: F) -> (Duration, String)
+where
+    F: FnMut() -> (Registry, String),
+{
+    let mut best = Duration::MAX;
+    let mut md = String::new();
+    for _ in 0..runs {
+        let (obs, rendered) = one();
+        let hyp = obs.report().phase_duration("hypothesis_eval");
+        if hyp < best {
+            best = hyp;
+        }
+        md = rendered;
+    }
+    (best, md)
+}
+
+fn main() {
+    let opts = parse();
+    let scale = if opts.small { Scale::TEST } else { Scale::BENCH };
+    let table = enedis_like(scale, opts.seed);
+
+    let mut wsc_config =
+        GeneratorConfig { n_threads: opts.threads, seed: opts.seed, ..GeneratorConfig::default() };
+    wsc_config.generation_config.test.n_permutations = opts.perms;
+    wsc_config.generation_config.test.seed = opts.seed;
+    wsc_config.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+    let mut shared_config = wsc_config.clone();
+    shared_config.generation = QueryGeneration::SharedScan;
+
+    // One artifact serves every configuration: the prefix fingerprint
+    // deliberately excludes the generation kernel.
+    let artifact = build_store_artifact(&table, &wsc_config, "bench").expect("build artifact");
+
+    let (wsc_hyp, wsc_md) = measure(opts.runs, || {
+        let obs = Registry::new();
+        let r = run_from_store_observed(&table, &artifact, &wsc_config, &obs).expect("wsc run");
+        (obs, to_markdown(&r.notebook))
+    });
+
+    let (shared_hyp, shared_md) = measure(opts.runs, || {
+        let obs = Registry::new();
+        let r =
+            run_from_store_observed(&table, &artifact, &shared_config, &obs).expect("shared run");
+        (obs, to_markdown(&r.notebook))
+    });
+
+    // The repeat-request path: warm the cache once, then measure runs
+    // that serve every cube from memory.
+    let cubes = GroupByCache::default();
+    let warmup = Registry::new();
+    run_from_store_cached(&table, &artifact, &shared_config, &warmup, CancelToken::never(), &cubes)
+        .expect("cache warmup run");
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let (cached_hyp, cached_md) = measure(opts.runs, || {
+        let obs = Registry::new();
+        let r = run_from_store_cached(
+            &table,
+            &artifact,
+            &shared_config,
+            &obs,
+            CancelToken::never(),
+            &cubes,
+        )
+        .expect("cached run");
+        hits = obs.get(Metric::GroupbyCacheHits);
+        misses = obs.get(Metric::GroupbyCacheMisses);
+        (obs, to_markdown(&r.notebook))
+    });
+
+    assert_eq!(wsc_md, shared_md, "shared-scan notebook must be bit-identical to WSC");
+    assert_eq!(wsc_md, cached_md, "cached notebook must be bit-identical to WSC");
+    if hits == 0 && misses == 0 {
+        eprintln!(
+            "error: no group-by pairs to evaluate — no insight survived BH correction at \
+             --perms {}; raise --perms",
+            opts.perms
+        );
+        std::process::exit(2);
+    }
+    assert!(hits > 0, "repeat runs must hit the group-by cache");
+    assert_eq!(misses, 0, "repeat runs must not rebuild any cube");
+
+    let kernel_speedup = ms(wsc_hyp) / ms(shared_hyp).max(1e-9);
+    let cached_speedup = ms(wsc_hyp) / ms(cached_hyp).max(1e-9);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let payload = json!({
+        "dataset": format!("enedis_like({})", if opts.small { "TEST" } else { "BENCH" }),
+        "n_rows": table.n_rows() as u64,
+        "n_permutations": opts.perms as u64,
+        "threads": opts.threads as u64,
+        "runs": opts.runs as u64,
+        "wsc_hypothesis_eval_ms": ms(wsc_hyp),
+        "shared_hypothesis_eval_ms": ms(shared_hyp),
+        "cached_hypothesis_eval_ms": ms(cached_hyp),
+        "kernel_speedup": kernel_speedup,
+        "cached_speedup": cached_speedup,
+        "groupby_cache_hits": hits,
+        "groupby_cache_misses": misses,
+        "cache_hit_rate": hit_rate,
+        "identical_output": true,
+    });
+    let rendered = serde_json::to_string_pretty(&payload).expect("render report");
+    std::fs::write(&opts.out, rendered).expect("write report");
+    eprintln!(
+        "hypothesis_eval: wsc {:.1} ms → shared {:.1} ms ({kernel_speedup:.1}x) → cached {:.1} ms \
+         ({cached_speedup:.1}x, hit rate {hit_rate:.2})",
+        ms(wsc_hyp),
+        ms(shared_hyp),
+        ms(cached_hyp)
+    );
+    eprintln!("wrote {}", opts.out.display());
+    if !opts.small && kernel_speedup < 3.0 {
+        eprintln!("WARNING: shared-scan kernel speedup below the 3x acceptance bar");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,690 @@
+//! COMPARE-style batched shared-scan evaluation.
+//!
+//! The warm query-evaluation path asks many comparison queries over the
+//! same table: one per (grouping attribute `A`, selection attribute `B`,
+//! measure, aggregate) a run needs. The per-query kernel
+//! ([`crate::groupby`]) re-scans the table for every query; following
+//! COMPARE (Siddiqui, Chaudhuri, Narasayya), this module instead merges
+//! all queries sharing a grouping attribute into **one fused scan** that
+//! fills a dense `|dom(A)| × |dom(B)|` accumulator array per needed
+//! `(A, B)` pair — dictionary codes are dense `u32`s, so the hot loop is
+//! two array indexings and a [`PartialAgg::push`], no hashing.
+//!
+//! ## Determinism
+//!
+//! The fused scan is chunked over a **fixed row grid** ([`CHUNK_ROWS`]),
+//! independent of the thread count, and chunk accumulators are merged in
+//! chunk-index order at join (the merge-at-join pattern of
+//! `cn_stats::parallel`). Every `(cell, measure)` accumulator therefore
+//! sees the same `f64` operations in the same order at any thread count,
+//! so results are bitwise identical for 1, 2, or 48 workers. Tables of at
+//! most [`CHUNK_ROWS`] rows run as a single chunk, which is exactly the
+//! sequential per-query accumulation order — bit-identical to the
+//! `HashMap` kernel.
+
+use crate::agg::PartialAgg;
+use crate::comparison::{ComparisonResult, ComparisonSpec};
+use crate::error::EngineError;
+use cn_obs::{Hist, Metric, Registry};
+use cn_stats::parallel_map;
+use cn_tabular::{AttrId, MeasureId, Table};
+
+/// Rows per parallel work item. Fixed (never derived from the thread
+/// count) so the chunk grid — and with it every accumulation order — is
+/// identical however many workers run the scan.
+pub const CHUNK_ROWS: usize = 4096;
+
+/// Upper bound on `|dom(A)| × |dom(B)|` for one dense pair cube; beyond
+/// this the dense representation stops paying for itself and allocation
+/// is refused ([`EngineError::DenseTooLarge`]).
+pub const MAX_DENSE_CELLS: usize = 1 << 22;
+
+/// One `(A, B)` pair the run needs, with the measures queried on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairRequest {
+    /// Grouping attribute `A`.
+    pub group_by: AttrId,
+    /// Selection attribute `B`.
+    pub select_on: AttrId,
+    /// Measures any query on this pair aggregates.
+    pub measures: Vec<MeasureId>,
+}
+
+/// All pairs sharing one grouping attribute: answered by a single scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanGroup {
+    /// The shared grouping attribute `A`.
+    pub group_by: AttrId,
+    /// `(B, measures)` per pair, in first-seen order; measures sorted.
+    pub selects: Vec<(AttrId, Vec<MeasureId>)>,
+}
+
+/// The scan plan: one [`ScanGroup`] per distinct grouping attribute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanPlan {
+    /// Scan groups in first-seen order of the grouping attribute.
+    pub groups: Vec<ScanGroup>,
+}
+
+impl ScanPlan {
+    /// Number of fused table scans the plan performs.
+    pub fn n_scans(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of dense pair cubes the plan materializes.
+    pub fn n_cubes(&self) -> usize {
+        self.groups.iter().map(|g| g.selects.len()).sum()
+    }
+}
+
+/// Groups the run's pair requests by grouping attribute, merging duplicate
+/// `(A, B)` pairs and unioning their measure sets. Group and pair order is
+/// first-seen, so the produced cubes line up with the request order.
+pub fn plan_scans(requests: &[PairRequest]) -> ScanPlan {
+    let mut groups: Vec<ScanGroup> = Vec::new();
+    for req in requests {
+        let group = match groups.iter_mut().find(|g| g.group_by == req.group_by) {
+            Some(g) => g,
+            None => {
+                groups.push(ScanGroup { group_by: req.group_by, selects: Vec::new() });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        match group.selects.iter_mut().find(|(b, _)| *b == req.select_on) {
+            Some((_, measures)) => measures.extend(req.measures.iter().copied()),
+            None => group.selects.push((req.select_on, req.measures.clone())),
+        }
+    }
+    for group in &mut groups {
+        for (_, measures) in &mut group.selects {
+            measures.sort_unstable();
+            measures.dedup();
+        }
+    }
+    ScanPlan { groups }
+}
+
+/// A materialized dense `(A, B)` pair cube: for every `(a, b)` code cell,
+/// the raw row count and one [`PartialAgg`] per planned measure — enough
+/// to answer any comparison query `(A, B, val, val', M, agg)` with
+/// `M` planned, for any aggregate.
+#[derive(Debug, Clone)]
+pub struct DensePairCube {
+    /// Grouping attribute `A`.
+    pub group_by: AttrId,
+    /// Selection attribute `B`.
+    pub select_on: AttrId,
+    a_dim: usize,
+    b_dim: usize,
+    measures: Vec<MeasureId>,
+    /// Raw row count per cell; cell `(a, b)` lives at `a * b_dim + b`.
+    rows: Vec<u64>,
+    /// Measure-major payloads: measure `m`'s cell `(a, b)` lives at
+    /// `m * a_dim * b_dim + a * b_dim + b`.
+    partials: Vec<PartialAgg>,
+}
+
+impl DensePairCube {
+    /// The planned measures, sorted by id.
+    pub fn measures(&self) -> &[MeasureId] {
+        &self.measures
+    }
+
+    /// Number of `(a, b)` cells at least one row fell into.
+    pub fn n_present_groups(&self) -> usize {
+        self.rows.iter().filter(|&&r| r > 0).count()
+    }
+
+    /// Raw row count of cell `(a, b)`.
+    pub fn rows_at(&self, a: u32, b: u32) -> u64 {
+        self.rows[a as usize * self.b_dim + b as usize]
+    }
+
+    /// Payload of `measure` at cell `(a, b)`, `None` when the cell is
+    /// empty or the measure was not planned.
+    pub fn partial(&self, a: u32, b: u32, measure: MeasureId) -> Option<&PartialAgg> {
+        let cell = a as usize * self.b_dim + b as usize;
+        if self.rows[cell] == 0 {
+            return None;
+        }
+        let m = self.measures.iter().position(|&x| x == measure)?;
+        Some(&self.partials[m * self.a_dim * self.b_dim + cell])
+    }
+
+    /// In-memory footprint of the dense arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<u64>() + self.partials.len() * PartialAgg::BYTES
+    }
+
+    /// Answers a comparison query from this cube. Produces exactly the
+    /// result of [`crate::comparison::execute`] on the base table, and of
+    /// [`crate::cube::Cube::comparison`] for every real query (the two
+    /// sparse kernels only diverge on the degenerate `val == val2` case,
+    /// which candidate generation never emits; there this kernel sides
+    /// with `execute`).
+    ///
+    /// # Panics
+    /// Panics if `spec` does not match this cube's pair or its measure
+    /// was not planned.
+    pub fn comparison(&self, table: &Table, spec: &ComparisonSpec) -> ComparisonResult {
+        self.comparison_observed(table, spec, Registry::discard())
+    }
+
+    /// [`DensePairCube::comparison`] recording the query into `obs`.
+    ///
+    /// # Panics
+    /// As [`DensePairCube::comparison`].
+    pub fn comparison_observed(
+        &self,
+        table: &Table,
+        spec: &ComparisonSpec,
+        obs: &Registry,
+    ) -> ComparisonResult {
+        obs.inc(Metric::QueriesEvaluated);
+        assert_eq!((spec.group_by, spec.select_on), (self.group_by, self.select_on));
+        let m = self
+            .measures
+            .iter()
+            .position(|&x| x == spec.measure)
+            .expect("comparison measure must be planned into the dense cube");
+        let base = m * self.a_dim * self.b_dim;
+        let val = spec.val as usize;
+        let val2 = spec.val2 as usize;
+        let mut tuples = 0u64;
+        let mut joined: Vec<(u32, f64, f64)> = Vec::new();
+        for a in 0..self.a_dim {
+            // Presence gating on the raw row count keeps the semantics of
+            // the sparse kernels: a cell no row fell into is not a group,
+            // so e.g. `count` must not fabricate a 0 for it. The two sides
+            // are independent selections like `comparison::execute`'s, so
+            // the degenerate `val == val2` compares a group with itself;
+            // its tuples are still counted once (`B ∈ {v, v}` deduplicates).
+            let mut left = None;
+            let mut right = None;
+            if val < self.b_dim && self.rows[a * self.b_dim + val] > 0 {
+                tuples += self.rows[a * self.b_dim + val];
+                left = self.partials[base + a * self.b_dim + val].finalize(spec.agg);
+            }
+            if val2 < self.b_dim && self.rows[a * self.b_dim + val2] > 0 {
+                if val2 != val {
+                    tuples += self.rows[a * self.b_dim + val2];
+                }
+                right = self.partials[base + a * self.b_dim + val2].finalize(spec.agg);
+            }
+            if let (Some(l), Some(r)) = (left, right) {
+                joined.push((a as u32, l, r));
+            }
+        }
+        let ranks = table.dict(spec.group_by).value_ranks();
+        joined.sort_by_key(|&(a, _, _)| ranks[a as usize]);
+        let mut group_codes = Vec::with_capacity(joined.len());
+        let mut left = Vec::with_capacity(joined.len());
+        let mut right = Vec::with_capacity(joined.len());
+        for (c, l, r) in joined {
+            group_codes.push(c);
+            left.push(l);
+            right.push(r);
+        }
+        ComparisonResult { group_codes, left, right, tuples_aggregated: tuples as usize }
+    }
+}
+
+/// Per-chunk accumulator of one pair: the same dense layout as the final
+/// cube, filled from one row chunk only.
+struct ChunkAccum {
+    rows: Vec<u64>,
+    partials: Vec<PartialAgg>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accumulate_chunk(
+    table: &Table,
+    group_by: AttrId,
+    select_on: AttrId,
+    measures: &[MeasureId],
+    b_dim: usize,
+    cells: usize,
+    lo: usize,
+    hi: usize,
+) -> ChunkAccum {
+    let a_codes = &table.codes(group_by)[lo..hi];
+    let b_codes = &table.codes(select_on)[lo..hi];
+    let mut rows = vec![0u64; cells];
+    for (&a, &b) in a_codes.iter().zip(b_codes.iter()) {
+        rows[a as usize * b_dim + b as usize] += 1;
+    }
+    let mut partials = vec![PartialAgg::new(); measures.len() * cells];
+    for (mi, &m) in measures.iter().enumerate() {
+        let col = &table.measure(m)[lo..hi];
+        let dst = &mut partials[mi * cells..(mi + 1) * cells];
+        for ((&a, &b), &v) in a_codes.iter().zip(b_codes.iter()).zip(col.iter()) {
+            dst[a as usize * b_dim + b as usize].push(v);
+        }
+    }
+    ChunkAccum { rows, partials }
+}
+
+/// Executes the plan: one chunk-parallel fused scan per [`ScanGroup`],
+/// returning the dense pair cubes in plan order.
+///
+/// Counters (rows scanned per scan, cubes built, group-count histogram)
+/// are recorded by the coordinator after the pool joins, so they are
+/// identical for any `n_threads`.
+///
+/// # Errors
+/// [`EngineError::DenseTooLarge`] when any pair's cell count exceeds
+/// [`MAX_DENSE_CELLS`].
+pub fn execute_plan_observed(
+    table: &Table,
+    plan: &ScanPlan,
+    n_threads: usize,
+    obs: &Registry,
+) -> Result<Vec<DensePairCube>, EngineError> {
+    for group in &plan.groups {
+        let a_dim = table.dict(group.group_by).len();
+        for &(select_on, _) in &group.selects {
+            let b_dim = table.dict(select_on).len();
+            let cells = a_dim.saturating_mul(b_dim);
+            if cells > MAX_DENSE_CELLS {
+                return Err(EngineError::DenseTooLarge { cells });
+            }
+        }
+    }
+    let n_rows = table.n_rows();
+    let n_chunks = n_rows.div_ceil(CHUNK_ROWS).max(1);
+    let items: Vec<(usize, usize)> =
+        (0..plan.groups.len()).flat_map(|gi| (0..n_chunks).map(move |ci| (gi, ci))).collect();
+    let chunked: Vec<Vec<ChunkAccum>> = parallel_map(&items, n_threads, |&(gi, ci)| {
+        let group = &plan.groups[gi];
+        let a_dim = table.dict(group.group_by).len();
+        let lo = ci * CHUNK_ROWS;
+        let hi = (lo + CHUNK_ROWS).min(n_rows);
+        group
+            .selects
+            .iter()
+            .map(|(select_on, measures)| {
+                let b_dim = table.dict(*select_on).len();
+                accumulate_chunk(
+                    table,
+                    group.group_by,
+                    *select_on,
+                    measures,
+                    b_dim,
+                    a_dim * b_dim,
+                    lo,
+                    hi,
+                )
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(plan.n_cubes());
+    for (gi, group) in plan.groups.iter().enumerate() {
+        let a_dim = table.dict(group.group_by).len();
+        obs.add(Metric::RowsScanned, n_rows as u64);
+        for (si, (select_on, measures)) in group.selects.iter().enumerate() {
+            let b_dim = table.dict(*select_on).len();
+            let cells = a_dim * b_dim;
+            let mut rows = vec![0u64; cells];
+            let mut partials = vec![PartialAgg::new(); measures.len() * cells];
+            // Chunk accumulators merge in chunk-index order — the fixed
+            // grid makes this order (and so every f64) thread-invariant.
+            for ci in 0..n_chunks {
+                let acc = &chunked[gi * n_chunks + ci][si];
+                for (dst, src) in rows.iter_mut().zip(acc.rows.iter()) {
+                    *dst += src;
+                }
+                for (dst, src) in partials.iter_mut().zip(acc.partials.iter()) {
+                    dst.merge(src);
+                }
+            }
+            let cube = DensePairCube {
+                group_by: group.group_by,
+                select_on: *select_on,
+                a_dim,
+                b_dim,
+                measures: measures.clone(),
+                rows,
+                partials,
+            };
+            obs.inc(Metric::CubesBuilt);
+            obs.record(Hist::CubeGroups, cube.n_present_groups() as u64);
+            out.push(cube);
+        }
+    }
+    Ok(out)
+}
+
+/// [`execute_plan_observed`] without instrumentation.
+///
+/// # Errors
+/// As [`execute_plan_observed`].
+pub fn execute_plan(
+    table: &Table,
+    plan: &ScanPlan,
+    n_threads: usize,
+) -> Result<Vec<DensePairCube>, EngineError> {
+    execute_plan_observed(table, plan, n_threads, Registry::discard())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFn;
+    use crate::comparison::execute;
+    use crate::cube::Cube;
+    use cn_tabular::{Schema, TableBuilder};
+
+    fn covid() -> Table {
+        let schema =
+            Schema::new(vec!["continent", "month", "src"], vec!["cases", "deaths"]).unwrap();
+        let mut b = TableBuilder::new("covid", schema);
+        for (cont, m, s, c, d) in [
+            ("Europe", "4", "x", 10.0, 1.0),
+            ("Africa", "4", "y", 1.0, f64::NAN),
+            ("Africa", "4", "x", 2.0, 0.5),
+            ("Africa", "5", "y", 7.0, 2.0),
+            ("Europe", "5", "x", 20.0, 3.0),
+            ("Europe", "4", "y", 30.0, 4.0),
+            ("Asia", "6", "x", 5.0, 0.25),
+        ] {
+            b.push_row(&[cont, m, s], &[c, d]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn all_measure_requests(t: &Table) -> Vec<PairRequest> {
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let measures: Vec<MeasureId> = t.schema().measure_ids().collect();
+        let mut reqs = Vec::new();
+        for &a in &attrs {
+            for &b in &attrs {
+                if a != b {
+                    reqs.push(PairRequest {
+                        group_by: a,
+                        select_on: b,
+                        measures: measures.clone(),
+                    });
+                }
+            }
+        }
+        reqs
+    }
+
+    #[test]
+    fn plan_merges_pairs_and_unions_measures() {
+        let a = AttrId(0);
+        let b = AttrId(1);
+        let c = AttrId(2);
+        let reqs = vec![
+            PairRequest { group_by: a, select_on: b, measures: vec![MeasureId(1)] },
+            PairRequest { group_by: c, select_on: b, measures: vec![MeasureId(0)] },
+            PairRequest { group_by: a, select_on: b, measures: vec![MeasureId(0), MeasureId(1)] },
+            PairRequest { group_by: a, select_on: c, measures: vec![MeasureId(0)] },
+        ];
+        let plan = plan_scans(&reqs);
+        assert_eq!(plan.n_scans(), 2, "two distinct grouping attributes");
+        assert_eq!(plan.n_cubes(), 3, "three distinct (A, B) pairs");
+        assert_eq!(plan.groups[0].group_by, a);
+        assert_eq!(plan.groups[1].group_by, c);
+        // Measures unioned, sorted, deduped.
+        assert_eq!(plan.groups[0].selects[0], (b, vec![MeasureId(0), MeasureId(1)]));
+        assert_eq!(plan.groups[0].selects[1], (c, vec![MeasureId(0)]));
+    }
+
+    #[test]
+    fn dense_comparison_is_bit_identical_to_sparse_kernels() {
+        let t = covid();
+        let plan = plan_scans(&all_measure_requests(&t));
+        let cubes = execute_plan(&t, &plan, 1).unwrap();
+        let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+        let full = Cube::build(&t, &attrs);
+        for cube in &cubes {
+            let b_dim = t.dict(cube.select_on).len() as u32;
+            for val in 0..b_dim {
+                for val2 in 0..b_dim {
+                    for m in t.schema().measure_ids() {
+                        for agg in AggFn::ALL {
+                            let spec = ComparisonSpec {
+                                group_by: cube.group_by,
+                                select_on: cube.select_on,
+                                val,
+                                val2,
+                                measure: m,
+                                agg,
+                            };
+                            let dense = cube.comparison(&t, &spec);
+                            let direct = execute(&t, &spec);
+                            assert_eq!(dense, direct, "{spec:?}");
+                            let bits =
+                                |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                            if val != val2 {
+                                // The materialized sparse cube agrees on
+                                // every non-degenerate query, bit for bit.
+                                let sparse = full.comparison(&t, &spec);
+                                assert_eq!(dense.group_codes, sparse.group_codes, "{spec:?}");
+                                assert_eq!(dense.tuples_aggregated, sparse.tuples_aggregated);
+                                assert_eq!(bits(&dense.left), bits(&sparse.left), "{spec:?}");
+                                assert_eq!(bits(&dense.right), bits(&sparse.right), "{spec:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_scan_is_thread_invariant() {
+        // More rows than one chunk, so the merge path actually runs.
+        let schema = Schema::new(vec!["g", "s"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("big", schema);
+        let mut x = 7u64;
+        for i in 0..(3 * CHUNK_ROWS + 17) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let g = (x >> 33) % 5;
+            let s = (x >> 13) % 4;
+            let v = ((x >> 3) % 1000) as f64 / 7.0 - 50.0;
+            b.push_row(
+                &[&format!("g{g}"), &format!("s{s}")],
+                &[if i % 97 == 0 { f64::NAN } else { v }],
+            )
+            .unwrap();
+        }
+        let t = b.finish();
+        let plan = plan_scans(&all_measure_requests(&t));
+        let base = execute_plan(&t, &plan, 1).unwrap();
+        for threads in [2, 8] {
+            let par = execute_plan(&t, &plan, threads).unwrap();
+            assert_eq!(base.len(), par.len());
+            for (x, y) in base.iter().zip(par.iter()) {
+                assert_eq!(x.rows, y.rows, "threads={threads}");
+                for (p, q) in x.partials.iter().zip(y.partials.iter()) {
+                    assert_eq!(p.count, q.count);
+                    assert_eq!(p.sum.to_bits(), q.sum.to_bits(), "threads={threads}");
+                    assert_eq!(p.sumsq.to_bits(), q.sumsq.to_bits());
+                    assert_eq!(p.min.to_bits(), q.min.to_bits());
+                    assert_eq!(p.max.to_bits(), q.max.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_val_pair_compares_each_group_with_itself() {
+        let t = covid();
+        let a = t.schema().attribute("continent").unwrap();
+        let b = t.schema().attribute("month").unwrap();
+        let m = t.schema().measure("cases").unwrap();
+        let plan = plan_scans(&[PairRequest { group_by: a, select_on: b, measures: vec![m] }]);
+        let cubes = execute_plan(&t, &plan, 1).unwrap();
+        let spec = ComparisonSpec {
+            group_by: a,
+            select_on: b,
+            val: 0,
+            val2: 0,
+            measure: m,
+            agg: AggFn::Sum,
+        };
+        let dense = cubes[0].comparison(&t, &spec);
+        let direct = execute(&t, &spec);
+        assert_eq!(dense, direct, "degenerate pair follows the base-table kernel");
+        assert!(dense.n_groups() > 0);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&dense.left), bits(&dense.right), "both sides are the same selection");
+        assert!(dense.tuples_aggregated > 0, "`B ∈ {{v, v}}` counts each tuple once");
+    }
+
+    #[test]
+    fn out_of_domain_codes_are_no_groups() {
+        let t = covid();
+        let a = t.schema().attribute("continent").unwrap();
+        let b = t.schema().attribute("month").unwrap();
+        let m = t.schema().measure("cases").unwrap();
+        let plan = plan_scans(&[PairRequest { group_by: a, select_on: b, measures: vec![m] }]);
+        let cubes = execute_plan(&t, &plan, 1).unwrap();
+        let spec = ComparisonSpec {
+            group_by: a,
+            select_on: b,
+            val: 99,
+            val2: 0,
+            measure: m,
+            agg: AggFn::Count,
+        };
+        let res = cubes[0].comparison(&t, &spec);
+        assert_eq!(res.n_groups(), 0);
+    }
+
+    #[test]
+    fn oversized_dense_allocation_is_refused() {
+        let schema = Schema::new(vec!["a", "b"], vec!["m"]).unwrap();
+        let mut bld = TableBuilder::new("wide", schema);
+        let side = 2049; // side² just over MAX_DENSE_CELLS = 2²²
+        for i in 0..side {
+            bld.push_row(&[&format!("a{i}"), &format!("b{i}")], &[1.0]).unwrap();
+        }
+        let t = bld.finish();
+        let a = t.schema().attribute("a").unwrap();
+        let b = t.schema().attribute("b").unwrap();
+        let m = t.schema().measure("m").unwrap();
+        let plan = plan_scans(&[PairRequest { group_by: a, select_on: b, measures: vec![m] }]);
+        let err = execute_plan(&t, &plan, 1).unwrap_err();
+        assert!(matches!(err, EngineError::DenseTooLarge { cells } if cells == side * side));
+    }
+
+    #[test]
+    fn coordinator_counters_are_thread_invariant() {
+        let t = covid();
+        let plan = plan_scans(&all_measure_requests(&t));
+        let mut readings = Vec::new();
+        for threads in [1, 4] {
+            let obs = Registry::new();
+            execute_plan_observed(&t, &plan, threads, &obs).unwrap();
+            readings.push((obs.get(Metric::RowsScanned), obs.get(Metric::CubesBuilt)));
+        }
+        assert_eq!(readings[0], readings[1]);
+        assert_eq!(readings[0].0, (t.n_rows() * plan.n_scans()) as u64);
+        assert_eq!(readings[0].1, plan.n_cubes() as u64);
+    }
+
+    #[test]
+    fn cube_accessors_report_presence_and_footprint() {
+        let t = covid();
+        let a = t.schema().attribute("continent").unwrap();
+        let b = t.schema().attribute("month").unwrap();
+        let cases = t.schema().measure("cases").unwrap();
+        let deaths = t.schema().measure("deaths").unwrap();
+        let plan = plan_scans(&[PairRequest { group_by: a, select_on: b, measures: vec![cases] }]);
+        let cube = execute_plan(&t, &plan, 1).unwrap().remove(0);
+        assert_eq!(cube.measures(), &[cases]);
+        // (Europe,4) (Africa,4) (Africa,5) (Europe,5) (Asia,6) are present.
+        assert_eq!(cube.n_present_groups(), 5);
+        assert_eq!(cube.rows_at(0, 0), 2); // Europe × month 4
+        assert!(cube.partial(0, 0, cases).is_some());
+        assert!(cube.partial(0, 0, deaths).is_none(), "unplanned measure");
+        assert!(cube.partial(2, 0, cases).is_none(), "Asia has no month-4 rows");
+        assert!(cube.memory_bytes() > 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::agg::AggFn;
+    use crate::comparison::execute;
+    use cn_tabular::{Schema, TableBuilder};
+    use proptest::prelude::*;
+
+    fn arb_table() -> impl Strategy<Value = Table> {
+        proptest::collection::vec(
+            (0u32..5, 0u32..4, 0u32..3, -100.0f64..100.0, any::<bool>()),
+            1..80,
+        )
+        .prop_map(|rows| {
+            let schema = Schema::new(vec!["a", "b", "c"], vec!["m", "n"]).unwrap();
+            let mut bld = TableBuilder::new("t", schema);
+            for (x, y, z, m, miss) in rows {
+                let n = if miss { f64::NAN } else { m / 3.0 };
+                bld.push_row(&[&format!("a{x}"), &format!("b{y}"), &format!("c{z}")], &[m, n])
+                    .unwrap();
+            }
+            bld.finish()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn dense_kernel_matches_hashmap_groupby_at_any_thread_count(
+            t in arb_table(),
+            val in 0u32..4,
+            val2 in 0u32..4,
+            agg_idx in 0usize..7,
+            measure_idx in 0usize..2,
+        ) {
+            let attrs: Vec<AttrId> = t.schema().attribute_ids().collect();
+            let measures: Vec<MeasureId> = t.schema().measure_ids().collect();
+            let measure = measures[measure_idx];
+            let mut reqs = Vec::new();
+            for &a in &attrs {
+                for &b in &attrs {
+                    if a != b {
+                        reqs.push(PairRequest { group_by: a, select_on: b, measures: measures.clone() });
+                    }
+                }
+            }
+            let plan = plan_scans(&reqs);
+            let base = execute_plan(&t, &plan, 1).unwrap();
+            for threads in [2usize, 8] {
+                let par = execute_plan(&t, &plan, threads).unwrap();
+                for (x, y) in base.iter().zip(par.iter()) {
+                    prop_assert_eq!(&x.rows, &y.rows);
+                    for (p, q) in x.partials.iter().zip(y.partials.iter()) {
+                        prop_assert_eq!(p.sum.to_bits(), q.sum.to_bits());
+                        prop_assert_eq!(p.sumsq.to_bits(), q.sumsq.to_bits());
+                    }
+                }
+            }
+            // Bit-identical to the per-query HashMap kernel on every pair.
+            for cube in &base {
+                let spec = ComparisonSpec {
+                    group_by: cube.group_by,
+                    select_on: cube.select_on,
+                    val,
+                    val2,
+                    measure,
+                    agg: AggFn::ALL[agg_idx],
+                };
+                let dense = cube.comparison(&t, &spec);
+                let direct = execute(&t, &spec);
+                prop_assert_eq!(&dense.group_codes, &direct.group_codes);
+                prop_assert_eq!(dense.tuples_aggregated, direct.tuples_aggregated);
+                for (x, y) in dense.left.iter().zip(direct.left.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                for (x, y) in dense.right.iter().zip(direct.right.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -32,6 +32,12 @@ pub enum EngineError {
         /// Codes of the group present in exactly one of the cubes.
         codes: Vec<u32>,
     },
+    /// A dense pair-cube allocation would exceed the shared-scan
+    /// kernel's cell budget (domains too large for dense accumulators).
+    DenseTooLarge {
+        /// Cells (`|dom(A)| × |dom(B)|`) the allocation would need.
+        cells: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -49,6 +55,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::GroupPresenceMismatch { codes } => {
                 write!(f, "group presence mismatch at {codes:?}")
+            }
+            EngineError::DenseTooLarge { cells } => {
+                write!(f, "dense pair cube would need {cells} cells, over the kernel budget")
             }
         }
     }
@@ -68,5 +77,6 @@ mod tests {
         let e = EngineError::GroupPresenceMismatch { codes: vec![1, 2] };
         assert!(e.to_string().contains("mismatch"));
         assert!(e.to_string().contains('1') && e.to_string().contains('2'));
+        assert!(EngineError::DenseTooLarge { cells: 1 << 30 }.to_string().contains("cells"));
     }
 }

@@ -20,8 +20,11 @@ pub fn group_by_single(
     let partials = group_partials_single(table, group, measure, pred);
     let mut out: Vec<(u32, f64)> =
         partials.into_iter().filter_map(|(code, p)| p.finalize(agg).map(|v| (code, v))).collect();
-    let dict = table.dict(group);
-    out.sort_by(|a, b| dict.decode(a.0).cmp(dict.decode(b.0)));
+    // One decode per domain value (rank table) instead of two per
+    // comparison inside the sort: distinct codes decode to distinct
+    // strings, so sorting by rank is exactly the decoded order.
+    let ranks = table.dict(group).value_ranks();
+    out.sort_by_key(|&(code, _)| ranks[code as usize]);
     out
 }
 
@@ -42,10 +45,13 @@ pub fn group_partials_single(
             }
         }
         _ => {
-            for row in 0..table.n_rows() {
-                if pred.matches(table, row) {
-                    groups.entry(codes[row]).or_default().push(values[row]);
-                }
+            // Selection-vector path: materialize the matching rows once
+            // (one tight pass over the predicate column) instead of
+            // calling `pred.matches` — with its per-row bounds checks and
+            // `contains` scan for `In` — on every row of the table.
+            for row in pred.select(table) {
+                let row = row as usize;
+                groups.entry(codes[row]).or_default().push(values[row]);
             }
         }
     }
@@ -152,6 +158,56 @@ mod tests {
         // Code 99 doesn't exist.
         let res = group_by_single(&t, cont, cases, AggFn::Sum, &Predicate::Eq(month, 99));
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn rank_sort_preserves_decoded_order() {
+        // Micro-test for the rank-table sort: the output order must be
+        // exactly the decoded-value order the old per-comparison decode
+        // produced, including codes assigned out of lexicographic order.
+        let schema = Schema::new(vec!["g"], vec!["m"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for (g, m) in [("zeta", 1.0), ("alpha", 2.0), ("mid", 3.0), ("beta", 4.0), ("alpha", 5.0)] {
+            b.push_row(&[g], &[m]).unwrap();
+        }
+        let t = b.finish();
+        let g = t.schema().attribute("g").unwrap();
+        let m = t.schema().measure("m").unwrap();
+        let res = group_by_single(&t, g, m, AggFn::Sum, &Predicate::True);
+        let dict = t.dict(g);
+        let mut reference: Vec<(u32, f64)> = res.clone();
+        reference.sort_by(|a, b| dict.decode(a.0).cmp(dict.decode(b.0)));
+        assert_eq!(res, reference, "rank sort must equal decode-comparator sort");
+        let names: Vec<&str> = res.iter().map(|&(c, _)| dict.decode(c)).collect();
+        assert_eq!(names, vec!["alpha", "beta", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn selection_vector_path_matches_per_row_matches() {
+        let t = covid();
+        let cont = t.schema().attribute("continent").unwrap();
+        let month = t.schema().attribute("month").unwrap();
+        let cases = t.schema().measure("cases").unwrap();
+        let c4 = t.dict(month).code("4").unwrap();
+        let c5 = t.dict(month).code("5").unwrap();
+        for pred in [Predicate::Eq(month, c4), Predicate::In(month, vec![c4, c5])] {
+            let fast = group_partials_single(&t, cont, cases, &pred);
+            // Reference: the per-row `matches` loop this arm replaced.
+            let codes = t.codes(cont);
+            let values = t.measure(cases);
+            let mut slow: HashMap<u32, PartialAgg> = HashMap::new();
+            for row in 0..t.n_rows() {
+                if pred.matches(&t, row) {
+                    slow.entry(codes[row]).or_default().push(values[row]);
+                }
+            }
+            assert_eq!(fast.len(), slow.len(), "{pred:?}");
+            for (code, p) in &fast {
+                let q = &slow[code];
+                assert_eq!(p.count, q.count);
+                assert_eq!(p.sum.to_bits(), q.sum.to_bits(), "row order must be preserved");
+            }
+        }
     }
 
     #[test]

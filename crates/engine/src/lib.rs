@@ -13,6 +13,9 @@
 //!   two filtered group-bys joined on the grouping attribute and sorted.
 //! - [`cube`] — materialized group-by sets with partial aggregates and
 //!   roll-up, the in-memory cache behind Algorithm 2 (Section 5.2.2).
+//! - [`batch`] — COMPARE-style shared-scan batched evaluation: one fused,
+//!   chunk-parallel pass per grouping attribute filling dense pair cubes
+//!   for every comparison query a run needs.
 //! - [`estimate`] — group-count/footprint estimation standing in for the
 //!   "estimated memory footprint, as obtained from the query optimizer".
 //! - [`algebra`] — the extended-relational-algebra notation of
@@ -20,6 +23,7 @@
 
 pub mod agg;
 pub mod algebra;
+pub mod batch;
 pub mod comparison;
 pub mod cube;
 pub mod error;
@@ -28,6 +32,10 @@ pub mod groupby;
 pub mod predicate;
 
 pub use agg::{AggFn, PartialAgg};
+pub use batch::{
+    execute_plan, execute_plan_observed, plan_scans, DensePairCube, PairRequest, ScanGroup,
+    ScanPlan, MAX_DENSE_CELLS,
+};
 pub use comparison::{ComparisonResult, ComparisonSpec};
 pub use cube::Cube;
 pub use error::EngineError;

@@ -83,11 +83,16 @@ pub enum Metric {
     /// Background store builds that failed (pipeline error or write
     /// failure).
     StoreBuildsFailed,
+    /// Pair-cube lookups answered from the group-by result cache (no
+    /// table scan).
+    GroupbyCacheHits,
+    /// Pair-cube lookups that had to run the shared-scan kernel.
+    GroupbyCacheMisses,
 }
 
 impl Metric {
     /// Every counter, in export order.
-    pub const ALL: [Metric; 33] = [
+    pub const ALL: [Metric; 35] = [
         Metric::RowsScanned,
         Metric::DictBytes,
         Metric::SampledRows,
@@ -121,6 +126,8 @@ impl Metric {
         Metric::StoreBuildsStarted,
         Metric::StoreBuildsCompleted,
         Metric::StoreBuildsFailed,
+        Metric::GroupbyCacheHits,
+        Metric::GroupbyCacheMisses,
     ];
 
     /// Number of counters.
@@ -162,6 +169,8 @@ impl Metric {
             Metric::StoreBuildsStarted => "store_builds_started",
             Metric::StoreBuildsCompleted => "store_builds_completed",
             Metric::StoreBuildsFailed => "store_builds_failed",
+            Metric::GroupbyCacheHits => "groupby_cache_hits",
+            Metric::GroupbyCacheMisses => "groupby_cache_misses",
         }
     }
 }

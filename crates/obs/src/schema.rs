@@ -25,7 +25,7 @@ fn type_name(v: &Value) -> &'static str {
         Value::Null => "null",
         Value::Bool(_) => "boolean",
         Value::Number(n) => {
-            if n.fract() == 0.0 {
+            if n.is_i64() || n.is_u64() {
                 "integer"
             } else {
                 "number"

@@ -25,6 +25,16 @@ pub enum QueryGeneration {
         /// Per-candidate footprint budget (`None` = unbounded).
         memory_budget_bytes: Option<f64>,
     },
+    /// COMPARE-style shared-scan batched evaluation: all hypothesis
+    /// queries sharing a grouping attribute are answered by **one** fused
+    /// table scan filling dense pair cubes (`cn_engine::batch`), and the
+    /// cubes are reusable across runs through a
+    /// [`crate::groupby_cache::GroupByCache`]. Bit-identical results to
+    /// the other two schemes at any thread count; the default for the
+    /// warm query-evaluation path. Pairs whose dense cube would exceed
+    /// `cn_engine::batch::MAX_DENSE_CELLS` fall back to the naive-bounded
+    /// sparse kernel.
+    SharedScan,
 }
 
 /// Offline sampling strategy for the statistical tests (Section 5.1.2).
@@ -86,7 +96,7 @@ pub struct GeneratorConfig {
 impl Default for GeneratorConfig {
     fn default() -> Self {
         GeneratorConfig {
-            generation: QueryGeneration::Wsc { memory_budget_bytes: None },
+            generation: QueryGeneration::SharedScan,
             sampling: SamplingStrategy::None,
             solver: TapSolverChoice::Heuristic,
             interest: InterestParams::default(),
@@ -371,6 +381,23 @@ mod tests {
 
         let sig_cred = GeneratorKind::WscApproxSigCred.configure(base, 0.2, t);
         assert_eq!(sig_cred.interest.components, InterestComponents::SigCred);
+    }
+
+    #[test]
+    fn default_generation_is_shared_scan_but_paper_kinds_pin_theirs() {
+        assert!(matches!(GeneratorConfig::default().generation, QueryGeneration::SharedScan));
+        // The Table 3/7 presets reproduce the paper's algorithms and must
+        // keep naming their kernel explicitly, never inheriting the new
+        // default.
+        let t = Duration::from_secs(1);
+        for kind in GeneratorKind::TABLE3.iter().chain(GeneratorKind::TABLE7.iter()) {
+            let cfg = kind.configure(GeneratorConfig::default(), 0.2, t);
+            assert!(
+                !matches!(cfg.generation, QueryGeneration::SharedScan),
+                "{} must pin a paper kernel",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! The group-by result cache behind the shared-scan kernel.
+//!
+//! A [`cn_engine::DensePairCube`] answers *every* comparison query
+//! `(A, B, val, val', M, agg)` over its `(A, B)` pair whose measure was
+//! planned into it — for any value pair and any aggregate. That makes a
+//! materialized cube reusable far beyond the run that built it: a repeat
+//! warm request, a session continuation that re-generates with different
+//! budgets, or any other run over the *same table contents* asks for the
+//! same cubes.
+//!
+//! [`GroupByCache`] keys cubes by `(table fingerprint, (A, B))` — the
+//! fingerprint is the content hash of [`crate::store::table_fingerprint`],
+//! so a renamed but byte-identical dataset still hits, and any edit to
+//! the data misses by construction. A lookup is a *hit* only when the
+//! cached cube's planned measures are a superset of the request's; since
+//! comparison results are computed per measure from mergeable partials,
+//! a superset cube answers bit-identically to a freshly built one.
+//!
+//! Eviction is LRU over a byte budget ([`GroupByCache::with_capacity`],
+//! default 128 MiB), using each cube's dense-array footprint. Every
+//! lookup lands on exactly one of `groupby_cache_hits` /
+//! `groupby_cache_misses`, so `/metrics` can prove a warmed-up server
+//! never re-scans for group-bys it already holds.
+
+use cn_engine::DensePairCube;
+use cn_obs::{Metric, Registry};
+use cn_store::Fingerprint;
+use cn_tabular::MeasureId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default byte budget for cached dense cubes (128 MiB).
+pub const DEFAULT_CAPACITY_BYTES: usize = 128 << 20;
+
+/// `(table fingerprint, group-by attr, select-on attr)`.
+type Key = (Fingerprint, u16, u16);
+
+struct Entry {
+    cube: Arc<DensePairCube>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<Key, Entry>,
+    bytes: usize,
+    clock: u64,
+}
+
+/// A shared, thread-safe cache of dense pair cubes, keyed by table
+/// content fingerprint and attribute pair. See the module docs.
+pub struct GroupByCache {
+    capacity_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for GroupByCache {
+    fn default() -> Self {
+        GroupByCache::with_capacity(DEFAULT_CAPACITY_BYTES)
+    }
+}
+
+impl GroupByCache {
+    /// An empty cache holding at most `capacity_bytes` of dense arrays.
+    pub fn with_capacity(capacity_bytes: usize) -> GroupByCache {
+        GroupByCache {
+            capacity_bytes,
+            inner: Mutex::new(Inner { entries: HashMap::new(), bytes: 0, clock: 0 }),
+        }
+    }
+
+    /// Looks up the cube of `(fingerprint, pair)` covering `measures`,
+    /// counting a hit or a miss into `obs`. A cached cube whose planned
+    /// measures do not cover the request is a miss (the caller rebuilds
+    /// with the union and re-inserts).
+    pub fn get(
+        &self,
+        fingerprint: Fingerprint,
+        pair: (u16, u16),
+        measures: &[MeasureId],
+        obs: &Registry,
+    ) -> Option<Arc<DensePairCube>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let hit = match inner.entries.get_mut(&(fingerprint, pair.0, pair.1)) {
+            Some(entry) if measures.iter().all(|m| entry.cube.measures().contains(m)) => {
+                entry.last_used = clock;
+                Some(entry.cube.clone())
+            }
+            _ => None,
+        };
+        match &hit {
+            Some(_) => obs.inc(Metric::GroupbyCacheHits),
+            None => obs.inc(Metric::GroupbyCacheMisses),
+        }
+        hit
+    }
+
+    /// Inserts (or replaces) the cube of its `(A, B)` pair under
+    /// `fingerprint`, evicting least-recently-used entries until the byte
+    /// budget holds again. The just-inserted cube is never evicted, so an
+    /// oversized single cube still serves the run that built it.
+    pub fn insert(&self, fingerprint: Fingerprint, cube: DensePairCube) -> Arc<DensePairCube> {
+        let key = (fingerprint, cube.group_by.0, cube.select_on.0);
+        let bytes = cube.memory_bytes();
+        let cube = Arc::new(cube);
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) =
+            inner.entries.insert(key, Entry { cube: cube.clone(), bytes, last_used: clock })
+        {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.bytes > self.capacity_bytes && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(e) = inner.entries.remove(&k) {
+                        inner.bytes -= e.bytes;
+                    }
+                }
+                None => break,
+            }
+        }
+        cube
+    }
+
+    /// Number of cached cubes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of dense arrays currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_engine::{execute_plan, plan_scans, PairRequest};
+    use cn_tabular::{AttrId, Schema, Table, TableBuilder};
+
+    fn table(rows: usize) -> Table {
+        let schema = Schema::new(vec!["g", "s"], vec!["m", "n"]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            b.push_row(&[&format!("g{}", i % 3), &format!("s{}", i % 2)], &[i as f64, 0.5])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn cube(t: &Table, measures: Vec<MeasureId>) -> DensePairCube {
+        let plan =
+            plan_scans(&[PairRequest { group_by: AttrId(0), select_on: AttrId(1), measures }]);
+        execute_plan(t, &plan, 1).unwrap().remove(0)
+    }
+
+    #[test]
+    fn hit_requires_matching_fingerprint_and_measure_coverage() {
+        let t = table(24);
+        let cache = GroupByCache::default();
+        let obs = Registry::new();
+        let fp = Fingerprint(7);
+        assert!(cache.get(fp, (0, 1), &[MeasureId(0)], &obs).is_none());
+        assert_eq!(obs.get(Metric::GroupbyCacheMisses), 1);
+
+        cache.insert(fp, cube(&t, vec![MeasureId(0)]));
+        assert!(cache.get(fp, (0, 1), &[MeasureId(0)], &obs).is_some());
+        assert_eq!(obs.get(Metric::GroupbyCacheHits), 1);
+        // A different table fingerprint or an uncovered measure misses.
+        assert!(cache.get(Fingerprint(8), (0, 1), &[MeasureId(0)], &obs).is_none());
+        assert!(cache.get(fp, (0, 1), &[MeasureId(0), MeasureId(1)], &obs).is_none());
+        assert_eq!(obs.get(Metric::GroupbyCacheMisses), 3);
+
+        // Re-inserting with the measure union replaces the entry; the
+        // superset cube then covers both the old and the new request.
+        cache.insert(fp, cube(&t, vec![MeasureId(0), MeasureId(1)]));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(fp, (0, 1), &[MeasureId(1)], &obs).is_some());
+        assert!(cache.get(fp, (0, 1), &[MeasureId(0)], &obs).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let t = table(24);
+        let one = cube(&t, vec![MeasureId(0)]).memory_bytes();
+        // Room for two cubes, not three.
+        let cache = GroupByCache::with_capacity(2 * one + one / 2);
+        let obs = Registry::new();
+        for fp in [1u128, 2, 3] {
+            cache.insert(Fingerprint(fp), cube(&t, vec![MeasureId(0)]));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() <= 2 * one + one / 2);
+        // fp=1 was least recently used → evicted; fp=3 just inserted.
+        assert!(cache.get(Fingerprint(1), (0, 1), &[MeasureId(0)], &obs).is_none());
+        assert!(cache.get(Fingerprint(3), (0, 1), &[MeasureId(0)], &obs).is_some());
+        // Touching fp=2 protects it from the next insert's eviction.
+        assert!(cache.get(Fingerprint(2), (0, 1), &[MeasureId(0)], &obs).is_some());
+        cache.insert(Fingerprint(4), cube(&t, vec![MeasureId(0)]));
+        assert!(cache.get(Fingerprint(2), (0, 1), &[MeasureId(0)], &obs).is_some());
+        assert!(cache.get(Fingerprint(3), (0, 1), &[MeasureId(0)], &obs).is_none());
+    }
+
+    #[test]
+    fn a_single_oversized_cube_is_kept() {
+        let t = table(24);
+        let cache = GroupByCache::with_capacity(1);
+        let obs = Registry::new();
+        cache.insert(Fingerprint(5), cube(&t, vec![MeasureId(0)]));
+        assert_eq!(cache.len(), 1, "the run that built it must still be served");
+        assert!(cache.get(Fingerprint(5), (0, 1), &[MeasureId(0)], &obs).is_some());
+        // The next insert evicts the previous oversized entry.
+        cache.insert(Fingerprint(6), cube(&t, vec![MeasureId(0)]));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(Fingerprint(6), (0, 1), &[MeasureId(0)], &obs).is_some());
+    }
+}

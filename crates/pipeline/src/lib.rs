@@ -6,8 +6,9 @@
 //!
 //! A run goes through the phases of Figure 1: FD pre-processing → optional
 //! sampling → statistical tests (shared permutations + BH) → hypothesis
-//! query evaluation from in-memory aggregates (naive-bounded or the
-//! Algorithm 2 set-cover plan) → interestingness + per-grouping dedup
+//! query evaluation from in-memory aggregates (the default COMPARE-style
+//! shared-scan dense kernel, the naive-bounded plan, or the Algorithm 2
+//! set-cover plan) → interestingness + per-grouping dedup
 //! (Algorithm 1 lines 14–17) → TAP resolution (exact or Algorithm 3) →
 //! notebook construction. Each phase runs under a [`cn_obs`] span (the
 //! Figure 7 breakdown is a projection of the span tree), counters from
@@ -22,6 +23,7 @@
 pub mod config;
 pub mod dedup;
 pub mod error;
+pub mod groupby_cache;
 pub mod parallel;
 pub mod phases;
 pub mod run;
@@ -35,10 +37,11 @@ pub use config::{
     TapSolverChoice,
 };
 pub use error::{ConfigError, PipelineError};
+pub use groupby_cache::GroupByCache;
 pub use phases::{PhaseTimings, PHASES, ROOT_SPAN};
-pub use run::{run, run_cancellable, run_observed, RunResult};
+pub use run::{run, run_cancellable, run_cancellable_cached, run_observed, RunResult};
 pub use session::{continue_notebook, suggest_continuations, ExplorationSession, Suggestion};
 pub use store::{
     build_store_artifact, build_store_artifact_observed, prefix_fingerprint, run_from_store,
-    run_from_store_cancellable, run_from_store_observed, table_fingerprint,
+    run_from_store_cached, run_from_store_cancellable, run_from_store_observed, table_fingerprint,
 };

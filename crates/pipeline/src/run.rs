@@ -7,10 +7,14 @@
 use crate::config::{GeneratorConfig, QueryGeneration, SamplingStrategy, TapSolverChoice};
 use crate::dedup::dedup_by_grouping;
 use crate::error::PipelineError;
+use crate::groupby_cache::GroupByCache;
 use crate::parallel::{parallel_map, parallel_map_collect};
 use crate::phases::PhaseTimings;
 use crate::tap_adapter::QueryTap;
-use cn_engine::Cube;
+use cn_engine::{
+    execute_plan_observed, plan_scans, ComparisonResult, ComparisonSpec, Cube, DensePairCube,
+    PairRequest, MAX_DENSE_CELLS,
+};
 use cn_insight::generation::{
     assemble_output, eligible_groupers, evaluate_site_with, group_sites, CandidateQuery,
     GenerationOutput, ScoredInsight, Site, SiteEval,
@@ -25,10 +29,11 @@ use cn_notebook::Notebook;
 use cn_obs::{CancelToken, Hist, Metric, Registry};
 use cn_stats::rng::derive_seed;
 use cn_tabular::sampling::{random_sample, unbalanced_sample};
-use cn_tabular::{AttrId, Table};
+use cn_tabular::{AttrId, MeasureId, Table};
 use cn_tap::problem::Solution;
 use cn_tap::{solve_exact_observed, solve_heuristic_observed};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Everything a generation run produces.
 #[derive(Debug, Clone)]
@@ -111,6 +116,38 @@ pub fn run_cancellable(
     obs: &Registry,
     cancel: &CancelToken,
 ) -> Result<RunResult, PipelineError> {
+    run_cancellable_inner(table, config, obs, cancel, None)
+}
+
+/// [`run_cancellable`] sharing a [`GroupByCache`] across runs: under the
+/// default [`QueryGeneration::SharedScan`] kernel, Phase 3 first asks
+/// `cubes` for each needed (grouping, select-on) pair of this table's
+/// content fingerprint and inserts whatever it had to build, so a repeat
+/// run over the same table contents — a re-submitted request, a session
+/// continuation — skips the group-by scans entirely. Every lookup counts
+/// into `groupby_cache_hits`/`groupby_cache_misses`. Results are
+/// bit-identical with or without the cache; the paper kernels
+/// (`NaiveBounded`, `Wsc`) ignore it.
+///
+/// # Errors
+/// As [`run_cancellable`].
+pub fn run_cancellable_cached(
+    table: &Table,
+    config: &GeneratorConfig,
+    obs: &Registry,
+    cancel: &CancelToken,
+    cubes: &GroupByCache,
+) -> Result<RunResult, PipelineError> {
+    run_cancellable_inner(table, config, obs, cancel, Some(cubes))
+}
+
+fn run_cancellable_inner(
+    table: &Table,
+    config: &GeneratorConfig,
+    obs: &Registry,
+    cancel: &CancelToken,
+    cubes: Option<&GroupByCache>,
+) -> Result<RunResult, PipelineError> {
     config.validate()?;
     cancel.check()?;
     check_table(table)?;
@@ -182,6 +219,7 @@ pub fn run_cancellable(
         timings,
         obs,
         cancel,
+        cubes,
     )?;
     root.finish();
     Ok(result)
@@ -204,7 +242,9 @@ pub(crate) fn check_table(table: &Table) -> Result<(), PipelineError> {
 /// Phases 3–6 of Figure 1, shared verbatim by the cold path above and the
 /// warm-start path ([`crate::store::run_from_store`]): any two callers
 /// that hand in the same `(table, config, gen_cfg, significant,
-/// n_tested)` get bit-identical results.
+/// n_tested)` get bit-identical results. `cubes` only ever changes *how*
+/// the [`QueryGeneration::SharedScan`] kernel obtains its dense cubes,
+/// never what they contain.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_suffix(
     table: &Table,
@@ -216,6 +256,7 @@ pub(crate) fn run_suffix(
     mut timings: PhaseTimings,
     obs: &Registry,
     cancel: &CancelToken,
+    cubes: Option<&GroupByCache>,
 ) -> Result<RunResult, PipelineError> {
     // Phase 3: group-by planning + cube materialization + hypothesis-query
     // evaluation.
@@ -223,10 +264,10 @@ pub(crate) fn run_suffix(
     let sites = group_sites(&significant);
     let needed_pairs = collect_needed_pairs(table, &sites, &gen_cfg.excluded_pairs);
 
-    let pair_cubes = match config.generation {
+    let kernel = match config.generation {
         QueryGeneration::NaiveBounded => {
             timings.set_cover = std::time::Duration::ZERO;
-            build_pair_cubes_naive(table, &needed_pairs, config.n_threads, obs)?
+            PairKernel::Sparse(build_pair_cubes_naive(table, &needed_pairs, config.n_threads, obs)?)
         }
         QueryGeneration::Wsc { memory_budget_bytes } => {
             let sc = obs.span("set_cover");
@@ -242,7 +283,17 @@ pub(crate) fn run_suffix(
                 None
             };
             timings.set_cover = sc.finish();
-            build_pair_cubes_wsc(table, &needed_pairs, plan.as_ref(), config.n_threads, obs)?
+            PairKernel::Sparse(build_pair_cubes_wsc(
+                table,
+                &needed_pairs,
+                plan.as_ref(),
+                config.n_threads,
+                obs,
+            )?)
+        }
+        QueryGeneration::SharedScan => {
+            timings.set_cover = std::time::Duration::ZERO;
+            build_pair_cubes_shared(table, &needed_pairs, &sites, config.n_threads, cubes, obs)?
         }
     };
     cancel.check()?;
@@ -254,10 +305,7 @@ pub(crate) fn run_suffix(
             &eligible,
             &gen_cfg.aggs,
             &gen_cfg.credibility,
-            |spec| {
-                pair_cubes[&(spec.group_by.0, spec.select_on.0)]
-                    .comparison_observed(table, spec, obs)
-            },
+            |spec| kernel.comparison(table, spec, obs),
         )
     });
     let output: GenerationOutput =
@@ -413,6 +461,93 @@ fn collect_needed_pairs(
     out
 }
 
+/// The materialized group-by results Phase 3 evaluates hypothesis
+/// queries against: sparse per-pair [`Cube`]s from the paper kernels
+/// (naive-bounded, Algorithm 2 set cover), or dense shared-scan cubes —
+/// possibly served straight out of a [`GroupByCache`]. Either shape
+/// answers a [`ComparisonSpec`] bit-identically.
+enum PairKernel {
+    Sparse(HashMap<(u16, u16), Cube>),
+    Dense(HashMap<(u16, u16), Arc<DensePairCube>>),
+}
+
+impl PairKernel {
+    fn comparison(&self, table: &Table, spec: &ComparisonSpec, obs: &Registry) -> ComparisonResult {
+        let key = (spec.group_by.0, spec.select_on.0);
+        match self {
+            PairKernel::Sparse(cubes) => cubes[&key].comparison_observed(table, spec, obs),
+            PairKernel::Dense(cubes) => cubes[&key].comparison_observed(table, spec, obs),
+        }
+    }
+}
+
+/// COMPARE-style shared-scan plan: group the needed ordered pairs by
+/// grouping attribute and fill every pair's dense
+/// `dict(A) × dict(B) × measures` accumulator in one fused pass per
+/// group — the whole Phase 3 workload touches each row once per
+/// distinct grouper instead of once per pair. Cubes already in `cache`
+/// for this table's content fingerprint (covering the pair's measures)
+/// are reused without scanning; fresh builds are inserted back for the
+/// next run. Any pair whose dense cube would exceed
+/// [`MAX_DENSE_CELLS`] sends the whole run to the naive-bounded sparse
+/// kernel instead — same results, bounded memory.
+fn build_pair_cubes_shared(
+    table: &Table,
+    needed: &[(AttrId, AttrId)],
+    sites: &[Site],
+    n_threads: usize,
+    cache: Option<&GroupByCache>,
+    obs: &Registry,
+) -> Result<PairKernel, PipelineError> {
+    let oversized = needed.iter().any(|&(a, b)| {
+        let cells = table.dict(a).len().saturating_mul(table.dict(b).len());
+        cells > MAX_DENSE_CELLS
+    });
+    if oversized {
+        return Ok(PairKernel::Sparse(build_pair_cubes_naive(table, needed, n_threads, obs)?));
+    }
+
+    // The measures a pair (A, B) must accumulate are the measures of the
+    // sites selecting on B — identical for every grouper A, since site
+    // evaluation probes the same measure under every eligible grouper.
+    let mut measures_for: HashMap<AttrId, Vec<MeasureId>> = HashMap::new();
+    for site in sites {
+        let entry = measures_for.entry(site.select_on).or_default();
+        if !entry.contains(&site.measure) {
+            entry.push(site.measure);
+        }
+    }
+
+    let fingerprint = cache.map(|_| crate::store::table_fingerprint(table));
+    let mut out: HashMap<(u16, u16), Arc<DensePairCube>> = HashMap::new();
+    let mut misses: Vec<PairRequest> = Vec::new();
+    for &(a, b) in needed {
+        let measures = measures_for.get(&b).cloned().unwrap_or_default();
+        let cached = match (cache, fingerprint) {
+            (Some(c), Some(fp)) => c.get(fp, (a.0, b.0), &measures, obs),
+            _ => None,
+        };
+        match cached {
+            Some(cube) => {
+                out.insert((a.0, b.0), cube);
+            }
+            None => misses.push(PairRequest { group_by: a, select_on: b, measures }),
+        }
+    }
+    if !misses.is_empty() {
+        let plan = plan_scans(&misses);
+        for cube in execute_plan_observed(table, &plan, n_threads, obs)? {
+            let key = (cube.group_by.0, cube.select_on.0);
+            let cube = match (cache, fingerprint) {
+                (Some(c), Some(fp)) => c.insert(fp, cube),
+                _ => Arc::new(cube),
+            };
+            out.insert(key, cube);
+        }
+    }
+    Ok(PairKernel::Dense(out))
+}
+
 /// An oriented pair cube keyed by raw attribute ids.
 type PairCube = ((u16, u16), Cube);
 
@@ -511,6 +646,7 @@ mod tests {
     use super::*;
     use crate::config::{GeneratorKind, SamplingStrategy};
     use cn_insight::significance::TestConfig;
+    use cn_notebook::to_markdown;
     use std::time::Duration;
 
     fn test_table() -> Table {
@@ -614,6 +750,64 @@ mod tests {
             let j = b.queries.iter().position(|qb| qb.spec == qa.spec).unwrap();
             assert!((ia - b.interests[j]).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn shared_scan_notebooks_are_byte_identical_to_the_paper_kernels() {
+        let t = test_table();
+        let mut naive_cfg = base_config();
+        naive_cfg.generation = QueryGeneration::NaiveBounded;
+        let mut wsc_cfg = base_config();
+        wsc_cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+        let mut shared_cfg = base_config();
+        shared_cfg.generation = QueryGeneration::SharedScan;
+        let naive = run(&t, &naive_cfg).unwrap();
+        let wsc = run(&t, &wsc_cfg).unwrap();
+        let shared = run(&t, &shared_cfg).unwrap();
+        // The golden pin for the kernel swap: not just the same insight
+        // sets, the exact same rendered notebook down to every digit.
+        assert_eq!(to_markdown(&naive.notebook), to_markdown(&shared.notebook));
+        assert_eq!(to_markdown(&wsc.notebook), to_markdown(&shared.notebook));
+        assert_eq!(naive.insight_keys(), shared.insight_keys());
+        let specs_a: Vec<_> = naive.queries.iter().map(|q| q.spec).collect();
+        let specs_b: Vec<_> = shared.queries.iter().map(|q| q.spec).collect();
+        assert_eq!(specs_a, specs_b);
+        for (ia, ib) in naive.interests.iter().zip(shared.interests.iter()) {
+            assert_eq!(ia.to_bits(), ib.to_bits(), "interest scores must match bitwise");
+        }
+        // ... at any thread count.
+        for n_threads in [1, 8] {
+            let mut cfg = shared_cfg.clone();
+            cfg.n_threads = n_threads;
+            let r = run(&t, &cfg).unwrap();
+            assert_eq!(to_markdown(&r.notebook), to_markdown(&shared.notebook));
+        }
+    }
+
+    #[test]
+    fn groupby_cache_serves_repeat_runs_without_changing_output() {
+        let t = test_table();
+        let cfg = base_config(); // default generation: SharedScan
+        let cache = GroupByCache::default();
+
+        let cold_obs = Registry::new();
+        let cold =
+            run_cancellable_cached(&t, &cfg, &cold_obs, CancelToken::never(), &cache).unwrap();
+        assert!(cold_obs.get(Metric::GroupbyCacheMisses) > 0, "first run must miss");
+        assert_eq!(cold_obs.get(Metric::GroupbyCacheHits), 0);
+        assert!(!cache.is_empty(), "built cubes must be retained");
+
+        let warm_obs = Registry::new();
+        let warm =
+            run_cancellable_cached(&t, &cfg, &warm_obs, CancelToken::never(), &cache).unwrap();
+        assert!(warm_obs.get(Metric::GroupbyCacheHits) > 0, "repeat run must hit");
+        assert_eq!(warm_obs.get(Metric::GroupbyCacheMisses), 0, "every pair is cached");
+        assert_eq!(to_markdown(&cold.notebook), to_markdown(&warm.notebook));
+
+        // The cache is an accelerator, not a semantic knob: an uncached
+        // run of the same config produces the same notebook.
+        let plain = run(&t, &cfg).unwrap();
+        assert_eq!(to_markdown(&plain.notebook), to_markdown(&cold.notebook));
     }
 
     #[test]

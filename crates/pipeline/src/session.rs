@@ -129,18 +129,47 @@ pub struct ExplorationSession {
     weights: DistanceWeights,
     obs: Option<Arc<Registry>>,
     cache: Mutex<HashMap<usize, Arc<Vec<f64>>>>,
+    cubes: Option<Arc<crate::groupby_cache::GroupByCache>>,
 }
 
 impl ExplorationSession {
     /// Wraps a finished run for interactive continuation.
     pub fn new(run: RunResult, weights: DistanceWeights) -> Self {
-        ExplorationSession { run, weights, obs: None, cache: Mutex::new(HashMap::new()) }
+        ExplorationSession {
+            run,
+            weights,
+            obs: None,
+            cache: Mutex::new(HashMap::new()),
+            cubes: None,
+        }
     }
 
     /// As [`ExplorationSession::new`], recording cache hits and served
     /// suggestions into `obs`.
     pub fn with_registry(run: RunResult, weights: DistanceWeights, obs: Arc<Registry>) -> Self {
-        ExplorationSession { run, weights, obs: Some(obs), cache: Mutex::new(HashMap::new()) }
+        ExplorationSession {
+            run,
+            weights,
+            obs: Some(obs),
+            cache: Mutex::new(HashMap::new()),
+            cubes: None,
+        }
+    }
+
+    /// Attaches the [`crate::groupby_cache::GroupByCache`] whose cubes
+    /// backed this session's run, so follow-up generation over the same
+    /// table ([`crate::run::run_cancellable_cached`] with a tweaked
+    /// config, a re-anchored exploration) reuses them instead of
+    /// re-scanning.
+    pub fn with_cubes(mut self, cubes: Arc<crate::groupby_cache::GroupByCache>) -> Self {
+        self.cubes = Some(cubes);
+        self
+    }
+
+    /// The group-by cache attached via [`ExplorationSession::with_cubes`],
+    /// if any.
+    pub fn cubes(&self) -> Option<&Arc<crate::groupby_cache::GroupByCache>> {
+        self.cubes.as_ref()
     }
 
     /// The underlying run.
@@ -281,7 +310,10 @@ mod tests {
         let w = DistanceWeights::default();
         let free = suggest_continuations(&run, 0, 5, &w).unwrap();
         let obs = Arc::new(Registry::new());
-        let session = ExplorationSession::with_registry(run, w, obs.clone());
+        let cubes = Arc::new(crate::groupby_cache::GroupByCache::default());
+        let session =
+            ExplorationSession::with_registry(run, w, obs.clone()).with_cubes(cubes.clone());
+        assert!(Arc::ptr_eq(session.cubes().unwrap(), &cubes));
         let first = session.suggest(0, 5).unwrap();
         assert_eq!(obs.get(Metric::DistanceCacheHits), 0);
         let second = session.suggest(0, 5).unwrap();

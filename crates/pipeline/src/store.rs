@@ -24,6 +24,7 @@
 
 use crate::config::{GeneratorConfig, SamplingStrategy};
 use crate::error::PipelineError;
+use crate::groupby_cache::GroupByCache;
 use crate::phases::PhaseTimings;
 use crate::run::{check_table, run_suffix, run_tests_parallel, RunResult, TestTables};
 use cn_insight::transitivity::prune_deducible;
@@ -263,6 +264,37 @@ pub fn run_from_store_cancellable(
     obs: &Registry,
     cancel: &CancelToken,
 ) -> Result<RunResult, PipelineError> {
+    run_from_store_inner(table, artifact, config, obs, cancel, None)
+}
+
+/// [`run_from_store_cancellable`] sharing a [`GroupByCache`] across
+/// runs. The store artifact already removes the statistical-test cost
+/// from a warm request; the cube cache removes the remaining group-by
+/// scans of the [`crate::config::QueryGeneration::SharedScan`] kernel,
+/// so a repeat warm request re-evaluates its hypothesis queries straight
+/// out of memory. Results stay bit-identical to a cold run.
+///
+/// # Errors
+/// As [`run_from_store_cancellable`].
+pub fn run_from_store_cached(
+    table: &Table,
+    artifact: &StoreArtifact,
+    config: &GeneratorConfig,
+    obs: &Registry,
+    cancel: &CancelToken,
+    cubes: &GroupByCache,
+) -> Result<RunResult, PipelineError> {
+    run_from_store_inner(table, artifact, config, obs, cancel, Some(cubes))
+}
+
+fn run_from_store_inner(
+    table: &Table,
+    artifact: &StoreArtifact,
+    config: &GeneratorConfig,
+    obs: &Registry,
+    cancel: &CancelToken,
+    cubes: Option<&GroupByCache>,
+) -> Result<RunResult, PipelineError> {
     config.validate()?;
     cancel.check()?;
     check_table(table)?;
@@ -307,6 +339,7 @@ pub fn run_from_store_cancellable(
         timings,
         obs,
         cancel,
+        cubes,
     )?;
     root.finish();
     Ok(result)

@@ -5,7 +5,7 @@
 
 use cn_insight::significance::TestConfig;
 use cn_obs::Registry;
-use cn_pipeline::{GeneratorConfig, ROOT_SPAN};
+use cn_pipeline::{GeneratorConfig, QueryGeneration, ROOT_SPAN};
 use proptest::prelude::*;
 
 fn config(n_threads: usize, n_permutations: usize) -> GeneratorConfig {
@@ -19,6 +19,15 @@ fn config(n_threads: usize, n_permutations: usize) -> GeneratorConfig {
         .expect("valid config")
 }
 
+/// [`config`] pinned to the Algorithm 2 (WSC) kernel, whose `set_cover`
+/// span the tree-shape tests assert on. The default generator is the
+/// shared-scan kernel, which plans without a set-cover pass.
+fn wsc_config(n_threads: usize, n_permutations: usize) -> GeneratorConfig {
+    let mut cfg = config(n_threads, n_permutations);
+    cfg.generation = QueryGeneration::Wsc { memory_budget_bytes: None };
+    cfg
+}
+
 /// The Figure 1 phase sequence, as direct children of the root span.
 /// `set_cover` is absent here: Algorithm 2 runs *inside* the hypothesis
 /// evaluation phase, so its span nests under `hypothesis_eval`.
@@ -29,7 +38,7 @@ const FIGURE_1_SEQUENCE: [&str; 7] =
 fn span_tree_matches_figure_1_phase_sequence() {
     let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 3);
     let obs = Registry::new();
-    cn_pipeline::run_observed(&t, &config(4, 199), &obs).expect("pipeline run");
+    cn_pipeline::run_observed(&t, &wsc_config(4, 199), &obs).expect("pipeline run");
     let report = obs.report();
 
     let roots = report.roots();
@@ -40,8 +49,8 @@ fn span_tree_matches_figure_1_phase_sequence() {
     let children: Vec<&str> = report.children(root.id).iter().map(|s| s.name).collect();
     assert_eq!(children, FIGURE_1_SEQUENCE, "phases must run in Figure 1 order");
 
-    // The default generator is WSC: Algorithm 2's span nests inside the
-    // hypothesis evaluation window (the seed's timing semantics).
+    // Under WSC, Algorithm 2's span nests inside the hypothesis
+    // evaluation window (the seed's timing semantics).
     let set_cover = report.span("set_cover").expect("WSC emits a set_cover span");
     let hyp = report.span("hypothesis_eval").unwrap();
     assert_eq!(set_cover.parent, Some(hyp.id));
@@ -52,7 +61,7 @@ fn span_tree_matches_figure_1_phase_sequence() {
 fn phase_durations_sum_to_the_root_span() {
     let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, 3);
     let obs = Registry::new();
-    cn_pipeline::run_observed(&t, &config(4, 199), &obs).expect("pipeline run");
+    cn_pipeline::run_observed(&t, &wsc_config(4, 199), &obs).expect("pipeline run");
     let report = obs.report();
 
     let root = report.span(ROOT_SPAN).unwrap().duration;

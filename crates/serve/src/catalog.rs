@@ -115,6 +115,10 @@ pub struct Catalog {
     obs: Arc<Registry>,
     /// Warm-start artifact store; `None` runs every request cold.
     store: Option<StoreState>,
+    /// Shared group-by cube cache for the shared-scan kernel: one cache
+    /// for the whole server, keyed by table content fingerprint, so every
+    /// job over the same dataset reuses the same dense cubes.
+    groupby_cache: Arc<cn_pipeline::GroupByCache>,
 }
 
 impl Catalog {
@@ -127,12 +131,20 @@ impl Catalog {
             capacity: capacity.max(1),
             obs,
             store: None,
+            groupby_cache: Arc::new(cn_pipeline::GroupByCache::default()),
         }
     }
 
     /// The registry this catalog counts hits and misses into.
     pub fn registry(&self) -> Arc<Registry> {
         self.obs.clone()
+    }
+
+    /// The server-wide group-by cube cache handed to every generation
+    /// run (and to each [`cn_pipeline::ExplorationSession`], so session
+    /// continuations share it too).
+    pub fn groupby_cache(&self) -> Arc<cn_pipeline::GroupByCache> {
+        self.groupby_cache.clone()
     }
 
     /// Attaches a warm-start artifact store rooted at `dir` (created if

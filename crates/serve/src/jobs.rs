@@ -7,7 +7,7 @@ use crate::catalog::{Catalog, CatalogError};
 use cn_interest::DistanceWeights;
 use cn_obs::{CancelToken, Metric, Registry};
 use cn_pipeline::{
-    prefix_fingerprint, run_cancellable, run_from_store_cancellable, ExplorationSession,
+    prefix_fingerprint, run_cancellable_cached, run_from_store_cached, ExplorationSession,
     GeneratorConfig, PipelineError, RunResult,
 };
 use cn_store::StoreError;
@@ -201,7 +201,8 @@ fn run_job(
     let result = run_warm_or_cold(job, catalog, &table, &config, &per_request);
     global.merge(&per_request);
     let run = result.map_err(|e| JobFailure { status: status_of(&e), message: e.to_string() })?;
-    let session = ExplorationSession::new(run, DistanceWeights::default());
+    let session = ExplorationSession::new(run, DistanceWeights::default())
+        .with_cubes(catalog.groupby_cache());
     Ok(CompletedJob { dataset: job.spec.dataset.clone(), table, session })
 }
 
@@ -210,7 +211,11 @@ fn run_job(
 /// miss and falls back to the cold pipeline. A missing or unreadable
 /// artifact additionally queues a background (re)build; a *valid*
 /// artifact for a different prefix config does not — one request's
-/// custom knobs must never clobber the default artifact.
+/// custom knobs must never clobber the default artifact. Either path
+/// runs against the catalog's shared [`cn_pipeline::GroupByCache`], so
+/// a repeat request over the same table contents re-evaluates its
+/// hypothesis queries from cached dense cubes instead of re-scanning
+/// (`groupby_cache_hits` in `/metrics`).
 fn run_warm_or_cold(
     job: &Job,
     catalog: &Catalog,
@@ -218,15 +223,16 @@ fn run_warm_or_cold(
     config: &GeneratorConfig,
     obs: &Registry,
 ) -> Result<RunResult, PipelineError> {
+    let cubes = catalog.groupby_cache();
     let Some(store) = catalog.store() else {
-        return run_cancellable(table, config, obs, &job.cancel);
+        return run_cancellable_cached(table, config, obs, &job.cancel, &cubes);
     };
     let name = &job.spec.dataset;
     match store.load(name) {
         Ok(artifact) => {
             if artifact.fingerprint == prefix_fingerprint(table, config).to_string() {
                 obs.inc(Metric::StoreHits);
-                return run_from_store_cancellable(table, &artifact, config, obs, &job.cancel);
+                return run_from_store_cached(table, &artifact, config, obs, &job.cancel, &cubes);
             }
             obs.inc(Metric::StoreMisses);
         }
@@ -242,7 +248,7 @@ fn run_warm_or_cold(
             catalog.request_build(name);
         }
     }
-    run_cancellable(table, config, obs, &job.cancel)
+    run_cancellable_cached(table, config, obs, &job.cancel, &cubes)
 }
 
 #[cfg(test)]
@@ -285,6 +291,37 @@ mod tests {
         assert_eq!(global.get(Metric::JobsCompleted), 1);
         // The per-request pipeline counters merged into the global view.
         assert!(global.get(Metric::TestsPerformed) > 0);
+    }
+
+    #[test]
+    fn repeat_jobs_hit_the_shared_groupby_cache() {
+        let (store, catalog, global) = store_with_catalog();
+        for expected_hits_after in [false, true] {
+            let id = store.create();
+            let (tx, rx) = mpsc::channel();
+            let job = Job { spec: spec(id, "demo"), cancel: CancelToken::new(), done: tx };
+            execute(job, &catalog, &store, &global, 2);
+            rx.recv().unwrap();
+            assert_eq!(store.get(id).unwrap().name(), "done");
+            if expected_hits_after {
+                assert!(
+                    global.get(Metric::GroupbyCacheHits) > 0,
+                    "an identical repeat request must reuse the cached cubes"
+                );
+            } else {
+                assert!(global.get(Metric::GroupbyCacheMisses) > 0, "first request builds");
+                assert_eq!(global.get(Metric::GroupbyCacheHits), 0);
+            }
+        }
+        // Both runs produced the same notebook (cache is transparent).
+        let JobStatus::Done(a) = store.get(1).unwrap() else { panic!() };
+        let JobStatus::Done(b) = store.get(2).unwrap() else { panic!() };
+        assert_eq!(
+            cn_notebook::to_markdown(&a.session.run().notebook),
+            cn_notebook::to_markdown(&b.session.run().notebook),
+        );
+        // The session carries the shared cube cache for continuations.
+        assert!(a.session.cubes().is_some());
     }
 
     #[test]

@@ -64,6 +64,21 @@ impl Dictionary {
     pub fn values(&self) -> &[String] {
         &self.values
     }
+
+    /// Rank of every code under the lexicographic order of the decoded
+    /// values: `ranks[code]` is the position `code` takes when the domain
+    /// is sorted by string. Sorting codes by rank therefore reproduces
+    /// `sort_by(|a, b| decode(a).cmp(decode(b)))` with one decode per
+    /// value instead of one per comparison.
+    pub fn value_ranks(&self) -> Vec<u32> {
+        let mut by_value: Vec<u32> = (0..self.values.len() as u32).collect();
+        by_value.sort_by(|&a, &b| self.values[a as usize].cmp(&self.values[b as usize]));
+        let mut ranks = vec![0u32; by_value.len()];
+        for (rank, &code) in by_value.iter().enumerate() {
+            ranks[code as usize] = rank as u32;
+        }
+        ranks
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +114,19 @@ mod tests {
         d.encode("a");
         d.encode("c");
         assert_eq!(d.values(), &["b".to_string(), "a".into(), "c".into()]);
+    }
+
+    #[test]
+    fn value_ranks_match_decode_order() {
+        let mut d = Dictionary::new();
+        for v in ["west", "east", "north", "south"] {
+            d.encode(v);
+        }
+        let ranks = d.value_ranks();
+        let mut codes: Vec<u32> = (0..d.len() as u32).collect();
+        codes.sort_by_key(|&c| ranks[c as usize]);
+        let sorted: Vec<&str> = codes.iter().map(|&c| d.decode(c)).collect();
+        assert_eq!(sorted, vec!["east", "north", "south", "west"]);
+        assert!(Dictionary::new().value_ranks().is_empty());
     }
 }

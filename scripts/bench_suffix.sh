@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Warm query-evaluation suffix benchmark: the seed's WSC kernel vs the
+# shared-scan dense kernel vs a cached repeat run, over one store
+# artifact. Writes BENCH_suffix.json at the repository root; exits
+# non-zero when the shared-scan kernel is less than 3x faster than WSC
+# on the warm hypothesis_eval phase (the acceptance bar). SMALL=1 runs
+# the TEST-scale preset without the bar (CI smoke).
+set -euo pipefail
+
+OUT="${OUT:-BENCH_suffix.json}"
+
+# SKIP_BUILD=1 reuses an existing release binary (local runs).
+if [ -z "${SKIP_BUILD:-}" ]; then
+  cargo build --release -p cn-bench --bin bench_suffix
+fi
+
+ARGS=()
+if [ -n "${SMALL:-}" ]; then
+  ARGS+=(--small --runs 2 --perms 50)
+fi
+
+./target/release/bench_suffix --out "${OUT}" "${ARGS[@]}" "$@"

@@ -42,12 +42,15 @@ curl -sf "${BASE}/v1/notebooks/${ID}" | grep -q '"done"'
 curl -sf -X POST "${BASE}/v1/sessions/${ID}/continue" \
   -d '{"anchor": 0, "k": 2}' | grep -q '"suggestions"'
 
-# A second request must hit the warm catalog (no CSV re-parse).
+# A second request must hit the warm catalog (no CSV re-parse) and —
+# sharing the first request's seed, hence its group-by pairs — serve
+# every dense cube from the shared group-by cache (no table re-scan).
 curl -sf -X POST "${BASE}/v1/notebooks" \
-  -d '{"dataset": "covid", "len": 3, "perms": 99}' >/dev/null
+  -d '{"dataset": "covid", "len": 3, "perms": 99, "seed": 7}' >/dev/null
 curl -sf "${BASE}/metrics" >"${METRICS_OUT}"
 grep -q '"catalog_hits": *1' "${METRICS_OUT}"
 grep -q '"catalog_misses": *1' "${METRICS_OUT}"
+grep -q '"groupby_cache_hits": *[1-9]' "${METRICS_OUT}"
 
 ./target/release/repro validate-metrics "${METRICS_OUT}" \
   --schema schemas/metrics.schema.json
