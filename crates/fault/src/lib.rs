@@ -1,0 +1,38 @@
+//! # cn-fault — deterministic fault injection and retry/backoff
+//!
+//! The serving story of this workspace (cn-serve over cn-store warm
+//! starts) is only production-grade if its *failure* paths are as tested
+//! as the happy path. This crate supplies the two halves of that story:
+//!
+//! - **Fault injection** ([`plan`]): a seeded, schedule-based
+//!   [`FaultPlan`] ("fail the 3rd store read with EIO", "delay every
+//!   artifact write 200 ms", "flip one byte of the next read") installed
+//!   behind the [`FaultHook`] trait. Instrumented code calls
+//!   [`point`]/[`corrupt`] at named sites; with the `injection` cargo
+//!   feature **disabled** (the default, and what `cargo build --release`
+//!   produces) those calls are inlined empty functions — production
+//!   builds pay literally nothing. The chaos test suites enable the
+//!   feature through their dev-dependencies.
+//! - **Retry/backoff** ([`retry`]): a [`RetryPolicy`] value (max
+//!   attempts, exponential backoff with deterministic seeded jitter)
+//!   and a [`retry()`](retry::retry) combinator that re-runs fallible
+//!   operations whose error says it is transient via the [`Retryable`]
+//!   trait (`StoreError::Io` is; a corrupt artifact or a degenerate
+//!   table never will be). Every re-attempt counts `retry_attempts` and
+//!   records its backoff in the `retry_backoff_ms` histogram, so
+//!   `/metrics` shows exactly how hard the server is fighting its disk.
+//!
+//! Both halves are deterministic by construction: the schedule decides
+//! *which* operation fails (no wall-clock races) and the jitter is a
+//! pure function of `(seed, attempt)`, so a chaos run can assert
+//! byte-identical output against the fault-free run.
+
+pub mod plan;
+pub mod retry;
+
+pub use plan::{
+    corrupt, installed, point, FaultAction, FaultHook, FaultPlan, FaultRule, InjectedFault,
+};
+#[cfg(feature = "injection")]
+pub use plan::{install, uninstall};
+pub use retry::{retry, retry_quiet, RetryPolicy, Retryable};

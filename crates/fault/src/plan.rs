@@ -1,0 +1,381 @@
+//! Seeded, schedule-based fault plans behind a zero-cost hook.
+//!
+//! Instrumented code (cn-store, cn-serve) calls [`point`] and
+//! [`corrupt`] at named sites; what happens there is decided by the
+//! installed [`FaultHook`], normally a [`FaultPlan`]. A plan is a list
+//! of [`FaultRule`]s keyed by site name, each firing on a deterministic
+//! *occurrence window* — "after `skip` clean passes, fire `times`
+//! times" — so a chaos test can say "fail the 2nd and 3rd store read"
+//! and get exactly that, independent of thread scheduling.
+//!
+//! With the `injection` cargo feature disabled (the default), [`point`]
+//! and [`corrupt`] compile to inlined empty bodies and no hook can be
+//! installed: the production binary carries no branch, no atomic load,
+//! no anything, at any fault site.
+
+use cn_obs::{Metric, Registry};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The error a [`FaultAction::Fail`] rule injects, carrying the site it
+/// fired at. Callers map it into their own error taxonomy (cn-store
+/// turns it into `StoreError::Io`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The fault site that fired.
+    pub site: String,
+    /// The configured message (e.g. "EIO").
+    pub message: String,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {}: {}", self.site, self.message)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+/// What a matching rule does to the operation at its site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The operation fails with an [`InjectedFault`] carrying `message`.
+    Fail {
+        /// Message the injected error carries (e.g. "EIO").
+        message: String,
+    },
+    /// The operation is delayed by `ms` milliseconds, then proceeds.
+    Delay {
+        /// Sleep applied before the operation continues.
+        ms: u64,
+    },
+    /// One byte of the operation's buffer is flipped (the byte and bit
+    /// are a pure function of the plan seed and the occurrence index).
+    CorruptByte,
+}
+
+/// One schedule entry: at `site`, skip `skip` occurrences, then apply
+/// `action` for the next `times` occurrences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Site name the rule matches exactly (e.g. `store.read`).
+    pub site: String,
+    /// Clean occurrences before the rule starts firing.
+    pub skip: u64,
+    /// Occurrences the rule fires for (`u64::MAX` ≈ forever).
+    pub times: u64,
+    /// What firing does.
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    fn fires_at(&self, occurrence: u64) -> bool {
+        occurrence >= self.skip && occurrence - self.skip < self.times
+    }
+}
+
+/// The decision surface instrumented code consults. Implemented by
+/// [`FaultPlan`]; test harnesses can install their own.
+pub trait FaultHook: Send + Sync {
+    /// Called at a fault site before the real operation. `Err` makes
+    /// the operation fail; the hook may also sleep (delay injection).
+    fn fire(&self, site: &str) -> Result<(), InjectedFault>;
+
+    /// Called with an operation's buffer; returns true when the hook
+    /// mutated it (corruption injection).
+    fn mutate(&self, site: &str, bytes: &mut [u8]) -> bool;
+}
+
+/// A deterministic fault schedule. Build one with the chainable
+/// constructors, then [`install`] it (requires the `injection` feature):
+///
+/// ```
+/// use cn_fault::{FaultHook, FaultPlan};
+/// let plan = FaultPlan::seeded(7)
+///     .fail("store.read", 0, 2, "EIO")     // first two reads fail
+///     .delay("store.write", 0, 1, 200)     // first write +200 ms
+///     .corrupt_bytes("store.read.bytes", 1, 1); // 2nd read corrupted
+/// assert!(plan.fire("store.read").is_err());
+/// assert!(plan.fire("store.read").is_err());
+/// assert!(plan.fire("store.read").is_ok(), "third read is clean");
+/// ```
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    /// Counters for `faults_injected`; [`Registry::discard`] until
+    /// [`FaultPlan::observe`] points somewhere real.
+    registry: Mutex<Option<Arc<Registry>>>,
+    /// Per-site occurrence counters (fire and mutate count separately
+    /// because callers use distinct site names for buffers).
+    hits: Mutex<HashMap<String, u64>>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("rules", &self.rules)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan; `seed` drives corruption byte/bit choices.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            registry: Mutex::new(None),
+            hits: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Counts injected faults (`faults_injected`) into `registry`.
+    pub fn observe(self, registry: Arc<Registry>) -> Self {
+        *self.registry.lock().unwrap() = Some(registry);
+        self
+    }
+
+    /// Adds a fail rule: at `site`, after `skip` clean passes, the next
+    /// `times` occurrences fail with `message`.
+    pub fn fail(mut self, site: &str, skip: u64, times: u64, message: &str) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_string(),
+            skip,
+            times,
+            action: FaultAction::Fail { message: message.to_string() },
+        });
+        self
+    }
+
+    /// Adds a delay rule: matching occurrences sleep `ms` milliseconds.
+    pub fn delay(mut self, site: &str, skip: u64, times: u64, ms: u64) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_string(),
+            skip,
+            times,
+            action: FaultAction::Delay { ms },
+        });
+        self
+    }
+
+    /// Adds a corruption rule: matching occurrences get one byte
+    /// flipped (deterministically chosen from the plan seed).
+    pub fn corrupt_bytes(mut self, site: &str, skip: u64, times: u64) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_string(),
+            skip,
+            times,
+            action: FaultAction::CorruptByte,
+        });
+        self
+    }
+
+    fn next_occurrence(&self, site: &str) -> u64 {
+        let mut hits = self.hits.lock().unwrap();
+        let n = hits.entry(site.to_string()).or_insert(0);
+        let occurrence = *n;
+        *n += 1;
+        occurrence
+    }
+
+    fn count_injected(&self) {
+        let registry = self.registry.lock().unwrap();
+        registry.as_deref().unwrap_or_else(|| Registry::discard()).inc(Metric::FaultsInjected);
+    }
+}
+
+/// xorshift64* — the deterministic "randomness" behind jitter and
+/// corruption choices. Never `0` in, never `0` out.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+impl FaultHook for FaultPlan {
+    fn fire(&self, site: &str) -> Result<(), InjectedFault> {
+        let occurrence = self.next_occurrence(site);
+        let mut result = Ok(());
+        for rule in self.rules.iter().filter(|r| r.site == site && r.fires_at(occurrence)) {
+            match &rule.action {
+                FaultAction::Delay { ms } => {
+                    self.count_injected();
+                    std::thread::sleep(Duration::from_millis(*ms));
+                }
+                FaultAction::Fail { message } => {
+                    self.count_injected();
+                    result =
+                        Err(InjectedFault { site: site.to_string(), message: message.clone() });
+                }
+                // Corruption rules only make sense where a buffer is
+                // offered; at a plain point they are inert.
+                FaultAction::CorruptByte => {}
+            }
+        }
+        result
+    }
+
+    fn mutate(&self, site: &str, bytes: &mut [u8]) -> bool {
+        if bytes.is_empty() {
+            return false;
+        }
+        let occurrence = self.next_occurrence(site);
+        let mut mutated = false;
+        for (i, _) in self.rules.iter().enumerate().filter(|(_, r)| {
+            r.site == site && r.action == FaultAction::CorruptByte && r.fires_at(occurrence)
+        }) {
+            self.count_injected();
+            let r = mix(self.seed ^ occurrence.wrapping_mul(0x9e37) ^ i as u64);
+            let index = (r as usize) % bytes.len();
+            let bit = (r >> 32) % 8;
+            bytes[index] ^= 1 << bit;
+            mutated = true;
+        }
+        mutated
+    }
+}
+
+#[cfg(feature = "injection")]
+static HOOK: Mutex<Option<Arc<dyn FaultHook>>> = Mutex::new(None);
+
+/// Installs `hook` process-wide (replacing any previous hook). Only
+/// meaningful with the `injection` feature; without it this function
+/// does not exist, so code that must install a hook fails to compile
+/// instead of silently testing nothing.
+#[cfg(feature = "injection")]
+pub fn install(hook: Arc<dyn FaultHook>) {
+    *HOOK.lock().unwrap() = Some(hook);
+}
+
+/// Removes the installed hook; every site reverts to a clean pass.
+#[cfg(feature = "injection")]
+pub fn uninstall() {
+    *HOOK.lock().unwrap() = None;
+}
+
+/// True when a hook is installed (always false without `injection`).
+pub fn installed() -> bool {
+    #[cfg(feature = "injection")]
+    {
+        HOOK.lock().unwrap().is_some()
+    }
+    #[cfg(not(feature = "injection"))]
+    {
+        false
+    }
+}
+
+/// A fault site: `Err` when the installed plan injects a failure here.
+/// Compiles to an inlined `Ok(())` without the `injection` feature.
+#[inline]
+pub fn point(site: &str) -> Result<(), InjectedFault> {
+    #[cfg(feature = "injection")]
+    {
+        let hook = HOOK.lock().unwrap().clone();
+        if let Some(hook) = hook {
+            return hook.fire(site);
+        }
+    }
+    let _ = site;
+    Ok(())
+}
+
+/// A corruption site: the installed plan may flip bytes in `bytes`;
+/// returns true when it did. Compiles to an inlined `false` without the
+/// `injection` feature.
+#[inline]
+pub fn corrupt(site: &str, bytes: &mut [u8]) -> bool {
+    #[cfg(feature = "injection")]
+    {
+        let hook = HOOK.lock().unwrap().clone();
+        if let Some(hook) = hook {
+            return hook.mutate(site, bytes);
+        }
+    }
+    let _ = (site, bytes);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_fire_on_exact_occurrences() {
+        let plan = FaultPlan::seeded(1).fail("s.read", 1, 2, "EIO");
+        assert!(plan.fire("s.read").is_ok(), "occurrence 0 skipped");
+        let e = plan.fire("s.read").unwrap_err();
+        assert_eq!(e.site, "s.read");
+        assert!(e.to_string().contains("EIO"));
+        assert!(plan.fire("s.read").is_err(), "occurrence 2 still in window");
+        assert!(plan.fire("s.read").is_ok(), "window exhausted");
+        assert!(plan.fire("s.other").is_ok(), "sites are independent");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_in_the_seed() {
+        let flip = |seed: u64| {
+            let plan = FaultPlan::seeded(seed).corrupt_bytes("b", 0, 1);
+            let mut bytes = vec![0u8; 64];
+            assert!(plan.mutate("b", &mut bytes));
+            assert!(!plan.mutate("b", &mut bytes), "only once");
+            bytes
+        };
+        assert_eq!(flip(7), flip(7), "same seed, same flip");
+        assert_ne!(flip(7), vec![0u8; 64], "exactly one bit differs");
+        let (a, b) = (flip(7), flip(8));
+        // Different seeds flip different positions (with these two they do).
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn injected_faults_are_counted_into_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let plan = FaultPlan::seeded(3)
+            .fail("x", 0, 1, "EIO")
+            .delay("x", 1, 1, 1)
+            .observe(registry.clone());
+        assert!(plan.fire("x").is_err());
+        assert!(plan.fire("x").is_ok(), "delay injects latency, not failure");
+        assert_eq!(registry.get(Metric::FaultsInjected), 2);
+    }
+
+    #[test]
+    fn delay_rules_sleep_then_proceed() {
+        let plan = FaultPlan::seeded(1).delay("d", 0, 1, 30);
+        let t0 = std::time::Instant::now();
+        assert!(plan.fire("d").is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        let t1 = std::time::Instant::now();
+        assert!(plan.fire("d").is_ok());
+        assert!(t1.elapsed() < Duration::from_millis(25), "window over, no delay");
+    }
+
+    #[cfg(feature = "injection")]
+    #[test]
+    fn global_hook_routes_points_and_uninstall_reverts() {
+        // Other tests in this binary do not install hooks, so the global
+        // is ours alone here.
+        let plan = Arc::new(FaultPlan::seeded(5).fail("g.site", 0, u64::MAX, "EIO"));
+        install(plan);
+        assert!(installed());
+        assert!(point("g.site").is_err());
+        assert!(point("g.unrelated").is_ok());
+        uninstall();
+        assert!(!installed());
+        assert!(point("g.site").is_ok());
+    }
+
+    #[test]
+    fn without_installation_points_are_clean() {
+        assert!(point("never.installed").is_ok());
+        let mut b = vec![1, 2, 3];
+        assert!(!corrupt("never.installed", &mut b));
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+}

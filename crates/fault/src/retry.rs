@@ -1,0 +1,231 @@
+//! Retry policies with exponential backoff and deterministic jitter.
+//!
+//! A [`RetryPolicy`] is a plain value (cheap to copy into configs) and
+//! [`retry`] is the one combinator: re-run the operation while its
+//! error claims to be transient ([`Retryable`]), sleeping a backoff
+//! that doubles per attempt with *seeded* jitter — a pure function of
+//! `(seed, attempt)`, so two runs of the same chaos schedule sleep the
+//! same amounts and produce the same metrics.
+
+use crate::plan::mix;
+use cn_obs::{Hist, Metric, Registry};
+use std::time::Duration;
+
+/// Classifies an error as transient (worth retrying) or permanent.
+///
+/// The rule of thumb across the workspace: **I/O is transient,
+/// everything else is deterministic.** A flapping disk read may succeed
+/// on the next attempt; a corrupt artifact, a version-mismatched
+/// envelope, or a degenerate table will fail identically forever, and
+/// retrying it only burns latency the caller could spend on the cold
+/// fallback path.
+pub trait Retryable {
+    /// True when a retry of the same operation could plausibly succeed.
+    fn retryable(&self) -> bool;
+}
+
+impl Retryable for crate::plan::InjectedFault {
+    fn retryable(&self) -> bool {
+        true // injected faults model transient I/O
+    }
+}
+
+impl Retryable for std::io::Error {
+    fn retryable(&self) -> bool {
+        true
+    }
+}
+
+/// Max attempts + exponential backoff with deterministic seeded jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); `1` disables retrying.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Seed of the jitter stream (pure function of seed and attempt).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default backoff shape with `max_attempts` total attempts.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy { max_attempts: max_attempts.max(1), ..RetryPolicy::default() }
+    }
+
+    /// A policy that never retries (single attempt) — what a degraded
+    /// server uses to fail fast onto its cold path.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::new(1)
+    }
+
+    /// Replaces the base backoff.
+    pub fn with_base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Replaces the backoff cap.
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Replaces the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential
+    /// growth capped at [`RetryPolicy::cap`], with "equal jitter" — half
+    /// the exponential delay fixed, half drawn deterministically from
+    /// the seeded stream. Monotone in expectation, never above the cap.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(20);
+        let exp = self.base.saturating_mul(1u32 << doublings).min(self.cap);
+        let half = exp / 2;
+        let span_ns = half.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let jitter_ns = if span_ns == 0 {
+            0
+        } else {
+            mix(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9)) % (span_ns + 1)
+        };
+        half + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// Runs `op` under `policy`: returns the first success, or the last
+/// error once attempts are exhausted or the error is permanent. Every
+/// *re*-attempt increments `retry_attempts` and records its backoff in
+/// the `retry_backoff_ms` histogram of `obs`.
+pub fn retry<T, E: Retryable>(
+    policy: &RetryPolicy,
+    obs: &Registry,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= policy.max_attempts.max(1) || !e.retryable() {
+                    return Err(e);
+                }
+                let delay = policy.backoff(attempt);
+                obs.inc(Metric::RetryAttempts);
+                obs.record(Hist::RetryBackoffMs, delay.as_millis() as u64);
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+/// [`retry`] without metrics (counts into the discard sink).
+pub fn retry_quiet<T, E: Retryable>(
+    policy: &RetryPolicy,
+    op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    retry(policy, Registry::discard(), op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    struct Transient(bool);
+    impl Retryable for Transient {
+        fn retryable(&self) -> bool {
+            self.0
+        }
+    }
+
+    fn flaky(fail_first: usize) -> impl FnMut() -> Result<u32, Transient> {
+        let mut calls = 0;
+        move || {
+            calls += 1;
+            if calls <= fail_first {
+                Err(Transient(true))
+            } else {
+                Ok(calls as u32)
+            }
+        }
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures_and_counts_attempts() {
+        let obs = Arc::new(Registry::new());
+        let policy = RetryPolicy::new(4).with_base(Duration::from_millis(1));
+        let v = retry(&policy, &obs, flaky(2)).unwrap();
+        assert_eq!(v, 3, "two failures, success on the third call");
+        assert_eq!(obs.get(Metric::RetryAttempts), 2);
+    }
+
+    #[test]
+    fn exhausts_attempts_then_returns_the_error() {
+        let obs = Registry::new();
+        let policy = RetryPolicy::new(3).with_base(Duration::from_millis(1));
+        assert!(retry(&policy, &obs, flaky(99)).is_err());
+        assert_eq!(obs.get(Metric::RetryAttempts), 2, "3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let obs = Registry::new();
+        let policy = RetryPolicy::new(5).with_base(Duration::from_millis(1));
+        let mut calls = 0;
+        let r: Result<(), Transient> = retry(&policy, &obs, || {
+            calls += 1;
+            Err(Transient(false))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(obs.get(Metric::RetryAttempts), 0);
+    }
+
+    #[test]
+    fn single_attempt_policy_fails_fast() {
+        let mut calls = 0;
+        let r: Result<(), Transient> = retry_quiet(&RetryPolicy::none(), || {
+            calls += 1;
+            Err(Transient(true))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let p = RetryPolicy::new(8)
+            .with_base(Duration::from_millis(10))
+            .with_cap(Duration::from_millis(100))
+            .with_seed(42);
+        let again = p;
+        for attempt in 1..8 {
+            let d = p.backoff(attempt);
+            assert_eq!(d, again.backoff(attempt), "same seed, same jitter");
+            assert!(d <= Duration::from_millis(100), "cap respected at attempt {attempt}");
+            assert!(d >= p.base.min(Duration::from_millis(100)) / 2);
+        }
+        // The exponential half grows until the cap takes over.
+        assert!(p.backoff(3) >= Duration::from_millis(20));
+        let other = p.with_seed(43);
+        assert_ne!(other.backoff(1), p.backoff(1), "seed changes the jitter stream");
+    }
+}

@@ -88,11 +88,26 @@ pub enum Metric {
     GroupbyCacheHits,
     /// Pair-cube lookups that had to run the shared-scan kernel.
     GroupbyCacheMisses,
+    /// Re-attempts of transient-failed operations under a retry policy
+    /// (first attempts are not counted).
+    RetryAttempts,
+    /// Faults fired by an installed `cn-fault` plan (chaos runs only;
+    /// always zero in production builds).
+    FaultsInjected,
+    /// Damaged store artifacts renamed aside to `*.quarantined` for
+    /// post-mortem instead of being silently clobbered.
+    StoreQuarantined,
+    /// Store-health state flips (healthy→degraded and degraded→healthy
+    /// each count one transition).
+    DegradedTransitions,
+    /// HTTP responses that could not be written back (client gone
+    /// before or during the write).
+    ResponsesWriteFailed,
 }
 
 impl Metric {
     /// Every counter, in export order.
-    pub const ALL: [Metric; 35] = [
+    pub const ALL: [Metric; 40] = [
         Metric::RowsScanned,
         Metric::DictBytes,
         Metric::SampledRows,
@@ -128,6 +143,11 @@ impl Metric {
         Metric::StoreBuildsFailed,
         Metric::GroupbyCacheHits,
         Metric::GroupbyCacheMisses,
+        Metric::RetryAttempts,
+        Metric::FaultsInjected,
+        Metric::StoreQuarantined,
+        Metric::DegradedTransitions,
+        Metric::ResponsesWriteFailed,
     ];
 
     /// Number of counters.
@@ -171,6 +191,11 @@ impl Metric {
             Metric::StoreBuildsFailed => "store_builds_failed",
             Metric::GroupbyCacheHits => "groupby_cache_hits",
             Metric::GroupbyCacheMisses => "groupby_cache_misses",
+            Metric::RetryAttempts => "retry_attempts",
+            Metric::FaultsInjected => "faults_injected",
+            Metric::StoreQuarantined => "store_quarantined",
+            Metric::DegradedTransitions => "degraded_transitions",
+            Metric::ResponsesWriteFailed => "responses_write_failed",
         }
     }
 }
@@ -185,11 +210,14 @@ pub enum Hist {
     CubeGroups,
     /// Interestingness scores in milli-units (`score × 1000`).
     InterestScoreMilli,
+    /// Backoff sleeps taken before retries, in milliseconds.
+    RetryBackoffMs,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 3] = [Hist::TestsPerTask, Hist::CubeGroups, Hist::InterestScoreMilli];
+    pub const ALL: [Hist; 4] =
+        [Hist::TestsPerTask, Hist::CubeGroups, Hist::InterestScoreMilli, Hist::RetryBackoffMs];
 
     /// Number of histograms.
     pub const COUNT: usize = Hist::ALL.len();
@@ -200,6 +228,7 @@ impl Hist {
             Hist::TestsPerTask => "tests_per_task",
             Hist::CubeGroups => "cube_groups",
             Hist::InterestScoreMilli => "interest_score_milli",
+            Hist::RetryBackoffMs => "retry_backoff_ms",
         }
     }
 }

@@ -162,6 +162,17 @@ impl Registry {
     /// drop); spans opened while another guard of this registry is live
     /// on the same thread become its children.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_inner(name, None)
+    }
+
+    /// Opens a span carrying a numeric `value` — the serving layer tags
+    /// each request's root span with its request id this way, so an
+    /// error envelope's `request_id` can be matched to its span tree.
+    pub fn span_with_value(&self, name: &'static str, value: u64) -> SpanGuard<'_> {
+        self.span_inner(name, Some(value))
+    }
+
+    fn span_inner(&self, name: &'static str, value: Option<u64>) -> SpanGuard<'_> {
         let id = self.next_span.fetch_add(1, Ordering::Relaxed);
         let parent = SPAN_STACK.with(|s| {
             let stack = s.borrow();
@@ -173,6 +184,7 @@ impl Registry {
             name,
             id,
             parent,
+            value,
             start_offset: self.epoch.elapsed(),
             started: Instant::now(),
             closed: false,
@@ -226,6 +238,7 @@ pub struct SpanGuard<'a> {
     name: &'static str,
     id: u64,
     parent: Option<u64>,
+    value: Option<u64>,
     start_offset: Duration,
     started: Instant,
     closed: bool,
@@ -261,6 +274,7 @@ impl SpanGuard<'_> {
             id: self.id,
             parent: self.parent,
             name: self.name,
+            value: self.value,
             start: self.start_offset,
             duration: dur,
             thread,

@@ -26,6 +26,9 @@ pub struct SpanRecord {
     pub id: u64,
     pub parent: Option<u64>,
     pub name: &'static str,
+    /// Caller-attached tag (e.g. the serving layer's request id); `None`
+    /// for plain spans.
+    pub value: Option<u64>,
     /// Offset from the registry epoch at which the span opened.
     pub start: Duration,
     pub duration: Duration,
@@ -97,14 +100,17 @@ impl Report {
             .iter()
             .map(|s| {
                 let parent = s.parent.map(Value::from).unwrap_or(Value::Null);
-                json!({
-                    "id": s.id,
-                    "parent": parent,
-                    "name": s.name,
-                    "start_us": s.start.as_micros() as u64,
-                    "duration_us": s.duration.as_micros() as u64,
-                    "thread": s.thread.clone(),
-                })
+                let mut span = Map::new();
+                span.insert("id".to_string(), json!(s.id));
+                span.insert("parent".to_string(), parent);
+                span.insert("name".to_string(), json!(s.name));
+                if let Some(v) = s.value {
+                    span.insert("value".to_string(), json!(v));
+                }
+                span.insert("start_us".to_string(), json!(s.start.as_micros() as u64));
+                span.insert("duration_us".to_string(), json!(s.duration.as_micros() as u64));
+                span.insert("thread".to_string(), json!(s.thread.clone()));
+                Value::Object(span)
             })
             .collect();
         json!({

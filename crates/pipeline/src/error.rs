@@ -129,6 +129,17 @@ impl Error for PipelineError {
     }
 }
 
+/// Nothing in the pipeline is worth retrying: every variant is a
+/// deterministic property of the (table, config, notebook) inputs —
+/// an empty table is still empty on attempt two, and cancellation
+/// means the caller is gone. Transient failures live a layer below,
+/// in `StoreError::Io`.
+impl cn_fault::Retryable for PipelineError {
+    fn retryable(&self) -> bool {
+        false
+    }
+}
+
 impl From<ConfigError> for PipelineError {
     fn from(e: ConfigError) -> Self {
         PipelineError::InvalidConfig(e)

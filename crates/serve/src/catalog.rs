@@ -14,6 +14,7 @@ use cn_tabular::csv::{read_path, CsvOptions};
 use cn_tabular::Table;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 /// A CSV-backed dataset registration.
@@ -88,6 +89,18 @@ struct StoreState {
     /// again after shutdown, which is what lets the worker's receiver
     /// disconnect and the thread exit).
     build_tx: Mutex<Option<mpsc::Sender<String>>>,
+    /// Store-wide health: I/O failures that survived their retries, in a
+    /// row. The disk is one shared resource, so health is tracked per
+    /// store, not per dataset — a flapping mount degrades everything at
+    /// once, and one successful read heals everything at once.
+    consecutive_failures: AtomicU32,
+    /// Set when `consecutive_failures` crossed the threshold. A degraded
+    /// store is read with a fail-fast single-attempt policy, so a
+    /// recovered disk is noticed by the first request that touches it.
+    degraded: AtomicBool,
+    /// Failures-in-a-row before flipping `degraded` (from
+    /// [`crate::ServeConfig::degrade_after`]).
+    degrade_after: AtomicU32,
 }
 
 struct Lru {
@@ -159,8 +172,51 @@ impl Catalog {
             store,
             status: Mutex::new(HashMap::new()),
             build_tx: Mutex::new(None),
+            consecutive_failures: AtomicU32::new(0),
+            degraded: AtomicBool::new(false),
+            degrade_after: AtomicU32::new(2),
         });
         Ok(())
+    }
+
+    /// Sets how many consecutive post-retry I/O failures flip the store
+    /// into the degraded state (server start, from the config).
+    pub fn set_degrade_after(&self, n: u32) {
+        if let Some(state) = &self.store {
+            state.degrade_after.store(n.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// True while the store is degraded: reads fail fast onto the cold
+    /// path instead of burning retry backoff on a disk that keeps
+    /// failing. `/healthz` surfaces this as `"degraded"`.
+    pub fn store_degraded(&self) -> bool {
+        self.store.as_ref().map(|s| s.degraded.load(Ordering::Relaxed)).unwrap_or(false)
+    }
+
+    /// Records a store I/O failure that survived its retries. At the
+    /// configured threshold the store flips to degraded (counted once in
+    /// `degraded_transitions`, not per failing request).
+    pub fn note_store_failure(&self) {
+        let Some(state) = &self.store else { return };
+        let failures = state.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= state.degrade_after.load(Ordering::Relaxed)
+            && !state.degraded.swap(true, Ordering::Relaxed)
+        {
+            self.obs.inc(Metric::DegradedTransitions);
+        }
+    }
+
+    /// Records a successful store read or write. Clears the failure
+    /// streak; if the store was degraded, this is the recovery edge
+    /// (counted in `degraded_transitions` again, so the counter's parity
+    /// tells whether the store is currently degraded).
+    pub fn note_store_success(&self) {
+        let Some(state) = &self.store else { return };
+        state.consecutive_failures.store(0, Ordering::Relaxed);
+        if state.degraded.swap(false, Ordering::Relaxed) {
+            self.obs.inc(Metric::DegradedTransitions);
+        }
     }
 
     /// The attached artifact store, if any.
@@ -384,6 +440,35 @@ mod tests {
         assert_eq!(catalog.store_status("x"), Some((StoreStatus::Warm, Some("abc".to_string()))));
         catalog.close_build_trigger();
         assert!(rx.recv().is_err(), "channel disconnects at shutdown");
+    }
+
+    #[test]
+    fn degradation_flips_at_the_threshold_and_heals_on_success() {
+        let dir = std::env::temp_dir().join("cn_serve_catalog_degrade");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Arc::new(Registry::new());
+        let mut catalog = Catalog::new(2, obs.clone());
+        // Without a store the health calls are inert.
+        catalog.note_store_failure();
+        assert!(!catalog.store_degraded());
+
+        catalog.set_store(&dir).unwrap();
+        catalog.set_degrade_after(2);
+        catalog.note_store_failure();
+        assert!(!catalog.store_degraded(), "one failure is below the threshold");
+        catalog.note_store_failure();
+        assert!(catalog.store_degraded());
+        assert_eq!(obs.get(Metric::DegradedTransitions), 1);
+        // More failures while degraded do not re-count the transition.
+        catalog.note_store_failure();
+        assert_eq!(obs.get(Metric::DegradedTransitions), 1);
+
+        catalog.note_store_success();
+        assert!(!catalog.store_degraded(), "one success heals");
+        assert_eq!(obs.get(Metric::DegradedTransitions), 2, "recovery is the second edge");
+        // The streak reset: a single new failure does not re-degrade.
+        catalog.note_store_failure();
+        assert!(!catalog.store_degraded());
     }
 
     #[test]

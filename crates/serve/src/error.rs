@@ -1,0 +1,249 @@
+//! The versioned API error envelope.
+//!
+//! Every non-2xx response carries the same machine-readable JSON shape
+//! (validated in CI against `schemas/api_error.schema.json`):
+//!
+//! ```json
+//! {
+//!   "api_version": 1,
+//!   "error": {
+//!     "code": "queue_full",
+//!     "message": "generation queue full; retry later",
+//!     "retryable": true,
+//!     "request_id": 42
+//!   }
+//! }
+//! ```
+//!
+//! `code` is a stable machine string (clients branch on it; the
+//! human-readable `message` may change freely), `retryable` tells a
+//! client whether backing off and resending the identical request can
+//! succeed, and `request_id` is the server-assigned monotonic id that
+//! also tags the request's span in the `/metrics` span tree — one
+//! number correlates a client-side error with the server-side trace.
+//! Retryable 429/503 responses additionally carry a `Retry-After`
+//! header (seconds).
+
+use crate::catalog::CatalogError;
+use crate::http::{ParseError, Response};
+use cn_pipeline::PipelineError;
+use serde_json::json;
+
+/// Version of the error envelope (and of success payloads that embed
+/// `request_id`).
+pub const API_VERSION: u64 = 1;
+
+/// A fully classified API failure, ready to render as an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable code (see `schemas/api_error.schema.json`
+    /// for the closed vocabulary).
+    pub code: &'static str,
+    /// Human-readable detail; not part of the stable contract.
+    pub message: String,
+    /// Whether resending the identical request can plausibly succeed.
+    pub retryable: bool,
+    /// Seconds for a `Retry-After` header (load-shedding responses).
+    pub retry_after: Option<u64>,
+}
+
+impl ApiError {
+    /// A non-retryable error.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError { status, code, message: message.into(), retryable: false, retry_after: None }
+    }
+
+    /// 400 — the request itself is malformed (bad JSON, missing field).
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(400, "bad_request", message)
+    }
+
+    /// 404 — no route or resource at this path.
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError::new(404, "not_found", message)
+    }
+
+    /// 405 — the route exists but not for this method.
+    pub fn method_not_allowed() -> ApiError {
+        ApiError::new(405, "method_not_allowed", "unsupported method")
+    }
+
+    /// 429 — admission control refused the job; retry after backoff.
+    pub fn queue_full() -> ApiError {
+        ApiError {
+            status: 429,
+            code: "queue_full",
+            message: "generation queue full; retry later".to_string(),
+            retryable: true,
+            retry_after: Some(1),
+        }
+    }
+
+    /// 503 — the server is draining and accepts no new work.
+    pub fn draining() -> ApiError {
+        ApiError {
+            status: 503,
+            code: "draining",
+            message: "server is draining; not accepting new work".to_string(),
+            retryable: true,
+            retry_after: Some(2),
+        }
+    }
+
+    /// 500 — an internal invariant broke; the request was well-formed.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError::new(500, "internal", message)
+    }
+
+    /// Classifies an HTTP parse failure (`ParseError::Io` never reaches
+    /// here — a dead socket gets no response at all).
+    pub fn from_parse(e: &ParseError) -> ApiError {
+        match e {
+            ParseError::BodyTooLarge(_) => ApiError::new(413, "body_too_large", e.to_string()),
+            _ => ApiError::bad_request(e.to_string()),
+        }
+    }
+
+    /// Classifies a catalog failure.
+    pub fn from_catalog(e: &CatalogError) -> ApiError {
+        let (status, code) = catalog_code(e);
+        ApiError::new(status, code, e.to_string())
+    }
+
+    /// Classifies a pipeline failure.
+    pub fn from_pipeline(e: &PipelineError) -> ApiError {
+        let (status, code) = pipeline_code(e);
+        ApiError::new(status, code, e.to_string())
+    }
+
+    /// Renders the envelope, tagging it with the request's id and
+    /// attaching `Retry-After` when the error is a load-shedding one.
+    pub fn to_response(&self, request_id: u64) -> Response {
+        let body = json!({
+            "api_version": API_VERSION,
+            "error": {
+                "code": self.code,
+                "message": self.message.clone(),
+                "retryable": self.retryable,
+                "request_id": request_id,
+            },
+        });
+        let mut response = Response::json(self.status, &body);
+        if let Some(secs) = self.retry_after {
+            response = response.with_header("Retry-After", secs.to_string());
+        }
+        response
+    }
+}
+
+/// `(status, code)` of a catalog failure: an unknown name is the
+/// client's mistake; a registered CSV that fails to load is ours.
+pub fn catalog_code(e: &CatalogError) -> (u16, &'static str) {
+    match e {
+        CatalogError::Unknown(_) => (404, "dataset_not_found"),
+        CatalogError::Load { .. } => (500, "dataset_load_failed"),
+    }
+}
+
+/// `(status, code)` of a pipeline failure. Degenerate inputs are 400
+/// `invalid_input`; cancellation distinguishes deadline from explicit;
+/// everything else is an internal inconsistency (the warm path
+/// pre-checks fingerprints, so an artifact error reaching a client is
+/// never the client's fault).
+pub fn pipeline_code(e: &PipelineError) -> (u16, &'static str) {
+    match e {
+        PipelineError::Cancelled { deadline_exceeded: true } => (408, "deadline_exceeded"),
+        PipelineError::Cancelled { deadline_exceeded: false } => (408, "cancelled"),
+        PipelineError::EmptyTable
+        | PipelineError::NoMeasures
+        | PipelineError::NoAttributes
+        | PipelineError::InvalidConfig(_)
+        | PipelineError::AnchorOutOfRange { .. } => (400, "invalid_input"),
+        PipelineError::PlanGap { .. } | PipelineError::Engine(_) | PipelineError::Artifact(_) => {
+            (500, "internal")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn envelope_of(e: &ApiError) -> Value {
+        serde_json::from_str(&e.to_response(7).body).unwrap()
+    }
+
+    #[test]
+    fn envelope_carries_version_code_retryability_and_request_id() {
+        let v = envelope_of(&ApiError::queue_full());
+        assert_eq!(v["api_version"], 1);
+        assert_eq!(v["error"]["code"], "queue_full");
+        assert_eq!(v["error"]["retryable"], true);
+        assert_eq!(v["error"]["request_id"], 7);
+        assert!(v["error"]["message"].as_str().unwrap().contains("queue"));
+    }
+
+    #[test]
+    fn load_shedding_errors_carry_retry_after() {
+        let r = ApiError::queue_full().to_response(1);
+        assert_eq!(r.status, 429);
+        assert!(r.headers.iter().any(|(n, _)| *n == "Retry-After"));
+        let r = ApiError::draining().to_response(1);
+        assert_eq!(r.status, 503);
+        assert!(r.headers.iter().any(|(n, v)| *n == "Retry-After" && !v.is_empty()));
+        let r = ApiError::bad_request("nope").to_response(1);
+        assert!(r.headers.is_empty(), "only load shedding advertises Retry-After");
+    }
+
+    #[test]
+    fn parse_catalog_and_pipeline_errors_map_to_stable_codes() {
+        assert_eq!(ApiError::from_parse(&ParseError::Malformed("x")).code, "bad_request");
+        assert_eq!(ApiError::from_parse(&ParseError::BodyTooLarge(9)).status, 413);
+        assert_eq!(catalog_code(&CatalogError::Unknown("d".into())), (404, "dataset_not_found"));
+        assert_eq!(
+            catalog_code(&CatalogError::Load { name: "d".into(), message: "io".into() }),
+            (500, "dataset_load_failed")
+        );
+        assert_eq!(
+            pipeline_code(&PipelineError::Cancelled { deadline_exceeded: true }),
+            (408, "deadline_exceeded")
+        );
+        assert_eq!(
+            pipeline_code(&PipelineError::Cancelled { deadline_exceeded: false }),
+            (408, "cancelled")
+        );
+        assert_eq!(pipeline_code(&PipelineError::EmptyTable), (400, "invalid_input"));
+        assert_eq!(pipeline_code(&PipelineError::Artifact("stale".into())), (500, "internal"));
+    }
+
+    #[test]
+    fn every_envelope_validates_against_the_schema() {
+        let schema_text = std::fs::read_to_string(
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../schemas/api_error.schema.json"),
+        )
+        .unwrap();
+        let schema: Value = serde_json::from_str(&schema_text).unwrap();
+        for e in [
+            ApiError::bad_request("x"),
+            ApiError::not_found("y"),
+            ApiError::method_not_allowed(),
+            ApiError::queue_full(),
+            ApiError::draining(),
+            ApiError::internal("z"),
+            ApiError::from_parse(&ParseError::BodyTooLarge(2_000_000)),
+            ApiError::from_catalog(&CatalogError::Unknown("d".into())),
+            ApiError::from_pipeline(&PipelineError::Cancelled { deadline_exceeded: true }),
+            ApiError::from_pipeline(&PipelineError::EmptyTable),
+            ApiError::new(409, "conflict", "session busy"),
+        ] {
+            let v = envelope_of(&e);
+            if let Err(violations) = cn_obs::schema::validate(&v, &schema) {
+                panic!("{} envelope violates the schema: {violations:?}", e.code);
+            }
+        }
+    }
+}

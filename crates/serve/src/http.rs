@@ -63,6 +63,17 @@ impl std::fmt::Display for ParseError {
     }
 }
 
+/// Classifies a read error: raw non-UTF-8 bytes where text belongs are
+/// the client's malformed request (worth a 400 envelope), not a dead
+/// socket.
+fn io_parse(e: std::io::Error) -> ParseError {
+    if e.kind() == std::io::ErrorKind::InvalidData {
+        ParseError::Malformed("request is not valid UTF-8")
+    } else {
+        ParseError::Io(e.to_string())
+    }
+}
+
 /// Reads one request from `stream`, honoring `Content-Length`.
 ///
 /// # Errors
@@ -73,7 +84,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| ParseError::Io(e.to_string()))?;
+    reader.read_line(&mut line).map_err(io_parse)?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(ParseError::Malformed("empty request line"))?.to_uppercase();
     let target = parts.next().ok_or(ParseError::Malformed("missing request target"))?;
@@ -82,7 +93,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        let n = reader.read_line(&mut header).map_err(|e| ParseError::Io(e.to_string()))?;
+        let n = reader.read_line(&mut header).map_err(io_parse)?;
         if n == 0 {
             return Err(ParseError::Malformed("connection closed inside headers"));
         }
@@ -114,32 +125,52 @@ pub struct Response {
     pub status: u16,
     /// Pre-serialized JSON body.
     pub body: String,
+    /// Extra headers beyond the standard three (e.g. `Retry-After` on
+    /// load-shedding responses).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     /// A response with `status` and a JSON `body`.
     pub fn json(status: u16, body: &Value) -> Response {
-        Response { status, body: serde_json::to_string(body).unwrap_or_default() }
+        Response {
+            status,
+            body: serde_json::to_string(body).unwrap_or_default(),
+            headers: Vec::new(),
+        }
     }
 
-    /// The standard error envelope: `{"error": message}`.
-    pub fn error(status: u16, message: &str) -> Response {
-        Response::json(status, &serde_json::json!({ "error": message }))
+    /// Appends an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// Writes the response (status line, headers, body) and flushes.
-    pub fn write(&self, stream: &mut TcpStream) {
+    ///
+    /// # Errors
+    /// The first failed write — the caller counts these
+    /// (`responses_write_failed`) instead of silently losing them: a
+    /// client that disconnected mid-response is operationally different
+    /// from one that got its answer.
+    pub fn write(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let reason = reason_phrase(self.status);
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason,
             self.body.len()
         );
-        // The client may already be gone; nothing useful to do about it.
-        let _ = stream.write_all(head.as_bytes());
-        let _ = stream.write_all(self.body.as_bytes());
-        let _ = stream.flush();
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
     }
 }
 
@@ -206,5 +237,92 @@ mod tests {
         assert!(matches!(roundtrip("\r\n\r\n"), Err(ParseError::Malformed(_))));
         let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert!(matches!(roundtrip(&huge), Err(ParseError::BodyTooLarge(_))));
+        // A method with no target, and an unparseable length.
+        assert!(matches!(roundtrip("GARBAGE\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            roundtrip("POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn raw_garbage_bytes_are_malformed_not_a_dead_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&[0xff, 0xfe, 0x80, 0x00, 0x99]).unwrap();
+            drop(s);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request(&mut stream).unwrap_err();
+        client.join().unwrap();
+        // Invalid UTF-8 must earn a 400 envelope, not a silent drop.
+        assert!(matches!(err, ParseError::Malformed(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn body_without_content_length_parses_as_empty() {
+        // The body is simply not read; the request itself is well-formed
+        // and the JSON layer reports the missing document as a 400.
+        let req = roundtrip("POST /v1/notebooks HTTP/1.1\r\nHost: h\r\n\r\n{\"x\":1}").unwrap();
+        assert!(req.body.is_empty());
+        assert!(req.json().is_none());
+    }
+
+    #[test]
+    fn split_body_writes_reassemble() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"a\"").unwrap();
+            s.flush().unwrap();
+            thread::sleep(std::time::Duration::from_millis(50));
+            s.write_all(b":true}").unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap();
+        client.join().unwrap();
+        assert_eq!(req.json().unwrap()["a"], true);
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            Response::json(429, &serde_json::json!({"ok": false}))
+                .with_header("Retry-After", "1")
+                .write(&mut stream)
+                .unwrap();
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 429"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("{\"ok\":false}"));
+    }
+
+    #[test]
+    fn writing_to_a_disconnected_client_errors_without_panicking() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut stream, _) = listener.accept().unwrap();
+        drop(client);
+        thread::sleep(std::time::Duration::from_millis(50));
+        // A large body guarantees the broken pipe surfaces even past
+        // socket buffering; two writes make the second one definite.
+        let big = Response { status: 200, body: "x".repeat(1 << 20), headers: Vec::new() };
+        let first = big.write(&mut stream);
+        let second = big.write(&mut stream);
+        assert!(
+            first.is_err() || second.is_err(),
+            "a vanished client must surface as a write error"
+        );
     }
 }

@@ -4,6 +4,8 @@
 //! registry.
 
 use crate::catalog::{Catalog, CatalogError};
+use crate::error::{catalog_code, pipeline_code};
+use cn_fault::{retry, RetryPolicy, Retryable};
 use cn_interest::DistanceWeights;
 use cn_obs::{CancelToken, Metric, Registry};
 use cn_pipeline::{
@@ -21,6 +23,9 @@ use std::sync::{mpsc, Arc, Mutex};
 pub struct JobSpec {
     /// Job id (also the session id for continuations).
     pub id: u64,
+    /// The HTTP request id that submitted the job; tags the job's root
+    /// span so error envelopes and span trees correlate.
+    pub request_id: u64,
     /// Catalog name of the dataset.
     pub dataset: String,
     /// Wanted notebook length (`ε_t` with unit costs).
@@ -54,13 +59,29 @@ pub struct CompletedJob {
     pub session: ExplorationSession,
 }
 
-/// Terminal failure of a job, pre-mapped to an HTTP status.
+/// Terminal failure of a job, pre-classified for the error envelope.
 #[derive(Debug, Clone)]
 pub struct JobFailure {
     /// HTTP status the failure translates to.
     pub status: u16,
+    /// Stable machine-readable code (`schemas/api_error.schema.json`).
+    pub code: &'static str,
     /// Human-readable error.
     pub message: String,
+    /// Whether retrying the identical request can plausibly succeed.
+    pub retryable: bool,
+}
+
+impl JobFailure {
+    fn from_pipeline(e: &PipelineError) -> JobFailure {
+        let (status, code) = pipeline_code(e);
+        JobFailure { status, code, message: e.to_string(), retryable: e.retryable() }
+    }
+
+    fn from_catalog(e: &CatalogError) -> JobFailure {
+        let (status, code) = catalog_code(e);
+        JobFailure { status, code, message: e.to_string(), retryable: false }
+    }
 }
 
 /// Lifecycle of a job in the store.
@@ -129,23 +150,6 @@ impl Default for JobStore {
     }
 }
 
-/// Maps a pipeline failure to its HTTP status.
-fn status_of(e: &PipelineError) -> u16 {
-    match e {
-        PipelineError::Cancelled { .. } => 408,
-        PipelineError::EmptyTable
-        | PipelineError::NoMeasures
-        | PipelineError::NoAttributes
-        | PipelineError::InvalidConfig(_)
-        | PipelineError::AnchorOutOfRange { .. } => 400,
-        // The warm path pre-checks fingerprints, so an artifact error
-        // reaching a client is an internal inconsistency, not bad input.
-        PipelineError::PlanGap { .. } | PipelineError::Engine(_) | PipelineError::Artifact(_) => {
-            500
-        }
-    }
-}
-
 fn generator_config(spec: &JobSpec, n_threads: usize) -> GeneratorConfig {
     let mut config = GeneratorConfig { n_threads, seed: spec.seed, ..GeneratorConfig::default() };
     config.budgets.epsilon_t = spec.notebook_len.max(1) as f64;
@@ -161,10 +165,17 @@ fn generator_config(spec: &JobSpec, n_threads: usize) -> GeneratorConfig {
 /// channel. Metrics accumulate in a per-request registry that merges
 /// into `global` at the end, win or lose, so `/metrics` reflects every
 /// request exactly once.
-pub fn execute(job: Job, catalog: &Catalog, store: &JobStore, global: &Registry, n_threads: usize) {
+pub fn execute(
+    job: Job,
+    catalog: &Catalog,
+    store: &JobStore,
+    global: &Registry,
+    n_threads: usize,
+    store_retry: &RetryPolicy,
+) {
     let id = job.spec.id;
     store.set(id, JobStatus::Running);
-    let status = match run_job(&job, catalog, global, n_threads) {
+    let status = match run_job(&job, catalog, global, n_threads, store_retry) {
         Ok(completed) => {
             global.inc(Metric::JobsCompleted);
             JobStatus::Done(Arc::new(completed))
@@ -185,22 +196,22 @@ fn run_job(
     catalog: &Catalog,
     global: &Registry,
     n_threads: usize,
+    store_retry: &RetryPolicy,
 ) -> Result<CompletedJob, JobFailure> {
     // A job that sat in the queue past its deadline must not load data
     // or start the pipeline at all.
-    job.cancel.check().map_err(|e| JobFailure { status: 408, message: e.to_string() })?;
-    let table = catalog.get(&job.spec.dataset).map_err(|e| JobFailure {
-        status: match e {
-            CatalogError::Unknown(_) => 404,
-            CatalogError::Load { .. } => 500,
-        },
-        message: e.to_string(),
-    })?;
+    job.cancel.check().map_err(|e| JobFailure::from_pipeline(&PipelineError::from(e)))?;
+    let table = catalog.get(&job.spec.dataset).map_err(|e| JobFailure::from_catalog(&e))?;
     let config = generator_config(&job.spec, n_threads);
     let per_request = Registry::new();
-    let result = run_warm_or_cold(job, catalog, &table, &config, &per_request);
+    let result = {
+        // Root span carries the HTTP request id, so the span tree a
+        // request produced can be found from its error envelope.
+        let _root = per_request.span_with_value("request", job.spec.request_id);
+        run_warm_or_cold(job, catalog, &table, &config, &per_request, store_retry)
+    };
     global.merge(&per_request);
-    let run = result.map_err(|e| JobFailure { status: status_of(&e), message: e.to_string() })?;
+    let run = result.map_err(|e| JobFailure::from_pipeline(&e))?;
     let session = ExplorationSession::new(run, DistanceWeights::default())
         .with_cubes(catalog.groupby_cache());
     Ok(CompletedJob { dataset: job.spec.dataset.clone(), table, session })
@@ -216,20 +227,34 @@ fn run_job(
 /// a repeat request over the same table contents re-evaluates its
 /// hypothesis queries from cached dense cubes instead of re-scanning
 /// (`groupby_cache_hits` in `/metrics`).
+///
+/// Failure handling (the cn-fault layer):
+/// - A transient I/O read error is retried under `store_retry`
+///   (`retry_attempts`); exhausting the attempts marks a store-health
+///   failure and serves the request cold. While the store is degraded,
+///   reads fail fast (single attempt) so a dead disk costs each request
+///   one `read` instead of a full backoff ladder — and the first read
+///   that succeeds heals the store.
+/// - A damaged artifact (bad magic, checksum, version, invariants) is
+///   quarantined on disk (`store_quarantined`, never deleted, never
+///   clobbering an earlier quarantine) and rebuilt in the background.
 fn run_warm_or_cold(
     job: &Job,
     catalog: &Catalog,
     table: &Table,
     config: &GeneratorConfig,
     obs: &Registry,
+    store_retry: &RetryPolicy,
 ) -> Result<RunResult, PipelineError> {
     let cubes = catalog.groupby_cache();
     let Some(store) = catalog.store() else {
         return run_cancellable_cached(table, config, obs, &job.cancel, &cubes);
     };
     let name = &job.spec.dataset;
-    match store.load(name) {
+    let policy = if catalog.store_degraded() { RetryPolicy::none() } else { *store_retry };
+    match retry(&policy, obs, || store.load(name)) {
         Ok(artifact) => {
+            catalog.note_store_success();
             if artifact.fingerprint == prefix_fingerprint(table, config).to_string() {
                 obs.inc(Metric::StoreHits);
                 return run_from_store_cached(table, &artifact, config, obs, &job.cancel, &cubes);
@@ -237,14 +262,28 @@ fn run_warm_or_cold(
             obs.inc(Metric::StoreMisses);
         }
         Err(StoreError::NotFound(_)) => {
+            // The disk answered; there is just nothing there yet.
+            catalog.note_store_success();
             obs.inc(Metric::StoreMisses);
             catalog.request_build(name);
         }
+        Err(StoreError::Io { .. }) => {
+            // Retries exhausted: the disk is unhealthy. Do not queue a
+            // rebuild (it would hit the same disk); serve cold and let
+            // the degradation state machine decide.
+            obs.inc(Metric::StoreMisses);
+            catalog.note_store_failure();
+        }
         Err(_) => {
-            // Corrupt, wrong version, or unreadable: never fatal for the
-            // request — count it, rebuild it, serve this one cold.
+            // Corrupt, wrong version, or invalid: deterministic damage,
+            // never fatal for the request. Quarantine the evidence,
+            // count it, rebuild it, serve this one cold.
+            catalog.note_store_success();
             obs.inc(Metric::StoreMisses);
             obs.inc(Metric::StoreInvalid);
+            if let Ok(Some(_)) = store.quarantine(name) {
+                obs.inc(Metric::StoreQuarantined);
+            }
             catalog.request_build(name);
         }
     }
@@ -266,12 +305,17 @@ mod tests {
     fn spec(id: u64, dataset: &str) -> JobSpec {
         JobSpec {
             id,
+            request_id: id,
             dataset: dataset.to_string(),
             notebook_len: 3,
             n_permutations: 99,
             seed: 1,
             epsilon_d: None,
         }
+    }
+
+    fn run(job: Job, catalog: &Catalog, store: &JobStore, global: &Registry) {
+        execute(job, catalog, store, global, 2, &RetryPolicy::default());
     }
 
     #[test]
@@ -281,7 +325,7 @@ mod tests {
         assert_eq!(id, 1);
         let (tx, rx) = mpsc::channel();
         let job = Job { spec: spec(id, "demo"), cancel: CancelToken::new(), done: tx };
-        execute(job, &catalog, &store, &global, 2);
+        run(job, &catalog, &store, &global);
         rx.recv().unwrap();
         let status = store.get(id).unwrap();
         assert_eq!(status.name(), "done");
@@ -300,7 +344,7 @@ mod tests {
             let id = store.create();
             let (tx, rx) = mpsc::channel();
             let job = Job { spec: spec(id, "demo"), cancel: CancelToken::new(), done: tx };
-            execute(job, &catalog, &store, &global, 2);
+            run(job, &catalog, &store, &global);
             rx.recv().unwrap();
             assert_eq!(store.get(id).unwrap().name(), "done");
             if expected_hits_after {
@@ -334,7 +378,7 @@ mod tests {
             cancel: CancelToken::with_deadline(Duration::ZERO),
             done: tx.clone(),
         };
-        execute(job, &catalog, &store, &global, 2);
+        run(job, &catalog, &store, &global);
         let JobStatus::Failed(f) = store.get(id).unwrap() else { panic!("expected failure") };
         assert_eq!(f.status, 408);
         assert!(f.message.contains("deadline"));
@@ -342,7 +386,7 @@ mod tests {
 
         let id = store.create();
         let job = Job { spec: spec(id, "nope"), cancel: CancelToken::new(), done: tx };
-        execute(job, &catalog, &store, &global, 2);
+        run(job, &catalog, &store, &global);
         let JobStatus::Failed(f) = store.get(id).unwrap() else { panic!("expected failure") };
         assert_eq!(f.status, 404);
     }

@@ -39,6 +39,15 @@
 //! Everything is `std`-only — homegrown HTTP parsing in [`http`], the
 //! same dependency-light discipline as the `cn-obs` schema validator.
 //!
+//! **Failure handling** rides on `cn-fault`: store reads/writes retry
+//! with seeded exponential backoff, corrupt artifacts are quarantined
+//! (renamed aside, never clobbered), repeated I/O failure degrades the
+//! store (`/healthz` reports `degraded`, requests fall back to the cold
+//! pipeline), and every 4xx/5xx answer is a versioned [`ApiError`]
+//! envelope (`schemas/api_error.schema.json`) carrying a machine code,
+//! a retryability flag, and the request id that also tags the request's
+//! span in `/metrics`.
+//!
 //! ```no_run
 //! use cn_serve::{start, Catalog, DatasetSpec, ServeConfig};
 //! use std::sync::Arc;
@@ -58,6 +67,7 @@
 //! ```
 
 pub mod catalog;
+pub mod error;
 pub mod http;
 pub mod jobs;
 mod precompute;
@@ -66,6 +76,7 @@ pub mod server;
 
 pub use catalog::{Catalog, CatalogError, DatasetSpec, StoreStatus};
 pub use cn_obs::Registry;
+pub use error::{ApiError, API_VERSION};
 pub use jobs::{JobSpec, JobStatus, JobStore};
 pub use queue::{JobQueue, SubmitError};
 pub use server::{start, Handle, ServeConfig};

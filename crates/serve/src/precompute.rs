@@ -15,6 +15,7 @@
 //! run cold; they never clobber the default artifact.
 
 use crate::catalog::{Catalog, StoreStatus};
+use cn_fault::{retry, RetryPolicy};
 use cn_obs::{Metric, Registry};
 use cn_pipeline::{build_store_artifact_observed, GeneratorConfig};
 use cn_store::StoreError;
@@ -36,32 +37,54 @@ pub(crate) fn worker_loop(
     catalog: &Catalog,
     global: &Registry,
     n_threads: usize,
+    store_retry: &RetryPolicy,
     rx: &mpsc::Receiver<String>,
 ) {
     // Startup scan: adopt what is already on disk, queue the rest.
     for (name, _) in catalog.list() {
         let Some(store) = catalog.store() else { return };
-        match store.load(&name) {
+        match retry(store_retry, global, || store.load(&name)) {
             Ok(artifact) => {
+                catalog.note_store_success();
                 catalog.mark_store_status(&name, StoreStatus::Warm, Some(artifact.fingerprint));
             }
-            Err(StoreError::NotFound(_)) => catalog.request_build(&name),
+            Err(StoreError::NotFound(_)) => {
+                catalog.note_store_success();
+                catalog.request_build(&name);
+            }
+            Err(StoreError::Io { .. }) => {
+                // Retries exhausted at startup: the disk is unhealthy.
+                // Leave the dataset cold and let request traffic drive
+                // the degradation/recovery state machine.
+                catalog.note_store_failure();
+            }
             Err(_) => {
-                // Corrupt or version-mismatched leftovers: count, rebuild.
+                // Corrupt or version-mismatched leftovers: quarantine
+                // the evidence, count it, rebuild.
+                catalog.note_store_success();
                 global.inc(Metric::StoreInvalid);
+                if let Ok(Some(_)) = store.quarantine(&name) {
+                    global.inc(Metric::StoreQuarantined);
+                }
                 catalog.request_build(&name);
             }
         }
     }
     while let Ok(name) = rx.recv() {
-        build_one(catalog, global, n_threads, &name);
+        build_one(catalog, global, n_threads, store_retry, &name);
     }
 }
 
 /// Builds and persists one artifact, driving the status Cold→Building→
 /// Warm (or back to Cold on failure — a failed build is a counter, not a
 /// crashed worker).
-fn build_one(catalog: &Catalog, global: &Registry, n_threads: usize, name: &str) {
+fn build_one(
+    catalog: &Catalog,
+    global: &Registry,
+    n_threads: usize,
+    store_retry: &RetryPolicy,
+    name: &str,
+) {
     global.inc(Metric::StoreBuildsStarted);
     catalog.mark_store_status(name, StoreStatus::Building, None);
     let built = (|| {
@@ -72,7 +95,15 @@ fn build_one(catalog: &Catalog, global: &Registry, n_threads: usize, name: &str)
             .map_err(|e| e.to_string())?;
         global.merge(&per_build);
         let store = catalog.store().ok_or("store detached")?;
-        store.save(&artifact).map_err(|e| e.to_string())?;
+        match retry(store_retry, global, || store.save(&artifact)) {
+            Ok(_) => catalog.note_store_success(),
+            Err(e) => {
+                if matches!(e, StoreError::Io { .. }) {
+                    catalog.note_store_failure();
+                }
+                return Err(e.to_string());
+            }
+        }
         Ok::<String, String>(artifact.fingerprint)
     })();
     match built {

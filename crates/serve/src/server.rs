@@ -10,15 +10,17 @@
 //! pipeline polls between phases and inside the permutation-test loop.
 
 use crate::catalog::Catalog;
+use crate::error::ApiError;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::jobs::{execute, Job, JobSpec, JobStatus, JobStore};
 use crate::queue::{JobQueue, SubmitError};
+use cn_fault::RetryPolicy;
 use cn_notebook::to_markdown;
 use cn_obs::{CancelToken, Metric, Registry};
 use serde_json::{json, Map, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -43,6 +45,12 @@ pub struct ServeConfig {
     /// Warm-start artifact store directory; `None` disables the store
     /// and the background precompute worker.
     pub store_dir: Option<PathBuf>,
+    /// Retry policy for store reads and writes (transient I/O only;
+    /// corrupt artifacts are quarantined, not retried).
+    pub store_retry: RetryPolicy,
+    /// Consecutive post-retry store I/O failures before the store flips
+    /// to the degraded (fail-fast, cold-serving) state.
+    pub degrade_after: u32,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +64,8 @@ impl Default for ServeConfig {
             default_deadline: None,
             run_threads: 2,
             store_dir: None,
+            store_retry: RetryPolicy::default(),
+            degrade_after: 2,
         }
     }
 }
@@ -67,6 +77,10 @@ struct Shared {
     queue: JobQueue<Job>,
     global: Arc<Registry>,
     draining: AtomicBool,
+    /// Monotonic request ids (from 1): every parsed request gets one, it
+    /// tags the request's span in the global registry, and every error
+    /// envelope echoes it back to the client.
+    next_request_id: AtomicU64,
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -121,6 +135,7 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
             .set_store(dir)
             .map_err(|e| format!("cannot open artifact store at {}: {e}", dir.display()))?;
     }
+    catalog.set_degrade_after(config.degrade_after);
     // The catalog was built against the server registry; reuse it so
     // catalog counters and job counters land in one place.
     let global = catalog.registry();
@@ -131,6 +146,7 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
         store: JobStore::new(),
         global,
         draining: AtomicBool::new(false),
+        next_request_id: AtomicU64::new(1),
     });
 
     let mut threads = Vec::new();
@@ -150,6 +166,7 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
                         &shared.catalog,
                         &shared.global,
                         shared.config.run_threads,
+                        &shared.config.store_retry,
                         &rx,
                     );
                 })
@@ -170,6 +187,7 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
                             &shared.store,
                             &shared.global,
                             shared.config.run_threads,
+                            &shared.config.store_retry,
                         );
                     }
                 })
@@ -217,51 +235,70 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
 }
 
 fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
     let response = match read_request(stream) {
         Ok(request) => {
             shared.global.inc(Metric::HttpRequests);
-            route(&request, shared)
+            // The request's span in the server-global registry, tagged
+            // with the id every envelope echoes — the error a client
+            // holds and the trace the operator reads share one number.
+            let _span = shared.global.span_with_value("request", request_id);
+            route(&request, shared, request_id)
         }
-        Err(ParseError::BodyTooLarge(n)) => {
-            Response::error(413, &format!("body of {n} bytes too large"))
-        }
-        Err(ParseError::Malformed(what)) => Response::error(400, what),
         // Nothing sensible to say to a dead socket.
         Err(ParseError::Io(_)) => return,
+        Err(e) => {
+            let _span = shared.global.span_with_value("request", request_id);
+            ApiError::from_parse(&e).to_response(request_id)
+        }
     };
-    response.write(stream);
+    if response.write(stream).is_err() {
+        // The client vanished mid-response: count it, the body is lost.
+        shared.global.inc(Metric::ResponsesWriteFailed);
+    }
 }
 
-fn route(request: &Request, shared: &Shared) -> Response {
+fn route(request: &Request, shared: &Shared, request_id: u64) -> Response {
     let segments = request.segments();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => handle_healthz(shared),
         ("GET", ["metrics"]) => handle_metrics(shared),
         ("GET", ["v1", "datasets"]) => handle_datasets(shared),
-        ("POST", ["v1", "notebooks"]) => handle_generate(request, shared),
-        ("GET", ["v1", "notebooks", id]) => handle_get_notebook(id, shared),
-        ("POST", ["v1", "sessions", id, "continue"]) => handle_continue(id, request, shared),
-        ("GET", _) | ("POST", _) => Response::error(404, "no such route"),
-        _ => Response::error(405, "unsupported method"),
+        ("POST", ["v1", "notebooks"]) => handle_generate(request, shared, request_id),
+        ("GET", ["v1", "notebooks", id]) => handle_get_notebook(id, shared, request_id),
+        ("POST", ["v1", "sessions", id, "continue"]) => {
+            handle_continue(id, request, shared, request_id)
+        }
+        ("GET", _) | ("POST", _) => ApiError::not_found("no such route").to_response(request_id),
+        _ => ApiError::method_not_allowed().to_response(request_id),
     }
 }
 
 fn handle_healthz(shared: &Shared) -> Response {
     let draining = shared.draining.load(Ordering::SeqCst);
+    let degraded = shared.catalog.store_degraded();
+    let status = if draining {
+        "draining"
+    } else if degraded {
+        "degraded"
+    } else {
+        "ok"
+    };
     Response::json(
         200,
         &json!({
-            "status": if draining { "draining" } else { "ok" },
+            "status": status,
             "jobs_queued": shared.queue.len() as u64,
         }),
     )
 }
 
 fn handle_metrics(shared: &Shared) -> Response {
-    Response { status: 200, body: shared.global.report().to_json_string() }
+    Response { status: 200, body: shared.global.report().to_json_string(), headers: Vec::new() }
 }
 
 fn handle_datasets(shared: &Shared) -> Response {
+    let store_health = if shared.catalog.store_degraded() { "degraded" } else { "ok" };
     let datasets: Vec<Value> = shared
         .catalog
         .list()
@@ -286,7 +323,7 @@ fn handle_datasets(shared: &Shared) -> Response {
             Value::Object(d)
         })
         .collect();
-    Response::json(200, &json!({ "datasets": datasets }))
+    Response::json(200, &json!({ "datasets": datasets, "store_health": store_health }))
 }
 
 /// Reads a non-negative integer field, tolerating its absence.
@@ -294,19 +331,32 @@ fn u64_field(body: &Value, key: &str) -> Option<u64> {
     body.get(key).and_then(Value::as_u64)
 }
 
-fn handle_generate(request: &Request, shared: &Shared) -> Response {
+/// Renders a terminal [`JobFailure`] as the error envelope.
+fn failure_response(f: &crate::jobs::JobFailure, request_id: u64) -> Response {
+    ApiError {
+        status: f.status,
+        code: f.code,
+        message: f.message.clone(),
+        retryable: f.retryable,
+        retry_after: None,
+    }
+    .to_response(request_id)
+}
+
+fn handle_generate(request: &Request, shared: &Shared, request_id: u64) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
-        return Response::error(503, "server is draining; not accepting new work");
+        return ApiError::draining().to_response(request_id);
     }
     let Some(body) = request.json() else {
-        return Response::error(400, "request body must be a JSON object");
+        return ApiError::bad_request("request body must be a JSON object").to_response(request_id);
     };
     let Some(dataset) = body.get("dataset").and_then(Value::as_str) else {
-        return Response::error(400, "missing required field `dataset`");
+        return ApiError::bad_request("missing required field `dataset`").to_response(request_id);
     };
     // Fail unknown names before burning a queue slot.
     if !shared.catalog.contains(dataset) {
-        return Response::error(404, &format!("unknown dataset `{dataset}`"));
+        return ApiError::new(404, "dataset_not_found", format!("unknown dataset `{dataset}`"))
+            .to_response(request_id);
     }
     let deadline = match u64_field(&body, "deadline_ms") {
         Some(ms) => Some(Duration::from_millis(ms)),
@@ -319,6 +369,7 @@ fn handle_generate(request: &Request, shared: &Shared) -> Response {
     let id = shared.store.create();
     let spec = JobSpec {
         id,
+        request_id,
         dataset: dataset.to_string(),
         notebook_len: u64_field(&body, "len").unwrap_or(5) as usize,
         n_permutations: u64_field(&body, "perms").unwrap_or(200).max(1) as usize,
@@ -331,19 +382,21 @@ fn handle_generate(request: &Request, shared: &Shared) -> Response {
         Err(SubmitError::Full) => {
             shared.store.remove(id);
             shared.global.inc(Metric::AdmissionRejected);
-            return Response::error(429, "generation queue full; retry later");
+            return ApiError::queue_full().to_response(request_id);
         }
         Err(SubmitError::Closed) => {
             shared.store.remove(id);
-            return Response::error(503, "server is draining; not accepting new work");
+            return ApiError::draining().to_response(request_id);
         }
     }
     // Wait for the pipeline worker to drive the job to a terminal state.
     let _ = finished.recv();
     match shared.store.get(id) {
-        Some(JobStatus::Done(completed)) => Response::json(200, &notebook_payload(id, &completed)),
-        Some(JobStatus::Failed(f)) => Response::error(f.status, &f.message),
-        _ => Response::error(500, "job finished without a terminal state"),
+        Some(JobStatus::Done(completed)) => {
+            Response::json(200, &notebook_payload(id, request_id, &completed))
+        }
+        Some(JobStatus::Failed(f)) => failure_response(&f, request_id),
+        _ => ApiError::internal("job finished without a terminal state").to_response(request_id),
     }
 }
 
@@ -351,25 +404,39 @@ fn parse_id(raw: &str) -> Option<u64> {
     raw.parse().ok()
 }
 
-fn handle_get_notebook(raw_id: &str, shared: &Shared) -> Response {
+fn handle_get_notebook(raw_id: &str, shared: &Shared, request_id: u64) -> Response {
     let Some(id) = parse_id(raw_id) else {
-        return Response::error(400, "notebook id must be an integer");
+        return ApiError::bad_request("notebook id must be an integer").to_response(request_id);
     };
     match shared.store.get(id) {
-        None => Response::error(404, &format!("no notebook job {id}")),
-        Some(JobStatus::Done(completed)) => Response::json(200, &notebook_payload(id, &completed)),
+        None => ApiError::not_found(format!("no notebook job {id}")).to_response(request_id),
+        Some(JobStatus::Done(completed)) => {
+            Response::json(200, &notebook_payload(id, request_id, &completed))
+        }
         Some(JobStatus::Failed(f)) => Response::json(
             200,
-            &json!({ "id": id, "status": "failed", "http_status": f.status, "error": f.message }),
+            &json!({
+                "id": id,
+                "status": "failed",
+                "http_status": f.status,
+                "error": {
+                    "code": f.code,
+                    "message": f.message,
+                    "retryable": f.retryable,
+                    "request_id": request_id,
+                },
+            }),
         ),
         Some(status) => Response::json(200, &json!({ "id": id, "status": status.name() })),
     }
 }
 
-fn notebook_payload(id: u64, completed: &crate::jobs::CompletedJob) -> Value {
+fn notebook_payload(id: u64, request_id: u64, completed: &crate::jobs::CompletedJob) -> Value {
     let run = completed.session.run();
     json!({
+        "api_version": crate::error::API_VERSION,
         "id": id,
+        "request_id": request_id,
         "status": "done",
         "dataset": completed.dataset.clone(),
         "entries": run.notebook.len() as u64,
@@ -380,30 +447,32 @@ fn notebook_payload(id: u64, completed: &crate::jobs::CompletedJob) -> Value {
     })
 }
 
-fn handle_continue(raw_id: &str, request: &Request, shared: &Shared) -> Response {
+fn handle_continue(raw_id: &str, request: &Request, shared: &Shared, request_id: u64) -> Response {
     let Some(id) = parse_id(raw_id) else {
-        return Response::error(400, "session id must be an integer");
+        return ApiError::bad_request("session id must be an integer").to_response(request_id);
     };
     let completed = match shared.store.get(id) {
         Some(JobStatus::Done(c)) => c,
         Some(status) => {
-            return Response::error(
+            return ApiError::new(
                 409,
-                &format!("session {id} is {}; only done jobs can continue", status.name()),
+                "conflict",
+                format!("session {id} is {}; only done jobs can continue", status.name()),
             )
+            .to_response(request_id)
         }
-        None => return Response::error(404, &format!("no session {id}")),
+        None => return ApiError::not_found(format!("no session {id}")).to_response(request_id),
     };
     let body = request.json().unwrap_or(Value::Null);
     let anchor = u64_field(&body, "anchor").unwrap_or(0) as usize;
     let k = u64_field(&body, "k").unwrap_or(3) as usize;
     let suggestions = match completed.session.suggest(anchor, k) {
         Ok(s) => s,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => return ApiError::from_pipeline(&e).to_response(request_id),
     };
     let notebook = match completed.session.continue_notebook(&completed.table, anchor, k) {
         Ok(nb) => nb,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => return ApiError::from_pipeline(&e).to_response(request_id),
     };
     let suggestions: Vec<Value> = suggestions
         .iter()
@@ -419,7 +488,9 @@ fn handle_continue(raw_id: &str, request: &Request, shared: &Shared) -> Response
     Response::json(
         200,
         &json!({
+            "api_version": crate::error::API_VERSION,
             "id": id,
+            "request_id": request_id,
             "anchor": anchor as u64,
             "suggestions": suggestions,
             "markdown": to_markdown(&notebook),

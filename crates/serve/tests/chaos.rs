@@ -1,0 +1,339 @@
+//! Chaos tests: seeded fault plans injected under a live server.
+//!
+//! Each scenario asserts the ISSUE-level robustness contract: faults
+//! never change *answers* (notebooks stay byte-identical to a
+//! fault-free run), they only change *paths* — retries, quarantine,
+//! degradation — and every path leaves its fingerprints in `/metrics`.
+//!
+//! The fault hook is process-global, so every test serializes through
+//! [`chaos`], whose guard uninstalls the hook even on panic.
+
+use cn_fault::{FaultPlan, RetryPolicy};
+use cn_serve::{start, Catalog, DatasetSpec, Handle, Registry, ServeConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes fault-hook ownership across tests and guarantees the
+/// hook is gone when the scenario ends, pass or panic.
+struct ChaosGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        cn_fault::uninstall();
+    }
+}
+
+fn chaos() -> ChaosGuard {
+    let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cn_fault::uninstall();
+    ChaosGuard(guard)
+}
+
+/// A small CSV with a strong region→sales effect (same shape as the
+/// store tests) so default builds find significant insights quickly.
+fn signal_csv(dir: &Path, name: &str) -> PathBuf {
+    let salt = name.len() as f64;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "region,channel,sales").unwrap();
+    for i in 0..60 {
+        let region = i % 3;
+        let base = [5.0, 40.0, 90.0][region];
+        writeln!(f, "r{},c{},{:.2}", region, i % 2, base + salt + (i % 7) as f64).unwrap();
+    }
+    path
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cn-serve-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn chaos_server(dir: &Path, config: ServeConfig) -> Handle {
+    let registry = Arc::new(Registry::new());
+    let mut catalog = Catalog::new(4, registry);
+    catalog.register(DatasetSpec {
+        name: "alpha".to_string(),
+        path: signal_csv(dir, "alpha"),
+        measures: None,
+        ignore: Vec::new(),
+    });
+    start(config, catalog).expect("bind an ephemeral port")
+}
+
+/// A retry policy shaped like production but fast enough for tests.
+fn fast_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy::new(max_attempts)
+        .with_base(Duration::from_millis(2))
+        .with_cap(Duration::from_millis(10))
+}
+
+/// Minimal HTTP client returning the raw response text (status line,
+/// headers, body) — chaos assertions need headers like `Retry-After`.
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let response = raw_request(addr, method, path, body);
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let json_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .filter(|b| !b.is_empty())
+        .and_then(|b| serde_json::from_str(b).ok())
+        .unwrap_or(Value::Null);
+    (status, json_body)
+}
+
+/// Polls `/v1/datasets` until `alpha` reports `warm`.
+fn wait_warm(addr: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = request(addr, "GET", "/v1/datasets", None);
+        assert_eq!(status, 200);
+        let entry = body["datasets"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|d| d["name"].as_str() == Some("alpha"))
+            .cloned()
+            .unwrap_or(Value::Null);
+        if entry["store"].as_str() == Some("warm") {
+            return;
+        }
+        assert!(Instant::now() < deadline, "`alpha` never became warm: {entry:?}");
+        thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Generates the default notebook and returns its markdown.
+fn generate(addr: SocketAddr) -> String {
+    let (status, body) =
+        request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"alpha","len":3}"#));
+    assert_eq!(status, 200, "generation failed: {body:?}");
+    assert_eq!(body["status"], "done");
+    body["markdown"].as_str().expect("markdown in response").to_string()
+}
+
+fn health(addr: SocketAddr) -> String {
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    body["status"].as_str().unwrap().to_string()
+}
+
+#[test]
+fn flapping_store_reads_retry_to_a_byte_identical_notebook() {
+    let _guard = chaos();
+    let dir = temp_dir("flap");
+    let handle = chaos_server(
+        &dir,
+        ServeConfig {
+            store_dir: Some(dir.join("store")),
+            store_retry: fast_retry(3),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    wait_warm(addr);
+
+    // Fault-free baseline: the hooks are installed but empty, so they
+    // must be inert — no retries, no injections.
+    let baseline = generate(addr);
+    let report = handle.registry().report();
+    assert_eq!(report.counter("faults_injected"), 0, "no hook, no faults");
+    assert_eq!(report.counter("retry_attempts"), 0, "no faults, no retries");
+    assert!(report.counter("store_hits") >= 1, "baseline warm-started");
+
+    // The next two store reads fail with an injected EIO; the third
+    // succeeds. The default-path request must retry through the window
+    // and produce the exact same bytes.
+    cn_fault::install(Arc::new(
+        FaultPlan::seeded(42).fail("store.read", 0, 2, "EIO").observe(handle.registry().clone()),
+    ));
+    let under_faults = generate(addr);
+    assert_eq!(under_faults, baseline, "faults must never change the notebook");
+
+    let report = handle.registry().report();
+    assert!(report.counter("retry_attempts") >= 2, "two flaps, two retries");
+    assert!(report.counter("faults_injected") >= 2);
+    assert!(report.counter("store_hits") >= 2, "the third read warm-started");
+    assert_eq!(health(addr), "ok", "recovered reads never degrade the store");
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_artifacts_are_quarantined_and_rebuilt() {
+    let _guard = chaos();
+    let dir = temp_dir("quarantine");
+    let store_dir = dir.join("store");
+    let handle = chaos_server(
+        &dir,
+        ServeConfig {
+            store_dir: Some(store_dir.clone()),
+            store_retry: fast_retry(3),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    wait_warm(addr);
+    let baseline = generate(addr);
+
+    // One bit of the next artifact read flips: the checksum catches it,
+    // the request falls back cold (same bytes out), and the damaged
+    // file is moved aside — evidence preserved, never clobbered.
+    cn_fault::install(Arc::new(
+        FaultPlan::seeded(7)
+            .corrupt_bytes("store.read.bytes", 0, 1)
+            .observe(handle.registry().clone()),
+    ));
+    let under_faults = generate(addr);
+    assert_eq!(under_faults, baseline, "cold fallback produces identical bytes");
+
+    let report = handle.registry().report();
+    assert!(report.counter("store_invalid") >= 1, "corruption detected");
+    assert!(report.counter("store_quarantined") >= 1, "artifact quarantined");
+    assert!(
+        store_dir.join("alpha.cnstore.quarantined").exists(),
+        "the damaged artifact is preserved on disk"
+    );
+
+    // The rebuild restores a warm artifact at the original path while
+    // the quarantined copy stays put.
+    cn_fault::uninstall();
+    wait_warm(addr);
+    assert!(store_dir.join("alpha.cnstore").exists(), "rebuilt at the original path");
+    assert!(store_dir.join("alpha.cnstore.quarantined").exists(), "evidence still there");
+    assert_eq!(generate(addr), baseline, "rebuilt artifact replays identically");
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_store_failure_degrades_then_recovers() {
+    let _guard = chaos();
+    let dir = temp_dir("degrade");
+    let handle = chaos_server(
+        &dir,
+        ServeConfig {
+            store_dir: Some(dir.join("store")),
+            store_retry: fast_retry(2),
+            degrade_after: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    wait_warm(addr);
+    let baseline = generate(addr);
+    assert_eq!(health(addr), "ok");
+
+    // Every store read fails: the first exhausted retry crosses the
+    // (threshold 1) failure streak and degrades the store. Requests
+    // keep succeeding on the cold path with identical bytes.
+    cn_fault::install(Arc::new(
+        FaultPlan::seeded(3)
+            .fail("store.read", 0, u64::MAX, "EIO")
+            .observe(handle.registry().clone()),
+    ));
+    assert_eq!(generate(addr), baseline, "degraded service still answers correctly");
+    assert_eq!(health(addr), "degraded");
+    let (status, body) = request(addr, "GET", "/v1/datasets", None);
+    assert_eq!(status, 200);
+    assert_eq!(body["store_health"], "degraded");
+    let report = handle.registry().report();
+    assert_eq!(report.counter("degraded_transitions"), 1, "one edge into degraded");
+
+    // Degraded mode fails fast: a second request stays cold and does
+    // not re-count the transition.
+    assert_eq!(generate(addr), baseline);
+    assert_eq!(health(addr), "degraded");
+    assert_eq!(handle.registry().report().counter("degraded_transitions"), 1);
+
+    // The disk heals (hook removed): the first successful read flips
+    // the store back to healthy — the second transition edge.
+    cn_fault::uninstall();
+    assert_eq!(generate(addr), baseline);
+    assert_eq!(health(addr), "ok");
+    let report = handle.registry().report();
+    assert_eq!(report.counter("degraded_transitions"), 2, "degraded → recovered");
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_shedding_replies_carry_retry_after_and_the_envelope() {
+    let _guard = chaos();
+    let dir = temp_dir("shed");
+    let handle = chaos_server(
+        &dir,
+        ServeConfig {
+            store_dir: Some(dir.join("store")),
+            store_retry: fast_retry(1),
+            pipeline_workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    wait_warm(addr);
+
+    // Every store read stalls 400 ms: one worker and a depth-1 queue
+    // guarantee a concurrent burst overflows admission.
+    cn_fault::install(Arc::new(FaultPlan::seeded(9).delay("store.read", 0, u64::MAX, 400)));
+    let burst: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(move || {
+                raw_request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"alpha","len":3}"#))
+            })
+        })
+        .collect();
+    let responses: Vec<String> = burst.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let rejected: Vec<&String> =
+        responses.iter().filter(|r| r.starts_with("HTTP/1.1 429")).collect();
+    assert!(!rejected.is_empty(), "burst should overflow admission: {responses:?}");
+    for response in rejected {
+        assert!(response.contains("Retry-After: 1\r\n"), "429 without Retry-After: {response}");
+        let body: Value = serde_json::from_str(response.split_once("\r\n\r\n").unwrap().1).unwrap();
+        assert_eq!(body["error"]["code"], "queue_full", "429 body: {body}");
+        assert_eq!(body["error"]["retryable"], true, "load shedding is retryable");
+    }
+    assert!(
+        responses.iter().any(|r| r.starts_with("HTTP/1.1 200")),
+        "admitted requests still complete"
+    );
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

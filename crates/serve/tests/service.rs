@@ -19,6 +19,22 @@ fn schema_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/metrics.schema.json")
 }
 
+fn error_schema() -> Value {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/api_error.schema.json");
+    serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+/// Every 4xx/5xx body must be a versioned envelope that validates
+/// against `schemas/api_error.schema.json`; returns its request id.
+fn assert_envelope(body: &Value, code: &str) -> u64 {
+    if let Err(violations) = cn_obs::schema::validate(body, &error_schema()) {
+        panic!("error body violates api_error.schema.json: {violations:?}\nbody: {body}");
+    }
+    assert_eq!(body["error"]["code"].as_str().unwrap(), code, "body: {body}");
+    body["error"]["request_id"].as_u64().unwrap()
+}
+
 fn test_server(queue_depth: usize, pipeline_workers: usize) -> Handle {
     let registry = Arc::new(Registry::new());
     let mut catalog = Catalog::new(4, registry);
@@ -116,19 +132,27 @@ fn concurrent_generation_over_a_cached_catalog() {
     assert!(!body["suggestions"].as_array().unwrap().is_empty());
     assert!(body["markdown"].as_str().unwrap().contains("Continuation"));
 
-    // Unknown datasets and unknown jobs are typed 404s.
-    let (status, _) = request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"nope"}"#));
+    // Unknown datasets and unknown jobs are typed 404 envelopes.
+    let (status, body) = request(addr, "POST", "/v1/notebooks", Some(r#"{"dataset":"nope"}"#));
     assert_eq!(status, 404);
-    let (status, _) = request(addr, "GET", "/v1/notebooks/99999", None);
+    let missing_dataset_id = assert_envelope(&body, "dataset_not_found");
+    let (status, body) = request(addr, "GET", "/v1/notebooks/99999", None);
     assert_eq!(status, 404);
+    assert_envelope(&body, "not_found");
 
-    // /metrics validates against the repository schema.
+    // /metrics validates against the repository schema, and the failed
+    // request's id appears as a `request` span value in the span tree.
     let (status, metrics) = request(addr, "GET", "/metrics", None);
     assert_eq!(status, 200);
     let schema_text = std::fs::read_to_string(schema_path()).unwrap();
     let schema: Value = serde_json::from_str(&schema_text).unwrap();
     cn_core_schema_validate(&metrics, &schema);
     assert!(metrics["counters"]["http_requests"].as_u64().unwrap() >= 12);
+    assert!(
+        span_values(&metrics["spans"]).contains(&missing_dataset_id),
+        "request id {missing_dataset_id} missing from span tree: {}",
+        metrics["spans"]
+    );
 
     handle.shutdown();
     handle.join();
@@ -139,6 +163,41 @@ fn cn_core_schema_validate(value: &Value, schema: &Value) {
     if let Err(violations) = cn_obs::schema::validate(value, schema) {
         panic!("/metrics violates schemas/metrics.schema.json: {violations:?}");
     }
+}
+
+#[test]
+fn shipped_examples_match_the_api_shapes() {
+    let examples = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let read = |name: &str| -> Value {
+        serde_json::from_str(&std::fs::read_to_string(examples.join(name)).unwrap())
+            .unwrap_or_else(|e| panic!("{name} is not valid JSON: {e:?}"))
+    };
+
+    let request = read("serve_request.json");
+    assert!(request["dataset"].is_string(), "request names a dataset");
+
+    let response = read("serve_response.json");
+    assert_eq!(response["api_version"].as_u64(), Some(cn_serve::API_VERSION));
+    assert!(response["request_id"].is_number(), "success payloads carry the request id");
+    assert_eq!(response["status"], "done");
+
+    let error = read("serve_error.json");
+    if let Err(violations) = cn_obs::schema::validate(&error, &error_schema()) {
+        panic!("serve_error.json violates api_error.schema.json: {violations:?}");
+    }
+}
+
+/// The `value` tags of every `request` span in a `/metrics` span array.
+fn span_values(spans: &Value) -> Vec<u64> {
+    spans
+        .as_array()
+        .map(|all| {
+            all.iter()
+                .filter(|s| s["name"] == "request")
+                .filter_map(|s| s["value"].as_u64())
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 #[test]
@@ -170,6 +229,12 @@ fn overflow_is_rejected_with_429_and_deadlines_cancel() {
     let accepted = burst_results.iter().filter(|(s, _)| *s == 200).count();
     assert!(rejected >= 2, "expected admission rejections, got {burst_results:?}");
     assert!(accepted >= 1, "the queued request should complete");
+    for (status, body) in &burst_results {
+        if *status == 429 {
+            assert_envelope(body, "queue_full");
+            assert_eq!(body["error"]["retryable"], true, "load shedding is retryable");
+        }
+    }
     let (slow_status, _) = slow.join().unwrap();
     assert_eq!(slow_status, 200);
 
@@ -182,7 +247,8 @@ fn overflow_is_rejected_with_429_and_deadlines_cancel() {
         Some(r#"{"dataset":"covid","len":3,"perms":99,"deadline_ms":0}"#),
     );
     assert_eq!(status, 408, "expected cancellation, got {body:?}");
-    assert!(body["error"].as_str().unwrap().contains("deadline"));
+    assert_envelope(&body, "deadline_exceeded");
+    assert!(body["error"]["message"].as_str().unwrap().contains("deadline"));
 
     // The worker pool survives cancellation: the next request succeeds.
     let (status, body) =

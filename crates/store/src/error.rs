@@ -55,9 +55,31 @@ impl fmt::Display for StoreError {
 
 impl Error for StoreError {}
 
+/// Retry only what a second attempt can plausibly fix: filesystem
+/// failures are transient (flaky NFS, EIO under pressure); a corrupt,
+/// mismatched, or missing artifact looks exactly the same on every
+/// read and must fall through to quarantine / cold-path handling
+/// instead of burning backoff budget.
+impl cn_fault::Retryable for StoreError {
+    fn retryable(&self) -> bool {
+        matches!(self, StoreError::Io { .. })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn only_io_is_retryable() {
+        use cn_fault::Retryable;
+        assert!(StoreError::Io { path: "x".into(), message: "eio".into() }.retryable());
+        assert!(!StoreError::BadMagic.retryable());
+        assert!(!StoreError::Corrupt("checksum".into()).retryable());
+        assert!(!StoreError::NotFound("demo".into()).retryable());
+        assert!(!StoreError::Version { found: 9, supported: 1 }.retryable());
+        assert!(!StoreError::Invalid("bad".into()).retryable());
+    }
 
     #[test]
     fn display_names_the_problem() {

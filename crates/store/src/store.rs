@@ -60,11 +60,19 @@ impl Store {
 
     /// Persist an artifact under its dataset name. Returns the number
     /// of bytes written.
+    ///
+    /// Fault sites: `store.write` (maps to [`StoreError::Io`]) and
+    /// `store.write.bytes` (corrupts the encoded envelope before it
+    /// reaches disk). Both are no-ops unless a chaos test installs a
+    /// plan via `cn-fault`'s `injection` feature.
     pub fn save(&self, artifact: &StoreArtifact) -> Result<u64, StoreError> {
         let payload = serde_json::to_string(&artifact.to_json())
             .map_err(|e| StoreError::Invalid(format!("serialize: {e}")))?;
-        let bytes = encode_envelope(payload.as_bytes());
+        let mut bytes = encode_envelope(payload.as_bytes());
         let path = self.path_for(&artifact.dataset);
+        cn_fault::point("store.write")
+            .map_err(|f| StoreError::Io { path: path.display().to_string(), message: f.message })?;
+        cn_fault::corrupt("store.write.bytes", &mut bytes);
         let tmp = path.with_extension(format!("{EXTENSION}.tmp"));
         fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
         fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
@@ -72,15 +80,23 @@ impl Store {
     }
 
     /// Load and validate the artifact for `dataset`.
+    ///
+    /// Fault sites: `store.read` (maps to [`StoreError::Io`]) and
+    /// `store.read.bytes` (corrupts the bytes after they are read, so
+    /// the checksum check sees damage exactly as a bad disk would
+    /// present it).
     pub fn load(&self, dataset: &str) -> Result<StoreArtifact, StoreError> {
         let path = self.path_for(dataset);
-        let bytes = match fs::read(&path) {
+        cn_fault::point("store.read")
+            .map_err(|f| StoreError::Io { path: path.display().to_string(), message: f.message })?;
+        let mut bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(StoreError::NotFound(dataset.to_string()))
             }
             Err(e) => return Err(io_err(&path, e)),
         };
+        cn_fault::corrupt("store.read.bytes", &mut bytes);
         let payload = decode_envelope(&bytes)?;
         let text = std::str::from_utf8(payload)
             .map_err(|e| StoreError::Corrupt(format!("payload not UTF-8: {e}")))?;
@@ -111,6 +127,27 @@ impl Store {
         }
         names.sort();
         Ok(names)
+    }
+
+    /// Move a damaged artifact aside for post-mortem instead of
+    /// deleting it: `<file>.cnstore` becomes `<file>.cnstore.quarantined`
+    /// (or `.quarantined.1`, `.quarantined.2`, … — an earlier quarantine
+    /// is evidence and is never clobbered). Returns the destination
+    /// path, or `Ok(None)` if no artifact existed.
+    pub fn quarantine(&self, dataset: &str) -> Result<Option<PathBuf>, StoreError> {
+        let path = self.path_for(dataset);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let base = format!("{}.quarantined", path.display());
+        let mut dest = PathBuf::from(&base);
+        let mut n = 0u32;
+        while dest.exists() {
+            n += 1;
+            dest = PathBuf::from(format!("{base}.{n}"));
+        }
+        fs::rename(&path, &dest).map_err(|e| io_err(&path, e))?;
+        Ok(Some(dest))
     }
 
     /// Delete the artifact for `dataset`; `Ok(false)` if none existed.
@@ -206,6 +243,27 @@ mod tests {
         bytes[mid] ^= 0x01;
         fs::write(&path, &bytes).unwrap();
         assert!(matches!(store.load("flip").unwrap_err(), StoreError::Corrupt(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_aside_and_never_clobbers() {
+        let dir = tmp_dir("quarantine");
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.quarantine("absent").unwrap(), None);
+
+        let a = artifact("sick");
+        store.save(&a).unwrap();
+        let first = store.quarantine("sick").unwrap().unwrap();
+        assert!(first.to_string_lossy().ends_with(".cnstore.quarantined"));
+        assert!(first.is_file());
+        assert!(!store.contains("sick"));
+
+        store.save(&a).unwrap();
+        let second = store.quarantine("sick").unwrap().unwrap();
+        assert!(second.to_string_lossy().ends_with(".quarantined.1"));
+        assert!(first.is_file(), "earlier quarantine untouched");
+        assert!(second.is_file());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test of the cn-serve HTTP service against the bundled demo CSV:
 # start the server, generate a notebook, continue the session, pull
-# /metrics, and validate the report against the checked-in schema.
+# /metrics, validate the report against the checked-in schema, and
+# check that failures answer with the versioned error envelope.
 set -euo pipefail
 
 PORT="${PORT:-7979}"
@@ -14,10 +15,13 @@ if [ -z "${SKIP_BUILD:-}" ]; then
   cargo build --release -p cn-bench --bin repro
 fi
 
+# One pipeline worker and a shallow queue so the load-shedding burst at
+# the end overflows deterministically; the sequential requests before it
+# never queue more than one job.
 ./target/release/cn serve \
   --port "${PORT}" \
   --dataset covid=data/covid_sample.csv \
-  --queue-depth 8 --serve-workers 2 --threads 2 &
+  --queue-depth 2 --serve-workers 1 --threads 2 &
 SERVER_PID=$!
 trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
 
@@ -54,4 +58,34 @@ grep -q '"groupby_cache_hits": *[1-9]' "${METRICS_OUT}"
 
 ./target/release/repro validate-metrics "${METRICS_OUT}" \
   --schema schemas/metrics.schema.json
+
+# --- failure envelopes -------------------------------------------------
+# Every 4xx/5xx answers with the versioned envelope
+# (schemas/api_error.schema.json): machine code + retryability +
+# request id. First: an unknown dataset is a 404 dataset_not_found.
+STATUS=$(curl -s -o /tmp/cn_smoke_404.json -w '%{http_code}' \
+  -X POST "${BASE}/v1/notebooks" -d '{"dataset": "nope"}')
+[ "${STATUS}" = "404" ]
+grep -q '"api_version": *1' /tmp/cn_smoke_404.json
+grep -q '"code": *"dataset_not_found"' /tmp/cn_smoke_404.json
+grep -q '"request_id": *[1-9]' /tmp/cn_smoke_404.json
+
+# Then: a burst of slow jobs against the single worker and depth-2
+# queue must shed at least one request with 429 queue_full and a
+# Retry-After header.
+for i in $(seq 1 6); do
+  curl -s -D "/tmp/cn_smoke_h${i}" -o "/tmp/cn_smoke_b${i}" \
+    -X POST "${BASE}/v1/notebooks" \
+    -d '{"dataset": "covid", "len": 2, "perms": 20000}' &
+done
+wait
+SHED=""
+for i in $(seq 1 6); do
+  if grep -q '^HTTP/1.1 429' "/tmp/cn_smoke_h${i}"; then SHED="${i}"; break; fi
+done
+[ -n "${SHED}" ] || { echo "burst never overflowed admission"; exit 1; }
+grep -qi '^Retry-After: *1' "/tmp/cn_smoke_h${SHED}"
+grep -q '"code": *"queue_full"' "/tmp/cn_smoke_b${SHED}"
+grep -q '"retryable": *true' "/tmp/cn_smoke_b${SHED}"
+
 echo "serve smoke passed"
