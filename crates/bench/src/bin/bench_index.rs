@@ -1,0 +1,180 @@
+//! `bench_index` — similarity-index throughput and determinism.
+//!
+//! Builds a synthetic corpus of notebook documents, measures insert and
+//! top-k search throughput at 1/4/8 scoring threads, round-trips the
+//! corpus through a CNIDX file, and writes `BENCH_index.json`. The run
+//! *asserts* the two properties the index is allowed to be fast because
+//! of: every query ranks bit-identically across thread counts, and
+//! bit-identically before and after save/load.
+//!
+//! ```bash
+//! cargo run -p cn-bench --release --bin bench_index -- --out BENCH_index.json
+//! ```
+
+use cn_core::index::{document, load, save, Document, Index, ScoreKind};
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_index [--out PATH] [--docs N] [--queries N] [--k N] [--small]\n\
+         defaults: --out BENCH_index.json --docs 2000 --queries 200 --k 10\n\
+         --small: 200 docs, 50 queries (CI-sized)"
+    );
+    std::process::exit(2)
+}
+
+struct Opts {
+    out: PathBuf,
+    docs: usize,
+    queries: usize,
+    k: usize,
+}
+
+fn parse() -> Opts {
+    let mut opts = Opts { out: PathBuf::from("BENCH_index.json"), docs: 2000, queries: 200, k: 10 };
+    let rest: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |rest: &[String], i: &mut usize| -> String {
+        *i += 1;
+        rest.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => opts.out = PathBuf::from(value(&rest, &mut i)),
+            "--docs" => opts.docs = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--queries" => opts.queries = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--k" => opts.k = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--small" => {
+                opts.docs = 200;
+                opts.queries = 50;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts.docs = opts.docs.max(1);
+    opts.queries = opts.queries.max(1);
+    opts.k = opts.k.max(1);
+    opts
+}
+
+/// A synthetic notebook document: overlapping term families shaped like
+/// real signatures (a handful of attributes/measures shared across many
+/// notebooks), deterministic in `i`.
+fn synthetic_doc(i: usize) -> Document {
+    let mut terms = Vec::new();
+    terms.push((format!("group:attr{}", i % 17), 1.0 + (i % 3) as f64));
+    terms.push((format!("select:attr{}", i % 11), 1.0));
+    terms.push((format!("measure:m{}", i % 7), 2.0));
+    terms.push((format!("agg:{}", if i.is_multiple_of(2) { "avg" } else { "sum" }), 1.0));
+    terms.push((format!("val:v{}", i % 29), 1.0));
+    terms.push((format!("val:v{}", (i * 13) % 29), 1.0));
+    terms.push((format!("pair:v{}|v{}", i % 29, (i * 13) % 29), 1.0));
+    terms.push((
+        format!("type:{}", if i.is_multiple_of(5) { "variance_greater" } else { "mean_greater" }),
+        1.0,
+    ));
+    terms.push((format!("sig:{}", i % 4), 1.0));
+    document(format!("ds{}", i % 5), format!("Synthetic notebook {i}"), 3 + (i % 6) as u64, terms)
+}
+
+/// Query q: a partial signature overlapping several documents.
+fn synthetic_query(q: usize) -> Vec<(String, f64)> {
+    vec![
+        (format!("group:attr{}", q % 17), 1.0),
+        (format!("measure:m{}", q % 7), 1.0),
+        (format!("val:v{}", (q * 3) % 29), 1.0),
+    ]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Bit-comparable ranking of every query at `threads`.
+fn rankings(index: &Index, queries: usize, k: usize, threads: usize) -> Vec<Vec<(String, u64)>> {
+    (0..queries)
+        .map(|q| {
+            index
+                .search(&synthetic_query(q), k, ScoreKind::Cosine, threads)
+                .into_iter()
+                .map(|h| (h.id, h.score.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse();
+
+    let docs: Vec<Document> = (0..opts.docs).map(synthetic_doc).collect();
+    let insert_started = Instant::now();
+    let mut index = Index::new();
+    for d in &docs {
+        index.insert(d.clone());
+    }
+    let insert_time = insert_started.elapsed();
+    assert!(index.len() >= 100.min(opts.docs), "corpus too small to say anything");
+
+    // Search throughput per thread count, plus the ranking for the
+    // invariance check.
+    let mut search_ms = Vec::new();
+    let mut per_thread = Vec::new();
+    for &threads in &[1usize, 4, 8] {
+        let started = Instant::now();
+        let ranking = rankings(&index, opts.queries, opts.k, threads);
+        let elapsed = started.elapsed();
+        search_ms.push(json!({
+            "threads": threads as u64,
+            "total_ms": ms(elapsed),
+            "searches_per_sec": opts.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        }));
+        per_thread.push(ranking);
+    }
+    let identical_across_threads = per_thread.iter().all(|r| *r == per_thread[0]);
+    assert!(identical_across_threads, "ranking changed with the thread count");
+
+    // Round-trip through a CNIDX file.
+    let dir = std::env::temp_dir().join(format!("cn-bench-index-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("bench.cnidx");
+    let save_started = Instant::now();
+    let file_bytes = save(&index, &path).expect("save index");
+    let save_time = save_started.elapsed();
+    let load_started = Instant::now();
+    let reloaded = load(&path).expect("load index");
+    let load_time = load_started.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+    let roundtrip_identical = rankings(&reloaded, opts.queries, opts.k, 4) == per_thread[0];
+    assert!(roundtrip_identical, "ranking changed across save/load");
+
+    let single_thread_ms = search_ms[0]["total_ms"].as_f64().unwrap_or(0.0);
+    let payload = json!({
+        "docs": opts.docs as u64,
+        "queries": opts.queries as u64,
+        "k": opts.k as u64,
+        "insert_ms": ms(insert_time),
+        "inserts_per_sec": opts.docs as f64 / insert_time.as_secs_f64().max(1e-9),
+        "search": search_ms,
+        "save_ms": ms(save_time),
+        "load_ms": ms(load_time),
+        "file_bytes": file_bytes,
+        "identical_across_threads": identical_across_threads,
+        "roundtrip_identical": roundtrip_identical,
+    });
+    let rendered = serde_json::to_string_pretty(&payload).expect("render report");
+    std::fs::write(&opts.out, rendered).expect("write report");
+    eprintln!(
+        "{} docs inserted in {:.1} ms; {} searches: {:.1} ms @1t, save {:.1} ms, load {:.1} ms",
+        opts.docs,
+        ms(insert_time),
+        opts.queries,
+        single_thread_ms,
+        ms(save_time),
+        ms(load_time)
+    );
+    eprintln!("wrote {}", opts.out.display());
+}

@@ -24,6 +24,9 @@ fn usage() -> ! {
            cn store build [options]      precompute warm-start artifacts\n\
            cn store inspect [options]    describe the artifacts in a store\n\
            cn store verify [options]     check artifacts against their datasets\n\
+           cn index build [options]      generate notebooks and index their signatures\n\
+           cn index search [options]     top-k similar notebooks for a query\n\
+           cn index inspect [options]    list the documents in an index\n\
          \n\
          SERVE OPTIONS:\n\
            --port N           listen port (default 7878; 0 = ephemeral)\n\
@@ -33,6 +36,8 @@ fn usage() -> ! {
            --serve-workers N  pipeline worker threads (default 2)\n\
            --deadline-ms N    default per-request deadline (default: none)\n\
            --store-dir DIR    warm-start artifact store + precompute worker\n\
+           --index-path FILE  similarity index + background indexer\n\
+                              (enables /v1/search and /v1/notebooks/ID/similar)\n\
          \n\
          STORE OPTIONS:\n\
            --store-dir DIR    artifact directory (required)\n\
@@ -40,6 +45,15 @@ fn usage() -> ! {
            --demo-data        use the built-in demo dataset as `demo`\n\
            (build/verify also honor --perms, --seed, --sample, --threads;\n\
             defaults match the server's default request)\n\
+         \n\
+         INDEX OPTIONS:\n\
+           --index-path FILE  CNIDX index file (required)\n\
+           --query TEXT       search query, e.g. \"group:month measure:cases\"\n\
+           --k N              hits to return (default 5)\n\
+           --mode M           cosine | jaccard (default cosine)\n\
+           --dataset NAME=CSV dataset to build from (repeatable)\n\
+           --demo-data        use the built-in demo dataset as `demo`\n\
+           (build also honors --len, --perms, --seed, --sample, --threads)\n\
          \n\
          OPTIONS:\n\
            --measures a,b,c   treat these columns as measures (default: inferred)\n\
@@ -81,6 +95,10 @@ struct Args {
     serve_workers: usize,
     deadline_ms: Option<u64>,
     store_dir: Option<PathBuf>,
+    index_path: Option<PathBuf>,
+    query: Option<String>,
+    k: usize,
+    mode: String,
 }
 
 fn parse_args() -> Args {
@@ -108,6 +126,10 @@ fn parse_args() -> Args {
         serve_workers: 2,
         deadline_ms: None,
         store_dir: None,
+        index_path: None,
+        query: None,
+        k: 5,
+        mode: "cosine".to_string(),
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -150,6 +172,10 @@ fn parse_args() -> Args {
                 args.deadline_ms = Some(value(&rest, &mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--store-dir" => args.store_dir = Some(PathBuf::from(value(&rest, &mut i))),
+            "--index-path" => args.index_path = Some(PathBuf::from(value(&rest, &mut i))),
+            "--query" => args.query = Some(value(&rest, &mut i)),
+            "--k" => args.k = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--mode" => args.mode = value(&rest, &mut i),
             flag if flag.starts_with("--") => usage(),
             path if args.input.is_none() => args.input = Some(PathBuf::from(path)),
             _ => usage(),
@@ -391,6 +417,7 @@ fn cmd_serve(args: &Args) {
         default_deadline: args.deadline_ms.map(std::time::Duration::from_millis),
         run_threads: args.threads,
         store_dir: args.store_dir.clone(),
+        index_path: args.index_path.clone(),
         ..ServeConfig::default()
     };
     let handle = match start(config, catalog) {
@@ -402,6 +429,9 @@ fn cmd_serve(args: &Args) {
     };
     if let Some(dir) = &args.store_dir {
         eprintln!("warm-start store at {}; precompute worker running", dir.display());
+    }
+    if let Some(path) = &args.index_path {
+        eprintln!("similarity index at {}; background indexer running", path.display());
     }
     eprintln!("cn-serve listening on http://{}", handle.addr());
     eprintln!("  POST /v1/notebooks {{\"dataset\": \"demo\", \"len\": 5}}");
@@ -559,6 +589,100 @@ fn cmd_store(args: &Args) {
     }
 }
 
+fn cmd_index(args: &Args) {
+    use cn_core::index::{load, load_or_rebuild, parse_query, save, ScoreKind};
+
+    let sub = args.input.as_ref().and_then(|p| p.to_str()).unwrap_or_else(|| usage());
+    let path = args.index_path.clone().unwrap_or_else(|| usage());
+    match sub {
+        "build" => {
+            // Build *into* the existing corpus: re-running dedups by
+            // content id instead of clobbering earlier registrations.
+            let (mut index, _) = load_or_rebuild(&path);
+            let mut config = store_config(args);
+            config.budgets = Budgets {
+                epsilon_t: args.len as f64,
+                epsilon_d: args.epsilon_d.unwrap_or(
+                    0.5 * cn_core::interest::DistanceWeights::default().max_distance()
+                        * args.len.max(1) as f64,
+                ),
+            };
+            for (name, table) in cli_datasets(args) {
+                let started = std::time::Instant::now();
+                let run = match cn_core::pipeline::run(&table, &config) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error generating `{name}`: {e}");
+                        exit(1)
+                    }
+                };
+                let doc = cn_core::pipeline::index_document(&table, &run, &name);
+                let id = doc.id.clone();
+                let fresh = index.insert(doc);
+                eprintln!(
+                    "{} `{name}` in {:.1?}: {} entries, document {id}",
+                    if fresh { "indexed" } else { "already indexed" },
+                    started.elapsed(),
+                    run.notebook.entries.len(),
+                );
+            }
+            match save(&index, &path) {
+                Ok(bytes) => eprintln!(
+                    "saved {} documents ({bytes} bytes) to {}",
+                    index.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("error saving {}: {e}", path.display());
+                    exit(1)
+                }
+            }
+        }
+        "search" => {
+            let query = args.query.clone().unwrap_or_else(|| usage());
+            let Some(kind) = ScoreKind::parse(&args.mode) else { usage() };
+            let index = match load(&path) {
+                Ok(ix) => ix,
+                Err(e) => {
+                    eprintln!("error loading {}: {e}", path.display());
+                    exit(1)
+                }
+            };
+            let hits = index.search(&parse_query(&query), args.k, kind, args.threads);
+            if hits.is_empty() {
+                println!("no matches among {} documents", index.len());
+            }
+            for h in hits {
+                println!(
+                    "{:.4}  {:<12} {} ({} entries, {})",
+                    h.score, h.dataset, h.title, h.entries, h.id
+                );
+            }
+        }
+        "inspect" => {
+            let index = match load(&path) {
+                Ok(ix) => ix,
+                Err(e) => {
+                    eprintln!("error loading {}: {e}", path.display());
+                    exit(1)
+                }
+            };
+            println!("{}: {} documents", path.display(), index.len());
+            for d in index.docs() {
+                println!(
+                    "{}  {:<12} {} ({} entries, {} terms)",
+                    d.id,
+                    d.dataset,
+                    d.title,
+                    d.entries,
+                    d.terms.len()
+                );
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -566,6 +690,7 @@ fn main() {
         "run" => cmd_run(&args),
         "serve" => cmd_serve(&args),
         "store" => cmd_store(&args),
+        "index" => cmd_index(&args),
         "notebook" => {
             let table = load_table(&args);
             cmd_notebook(&args, table);

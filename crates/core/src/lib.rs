@@ -42,11 +42,13 @@
 //! | [`pipeline`] | the end-to-end generators of Tables 3 and 7 |
 //! | [`serve`] | HTTP service: dataset catalog, admission control, cancellation |
 //! | [`store`] | persistent precomputed-insight store (warm-start artifacts) |
+//! | [`index`] | persistent notebook similarity index (signatures, top-k search) |
 //! | [`datagen`] | synthetic datasets shaped like Table 2 |
 //! | [`study`] | the simulated user study of Figure 10 |
 
 pub use cn_datagen as datagen;
 pub use cn_engine as engine;
+pub use cn_index as index;
 pub use cn_insight as insight;
 pub use cn_interest as interest;
 pub use cn_notebook as notebook;

@@ -1,0 +1,87 @@
+//! The failure taxonomy of the index: every way an index file can be
+//! missing, stale, or damaged is a typed variant, mirroring
+//! `cn_store::StoreError` — the serving layer's contract is "fall back
+//! to a cold rebuild, never panic".
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an index operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// Filesystem failure (open/read/write/rename).
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// The file does not start with the `CNIDX` magic — not an index
+    /// file at all.
+    BadMagic,
+    /// The index was written by an incompatible format version.
+    Version {
+        /// Version found in the envelope.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The envelope is truncated or its checksum does not match — the
+    /// bytes on disk are damaged.
+    Corrupt(String),
+    /// The payload parsed but violates the index invariants (duplicate
+    /// document id, negative term weight, malformed fingerprint).
+    Invalid(String),
+    /// No index file exists at this path.
+    NotFound(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Io { path, message } => write!(f, "index I/O error on {path}: {message}"),
+            IndexError::BadMagic => write!(f, "not a cn-index file (bad magic)"),
+            IndexError::Version { found, supported } => {
+                write!(f, "index format version {found} unsupported (this build reads {supported})")
+            }
+            IndexError::Corrupt(what) => write!(f, "corrupt index: {what}"),
+            IndexError::Invalid(what) => write!(f, "invalid index: {what}"),
+            IndexError::NotFound(path) => write!(f, "no index file at `{path}`"),
+        }
+    }
+}
+
+impl Error for IndexError {}
+
+/// Same retry discipline as the store: only filesystem failures are
+/// transient; deterministic damage must fall through to quarantine and
+/// a cold rebuild instead of burning backoff budget.
+impl cn_fault::Retryable for IndexError {
+    fn retryable(&self) -> bool {
+        matches!(self, IndexError::Io { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_io_is_retryable() {
+        use cn_fault::Retryable;
+        assert!(IndexError::Io { path: "x".into(), message: "eio".into() }.retryable());
+        assert!(!IndexError::BadMagic.retryable());
+        assert!(!IndexError::Corrupt("checksum".into()).retryable());
+        assert!(!IndexError::NotFound("p".into()).retryable());
+        assert!(!IndexError::Version { found: 9, supported: 1 }.retryable());
+        assert!(!IndexError::Invalid("bad".into()).retryable());
+    }
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = IndexError::Version { found: 9, supported: 1 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('1'));
+        assert!(IndexError::NotFound("a/b.cnidx".into()).to_string().contains("a/b.cnidx"));
+        assert!(IndexError::Corrupt("checksum".into()).to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The on-disk `CNIDX` envelope.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"CNINDEX\n"
+//! 8       4     format version, u32 LE
+//! 12      8     payload length, u64 LE
+//! 20      n     payload (JSON-encoded document list)
+//! 20+n    8     FNV-1a-64 checksum of the payload, u64 LE
+//! ```
+//!
+//! Same layout and check order as the `CNSTORE` envelope — minimum
+//! length, magic, version, declared length against actual bytes,
+//! checksum — each failure a distinct [`IndexError`] so the serving
+//! layer can count version skew separately from bit rot before falling
+//! back to a cold rebuild.
+
+use crate::error::IndexError;
+
+/// File magic; the trailing newline keeps accidental text files out.
+pub const MAGIC: [u8; 8] = *b"CNINDEX\n";
+
+/// Format version written by this build; bumped on any layout change to
+/// the envelope or the payload schema.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 8;
+const CHECKSUM_LEN: usize = 8;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wrap a payload in the versioned, checksummed envelope.
+pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out
+}
+
+/// Unwrap an envelope, returning the payload slice.
+pub fn decode_envelope(bytes: &[u8]) -> Result<&[u8], IndexError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(IndexError::Corrupt(format!(
+            "file too short: {} bytes, envelope needs at least {}",
+            bytes.len(),
+            HEADER_LEN + CHECKSUM_LEN
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(IndexError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(IndexError::Version { found: version, supported: FORMAT_VERSION });
+    }
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let actual = (bytes.len() - HEADER_LEN - CHECKSUM_LEN) as u64;
+    if declared != actual {
+        return Err(IndexError::Corrupt(format!(
+            "payload length mismatch: header says {declared}, file holds {actual}"
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..bytes.len() - CHECKSUM_LEN];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - CHECKSUM_LEN..].try_into().unwrap());
+    let computed = fnv64(payload);
+    if stored != computed {
+        return Err(IndexError::Corrupt(format!(
+            "checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let payload = br#"{"docs":[]}"#;
+        let enc = encode_envelope(payload);
+        assert_eq!(decode_envelope(&enc).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let enc = encode_envelope(b"");
+        assert_eq!(decode_envelope(&enc).unwrap(), b"");
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let enc = encode_envelope(b"data");
+        for cut in [0, 5, enc.len() - 1] {
+            let err = decode_envelope(&enc[..cut]).unwrap_err();
+            assert!(matches!(err, IndexError::Corrupt(_)), "cut={cut} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut enc = encode_envelope(b"data");
+        enc[0] = b'X';
+        assert_eq!(decode_envelope(&enc).unwrap_err(), IndexError::BadMagic);
+    }
+
+    #[test]
+    fn magic_differs_from_store_magic() {
+        // The two envelopes must never read each other's files.
+        let enc = encode_envelope(b"data");
+        assert_ne!(&enc[..8], &cn_store::format::MAGIC[..]);
+        assert!(cn_store::format::decode_envelope(&enc).is_err());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut enc = encode_envelope(b"data");
+        enc[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            decode_envelope(&enc).unwrap_err(),
+            IndexError::Version { found: 99, supported: FORMAT_VERSION }
+        );
+    }
+
+    #[test]
+    fn rejects_bit_flip() {
+        let mut enc = encode_envelope(b"important data");
+        let mid = HEADER_LEN + 3;
+        enc[mid] ^= 0x40;
+        assert!(matches!(decode_envelope(&enc).unwrap_err(), IndexError::Corrupt(_)));
+    }
+}

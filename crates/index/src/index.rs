@@ -1,0 +1,426 @@
+//! The inverted index and its weighted top-k ranking kernel.
+//!
+//! Two structures per document: the **postings** (term → sorted doc
+//! ordinals) find candidates sharing at least one query term; the
+//! document's own sorted term vector scores each candidate *exactly*,
+//! with every floating-point accumulation happening inside one
+//! candidate in canonical term order. Parallel search only partitions
+//! the candidate list — each document's score is computed whole by one
+//! worker and chunks are concatenated back in order — so rankings (and
+//! score bits) are identical for any thread count, the same
+//! merge-at-join discipline as `cn_obs::LocalMetrics`.
+//!
+//! Ties break on the content id (ascending), which is stable across
+//! insertion order, thread counts, and save/load.
+
+use crate::signature::Document;
+use std::collections::{BTreeSet, HashMap};
+
+/// The similarity measure of a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreKind {
+    /// `dot(q, d) / (|q| · |d|)` over term weights.
+    Cosine,
+    /// Weighted Jaccard: `Σ min(q_t, d_t) / Σ max(q_t, d_t)`.
+    Jaccard,
+}
+
+impl ScoreKind {
+    /// Wire name (`mode` query parameter).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreKind::Cosine => "cosine",
+            ScoreKind::Jaccard => "jaccard",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<ScoreKind> {
+        match s {
+            "cosine" => Some(ScoreKind::Cosine),
+            "jaccard" => Some(ScoreKind::Jaccard),
+            _ => None,
+        }
+    }
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Content id of the matched document.
+    pub id: String,
+    /// Dataset the matched notebook explored.
+    pub dataset: String,
+    /// Notebook title.
+    pub title: String,
+    /// Number of notebook entries.
+    pub entries: u64,
+    /// Similarity in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The in-memory index: documents plus the inverted term postings.
+#[derive(Debug, Default, Clone)]
+pub struct Index {
+    docs: Vec<Document>,
+    /// Precomputed L2 norm per document, parallel to `docs`.
+    norms: Vec<f64>,
+    by_id: HashMap<String, u32>,
+    postings: HashMap<String, Vec<u32>>,
+}
+
+/// L2 norm of a canonical term vector, accumulated in term order.
+fn l2_norm(terms: &[(String, f64)]) -> f64 {
+    terms.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+}
+
+/// Canonicalizes a query: sort by term, merge duplicate weights.
+fn canonical_query(query: &[(String, f64)]) -> Vec<(String, f64)> {
+    let mut merged: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    for (t, w) in query {
+        *merged.entry(t.as_str()).or_insert(0.0) += w;
+    }
+    merged.into_iter().map(|(t, w)| (t.to_string(), w)).collect()
+}
+
+/// Scores one document against a canonical query, walking the two
+/// sorted term vectors in lockstep — a fixed accumulation order.
+fn score_doc(
+    kind: ScoreKind,
+    query: &[(String, f64)],
+    qnorm: f64,
+    doc: &Document,
+    dnorm: f64,
+) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    match kind {
+        ScoreKind::Cosine => {
+            if qnorm == 0.0 || dnorm == 0.0 {
+                return 0.0;
+            }
+            let mut dot = 0.0;
+            while i < query.len() && j < doc.terms.len() {
+                match query[i].0.as_str().cmp(doc.terms[j].0.as_str()) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        dot += query[i].1 * doc.terms[j].1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            dot / (qnorm * dnorm)
+        }
+        ScoreKind::Jaccard => {
+            let (mut min_sum, mut max_sum) = (0.0f64, 0.0f64);
+            while i < query.len() && j < doc.terms.len() {
+                match query[i].0.as_str().cmp(doc.terms[j].0.as_str()) {
+                    std::cmp::Ordering::Less => {
+                        max_sum += query[i].1;
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        max_sum += doc.terms[j].1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        min_sum += query[i].1.min(doc.terms[j].1);
+                        max_sum += query[i].1.max(doc.terms[j].1);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            max_sum += query[i..].iter().map(|(_, w)| w).sum::<f64>();
+            max_sum += doc.terms[j..].iter().map(|(_, w)| w).sum::<f64>();
+            if max_sum == 0.0 {
+                0.0
+            } else {
+                min_sum / max_sum
+            }
+        }
+    }
+}
+
+impl Index {
+    /// An empty index.
+    pub fn new() -> Index {
+        Index::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The indexed documents, in insertion order.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// The document with content id `id`.
+    pub fn get(&self, id: &str) -> Option<&Document> {
+        self.by_id.get(id).map(|&i| &self.docs[i as usize])
+    }
+
+    /// Registers `doc`; returns `false` (a no-op) when a document with
+    /// the same content id is already indexed.
+    pub fn insert(&mut self, doc: Document) -> bool {
+        if self.by_id.contains_key(&doc.id) {
+            return false;
+        }
+        let ordinal = self.docs.len() as u32;
+        self.by_id.insert(doc.id.clone(), ordinal);
+        for (term, _) in &doc.terms {
+            self.postings.entry(term.clone()).or_default().push(ordinal);
+        }
+        self.norms.push(l2_norm(&doc.terms));
+        self.docs.push(doc);
+        true
+    }
+
+    /// Candidate ordinals: every document sharing at least one query
+    /// term, ascending.
+    fn candidates(&self, query: &[(String, f64)]) -> Vec<u32> {
+        let mut set = BTreeSet::new();
+        for (term, _) in query {
+            if let Some(posting) = self.postings.get(term) {
+                set.extend(posting.iter().copied());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Weighted top-k search. Returns up to `k` hits, best first; ties
+    /// break on ascending content id. `n_threads` only partitions the
+    /// candidate scoring — the ranking (including score bits) is
+    /// identical for every thread count.
+    pub fn search(
+        &self,
+        query: &[(String, f64)],
+        k: usize,
+        kind: ScoreKind,
+        n_threads: usize,
+    ) -> Vec<Hit> {
+        let query = canonical_query(query);
+        if query.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let qnorm = l2_norm(&query);
+        let candidates = self.candidates(&query);
+        let scored = self.score_candidates(&candidates, &query, qnorm, kind, n_threads);
+        let mut ranked: Vec<(u32, f64)> = scored.into_iter().filter(|&(_, s)| s > 0.0).collect();
+        ranked.sort_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then_with(|| self.docs[a.0 as usize].id.cmp(&self.docs[b.0 as usize].id))
+        });
+        ranked.truncate(k);
+        ranked
+            .into_iter()
+            .map(|(ordinal, score)| {
+                let d = &self.docs[ordinal as usize];
+                Hit {
+                    id: d.id.clone(),
+                    dataset: d.dataset.clone(),
+                    title: d.title.clone(),
+                    entries: d.entries,
+                    score,
+                }
+            })
+            .collect()
+    }
+
+    /// Documents most similar to the one with content id `id`,
+    /// excluding itself. `None` when `id` is not indexed.
+    pub fn similar(
+        &self,
+        id: &str,
+        k: usize,
+        kind: ScoreKind,
+        n_threads: usize,
+    ) -> Option<Vec<Hit>> {
+        let doc = self.get(id)?;
+        Some(self.similar_to(doc, k, kind, n_threads))
+    }
+
+    /// Documents most similar to `doc` (which need not be indexed),
+    /// excluding any indexed copy of it.
+    pub fn similar_to(
+        &self,
+        doc: &Document,
+        k: usize,
+        kind: ScoreKind,
+        n_threads: usize,
+    ) -> Vec<Hit> {
+        let mut hits = self.search(&doc.terms, k.saturating_add(1), kind, n_threads);
+        hits.retain(|h| h.id != doc.id);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Scores `candidates` (each whole, in one worker), concatenating
+    /// per-chunk results back in candidate order.
+    fn score_candidates(
+        &self,
+        candidates: &[u32],
+        query: &[(String, f64)],
+        qnorm: f64,
+        kind: ScoreKind,
+        n_threads: usize,
+    ) -> Vec<(u32, f64)> {
+        let score_one = |&ordinal: &u32| {
+            let d = &self.docs[ordinal as usize];
+            (ordinal, score_doc(kind, query, qnorm, d, self.norms[ordinal as usize]))
+        };
+        let n_threads = n_threads.max(1).min(candidates.len().max(1));
+        if n_threads == 1 {
+            return candidates.iter().map(score_one).collect();
+        }
+        let chunk = candidates.len().div_ceil(n_threads);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(score_one).collect::<Vec<_>>()))
+                .collect();
+            let mut out = Vec::with_capacity(candidates.len());
+            for w in workers {
+                out.extend(w.join().expect("index scoring worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::document;
+
+    fn doc(dataset: &str, title: &str, terms: &[(&str, f64)]) -> Document {
+        document(dataset, title, 1, terms.iter().map(|(t, w)| (t.to_string(), *w)).collect())
+    }
+
+    fn ids(hits: &[Hit]) -> Vec<&str> {
+        hits.iter().map(|h| h.id.as_str()).collect()
+    }
+
+    #[test]
+    fn exact_match_outranks_partial_overlap() {
+        let mut ix = Index::new();
+        let a = doc("d", "a", &[("group:month", 1.0), ("measure:cases", 1.0)]);
+        let b = doc("d", "b", &[("group:month", 1.0), ("measure:deaths", 1.0)]);
+        let c = doc("d", "c", &[("group:region", 1.0), ("measure:sales", 1.0)]);
+        let (ia, ib) = (a.id.clone(), b.id.clone());
+        assert!(ix.insert(a));
+        assert!(ix.insert(b));
+        assert!(ix.insert(c));
+        for kind in [ScoreKind::Cosine, ScoreKind::Jaccard] {
+            let hits = ix.search(
+                &[("group:month".to_string(), 1.0), ("measure:cases".to_string(), 1.0)],
+                10,
+                kind,
+                1,
+            );
+            assert_eq!(ids(&hits), vec![ia.as_str(), ib.as_str()], "{kind:?}");
+            assert!(hits[0].score > hits[1].score);
+            assert!((0.0..=1.0 + 1e-12).contains(&hits[0].score));
+        }
+    }
+
+    #[test]
+    fn duplicate_content_dedups_and_k_truncates() {
+        let mut ix = Index::new();
+        let a = doc("d", "a", &[("group:month", 1.0)]);
+        assert!(ix.insert(a.clone()));
+        assert!(!ix.insert(a), "same content id must be a no-op");
+        assert_eq!(ix.len(), 1);
+        for i in 0..5 {
+            assert!(ix.insert(doc("d", &format!("t{i}"), &[("group:month", 1.0)])));
+        }
+        let hits = ix.search(&[("group:month".to_string(), 1.0)], 3, ScoreKind::Cosine, 1);
+        assert_eq!(hits.len(), 3);
+        let empty = ix.search(&[("group:nothing".to_string(), 1.0)], 3, ScoreKind::Cosine, 1);
+        assert!(empty.is_empty());
+        assert!(ix.search(&[], 3, ScoreKind::Cosine, 1).is_empty());
+    }
+
+    #[test]
+    fn ties_break_on_ascending_content_id() {
+        let mut ix = Index::new();
+        // Identical term vectors under different titles: equal scores.
+        let mut tied: Vec<String> = (0..6)
+            .map(|i| {
+                let d = doc("d", &format!("tied{i}"), &[("group:month", 1.0)]);
+                let id = d.id.clone();
+                assert!(ix.insert(d));
+                id
+            })
+            .collect();
+        tied.sort();
+        let hits = ix.search(&[("group:month".to_string(), 1.0)], 6, ScoreKind::Cosine, 1);
+        assert_eq!(ids(&hits), tied.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn similar_excludes_self() {
+        let mut ix = Index::new();
+        let a = doc("d", "a", &[("group:month", 2.0), ("measure:cases", 1.0)]);
+        let b = doc("d", "b", &[("group:month", 1.0)]);
+        let ia = a.id.clone();
+        let ib = b.id.clone();
+        ix.insert(a.clone());
+        ix.insert(b);
+        let hits = ix.similar(&ia, 5, ScoreKind::Cosine, 1).unwrap();
+        assert_eq!(ids(&hits), vec![ib.as_str()]);
+        // An unindexed anchor document works through similar_to.
+        let ghost = doc("d", "ghost", &[("group:month", 1.0), ("measure:cases", 3.0)]);
+        let hits = ix.similar_to(&ghost, 5, ScoreKind::Jaccard, 1);
+        assert_eq!(hits.len(), 2);
+        assert!(ix.similar("ffffffffffffffffffffffffffffffff", 5, ScoreKind::Cosine, 1).is_none());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_ranking() {
+        let mut ix = Index::new();
+        for i in 0..64 {
+            ix.insert(doc(
+                &format!("d{}", i % 5),
+                &format!("t{i}"),
+                &[
+                    (&format!("group:a{}", i % 7), 1.0 + (i % 3) as f64),
+                    (&format!("measure:m{}", i % 4), 1.0),
+                    ("val:x", 0.5 * (i % 2) as f64 + 0.5),
+                ],
+            ));
+        }
+        let query = vec![
+            ("group:a1".to_string(), 1.0),
+            ("measure:m2".to_string(), 2.0),
+            ("val:x".to_string(), 0.5),
+        ];
+        for kind in [ScoreKind::Cosine, ScoreKind::Jaccard] {
+            let base = ix.search(&query, 20, kind, 1);
+            for threads in [2, 4, 8, 13] {
+                let multi = ix.search(&query, 20, kind, threads);
+                assert_eq!(ids(&base), ids(&multi), "{kind:?} threads={threads}");
+                for (a, b) in base.iter().zip(multi.iter()) {
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits must match");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_kind_names_round_trip() {
+        for kind in [ScoreKind::Cosine, ScoreKind::Jaccard] {
+            assert_eq!(ScoreKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ScoreKind::parse("euclid"), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! # cn-index
+//!
+//! A persistent similarity index over generated notebooks: every
+//! completed notebook is reduced to a deterministic, content-addressed
+//! **signature** — a weighted bag of terms over its grouping attributes,
+//! selected value pairs, measures, aggregation functions, insight
+//! types, and significance buckets — and registered in an inverted
+//! index that answers weighted top-k similarity queries (cosine or
+//! weighted Jaccard) with stable, thread-count-invariant rankings.
+//!
+//! The paper generates each notebook from scratch; once a deployment
+//! has generated hundreds, the corpus itself becomes evidence about
+//! which comparisons analysts found worth keeping. This crate is the
+//! retrieval layer over that corpus:
+//!
+//! - [`signature`] — terms from `cn_notebook::model` cells and
+//!   `cn_insight::types` insights; document ids are 128-bit dual-FNV
+//!   fingerprints of exactly the indexed content, so re-registering an
+//!   identical notebook dedups instead of double-counting.
+//! - [`index`] — inverted postings for candidate generation plus
+//!   forward term vectors for exact scoring. Each candidate's score is
+//!   accumulated wholly within one worker in canonical term order, so
+//!   search results (including score bits) are identical for any
+//!   thread count; ties break on ascending content id.
+//! - [`format`] — the `CNIDX` envelope: magic, format version, payload
+//!   length, JSON payload, FNV-1a-64 checksum — the same layout and
+//!   check order as `cn-store`'s `CNSTORE` envelope, under a different
+//!   magic so the two file kinds can never read each other.
+//! - [`persist`] — atomic saves (temp + rename), strict loads, and
+//!   [`persist::load_or_rebuild`], which quarantines a damaged file
+//!   (`<file>.quarantined[.N]`) and hands back a cold index instead of
+//!   failing — the serving layer always gets something usable.
+//!
+//! Pipeline integration (`index_document`, retrieval-biased
+//! continuation reranking) lives in `cn-pipeline`; the HTTP surface
+//! (`GET /v1/search`, `GET /v1/notebooks/{id}/similar`, the background
+//! indexer, and the `use_index` continuation knob) in `cn-serve`; the
+//! `cn index build|search|inspect` subcommand in `cn-core`.
+
+pub mod error;
+pub mod format;
+pub mod index;
+pub mod persist;
+pub mod signature;
+
+pub use error::IndexError;
+pub use format::{decode_envelope, encode_envelope, FORMAT_VERSION, MAGIC};
+pub use index::{Hit, Index, ScoreKind};
+pub use persist::{load, load_or_rebuild, quarantine, save, LoadOutcome, EXTENSION};
+pub use signature::{
+    document, notebook_signature, parse_query, significance_bucket, type_term, Document,
+    SignatureBuilder,
+};

@@ -1,0 +1,349 @@
+//! Saving and loading the index as one `CNIDX` file.
+//!
+//! Writes are atomic (temp file + rename, `cn-store` discipline) so a
+//! crash never leaves a half-written index where a reader finds it.
+//! Loads are strict — envelope checks, then payload invariants — and
+//! [`load_or_rebuild`] never fails: a damaged file is quarantined for
+//! post-mortem (`<file>.quarantined[.N]`, never clobbering earlier
+//! evidence) and the caller gets an empty index to rebuild into.
+
+use crate::error::IndexError;
+use crate::format::{decode_envelope, encode_envelope, FORMAT_VERSION};
+use crate::index::Index;
+use crate::signature::Document;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File extension for index files.
+pub const EXTENSION: &str = "cnidx";
+
+fn io_err(path: &Path, e: std::io::Error) -> IndexError {
+    IndexError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Serializes the index payload: document list in insertion order, term
+/// weights as IEEE-754 bit patterns so a load replays identical scores.
+fn to_json(index: &Index) -> serde_json::Value {
+    let docs: Vec<serde_json::Value> = index
+        .docs()
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "id": d.id.clone(),
+                "dataset": d.dataset.clone(),
+                "title": d.title.clone(),
+                "entries": d.entries,
+                "terms": d
+                    .terms
+                    .iter()
+                    .map(|(t, w)| serde_json::json!([t, w.to_bits()]))
+                    .collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    serde_json::json!({ "format_version": FORMAT_VERSION, "docs": docs })
+}
+
+fn str_field(v: &serde_json::Value, key: &str) -> Result<String, IndexError> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| IndexError::Corrupt(format!("document missing string field `{key}`")))
+}
+
+fn parse_doc(v: &serde_json::Value) -> Result<Document, IndexError> {
+    let id = str_field(v, "id")?;
+    if id.len() != 32 || !id.bytes().all(|c| c.is_ascii_hexdigit()) {
+        return Err(IndexError::Invalid(format!("malformed document fingerprint `{id}`")));
+    }
+    let dataset = str_field(v, "dataset")?;
+    let title = str_field(v, "title")?;
+    let entries = v
+        .get("entries")
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| IndexError::Corrupt("document missing integer field `entries`".into()))?;
+    let raw = v
+        .get("terms")
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| IndexError::Corrupt("document missing array field `terms`".into()))?;
+    let mut terms = Vec::with_capacity(raw.len());
+    for pair in raw {
+        let arr = pair
+            .as_array()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| IndexError::Corrupt("term is not a [name, weight_bits] pair".into()))?;
+        let name = arr[0]
+            .as_str()
+            .ok_or_else(|| IndexError::Corrupt("term name is not a string".into()))?;
+        let bits = arr[1]
+            .as_u64()
+            .ok_or_else(|| IndexError::Corrupt("term weight is not an integer".into()))?;
+        let weight = f64::from_bits(bits);
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(IndexError::Invalid(format!(
+                "term `{name}` has non-finite or negative weight"
+            )));
+        }
+        terms.push((name.to_string(), weight));
+    }
+    if !terms.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(IndexError::Invalid(format!(
+            "terms of document `{id}` are not sorted and unique"
+        )));
+    }
+    Ok(Document { id, dataset, title, entries, terms })
+}
+
+/// Persist the index to `path` atomically. Returns bytes written.
+///
+/// Fault sites: `index.write` (maps to [`IndexError::Io`]) and
+/// `index.write.bytes` (corrupts the envelope before it reaches disk);
+/// both no-ops unless a chaos test installs a plan via `cn-fault`.
+pub fn save(index: &Index, path: &Path) -> Result<u64, IndexError> {
+    let payload = serde_json::to_string(&to_json(index))
+        .map_err(|e| IndexError::Invalid(format!("serialize: {e}")))?;
+    let mut bytes = encode_envelope(payload.as_bytes());
+    cn_fault::point("index.write")
+        .map_err(|f| IndexError::Io { path: path.display().to_string(), message: f.message })?;
+    cn_fault::corrupt("index.write.bytes", &mut bytes);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+    }
+    let tmp = path.with_extension(format!("{EXTENSION}.tmp"));
+    fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    Ok(bytes.len() as u64)
+}
+
+/// Load and validate the index at `path`.
+///
+/// Fault sites: `index.read` (maps to [`IndexError::Io`]) and
+/// `index.read.bytes` (corrupts the bytes after the read, so the
+/// checksum check sees damage exactly as a bad disk would present it).
+pub fn load(path: &Path) -> Result<Index, IndexError> {
+    cn_fault::point("index.read")
+        .map_err(|f| IndexError::Io { path: path.display().to_string(), message: f.message })?;
+    let mut bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(IndexError::NotFound(path.display().to_string()))
+        }
+        Err(e) => return Err(io_err(path, e)),
+    };
+    cn_fault::corrupt("index.read.bytes", &mut bytes);
+    let payload = decode_envelope(&bytes)?;
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| IndexError::Corrupt(format!("payload not UTF-8: {e}")))?;
+    let value: serde_json::Value = serde_json::from_str(text)
+        .map_err(|e| IndexError::Corrupt(format!("payload parse: {e}")))?;
+    let docs = value
+        .get("docs")
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| IndexError::Corrupt("payload missing `docs` array".into()))?;
+    let mut index = Index::new();
+    for raw in docs {
+        let doc = parse_doc(raw)?;
+        let id = doc.id.clone();
+        if !index.insert(doc) {
+            return Err(IndexError::Invalid(format!("duplicate document id `{id}`")));
+        }
+    }
+    Ok(index)
+}
+
+/// Move a damaged index file aside for post-mortem instead of deleting
+/// it: `<file>` becomes `<file>.quarantined` (or `.quarantined.1`, … —
+/// an earlier quarantine is evidence and is never clobbered). Returns
+/// the destination path, or `Ok(None)` if no file existed.
+pub fn quarantine(path: &Path) -> Result<Option<PathBuf>, IndexError> {
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let base = format!("{}.quarantined", path.display());
+    let mut dest = PathBuf::from(&base);
+    let mut n = 0u32;
+    while dest.exists() {
+        n += 1;
+        dest = PathBuf::from(format!("{base}.{n}"));
+    }
+    fs::rename(path, &dest).map_err(|e| io_err(path, e))?;
+    Ok(Some(dest))
+}
+
+/// How [`load_or_rebuild`] obtained its index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The file loaded cleanly with this many documents.
+    Loaded(usize),
+    /// No file existed; starting cold.
+    Fresh,
+    /// The file was damaged or version-skewed; it was moved to the
+    /// contained path (`None` if it vanished mid-quarantine) and the
+    /// index starts cold.
+    Quarantined(Option<PathBuf>),
+    /// The file could be neither loaded nor quarantined (I/O failure);
+    /// the index starts cold and persistence may keep failing.
+    Failed(String),
+}
+
+/// Open the index at `path`, never failing: a clean file loads, a
+/// missing file starts cold, and a damaged one is quarantined before
+/// starting cold — the serving layer always gets a usable index.
+pub fn load_or_rebuild(path: &Path) -> (Index, LoadOutcome) {
+    match load(path) {
+        Ok(index) => {
+            let n = index.len();
+            (index, LoadOutcome::Loaded(n))
+        }
+        Err(IndexError::NotFound(_)) => (Index::new(), LoadOutcome::Fresh),
+        Err(IndexError::Io { .. }) => match quarantine(path) {
+            Ok(dest) => (Index::new(), LoadOutcome::Quarantined(dest)),
+            Err(e) => (Index::new(), LoadOutcome::Failed(e.to_string())),
+        },
+        Err(_) => match quarantine(path) {
+            Ok(dest) => (Index::new(), LoadOutcome::Quarantined(dest)),
+            Err(e) => (Index::new(), LoadOutcome::Failed(e.to_string())),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ScoreKind;
+    use crate::signature::document;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cn-index-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("index.{EXTENSION}"))
+    }
+
+    fn sample_index() -> Index {
+        let mut ix = Index::new();
+        for i in 0..8 {
+            ix.insert(document(
+                format!("set{}", i % 3),
+                format!("Notebook {i}"),
+                (i + 1) as u64,
+                vec![
+                    (format!("group:a{}", i % 4), 1.0 + i as f64 * 0.25),
+                    ("measure:cases".to_string(), 1.0),
+                ],
+            ));
+        }
+        ix
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_ranking_bits() {
+        let path = tmp_path("round-trip");
+        let ix = sample_index();
+        assert!(save(&ix, &path).unwrap() > 0);
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.docs(), ix.docs());
+        let query = vec![("group:a1".to_string(), 1.0), ("measure:cases".to_string(), 0.5)];
+        for kind in [ScoreKind::Cosine, ScoreKind::Jaccard] {
+            let before = ix.search(&query, 10, kind, 1);
+            let after = loaded.search(&query, 10, kind, 1);
+            assert_eq!(before.len(), after.len());
+            for (a, b) in before.iter().zip(after.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let path = tmp_path("missing");
+        assert!(matches!(load(&path).unwrap_err(), IndexError::NotFound(_)));
+        let (ix, outcome) = load_or_rebuild(&path);
+        assert!(ix.is_empty());
+        assert_eq!(outcome, LoadOutcome::Fresh);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_payloads() {
+        let path = tmp_path("invalid");
+        // Duplicate ids.
+        let doc = document("d", "t", 1, vec![("val:x".to_string(), 1.0)]);
+        let payload = serde_json::json!({
+            "format_version": FORMAT_VERSION,
+            "docs": [
+                {"id": doc.id.clone(), "dataset": "d", "title": "t", "entries": 1,
+                 "terms": [["val:x", 1.0f64.to_bits()]]},
+                {"id": doc.id.clone(), "dataset": "d", "title": "t", "entries": 1,
+                 "terms": [["val:x", 1.0f64.to_bits()]]},
+            ],
+        });
+        fs::write(&path, encode_envelope(payload.to_string().as_bytes())).unwrap();
+        assert!(matches!(load(&path).unwrap_err(), IndexError::Invalid(_)));
+        // Negative weight.
+        let payload = serde_json::json!({
+            "format_version": FORMAT_VERSION,
+            "docs": [{"id": doc.id.clone(), "dataset": "d", "title": "t", "entries": 1,
+                      "terms": [["val:x", (-1.0f64).to_bits()]]}],
+        });
+        fs::write(&path, encode_envelope(payload.to_string().as_bytes())).unwrap();
+        assert!(matches!(load(&path).unwrap_err(), IndexError::Invalid(_)));
+        // Unsorted terms.
+        let payload = serde_json::json!({
+            "format_version": FORMAT_VERSION,
+            "docs": [{"id": doc.id.clone(), "dataset": "d", "title": "t", "entries": 1,
+                      "terms": [["val:z", 1.0f64.to_bits()], ["val:a", 1.0f64.to_bits()]]}],
+        });
+        fs::write(&path, encode_envelope(payload.to_string().as_bytes())).unwrap();
+        assert!(matches!(load(&path).unwrap_err(), IndexError::Invalid(_)));
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn damaged_file_quarantines_and_rebuilds_cold() {
+        let path = tmp_path("damage");
+        let ix = sample_index();
+        save(&ix, &path).unwrap();
+
+        // One-bit corruption → quarantine + cold index.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let (cold, outcome) = load_or_rebuild(&path);
+        assert!(cold.is_empty());
+        let dest = match outcome {
+            LoadOutcome::Quarantined(Some(d)) => d,
+            other => panic!("expected quarantine, got {other:?}"),
+        };
+        assert!(dest.to_string_lossy().ends_with(".quarantined"));
+        assert!(dest.is_file());
+        assert!(!path.exists(), "damaged file moved aside");
+
+        // Version skew quarantines too, and never clobbers the first.
+        let mut bytes = encode_envelope(b"{\"docs\":[]}");
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let (_, outcome) = load_or_rebuild(&path);
+        let second = match outcome {
+            LoadOutcome::Quarantined(Some(d)) => d,
+            other => panic!("expected quarantine, got {other:?}"),
+        };
+        assert!(second.to_string_lossy().ends_with(".quarantined.1"));
+        assert!(dest.is_file(), "earlier quarantine untouched");
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn load_or_rebuild_loads_clean_files() {
+        let path = tmp_path("clean");
+        let ix = sample_index();
+        save(&ix, &path).unwrap();
+        let (loaded, outcome) = load_or_rebuild(&path);
+        assert_eq!(outcome, LoadOutcome::Loaded(ix.len()));
+        assert_eq!(loaded.docs(), ix.docs());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -1,0 +1,270 @@
+//! Deterministic content-addressed signatures for notebooks.
+//!
+//! A signature is a weighted bag of **terms** — short namespaced strings
+//! describing what a notebook compares: the grouping attributes
+//! (`group:month`), the selected value pairs (`val:May`,
+//! `pair:May|April`), the measures (`measure:cases`), the aggregation
+//! functions (`agg:avg`), the insight types (`type:mean_greater`), and
+//! the significance buckets of the supported insights (`sig:2`). A term
+//! occurring in several cells accumulates weight, so a notebook that
+//! keeps returning to the same attribute matches other notebooks about
+//! that attribute more strongly.
+//!
+//! Terms are derived from `cn_notebook::model` (cells: grouping header,
+//! value aliases, aggregate) and `cn_insight::types` (typed insights:
+//! kind, decoded value names, significance). The same notebook always
+//! produces the same sorted term vector, and the document id is a
+//! 128-bit fingerprint of exactly that content (`cn_store`'s dual-FNV
+//! hasher under a domain tag) — re-registering an identical notebook
+//! dedups instead of double-counting.
+
+use cn_insight::types::InsightType;
+use cn_notebook::model::NotebookEntry;
+use cn_notebook::Notebook;
+use cn_store::FingerprintHasher;
+use std::collections::BTreeMap;
+
+/// Domain tag hashed ahead of every document id, so index fingerprints
+/// can never collide with store prefix fingerprints over the same data.
+const DOC_DOMAIN: &str = "cn-index-doc-v1";
+
+/// Significance bucket of `sig(i) = 1 − p`: 0 below the paper's 0.95
+/// threshold, then one bucket per extra nine (0.95, 0.99, 0.999).
+pub fn significance_bucket(significance: f64) -> u8 {
+    if significance >= 0.999 {
+        3
+    } else if significance >= 0.99 {
+        2
+    } else if significance >= 0.95 {
+        1
+    } else {
+        0
+    }
+}
+
+/// The stable term name of an insight type (snake_case, index-local —
+/// the human-readable `InsightType::name` may change freely).
+pub fn type_term(kind: InsightType) -> &'static str {
+    match kind {
+        InsightType::MeanGreater => "mean_greater",
+        InsightType::VarianceGreater => "variance_greater",
+        InsightType::ExtremeGreater => "extreme_greater",
+    }
+}
+
+/// Accumulates weighted terms; [`SignatureBuilder::finish`] returns the
+/// canonical (sorted, deduplicated) term vector.
+#[derive(Debug, Default, Clone)]
+pub struct SignatureBuilder {
+    terms: BTreeMap<String, f64>,
+}
+
+impl SignatureBuilder {
+    /// An empty signature.
+    pub fn new() -> SignatureBuilder {
+        SignatureBuilder::default()
+    }
+
+    /// Adds `weight` to `term`.
+    pub fn add_term(&mut self, term: impl Into<String>, weight: f64) {
+        *self.terms.entry(term.into()).or_insert(0.0) += weight;
+    }
+
+    /// Terms of one comparison query, from its decoded names: grouping
+    /// attribute, selection attribute, the two selected values (and
+    /// their ordered pair), the measure, and the aggregate.
+    pub fn add_comparison(
+        &mut self,
+        group: &str,
+        select: &str,
+        val: &str,
+        val2: &str,
+        measure: &str,
+        agg: &str,
+    ) {
+        self.add_term(format!("group:{group}"), 1.0);
+        self.add_term(format!("select:{select}"), 1.0);
+        self.add_term(format!("val:{val}"), 1.0);
+        self.add_term(format!("val:{val2}"), 1.0);
+        self.add_term(format!("pair:{val}|{val2}"), 1.0);
+        self.add_term(format!("measure:{measure}"), 1.0);
+        self.add_term(format!("agg:{agg}"), 1.0);
+    }
+
+    /// Terms of one typed insight: its kind and significance bucket.
+    pub fn add_insight(&mut self, kind: InsightType, significance: f64) {
+        self.add_term(format!("type:{}", type_term(kind)), 1.0);
+        self.add_term(format!("sig:{}", significance_bucket(significance)), 1.0);
+    }
+
+    /// Terms derivable from a rendered notebook cell alone (no table in
+    /// hand): the grouping header, the two value-column aliases, the
+    /// aggregate, and the significance buckets of its insight notes.
+    pub fn add_entry(&mut self, entry: &NotebookEntry) {
+        let (group, left, right) = &entry.headers;
+        self.add_term(format!("group:{group}"), 1.0);
+        self.add_term(format!("val:{left}"), 1.0);
+        self.add_term(format!("val:{right}"), 1.0);
+        self.add_term(format!("pair:{left}|{right}"), 1.0);
+        self.add_term(format!("agg:{}", entry.spec.agg.sql_name()), 1.0);
+        for note in &entry.insights {
+            self.add_term(format!("sig:{}", significance_bucket(note.significance)), 1.0);
+        }
+    }
+
+    /// The canonical term vector: sorted by term, weights accumulated.
+    pub fn finish(self) -> Vec<(String, f64)> {
+        self.terms.into_iter().collect()
+    }
+}
+
+/// Signature of a rendered notebook, cell by cell (the model-only view;
+/// richer typed terms come from `cn_pipeline::index_document`, which
+/// also sees the table and the scored insights).
+pub fn notebook_signature(notebook: &Notebook) -> Vec<(String, f64)> {
+    let mut sig = SignatureBuilder::new();
+    for entry in &notebook.entries {
+        sig.add_entry(entry);
+    }
+    sig.finish()
+}
+
+/// One indexed notebook: a content-addressed id, display metadata, and
+/// the canonical term vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Content fingerprint (32 lowercase hex digits) over dataset,
+    /// title, and terms.
+    pub id: String,
+    /// Catalog name of the dataset the notebook explored.
+    pub dataset: String,
+    /// Notebook title.
+    pub title: String,
+    /// Number of notebook entries.
+    pub entries: u64,
+    /// Sorted `(term, weight)` vector.
+    pub terms: Vec<(String, f64)>,
+}
+
+/// Builds a [`Document`], canonicalizing `terms` (sort + merge) and
+/// deriving the content id.
+pub fn document(
+    dataset: impl Into<String>,
+    title: impl Into<String>,
+    entries: u64,
+    terms: Vec<(String, f64)>,
+) -> Document {
+    let dataset = dataset.into();
+    let title = title.into();
+    let mut canonical: BTreeMap<String, f64> = BTreeMap::new();
+    for (t, w) in terms {
+        *canonical.entry(t).or_insert(0.0) += w;
+    }
+    let terms: Vec<(String, f64)> = canonical.into_iter().collect();
+    let id = content_id(&dataset, &title, entries, &terms);
+    Document { id, dataset, title, entries, terms }
+}
+
+/// The content address: dual-FNV fingerprint over the domain tag, the
+/// dataset, the title, the entry count, and every `(term, weight)` in
+/// canonical order (weights by bit pattern, strings length-prefixed).
+fn content_id(dataset: &str, title: &str, entries: u64, terms: &[(String, f64)]) -> String {
+    let mut h = FingerprintHasher::new();
+    h.write_str(DOC_DOMAIN);
+    h.write_str(dataset);
+    h.write_str(title);
+    h.write_u64(entries);
+    h.write_u64(terms.len() as u64);
+    for (t, w) in terms {
+        h.write_str(t);
+        h.write_f64(*w);
+    }
+    h.finish().to_string()
+}
+
+/// Parses a free-text query into terms. Whitespace-separated tokens
+/// containing `:` are taken verbatim (`group:month`); bare tokens
+/// expand across the name-carrying namespaces so `q=cases` matches a
+/// measure, an attribute, or a value by that name.
+pub fn parse_query(q: &str) -> Vec<(String, f64)> {
+    let mut sig = SignatureBuilder::new();
+    for token in q.split_whitespace() {
+        if token.contains(':') {
+            sig.add_term(token, 1.0);
+        } else {
+            for ns in ["group", "select", "val", "measure"] {
+                sig.add_term(format!("{ns}:{token}"), 1.0);
+            }
+        }
+    }
+    sig.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_step_at_each_extra_nine() {
+        assert_eq!(significance_bucket(0.50), 0);
+        assert_eq!(significance_bucket(0.95), 1);
+        assert_eq!(significance_bucket(0.991), 2);
+        assert_eq!(significance_bucket(0.9995), 3);
+    }
+
+    #[test]
+    fn builder_accumulates_and_sorts() {
+        let mut sig = SignatureBuilder::new();
+        sig.add_comparison("month", "region", "south", "north", "cases", "avg");
+        sig.add_comparison("month", "region", "south", "east", "cases", "avg");
+        sig.add_insight(InsightType::MeanGreater, 0.992);
+        let terms = sig.finish();
+        let weight =
+            |t: &str| terms.iter().find(|(name, _)| name == t).map(|(_, w)| *w).unwrap_or(0.0);
+        assert_eq!(weight("group:month"), 2.0);
+        assert_eq!(weight("val:south"), 2.0);
+        assert_eq!(weight("val:north"), 1.0);
+        assert_eq!(weight("pair:south|north"), 1.0);
+        assert_eq!(weight("type:mean_greater"), 1.0);
+        assert_eq!(weight("sig:2"), 1.0);
+        let mut sorted = terms.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(terms, sorted, "finish() must return canonical order");
+    }
+
+    #[test]
+    fn document_ids_are_content_addressed() {
+        let terms = vec![("group:month".to_string(), 2.0), ("measure:cases".to_string(), 1.0)];
+        let a = document("covid", "Notebook", 3, terms.clone());
+        // Same content, different input order: same id.
+        let b = document("covid", "Notebook", 3, terms.iter().rev().cloned().collect());
+        assert_eq!(a.id, b.id);
+        assert_eq!(a, b);
+        assert_eq!(a.id.len(), 32);
+        assert!(a.id.bytes().all(|c| c.is_ascii_hexdigit()));
+        // Any content change moves the id.
+        let c = document("covid", "Notebook", 4, terms.clone());
+        let d = document("other", "Notebook", 3, terms.clone());
+        let e = document("covid", "Notebook", 3, vec![("group:month".to_string(), 3.0)]);
+        assert_ne!(a.id, c.id);
+        assert_ne!(a.id, d.id);
+        assert_ne!(a.id, e.id);
+    }
+
+    #[test]
+    fn duplicate_terms_merge_into_one_weight() {
+        let doc =
+            document("d", "t", 1, vec![("val:x".to_string(), 1.0), ("val:x".to_string(), 2.0)]);
+        assert_eq!(doc.terms, vec![("val:x".to_string(), 3.0)]);
+    }
+
+    #[test]
+    fn free_text_queries_expand_bare_tokens() {
+        let terms = parse_query("cases group:month");
+        let names: Vec<&str> = terms.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(names.contains(&"measure:cases"));
+        assert!(names.contains(&"val:cases"));
+        assert!(names.contains(&"group:month"));
+        assert!(parse_query("   ").is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Acceptance tests for the ranking kernel: top-k search over 100+
+//! indexed notebooks returns **identical** rankings (ids and score
+//! bits) across 1/4/8 scoring threads and across a save/load of the
+//! CNIDX file.
+
+use cn_index::{document, load, parse_query, save, Hit, Index, ScoreKind};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A deterministic synthetic corpus shaped like real notebook
+/// signatures: overlapping group/measure/value terms with repeating
+/// weights so score ties actually occur.
+fn corpus(n: usize) -> Index {
+    let mut ix = Index::new();
+    for i in 0..n {
+        let doc = document(
+            format!("dataset{}", i % 7),
+            format!("Notebook {i}"),
+            (i % 9 + 1) as u64,
+            vec![
+                (format!("group:g{}", i % 11), 1.0 + (i % 4) as f64 * 0.5),
+                (format!("select:s{}", i % 5), 1.0),
+                (format!("val:v{}", i % 13), 1.0),
+                (format!("val:v{}", (i + 3) % 13), 1.0),
+                (format!("pair:v{}|v{}", i % 13, (i + 3) % 13), 1.0),
+                (format!("measure:m{}", i % 6), 2.0),
+                ("agg:avg".to_string(), 1.0),
+                (format!("sig:{}", i % 4), 1.0 + (i % 2) as f64),
+            ],
+        );
+        assert!(ix.insert(doc), "synthetic corpus must not collide");
+    }
+    ix
+}
+
+fn bits(hits: &[Hit]) -> Vec<(String, u64)> {
+    hits.iter().map(|h| (h.id.clone(), h.score.to_bits())).collect()
+}
+
+#[test]
+fn ranking_is_identical_across_thread_counts_and_save_load() {
+    let ix = corpus(120);
+    assert!(ix.len() >= 100, "acceptance requires 100+ indexed notebooks");
+
+    let path = {
+        let dir = std::env::temp_dir().join(format!("cn-index-ranking-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("corpus.cnidx")
+    };
+    save(&ix, &path).unwrap();
+    let reloaded = load(&path).unwrap();
+    assert_eq!(reloaded.len(), ix.len());
+
+    let queries = [
+        parse_query("group:g3 measure:m2 val:v5"),
+        parse_query("v5 avg"),
+        vec![("measure:m0".to_string(), 2.0), ("sig:1".to_string(), 1.0)],
+        vec![("group:g1".to_string(), 0.25)],
+    ];
+    for (qi, query) in queries.iter().enumerate() {
+        for kind in [ScoreKind::Cosine, ScoreKind::Jaccard] {
+            let base = ix.search(query, 15, kind, 1);
+            assert!(!base.is_empty(), "query {qi} should match the corpus");
+            for threads in [4, 8] {
+                let multi = ix.search(query, 15, kind, threads);
+                assert_eq!(
+                    bits(&base),
+                    bits(&multi),
+                    "query {qi} {kind:?}: {threads}-thread ranking diverged"
+                );
+            }
+            let replayed = reloaded.search(query, 15, kind, 8);
+            assert_eq!(
+                bits(&base),
+                bits(&replayed),
+                "query {qi} {kind:?}: ranking diverged after save/load"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(path.parent().map(PathBuf::from).unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any corpus size, query shape, and thread count: the ranking and
+    /// every score bit match the single-threaded result.
+    #[test]
+    fn search_is_thread_count_invariant(
+        n in 20usize..140,
+        k in 1usize..20,
+        threads in 2usize..=8,
+        g in 0usize..11,
+        m in 0usize..6,
+        w in 1u32..8,
+    ) {
+        let ix = corpus(n);
+        let query = vec![
+            (format!("group:g{g}"), f64::from(w)),
+            (format!("measure:m{m}"), 1.5),
+        ];
+        for kind in [ScoreKind::Cosine, ScoreKind::Jaccard] {
+            let base = ix.search(&query, k, kind, 1);
+            let multi = ix.search(&query, k, kind, threads);
+            prop_assert_eq!(bits(&base), bits(&multi));
+        }
+    }
+}

@@ -103,11 +103,21 @@ pub enum Metric {
     /// HTTP responses that could not be written back (client gone
     /// before or during the write).
     ResponsesWriteFailed,
+    /// Notebook documents registered in the similarity index (startup
+    /// load + background registrations; dedup no-ops not counted).
+    IndexDocs,
+    /// Similarity searches served (`/v1/search`, `/v1/notebooks/{id}/similar`,
+    /// and `use_index` continuation reranks each count one).
+    IndexSearches,
+    /// Hits returned across all similarity searches.
+    IndexHits,
+    /// Similarity searches that returned no hits.
+    IndexSearchEmpty,
 }
 
 impl Metric {
     /// Every counter, in export order.
-    pub const ALL: [Metric; 40] = [
+    pub const ALL: [Metric; 44] = [
         Metric::RowsScanned,
         Metric::DictBytes,
         Metric::SampledRows,
@@ -148,6 +158,10 @@ impl Metric {
         Metric::StoreQuarantined,
         Metric::DegradedTransitions,
         Metric::ResponsesWriteFailed,
+        Metric::IndexDocs,
+        Metric::IndexSearches,
+        Metric::IndexHits,
+        Metric::IndexSearchEmpty,
     ];
 
     /// Number of counters.
@@ -196,6 +210,10 @@ impl Metric {
             Metric::StoreQuarantined => "store_quarantined",
             Metric::DegradedTransitions => "degraded_transitions",
             Metric::ResponsesWriteFailed => "responses_write_failed",
+            Metric::IndexDocs => "index_docs",
+            Metric::IndexSearches => "index_searches",
+            Metric::IndexHits => "index_hits",
+            Metric::IndexSearchEmpty => "index_search_empty",
         }
     }
 }
@@ -212,12 +230,19 @@ pub enum Hist {
     InterestScoreMilli,
     /// Backoff sleeps taken before retries, in milliseconds.
     RetryBackoffMs,
+    /// Similarity-search latencies, in microseconds.
+    IndexSearchMicros,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 4] =
-        [Hist::TestsPerTask, Hist::CubeGroups, Hist::InterestScoreMilli, Hist::RetryBackoffMs];
+    pub const ALL: [Hist; 5] = [
+        Hist::TestsPerTask,
+        Hist::CubeGroups,
+        Hist::InterestScoreMilli,
+        Hist::RetryBackoffMs,
+        Hist::IndexSearchMicros,
+    ];
 
     /// Number of histograms.
     pub const COUNT: usize = Hist::ALL.len();
@@ -229,6 +254,7 @@ impl Hist {
             Hist::CubeGroups => "cube_groups",
             Hist::InterestScoreMilli => "interest_score_milli",
             Hist::RetryBackoffMs => "retry_backoff_ms",
+            Hist::IndexSearchMicros => "index_search_us",
         }
     }
 }

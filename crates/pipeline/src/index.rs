@@ -1,0 +1,249 @@
+//! Pipeline-side similarity indexing: turning a finished run into a
+//! [`cn_index::Document`] and biasing continuation suggestions by
+//! evidence from similar prior notebooks.
+//!
+//! [`index_document`] is the richer sibling of
+//! `cn_index::notebook_signature`: with the table and the run's scored
+//! insights in hand it emits fully typed terms — decoded attribute and
+//! value names, insight kinds, significance buckets — for every query
+//! in the notebook sequence, not just what survived rendering.
+//!
+//! [`rerank_suggestions`] is the retrieval-biased continuation: each
+//! candidate suggestion's own signature is searched against the corpus
+//! of previously generated notebooks, and candidates resembling
+//! notebooks that were worth keeping get their score boosted. The base
+//! ranking (`interest / (1 + distance)`) is untouched when the index
+//! has no evidence, and callers that never opt in never enter this
+//! module — the default pipeline output stays byte-identical.
+
+use crate::error::PipelineError;
+use crate::run::RunResult;
+use crate::session::{suggest_continuations, Suggestion};
+use cn_index::{document, Document, Index, ScoreKind, SignatureBuilder};
+use cn_interest::DistanceWeights;
+use cn_notebook::Notebook;
+use cn_tabular::Table;
+
+/// How many of the best corpus hits back a candidate's evidence score.
+const EVIDENCE_HITS: usize = 3;
+
+/// How many extra candidates (beyond `k`) the reranker considers, so
+/// corpus evidence can promote a near-miss into the final set.
+const POOL_FACTOR: usize = 4;
+
+/// Terms of one candidate query: its comparison 6-tuple (decoded
+/// against `table`) plus the kind and significance bucket of every
+/// insight it supports.
+fn query_terms(table: &Table, run: &RunResult, query: usize) -> Vec<(String, f64)> {
+    let mut sig = SignatureBuilder::new();
+    let q = &run.queries[query];
+    let spec = q.spec;
+    let schema = table.schema();
+    let dict = table.dict(spec.select_on);
+    sig.add_comparison(
+        schema.attribute_name(spec.group_by),
+        schema.attribute_name(spec.select_on),
+        dict.decode(spec.val),
+        dict.decode(spec.val2),
+        schema.measure_name(spec.measure),
+        spec.agg.sql_name(),
+    );
+    for &i in &q.insight_ids {
+        let scored = &run.insights[i];
+        sig.add_insight(scored.detail.insight.kind, scored.detail.significance());
+    }
+    sig.finish()
+}
+
+/// The index document of a finished run: typed terms from every query
+/// in the notebook sequence, content-addressed so re-registering the
+/// same notebook dedups. `dataset` is the catalog name the corpus is
+/// keyed by (the CLI uses the table name).
+pub fn index_document(table: &Table, run: &RunResult, dataset: &str) -> Document {
+    let mut terms = Vec::new();
+    for &q in &run.solution.sequence {
+        terms.extend(query_terms(table, run, q));
+    }
+    document(dataset, run.notebook.title.clone(), run.notebook.entries.len() as u64, terms)
+}
+
+/// A suggestion with its corpus evidence attached.
+#[derive(Debug, Clone)]
+pub struct EvidenceRanked {
+    /// The underlying proximity/interest suggestion.
+    pub suggestion: Suggestion,
+    /// Sum of the top similarity scores of prior notebooks resembling
+    /// this candidate (0 when the corpus holds nothing similar).
+    pub evidence: f64,
+    /// Final ranking score: `suggestion.score × (1 + evidence)`.
+    pub boosted: f64,
+}
+
+/// Reranks the continuation suggestions around `anchor_entry` by
+/// evidence from `index`: a candidate whose signature resembles
+/// previously generated notebooks is promoted. Draws a pool of
+/// `k × 4` base suggestions, scores each against the corpus (excluding
+/// `exclude_doc` — the current notebook's own document), and returns
+/// the top `k` by boosted score (ties: query index ascending).
+///
+/// # Errors
+/// As [`suggest_continuations`].
+pub fn rerank_suggestions(
+    table: &Table,
+    run: &RunResult,
+    index: &Index,
+    exclude_doc: &str,
+    anchor_entry: usize,
+    k: usize,
+    weights: &DistanceWeights,
+) -> Result<Vec<EvidenceRanked>, PipelineError> {
+    let pool = suggest_continuations(run, anchor_entry, k.saturating_mul(POOL_FACTOR), weights)?;
+    let mut ranked: Vec<EvidenceRanked> = pool
+        .into_iter()
+        .map(|suggestion| {
+            let terms = query_terms(table, run, suggestion.query);
+            let evidence: f64 = index
+                .search(&terms, EVIDENCE_HITS + 1, ScoreKind::Cosine, 1)
+                .into_iter()
+                .filter(|h| h.id != exclude_doc)
+                .take(EVIDENCE_HITS)
+                .map(|h| h.score)
+                .sum();
+            let boosted = suggestion.score * (1.0 + evidence);
+            EvidenceRanked { suggestion, evidence, boosted }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.boosted
+            .partial_cmp(&a.boosted)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.suggestion.query.cmp(&b.suggestion.query))
+    });
+    ranked.truncate(k);
+    Ok(ranked)
+}
+
+/// Builds the continuation notebook from reranked suggestions, ordered
+/// by increasing distance from the anchor — the same reading order and
+/// title scheme as `continue_notebook`, over the evidence-chosen set.
+pub fn continuation_from_reranked(
+    table: &Table,
+    run: &RunResult,
+    anchor_entry: usize,
+    reranked: &[EvidenceRanked],
+) -> Notebook {
+    let mut chosen: Vec<&EvidenceRanked> = reranked.iter().collect();
+    chosen.sort_by(|a, b| {
+        a.suggestion
+            .distance
+            .partial_cmp(&b.suggestion.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let sequence: Vec<usize> = chosen.iter().map(|r| r.suggestion.query).collect();
+    Notebook::build(
+        format!("Continuation of {} (entry {})", table.name(), anchor_entry + 1),
+        table,
+        &run.queries,
+        &run.insights,
+        &run.interests,
+        &sequence,
+        8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use cn_insight::significance::TestConfig;
+
+    fn sample(seed: u64) -> (cn_tabular::Table, RunResult) {
+        let t = cn_datagen::enedis_like(cn_datagen::Scale::TEST, seed);
+        let cfg = GeneratorConfig {
+            budgets: cn_tap::Budgets { epsilon_t: 5.0, epsilon_d: 40.0 },
+            generation_config: cn_insight::generation::GenerationConfig {
+                test: TestConfig { n_permutations: 199, seed: 6, ..Default::default() },
+                ..Default::default()
+            },
+            n_threads: 2,
+            ..Default::default()
+        };
+        let r = crate::run::run(&t, &cfg).unwrap();
+        (t, r)
+    }
+
+    #[test]
+    fn index_document_is_deterministic_and_typed() {
+        let (t, run) = sample(41);
+        let a = index_document(&t, &run, "demo");
+        let b = index_document(&t, &run, "demo");
+        assert_eq!(a, b, "same run must produce the identical document");
+        assert_eq!(a.dataset, "demo");
+        assert_eq!(a.entries, run.notebook.entries.len() as u64);
+        assert!(!a.terms.is_empty());
+        let names: Vec<&str> = a.terms.iter().map(|(t, _)| t.as_str()).collect();
+        for prefix in ["group:", "select:", "val:", "pair:", "measure:", "agg:", "type:", "sig:"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "expected a `{prefix}` term in {names:?}"
+            );
+        }
+        // Keyed by dataset: a different catalog name is a new document.
+        let c = index_document(&t, &run, "other");
+        assert_ne!(a.id, c.id);
+    }
+
+    #[test]
+    fn empty_index_reranking_preserves_base_order() {
+        let (t, run) = sample(41);
+        let w = DistanceWeights::default();
+        let base = suggest_continuations(&run, 0, 4, &w).unwrap();
+        let index = Index::new();
+        let reranked = rerank_suggestions(&t, &run, &index, "none", 0, 4, &w).unwrap();
+        assert_eq!(base.len(), reranked.len());
+        for (b, r) in base.iter().zip(reranked.iter()) {
+            assert_eq!(b.query, r.suggestion.query, "no evidence ⇒ base order");
+            assert_eq!(r.evidence, 0.0);
+            assert_eq!(r.boosted, r.suggestion.score);
+        }
+    }
+
+    #[test]
+    fn corpus_evidence_boosts_similar_candidates() {
+        let (t, run) = sample(41);
+        let w = DistanceWeights::default();
+        let mut index = Index::new();
+        // Register other runs so the corpus genuinely overlaps the
+        // candidate space (same generator family, different seeds).
+        for seed in [43, 47] {
+            let (t2, run2) = sample(seed);
+            index.insert(index_document(&t2, &run2, "demo"));
+        }
+        let own = index_document(&t, &run, "demo");
+        let reranked = rerank_suggestions(&t, &run, &index, &own.id, 0, 4, &w).unwrap();
+        assert!(!reranked.is_empty());
+        assert!(
+            reranked.iter().any(|r| r.evidence > 0.0),
+            "same-family corpus should produce evidence"
+        );
+        for r in &reranked {
+            assert!((r.boosted - r.suggestion.score * (1.0 + r.evidence)).abs() < 1e-12);
+        }
+        for pair in reranked.windows(2) {
+            assert!(pair[0].boosted >= pair[1].boosted - 1e-12);
+        }
+        // The continuation notebook over the chosen set reads nearest-first.
+        let nb = continuation_from_reranked(&t, &run, 0, &reranked);
+        assert!(nb.len() <= 4);
+        assert!(nb.title.contains("Continuation"));
+    }
+
+    #[test]
+    fn rerank_propagates_anchor_errors() {
+        let (t, run) = sample(41);
+        let n = run.solution.sequence.len();
+        let err =
+            rerank_suggestions(&t, &run, &Index::new(), "x", n + 1, 3, &DistanceWeights::default());
+        assert!(matches!(err, Err(PipelineError::AnchorOutOfRange { .. })));
+    }
+}

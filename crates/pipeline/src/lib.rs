@@ -24,6 +24,7 @@ pub mod config;
 pub mod dedup;
 pub mod error;
 pub mod groupby_cache;
+pub mod index;
 pub mod parallel;
 pub mod phases;
 pub mod run;
@@ -38,6 +39,7 @@ pub use config::{
 };
 pub use error::{ConfigError, PipelineError};
 pub use groupby_cache::GroupByCache;
+pub use index::{continuation_from_reranked, index_document, rerank_suggestions, EvidenceRanked};
 pub use phases::{PhaseTimings, PHASES, ROOT_SPAN};
 pub use run::{run, run_cancellable, run_cancellable_cached, run_observed, RunResult};
 pub use session::{continue_notebook, suggest_continuations, ExplorationSession, Suggestion};

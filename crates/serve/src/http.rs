@@ -22,8 +22,47 @@ pub struct Request {
     pub method: String,
     /// Path without query string.
     pub path: String,
+    /// Raw query string (after `?`, without it; empty when absent).
+    pub query: String,
     /// Raw body bytes (empty when the request has none).
     pub body: Vec<u8>,
+}
+
+/// Minimal percent-decoding for query values: `%XX` byte escapes and
+/// `+` as space. Invalid escapes pass through verbatim.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|hex| std::str::from_utf8(hex).ok())
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 impl Request {
@@ -37,6 +76,18 @@ impl Request {
     /// `["v1", "notebooks", "3"]`).
     pub fn segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// The percent-decoded value of query parameter `name`, `None`
+    /// when absent. A bare `?name` (no `=`) yields the empty string;
+    /// the first occurrence wins.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query
+            .split('&')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.split_once('=').unwrap_or((p, "")))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| percent_decode(v))
     }
 }
 
@@ -88,7 +139,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(ParseError::Malformed("empty request line"))?.to_uppercase();
     let target = parts.next().ok_or(ParseError::Malformed("missing request target"))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
     loop {
@@ -115,7 +169,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| ParseError::Io(e.to_string()))?;
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, query, body })
 }
 
 /// An outgoing JSON response.
@@ -220,8 +274,25 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/notebooks");
         assert_eq!(req.segments(), vec!["v1", "notebooks"]);
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x").as_deref(), Some("1"));
         let json = req.json().unwrap();
         assert_eq!(json["dataset"], "d");
+    }
+
+    #[test]
+    fn query_parameters_decode_and_first_wins() {
+        let req =
+            roundtrip("GET /v1/search?q=group%3Amonth+cases&k=5&q=second&flag HTTP/1.1\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.path, "/v1/search");
+        assert_eq!(req.query_param("q").as_deref(), Some("group:month cases"));
+        assert_eq!(req.query_param("k").as_deref(), Some("5"));
+        assert_eq!(req.query_param("flag").as_deref(), Some(""));
+        assert_eq!(req.query_param("absent"), None);
+        // Invalid escapes pass through instead of erroring.
+        assert_eq!(super::percent_decode("a%zz%4"), "a%zz%4");
+        assert_eq!(super::percent_decode("%41"), "A");
     }
 
     #[test]

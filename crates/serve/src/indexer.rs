@@ -1,0 +1,210 @@
+//! The background notebook indexer.
+//!
+//! With an index path configured ([`crate::ServeConfig::index_path`])
+//! the server opens (or cold-rebuilds) a `cn-index` corpus at startup
+//! and registers every completed generation job's notebook document
+//! through a dedicated `cn-serve-index` thread, fed by an mpsc channel
+//! whose senders live in the pipeline workers — when the workers exit
+//! at shutdown the channel disconnects and the indexer drains and
+//! stops, the same lifecycle discipline as the precompute worker.
+//!
+//! Searches (HTTP handlers, continuation reranks) go through
+//! [`ServeIndex`] so every one lands in `/metrics`: `index_searches`,
+//! `index_hits`, `index_search_empty`, and the `index_search_us`
+//! latency histogram.
+
+use cn_index::{Document, Hit, Index, LoadOutcome, ScoreKind};
+use cn_obs::{Hist, Metric, Registry};
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::sync::lock_unpoisoned;
+
+/// The server's shared similarity index: the in-memory corpus plus the
+/// CNIDX file it persists to after every registration.
+pub struct ServeIndex {
+    index: Mutex<Index>,
+    path: PathBuf,
+}
+
+impl ServeIndex {
+    /// Opens the index at `path` via `load_or_rebuild` — a damaged file
+    /// is quarantined and the corpus starts cold; the server always
+    /// comes up. Loaded documents count into `index_docs`.
+    pub fn open(path: PathBuf, obs: &Registry) -> ServeIndex {
+        let (index, outcome) = cn_index::load_or_rebuild(&path);
+        match outcome {
+            LoadOutcome::Loaded(n) => obs.add(Metric::IndexDocs, n as u64),
+            LoadOutcome::Fresh | LoadOutcome::Quarantined(_) | LoadOutcome::Failed(_) => {}
+        }
+        ServeIndex { index: Mutex::new(index), path }
+    }
+
+    /// Documents currently indexed.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.index).len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers `doc` and persists the corpus; a duplicate content id
+    /// is a no-op (no count, no write). Persistence failure is not
+    /// fatal — the in-memory corpus still serves; the next successful
+    /// registration rewrites the whole file.
+    pub fn register(&self, doc: Document, obs: &Registry) {
+        let mut index = lock_unpoisoned(&self.index);
+        if !index.insert(doc) {
+            return;
+        }
+        obs.inc(Metric::IndexDocs);
+        let _ = cn_index::save(&index, &self.path);
+    }
+
+    /// Weighted top-k search over the corpus, counted and timed.
+    pub fn search(
+        &self,
+        terms: &[(String, f64)],
+        k: usize,
+        kind: ScoreKind,
+        obs: &Registry,
+    ) -> Vec<Hit> {
+        let start = Instant::now();
+        let hits = lock_unpoisoned(&self.index).search(terms, k, kind, 1);
+        self.count(&hits, start, obs);
+        hits
+    }
+
+    /// Hits most similar to `doc` (excluding it), counted and timed.
+    /// Works whether or not `doc` itself is registered yet.
+    pub fn similar_to(
+        &self,
+        doc: &Document,
+        k: usize,
+        kind: ScoreKind,
+        obs: &Registry,
+    ) -> Vec<Hit> {
+        let start = Instant::now();
+        let hits = lock_unpoisoned(&self.index).similar_to(doc, k, kind, 1);
+        self.count(&hits, start, obs);
+        hits
+    }
+
+    /// Runs `f` against the corpus under the lock (continuation
+    /// reranking needs the raw [`Index`]), counted and timed as one
+    /// search.
+    pub fn with_index<R>(&self, obs: &Registry, f: impl FnOnce(&Index) -> R) -> R {
+        let start = Instant::now();
+        let out = f(&lock_unpoisoned(&self.index));
+        obs.inc(Metric::IndexSearches);
+        obs.record(Hist::IndexSearchMicros, start.elapsed().as_micros() as u64);
+        out
+    }
+
+    fn count(&self, hits: &[Hit], start: Instant, obs: &Registry) {
+        obs.inc(Metric::IndexSearches);
+        if hits.is_empty() {
+            obs.inc(Metric::IndexSearchEmpty);
+        } else {
+            obs.add(Metric::IndexHits, hits.len() as u64);
+        }
+        obs.record(Hist::IndexSearchMicros, start.elapsed().as_micros() as u64);
+    }
+}
+
+/// The `cn-serve-index` thread body: drain documents until every
+/// sender (one per pipeline worker) is gone.
+pub fn worker_loop(index: &ServeIndex, obs: &Registry, rx: &Receiver<Document>) {
+    while let Ok(doc) = rx.recv() {
+        index.register(doc, obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_index::document;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cn-serve-index-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("corpus.cnidx")
+    }
+
+    fn doc(title: &str) -> Document {
+        document("demo", title, 2, vec![("group:month".to_string(), 1.0)])
+    }
+
+    #[test]
+    fn register_persists_counts_and_dedups() {
+        let path = tmp("register");
+        let obs = Registry::new();
+        let ix = ServeIndex::open(path.clone(), &obs);
+        assert!(ix.is_empty());
+        ix.register(doc("a"), &obs);
+        ix.register(doc("a"), &obs); // duplicate: no-op
+        ix.register(doc("b"), &obs);
+        assert_eq!(ix.len(), 2);
+        assert_eq!(obs.get(Metric::IndexDocs), 2);
+        // A fresh open loads what was persisted, counting the docs.
+        let obs2 = Registry::new();
+        let reopened = ServeIndex::open(path.clone(), &obs2);
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(obs2.get(Metric::IndexDocs), 2);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn searches_land_in_metrics() {
+        let path = tmp("metrics");
+        let obs = Registry::new();
+        let ix = ServeIndex::open(path.clone(), &obs);
+        ix.register(doc("a"), &obs);
+        let hits = ix.search(&[("group:month".to_string(), 1.0)], 5, ScoreKind::Cosine, &obs);
+        assert_eq!(hits.len(), 1);
+        let none = ix.search(&[("group:nothing".to_string(), 1.0)], 5, ScoreKind::Cosine, &obs);
+        assert!(none.is_empty());
+        assert_eq!(obs.get(Metric::IndexSearches), 2);
+        assert_eq!(obs.get(Metric::IndexHits), 1);
+        assert_eq!(obs.get(Metric::IndexSearchEmpty), 1);
+        // similar_to an unregistered anchor works and excludes nothing.
+        let ghost = doc("ghost");
+        let sim = ix.similar_to(&ghost, 5, ScoreKind::Cosine, &obs);
+        assert_eq!(sim.len(), 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn a_damaged_file_quarantines_at_open() {
+        let path = tmp("damage");
+        let obs = Registry::new();
+        let ix = ServeIndex::open(path.clone(), &obs);
+        ix.register(doc("a"), &obs);
+        drop(ix);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let obs2 = Registry::new();
+        let reopened = ServeIndex::open(path.clone(), &obs2);
+        assert!(reopened.is_empty(), "corrupt file must fall back to a cold corpus");
+        assert_eq!(obs2.get(Metric::IndexDocs), 0);
+        assert!(
+            path.parent().unwrap().read_dir().unwrap().any(|e| e
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .contains("quarantined")),
+            "the damaged file is moved aside, not deleted"
+        );
+        // The cold corpus still registers and persists.
+        reopened.register(doc("b"), &obs2);
+        assert_eq!(reopened.len(), 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

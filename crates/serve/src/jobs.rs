@@ -18,6 +18,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
+use crate::sync::lock_unpoisoned;
+
 /// What a client asked for (already validated by the HTTP layer).
 #[derive(Debug, Clone)]
 pub struct JobSpec {
@@ -124,23 +126,23 @@ impl JobStore {
     /// Allocates an id and registers it as [`JobStatus::Queued`].
     pub fn create(&self) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.jobs.lock().unwrap().insert(id, JobStatus::Queued);
+        lock_unpoisoned(&self.jobs).insert(id, JobStatus::Queued);
         id
     }
 
     /// Replaces the status of `id`.
     pub fn set(&self, id: u64, status: JobStatus) {
-        self.jobs.lock().unwrap().insert(id, status);
+        lock_unpoisoned(&self.jobs).insert(id, status);
     }
 
     /// Forgets `id` (used when admission control rejects the job).
     pub fn remove(&self, id: u64) {
-        self.jobs.lock().unwrap().remove(&id);
+        lock_unpoisoned(&self.jobs).remove(&id);
     }
 
     /// Snapshot of the status of `id`.
     pub fn get(&self, id: u64) -> Option<JobStatus> {
-        self.jobs.lock().unwrap().get(&id).cloned()
+        lock_unpoisoned(&self.jobs).get(&id).cloned()
     }
 }
 

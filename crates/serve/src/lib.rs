@@ -9,8 +9,10 @@
 //! |---|---|
 //! | `POST /v1/notebooks` | generate a notebook on a named dataset |
 //! | `GET /v1/notebooks/{id}` | job status / finished notebook |
-//! | `POST /v1/sessions/{id}/continue` | continuations from the cached session |
+//! | `POST /v1/sessions/{id}/continue` | continuations from the cached session (`use_index` opts into retrieval-biased reranking) |
 //! | `GET /v1/datasets` | the dataset catalog |
+//! | `GET /v1/search` | top-k similarity search over indexed notebooks (`q`, `k`, `mode`) |
+//! | `GET /v1/notebooks/{id}/similar` | prior notebooks most similar to a finished job |
 //! | `GET /metrics` | `cn-obs` report (validates against `schemas/metrics.schema.json`) |
 //! | `GET /healthz` | liveness + queue depth |
 //!
@@ -48,6 +50,16 @@
 //! a retryability flag, and the request id that also tags the request's
 //! span in `/metrics`.
 //!
+//! With an index path configured ([`ServeConfig::index_path`]), the
+//! server keeps a **persistent similarity index** ([`indexer`], a
+//! `cn-index` CNIDX file): a background thread registers every
+//! completed job's notebook signature, `GET /v1/search` and `GET
+//! /v1/notebooks/{id}/similar` answer top-k queries over the corpus,
+//! and `use_index` on a continuation request reranks suggestions by
+//! evidence from similar prior notebooks. Indexing is strictly
+//! additive — with the knob unset, responses are byte-identical to an
+//! index-less server.
+//!
 //! ```no_run
 //! use cn_serve::{start, Catalog, DatasetSpec, ServeConfig};
 //! use std::sync::Arc;
@@ -69,14 +81,18 @@
 pub mod catalog;
 pub mod error;
 pub mod http;
+pub mod indexer;
 pub mod jobs;
 mod precompute;
 pub mod queue;
 pub mod server;
+pub mod sync;
 
 pub use catalog::{Catalog, CatalogError, DatasetSpec, StoreStatus};
 pub use cn_obs::Registry;
 pub use error::{ApiError, API_VERSION};
+pub use indexer::ServeIndex;
 pub use jobs::{JobSpec, JobStatus, JobStore};
 pub use queue::{JobQueue, SubmitError};
 pub use server::{start, Handle, ServeConfig};
+pub use sync::{lock_unpoisoned, wait_unpoisoned};

@@ -6,6 +6,7 @@
 //! work arrives or the queue is closed; closing still drains what was
 //! already admitted, which is exactly the graceful-shutdown contract.
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -55,7 +56,7 @@ impl<T> JobQueue<T> {
     /// [`SubmitError::Full`] at depth, [`SubmitError::Closed`] after
     /// [`JobQueue::close`].
     pub fn submit(&self, item: T) -> Result<(), SubmitError> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.state);
         if state.closed {
             return Err(SubmitError::Closed);
         }
@@ -69,7 +70,7 @@ impl<T> JobQueue<T> {
 
     /// Blocks for the next job; `None` once closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -77,20 +78,20 @@ impl<T> JobQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.cond.wait(state).unwrap();
+            state = wait_unpoisoned(&self.cond, state);
         }
     }
 
     /// Stops admission and wakes every blocked consumer. Already-queued
     /// jobs still drain through [`JobQueue::pop`].
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.cond.notify_all();
     }
 
     /// Jobs currently waiting (not the ones already being worked).
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        lock_unpoisoned(&self.state).items.len()
     }
 
     /// True when no job is waiting.

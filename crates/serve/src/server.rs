@@ -12,9 +12,12 @@
 use crate::catalog::Catalog;
 use crate::error::ApiError;
 use crate::http::{read_request, ParseError, Request, Response};
-use crate::jobs::{execute, Job, JobSpec, JobStatus, JobStore};
+use crate::indexer::ServeIndex;
+use crate::jobs::{execute, CompletedJob, Job, JobSpec, JobStatus, JobStore};
 use crate::queue::{JobQueue, SubmitError};
 use cn_fault::RetryPolicy;
+use cn_index::ScoreKind;
+use cn_interest::DistanceWeights;
 use cn_notebook::to_markdown;
 use cn_obs::{CancelToken, Metric, Registry};
 use serde_json::{json, Map, Value};
@@ -51,6 +54,11 @@ pub struct ServeConfig {
     /// Consecutive post-retry store I/O failures before the store flips
     /// to the degraded (fail-fast, cold-serving) state.
     pub degrade_after: u32,
+    /// CNIDX similarity-index file; `None` disables the index, the
+    /// background indexer, `GET /v1/search`, `GET
+    /// /v1/notebooks/{id}/similar`, and the `use_index` continuation
+    /// knob.
+    pub index_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +74,7 @@ impl Default for ServeConfig {
             store_dir: None,
             store_retry: RetryPolicy::default(),
             degrade_after: 2,
+            index_path: None,
         }
     }
 }
@@ -76,6 +85,9 @@ struct Shared {
     store: JobStore,
     queue: JobQueue<Job>,
     global: Arc<Registry>,
+    /// The similarity index; `None` when no [`ServeConfig::index_path`]
+    /// is configured.
+    index: Option<Arc<ServeIndex>>,
     draining: AtomicBool,
     /// Monotonic request ids (from 1): every parsed request gets one, it
     /// tags the request's span in the global registry, and every error
@@ -139,12 +151,16 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
     // The catalog was built against the server registry; reuse it so
     // catalog counters and job counters land in one place.
     let global = catalog.registry();
+    // Open (or cold-rebuild) the similarity index before taking
+    // traffic: a damaged file quarantines here, not mid-request.
+    let index = config.index_path.clone().map(|path| Arc::new(ServeIndex::open(path, &global)));
     let shared = Arc::new(Shared {
         queue: JobQueue::new(config.queue_depth),
         config,
         catalog,
         store: JobStore::new(),
         global,
+        index,
         draining: AtomicBool::new(false),
         next_request_id: AtomicU64::new(1),
     });
@@ -173,14 +189,38 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
                 .map_err(|e| e.to_string())?,
         );
     }
+    // Background indexer: one thread registering completed notebooks
+    // into the similarity index, fed by the pipeline workers. The
+    // senders live in the worker closures, so when the workers exit at
+    // queue close the channel disconnects and the indexer drains and
+    // stops — the same lifecycle as the precompute worker.
+    let index_tx = match &shared.index {
+        Some(index) => {
+            let (tx, rx) = mpsc::channel::<cn_index::Document>();
+            let index = index.clone();
+            let shared = shared.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("cn-serve-index".to_string())
+                    .spawn(move || {
+                        crate::indexer::worker_loop(&index, &shared.global, &rx);
+                    })
+                    .map_err(|e| e.to_string())?,
+            );
+            Some(tx)
+        }
+        None => None,
+    };
     // Pipeline workers: drain the bounded queue until close + empty.
     for i in 0..shared.config.pipeline_workers.max(1) {
         let shared = shared.clone();
+        let index_tx = index_tx.clone();
         threads.push(
             thread::Builder::new()
                 .name(format!("cn-serve-pipeline-{i}"))
                 .spawn(move || {
                     while let Some(job) = shared.queue.pop() {
+                        let id = job.spec.id;
                         execute(
                             job,
                             &shared.catalog,
@@ -189,11 +229,26 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
                             shared.config.run_threads,
                             &shared.config.store_retry,
                         );
+                        // Hand the finished notebook to the indexer; a
+                        // failed job has nothing to register, and a
+                        // closed channel just means shutdown.
+                        if let Some(tx) = &index_tx {
+                            if let Some(JobStatus::Done(c)) = shared.store.get(id) {
+                                let doc = cn_pipeline::index_document(
+                                    &c.table,
+                                    c.session.run(),
+                                    &c.dataset,
+                                );
+                                let _ = tx.send(doc);
+                            }
+                        }
                     }
                 })
                 .map_err(|e| e.to_string())?,
         );
     }
+    // Only the worker clones keep the index channel alive.
+    drop(index_tx);
     // HTTP workers feed from an internal connection queue.
     let connections: Arc<JobQueue<TcpStream>> = Arc::new(JobQueue::new(1024));
     for i in 0..shared.config.http_workers.max(1) {
@@ -264,8 +319,12 @@ fn route(request: &Request, shared: &Shared, request_id: u64) -> Response {
         ("GET", ["healthz"]) => handle_healthz(shared),
         ("GET", ["metrics"]) => handle_metrics(shared),
         ("GET", ["v1", "datasets"]) => handle_datasets(shared),
+        ("GET", ["v1", "search"]) => handle_search(request, shared, request_id),
         ("POST", ["v1", "notebooks"]) => handle_generate(request, shared, request_id),
         ("GET", ["v1", "notebooks", id]) => handle_get_notebook(id, shared, request_id),
+        ("GET", ["v1", "notebooks", id, "similar"]) => {
+            handle_similar(id, request, shared, request_id)
+        }
         ("POST", ["v1", "sessions", id, "continue"]) => {
             handle_continue(id, request, shared, request_id)
         }
@@ -447,6 +506,161 @@ fn notebook_payload(id: u64, request_id: u64, completed: &crate::jobs::Completed
     })
 }
 
+/// Reads the shared `k` / `mode` search parameters (defaults: 5,
+/// cosine).
+fn search_params(request: &Request) -> Result<(usize, ScoreKind), ApiError> {
+    let k = match request.query_param("k") {
+        None => 5,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => return Err(ApiError::bad_request("`k` must be a positive integer")),
+        },
+    };
+    let kind = match request.query_param("mode") {
+        None => ScoreKind::Cosine,
+        Some(raw) => match ScoreKind::parse(&raw) {
+            Some(kind) => kind,
+            None => return Err(ApiError::bad_request("`mode` must be `cosine` or `jaccard`")),
+        },
+    };
+    Ok((k, kind))
+}
+
+fn hits_json(hits: &[cn_index::Hit]) -> Vec<Value> {
+    hits.iter()
+        .map(|h| {
+            json!({
+                "id": h.id.clone(),
+                "dataset": h.dataset.clone(),
+                "title": h.title.clone(),
+                "entries": h.entries,
+                "score": h.score,
+            })
+        })
+        .collect()
+}
+
+fn handle_search(request: &Request, shared: &Shared, request_id: u64) -> Response {
+    let Some(index) = &shared.index else {
+        return ApiError::not_found("the similarity index is not enabled").to_response(request_id);
+    };
+    let Some(q) = request.query_param("q").filter(|q| !q.trim().is_empty()) else {
+        return ApiError::bad_request("missing required query parameter `q`")
+            .to_response(request_id);
+    };
+    let (k, kind) = match search_params(request) {
+        Ok(p) => p,
+        Err(e) => return e.to_response(request_id),
+    };
+    let terms = cn_index::parse_query(&q);
+    let hits = index.search(&terms, k, kind, &shared.global);
+    Response::json(
+        200,
+        &json!({
+            "api_version": crate::error::API_VERSION,
+            "request_id": request_id,
+            "query": q,
+            "k": k as u64,
+            "mode": kind.name(),
+            "hits": hits_json(&hits),
+        }),
+    )
+}
+
+fn handle_similar(raw_id: &str, request: &Request, shared: &Shared, request_id: u64) -> Response {
+    let Some(index) = &shared.index else {
+        return ApiError::not_found("the similarity index is not enabled").to_response(request_id);
+    };
+    let Some(id) = parse_id(raw_id) else {
+        return ApiError::bad_request("notebook id must be an integer").to_response(request_id);
+    };
+    let completed = match shared.store.get(id) {
+        Some(JobStatus::Done(c)) => c,
+        Some(status) => {
+            return ApiError::new(
+                409,
+                "conflict",
+                format!("notebook {id} is {}; only done jobs have a signature", status.name()),
+            )
+            .to_response(request_id)
+        }
+        None => {
+            return ApiError::not_found(format!("no notebook job {id}")).to_response(request_id)
+        }
+    };
+    let (k, kind) = match search_params(request) {
+        Ok(p) => p,
+        Err(e) => return e.to_response(request_id),
+    };
+    let doc =
+        cn_pipeline::index_document(&completed.table, completed.session.run(), &completed.dataset);
+    let hits = index.similar_to(&doc, k, kind, &shared.global);
+    Response::json(
+        200,
+        &json!({
+            "api_version": crate::error::API_VERSION,
+            "request_id": request_id,
+            "id": id,
+            "anchor": doc.id,
+            "k": k as u64,
+            "mode": kind.name(),
+            "hits": hits_json(&hits),
+        }),
+    )
+}
+
+/// The `use_index == true` continuation: suggestions reranked by
+/// evidence from similar prior notebooks in the corpus, the notebook
+/// built from the evidence-chosen set. The default path never enters
+/// here, so its output stays byte-identical with the index enabled.
+fn continue_indexed(
+    id: u64,
+    completed: &CompletedJob,
+    index: &ServeIndex,
+    anchor: usize,
+    k: usize,
+    shared: &Shared,
+    request_id: u64,
+) -> Response {
+    let run = completed.session.run();
+    let own = cn_pipeline::index_document(&completed.table, run, &completed.dataset);
+    let weights = DistanceWeights::default();
+    let reranked = index.with_index(&shared.global, |ix| {
+        cn_pipeline::rerank_suggestions(&completed.table, run, ix, &own.id, anchor, k, &weights)
+    });
+    let reranked = match reranked {
+        Ok(r) => r,
+        Err(e) => return ApiError::from_pipeline(&e).to_response(request_id),
+    };
+    let notebook =
+        cn_pipeline::continuation_from_reranked(&completed.table, run, anchor, &reranked);
+    let suggestions: Vec<Value> = reranked
+        .iter()
+        .map(|r| {
+            json!({
+                "query": r.suggestion.query as u64,
+                "distance": r.suggestion.distance,
+                "interest": r.suggestion.interest,
+                "score": r.suggestion.score,
+                "evidence": r.evidence,
+                "boosted": r.boosted,
+            })
+        })
+        .collect();
+    Response::json(
+        200,
+        &json!({
+            "api_version": crate::error::API_VERSION,
+            "id": id,
+            "request_id": request_id,
+            "anchor": anchor as u64,
+            "use_index": true,
+            "suggestions": suggestions,
+            "markdown": to_markdown(&notebook),
+        }),
+    )
+}
+
 fn handle_continue(raw_id: &str, request: &Request, shared: &Shared, request_id: u64) -> Response {
     let Some(id) = parse_id(raw_id) else {
         return ApiError::bad_request("session id must be an integer").to_response(request_id);
@@ -466,6 +680,15 @@ fn handle_continue(raw_id: &str, request: &Request, shared: &Shared, request_id:
     let body = request.json().unwrap_or(Value::Null);
     let anchor = u64_field(&body, "anchor").unwrap_or(0) as usize;
     let k = u64_field(&body, "k").unwrap_or(3) as usize;
+    if body.get("use_index").and_then(Value::as_bool).unwrap_or(false) {
+        let Some(index) = &shared.index else {
+            return ApiError::bad_request(
+                "`use_index` requires the similarity index to be enabled",
+            )
+            .to_response(request_id);
+        };
+        return continue_indexed(id, &completed, index, anchor, k, shared, request_id);
+    }
     let suggestions = match completed.session.suggest(anchor, k) {
         Ok(s) => s,
         Err(e) => return ApiError::from_pipeline(&e).to_response(request_id),

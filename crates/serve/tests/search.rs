@@ -1,0 +1,273 @@
+//! End-to-end tests of the similarity index over a real socket: the
+//! background indexer, `/v1/search` and `/v1/notebooks/{id}/similar`,
+//! persistence across restarts, quarantine of a damaged index file,
+//! and the `use_index` continuation knob — including the guarantee
+//! that *not* opting in leaves responses byte-identical to an
+//! index-less server.
+
+use cn_obs::Metric;
+use cn_serve::{start, Catalog, DatasetSpec, Handle, Registry, ServeConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn covid_csv() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../data/covid_sample.csv")
+}
+
+fn schema(name: &str) -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas").join(name);
+    serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+fn assert_valid(body: &Value, schema_name: &str) {
+    if let Err(violations) = cn_obs::schema::validate(body, &schema(schema_name)) {
+        panic!("body violates {schema_name}: {violations:?}\nbody: {body}");
+    }
+}
+
+fn assert_error(body: &Value, code: &str) {
+    assert_valid(body, "api_error.schema.json");
+    assert_eq!(body["error"]["code"].as_str().unwrap(), code, "body: {body}");
+}
+
+fn test_server(index_path: Option<PathBuf>) -> Handle {
+    let registry = Arc::new(Registry::new());
+    let mut catalog = Catalog::new(4, registry);
+    catalog.register(DatasetSpec {
+        name: "covid".to_string(),
+        path: covid_csv(),
+        measures: None,
+        ignore: Vec::new(),
+    });
+    let config = ServeConfig {
+        http_workers: 4,
+        pipeline_workers: 2,
+        queue_depth: 16,
+        index_path,
+        ..ServeConfig::default()
+    };
+    start(config, catalog).expect("bind an ephemeral port")
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap();
+    let json_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .filter(|b| !b.is_empty())
+        .and_then(|b| serde_json::from_str(b).ok())
+        .unwrap_or(Value::Null);
+    (status, json_body)
+}
+
+fn generate(addr: SocketAddr, seed: u64) -> u64 {
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/notebooks",
+        Some(&format!(r#"{{"dataset":"covid","len":3,"perms":99,"seed":{seed}}}"#)),
+    );
+    assert_eq!(status, 200, "generation failed: {body:?}");
+    body["id"].as_u64().unwrap()
+}
+
+/// Waits for the background indexer to reach `n` registered documents.
+fn await_index_docs(handle: &Handle, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while handle.registry().get(Metric::IndexDocs) < n {
+        assert!(Instant::now() < deadline, "indexer never reached {n} docs");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn tmp_index(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cn-serve-search-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("notebooks.cnidx")
+}
+
+#[test]
+fn indexed_server_end_to_end() {
+    let index_path = tmp_index("e2e");
+    let handle = test_server(Some(index_path.clone()));
+    let addr = handle.addr();
+
+    // An empty corpus answers, it just has nothing to say.
+    let (status, body) = request(addr, "GET", "/v1/search?q=cases", None);
+    assert_eq!(status, 200);
+    assert_valid(&body, "search.schema.json");
+    assert!(body["hits"].as_array().unwrap().is_empty());
+
+    // Two generated notebooks reach the index in the background.
+    let id = generate(addr, 1);
+    generate(addr, 2);
+    await_index_docs(&handle, 2);
+    assert!(index_path.exists(), "registration persists the corpus");
+
+    // Bad parameters are typed 400 envelopes.
+    let (status, body) = request(addr, "GET", "/v1/search", None);
+    assert_eq!(status, 400);
+    assert_error(&body, "bad_request");
+    let (status, body) = request(addr, "GET", "/v1/search?q=cases&k=0", None);
+    assert_eq!(status, 400);
+    assert_error(&body, "bad_request");
+    let (status, body) = request(addr, "GET", "/v1/search?q=cases&mode=manhattan", None);
+    assert_eq!(status, 400);
+    assert_error(&body, "bad_request");
+
+    // Search finds the registered notebooks, and repeating the query
+    // returns the identical ranking (only the request id moves).
+    let (status, first) = request(addr, "GET", "/v1/search?q=measure%3Acases&k=5", None);
+    assert_eq!(status, 200, "search failed: {first:?}");
+    assert_valid(&first, "search.schema.json");
+    assert_eq!(first["mode"], "cosine");
+    assert_eq!(first["query"], "measure:cases");
+    assert!(!first["hits"].as_array().unwrap().is_empty(), "indexed notebooks must match");
+    let (_, second) = request(addr, "GET", "/v1/search?q=measure%3Acases&k=5", None);
+    assert_eq!(first["hits"], second["hits"], "same corpus, same query, same ranking");
+    let (status, jaccard) = request(addr, "GET", "/v1/search?q=measure%3Acases&mode=jaccard", None);
+    assert_eq!(status, 200);
+    assert_valid(&jaccard, "search.schema.json");
+    assert_eq!(jaccard["mode"], "jaccard");
+
+    // Similar notebooks for a finished job exclude the job itself.
+    let (status, similar) = request(addr, "GET", &format!("/v1/notebooks/{id}/similar?k=3"), None);
+    assert_eq!(status, 200, "similar failed: {similar:?}");
+    assert_valid(&similar, "search.schema.json");
+    let anchor = similar["anchor"].as_str().unwrap();
+    for hit in similar["hits"].as_array().unwrap() {
+        assert_ne!(hit["id"].as_str().unwrap(), anchor, "a notebook is not similar to itself");
+    }
+    let (status, body) = request(addr, "GET", "/v1/notebooks/99999/similar", None);
+    assert_eq!(status, 404);
+    assert_error(&body, "not_found");
+
+    // The opt-in indexed continuation carries evidence fields.
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/v1/sessions/{id}/continue"),
+        Some(r#"{"anchor":0,"k":2,"use_index":true}"#),
+    );
+    assert_eq!(status, 200, "indexed continuation failed: {body:?}");
+    assert_eq!(body["use_index"], true);
+    let suggestions = body["suggestions"].as_array().unwrap();
+    assert!(!suggestions.is_empty());
+    for s in suggestions {
+        assert!(s["evidence"].is_number());
+        assert!(s["boosted"].is_number());
+    }
+    assert!(body["markdown"].as_str().unwrap().contains("Continuation"));
+
+    // Search traffic landed in /metrics.
+    let report = handle.registry().report();
+    assert!(report.counter("index_searches") >= 5);
+    assert!(report.counter("index_hits") >= 1);
+    assert!(report.counter("index_search_empty") >= 1);
+    assert_eq!(report.counter("index_docs"), 2);
+
+    handle.shutdown();
+    handle.join();
+
+    // A restart loads the persisted corpus instead of starting cold.
+    let handle = test_server(Some(index_path.clone()));
+    assert_eq!(handle.registry().get(Metric::IndexDocs), 2, "corpus survives restart");
+    let (status, body) = request(handle.addr(), "GET", "/v1/search?q=measure%3Acases&k=5", None);
+    assert_eq!(status, 200);
+    assert_eq!(body["hits"], first["hits"], "the reloaded corpus answers identically");
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(index_path.parent().unwrap());
+}
+
+#[test]
+fn default_continuations_are_identical_with_and_without_the_index() {
+    let index_path = tmp_index("identity");
+    let indexed = test_server(Some(index_path.clone()));
+    let plain = test_server(None);
+
+    // Same dataset, same seed, same knobs — and on the indexed server
+    // the corpus already holds other notebooks, so any accidental
+    // index influence on the default path would show.
+    generate(indexed.addr(), 7);
+    let a = generate(indexed.addr(), 3);
+    let b = generate(plain.addr(), 3);
+    await_index_docs(&indexed, 2);
+    let body = r#"{"anchor":0,"k":2}"#;
+    let (status_a, from_indexed) =
+        request(indexed.addr(), "POST", &format!("/v1/sessions/{a}/continue"), Some(body));
+    let (status_b, from_plain) =
+        request(plain.addr(), "POST", &format!("/v1/sessions/{b}/continue"), Some(body));
+    assert_eq!(status_a, 200);
+    assert_eq!(status_b, 200);
+    assert_eq!(
+        from_indexed["suggestions"], from_plain["suggestions"],
+        "without `use_index` the index must not touch the ranking"
+    );
+    assert_eq!(from_indexed["markdown"], from_plain["markdown"]);
+    assert!(from_indexed.get("use_index").is_none(), "default path carries no index marker");
+
+    indexed.shutdown();
+    indexed.join();
+    plain.shutdown();
+    plain.join();
+    let _ = std::fs::remove_dir_all(index_path.parent().unwrap());
+}
+
+#[test]
+fn search_routes_404_without_an_index() {
+    let handle = test_server(None);
+    let addr = handle.addr();
+    let (status, body) = request(addr, "GET", "/v1/search?q=cases", None);
+    assert_eq!(status, 404);
+    assert_error(&body, "not_found");
+    let (status, body) = request(addr, "GET", "/v1/notebooks/1/similar", None);
+    assert_eq!(status, 404);
+    assert_error(&body, "not_found");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn a_damaged_index_file_quarantines_and_the_server_starts_cold() {
+    let index_path = tmp_index("damage");
+    std::fs::write(&index_path, b"CNINDEX\nthis is not a valid envelope").unwrap();
+    let handle = test_server(Some(index_path.clone()));
+    let addr = handle.addr();
+    let (status, health) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(health["status"], "ok", "a damaged index never blocks startup");
+    assert_eq!(handle.registry().get(Metric::IndexDocs), 0);
+    let quarantined = index_path.with_extension("cnidx.quarantined");
+    assert!(quarantined.exists(), "the damaged file is moved aside, not deleted");
+    // The cold index still registers new work.
+    generate(addr, 1);
+    await_index_docs(&handle, 1);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(index_path.parent().unwrap());
+}
+
+#[test]
+fn shipped_search_example_matches_the_schema() {
+    let example =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/serve_search.json");
+    let body: Value = serde_json::from_str(&std::fs::read_to_string(example).unwrap()).unwrap();
+    assert_valid(&body, "search.schema.json");
+    assert_eq!(body["api_version"].as_u64(), Some(cn_serve::API_VERSION));
+}

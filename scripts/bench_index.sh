@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Similarity-index benchmark: insert + top-k search throughput, CNIDX
+# save/load, and the determinism assertions (thread-count invariance,
+# save/load invariance). Writes BENCH_index.json at the repository root.
+set -euo pipefail
+
+OUT="${OUT:-BENCH_index.json}"
+
+# SKIP_BUILD=1 reuses an existing release binary (local runs).
+if [ -z "${SKIP_BUILD:-}" ]; then
+  cargo build --release -p cn-bench --bin bench_index
+fi
+
+# SMALL=1 runs the CI-sized corpus.
+if [ -n "${SMALL:-}" ]; then
+  set -- --small "$@"
+fi
+
+./target/release/bench_index --out "${OUT}" "$@"

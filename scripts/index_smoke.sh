@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Smoke test of the similarity index, end to end: start cn-serve with
+# an index, generate notebooks, watch the background indexer register
+# them, search the corpus (twice — the ranking must not move), fetch
+# similar notebooks, run a retrieval-biased continuation, check the
+# index counters in /metrics, and drive the same corpus from the
+# `cn index` CLI.
+set -euo pipefail
+
+PORT="${PORT:-7989}"
+BASE="http://127.0.0.1:${PORT}"
+INDEX_DIR="$(mktemp -d)"
+INDEX="${INDEX_DIR}/notebooks.cnidx"
+trap 'rm -rf "${INDEX_DIR}"' EXIT
+
+# SKIP_BUILD=1 reuses an existing release binary (local runs).
+if [ -z "${SKIP_BUILD:-}" ]; then
+  cargo build --release -p cn-core --bin cn
+fi
+
+./target/release/cn serve \
+  --port "${PORT}" \
+  --dataset covid=data/covid_sample.csv \
+  --index-path "${INDEX}" \
+  --queue-depth 8 --serve-workers 2 --threads 2 &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true; rm -rf "${INDEX_DIR}"' EXIT
+
+for _ in $(seq 1 50); do
+  if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "${BASE}/healthz" | grep -q '"ok"'
+
+# Before anything is indexed, search answers with an empty hit list —
+# and with the index enabled it is a 200, not a 404.
+curl -sf "${BASE}/v1/search?q=cases" | grep -q '"hits": *\[\]'
+
+# Two different notebooks; the background indexer registers both.
+R1=$(curl -sf -X POST "${BASE}/v1/notebooks" \
+  -d '{"dataset": "covid", "len": 4, "perms": 99, "seed": 7}')
+echo "${R1}" | grep -q '"status": *"done"'
+ID=$(echo "${R1}" | sed -n 's/.*"id": *\([0-9]*\).*/\1/p')
+curl -sf -X POST "${BASE}/v1/notebooks" \
+  -d '{"dataset": "covid", "len": 3, "perms": 99, "seed": 11}' >/dev/null
+
+for _ in $(seq 1 50); do
+  if curl -sf "${BASE}/metrics" | grep -q '"index_docs": *2'; then break; fi
+  sleep 0.2
+done
+curl -sf "${BASE}/metrics" | grep -q '"index_docs": *2'
+[ -f "${INDEX}" ] || { echo "indexer never persisted ${INDEX}"; exit 1; }
+
+# Deterministic search: the same query twice returns the same hits.
+S1=$(curl -sf "${BASE}/v1/search?q=measure%3Acases&k=5")
+S2=$(curl -sf "${BASE}/v1/search?q=measure%3Acases&k=5")
+echo "${S1}" | grep -q '"hits": *\[ *{'
+[ "$(echo "${S1}" | sed 's/"request_id": *[0-9]*//')" = \
+  "$(echo "${S2}" | sed 's/"request_id": *[0-9]*//')" ] \
+  || { echo "search ranking moved between identical queries"; exit 1; }
+
+# Similar notebooks for a finished job; bad parameters are typed 400s.
+curl -sf "${BASE}/v1/notebooks/${ID}/similar?k=3" | grep -q '"anchor"'
+STATUS=$(curl -s -o /tmp/cn_index_400.json -w '%{http_code}' "${BASE}/v1/search?k=5")
+[ "${STATUS}" = "400" ]
+grep -q '"code": *"bad_request"' /tmp/cn_index_400.json
+
+# The opt-in retrieval-biased continuation carries evidence scores.
+curl -sf -X POST "${BASE}/v1/sessions/${ID}/continue" \
+  -d '{"anchor": 0, "k": 2, "use_index": true}' | grep -q '"evidence"'
+
+# Index counters landed in /metrics.
+curl -sf "${BASE}/metrics" >/tmp/cn_index_metrics.json
+grep -q '"index_searches": *[1-9]' /tmp/cn_index_metrics.json
+grep -q '"index_hits": *[1-9]' /tmp/cn_index_metrics.json
+grep -q '"index_search_us"' /tmp/cn_index_metrics.json
+
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+
+# --- CLI flow over its own corpus --------------------------------------
+CLI_INDEX="${INDEX_DIR}/cli.cnidx"
+./target/release/cn index build --index-path "${CLI_INDEX}" \
+  --demo-data --len 4 --perms 99 --threads 2 --seed 3
+./target/release/cn index inspect --index-path "${CLI_INDEX}" | grep -q '1 documents'
+# Rebuilding dedups instead of duplicating.
+./target/release/cn index build --index-path "${CLI_INDEX}" \
+  --demo-data --len 4 --perms 99 --threads 2 --seed 3 2>&1 | grep -q 'already indexed'
+./target/release/cn index search --index-path "${CLI_INDEX}" \
+  --query "group:city measure:consumption_kwh" --k 3 | grep -q 'demo'
+
+echo "index smoke passed"

@@ -73,12 +73,16 @@ grep -q '"request_id": *[1-9]' /tmp/cn_smoke_404.json
 # Then: a burst of slow jobs against the single worker and depth-2
 # queue must shed at least one request with 429 queue_full and a
 # Retry-After header.
+BURST_PIDS=""
 for i in $(seq 1 6); do
   curl -s -D "/tmp/cn_smoke_h${i}" -o "/tmp/cn_smoke_b${i}" \
     -X POST "${BASE}/v1/notebooks" \
     -d '{"dataset": "covid", "len": 2, "perms": 20000}' &
+  BURST_PIDS="${BURST_PIDS} $!"
 done
-wait
+# Wait for the burst curls only — a bare `wait` would also wait on the
+# background server, which never exits on its own.
+wait ${BURST_PIDS}
 SHED=""
 for i in $(seq 1 6); do
   if grep -q '^HTTP/1.1 429' "/tmp/cn_smoke_h${i}"; then SHED="${i}"; break; fi
