@@ -38,6 +38,9 @@ fn usage() -> ! {
            --store-dir DIR    warm-start artifact store + precompute worker\n\
            --index-path FILE  similarity index + background indexer\n\
                               (enables /v1/search and /v1/notebooks/ID/similar)\n\
+           --sched-config F   multi-tenant scheduling policy (TOML: per-tenant\n\
+                              weight/rate/burst/max_queued; enables X-CN-Tenant,\n\
+                              token buckets, and request coalescing)\n\
          \n\
          STORE OPTIONS:\n\
            --store-dir DIR    artifact directory (required)\n\
@@ -96,6 +99,7 @@ struct Args {
     deadline_ms: Option<u64>,
     store_dir: Option<PathBuf>,
     index_path: Option<PathBuf>,
+    sched_config: Option<PathBuf>,
     query: Option<String>,
     k: usize,
     mode: String,
@@ -127,6 +131,7 @@ fn parse_args() -> Args {
         deadline_ms: None,
         store_dir: None,
         index_path: None,
+        sched_config: None,
         query: None,
         k: 5,
         mode: "cosine".to_string(),
@@ -173,6 +178,7 @@ fn parse_args() -> Args {
             }
             "--store-dir" => args.store_dir = Some(PathBuf::from(value(&rest, &mut i))),
             "--index-path" => args.index_path = Some(PathBuf::from(value(&rest, &mut i))),
+            "--sched-config" => args.sched_config = Some(PathBuf::from(value(&rest, &mut i))),
             "--query" => args.query = Some(value(&rest, &mut i)),
             "--k" => args.k = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
             "--mode" => args.mode = value(&rest, &mut i),
@@ -389,7 +395,19 @@ fn cmd_run(args: &Args) {
 }
 
 fn cmd_serve(args: &Args) {
-    use cn_core::serve::{start, Catalog, DatasetSpec, ServeConfig};
+    use cn_core::serve::{start, Catalog, DatasetSpec, SchedConfig, ServeConfig};
+
+    // Fail a bad policy file before binding the port.
+    let sched = args.sched_config.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read sched config {}: {e}", path.display());
+            exit(2)
+        });
+        SchedConfig::parse_toml(&text).unwrap_or_else(|e| {
+            eprintln!("invalid sched config {}: {e}", path.display());
+            exit(2)
+        })
+    });
 
     let registry = std::sync::Arc::new(Registry::new());
     let mut catalog = Catalog::new(8, registry);
@@ -418,6 +436,7 @@ fn cmd_serve(args: &Args) {
         run_threads: args.threads,
         store_dir: args.store_dir.clone(),
         index_path: args.index_path.clone(),
+        sched,
         ..ServeConfig::default()
     };
     let handle = match start(config, catalog) {
@@ -432,6 +451,9 @@ fn cmd_serve(args: &Args) {
     }
     if let Some(path) = &args.index_path {
         eprintln!("similarity index at {}; background indexer running", path.display());
+    }
+    if let Some(path) = &args.sched_config {
+        eprintln!("multi-tenant scheduling policy {} loaded; X-CN-Tenant honored", path.display());
     }
     eprintln!("cn-serve listening on http://{}", handle.addr());
     eprintln!("  POST /v1/notebooks {{\"dataset\": \"demo\", \"len\": 5}}");

@@ -19,6 +19,10 @@
 //!   count and the steady-state cost is one integer add.
 //! - **Histograms** ([`Hist`]) — power-of-two-bucketed distributions
 //!   (cube group counts, per-task test counts, interest scores).
+//! - **Gauges** ([`Gauge`]) — point-in-time levels (queue depth,
+//!   in-flight jobs) with set-not-sum semantics: [`Registry::merge`]
+//!   leaves them alone, since two snapshots of one queue are not twice
+//!   the queue.
 //!
 //! A [`Registry`] is an explicit value — create one per run (or one per
 //! long-lived session) and pass `&Registry` down; there is no global
@@ -38,6 +42,6 @@ pub mod report;
 pub mod schema;
 
 pub use cancel::{CancelToken, Cancelled};
-pub use metric::{Hist, LocalMetrics, Metric};
+pub use metric::{Gauge, Hist, LocalMetrics, Metric};
 pub use registry::{Registry, SpanGuard};
-pub use report::{CounterValue, HistogramReport, Report, SpanRecord};
+pub use report::{CounterValue, GaugeValue, HistogramReport, Report, SpanRecord};

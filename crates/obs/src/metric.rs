@@ -113,11 +113,21 @@ pub enum Metric {
     IndexHits,
     /// Similarity searches that returned no hits.
     IndexSearchEmpty,
+    /// Jobs handed to pipeline workers by the fair-share scheduler.
+    SchedDispatched,
+    /// Jobs shed at dispatch because their deadline had already passed
+    /// (counted, never run).
+    SchedShedExpired,
+    /// Submissions that attached as followers to an identical in-flight
+    /// job instead of running the pipeline again.
+    SchedCoalesced,
+    /// Submissions rejected by a tenant's token-bucket rate limit.
+    SchedRejectedRate,
 }
 
 impl Metric {
     /// Every counter, in export order.
-    pub const ALL: [Metric; 44] = [
+    pub const ALL: [Metric; 48] = [
         Metric::RowsScanned,
         Metric::DictBytes,
         Metric::SampledRows,
@@ -162,6 +172,10 @@ impl Metric {
         Metric::IndexSearches,
         Metric::IndexHits,
         Metric::IndexSearchEmpty,
+        Metric::SchedDispatched,
+        Metric::SchedShedExpired,
+        Metric::SchedCoalesced,
+        Metric::SchedRejectedRate,
     ];
 
     /// Number of counters.
@@ -214,6 +228,10 @@ impl Metric {
             Metric::IndexSearches => "index_searches",
             Metric::IndexHits => "index_hits",
             Metric::IndexSearchEmpty => "index_search_empty",
+            Metric::SchedDispatched => "sched_dispatched",
+            Metric::SchedShedExpired => "sched_shed_expired",
+            Metric::SchedCoalesced => "sched_coalesced",
+            Metric::SchedRejectedRate => "sched_rejected_rate",
         }
     }
 }
@@ -232,16 +250,22 @@ pub enum Hist {
     RetryBackoffMs,
     /// Similarity-search latencies, in microseconds.
     IndexSearchMicros,
+    /// Scheduler queue waits of interactive-class jobs, in microseconds.
+    SchedWaitInteractiveMicros,
+    /// Scheduler queue waits of batch-class jobs, in microseconds.
+    SchedWaitBatchMicros,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 7] = [
         Hist::TestsPerTask,
         Hist::CubeGroups,
         Hist::InterestScoreMilli,
         Hist::RetryBackoffMs,
         Hist::IndexSearchMicros,
+        Hist::SchedWaitInteractiveMicros,
+        Hist::SchedWaitBatchMicros,
     ];
 
     /// Number of histograms.
@@ -255,6 +279,37 @@ impl Hist {
             Hist::InterestScoreMilli => "interest_score_milli",
             Hist::RetryBackoffMs => "retry_backoff_ms",
             Hist::IndexSearchMicros => "index_search_us",
+            Hist::SchedWaitInteractiveMicros => "sched_wait_us_interactive",
+            Hist::SchedWaitBatchMicros => "sched_wait_us_batch",
+        }
+    }
+}
+
+/// Point-in-time levels, as opposed to the monotonic [`Metric`]
+/// counters: a gauge is *set* to the current value at observation time,
+/// and merging registries keeps the destination's level instead of
+/// summing (two snapshots of the same queue are not twice the queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Generation jobs waiting in the scheduler right now.
+    QueueDepth,
+    /// Generation jobs dispatched to a worker and not yet finished.
+    InflightJobs,
+}
+
+impl Gauge {
+    /// Every gauge, in export order.
+    pub const ALL: [Gauge; 2] = [Gauge::QueueDepth, Gauge::InflightJobs];
+
+    /// Number of gauges.
+    pub const COUNT: usize = Gauge::ALL.len();
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::InflightJobs => "inflight_jobs",
         }
     }
 }
@@ -342,6 +397,9 @@ mod tests {
         for h in Hist::ALL {
             assert!(seen.insert(h.name()), "duplicate hist name {}", h.name());
         }
+        for g in Gauge::ALL {
+            assert!(seen.insert(g.name()), "duplicate gauge name {}", g.name());
+        }
     }
 
     #[test]
@@ -351,6 +409,9 @@ mod tests {
         }
         for (i, h) in Hist::ALL.iter().enumerate() {
             assert_eq!(*h as usize, i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
         }
     }
 

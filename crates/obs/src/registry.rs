@@ -1,7 +1,7 @@
 //! The thread-safe recording surface: counters, histograms, and spans.
 
-use crate::metric::{bucket_of, Hist, LocalMetrics, Metric, N_BUCKETS};
-use crate::report::{CounterValue, HistogramReport, Report, SpanRecord};
+use crate::metric::{bucket_of, Gauge, Hist, LocalMetrics, Metric, N_BUCKETS};
+use crate::report::{CounterValue, GaugeValue, HistogramReport, Report, SpanRecord};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +44,7 @@ pub struct Registry {
     /// must not grow without bound).
     discarding: bool,
     counters: [AtomicU64; Metric::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
     hists: [AtomicHistogram; Hist::COUNT],
     spans: Mutex<Vec<SpanRecord>>,
     next_span: AtomicU64,
@@ -70,6 +71,7 @@ impl Registry {
             epoch: Instant::now(),
             discarding: false,
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| AtomicHistogram::new()),
             spans: Mutex::new(Vec::new()),
             next_span: AtomicU64::new(1),
@@ -102,6 +104,19 @@ impl Registry {
         self.counters[m as usize].load(Ordering::Relaxed)
     }
 
+    /// Sets gauge `g` to its current level. Unlike counters, the last
+    /// write wins — callers observe the level at export time rather than
+    /// accumulating deltas.
+    #[inline]
+    pub fn set_gauge(&self, g: Gauge, v: u64) {
+        self.gauges[g as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Current level of gauge `g`.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize].load(Ordering::Relaxed)
+    }
+
     /// Records one histogram observation.
     #[inline]
     pub fn record(&self, h: Hist, v: u64) {
@@ -124,6 +139,8 @@ impl Registry {
     /// global totals are additive and independent of request
     /// interleaving. Spans are *not* merged: a span tree describes one
     /// run, and the per-request registry remains the place to export it.
+    /// Gauges are *not* merged either — a level is not additive, and the
+    /// destination registry's own last `set_gauge` stays authoritative.
     ///
     /// Reads of `other` are relaxed snapshots; merge a registry after
     /// its run has finished (concurrent writers would not corrupt
@@ -203,6 +220,10 @@ impl Registry {
             .iter()
             .map(|&m| CounterValue { name: m.name(), value: self.get(m) })
             .collect();
+        let gauges = Gauge::ALL
+            .iter()
+            .map(|&g| GaugeValue { name: g.name(), value: self.gauge(g) })
+            .collect();
         let histograms = Hist::ALL
             .iter()
             .map(|&h| {
@@ -217,7 +238,7 @@ impl Registry {
             .collect();
         let mut spans = self.spans.lock().clone();
         spans.sort_by_key(|s| (s.start, s.id));
-        Report { counters, histograms, spans }
+        Report { counters, gauges, histograms, spans }
     }
 }
 
@@ -413,6 +434,20 @@ mod tests {
             }
         });
         assert_eq!(r.get(Metric::TestsPerformed), 8000);
+    }
+
+    #[test]
+    fn gauges_are_set_not_summed() {
+        let global = Registry::new();
+        global.set_gauge(Gauge::QueueDepth, 5);
+        global.set_gauge(Gauge::QueueDepth, 3);
+        assert_eq!(global.gauge(Gauge::QueueDepth), 3, "last write wins");
+        // Merging a request registry must not disturb the level.
+        let request = Registry::new();
+        request.set_gauge(Gauge::QueueDepth, 100);
+        global.merge(&request);
+        assert_eq!(global.gauge(Gauge::QueueDepth), 3);
+        assert_eq!(global.gauge(Gauge::InflightJobs), 0);
     }
 
     #[test]

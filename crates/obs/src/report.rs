@@ -10,6 +10,13 @@ pub struct CounterValue {
     pub value: u64,
 }
 
+/// One gauge level at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeValue {
+    pub name: &'static str,
+    pub value: u64,
+}
+
 /// One histogram at snapshot time (power-of-two buckets, see
 /// [`crate::metric::bucket_of`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +47,7 @@ pub struct SpanRecord {
 #[derive(Debug, Clone)]
 pub struct Report {
     pub counters: Vec<CounterValue>,
+    pub gauges: Vec<GaugeValue>,
     pub histograms: Vec<HistogramReport>,
     pub spans: Vec<SpanRecord>,
 }
@@ -49,6 +57,11 @@ impl Report {
     /// report always carries the full vocabulary).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
+    }
+
+    /// Level of a gauge by its exported name (0 for unknown names).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value).unwrap_or(0)
     }
 
     /// The first span with this name, if any.
@@ -78,6 +91,7 @@ impl Report {
     /// {
     ///   "version": 1,
     ///   "counters": {"rows_scanned": 123, ...},
+    ///   "gauges": {"queue_depth": 2, "inflight_jobs": 1},
     ///   "histograms": {"cube_groups": {"count": 2, "sum": 9, "buckets": [...]}},
     ///   "spans": [{"id": 1, "parent": null, "name": "run",
     ///              "start_us": 0, "duration_us": 42, "thread": "main"}]
@@ -87,6 +101,10 @@ impl Report {
         let mut counters = Map::new();
         for c in &self.counters {
             counters.insert(c.name.to_owned(), json!(c.value));
+        }
+        let mut gauges = Map::new();
+        for g in &self.gauges {
+            gauges.insert(g.name.to_owned(), json!(g.value));
         }
         let mut histograms = Map::new();
         for h in &self.histograms {
@@ -116,6 +134,7 @@ impl Report {
         json!({
             "version": 1,
             "counters": Value::Object(counters),
+            "gauges": Value::Object(gauges),
             "histograms": Value::Object(histograms),
             "spans": spans,
         })
@@ -137,6 +156,13 @@ impl Report {
         out.push_str("counters:\n");
         for c in self.counters.iter().filter(|c| c.value != 0) {
             out.push_str(&format!("  {:<24} {}\n", c.name, c.value));
+        }
+        let live_gauges: Vec<&GaugeValue> = self.gauges.iter().filter(|g| g.value != 0).collect();
+        if !live_gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in live_gauges {
+                out.push_str(&format!("  {:<24} {}\n", g.name, g.value));
+            }
         }
         let live: Vec<&HistogramReport> = self.histograms.iter().filter(|h| h.count != 0).collect();
         if !live.is_empty() {
@@ -176,6 +202,7 @@ mod tests {
     fn sample_report() -> Report {
         let r = Registry::new();
         r.add(Metric::RowsScanned, 42);
+        r.set_gauge(crate::metric::Gauge::QueueDepth, 2);
         r.record(Hist::CubeGroups, 9);
         {
             let _run = r.span("run");
@@ -189,6 +216,8 @@ mod tests {
         let v = sample_report().to_json();
         assert_eq!(v["version"], 1);
         assert_eq!(v["counters"]["rows_scanned"], 42);
+        assert_eq!(v["gauges"]["queue_depth"], 2);
+        assert_eq!(v["gauges"]["inflight_jobs"], 0);
         assert_eq!(v["histograms"]["cube_groups"]["count"], 1);
         assert_eq!(v["histograms"]["cube_groups"]["sum"], 9);
         let spans = v["spans"].as_array().unwrap();
@@ -203,6 +232,8 @@ mod tests {
         let rep = sample_report();
         assert_eq!(rep.counter("rows_scanned"), 42);
         assert_eq!(rep.counter("no_such_counter"), 0);
+        assert_eq!(rep.gauge("queue_depth"), 2);
+        assert_eq!(rep.gauge("no_such_gauge"), 0);
     }
 
     #[test]

@@ -134,6 +134,10 @@ mod tests {
                     "type": "object",
                     "additionalProperties": {"type": "integer", "minimum": 0}
                 },
+                "gauges": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer", "minimum": 0}
+                },
                 "histograms": {
                     "type": "object",
                     "additionalProperties": {

@@ -1,0 +1,308 @@
+//! Scheduler configuration: per-tenant weights, token-bucket rates, and
+//! backlog bounds, loadable from a small TOML file.
+//!
+//! The parser speaks exactly the subset `--sched-config` files need —
+//! `[section]` / `[tenants.name]` headers, `key = value` lines with
+//! integer, float, and boolean values, `#` comments — in the same
+//! dependency-light spirit as the `cn-obs` schema validator. Anything
+//! outside that subset is a typed [`ConfigError`], never a silent
+//! default.
+//!
+//! ```toml
+//! # Fair-share policy for the notebook service.
+//! [defaults]
+//! weight = 1
+//! rate = 2.0      # admissions per second (omit for unlimited)
+//! burst = 5.0     # bucket capacity
+//! max_queued = 16
+//!
+//! [tenants.analytics]
+//! weight = 4      # 4x the dispatch share of a default tenant
+//! rate = 50.0
+//! burst = 100.0
+//!
+//! [tenants.crawler]
+//! weight = 1
+//! rate = 0.5
+//! burst = 2.0
+//! ```
+
+use std::collections::BTreeMap;
+
+/// The admission and dispatch policy of one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Deficit-round-robin weight: the tenant's share of dispatch slots
+    /// relative to other tenants of the same priority class. Clamped to
+    /// at least 1.
+    pub weight: u64,
+    /// Token-bucket refill rate in admissions per second; `None`
+    /// disables rate limiting for the tenant entirely.
+    pub rate: Option<f64>,
+    /// Token-bucket capacity (the burst a quiet tenant may submit at
+    /// once). Only meaningful with a `rate`.
+    pub burst: f64,
+    /// Most jobs the tenant may have waiting (both classes combined)
+    /// before submissions bounce with a queue-full rejection.
+    pub max_queued: usize,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig { weight: 1, rate: None, burst: 1.0, max_queued: 16 }
+    }
+}
+
+/// The whole scheduler policy: a default profile plus per-tenant
+/// overrides. Tenants never named in the file run under `defaults`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedConfig {
+    /// Profile applied to any tenant without an explicit entry.
+    pub defaults: TenantConfig,
+    /// Per-tenant overrides, keyed by the `X-CN-Tenant` value.
+    pub tenants: BTreeMap<String, TenantConfig>,
+}
+
+impl SchedConfig {
+    /// A policy with no per-tenant overrides and the given backlog bound
+    /// — the storeless, header-less server reduces to exactly the old
+    /// bounded FIFO under this config.
+    pub fn single_queue(max_queued: usize) -> SchedConfig {
+        SchedConfig {
+            defaults: TenantConfig { max_queued, ..TenantConfig::default() },
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// The effective profile of `tenant`.
+    pub fn tenant(&self, tenant: &str) -> &TenantConfig {
+        self.tenants.get(tenant).unwrap_or(&self.defaults)
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    /// [`ConfigError`] with the offending line for anything malformed:
+    /// unknown keys, non-numeric values, duplicate tenants, or a
+    /// non-positive rate/burst (which would make refill math undefined).
+    pub fn parse_toml(text: &str) -> Result<SchedConfig, ConfigError> {
+        enum Section {
+            None,
+            Defaults,
+            Tenant(String),
+        }
+        let mut config = SchedConfig::default();
+        let mut section = Section::None;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let header = header.trim();
+                section = match header.split_once('.') {
+                    None if header == "defaults" => {
+                        // Tenant sections snapshot the defaults at their
+                        // header line, so defaults edited afterwards
+                        // would silently not apply — forbid the order.
+                        if !config.tenants.is_empty() {
+                            return Err(ConfigError::new(
+                                line_no,
+                                "[defaults] must precede every [tenants.*] section",
+                            ));
+                        }
+                        Section::Defaults
+                    }
+                    Some(("tenants", name)) => {
+                        let name = name.trim().trim_matches('"').to_string();
+                        if name.is_empty() {
+                            return Err(ConfigError::new(line_no, "empty tenant name"));
+                        }
+                        if config.tenants.contains_key(&name) {
+                            return Err(ConfigError::new(
+                                line_no,
+                                format!("duplicate tenant `{name}`"),
+                            ));
+                        }
+                        config.tenants.insert(name.clone(), config.defaults.clone());
+                        Section::Tenant(name)
+                    }
+                    _ => {
+                        return Err(ConfigError::new(
+                            line_no,
+                            format!(
+                            "unknown section `[{header}]` (expected [defaults] or [tenants.NAME])"
+                        ),
+                        ))
+                    }
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError::new(
+                    line_no,
+                    format!("expected `key = value`, got `{line}`"),
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let target = match &section {
+                Section::None => {
+                    return Err(ConfigError::new(
+                        line_no,
+                        format!(
+                            "`{key}` outside any section (start with [defaults] or [tenants.NAME])"
+                        ),
+                    ))
+                }
+                Section::Defaults => &mut config.defaults,
+                Section::Tenant(name) => {
+                    config.tenants.get_mut(name).expect("tenant inserted at its header")
+                }
+            };
+            apply_key(target, key, value, line_no)?;
+        }
+        Ok(config)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn apply_key(
+    target: &mut TenantConfig,
+    key: &str,
+    value: &str,
+    line_no: usize,
+) -> Result<(), ConfigError> {
+    let int = |v: &str| -> Result<u64, ConfigError> {
+        v.parse().map_err(|_| ConfigError::new(line_no, format!("`{key}` must be an integer")))
+    };
+    let float = |v: &str| -> Result<f64, ConfigError> {
+        let f: f64 = v
+            .parse()
+            .map_err(|_| ConfigError::new(line_no, format!("`{key}` must be a number")))?;
+        if !f.is_finite() || f <= 0.0 {
+            return Err(ConfigError::new(line_no, format!("`{key}` must be a positive number")));
+        }
+        Ok(f)
+    };
+    match key {
+        "weight" => target.weight = int(value)?.max(1),
+        "rate" => target.rate = Some(float(value)?),
+        "burst" => target.burst = float(value)?,
+        "max_queued" => target.max_queued = int(value)?.max(1) as usize,
+        other => {
+            return Err(ConfigError::new(
+                line_no,
+                format!("unknown key `{other}` (expected weight, rate, burst, or max_queued)"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// A malformed `--sched-config` file, with the line it failed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl ConfigError {
+    fn new(line: usize, message: impl Into<String>) -> ConfigError {
+        ConfigError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sched config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_defaults_and_tenants() {
+        let config = SchedConfig::parse_toml(
+            r#"
+            # policy
+            [defaults]
+            weight = 1
+            max_queued = 8
+
+            [tenants.analytics]
+            weight = 4          # heavy hitter
+            rate = 50.0
+            burst = 100.0
+
+            [tenants."crawler"]
+            rate = 0.5
+            burst = 2.0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(config.defaults.weight, 1);
+        assert_eq!(config.defaults.max_queued, 8);
+        assert_eq!(config.defaults.rate, None);
+        let analytics = config.tenant("analytics");
+        assert_eq!(analytics.weight, 4);
+        assert_eq!(analytics.rate, Some(50.0));
+        assert_eq!(analytics.burst, 100.0);
+        // Tenant sections inherit the defaults parsed before them.
+        let crawler = config.tenant("crawler");
+        assert_eq!(crawler.weight, 1);
+        assert_eq!(crawler.max_queued, 8);
+        assert_eq!(crawler.rate, Some(0.5));
+        // Unknown tenants fall back to the default profile.
+        assert_eq!(config.tenant("nobody"), &config.defaults);
+    }
+
+    #[test]
+    fn malformed_files_are_typed_errors_with_line_numbers() {
+        for (text, needle) in [
+            ("weight = 1", "outside any section"),
+            ("[nope]\nweight = 1", "unknown section"),
+            ("[defaults]\nweight", "key = value"),
+            ("[defaults]\nweight = x", "integer"),
+            ("[defaults]\nrate = -1.0", "positive"),
+            ("[defaults]\nrate = banana", "number"),
+            ("[defaults]\nshiny = 1", "unknown key"),
+            ("[tenants.a]\n[tenants.a]", "duplicate"),
+            ("[tenants.]", "empty tenant name"),
+            ("[tenants.a]\n[defaults]", "precede"),
+        ] {
+            let err = SchedConfig::parse_toml(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?} -> {err}");
+        }
+        // Errors carry the offending line, not line 1.
+        let err = SchedConfig::parse_toml("[defaults]\n\nrate = x").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn single_queue_mirrors_the_legacy_fifo() {
+        let config = SchedConfig::single_queue(5);
+        assert!(config.tenants.is_empty());
+        assert_eq!(config.defaults.max_queued, 5);
+        assert_eq!(config.defaults.rate, None, "no rate limiting without a config file");
+    }
+
+    #[test]
+    fn weights_and_bounds_clamp_to_one() {
+        let config = SchedConfig::parse_toml("[defaults]\nweight = 0\nmax_queued = 0").unwrap();
+        assert_eq!(config.defaults.weight, 1);
+        assert_eq!(config.defaults.max_queued, 1);
+    }
+}

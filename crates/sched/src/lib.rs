@@ -1,0 +1,29 @@
+//! `cn-sched` — deterministic multi-tenant fair-share scheduling for the
+//! notebook service.
+//!
+//! The crate replaces cn-serve's single bounded FIFO with a scheduler
+//! built from four cooperating mechanisms (see [`scheduler`] for the
+//! full inventory): deficit-round-robin weighted fair dispatch over
+//! per-tenant queues, two priority classes with dispatch-order
+//! preemption, per-tenant token-bucket admission whose refill math
+//! yields the `Retry-After` header, and single-flight coalescing of
+//! identical in-flight requests.
+//!
+//! Everything time-dependent reads an injectable [`Clock`], so the
+//! fairness, starvation, shedding, and retry-after properties are
+//! pinned bit-exactly in `tests/fairness.rs` under a [`ManualClock`]
+//! while production runs on [`SystemClock`].
+//!
+//! The crate is std-only and knows nothing about HTTP or notebooks: the
+//! payload is a type parameter, and cn-serve supplies job handles.
+
+pub mod clock;
+pub mod config;
+pub mod scheduler;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use config::{ConfigError, SchedConfig, TenantConfig};
+pub use scheduler::{
+    Admitted, Class, Dispatch, JobMeta, Rejection, SchedSnapshot, SchedTotals, Scheduler,
+    TenantSnapshot,
+};

@@ -1,0 +1,502 @@
+//! The multi-tenant fair-share scheduler.
+//!
+//! Four mechanisms compose, all under one mutex and one injectable
+//! [`Clock`], so every property is deterministic given a submission
+//! sequence and a clock trace:
+//!
+//! 1. **Deficit round robin** per priority class: each tenant keeps a
+//!    FIFO per class and a deficit counter; a dispatch visit grants
+//!    `weight` credits and serves jobs while credit lasts, so over any
+//!    window tenants receive dispatch slots proportional to their
+//!    weights — one greedy tenant can no longer starve the rest.
+//! 2. **Priority classes**: every `interactive` job dispatches before
+//!    any `batch` job. Preemption is dispatch-order only — a running
+//!    batch job is never interrupted (workers finish what they start).
+//! 3. **Token-bucket admission**: tenants with a configured `rate`
+//!    spend one token per submission from a bucket of `burst` capacity
+//!    refilled continuously; an empty bucket rejects immediately, and
+//!    the refill math — `ceil((1 - tokens) / rate)` — is exactly the
+//!    `Retry-After` value the server returns, so a well-behaved client
+//!    that honors the header is admitted on its next try.
+//! 4. **Single-flight coalescing**: a submission carrying the
+//!    `coalesce_key` of a job that is already queued or running attaches
+//!    as a *follower* of that leader instead of queueing a duplicate
+//!    run; [`Scheduler::finish`] hands the followers back so the caller
+//!    can fan the leader's one result out to every waiter.
+//!
+//! Deadline handling is split in two: the scheduler sheds jobs whose
+//! deadline already passed *at dispatch time* (they are returned flagged
+//! [`Dispatch::expired`] and counted, but meant to be failed, never
+//! run), while in-run cancellation stays the job payload's own concern.
+
+use crate::clock::Clock;
+use crate::config::{SchedConfig, TenantConfig};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Dispatch priority. The scheduler serves every queued
+/// [`Class::Interactive`] job before any [`Class::Batch`] job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Latency-sensitive work (the default for API requests).
+    Interactive,
+    /// Throughput work that cedes dispatch priority.
+    Batch,
+}
+
+impl Class {
+    /// Both classes, in dispatch-priority order.
+    pub const ALL: [Class; 2] = [Class::Interactive, Class::Batch];
+
+    /// The wire name (`interactive` / `batch`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Interactive => "interactive",
+            Class::Batch => "batch",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Class> {
+        match s {
+            "interactive" => Some(Class::Interactive),
+            "batch" => Some(Class::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the scheduler needs to place one job.
+#[derive(Debug, Clone)]
+pub struct JobMeta {
+    /// Tenant the job bills to (its queue, weight, and token bucket).
+    pub tenant: String,
+    /// Dispatch priority class.
+    pub class: Class,
+    /// Absolute deadline on the scheduler clock; a job still queued past
+    /// it is shed at dispatch instead of run.
+    pub deadline_us: Option<u64>,
+    /// Single-flight identity: submissions sharing a key while one is
+    /// in flight attach to it as followers instead of running again.
+    pub coalesce_key: Option<u128>,
+}
+
+impl JobMeta {
+    /// Interactive, deadline-less, non-coalescing metadata for `tenant`.
+    pub fn interactive(tenant: impl Into<String>) -> JobMeta {
+        JobMeta {
+            tenant: tenant.into(),
+            class: Class::Interactive,
+            deadline_us: None,
+            coalesce_key: None,
+        }
+    }
+
+    /// Batch-class metadata for `tenant`.
+    pub fn batch(tenant: impl Into<String>) -> JobMeta {
+        JobMeta { class: Class::Batch, ..JobMeta::interactive(tenant) }
+    }
+}
+
+/// Why a submission was not queued as a fresh leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The tenant's token bucket is empty; admitted again in
+    /// `retry_after_secs` (the value behind the `Retry-After` header).
+    RateLimited {
+        /// Whole seconds until the bucket holds one token again.
+        retry_after_secs: u64,
+    },
+    /// The tenant's backlog is at `max_queued`.
+    QueueFull,
+    /// The scheduler was closed (server draining).
+    Closed,
+}
+
+/// A successful submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admitted {
+    /// The job is queued and will be dispatched.
+    Queued,
+    /// The job attached as a follower of the in-flight leader sharing
+    /// its coalesce key; it is *not* queued, and the caller receives it
+    /// back from [`Scheduler::finish`] when the leader completes.
+    Coalesced,
+}
+
+/// A dispatched job: the payload plus the scheduling facts the caller
+/// reports (wait time, class, tenant) and acts on (`expired`).
+pub struct Dispatch<T> {
+    /// The job payload.
+    pub item: T,
+    /// Tenant it was billed to.
+    pub tenant: String,
+    /// Priority class it dispatched under.
+    pub class: Class,
+    /// Microseconds spent queued, on the scheduler clock.
+    pub wait_us: u64,
+    /// True when the job's deadline passed while it queued: it was shed,
+    /// counted in [`SchedTotals::shed_expired`], and must be failed by
+    /// the caller, never run.
+    pub expired: bool,
+    /// The job's single-flight key, to pass to [`Scheduler::finish`].
+    pub coalesce_key: Option<u128>,
+}
+
+/// Monotonic totals since the scheduler was created.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedTotals {
+    /// Jobs handed to workers (excludes shed jobs).
+    pub dispatched: u64,
+    /// Jobs shed at dispatch because their deadline had passed.
+    pub shed_expired: u64,
+    /// Submissions that attached to an in-flight leader.
+    pub coalesced: u64,
+    /// Submissions rejected by a tenant's token bucket.
+    pub rejected_rate: u64,
+    /// Submissions rejected by a tenant's backlog bound.
+    pub rejected_full: u64,
+}
+
+/// Point-in-time view of one tenant, for `GET /v1/sched`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub name: String,
+    /// Effective DRR weight.
+    pub weight: u64,
+    /// Configured refill rate (admissions/second), if rate-limited.
+    pub rate: Option<f64>,
+    /// Configured bucket capacity.
+    pub burst: f64,
+    /// Tokens in the bucket right now (refilled to the snapshot clock).
+    pub tokens: f64,
+    /// Jobs queued per class, indexed like [`Class::ALL`].
+    pub queued: [usize; 2],
+    /// Jobs ever dispatched for this tenant.
+    pub dispatched: u64,
+}
+
+/// Point-in-time view of the whole scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedSnapshot {
+    /// Every tenant that currently has state, sorted by name.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Jobs queued across all tenants and classes.
+    pub queued: usize,
+    /// Jobs dispatched and not yet finished.
+    pub inflight: usize,
+    /// Monotonic totals.
+    pub totals: SchedTotals,
+}
+
+struct Queued<T> {
+    item: T,
+    deadline_us: Option<u64>,
+    coalesce_key: Option<u128>,
+    enqueued_us: u64,
+}
+
+struct TenantState<T> {
+    config: TenantConfig,
+    queues: [VecDeque<Queued<T>>; 2],
+    /// DRR credit per class, in weight units.
+    deficit: [u64; 2],
+    tokens: f64,
+    last_refill_us: u64,
+    dispatched: u64,
+}
+
+impl<T> TenantState<T> {
+    fn new(config: TenantConfig, now_us: u64) -> TenantState<T> {
+        TenantState {
+            tokens: config.burst,
+            config,
+            queues: [VecDeque::new(), VecDeque::new()],
+            deficit: [0, 0],
+            last_refill_us: now_us,
+            dispatched: 0,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.queues[0].len() + self.queues[1].len()
+    }
+
+    /// Continuous refill up to `burst`; no-op for unlimited tenants.
+    fn refill(&mut self, now_us: u64) {
+        let Some(rate) = self.config.rate else { return };
+        let elapsed = now_us.saturating_sub(self.last_refill_us);
+        self.last_refill_us = now_us;
+        self.tokens = (self.tokens + rate * elapsed as f64 / 1_000_000.0).min(self.config.burst);
+    }
+}
+
+struct Inner<T> {
+    tenants: BTreeMap<String, TenantState<T>>,
+    /// Dispatch cursor per class: the tenant served last, so the next
+    /// scan resumes at it (finishing its deficit) before moving on in
+    /// sorted-name circular order. Deterministic by construction.
+    cursor: [Option<String>; 2],
+    /// In-flight leaders (and their followers) by coalesce key; presence
+    /// of a key means "queued or running", the single-flight window.
+    followers: HashMap<u128, Vec<T>>,
+    queued: usize,
+    inflight: usize,
+    closed: bool,
+    totals: SchedTotals,
+}
+
+/// The scheduler. One instance replaces the server's bounded FIFO; see
+/// the module docs for the mechanism inventory.
+pub struct Scheduler<T, C: Clock> {
+    config: SchedConfig,
+    clock: C,
+    inner: Mutex<Inner<T>>,
+    cond: Condvar,
+}
+
+fn lock<'a, T>(m: &'a Mutex<Inner<T>>) -> MutexGuard<'a, Inner<T>> {
+    // A panicking worker must not wedge every other client; the state a
+    // holder could have half-written is re-validated by construction
+    // (counters are plain integers, queues are structurally sound).
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T, C: Clock> Scheduler<T, C> {
+    /// A scheduler over `config`, reading time from `clock`.
+    pub fn new(config: SchedConfig, clock: C) -> Scheduler<T, C> {
+        Scheduler {
+            config,
+            clock,
+            inner: Mutex::new(Inner {
+                tenants: BTreeMap::new(),
+                cursor: [None, None],
+                followers: HashMap::new(),
+                queued: 0,
+                inflight: 0,
+                closed: false,
+                totals: SchedTotals::default(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// The scheduler's clock (for deriving absolute deadlines).
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Submits one job.
+    ///
+    /// Coalescing is checked first — a follower consumes neither a token
+    /// nor a queue slot, because it costs no pipeline run. Then the
+    /// token bucket, then the backlog bound.
+    ///
+    /// # Errors
+    /// [`Rejection`] when the job was not accepted; the payload is
+    /// dropped (callers hold their own handles to it).
+    pub fn submit(&self, item: T, meta: &JobMeta) -> Result<Admitted, Rejection> {
+        let now = self.clock.now_us();
+        let mut inner = lock(&self.inner);
+        if inner.closed {
+            return Err(Rejection::Closed);
+        }
+        if let Some(key) = meta.coalesce_key {
+            if let Some(list) = inner.followers.get_mut(&key) {
+                list.push(item);
+                inner.totals.coalesced += 1;
+                return Ok(Admitted::Coalesced);
+            }
+        }
+        let config = self.config.tenant(&meta.tenant).clone();
+        let tenant = inner
+            .tenants
+            .entry(meta.tenant.clone())
+            .or_insert_with(|| TenantState::new(config, now));
+        tenant.refill(now);
+        if let Some(rate) = tenant.config.rate {
+            if tenant.tokens < 1.0 {
+                let deficit = 1.0 - tenant.tokens;
+                let retry_after_secs = (deficit / rate).ceil().max(1.0) as u64;
+                inner.totals.rejected_rate += 1;
+                return Err(Rejection::RateLimited { retry_after_secs });
+            }
+            tenant.tokens -= 1.0;
+        }
+        if tenant.backlog() >= tenant.config.max_queued {
+            inner.totals.rejected_full += 1;
+            return Err(Rejection::QueueFull);
+        }
+        tenant.queues[meta.class as usize].push_back(Queued {
+            item,
+            deadline_us: meta.deadline_us,
+            coalesce_key: meta.coalesce_key,
+            enqueued_us: now,
+        });
+        if let Some(key) = meta.coalesce_key {
+            inner.followers.insert(key, Vec::new());
+        }
+        inner.queued += 1;
+        drop(inner);
+        self.cond.notify_one();
+        Ok(Admitted::Queued)
+    }
+
+    /// Blocks for the next dispatch; `None` once closed *and* drained.
+    ///
+    /// The returned job is either live (run it, then call
+    /// [`Scheduler::finish`]) or [`Dispatch::expired`] (fail it, then
+    /// still call `finish` so its followers are released).
+    pub fn pop(&self) -> Option<Dispatch<T>> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(d) = self.try_dispatch(&mut inner) {
+                return Some(d);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cond.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking dispatch, for tests and drain loops.
+    pub fn try_pop(&self) -> Option<Dispatch<T>> {
+        self.try_dispatch(&mut lock(&self.inner))
+    }
+
+    /// Marks a dispatched job finished and returns its followers (empty
+    /// for non-coalescing jobs). Must be called exactly once per
+    /// [`Dispatch`], expired or not — it closes the single-flight
+    /// window and releases the worker-slot accounting.
+    pub fn finish(&self, coalesce_key: Option<u128>, expired: bool) -> Vec<T> {
+        let mut inner = lock(&self.inner);
+        if !expired {
+            inner.inflight = inner.inflight.saturating_sub(1);
+        }
+        coalesce_key.and_then(|k| inner.followers.remove(&k)).unwrap_or_default()
+    }
+
+    /// Stops admission and wakes every blocked consumer; already-queued
+    /// jobs still drain through [`Scheduler::pop`].
+    pub fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Jobs currently queued (not the ones already dispatched).
+    pub fn queued_len(&self) -> usize {
+        lock(&self.inner).queued
+    }
+
+    /// Jobs dispatched and not yet finished.
+    pub fn inflight(&self) -> usize {
+        lock(&self.inner).inflight
+    }
+
+    /// Monotonic totals.
+    pub fn totals(&self) -> SchedTotals {
+        lock(&self.inner).totals
+    }
+
+    /// A deterministic point-in-time view (buckets refilled to now).
+    pub fn snapshot(&self) -> SchedSnapshot {
+        let now = self.clock.now_us();
+        let mut inner = lock(&self.inner);
+        let (queued, inflight, totals) = (inner.queued, inner.inflight, inner.totals);
+        let tenants = inner
+            .tenants
+            .iter_mut()
+            .map(|(name, t)| {
+                t.refill(now);
+                TenantSnapshot {
+                    name: name.clone(),
+                    weight: t.config.weight,
+                    rate: t.config.rate,
+                    burst: t.config.burst,
+                    tokens: if t.config.rate.is_some() { t.tokens } else { t.config.burst },
+                    queued: [t.queues[0].len(), t.queues[1].len()],
+                    dispatched: t.dispatched,
+                }
+            })
+            .collect();
+        SchedSnapshot { tenants, queued, inflight, totals }
+    }
+
+    /// One DRR dispatch attempt over both classes, interactive first.
+    ///
+    /// Visiting a tenant grants its `weight` in credit *once per visit*;
+    /// it then serves head-of-line jobs (cost 1 each) until the credit
+    /// runs out, when the scan moves to the next tenant with queued work
+    /// in sorted-name circular order. A tenant whose queue empties
+    /// forfeits leftover credit — deficit never accumulates while idle,
+    /// the classic DRR guard against a tenant banking credit and then
+    /// bursting.
+    fn try_dispatch(&self, inner: &mut Inner<T>) -> Option<Dispatch<T>> {
+        let now = self.clock.now_us();
+        for class in Class::ALL {
+            let c = class as usize;
+            let names: Vec<String> = inner
+                .tenants
+                .iter()
+                .filter(|(_, t)| !t.queues[c].is_empty())
+                .map(|(n, _)| n.clone())
+                .collect();
+            if names.is_empty() {
+                continue;
+            }
+            // Resume at the cursor tenant if it still has work (it may
+            // hold unspent credit), else the next name after it. Every
+            // listed tenant has queued work, so the tenant under the
+            // cursor always yields a dispatch — no further scanning.
+            let start = match &inner.cursor[c] {
+                Some(cur) => match names.iter().position(|n| n == cur) {
+                    Some(i) => i,
+                    None => names.iter().position(|n| n.as_str() > cur.as_str()).unwrap_or(0),
+                },
+                None => 0,
+            };
+            let name = &names[start];
+            let tenant = inner.tenants.get_mut(name).expect("tenant listed");
+            if tenant.deficit[c] == 0 {
+                tenant.deficit[c] = tenant.config.weight;
+            }
+            // Credit is spent per dispatched job; an expired job is
+            // shed for free (it consumes no worker).
+            let job = tenant.queues[c].pop_front().expect("queue non-empty");
+            let expired = job.deadline_us.is_some_and(|d| d < now);
+            if expired {
+                inner.totals.shed_expired += 1;
+            } else {
+                tenant.deficit[c] -= 1;
+                tenant.dispatched += 1;
+                inner.totals.dispatched += 1;
+                inner.inflight += 1;
+            }
+            if tenant.queues[c].is_empty() {
+                tenant.deficit[c] = 0;
+            }
+            // Cursor semantics: stay on this tenant while it has
+            // credit and work; otherwise the next scan starts at the
+            // following name.
+            let exhausted = tenant.deficit[c] == 0 || tenant.queues[c].is_empty();
+            inner.cursor[c] =
+                if exhausted { Some(next_name(&names, start)) } else { Some(name.clone()) };
+            inner.queued -= 1;
+            return Some(Dispatch {
+                wait_us: now.saturating_sub(job.enqueued_us),
+                item: job.item,
+                tenant: name.clone(),
+                class,
+                expired,
+                coalesce_key: job.coalesce_key,
+            });
+        }
+        None
+    }
+}
+
+fn next_name(names: &[String], i: usize) -> String {
+    names[(i + 1) % names.len()].clone()
+}

@@ -1,0 +1,289 @@
+//! Deterministic pins of the scheduler's contract, all under a
+//! [`ManualClock`] so every assertion is bit-exact: DRR fairness under a
+//! saturating tenant, priority-class ordering, token-bucket admission
+//! and its `Retry-After` math, deadline shedding, and single-flight
+//! coalescing.
+
+use cn_sched::{
+    Admitted, Class, JobMeta, ManualClock, Rejection, SchedConfig, Scheduler, TenantConfig,
+};
+
+fn sched(config: SchedConfig) -> Scheduler<u32, ManualClock> {
+    Scheduler::new(config, ManualClock::new())
+}
+
+fn unlimited(max_queued: usize) -> SchedConfig {
+    SchedConfig::single_queue(max_queued)
+}
+
+/// Drains everything currently queued, returning (tenant, item) in
+/// dispatch order and finishing each job immediately.
+fn drain(s: &Scheduler<u32, ManualClock>) -> Vec<(String, u32)> {
+    let mut order = Vec::new();
+    while let Some(d) = s.try_pop() {
+        assert!(!d.expired);
+        order.push((d.tenant.clone(), d.item));
+        s.finish(d.coalesce_key, d.expired);
+    }
+    order
+}
+
+#[test]
+fn fifo_within_a_single_tenant() {
+    let s = sched(unlimited(16));
+    for i in 0..5u32 {
+        s.submit(i, &JobMeta::interactive("default")).unwrap();
+    }
+    let order: Vec<u32> = drain(&s).into_iter().map(|(_, i)| i).collect();
+    assert_eq!(order, vec![0, 1, 2, 3, 4]);
+}
+
+/// The headline fairness pin: tenant `batchy` saturates the queue with
+/// 20 jobs before `alice` (equal weight) submits 5. Under the old FIFO
+/// alice would wait behind all 20; under DRR she gets every other
+/// dispatch slot, so all 5 of her jobs complete within her first 10
+/// slots — bounded, deterministic interleaving.
+#[test]
+fn equal_weight_tenants_share_dispatch_slots_alternately() {
+    let s = sched(unlimited(64));
+    for i in 0..20u32 {
+        s.submit(i, &JobMeta::interactive("batchy")).unwrap();
+    }
+    for i in 100..105u32 {
+        s.submit(i, &JobMeta::interactive("alice")).unwrap();
+    }
+    let order = drain(&s);
+    let alice_done_at =
+        order.iter().enumerate().filter(|(_, (t, _))| t == "alice").map(|(i, _)| i).max().unwrap();
+    assert!(
+        alice_done_at < 10,
+        "alice's 5 jobs must finish within 10 dispatch slots, last at {alice_done_at}: {order:?}"
+    );
+    // And the interleaving itself is deterministic: strict alternation
+    // (sorted tenant order, weight 1 each) until alice drains.
+    let tenants: Vec<&str> = order.iter().take(10).map(|(t, _)| t.as_str()).collect();
+    assert_eq!(
+        tenants,
+        vec![
+            "alice", "batchy", "alice", "batchy", "alice", "batchy", "alice", "batchy", "alice",
+            "batchy"
+        ]
+    );
+}
+
+/// A weight-3 tenant receives three dispatch slots for every one of a
+/// weight-1 tenant while both stay backlogged.
+#[test]
+fn weights_skew_the_dispatch_ratio() {
+    let mut config = unlimited(64);
+    config.tenants.insert("heavy".into(), TenantConfig { weight: 3, ..config.defaults.clone() });
+    let s = sched(config);
+    for i in 0..9u32 {
+        s.submit(i, &JobMeta::interactive("heavy")).unwrap();
+    }
+    for i in 100..103u32 {
+        s.submit(i, &JobMeta::interactive("light")).unwrap();
+    }
+    let order = drain(&s);
+    let tenants: Vec<&str> = order.iter().take(8).map(|(t, _)| t.as_str()).collect();
+    // Circular scan starts at `heavy` (first in sorted order with work):
+    // 3 serves, then light's 1, repeating.
+    assert_eq!(
+        tenants,
+        vec!["heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light"]
+    );
+}
+
+/// Every queued interactive job dispatches before any batch job, across
+/// tenants — but an already-dispatched batch job is never recalled
+/// (dispatch-order preemption only).
+#[test]
+fn interactive_class_preempts_batch_in_dispatch_order() {
+    let s = sched(unlimited(64));
+    s.submit(0, &JobMeta::batch("a")).unwrap();
+    let running = s.try_pop().unwrap();
+    assert_eq!(running.class, Class::Batch);
+    // Batch job 0 is now "running"; later interactive arrivals cannot
+    // recall it, but they beat every *queued* batch job.
+    s.submit(1, &JobMeta::batch("a")).unwrap();
+    s.submit(2, &JobMeta::interactive("b")).unwrap();
+    s.submit(3, &JobMeta::interactive("a")).unwrap();
+    let order: Vec<(String, u32)> = drain(&s);
+    assert_eq!(order, vec![("a".to_string(), 3), ("b".to_string(), 2), ("a".to_string(), 1)]);
+    s.finish(running.coalesce_key, false);
+    assert_eq!(s.inflight(), 0);
+}
+
+#[test]
+fn token_bucket_rejects_with_retry_after_derived_from_refill_math() {
+    let config = SchedConfig {
+        defaults: TenantConfig {
+            rate: Some(0.5), // one token every 2 seconds
+            burst: 2.0,
+            ..TenantConfig::default()
+        },
+        ..SchedConfig::default()
+    };
+    let s = sched(config);
+    let meta = JobMeta::interactive("t");
+    // The bucket starts full at burst: 2 admissions pass.
+    assert_eq!(s.submit(1, &meta), Ok(Admitted::Queued));
+    assert_eq!(s.submit(2, &meta), Ok(Admitted::Queued));
+    // Empty bucket: retry_after = ceil((1 - 0 tokens) / 0.5/s) = 2s.
+    assert_eq!(s.submit(3, &meta), Err(Rejection::RateLimited { retry_after_secs: 2 }));
+    assert_eq!(s.totals().rejected_rate, 1);
+    // Advance exactly the advertised wait: the client is admitted.
+    s.clock().advance_us(2_000_000);
+    assert_eq!(s.submit(3, &meta), Ok(Admitted::Queued));
+    // Half a token accrued after 1s: still rejected, now only 1s away.
+    s.clock().advance_us(1_000_000);
+    assert_eq!(s.submit(4, &meta), Err(Rejection::RateLimited { retry_after_secs: 1 }));
+}
+
+#[test]
+fn refill_never_exceeds_burst() {
+    let config = SchedConfig {
+        defaults: TenantConfig { rate: Some(10.0), burst: 3.0, ..TenantConfig::default() },
+        ..SchedConfig::default()
+    };
+    let s = sched(config);
+    let meta = JobMeta::interactive("t");
+    // An hour idle refills to burst (3), not rate * 3600.
+    s.clock().advance_us(3_600_000_000);
+    for i in 0..3u32 {
+        assert_eq!(s.submit(i, &meta), Ok(Admitted::Queued), "admission {i}");
+    }
+    assert!(matches!(s.submit(9, &meta), Err(Rejection::RateLimited { .. })));
+}
+
+#[test]
+fn backlog_bound_rejects_queue_full_per_tenant() {
+    let s = sched(unlimited(2));
+    let meta = JobMeta::interactive("t");
+    s.submit(1, &meta).unwrap();
+    s.submit(2, &meta).unwrap();
+    assert_eq!(s.submit(3, &meta), Err(Rejection::QueueFull));
+    assert_eq!(s.totals().rejected_full, 1);
+    // The bound is per tenant: another tenant still has room.
+    assert_eq!(s.submit(4, &JobMeta::interactive("u")), Ok(Admitted::Queued));
+}
+
+#[test]
+fn expired_jobs_are_shed_at_dispatch_not_run() {
+    let s = sched(unlimited(16));
+    let meta = JobMeta { deadline_us: Some(1_000), ..JobMeta::interactive("t") };
+    s.submit(1, &meta).unwrap();
+    s.submit(2, &JobMeta::interactive("t")).unwrap();
+    s.clock().advance_us(2_000);
+    // The expired head comes back flagged, charged to no one.
+    let d = s.try_pop().unwrap();
+    assert!(d.expired);
+    assert_eq!(d.item, 1);
+    s.finish(d.coalesce_key, d.expired);
+    assert_eq!(s.inflight(), 0, "shed jobs never count as in-flight");
+    // The deadline-less job behind it dispatches normally.
+    let d = s.try_pop().unwrap();
+    assert!(!d.expired);
+    assert_eq!(d.item, 2);
+    let totals = s.totals();
+    assert_eq!((totals.shed_expired, totals.dispatched), (1, 1));
+}
+
+#[test]
+fn coalescing_runs_one_leader_and_returns_followers_at_finish() {
+    let s = sched(unlimited(16));
+    let meta = JobMeta { coalesce_key: Some(42), ..JobMeta::interactive("t") };
+    assert_eq!(s.submit(1, &meta), Ok(Admitted::Queued));
+    assert_eq!(s.submit(2, &meta), Ok(Admitted::Coalesced));
+    assert_eq!(s.submit(3, &meta), Ok(Admitted::Coalesced));
+    // Followers hold no queue slot: only the leader dispatches.
+    assert_eq!(s.queued_len(), 1);
+    let d = s.try_pop().unwrap();
+    assert_eq!(d.item, 1);
+    assert!(s.try_pop().is_none());
+    // A submission while the leader is *running* still coalesces — the
+    // single-flight window spans queued and in-flight.
+    assert_eq!(s.submit(4, &meta), Ok(Admitted::Coalesced));
+    let followers = s.finish(d.coalesce_key, false);
+    assert_eq!(followers, vec![2, 3, 4]);
+    assert_eq!(s.totals().coalesced, 3);
+    // The window closed at finish: the same key now queues a new leader.
+    assert_eq!(s.submit(5, &meta), Ok(Admitted::Queued));
+}
+
+#[test]
+fn coalescing_followers_consume_no_tokens() {
+    let config = SchedConfig {
+        defaults: TenantConfig { rate: Some(1.0), burst: 1.0, ..TenantConfig::default() },
+        ..SchedConfig::default()
+    };
+    let s = sched(config);
+    let meta = JobMeta { coalesce_key: Some(7), ..JobMeta::interactive("t") };
+    assert_eq!(s.submit(1, &meta), Ok(Admitted::Queued));
+    // The bucket is now empty, but followers ride the leader's token.
+    assert_eq!(s.submit(2, &meta), Ok(Admitted::Coalesced));
+    assert_eq!(s.submit(3, &meta), Ok(Admitted::Coalesced));
+    // A *different* request from the same tenant is still rate-limited.
+    assert!(matches!(s.submit(4, &JobMeta::interactive("t")), Err(Rejection::RateLimited { .. })));
+}
+
+#[test]
+fn close_stops_admission_and_drains_the_backlog() {
+    let s = sched(unlimited(16));
+    s.submit(1, &JobMeta::interactive("t")).unwrap();
+    s.close();
+    assert_eq!(s.submit(2, &JobMeta::interactive("t")), Err(Rejection::Closed));
+    // pop() still hands out what was queued, then reports drained.
+    assert_eq!(s.pop().map(|d| d.item), Some(1));
+    assert!(s.pop().is_none());
+}
+
+#[test]
+fn pop_blocks_until_a_submission_arrives() {
+    use std::sync::Arc;
+    let s = Arc::new(sched(unlimited(16)));
+    let consumer = {
+        let s = Arc::clone(&s);
+        std::thread::spawn(move || s.pop().map(|d| d.item))
+    };
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    s.submit(9, &JobMeta::interactive("t")).unwrap();
+    assert_eq!(consumer.join().unwrap(), Some(9));
+}
+
+#[test]
+fn wait_time_is_measured_on_the_injected_clock() {
+    let s = sched(unlimited(16));
+    s.submit(1, &JobMeta::interactive("t")).unwrap();
+    s.clock().advance_us(1234);
+    assert_eq!(s.try_pop().unwrap().wait_us, 1234);
+}
+
+#[test]
+fn snapshot_reports_tenants_and_totals() {
+    let mut config = unlimited(16);
+    config.tenants.insert(
+        "limited".into(),
+        TenantConfig { rate: Some(2.0), burst: 4.0, weight: 2, max_queued: 16 },
+    );
+    let s = sched(config);
+    s.submit(1, &JobMeta::interactive("limited")).unwrap();
+    s.submit(2, &JobMeta::batch("limited")).unwrap();
+    s.submit(3, &JobMeta::interactive("free")).unwrap();
+    let d = s.try_pop().unwrap();
+    assert_eq!(d.tenant, "free", "the scan starts at the first sorted tenant with work");
+    let snap = s.snapshot();
+    assert_eq!(snap.queued, 2);
+    assert_eq!(snap.inflight, 1);
+    assert_eq!(snap.totals.dispatched, 1);
+    // BTreeMap keeps tenants sorted for a stable wire order.
+    let names: Vec<&str> = snap.tenants.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(names, vec!["free", "limited"]);
+    let limited = &snap.tenants[1];
+    assert_eq!(limited.weight, 2);
+    assert_eq!(limited.rate, Some(2.0));
+    assert_eq!(limited.queued, [1, 1], "limited's jobs are still queued, one per class");
+    assert_eq!(limited.tokens, 2.0, "burst 4 minus two admissions");
+    s.finish(d.coalesce_key, false);
+    assert_eq!(s.snapshot().inflight, 0);
+}

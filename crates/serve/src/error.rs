@@ -81,6 +81,19 @@ impl ApiError {
         }
     }
 
+    /// 429 — the tenant's token bucket is empty; `retry_after_secs`
+    /// comes straight from the scheduler's refill math, so a client
+    /// that honors the header is admitted on its next try.
+    pub fn rate_limited(retry_after_secs: u64) -> ApiError {
+        ApiError {
+            status: 429,
+            code: "rate_limited",
+            message: format!("tenant admission rate exceeded; retry in {retry_after_secs}s"),
+            retryable: true,
+            retry_after: Some(retry_after_secs),
+        }
+    }
+
     /// 503 — the server is draining and accepts no new work.
     pub fn draining() -> ApiError {
         ApiError {
@@ -232,8 +245,10 @@ mod tests {
             ApiError::not_found("y"),
             ApiError::method_not_allowed(),
             ApiError::queue_full(),
+            ApiError::rate_limited(3),
             ApiError::draining(),
             ApiError::internal("z"),
+            ApiError::new(500, "job_panicked", "pipeline worker panicked"),
             ApiError::from_parse(&ParseError::BodyTooLarge(2_000_000)),
             ApiError::from_catalog(&CatalogError::Unknown("d".into())),
             ApiError::from_pipeline(&PipelineError::Cancelled { deadline_exceeded: true }),

@@ -24,6 +24,9 @@ pub struct Request {
     pub path: String,
     /// Raw query string (after `?`, without it; empty when absent).
     pub query: String,
+    /// Headers as `(lowercased-name, trimmed-value)` pairs, in arrival
+    /// order.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when the request has none).
     pub body: Vec<u8>,
 }
@@ -76,6 +79,13 @@ impl Request {
     /// `["v1", "notebooks", "3"]`).
     pub fn segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// The value of header `name` (case-insensitive), `None` when
+    /// absent; the first occurrence wins.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
     }
 
     /// The percent-decoded value of query parameter `name`, `None`
@@ -145,6 +155,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     };
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let mut header = String::new();
         let n = reader.read_line(&mut header).map_err(io_parse)?;
@@ -156,12 +167,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+            if name == "content-length" {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| ParseError::Malformed("unparseable content-length"))?;
             }
+            headers.push((name, value.to_string()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -169,7 +181,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| ParseError::Io(e.to_string()))?;
-    Ok(Request { method, path, query, body })
+    Ok(Request { method, path, query, headers, body })
 }
 
 /// An outgoing JSON response.
@@ -275,6 +287,9 @@ mod tests {
         assert_eq!(req.path, "/v1/notebooks");
         assert_eq!(req.segments(), vec!["v1", "notebooks"]);
         assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("HOST"), Some("h"), "header lookup is case-insensitive");
+        assert_eq!(req.header("x-cn-tenant"), None);
         assert_eq!(req.query_param("x").as_deref(), Some("1"));
         let json = req.json().unwrap();
         assert_eq!(json["dataset"], "d");

@@ -163,10 +163,37 @@ fn generator_config(spec: &JobSpec, n_threads: usize) -> GeneratorConfig {
     config
 }
 
+/// Runs `f` with a panic guard: an unwinding job becomes a terminal
+/// `job_panicked` failure instead of killing its worker thread and
+/// leaving the client blocked on a `done` signal that never fires.
+fn guard_panics<F>(f: F) -> Result<CompletedJob, JobFailure>
+where
+    F: FnOnce() -> Result<CompletedJob, JobFailure>,
+{
+    // AssertUnwindSafe: the per-job state `f` closes over is either
+    // owned by the job (dropped with it) or behind poison-recovering
+    // locks, so observing it after an unwind cannot see torn values.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let what = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        Err(JobFailure {
+            status: 500,
+            code: "job_panicked",
+            message: format!("pipeline worker panicked: {what}"),
+            retryable: false,
+        })
+    })
+}
+
 /// Runs one job to a terminal state in `store`, then fires its `done`
 /// channel. Metrics accumulate in a per-request registry that merges
 /// into `global` at the end, win or lose, so `/metrics` reflects every
-/// request exactly once.
+/// request exactly once. A panic inside the pipeline is caught and
+/// recorded as a terminal `job_panicked` failure — the client always
+/// gets its `done` signal.
 pub fn execute(
     job: Job,
     catalog: &Catalog,
@@ -177,7 +204,7 @@ pub fn execute(
 ) {
     let id = job.spec.id;
     store.set(id, JobStatus::Running);
-    let status = match run_job(&job, catalog, global, n_threads, store_retry) {
+    let status = match guard_panics(|| run_job(&job, catalog, global, n_threads, store_retry)) {
         Ok(completed) => {
             global.inc(Metric::JobsCompleted);
             JobStatus::Done(Arc::new(completed))
@@ -391,5 +418,35 @@ mod tests {
         run(job, &catalog, &store, &global);
         let JobStatus::Failed(f) = store.get(id).unwrap() else { panic!("expected failure") };
         assert_eq!(f.status, 404);
+    }
+
+    #[test]
+    fn a_panicking_job_becomes_a_terminal_failure_not_a_hang() {
+        // `CompletedJob` carries live sessions and has no `Debug`, so
+        // unwrap the error arm by hand.
+        fn failure_of(r: Result<CompletedJob, JobFailure>) -> JobFailure {
+            match r {
+                Ok(_) => panic!("expected the guarded job to fail"),
+                Err(f) => f,
+            }
+        }
+        let f = failure_of(guard_panics(|| panic!("cube exploded at row {}", 42)));
+        assert_eq!(f.status, 500);
+        assert_eq!(f.code, "job_panicked");
+        assert!(f.message.contains("cube exploded at row 42"), "{}", f.message);
+        assert!(!f.retryable);
+        // &str payloads are captured too.
+        let f = failure_of(guard_panics(|| panic!("static str boom")));
+        assert!(f.message.contains("static str boom"));
+        // A non-panicking job passes through untouched.
+        assert!(guard_panics(|| {
+            Err(JobFailure {
+                status: 404,
+                code: "not_found",
+                message: String::new(),
+                retryable: false,
+            })
+        })
+        .is_err());
     }
 }

@@ -13,6 +13,7 @@
 //! | `GET /v1/datasets` | the dataset catalog |
 //! | `GET /v1/search` | top-k similarity search over indexed notebooks (`q`, `k`, `mode`) |
 //! | `GET /v1/notebooks/{id}/similar` | prior notebooks most similar to a finished job |
+//! | `GET /v1/sched` | scheduler snapshot: per-tenant queues, token balances, totals (`schemas/sched.schema.json`) |
 //! | `GET /metrics` | `cn-obs` report (validates against `schemas/metrics.schema.json`) |
 //! | `GET /healthz` | liveness + queue depth |
 //!
@@ -21,9 +22,15 @@
 //! - **Dataset catalog** ([`catalog`]): named datasets resolve to loaded
 //!   tables through an LRU cache; a warm dataset is never re-parsed,
 //!   and the `catalog_hits` / `catalog_misses` counters prove it.
-//! - **Admission control** ([`queue`]): generation jobs flow through a
-//!   bounded queue; at depth, submission fails *immediately* with
-//!   HTTP 429 instead of queueing unbounded latency.
+//! - **Fair-share scheduling** (`cn-sched`): generation jobs flow
+//!   through a multi-tenant deficit-round-robin scheduler with two
+//!   priority classes, per-tenant token-bucket admission (429
+//!   `rate_limited` with a refill-derived `Retry-After`), bounded
+//!   per-tenant backlogs (429 `queue_full`), deadline shedding, and
+//!   single-flight coalescing of identical concurrent requests.
+//!   Without a policy ([`ServeConfig::sched`] `None`) it collapses to
+//!   the legacy single bounded FIFO and responses are byte-identical
+//!   to the pre-scheduler server.
 //! - **Cooperative cancellation** ([`jobs`]): each request carries a
 //!   [`cn_obs::CancelToken`] (optionally deadline-armed) that
 //!   `cn_pipeline::run_cancellable` polls between phases and inside the
@@ -90,6 +97,7 @@ pub mod sync;
 
 pub use catalog::{Catalog, CatalogError, DatasetSpec, StoreStatus};
 pub use cn_obs::Registry;
+pub use cn_sched::{Class, ConfigError as SchedConfigError, SchedConfig, TenantConfig};
 pub use error::{ApiError, API_VERSION};
 pub use indexer::ServeIndex;
 pub use jobs::{JobSpec, JobStatus, JobStore};

@@ -1,25 +1,38 @@
 //! The service: a fixed HTTP worker pool over `std::net::TcpListener`,
-//! a bounded generation queue with its own pipeline workers, and a
-//! graceful-shutdown handle.
+//! a multi-tenant fair-share scheduler feeding the pipeline workers,
+//! and a graceful-shutdown handle.
 //!
 //! Request flow for `POST /v1/notebooks`: the HTTP worker validates the
-//! body, registers the job, submits it to the bounded queue (HTTP 429
-//! right here when admission control refuses), then blocks on the job's
+//! body, registers the job, and submits it to the [`cn_sched`]
+//! scheduler (HTTP 429 right here when admission control — per-tenant
+//! backlog bound or token bucket — refuses), then blocks on the job's
 //! completion signal and renders whatever terminal state the pipeline
-//! worker recorded. Deadlines ride along as a [`CancelToken`] that the
-//! pipeline polls between phases and inside the permutation-test loop.
+//! worker recorded. Deadlines ride along twice: as a [`CancelToken`]
+//! that the pipeline polls between phases and inside the
+//! permutation-test loop, and as a scheduler deadline that sheds a job
+//! still queued past it without ever dispatching the pipeline.
+//!
+//! With no [`ServeConfig::sched`] policy the scheduler collapses to the
+//! legacy single bounded FIFO: one tenant, no rate limiting, no
+//! coalescing — responses are byte-identical to the pre-scheduler
+//! server (pinned by `tests/sched.rs`). A policy file turns on
+//! per-tenant weights (`X-CN-Tenant` header), token buckets, and
+//! single-flight coalescing of identical concurrent requests.
 
 use crate::catalog::Catalog;
 use crate::error::ApiError;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::indexer::ServeIndex;
 use crate::jobs::{execute, CompletedJob, Job, JobSpec, JobStatus, JobStore};
-use crate::queue::{JobQueue, SubmitError};
+use crate::queue::JobQueue;
 use cn_fault::RetryPolicy;
 use cn_index::ScoreKind;
 use cn_interest::DistanceWeights;
 use cn_notebook::to_markdown;
-use cn_obs::{CancelToken, Metric, Registry};
+use cn_obs::{CancelToken, Gauge, Hist, Metric, Registry};
+use cn_sched::{
+    Admitted, Class, Clock, Dispatch, JobMeta, Rejection, SchedConfig, Scheduler, SystemClock,
+};
 use serde_json::{json, Map, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -59,6 +72,11 @@ pub struct ServeConfig {
     /// /v1/notebooks/{id}/similar`, and the `use_index` continuation
     /// knob.
     pub index_path: Option<PathBuf>,
+    /// Multi-tenant scheduling policy (`cn serve --sched-config`).
+    /// `None` runs the legacy-equivalent single queue: one tenant
+    /// bounded by [`ServeConfig::queue_depth`], no rate limiting, no
+    /// request coalescing.
+    pub sched: Option<SchedConfig>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +93,7 @@ impl Default for ServeConfig {
             store_retry: RetryPolicy::default(),
             degrade_after: 2,
             index_path: None,
+            sched: None,
         }
     }
 }
@@ -83,7 +102,12 @@ struct Shared {
     config: ServeConfig,
     catalog: Catalog,
     store: JobStore,
-    queue: JobQueue<Job>,
+    sched: Scheduler<Job, SystemClock>,
+    /// True when a [`ServeConfig::sched`] policy was supplied: enables
+    /// the `X-CN-Tenant` header and single-flight coalescing. Without
+    /// it both stay off, keeping the server bit-compatible with the
+    /// pre-scheduler FIFO.
+    sched_enabled: bool,
     global: Arc<Registry>,
     /// The similarity index; `None` when no [`ServeConfig::index_path`]
     /// is configured.
@@ -118,7 +142,7 @@ impl Handle {
     /// HTTP 503, already-admitted jobs drain, workers then exit.
     pub fn shutdown(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
+        self.shared.sched.close();
         // Disconnect the precompute worker's build channel so its
         // receiver drains and the thread exits (after any in-flight
         // build finishes).
@@ -154,8 +178,15 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
     // Open (or cold-rebuild) the similarity index before taking
     // traffic: a damaged file quarantines here, not mid-request.
     let index = config.index_path.clone().map(|path| Arc::new(ServeIndex::open(path, &global)));
+    // No policy file: collapse to the legacy single bounded FIFO (one
+    // tenant, the old global queue_depth bound, no rate limit, no
+    // coalescing).
+    let sched_enabled = config.sched.is_some();
+    let sched_config =
+        config.sched.clone().unwrap_or_else(|| SchedConfig::single_queue(config.queue_depth));
     let shared = Arc::new(Shared {
-        queue: JobQueue::new(config.queue_depth),
+        sched: Scheduler::new(sched_config, SystemClock::new()),
+        sched_enabled,
         config,
         catalog,
         store: JobStore::new(),
@@ -211,7 +242,7 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
         }
         None => None,
     };
-    // Pipeline workers: drain the bounded queue until close + empty.
+    // Pipeline workers: drain the scheduler until close + empty.
     for i in 0..shared.config.pipeline_workers.max(1) {
         let shared = shared.clone();
         let index_tx = index_tx.clone();
@@ -219,29 +250,8 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
             thread::Builder::new()
                 .name(format!("cn-serve-pipeline-{i}"))
                 .spawn(move || {
-                    while let Some(job) = shared.queue.pop() {
-                        let id = job.spec.id;
-                        execute(
-                            job,
-                            &shared.catalog,
-                            &shared.store,
-                            &shared.global,
-                            shared.config.run_threads,
-                            &shared.config.store_retry,
-                        );
-                        // Hand the finished notebook to the indexer; a
-                        // failed job has nothing to register, and a
-                        // closed channel just means shutdown.
-                        if let Some(tx) = &index_tx {
-                            if let Some(JobStatus::Done(c)) = shared.store.get(id) {
-                                let doc = cn_pipeline::index_document(
-                                    &c.table,
-                                    c.session.run(),
-                                    &c.dataset,
-                                );
-                                let _ = tx.send(doc);
-                            }
-                        }
+                    while let Some(dispatch) = shared.sched.pop() {
+                        run_dispatch(dispatch, &shared, &index_tx);
                     }
                 })
                 .map_err(|e| e.to_string())?,
@@ -289,6 +299,63 @@ pub fn start(config: ServeConfig, mut catalog: Catalog) -> Result<Handle, String
     Ok(Handle { addr, shared, threads })
 }
 
+/// Runs one scheduler dispatch on a pipeline worker.
+///
+/// A dispatch the scheduler shed as expired is *still* executed: its
+/// cancel token already fired, so [`execute`] fails fast with the same
+/// 408 `deadline_exceeded` envelope the pre-scheduler server produced,
+/// without loading any data. Afterwards the leader's terminal state
+/// fans out to every coalesced follower, and a completed notebook
+/// feeds the background indexer.
+fn run_dispatch(
+    dispatch: Dispatch<Job>,
+    shared: &Shared,
+    index_tx: &Option<mpsc::Sender<cn_index::Document>>,
+) {
+    let Dispatch { item: job, class, wait_us, expired, coalesce_key, .. } = dispatch;
+    let id = job.spec.id;
+    if expired {
+        shared.global.inc(Metric::SchedShedExpired);
+    } else {
+        shared.global.inc(Metric::SchedDispatched);
+        let wait_hist = match class {
+            Class::Interactive => Hist::SchedWaitInteractiveMicros,
+            Class::Batch => Hist::SchedWaitBatchMicros,
+        };
+        shared.global.record(wait_hist, wait_us);
+    }
+    {
+        let _span = shared.global.span_with_value("sched_dispatch", wait_us);
+        execute(
+            job,
+            &shared.catalog,
+            &shared.store,
+            &shared.global,
+            shared.config.run_threads,
+            &shared.config.store_retry,
+        );
+    }
+    // Followers of a coalesced request alias the leader's terminal
+    // state under their own job ids, then their waiting HTTP workers
+    // wake. The scheduler returns them only now, so a request arriving
+    // mid-run still attaches before this point or queues fresh after.
+    let status = shared.store.get(id);
+    for follower in shared.sched.finish(coalesce_key, expired) {
+        if let Some(status) = &status {
+            shared.store.set(follower.spec.id, status.clone());
+        }
+        let _ = follower.done.send(());
+    }
+    // Hand the finished notebook to the indexer; a failed job has
+    // nothing to register, and a closed channel just means shutdown.
+    if let Some(tx) = index_tx {
+        if let Some(JobStatus::Done(c)) = shared.store.get(id) {
+            let doc = cn_pipeline::index_document(&c.table, c.session.run(), &c.dataset);
+            let _ = tx.send(doc);
+        }
+    }
+}
+
 fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
     let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
     let response = match read_request(stream) {
@@ -319,6 +386,7 @@ fn route(request: &Request, shared: &Shared, request_id: u64) -> Response {
         ("GET", ["healthz"]) => handle_healthz(shared),
         ("GET", ["metrics"]) => handle_metrics(shared),
         ("GET", ["v1", "datasets"]) => handle_datasets(shared),
+        ("GET", ["v1", "sched"]) => handle_sched(shared, request_id),
         ("GET", ["v1", "search"]) => handle_search(request, shared, request_id),
         ("POST", ["v1", "notebooks"]) => handle_generate(request, shared, request_id),
         ("GET", ["v1", "notebooks", id]) => handle_get_notebook(id, shared, request_id),
@@ -347,12 +415,16 @@ fn handle_healthz(shared: &Shared) -> Response {
         200,
         &json!({
             "status": status,
-            "jobs_queued": shared.queue.len() as u64,
+            "jobs_queued": shared.sched.queued_len() as u64,
         }),
     )
 }
 
 fn handle_metrics(shared: &Shared) -> Response {
+    // Gauges are levels, not totals: refresh them from the scheduler at
+    // scrape time so the report reflects the queue as it is now.
+    shared.global.set_gauge(Gauge::QueueDepth, shared.sched.queued_len() as u64);
+    shared.global.set_gauge(Gauge::InflightJobs, shared.sched.inflight() as u64);
     Response { status: 200, body: shared.global.report().to_json_string(), headers: Vec::new() }
 }
 
@@ -417,10 +489,26 @@ fn handle_generate(request: &Request, shared: &Shared, request_id: u64) -> Respo
         return ApiError::new(404, "dataset_not_found", format!("unknown dataset `{dataset}`"))
             .to_response(request_id);
     }
+    let class = match body.get("class") {
+        None => Class::Interactive,
+        Some(Value::String(raw)) => match Class::parse(raw) {
+            Some(class) => class,
+            None => {
+                return ApiError::bad_request("`class` must be `interactive` or `batch`")
+                    .to_response(request_id)
+            }
+        },
+        Some(_) => {
+            return ApiError::bad_request("`class` must be a string").to_response(request_id)
+        }
+    };
     let deadline = match u64_field(&body, "deadline_ms") {
         Some(ms) => Some(Duration::from_millis(ms)),
         None => shared.config.default_deadline,
     };
+    // The cancel token arms *before* the scheduler deadline is stamped,
+    // so a job the scheduler sheds as expired always finds its token
+    // already expired and fails fast with the usual 408 envelope.
     let cancel = match deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
@@ -435,15 +523,35 @@ fn handle_generate(request: &Request, shared: &Shared, request_id: u64) -> Respo
         seed: u64_field(&body, "seed").unwrap_or(0),
         epsilon_d: body.get("epsilon_d").and_then(Value::as_f64),
     };
+    // The `X-CN-Tenant` header and single-flight coalescing only apply
+    // under an explicit scheduling policy; the legacy single queue
+    // treats every request as the default tenant, never coalesced.
+    let meta = JobMeta {
+        tenant: if shared.sched_enabled {
+            request.header("x-cn-tenant").unwrap_or("default").to_string()
+        } else {
+            "default".to_string()
+        },
+        class,
+        deadline_us: deadline
+            .map(|d| shared.sched.clock().now_us().saturating_add(d.as_micros() as u64)),
+        coalesce_key: shared.sched_enabled.then(|| coalesce_key(&spec, deadline, class)),
+    };
     let (done, finished) = mpsc::channel();
-    match shared.queue.submit(Job { spec, cancel, done }) {
-        Ok(()) => {}
-        Err(SubmitError::Full) => {
+    match shared.sched.submit(Job { spec, cancel, done }, &meta) {
+        Ok(Admitted::Queued) => {}
+        Ok(Admitted::Coalesced) => shared.global.inc(Metric::SchedCoalesced),
+        Err(Rejection::RateLimited { retry_after_secs }) => {
+            shared.store.remove(id);
+            shared.global.inc(Metric::SchedRejectedRate);
+            return ApiError::rate_limited(retry_after_secs).to_response(request_id);
+        }
+        Err(Rejection::QueueFull) => {
             shared.store.remove(id);
             shared.global.inc(Metric::AdmissionRejected);
             return ApiError::queue_full().to_response(request_id);
         }
-        Err(SubmitError::Closed) => {
+        Err(Rejection::Closed) => {
             shared.store.remove(id);
             return ApiError::draining().to_response(request_id);
         }
@@ -457,6 +565,74 @@ fn handle_generate(request: &Request, shared: &Shared, request_id: u64) -> Respo
         Some(JobStatus::Failed(f)) => failure_response(&f, request_id),
         _ => ApiError::internal("job finished without a terminal state").to_response(request_id),
     }
+}
+
+/// 128-bit FNV-1a over exactly the request parameters that determine
+/// the notebook bytes (plus deadline and class, so requests that could
+/// time out differently never share a run). Job and request ids stay
+/// out — they differ per request by construction.
+fn coalesce_key(spec: &JobSpec, deadline: Option<Duration>, class: Class) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u128::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(spec.dataset.as_bytes());
+    // Separator so `("ab", 1)` and `("a", ...)` cannot collide by
+    // concatenation.
+    eat(&[0xff]);
+    eat(&(spec.notebook_len as u64).to_le_bytes());
+    eat(&(spec.n_permutations as u64).to_le_bytes());
+    eat(&spec.seed.to_le_bytes());
+    eat(&spec.epsilon_d.map(f64::to_bits).unwrap_or(u64::MAX).to_le_bytes());
+    eat(&deadline.map(|d| d.as_millis() as u64).unwrap_or(u64::MAX).to_le_bytes());
+    eat(&[class as u8]);
+    hash
+}
+
+/// `GET /v1/sched`: the scheduler's live snapshot — per-tenant queue
+/// depths, token balances, dispatch totals — shaped by
+/// `schemas/sched.schema.json`.
+fn handle_sched(shared: &Shared, request_id: u64) -> Response {
+    let snapshot = shared.sched.snapshot();
+    let tenants: Vec<Value> = snapshot
+        .tenants
+        .iter()
+        .map(|t| {
+            json!({
+                "name": t.name.clone(),
+                "weight": t.weight,
+                "rate": t.rate,
+                "burst": t.burst,
+                "tokens": t.tokens,
+                "queued_interactive": t.queued[Class::Interactive as usize] as u64,
+                "queued_batch": t.queued[Class::Batch as usize] as u64,
+                "dispatched": t.dispatched,
+            })
+        })
+        .collect();
+    Response::json(
+        200,
+        &json!({
+            "api_version": crate::error::API_VERSION,
+            "request_id": request_id,
+            "enabled": shared.sched_enabled,
+            "queued": snapshot.queued as u64,
+            "inflight": snapshot.inflight as u64,
+            "totals": {
+                "dispatched": snapshot.totals.dispatched,
+                "shed_expired": snapshot.totals.shed_expired,
+                "coalesced": snapshot.totals.coalesced,
+                "rejected_rate": snapshot.totals.rejected_rate,
+                "rejected_full": snapshot.totals.rejected_full,
+            },
+            "tenants": tenants,
+        }),
+    )
 }
 
 fn parse_id(raw: &str) -> Option<u64> {

@@ -1,0 +1,299 @@
+//! End-to-end tests for the multi-tenant scheduler in cn-serve:
+//! single-flight coalescing, token-bucket rejection, the `/v1/sched`
+//! snapshot contract, and the no-policy transparency guarantee.
+
+use cn_serve::{start, Catalog, DatasetSpec, Handle, Registry, SchedConfig, ServeConfig};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn covid_csv() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../data/covid_sample.csv")
+}
+
+fn sched_schema() -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/sched.schema.json");
+    serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+/// A server with one pipeline worker and the given scheduling policy
+/// (`None` = the legacy single queue).
+fn sched_server(policy: Option<&str>) -> Handle {
+    let registry = Arc::new(Registry::new());
+    let mut catalog = Catalog::new(4, registry);
+    catalog.register(DatasetSpec {
+        name: "covid".to_string(),
+        path: covid_csv(),
+        measures: None,
+        ignore: Vec::new(),
+    });
+    let config = ServeConfig {
+        http_workers: 8,
+        pipeline_workers: 1,
+        queue_depth: 32,
+        sched: policy.map(|toml| SchedConfig::parse_toml(toml).expect("test policy parses")),
+        ..ServeConfig::default()
+    };
+    start(config, catalog).expect("bind an ephemeral port")
+}
+
+/// One request with optional extra headers; returns the status, the
+/// raw header block, and the parsed JSON body.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> (u16, String, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let body = body.unwrap_or("");
+    let extra: String = headers.iter().map(|(n, v)| format!("{n}: {v}\r\n")).collect();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\n{extra}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let (head, tail) = response.split_once("\r\n\r\n").unwrap_or((response.as_str(), ""));
+    let json_body = if tail.is_empty() {
+        Value::Null
+    } else {
+        serde_json::from_str(tail).unwrap_or(Value::Null)
+    };
+    (status, head.to_string(), json_body)
+}
+
+fn counter(addr: SocketAddr, name: &str) -> u64 {
+    let (status, _, metrics) = request(addr, "GET", "/metrics", &[], None);
+    assert_eq!(status, 200);
+    metrics["counters"][name].as_u64().unwrap_or(0)
+}
+
+/// Spins until the scheduler reports an in-flight job, so follow-up
+/// submissions are guaranteed to land behind it.
+fn wait_for_inflight(addr: SocketAddr) {
+    for _ in 0..200 {
+        let (_, _, snap) = request(addr, "GET", "/v1/sched", &[], None);
+        if snap["inflight"].as_u64().unwrap_or(0) >= 1 {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("no job ever went in flight");
+}
+
+const POLICY: &str = "\
+[defaults]\n\
+max_queued = 32\n\
+\n\
+[tenants.slow]\n\
+rate = 0.001\n\
+burst = 1.0\n\
+";
+
+#[test]
+fn identical_concurrent_requests_coalesce_onto_one_pipeline_run() {
+    let handle = sched_server(Some(POLICY));
+    let addr = handle.addr();
+
+    // Occupy the only pipeline worker so the identical burst below is
+    // guaranteed to queue — and therefore to coalesce — behind it.
+    let blocker = thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/v1/notebooks",
+            &[],
+            Some(r#"{"dataset":"covid","len":4,"perms":5000,"seed":7}"#),
+        )
+    });
+    wait_for_inflight(addr);
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(move || {
+                request(
+                    addr,
+                    "POST",
+                    "/v1/notebooks",
+                    &[],
+                    Some(r#"{"dataset":"covid","len":3,"perms":50,"seed":1}"#),
+                )
+            })
+        })
+        .collect();
+    let results: Vec<(u16, String, Value)> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let (status, _, _) = blocker.join().unwrap();
+    assert_eq!(status, 200);
+
+    // All four clients succeed with byte-identical notebooks...
+    let markdown = results[0].2["markdown"].as_str().unwrap().to_string();
+    assert!(markdown.contains("Comparison notebook"));
+    for (status, _, body) in &results {
+        assert_eq!(*status, 200, "coalesced request failed: {body}");
+        assert_eq!(body["status"], "done");
+        assert_eq!(body["markdown"].as_str().unwrap(), markdown, "notebooks must be identical");
+    }
+    // ...but the pipeline ran exactly twice: the blocker and one leader.
+    assert_eq!(counter(addr, "jobs_completed"), 2, "followers must not re-run the pipeline");
+    assert_eq!(counter(addr, "sched_coalesced"), 3, "three requests attach as followers");
+    assert_eq!(counter(addr, "sched_dispatched"), 2);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn an_empty_token_bucket_rejects_with_rate_limited_and_retry_after() {
+    let handle = sched_server(Some(POLICY));
+    let addr = handle.addr();
+
+    // Burst of 1: the first request drains tenant `slow`'s bucket.
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/v1/notebooks",
+        &[("X-CN-Tenant", "slow")],
+        Some(r#"{"dataset":"covid","len":2,"perms":20,"seed":1}"#),
+    );
+    assert_eq!(status, 200);
+
+    // A different request (no coalescing) from the same tenant is
+    // refused by admission with the refill-derived Retry-After.
+    let (status, head, body) = request(
+        addr,
+        "POST",
+        "/v1/notebooks",
+        &[("X-CN-Tenant", "slow")],
+        Some(r#"{"dataset":"covid","len":2,"perms":20,"seed":2}"#),
+    );
+    assert_eq!(status, 429, "body: {body}");
+    assert_eq!(body["error"]["code"], "rate_limited");
+    assert_eq!(body["error"]["retryable"], true);
+    let retry_after: u64 = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .expect("429 carries Retry-After")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(retry_after >= 1, "refill math yields at least one second");
+    assert!(counter(addr, "sched_rejected_rate") >= 1);
+
+    // The default tenant is untouched by `slow`'s bucket.
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/v1/notebooks",
+        &[],
+        Some(r#"{"dataset":"covid","len":2,"perms":20,"seed":3}"#),
+    );
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn the_sched_snapshot_validates_against_its_schema() {
+    let handle = sched_server(Some(POLICY));
+    let addr = handle.addr();
+
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/v1/notebooks",
+        &[("X-CN-Tenant", "alice")],
+        Some(r#"{"dataset":"covid","len":2,"perms":20,"seed":1}"#),
+    );
+    assert_eq!(status, 200);
+
+    let (status, _, snap) = request(addr, "GET", "/v1/sched", &[], None);
+    assert_eq!(status, 200);
+    if let Err(violations) = cn_obs::schema::validate(&snap, &sched_schema()) {
+        panic!("/v1/sched violates schemas/sched.schema.json: {violations:?}\nbody: {snap}");
+    }
+    assert_eq!(snap["enabled"], true);
+    assert_eq!(snap["totals"]["dispatched"], 1);
+    let names: Vec<&str> =
+        snap["tenants"].as_array().unwrap().iter().map(|t| t["name"].as_str().unwrap()).collect();
+    assert!(names.contains(&"alice"), "tenants: {names:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn without_a_policy_the_scheduler_is_transparent() {
+    let handle = sched_server(None);
+    let addr = handle.addr();
+
+    // Two concurrent *identical* requests: the legacy server runs the
+    // pipeline twice (no coalescing), and the tenant header is ignored.
+    let body = r#"{"dataset":"covid","len":3,"perms":50,"seed":5}"#;
+    let clients: Vec<_> = ["alice", "bob"]
+        .into_iter()
+        .map(|tenant| {
+            thread::spawn(move || {
+                request(addr, "POST", "/v1/notebooks", &[("X-CN-Tenant", tenant)], Some(body))
+            })
+        })
+        .collect();
+    let results: Vec<(u16, String, Value)> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for (status, _, body) in &results {
+        assert_eq!(*status, 200, "body: {body}");
+    }
+    // Deterministic pipeline: both runs produce byte-identical
+    // notebooks even though each ran separately.
+    assert_eq!(
+        results[0].2["markdown"].as_str().unwrap(),
+        results[1].2["markdown"].as_str().unwrap()
+    );
+    assert_eq!(counter(addr, "sched_coalesced"), 0, "no policy, no coalescing");
+    assert_eq!(counter(addr, "jobs_completed"), 2);
+
+    let (status, _, snap) = request(addr, "GET", "/v1/sched", &[], None);
+    assert_eq!(status, 200);
+    if let Err(violations) = cn_obs::schema::validate(&snap, &sched_schema()) {
+        panic!("/v1/sched violates schemas/sched.schema.json: {violations:?}\nbody: {snap}");
+    }
+    assert_eq!(snap["enabled"], false);
+    // Every request billed to the single built-in tenant.
+    let tenants = snap["tenants"].as_array().unwrap();
+    assert_eq!(tenants.len(), 1, "tenants: {tenants:?}");
+    assert_eq!(tenants[0]["name"], "default");
+    assert_eq!(tenants[0]["dispatched"], 2);
+
+    // The gauges land in /metrics and settle to zero at idle (the
+    // in-flight count drops just *after* the response is written, so
+    // poll briefly).
+    let mut settled = false;
+    for _ in 0..200 {
+        let (status, _, metrics) = request(addr, "GET", "/metrics", &[], None);
+        assert_eq!(status, 200);
+        assert_eq!(metrics["gauges"]["queue_depth"], 0);
+        if metrics["gauges"]["inflight_jobs"] == 0 {
+            settled = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert!(settled, "inflight_jobs never returned to zero");
+
+    handle.shutdown();
+    handle.join();
+}

@@ -262,3 +262,60 @@ fn overflow_is_rejected_with_429_and_deadlines_cancel() {
     handle.shutdown();
     handle.join();
 }
+
+#[test]
+fn concurrent_continuations_on_one_session_both_succeed() {
+    let handle = test_server(8, 2);
+    let addr = handle.addr();
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/notebooks",
+        Some(r#"{"dataset":"covid","len":3,"perms":99,"seed":0}"#),
+    );
+    assert_eq!(status, 200, "generation failed: {body:?}");
+    let id = body["id"].as_u64().unwrap();
+
+    // Two clients continue the *same* session at once. The cached
+    // session is shared read-only, so both must succeed and agree.
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            thread::spawn(move || {
+                request(
+                    addr,
+                    "POST",
+                    &format!("/v1/sessions/{id}/continue"),
+                    Some(r#"{"anchor":0,"k":2}"#),
+                )
+            })
+        })
+        .collect();
+    let results: Vec<(u16, Value)> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for (status, body) in &results {
+        assert_eq!(*status, 200, "concurrent continuation failed: {body:?}");
+        assert!(!body["suggestions"].as_array().unwrap().is_empty());
+    }
+    assert_eq!(
+        results[0].1["suggestions"], results[1].1["suggestions"],
+        "shared session must serve identical suggestions"
+    );
+    assert_eq!(results[0].1["markdown"], results[1].1["markdown"]);
+
+    // The cached session is not corrupted: a follow-up continuation
+    // and the stored notebook still answer correctly.
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/v1/sessions/{id}/continue"),
+        Some(r#"{"anchor":0,"k":2}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body["suggestions"], results[0].1["suggestions"]);
+    let (status, body) = request(addr, "GET", &format!("/v1/notebooks/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(body["status"], "done");
+
+    handle.shutdown();
+    handle.join();
+}
