@@ -27,6 +27,7 @@ fn usage() -> ! {
            cn index build [options]      generate notebooks and index their signatures\n\
            cn index search [options]     top-k similar notebooks for a query\n\
            cn index inspect [options]    list the documents in an index\n\
+           cn lint [ROOT] [options]      check workspace determinism/robustness invariants\n\
          \n\
          SERVE OPTIONS:\n\
            --port N           listen port (default 7878; 0 = ephemeral)\n\
@@ -57,6 +58,11 @@ fn usage() -> ! {
            --dataset NAME=CSV dataset to build from (repeatable)\n\
            --demo-data        use the built-in demo dataset as `demo`\n\
            (build also honors --len, --perms, --seed, --sample, --threads)\n\
+         \n\
+         LINT OPTIONS:\n\
+           --json             emit the JSON report (schemas/lint.schema.json)\n\
+           --baseline PATH    baseline file (default ROOT/lint-baseline.json;\n\
+                              exits 1 on any violation the baseline misses)\n\
          \n\
          OPTIONS:\n\
            --measures a,b,c   treat these columns as measures (default: inferred)\n\
@@ -103,6 +109,8 @@ struct Args {
     query: Option<String>,
     k: usize,
     mode: String,
+    json: bool,
+    baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -135,6 +143,8 @@ fn parse_args() -> Args {
         query: None,
         k: 5,
         mode: "cosine".to_string(),
+        json: false,
+        baseline: None,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -180,6 +190,8 @@ fn parse_args() -> Args {
             "--index-path" => args.index_path = Some(PathBuf::from(value(&rest, &mut i))),
             "--sched-config" => args.sched_config = Some(PathBuf::from(value(&rest, &mut i))),
             "--query" => args.query = Some(value(&rest, &mut i)),
+            "--json" => args.json = true,
+            "--baseline" => args.baseline = Some(PathBuf::from(value(&rest, &mut i))),
             "--k" => args.k = value(&rest, &mut i).parse().unwrap_or_else(|_| usage()),
             "--mode" => args.mode = value(&rest, &mut i),
             flag if flag.starts_with("--") => usage(),
@@ -525,6 +537,7 @@ fn cmd_store(args: &Args) {
         "build" => {
             let config = store_config(args);
             for (name, table) in cli_datasets(args) {
+                // cn-lint: allow(CN-D2, CLI progress timing; never part of notebook output)
                 let started = std::time::Instant::now();
                 let artifact = match build_store_artifact(&table, &config, &name) {
                     Ok(a) => a,
@@ -630,6 +643,7 @@ fn cmd_index(args: &Args) {
                 ),
             };
             for (name, table) in cli_datasets(args) {
+                // cn-lint: allow(CN-D2, CLI progress timing; never part of notebook output)
                 let started = std::time::Instant::now();
                 let run = match cn_core::pipeline::run(&table, &config) {
                     Ok(r) => r,
@@ -705,6 +719,35 @@ fn cmd_index(args: &Args) {
     }
 }
 
+fn cmd_lint(args: &Args) {
+    use cn_core::lint::{load_baseline, run, LintOptions};
+    let root = args.input.clone().unwrap_or_else(|| PathBuf::from("."));
+    let explicit = args.baseline.is_some();
+    let baseline_path = args.baseline.clone().unwrap_or_else(|| root.join("lint-baseline.json"));
+    let baseline = match load_baseline(&baseline_path, explicit) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2)
+        }
+    };
+    let report = match run(&LintOptions { root, baseline }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2)
+        }
+    };
+    if args.json {
+        print!("{}", report.to_json_string());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.new_count() > 0 {
+        exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -713,6 +756,7 @@ fn main() {
         "serve" => cmd_serve(&args),
         "store" => cmd_store(&args),
         "index" => cmd_index(&args),
+        "lint" => cmd_lint(&args),
         "notebook" => {
             let table = load_table(&args);
             cmd_notebook(&args, table);

@@ -51,6 +51,7 @@ pub use cn_engine as engine;
 pub use cn_index as index;
 pub use cn_insight as insight;
 pub use cn_interest as interest;
+pub use cn_lint as lint;
 pub use cn_notebook as notebook;
 pub use cn_obs as obs;
 pub use cn_pipeline as pipeline;

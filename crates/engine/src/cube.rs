@@ -191,7 +191,13 @@ impl Cube {
             acc += w;
         }
         let mut groups: HashMap<u128, (u64, Vec<PartialAgg>)> = HashMap::new();
-        for (&key, (rows, payload)) in &self.groups {
+        // Merge in sorted key order: several source groups fold into one
+        // rolled-up group, and float accumulation is order-sensitive, so
+        // hash order here would leak into result bits run-to-run.
+        let mut src_keys: Vec<u128> = self.groups.keys().copied().collect();
+        src_keys.sort_unstable();
+        for key in src_keys {
+            let (rows, payload) = &self.groups[&key];
             let codes = self.unpack(key);
             let mut sub_key = 0u128;
             for (i, &p) in positions.iter().enumerate() {
@@ -228,15 +234,13 @@ impl Cube {
                 .unwrap_or_default();
             return Err(EngineError::RollupNotSubset { attr });
         }
-        for &key in self.groups.keys() {
-            if !other.groups.contains_key(&key) {
-                return Err(EngineError::GroupPresenceMismatch { codes: self.unpack(key) });
-            }
+        // `.min()` keeps the reported mismatch deterministic when several
+        // groups differ (hash order would name an arbitrary one).
+        if let Some(&key) = self.groups.keys().filter(|k| !other.groups.contains_key(k)).min() {
+            return Err(EngineError::GroupPresenceMismatch { codes: self.unpack(key) });
         }
-        for &key in other.groups.keys() {
-            if !self.groups.contains_key(&key) {
-                return Err(EngineError::GroupPresenceMismatch { codes: other.unpack(key) });
-            }
+        if let Some(&key) = other.groups.keys().filter(|k| !self.groups.contains_key(k)).min() {
+            return Err(EngineError::GroupPresenceMismatch { codes: other.unpack(key) });
         }
         Ok(())
     }
@@ -272,6 +276,7 @@ impl Cube {
         let mut lefts: HashMap<u32, f64> = HashMap::new();
         let mut rights: HashMap<u32, f64> = HashMap::new();
         let mut tuples = 0u64;
+        // cn-lint: allow(CN-D1, keyed inserts and a u64 sum are order-insensitive; the join below sorts)
         for (&key, (rows, payload)) in &cube.groups {
             let codes = cube.unpack(key);
             let (a, b) = (codes[0], codes[1]);

@@ -13,6 +13,7 @@
 //! installed: the production binary carries no branch, no atomic load,
 //! no anything, at any fault site.
 
+use cn_obs::sync::lock_unpoisoned;
 use cn_obs::{Metric, Registry};
 use std::collections::HashMap;
 use std::fmt;
@@ -134,7 +135,7 @@ impl FaultPlan {
 
     /// Counts injected faults (`faults_injected`) into `registry`.
     pub fn observe(self, registry: Arc<Registry>) -> Self {
-        *self.registry.lock().unwrap() = Some(registry);
+        *lock_unpoisoned(&self.registry) = Some(registry);
         self
     }
 
@@ -174,7 +175,7 @@ impl FaultPlan {
     }
 
     fn next_occurrence(&self, site: &str) -> u64 {
-        let mut hits = self.hits.lock().unwrap();
+        let mut hits = lock_unpoisoned(&self.hits);
         let n = hits.entry(site.to_string()).or_insert(0);
         let occurrence = *n;
         *n += 1;
@@ -182,7 +183,7 @@ impl FaultPlan {
     }
 
     fn count_injected(&self) {
-        let registry = self.registry.lock().unwrap();
+        let registry = lock_unpoisoned(&self.registry);
         registry.as_deref().unwrap_or_else(|| Registry::discard()).inc(Metric::FaultsInjected);
     }
 }
@@ -205,6 +206,7 @@ impl FaultHook for FaultPlan {
             match &rule.action {
                 FaultAction::Delay { ms } => {
                     self.count_injected();
+                    // cn-lint: allow(CN-D3, injected latency IS the fault being simulated)
                     std::thread::sleep(Duration::from_millis(*ms));
                 }
                 FaultAction::Fail { message } => {
@@ -249,20 +251,20 @@ static HOOK: Mutex<Option<Arc<dyn FaultHook>>> = Mutex::new(None);
 /// instead of silently testing nothing.
 #[cfg(feature = "injection")]
 pub fn install(hook: Arc<dyn FaultHook>) {
-    *HOOK.lock().unwrap() = Some(hook);
+    *lock_unpoisoned(&HOOK) = Some(hook);
 }
 
 /// Removes the installed hook; every site reverts to a clean pass.
 #[cfg(feature = "injection")]
 pub fn uninstall() {
-    *HOOK.lock().unwrap() = None;
+    *lock_unpoisoned(&HOOK) = None;
 }
 
 /// True when a hook is installed (always false without `injection`).
 pub fn installed() -> bool {
     #[cfg(feature = "injection")]
     {
-        HOOK.lock().unwrap().is_some()
+        lock_unpoisoned(&HOOK).is_some()
     }
     #[cfg(not(feature = "injection"))]
     {
@@ -276,7 +278,7 @@ pub fn installed() -> bool {
 pub fn point(site: &str) -> Result<(), InjectedFault> {
     #[cfg(feature = "injection")]
     {
-        let hook = HOOK.lock().unwrap().clone();
+        let hook = lock_unpoisoned(&HOOK).clone();
         if let Some(hook) = hook {
             return hook.fire(site);
         }
@@ -292,7 +294,7 @@ pub fn point(site: &str) -> Result<(), InjectedFault> {
 pub fn corrupt(site: &str, bytes: &mut [u8]) -> bool {
     #[cfg(feature = "injection")]
     {
-        let hook = HOOK.lock().unwrap().clone();
+        let hook = lock_unpoisoned(&HOOK).clone();
         if let Some(hook) = hook {
             return hook.mutate(site, bytes);
         }

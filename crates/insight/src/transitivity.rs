@@ -60,6 +60,7 @@ pub fn prune_deducible(insights: Vec<SignificantInsight>) -> Vec<SignificantInsi
             .push(idx);
     }
     let mut keep = vec![true; insights.len()];
+    // cn-lint: allow(CN-D1, families write disjoint keep[] slots; visit order cannot change the mask)
     for indices in families.values() {
         let edges: Vec<(u32, u32)> =
             indices.iter().map(|&i| (insights[i].insight.val, insights[i].insight.val2)).collect();

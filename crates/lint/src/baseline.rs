@@ -1,0 +1,153 @@
+//! The checked-in violation baseline: legacy debt made explicit.
+//!
+//! A baseline entry says "`rule` may fire up to `count` times in
+//! `file`, because `reason`". The linter fails only on violations
+//! *beyond* the baseline, and reports entries whose debt has shrunk so
+//! the file can be ratcheted down — counts only ever go to zero, never
+//! up, without a reviewed edit to `lint-baseline.json`.
+//!
+//! Entries key on (rule, file) with a count rather than line numbers:
+//! unrelated edits move lines constantly, and a baseline that rots on
+//! every refactor trains people to regenerate it blindly — the exact
+//! failure the ratchet exists to prevent.
+
+use crate::json::{self, Value};
+use std::collections::HashMap;
+
+/// One unit of accepted legacy debt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub count: u64,
+    pub reason: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// An empty baseline: every violation is new.
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parses `lint-baseline.json` text.
+    ///
+    /// # Errors
+    /// A human-readable message naming the malformed field; a missing
+    /// `reason` is an error by design — debt without a reason is just
+    /// debt.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        if doc.get("version").and_then(Value::as_u64) != Some(1) {
+            return Err("baseline `version` must be 1".to_string());
+        }
+        let raw = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or("baseline `entries` must be an array")?;
+        let mut entries = Vec::new();
+        for (i, entry) in raw.iter().enumerate() {
+            let field = |name: &str| -> Result<String, String> {
+                entry
+                    .get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("baseline entry {i}: missing string field `{name}`"))
+            };
+            let reason = field("reason")?;
+            if reason.trim().is_empty() {
+                return Err(format!("baseline entry {i}: `reason` must not be empty"));
+            }
+            entries.push(BaselineEntry {
+                rule: field("rule")?,
+                file: field("file")?,
+                count: entry
+                    .get("count")
+                    .and_then(Value::as_u64)
+                    .filter(|&c| c >= 1)
+                    .ok_or(format!("baseline entry {i}: `count` must be an integer >= 1"))?,
+                reason,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds the per-(rule, file) allowance map.
+    pub fn allowances(&self) -> HashMap<(String, String), u64> {
+        let mut map = HashMap::new();
+        for e in &self.entries {
+            *map.entry((e.rule.clone(), e.file.clone())).or_insert(0) += e.count;
+        }
+        map
+    }
+
+    /// Serializes back to the canonical on-disk form (sorted, pretty).
+    pub fn to_json(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"rule\": ");
+            json::write_str(&mut out, &e.rule);
+            out.push_str(", \"file\": ");
+            json::write_str(&mut out, &e.file);
+            out.push_str(&format!(", \"count\": {}, \"reason\": ", e.count));
+            json::write_str(&mut out, &e.reason);
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "version": 1,
+        "entries": [
+            {"rule": "CN-D2", "file": "crates/tap/src/exact.rs", "count": 1,
+             "reason": "wall-clock budget for the exact solver"}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_indexes_entries() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        let allow = b.allowances();
+        assert_eq!(allow[&("CN-D2".to_string(), "crates/tap/src/exact.rs".to_string())], 1);
+    }
+
+    #[test]
+    fn rejects_debt_without_a_reason() {
+        let no_reason = r#"{"version": 1, "entries": [
+            {"rule": "CN-D2", "file": "f.rs", "count": 1, "reason": "  "}]}"#;
+        assert!(Baseline::parse(no_reason).unwrap_err().contains("reason"));
+        let missing = r#"{"version": 1, "entries": [
+            {"rule": "CN-D2", "file": "f.rs", "count": 1}]}"#;
+        assert!(Baseline::parse(missing).unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn rejects_zero_counts_and_bad_versions() {
+        let zero = r#"{"version": 1, "entries": [
+            {"rule": "CN-D2", "file": "f.rs", "count": 0, "reason": "x"}]}"#;
+        assert!(Baseline::parse(zero).is_err());
+        assert!(Baseline::parse(r#"{"version": 2, "entries": []}"#).is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_to_json() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        let again = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(b, again);
+    }
+}

@@ -1,0 +1,426 @@
+//! A hand-rolled Rust lexer, just deep enough for syntactic linting.
+//!
+//! The hard part of grepping Rust source is not finding tokens — it is
+//! *not* finding them inside string literals, raw strings, char
+//! literals, and (nested) block comments. This lexer gets exactly those
+//! cases right and deliberately stays shallow everywhere else: numbers
+//! are one opaque token, punctuation is one `char` per token, and no
+//! attempt is made to parse expressions. Every token carries the
+//! 1-based line it starts on so rule matches anchor to source lines.
+//!
+//! Invariant (pinned by a proptest): lexing *any* string terminates
+//! without panicking, including unterminated literals and comments at
+//! end of input.
+
+/// What a token is; the payload is the token's source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// `"..."`, `b"..."`, or `c"..."` with escapes.
+    Str,
+    /// `r"..."` / `r#"..."#` / `br##"..."##` raw (byte) strings.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// An integer or float literal, suffix included.
+    Num,
+    /// `// ...` to end of line (doc comments included).
+    LineComment,
+    /// `/* ... */`, nesting handled.
+    BlockComment,
+    /// A single punctuation or operator character (`.`, `:`, `(`, ...).
+    Punct,
+}
+
+/// One lexed token: kind, source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs run to
+/// end of input, and bytes that fit nothing become `Punct` tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while let Some(b) = cur.peek(0) {
+                    if b == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                push(&mut tokens, TokenKind::LineComment, src, start, cur.pos, line);
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                lex_block_comment(&mut cur);
+                push(&mut tokens, TokenKind::BlockComment, src, start, cur.pos, line);
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                push(&mut tokens, TokenKind::Str, src, start, cur.pos, line);
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut cur);
+                push(&mut tokens, kind, src, start, cur.pos, line);
+            }
+            b'0'..=b'9' => {
+                lex_number(&mut cur);
+                push(&mut tokens, TokenKind::Num, src, start, cur.pos, line);
+            }
+            b if is_ident_start(b) => {
+                let kind = lex_ident_or_prefixed(&mut cur);
+                push(&mut tokens, kind, src, start, cur.pos, line);
+            }
+            _ => {
+                cur.bump();
+                push(&mut tokens, TokenKind::Punct, src, start, cur.pos, line);
+            }
+        }
+    }
+    tokens
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, src: &str, start: usize, end: usize, line: u32) {
+    // Offsets always land on char boundaries: multi-byte chars are only
+    // consumed whole (as ident continuations or lone Punct lead bytes
+    // followed by continuation bytes, each its own Punct — still split
+    // at boundaries because the lead byte test `>= 0x80` groups them
+    // into idents; the Punct fallback may split a char, so fall back to
+    // a lossy slice there).
+    let text = match src.get(start..end) {
+        Some(t) => t.to_string(),
+        None => String::from_utf8_lossy(&src.as_bytes()[start..end]).into_owned(),
+    };
+    tokens.push(Token { kind, text, line });
+}
+
+/// `/* ... */` with nesting; unterminated runs to end of input.
+fn lex_block_comment(cur: &mut Cursor) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// A `"..."` string with `\` escapes; the opening quote is at the
+/// cursor. Unterminated runs to end of input.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump();
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// A raw string `r#*"..."#*`; the cursor sits on the first `#` or `"`.
+fn lex_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek(0) != Some(b'"') {
+        return; // `r#ident` handled by the caller; nothing to consume.
+    }
+    cur.bump();
+    'body: while let Some(b) = cur.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some(b'#') {
+                    continue 'body;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// After a `'`: a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump();
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // Escaped char literal: consume until the closing quote.
+            cur.bump();
+            cur.bump();
+            while let Some(b) = cur.peek(0) {
+                cur.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            TokenKind::Char
+        }
+        Some(b) if is_ident_start(b) => {
+            // `'a` (lifetime) vs `'a'` (char): scan the ident run, then
+            // look for a closing quote.
+            while let Some(b) = cur.peek(0) {
+                if !is_ident_continue(b) {
+                    break;
+                }
+                cur.bump();
+            }
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // `'('`, `'0'`, ... — one char then the closing quote.
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Lifetime,
+    }
+}
+
+/// An integer/float literal; a `.` joins only when a digit follows, so
+/// `0..10` stays three tokens.
+fn lex_number(cur: &mut Cursor) {
+    cur.bump();
+    while let Some(b) = cur.peek(0) {
+        let joins_float = b == b'.' && cur.peek(1).is_some_and(|n| n.is_ascii_digit());
+        if b.is_ascii_alphanumeric() || b == b'_' || joins_float {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// An identifier, or one of the quote-prefix forms: `r"..."`,
+/// `r#"..."#`, `r#ident`, `b"..."`, `b'x'`, `br#"..."#`, `c"..."`,
+/// `cr#"..."#`.
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> TokenKind {
+    let first = cur.bump().unwrap_or(b'_');
+    match (first, cur.peek(0)) {
+        (b'r', Some(b'"')) | (b'r', Some(b'#')) => {
+            if first == b'r' && cur.peek(0) == Some(b'#') && cur.peek(1).is_some_and(is_ident_start)
+            {
+                // Raw identifier `r#type`.
+                cur.bump();
+                lex_ident_tail(cur);
+                return TokenKind::Ident;
+            }
+            lex_raw_string(cur);
+            return TokenKind::RawStr;
+        }
+        (b'b' | b'c', Some(b'"')) => {
+            lex_string(cur);
+            return TokenKind::Str;
+        }
+        (b'b', Some(b'\'')) => {
+            lex_quote(cur);
+            return TokenKind::Char;
+        }
+        (b'b' | b'c', Some(b'r')) if matches!(cur.peek(1), Some(b'"') | Some(b'#')) => {
+            // `br#"…"#` / `cr"…"` — but `br#ident` is not a thing, so a
+            // `#` must lead to a quote for this to be a raw string.
+            let mut i = 1;
+            while cur.peek(i) == Some(b'#') {
+                i += 1;
+            }
+            if cur.peek(i) == Some(b'"') {
+                cur.bump(); // the `r`
+                lex_raw_string(cur);
+                return TokenKind::RawStr;
+            }
+        }
+        _ => {}
+    }
+    lex_ident_tail(cur);
+    TokenKind::Ident
+}
+
+fn lex_ident_tail(cur: &mut Cursor) {
+    while let Some(b) = cur.peek(0) {
+        if !is_ident_continue(b) {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_inside_strings_stay_strings() {
+        let toks = kinds(r#"let s = "// not a comment"; x"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("// not a comment")));
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn strings_inside_comments_stay_comments() {
+        let toks = kinds("// a \"string\" here\nident");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert!(toks[1].1 == "ident");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"r#"quote " and // slash"# after"###);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert!(toks[0].1.contains("// slash"));
+        assert!(toks[1].1 == "after");
+        // Unbalanced hash counts do not terminate early.
+        let toks = kinds(r####"r##"one "# inside"## done"####);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert!(toks[0].1.contains(r##""# inside"##));
+        assert!(toks[1].1 == "done");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_at_the_matching_close() {
+        let toks = kinds("/* outer /* inner */ still outer */ code");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("still outer"));
+        assert_eq!(toks[1].1, "code");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let e = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert!(chars.iter().any(|(_, t)| t == "'a'"));
+    }
+
+    #[test]
+    fn byte_and_c_strings_and_raw_idents() {
+        let toks = kinds(r##"b"bytes" b'q' br#"raw"# c"cstr" r#type"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Char);
+        assert_eq!(toks[2].0, TokenKind::RawStr);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[4].0, TokenKind::Ident);
+        assert_eq!(toks[4].1, "r#type");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = kinds(r#""with \" escaped" next"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks[0].1.contains("escaped"));
+        assert_eq!(toks[1].1, "next");
+    }
+
+    #[test]
+    fn line_numbers_count_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2, "string starts on line 2");
+        assert_eq!(toks[2].line, 4, "comment starts on line 4");
+        assert_eq!(toks[3].line, 6, "b lands after both multi-line tokens");
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof_without_panicking() {
+        for src in ["\"never closed", "/* never closed", "r#\"never", "'", "b'", "r#"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = kinds("0..10");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0], (TokenKind::Num, "0".to_string()));
+        assert_eq!(toks[3], (TokenKind::Num, "10".to_string()));
+    }
+}

@@ -1,0 +1,233 @@
+//! `cn-lint` — the workspace invariant checker.
+//!
+//! The repo promises bit-identical notebooks at any thread count,
+//! seeded-clock scheduling, and poison-free serving. Those are
+//! *conventions* unless something checks them on every commit; this
+//! crate is that check. A hand-rolled Rust lexer (strings, raw
+//! strings, char literals, nested comments — see [`lexer`]) feeds a
+//! syntactic matcher and a registry of rules with stable IDs
+//! ([`rules::RULES`]): CN-D1 (no unsorted `HashMap`/`HashSet`
+//! iteration in determinism-critical crates), CN-D2 (no wall-clock
+//! reads outside `cn-obs`/`cn-bench`/the `Clock` impls), CN-D3 (no
+//! `thread::sleep` or unseeded randomness in non-test code), CN-R1 (no
+//! `.unwrap()`/`.expect()` in cn-serve request paths), and CN-R2 (no
+//! `.lock().unwrap()` anywhere — use the poison-recovering helpers in
+//! `cn_obs::sync`).
+//!
+//! False positives are silenced inline with
+//! `// cn-lint: allow(RULE-ID, reason)`; legacy debt lives in a
+//! checked-in `lint-baseline.json` whose per-file counts only ratchet
+//! down. The JSON report shape is pinned by `schemas/lint.schema.json`
+//! and everything — file walk, match order, report bytes — is
+//! deterministic, because a linter that polices determinism had better
+//! be deterministic itself.
+//!
+//! Std-only by design: the lexer, matcher, JSON writer, and baseline
+//! parser have no dependencies, so the lint builds fast and can gate
+//! every other crate.
+
+pub mod baseline;
+pub mod json;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use baseline::Baseline;
+use report::{LintReport, StaleBaseline, SuppressedViolation, UnusedAllow, Violation};
+use source::SourceFile;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// How to run the lint.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Workspace root (the directory holding `crates/`).
+    pub root: PathBuf,
+    /// Accepted legacy debt; [`Baseline::empty`] means everything is new.
+    pub baseline: Baseline,
+}
+
+/// Lints the workspace under `options.root`.
+///
+/// # Errors
+/// I/O failures reading the tree, stringified with the path.
+pub fn run(options: &LintOptions) -> Result<LintReport, String> {
+    let files = walk::lintable_files(&options.root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        let full = options.root.join(rel);
+        let text = std::fs::read_to_string(&full)
+            .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+        sources.push(SourceFile::parse(rel, &text));
+    }
+    Ok(lint_sources(&sources, &options.baseline))
+}
+
+/// Lints already-parsed sources (the files walked from disk in [`run`],
+/// or synthetic ones in tests).
+pub fn lint_sources(sources: &[SourceFile], baseline: &Baseline) -> LintReport {
+    let mut report = LintReport { checked_files: sources.len() as u64, ..Default::default() };
+    let mut budget = baseline.allowances();
+    let mut found: HashMap<(String, String), u64> = HashMap::new();
+    for file in sources {
+        for m in rules::check_file(file) {
+            if let Some(allow) = file.allow_for(m.rule, m.line) {
+                report.suppressed.push(SuppressedViolation {
+                    rule: m.rule,
+                    file: file.path.clone(),
+                    line: m.line,
+                    reason: allow.reason.clone(),
+                });
+                continue;
+            }
+            let key = (m.rule.to_string(), file.path.clone());
+            *found.entry(key.clone()).or_insert(0) += 1;
+            let baselined = match budget.get_mut(&key) {
+                Some(left) if *left > 0 => {
+                    *left -= 1;
+                    true
+                }
+                _ => false,
+            };
+            report.violations.push(Violation {
+                rule: m.rule,
+                file: file.path.clone(),
+                line: m.line,
+                snippet: file.snippet(m.line),
+                message: m.message,
+                baselined,
+            });
+        }
+        for allow in &file.all_allows {
+            if !allow.used.get() {
+                report.unused_allows.push(UnusedAllow {
+                    rule: allow.rule.clone(),
+                    file: file.path.clone(),
+                    line: allow.line,
+                });
+            }
+        }
+    }
+    for entry in &baseline.entries {
+        let key = (entry.rule.clone(), entry.file.clone());
+        let seen = found.get(&key).copied().unwrap_or(0);
+        let allowed: u64 = baseline
+            .entries
+            .iter()
+            .filter(|e| e.rule == entry.rule && e.file == entry.file)
+            .map(|e| e.count)
+            .sum();
+        if seen < allowed
+            && !report.baseline_unused.iter().any(|b| b.rule == entry.rule && b.file == entry.file)
+        {
+            report.baseline_unused.push(StaleBaseline {
+                rule: entry.rule.clone(),
+                file: entry.file.clone(),
+                allowed,
+                found: seen,
+            });
+        }
+    }
+    report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.suppressed.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.unused_allows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.baseline_unused.sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+    report
+}
+
+/// Loads a baseline file, treating a missing file at the *default*
+/// location as empty (a repo without debt needs no baseline) but a
+/// missing explicitly-requested file as an error.
+///
+/// # Errors
+/// Unreadable or malformed baseline files, with the offending field.
+pub fn load_baseline(path: &Path, explicit: bool) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && !explicit => Ok(Baseline::empty()),
+        Err(e) => Err(format!("cannot read baseline {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baseline::BaselineEntry;
+
+    fn src(path: &str, text: &str) -> SourceFile {
+        SourceFile::parse(Path::new(path), text)
+    }
+
+    #[test]
+    fn baseline_absorbs_exactly_count_violations_per_rule_and_file() {
+        let file = src(
+            "crates/engine/src/x.rs",
+            "fn f() { let a = Instant::now(); let b = Instant::now(); let c = Instant::now(); }",
+        );
+        let baseline = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "CN-D2".into(),
+                file: "crates/engine/src/x.rs".into(),
+                count: 2,
+                reason: "legacy timing".into(),
+            }],
+        };
+        let report = lint_sources(&[file], &baseline);
+        assert_eq!(report.violations.len(), 3);
+        assert_eq!(report.new_count(), 1, "third violation exceeds the budget");
+        assert!(report.baseline_unused.is_empty());
+    }
+
+    #[test]
+    fn shrunken_debt_is_reported_for_ratcheting() {
+        let file = src("crates/engine/src/x.rs", "fn f() { let a = Instant::now(); }");
+        let baseline = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "CN-D2".into(),
+                file: "crates/engine/src/x.rs".into(),
+                count: 3,
+                reason: "legacy timing".into(),
+            }],
+        };
+        let report = lint_sources(&[file], &baseline);
+        assert_eq!(report.new_count(), 0);
+        assert_eq!(report.baseline_unused.len(), 1);
+        assert_eq!(report.baseline_unused[0].allowed, 3);
+        assert_eq!(report.baseline_unused[0].found, 1);
+    }
+
+    #[test]
+    fn inline_allows_suppress_and_unused_allows_surface() {
+        let file = src(
+            "crates/engine/src/x.rs",
+            "// cn-lint: allow(CN-D2, timing the cold path on purpose)\n\
+             fn f() { let t = Instant::now(); }\n\
+             // cn-lint: allow(CN-D1, stale)\n\
+             fn g() {}\n",
+        );
+        let report = lint_sources(&[file], &Baseline::empty());
+        assert_eq!(report.violations.len(), 0);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].reason, "timing the cold path on purpose");
+        assert_eq!(report.unused_allows.len(), 1);
+        assert_eq!(report.unused_allows[0].rule, "CN-D1");
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_ordered() {
+        let files = vec![
+            src("crates/stats/src/b.rs", "fn f() { let t = Instant::now(); }"),
+            src("crates/engine/src/a.rs", "fn f() { let t = SystemTime::now(); }"),
+        ];
+        let r1 = lint_sources(&files, &Baseline::empty());
+        let files2 = vec![
+            src("crates/stats/src/b.rs", "fn f() { let t = Instant::now(); }"),
+            src("crates/engine/src/a.rs", "fn f() { let t = SystemTime::now(); }"),
+        ];
+        let r2 = lint_sources(&files2, &Baseline::empty());
+        assert_eq!(r1.to_json_string(), r2.to_json_string());
+        assert!(r1.violations[0].file < r1.violations[1].file, "sorted by file");
+    }
+}

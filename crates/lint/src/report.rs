@@ -1,0 +1,172 @@
+//! The lint report and its two renderers.
+//!
+//! The JSON form is the machine contract — its shape is pinned by
+//! `schemas/lint.schema.json` and validated in CI — and the text form
+//! is what a developer reads in a terminal. Both render from the same
+//! struct, in the same deterministic order (file, line, rule), so a
+//! report diff is always a real change.
+
+use crate::json::write_str;
+use crate::rules::RULES;
+use std::fmt::Write as _;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub snippet: String,
+    pub message: String,
+    /// True when a baseline entry absorbed this violation.
+    pub baselined: bool,
+}
+
+/// A violation silenced by an inline `cn-lint: allow(...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressedViolation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// An inline allow that matched no violation — stale, remove it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedAllow {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// A baseline entry whose debt has shrunk — ratchet the count down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleBaseline {
+    pub rule: String,
+    pub file: String,
+    pub allowed: u64,
+    pub found: u64,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    pub checked_files: u64,
+    pub violations: Vec<Violation>,
+    pub suppressed: Vec<SuppressedViolation>,
+    pub unused_allows: Vec<UnusedAllow>,
+    pub baseline_unused: Vec<StaleBaseline>,
+}
+
+impl LintReport {
+    /// Violations the baseline does not cover — what fails the build.
+    pub fn new_count(&self) -> u64 {
+        self.violations.iter().filter(|v| !v.baselined).count() as u64
+    }
+
+    /// The machine-readable report (shape pinned by
+    /// `schemas/lint.schema.json`).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n  \"tool\": \"cn-lint\",\n");
+        let _ = writeln!(out, "  \"checked_files\": {},", self.checked_files);
+        out.push_str("  \"rules\": [");
+        for (i, r) in RULES.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"id\": ");
+            write_str(&mut out, r.id);
+            out.push_str(", \"summary\": ");
+            write_str(&mut out, r.summary);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"rule\": ");
+            write_str(&mut out, v.rule);
+            out.push_str(", \"file\": ");
+            write_str(&mut out, &v.file);
+            let _ = write!(out, ", \"line\": {}, \"snippet\": ", v.line);
+            write_str(&mut out, &v.snippet);
+            out.push_str(", \"message\": ");
+            write_str(&mut out, &v.message);
+            let _ = write!(out, ", \"baselined\": {}}}", v.baselined);
+        }
+        out.push_str("\n  ],\n  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"rule\": ");
+            write_str(&mut out, s.rule);
+            out.push_str(", \"file\": ");
+            write_str(&mut out, &s.file);
+            let _ = write!(out, ", \"line\": {}, \"reason\": ", s.line);
+            write_str(&mut out, &s.reason);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"unused_allows\": [");
+        for (i, u) in self.unused_allows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"rule\": ");
+            write_str(&mut out, &u.rule);
+            out.push_str(", \"file\": ");
+            write_str(&mut out, &u.file);
+            let _ = write!(out, ", \"line\": {}}}", u.line);
+        }
+        out.push_str("\n  ],\n  \"baseline_unused\": [");
+        for (i, b) in self.baseline_unused.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"rule\": ");
+            write_str(&mut out, &b.rule);
+            out.push_str(", \"file\": ");
+            write_str(&mut out, &b.file);
+            let _ = write!(out, ", \"allowed\": {}, \"found\": {}}}", b.allowed, b.found);
+        }
+        let baselined = self.violations.len() as u64 - self.new_count();
+        out.push_str("\n  ],\n  \"summary\": {");
+        let _ = write!(
+            out,
+            "\"total\": {}, \"new\": {}, \"baselined\": {}, \"suppressed\": {}}}\n}}\n",
+            self.violations.len(),
+            self.new_count(),
+            baselined,
+            self.suppressed.len(),
+        );
+        out
+    }
+
+    /// The human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let tag = if v.baselined { " [baselined]" } else { "" };
+            let _ = writeln!(out, "{}:{}: {}{tag}: {}", v.file, v.line, v.rule, v.message);
+            if !v.snippet.is_empty() {
+                let _ = writeln!(out, "    {}", v.snippet);
+            }
+        }
+        for u in &self.unused_allows {
+            let _ = writeln!(
+                out,
+                "{}:{}: note: unused `cn-lint: allow({})` — remove it",
+                u.file, u.line, u.rule
+            );
+        }
+        for b in &self.baseline_unused {
+            let _ = writeln!(
+                out,
+                "lint-baseline: note: {} in {} allows {} but only {} found — ratchet it down",
+                b.rule, b.file, b.allowed, b.found
+            );
+        }
+        let _ = writeln!(
+            out,
+            "cn-lint: {} violation(s) ({} new, {} baselined), {} suppressed, {} file(s) checked",
+            self.violations.len(),
+            self.new_count(),
+            self.violations.len() as u64 - self.new_count(),
+            self.suppressed.len(),
+            self.checked_files,
+        );
+        out
+    }
+}

@@ -1,0 +1,649 @@
+//! The rule registry and the syntactic matchers behind each rule.
+//!
+//! Every rule has a stable ID that baseline entries and inline
+//! `cn-lint: allow(...)` suppressions refer to. Rules are syntactic —
+//! they match token shapes, not types — so each one documents the
+//! approximation it makes; false positives are handled by an inline
+//! allow with a reason, never by weakening the matcher.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use std::collections::HashSet;
+
+/// A registered rule: stable ID plus a one-line summary for reports.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// The rule catalog, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "CN-D1",
+        summary:
+            "no HashMap/HashSet iteration in determinism-critical crates unless explicitly sorted",
+    },
+    RuleInfo {
+        id: "CN-D2",
+        summary: "no Instant::now/SystemTime::now outside cn-obs, cn-bench, and the Clock impls",
+    },
+    RuleInfo { id: "CN-D3", summary: "no thread::sleep or unseeded randomness in non-test code" },
+    RuleInfo {
+        id: "CN-R1",
+        summary: "no .unwrap()/.expect() in cn-serve request-handling modules",
+    },
+    RuleInfo {
+        id: "CN-R2",
+        summary: "no .lock().unwrap()/.wait(..).unwrap(); use lock_unpoisoned/wait_unpoisoned",
+    },
+];
+
+/// Crates whose output must be bit-identical at any thread count: map
+/// iteration order there is a reproducibility bug, not a style issue.
+/// cn-lint polices itself too — its report is golden-pinned.
+const DETERMINISM_CRATES: &[&str] = &[
+    "engine", "stats", "pipeline", "insight", "interest", "setcover", "notebook", "index", "sched",
+    "lint",
+];
+
+/// Crates allowed to read wall clocks: the observability layer (its
+/// whole job) and the benchmark harness.
+const CLOCK_CRATES: &[&str] = &["obs", "bench"];
+
+/// Non-crate files allowed to read wall clocks: the seeded-clock
+/// abstraction itself must bottom out in a real clock somewhere.
+const CLOCK_FILES: &[&str] = &["crates/sched/src/clock.rs"];
+
+/// One raw rule match, before suppression/baseline filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawMatch {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Runs every rule over `file`, returning raw matches in source order.
+pub fn check_file(file: &SourceFile) -> Vec<RawMatch> {
+    let mut out = Vec::new();
+    // CN-R2 first: its unwrap positions are excluded from CN-R1 so one
+    // `.lock().unwrap()` in cn-serve reports once, under the more
+    // specific rule.
+    let r2_unwraps = rule_r2(file, &mut out);
+    rule_r1(file, &r2_unwraps, &mut out);
+    rule_d1(file, &mut out);
+    rule_d2(file, &mut out);
+    rule_d3(file, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// The token at code index `ci`, if any.
+fn tok(file: &SourceFile, ci: usize) -> Option<&Token> {
+    file.code.get(ci).map(|&i| &file.tokens[i])
+}
+
+/// True when code tokens starting at `ci` spell `::` (two `:` puncts).
+fn is_path_sep(file: &SourceFile, ci: usize) -> bool {
+    tok(file, ci).is_some_and(|t| t.is_punct(':'))
+        && tok(file, ci + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+/// From an opening `(` at code index `ci`, the code index just past the
+/// matching `)` (or the end of the file when unbalanced).
+fn past_matching_paren(file: &SourceFile, ci: usize) -> usize {
+    let mut depth = 0i32;
+    let mut at = ci;
+    while let Some(t) = tok(file, at) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return at + 1;
+            }
+        }
+        at += 1;
+    }
+    at
+}
+
+/// CN-R2: `.lock().unwrap()` / `.wait(..).unwrap()` (and the `expect`
+/// forms) anywhere, tests included — poison recovery is part of the
+/// concurrency contract, and tests that poison on purpose say so with
+/// an inline allow. Returns the code indices of the matched
+/// `unwrap`/`expect` idents so CN-R1 skips them.
+fn rule_r2(file: &SourceFile, out: &mut Vec<RawMatch>) -> HashSet<usize> {
+    const WAITS: &[&str] = &["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+    let mut matched = HashSet::new();
+    let mut ci = 0;
+    while let Some(t) = tok(file, ci) {
+        if !t.is_punct('.') {
+            ci += 1;
+            continue;
+        }
+        let Some(method) = tok(file, ci + 1) else { break };
+        if method.kind != TokenKind::Ident || !tok(file, ci + 2).is_some_and(|t| t.is_punct('(')) {
+            ci += 1;
+            continue;
+        }
+        let is_lock = method.text == "lock";
+        let is_wait = WAITS.contains(&method.text.as_str());
+        if !is_lock && !is_wait {
+            ci += 1;
+            continue;
+        }
+        let after_call = past_matching_paren(file, ci + 2);
+        let dot = tok(file, after_call);
+        let next = tok(file, after_call + 1);
+        if dot.is_some_and(|t| t.is_punct('.'))
+            && next.is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+        {
+            let helper = if is_lock { "lock_unpoisoned" } else { "wait_unpoisoned" };
+            out.push(RawMatch {
+                rule: "CN-R2",
+                line: method.line,
+                message: format!(
+                    "`.{}(..).{}()` panics on a poisoned lock; use `cn_obs::sync::{helper}`",
+                    method.text,
+                    next.map(|t| t.text.as_str()).unwrap_or("unwrap"),
+                ),
+            });
+            matched.insert(after_call + 1);
+            ci = after_call + 2;
+            continue;
+        }
+        ci += 1;
+    }
+    matched
+}
+
+/// CN-R1: bare `.unwrap()` / `.expect(` in cn-serve's request-handling
+/// source (everything under `crates/serve/src/`, non-test spans). A
+/// panic there kills a worker mid-request instead of returning a typed
+/// `ApiError` envelope.
+fn rule_r1(file: &SourceFile, r2_unwraps: &HashSet<usize>, out: &mut Vec<RawMatch>) {
+    if !file.path.starts_with("crates/serve/src/") {
+        return;
+    }
+    for ci in 0..file.code.len() {
+        let Some(t) = tok(file, ci) else { break };
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(method) = tok(file, ci + 1) else { continue };
+        if !(method.is_ident("unwrap") || method.is_ident("expect"))
+            || !tok(file, ci + 2).is_some_and(|t| t.is_punct('('))
+            || r2_unwraps.contains(&(ci + 1))
+            || file.is_test_line(method.line)
+        {
+            continue;
+        }
+        out.push(RawMatch {
+            rule: "CN-R1",
+            line: method.line,
+            message: format!(
+                "`.{}()` in a request path panics the worker; map the failure to `ApiError`",
+                method.text
+            ),
+        });
+    }
+}
+
+/// CN-D2: `Instant::now` / `SystemTime::now` outside the crates and
+/// files allowed to read wall clocks. Test code is exempt — tests may
+/// time themselves.
+fn rule_d2(file: &SourceFile, out: &mut Vec<RawMatch>) {
+    if CLOCK_CRATES.contains(&file.crate_name.as_str()) || CLOCK_FILES.contains(&file.path.as_str())
+    {
+        return;
+    }
+    for ci in 0..file.code.len() {
+        let Some(t) = tok(file, ci) else { break };
+        if !(t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            continue;
+        }
+        if is_path_sep(file, ci + 1) && tok(file, ci + 3).is_some_and(|n| n.is_ident("now")) {
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            out.push(RawMatch {
+                rule: "CN-D2",
+                line: t.line,
+                message: format!(
+                    "`{}::now()` outside cn-obs/cn-bench/Clock impls breaks seeded-clock determinism",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// CN-D3: `thread::sleep` and unseeded randomness in non-test code.
+/// Sleeps hide scheduling races and stretch deterministic replays;
+/// entropy-seeded RNGs break bit-identical reruns.
+fn rule_d3(file: &SourceFile, out: &mut Vec<RawMatch>) {
+    const ENTROPY: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+    for ci in 0..file.code.len() {
+        let Some(t) = tok(file, ci) else { break };
+        if t.kind != TokenKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        if t.text == "sleep"
+            && tok(file, ci.wrapping_sub(1)).is_some_and(|p| p.is_punct(':'))
+            && tok(file, ci.wrapping_sub(3)).is_some_and(|p| p.is_ident("thread"))
+        {
+            out.push(RawMatch {
+                rule: "CN-D3",
+                line: t.line,
+                message: "`thread::sleep` in non-test code hides scheduling races; \
+                          wait on a condvar or a Clock"
+                    .to_string(),
+            });
+        } else if ENTROPY.contains(&t.text.as_str()) {
+            out.push(RawMatch {
+                rule: "CN-D3",
+                line: t.line,
+                message: format!(
+                    "`{}` is unseeded randomness; derive the seed from config",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Iterator-producing methods on maps/sets whose order is arbitrary.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Downstream evidence that arbitrary order cannot leak: an explicit
+/// sort, an order-insensitive terminal, or collection into an
+/// order-free / self-ordering container — searched to the end of the
+/// statement. One statement further is checked only for the dominant
+/// collect-then-sort idiom (`let mut v = m.iter().collect(); v.sort();`
+/// — same binding, sort call); any other deferred sort needs an inline
+/// allow saying why.
+const ORDER_EVIDENCE: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "count",
+    "any",
+    "all",
+    "min",
+    "max",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+];
+
+/// CN-D1: HashMap/HashSet iteration in determinism-critical crates.
+///
+/// Approximation: a binding is map-like when it is declared with a
+/// `HashMap`/`HashSet` type annotation or initialized from a
+/// `HashMap::`/`HashSet::` constructor anywhere in the same file; any
+/// iteration of a map-like name (method chain or `for .. in`) is
+/// flagged unless order-safe evidence appears in the same statement.
+fn rule_d1(file: &SourceFile, out: &mut Vec<RawMatch>) {
+    if !DETERMINISM_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let map_vars = collect_map_vars(file);
+    if map_vars.is_empty() {
+        return;
+    }
+    let mut flagged_lines: HashSet<u32> = HashSet::new();
+    // Method-chain iteration: `name.iter()`, `self.name.keys()`, ...
+    for ci in 0..file.code.len() {
+        let Some(name) = tok(file, ci) else { break };
+        if name.kind != TokenKind::Ident
+            || !map_vars.contains(name.text.as_str())
+            || file.is_test_line(name.line)
+        {
+            continue;
+        }
+        let Some(dot) = tok(file, ci + 1) else { continue };
+        let Some(method) = tok(file, ci + 2) else { continue };
+        if !dot.is_punct('.')
+            || method.kind != TokenKind::Ident
+            || !ITER_METHODS.contains(&method.text.as_str())
+            || !tok(file, ci + 3).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        if statement_has_order_evidence(file, ci, ci + 3) {
+            continue;
+        }
+        flagged_lines.insert(name.line);
+        out.push(RawMatch {
+            rule: "CN-D1",
+            line: name.line,
+            message: format!(
+                "`{}.{}()` iterates a hash container in arbitrary order; sort the result \
+                 (same statement) or add an allow",
+                name.text, method.text
+            ),
+        });
+    }
+    // `for .. in <expr mentioning a map-like name> { .. }`.
+    for ci in 0..file.code.len() {
+        let Some(t) = tok(file, ci) else { break };
+        if !t.is_ident("for") || file.is_test_line(t.line) {
+            continue;
+        }
+        // Find `in` before the loop body opens (an `impl T for U` has
+        // no `in` before its `{`).
+        let mut at = ci + 1;
+        let mut found_in = None;
+        while let Some(t) = tok(file, at) {
+            if t.is_ident("in") {
+                found_in = Some(at);
+                break;
+            }
+            if t.is_punct('{') || t.is_punct(';') || at > ci + 40 {
+                break;
+            }
+            at += 1;
+        }
+        let Some(in_at) = found_in else { continue };
+        // Scan the iterated expression up to the body `{` at depth 0.
+        let mut depth = 0i32;
+        let mut ei = in_at + 1;
+        while let Some(t) = tok(file, ei) {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') && depth == 0 {
+                break;
+            } else if t.kind == TokenKind::Ident
+                && map_vars.contains(t.text.as_str())
+                && !flagged_lines.contains(&t.line)
+                // `m.keys()` inside the loop head was already flagged
+                // by the method matcher above.
+                && !(tok(file, ei + 1).is_some_and(|d| d.is_punct('.'))
+                    && tok(file, ei + 2)
+                        .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str())))
+            {
+                flagged_lines.insert(t.line);
+                out.push(RawMatch {
+                    rule: "CN-D1",
+                    line: t.line,
+                    message: format!(
+                        "`for .. in` over `{}` visits a hash container in arbitrary order; \
+                         iterate a sorted copy or add an allow",
+                        t.text
+                    ),
+                });
+                break;
+            }
+            ei += 1;
+        }
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file, by declaration
+/// annotation (`name: HashMap<..>`, struct fields included) or
+/// constructor assignment (`name = HashMap::new()`).
+fn collect_map_vars(file: &SourceFile) -> HashSet<String> {
+    let mut vars = HashSet::new();
+    for ci in 0..file.code.len() {
+        let Some(name) = tok(file, ci) else { break };
+        if name.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(sep) = tok(file, ci + 1) else { continue };
+        let is_annotation = sep.is_punct(':') && !is_path_sep(file, ci + 1);
+        // `=` but not `==`/`<=`/`>=`/`!=`: a binding, not a comparison.
+        let is_assign = sep.is_punct('=')
+            && !tok(file, ci + 2).is_some_and(|t| t.is_punct('='))
+            && !(ci > 0
+                && tok(file, ci - 1).is_some_and(|t| {
+                    t.is_punct('=') || t.is_punct('<') || t.is_punct('>') || t.is_punct('!')
+                }));
+        if !is_annotation && !is_assign {
+            continue;
+        }
+        // Walk the type/constructor path: `&`, `mut`, lifetimes, and
+        // `segment::` prefixes, then test the head identifier.
+        let mut at = ci + 2;
+        while let Some(t) = tok(file, at) {
+            if t.is_punct('&') || t.kind == TokenKind::Lifetime || t.is_ident("mut") {
+                at += 1;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                    vars.insert(file.tokens[file.code[ci]].text.clone());
+                } else if is_path_sep(file, at + 1) {
+                    at += 3;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+    vars
+}
+
+/// Scans the statement containing the iteration for order-safe
+/// evidence: forward from the call to the statement end, and backward
+/// from the receiver to the statement start (so `let b: BTreeMap<_, _>
+/// = m.iter().collect();` passes).
+fn statement_has_order_evidence(file: &SourceFile, name_ci: usize, call_open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut at = call_open;
+    let limit = call_open + 400;
+    while let Some(t) = tok(file, at) {
+        if at > limit {
+            break;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                break; // the enclosing expression ended
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            break;
+        } else if t.kind == TokenKind::Ident && ORDER_EVIDENCE.contains(&t.text.as_str()) {
+            return true;
+        }
+        at += 1;
+    }
+    let floor = name_ci.saturating_sub(100);
+    let mut at = name_ci;
+    while at > floor {
+        at -= 1;
+        let Some(t) = tok(file, at) else { break };
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.kind == TokenKind::Ident && ORDER_EVIDENCE.contains(&t.text.as_str()) {
+            return true;
+        }
+    }
+    sorted_in_next_statement(file, name_ci, call_open)
+}
+
+/// The collect-then-sort idiom: the iteration sits in a `let` statement
+/// and the *immediately following* statement sorts that same binding
+/// (`let mut v: Vec<_> = m.iter().collect(); v.sort_unstable();`).
+/// Anything less direct — a sort two statements later, a sort of a
+/// different name — still needs an inline allow.
+fn sorted_in_next_statement(file: &SourceFile, name_ci: usize, call_open: usize) -> bool {
+    // The binding name: statement start must spell `let [mut] NAME`.
+    let floor = name_ci.saturating_sub(100);
+    let mut start = name_ci;
+    while start > floor {
+        let Some(t) = tok(file, start - 1) else { break };
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    if !tok(file, start).is_some_and(|t| t.is_ident("let")) {
+        return false;
+    }
+    let name_at =
+        if tok(file, start + 1).is_some_and(|t| t.is_ident("mut")) { start + 2 } else { start + 1 };
+    let Some(binding) = tok(file, name_at).filter(|t| t.kind == TokenKind::Ident) else {
+        return false;
+    };
+    let binding = binding.text.clone();
+    // The terminating `;` of this statement.
+    let mut depth = 0i32;
+    let mut at = call_open;
+    let semi = loop {
+        let Some(t) = tok(file, at) else { return false };
+        if at > call_open + 400 {
+            return false;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            if depth == 0 {
+                return false;
+            }
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            break at;
+        }
+        at += 1;
+    };
+    // Next statement must open with `BINDING.sort*(`.
+    tok(file, semi + 1).is_some_and(|t| t.is_ident(&binding))
+        && tok(file, semi + 2).is_some_and(|t| t.is_punct('.'))
+        && tok(file, semi + 3).is_some_and(|t| {
+            t.text.starts_with("sort") && ORDER_EVIDENCE.contains(&t.text.as_str())
+        })
+        && tok(file, semi + 4).is_some_and(|t| t.is_punct('('))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn check(path: &str, src: &str) -> Vec<RawMatch> {
+        check_file(&SourceFile::parse(Path::new(path), src))
+    }
+
+    fn rules_of(matches: &[RawMatch]) -> Vec<&'static str> {
+        matches.iter().map(|m| m.rule).collect()
+    }
+
+    #[test]
+    fn r2_matches_lock_and_wait_unwrap_everywhere() {
+        let src = "fn f() { let g = m.lock().unwrap(); let h = cv.wait(g).unwrap(); }";
+        let got = check("crates/tabular/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec!["CN-R2", "CN-R2"]);
+        // Recovered forms do not match.
+        let ok = "fn f() { let g = m.lock().unwrap_or_else(PoisonError::into_inner); }";
+        assert!(check("crates/tabular/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn r2_applies_even_inside_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { let g = m.lock().unwrap(); }\n}\n";
+        assert_eq!(rules_of(&check("crates/tabular/src/x.rs", src)), vec!["CN-R2"]);
+    }
+
+    #[test]
+    fn r1_flags_serve_unwraps_but_not_tests_or_r2_sites() {
+        let src = "fn f() { x.unwrap(); y.expect(\"boom\"); m.lock().unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { z.unwrap(); } }\n";
+        let got = check("crates/serve/src/server.rs", src);
+        // The lock().unwrap() reports once, as CN-R2.
+        assert_eq!(rules_of(&got), vec!["CN-R1", "CN-R1", "CN-R2"]);
+        // Outside serve/src, bare unwraps are fine.
+        assert!(check("crates/engine/src/cube.rs", "fn f() { x.unwrap(); }").is_empty());
+        // unwrap_or and friends are not unwrap.
+        assert!(check("crates/serve/src/x.rs", "fn f() { x.unwrap_or(0); }").is_empty());
+    }
+
+    #[test]
+    fn d2_flags_clock_reads_outside_the_allowed_homes() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        assert_eq!(rules_of(&check("crates/engine/src/x.rs", src)), vec!["CN-D2", "CN-D2"]);
+        assert!(check("crates/obs/src/registry.rs", src).is_empty());
+        assert!(check("crates/bench/src/common.rs", src).is_empty());
+        assert!(check("crates/sched/src/clock.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { let t = Instant::now(); } }";
+        assert!(check("crates/engine/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_sleeps_and_entropy_in_non_test_code() {
+        let src = "fn f() { std::thread::sleep(d); let r = rand::thread_rng(); }";
+        assert_eq!(rules_of(&check("crates/serve/src/x.rs", src)), vec!["CN-D3", "CN-D3"]);
+        let test_src = "#[test]\nfn t() { std::thread::sleep(d); }";
+        assert!(check("crates/serve/src/x.rs", test_src).is_empty());
+        // `sleep` as a free ident (e.g. a local fn) is not thread::sleep.
+        assert!(check("crates/serve/src/x.rs", "fn f() { sleep(); }").is_empty());
+    }
+
+    #[test]
+    fn d1_flags_unsorted_map_iteration_in_determinism_crates() {
+        let src = "fn f() {\n  let m: HashMap<u32, u32> = HashMap::new();\n  \
+                   for (k, v) in &m { use_it(k, v); }\n  let v: Vec<_> = m.keys().collect();\n}";
+        let got = check("crates/engine/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec!["CN-D1", "CN-D1"]);
+        // Same code outside a determinism crate is fine.
+        assert!(check("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_accepts_sorted_and_order_insensitive_statements() {
+        let src = "fn f() {\n  let m = HashMap::new();\n  \
+                   let mut v: Vec<_> = m.keys().collect(); v.sort();\n}";
+        // Collect-then-sort of the same binding in the very next
+        // statement is the accepted idiom.
+        assert!(check("crates/engine/src/x.rs", src).is_empty());
+        // A deferred sort of a DIFFERENT binding is still flagged.
+        let other = "fn f() {\n  let m = HashMap::new();\n  let mut w = vec![];\n  \
+                   let mut v: Vec<_> = m.keys().collect(); w.sort();\n}";
+        assert_eq!(rules_of(&check("crates/engine/src/x.rs", other)), vec!["CN-D1"]);
+        // Order-insensitive terminals (`min`) count as evidence too.
+        let m = "fn f() {\n  let m = HashMap::new();\n  \
+                   if let Some(k) = m.keys().filter(|k| probe(k)).min() { go(k); }\n}";
+        assert!(check("crates/engine/src/x.rs", m).is_empty());
+        let one = "fn f() {\n  let m = HashMap::new();\n  \
+                   let v: Vec<_> = m.keys().copied().collect::<Vec<_>>().sort_unstable();\n  \
+                   let n = m.values().count();\n  \
+                   let b: BTreeMap<_, _> = m.iter().collect();\n}";
+        assert!(check("crates/engine/src/x.rs", one).is_empty());
+    }
+
+    #[test]
+    fn d1_tracks_annotated_fields_and_skips_test_code() {
+        let src = "struct S { slots: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) { for k in self.slots.keys() { go(k); } } }\n\
+                   #[cfg(test)]\nmod tests { fn t(s: &S) { for k in s.slots.keys() {} } }\n";
+        let got = check("crates/pipeline/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec!["CN-D1"]);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn impl_for_is_not_a_for_loop() {
+        let src = "struct S { m: HashMap<u32, u32> }\nimpl Clone for S { fn clone(&self) -> S { S { m: self.m.clone() } } }";
+        assert!(check("crates/engine/src/x.rs", src).is_empty());
+    }
+}

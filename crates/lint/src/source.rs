@@ -1,0 +1,328 @@
+//! A lexed source file plus the per-file facts rules need: which crate
+//! it belongs to, which lines are test code, and which lines carry
+//! inline `// cn-lint: allow(...)` suppressions.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// An inline suppression parsed from a comment:
+/// `// cn-lint: allow(CN-D1, reason why)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    /// The line the comment sits on; the allow covers this line and the
+    /// next, so it works both trailing the offending code and on its
+    /// own line directly above it.
+    pub line: u32,
+    /// Set once a violation actually used this allow — unused allows
+    /// are themselves reported, so stale suppressions cannot linger.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// One lexed file, ready for rule matching.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across hosts).
+    pub path: String,
+    /// The `crates/<name>` component, or empty outside `crates/`.
+    pub crate_name: String,
+    /// Every token, comments included, in source order.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens (what rules match).
+    pub code: Vec<usize>,
+    /// Source lines, for violation snippets (index = line - 1).
+    pub lines: Vec<String>,
+    /// True when the whole file is test-like code (under `tests/`,
+    /// `benches/`, or `examples/`).
+    pub all_test: bool,
+    /// Inclusive line ranges of `#[cfg(test)] mod` bodies and `#[test]`
+    /// functions.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Inline allows keyed by every line they cover.
+    pub allows: HashMap<u32, Vec<std::rc::Rc<Allow>>>,
+    /// The allows in file order (for unused-suppression reporting).
+    pub all_allows: Vec<std::rc::Rc<Allow>>,
+}
+
+impl SourceFile {
+    /// Lexes `text` as the file at repo-relative `path`.
+    pub fn parse(path: &Path, text: &str) -> SourceFile {
+        let path_str = path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let crate_name = crate_of(&path_str);
+        let tokens = lex(text);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokenKind::LineComment && t.kind != TokenKind::BlockComment)
+            .map(|(i, _)| i)
+            .collect();
+        let all_test = path_str.split('/').any(|c| c == "tests" || c == "benches")
+            || path_str.starts_with("examples/");
+        let test_spans = find_test_spans(&tokens, &code);
+        let mut file = SourceFile {
+            path: path_str,
+            crate_name,
+            lines: text.lines().map(str::to_string).collect(),
+            all_test,
+            test_spans,
+            allows: HashMap::new(),
+            all_allows: Vec::new(),
+            tokens,
+            code,
+        };
+        file.collect_allows();
+        file
+    }
+
+    /// True when `line` sits inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.all_test || self.test_spans.iter().any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// The trimmed source text of `line`, for violation snippets.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines.get(line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+    }
+
+    /// Looks up (and marks used) an allow for `rule` covering `line`.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&std::rc::Rc<Allow>> {
+        let hit = self.allows.get(&line)?.iter().find(|a| a.rule == rule)?;
+        hit.used.set(true);
+        Some(hit)
+    }
+
+    fn collect_allows(&mut self) {
+        for token in &self.tokens {
+            if token.kind != TokenKind::LineComment && token.kind != TokenKind::BlockComment {
+                continue;
+            }
+            // Doc comments *describe* the allow syntax (rustdoc, this
+            // crate's own sources); only plain comments are directives.
+            if is_doc_comment(&token.text) {
+                continue;
+            }
+            for allow in parse_allows(&token.text, token.line) {
+                let allow = std::rc::Rc::new(allow);
+                // Cover the comment's own line (trailing form) and the
+                // next line (standalone-comment-above form).
+                self.allows.entry(token.line).or_default().push(allow.clone());
+                self.allows.entry(token.line + 1).or_default().push(allow.clone());
+                self.all_allows.push(allow);
+            }
+        }
+    }
+}
+
+/// True for `///`, `//!`, `/**`, and `/*!` comments (but not the `/**/`
+/// empty block or a plain `//` line).
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/**/"))
+        || text.starts_with("/*!")
+}
+
+/// Extracts `crates/<name>` from a repo-relative path.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or_default().to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// Parses every `cn-lint: allow(RULE, reason)` in one comment.
+fn parse_allows(comment: &str, line: u32) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("cn-lint:") {
+        rest = &rest[at + "cn-lint:".len()..];
+        let Some(open) = rest.find("allow(") else { break };
+        let body = &rest[open + "allow(".len()..];
+        let Some(close) = body.find(')') else { break };
+        let inner = &body[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        if !rule.is_empty() {
+            out.push(Allow {
+                rule: rule.to_string(),
+                reason: reason.to_string(),
+                line,
+                used: std::cell::Cell::new(false),
+            });
+        }
+        rest = &body[close..];
+    }
+    out
+}
+
+/// Finds `#[cfg(test)] mod ... { ... }` bodies and `#[test] fn`
+/// bodies, returning inclusive line ranges.
+fn find_test_spans(tokens: &[Token], code: &[usize]) -> Vec<(u32, u32)> {
+    let tok = |ci: usize| -> Option<&Token> { code.get(ci).map(|&i| &tokens[i]) };
+    let mut spans = Vec::new();
+    let mut ci = 0;
+    while ci < code.len() {
+        if let Some(next) = match_test_attr(tokens, code, ci) {
+            // Skip any further attributes between the marker and the item.
+            let mut at = next;
+            while tok(at).is_some_and(|t| t.is_punct('#')) {
+                at = skip_attr(tokens, code, at);
+            }
+            // Find the item body: scan to the first `{` before a `;`.
+            let mut bi = at;
+            let mut open = None;
+            while let Some(t) = tok(bi) {
+                if t.is_punct('{') {
+                    open = Some(bi);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+                bi += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(tokens, code, open);
+                let lo = tok(ci).map(|t| t.line).unwrap_or(1);
+                let hi = tok(close)
+                    .map(|t| t.line)
+                    .or_else(|| tokens.last().map(|t| t.line))
+                    .unwrap_or(u32::MAX);
+                spans.push((lo, hi));
+                ci = close + 1;
+                continue;
+            }
+        }
+        ci += 1;
+    }
+    spans
+}
+
+/// If the code tokens at `ci` spell `#[cfg(test)]` or `#[test]`,
+/// returns the code index just past the attribute.
+fn match_test_attr(tokens: &[Token], code: &[usize], ci: usize) -> Option<usize> {
+    let tok = |k: usize| -> Option<&Token> { code.get(ci + k).map(|&i| &tokens[i]) };
+    if !tok(0)?.is_punct('#') || !tok(1)?.is_punct('[') {
+        return None;
+    }
+    if tok(2)?.is_ident("test") && tok(3)?.is_punct(']') {
+        return Some(ci + 4);
+    }
+    if tok(2)?.is_ident("cfg")
+        && tok(3)?.is_punct('(')
+        && tok(4)?.is_ident("test")
+        && tok(5)?.is_punct(')')
+        && tok(6)?.is_punct(']')
+    {
+        return Some(ci + 7);
+    }
+    None
+}
+
+/// Skips one `#[...]` attribute starting at code index `ci`.
+fn skip_attr(tokens: &[Token], code: &[usize], ci: usize) -> usize {
+    let tok = |k: usize| -> Option<&Token> { code.get(k).map(|&i| &tokens[i]) };
+    let mut at = ci + 1; // past `#`
+    if !tok(at).is_some_and(|t| t.is_punct('[')) {
+        return ci + 1;
+    }
+    let mut depth = 0i32;
+    while let Some(t) = tok(at) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return at + 1;
+            }
+        }
+        at += 1;
+    }
+    at
+}
+
+/// From the `{` at code index `open`, returns the code index of the
+/// matching `}` (or the last token when unbalanced).
+fn match_brace(tokens: &[Token], code: &[usize], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut ci = open;
+    while let Some(&ti) = code.get(ci) {
+        let t = &tokens[ti];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return ci;
+            }
+        }
+        ci += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn cfg_test_mod_bodies_are_test_lines() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let f = SourceFile::parse(Path::new("crates/engine/src/lib.rs"), src);
+        assert_eq!(f.crate_name, "engine");
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fns_with_intervening_attributes_are_covered() {
+        let src = "#[test]\n#[should_panic]\nfn explodes() {\n    boom();\n}\nfn live() {}\n";
+        let f = SourceFile::parse(Path::new("crates/engine/src/lib.rs"), src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn files_under_tests_are_entirely_test_code() {
+        let f = SourceFile::parse(Path::new("crates/serve/tests/chaos.rs"), "fn x() {}\n");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn allows_cover_their_line_and_the_next() {
+        let src = "// cn-lint: allow(CN-D2, measured on purpose)\nlet t = now();\nlet u = 1;\n";
+        let f = SourceFile::parse(Path::new("crates/engine/src/lib.rs"), src);
+        let a = f.allow_for("CN-D2", 2).expect("allow covers the next line");
+        assert_eq!(a.reason, "measured on purpose");
+        assert!(f.allow_for("CN-D2", 3).is_none());
+        assert!(f.allow_for("CN-D1", 2).is_none(), "other rules are not covered");
+    }
+
+    #[test]
+    fn doc_comments_describing_the_syntax_are_not_directives() {
+        let src = "/// Suppress with `// cn-lint: allow(CN-D2, reason)`.\n\
+                   //! Also seen as `cn-lint: allow(CN-D1, why)` in module docs.\n\
+                   fn f() {}\n";
+        let f = SourceFile::parse(Path::new("crates/engine/src/lib.rs"), src);
+        assert!(f.all_allows.is_empty());
+    }
+
+    #[test]
+    fn a_trailing_allow_covers_its_own_line() {
+        let src = "let t = now(); // cn-lint: allow(CN-D2, timing the demo)\n";
+        let f = SourceFile::parse(Path::new("crates/engine/src/lib.rs"), src);
+        assert!(f.allow_for("CN-D2", 1).is_some());
+    }
+}

@@ -1,0 +1,87 @@
+//! Deterministic workspace traversal: which `.rs` files get linted.
+//!
+//! The walk covers `crates/`, `tests/`, and `examples/` under the
+//! root, skipping build output (`target/`), VCS metadata, and lint
+//! fixture trees (`fixtures/` — those contain violations *on
+//! purpose*). Paths come back sorted and root-relative so reports are
+//! byte-identical across machines.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Top-level directories the lint covers.
+const TOP_DIRS: &[&str] = &["crates", "tests", "examples"];
+
+/// Collects every lintable `.rs` file under `root`, sorted,
+/// root-relative.
+///
+/// # Errors
+/// The first I/O failure while reading a directory, stringified with
+/// its path.
+pub fn lintable_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for top in TOP_DIRS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                visit(&path, root, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_sorted_and_skips_fixture_and_target_trees() {
+        let root = std::env::temp_dir().join(format!("cn_lint_walk_{}", std::process::id()));
+        let mk = |p: &str| {
+            let full = root.join(p);
+            std::fs::create_dir_all(full.parent().unwrap()).unwrap();
+            std::fs::write(full, "fn x() {}\n").unwrap();
+        };
+        mk("crates/b/src/lib.rs");
+        mk("crates/a/src/lib.rs");
+        mk("crates/a/tests/fixtures/bad.rs");
+        mk("crates/a/target/debug/gen.rs");
+        mk("tests/integration.rs");
+        mk("examples/demo.rs");
+        mk("scripts/not_walked.rs");
+        let files = lintable_files(&root).unwrap();
+        let names: Vec<String> =
+            files.iter().map(|p| p.to_string_lossy().replace('\\', "/")).collect();
+        assert_eq!(
+            names,
+            vec![
+                "crates/a/src/lib.rs",
+                "crates/b/src/lib.rs",
+                "examples/demo.rs",
+                "tests/integration.rs",
+            ]
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: one CN-D1 and one CN-D2 violation, plus a suppressed site
+//! and a stale allow. Never compiled — only lexed by cn-lint's tests.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn histogram(words: &[String]) -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for w in words {
+        *counts.entry(w.clone()).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (k, v) in &counts {
+        out.push((k.clone(), *v));
+    }
+    out
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn stamp_allowed() -> Instant {
+    // cn-lint: allow(CN-D2, fixture exercising inline suppression)
+    Instant::now()
+}
+
+// cn-lint: allow(CN-D1, stale allow that matches nothing)
+pub fn clean() -> u32 {
+    7
+}

@@ -1,0 +1,14 @@
+//! Fixture: one CN-D3 violation in live code; the test module's sleep
+//! must NOT be flagged.
+
+pub fn settle() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sleeps_in_tests_are_fine() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

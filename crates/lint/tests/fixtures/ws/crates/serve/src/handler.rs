@@ -1,0 +1,6 @@
+//! Fixture: one CN-R1 violation (a request-path unwrap in cn-serve).
+
+pub fn handle(raw: &str) -> String {
+    let parsed: u32 = raw.parse().unwrap();
+    format!("{parsed}")
+}

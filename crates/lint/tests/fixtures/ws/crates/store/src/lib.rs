@@ -1,0 +1,9 @@
+//! Fixture: one CN-R2 violation (a poisoning lock().unwrap()).
+
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut guard = counter.lock().unwrap();
+    *guard += 1;
+    *guard
+}

@@ -1,0 +1,128 @@
+//! End-to-end checks over the fixture mini-workspace: one seeded
+//! violation per rule, a golden JSON report, schema conformance, and a
+//! lexer that must never panic.
+
+use cn_lint::baseline::{Baseline, BaselineEntry};
+use cn_lint::{run, LintOptions};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn fixture_workspace_triggers_every_rule_exactly_once() {
+    let report = run(&LintOptions { root: fixture_root(), baseline: Baseline::empty() })
+        .expect("fixture lints");
+    let mut fired: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    fired.sort_unstable();
+    assert_eq!(fired, vec!["CN-D1", "CN-D2", "CN-D3", "CN-R1", "CN-R2"]);
+    assert_eq!(report.suppressed.len(), 1, "the inline allow suppresses one CN-D2");
+    assert_eq!(report.suppressed[0].rule, "CN-D2");
+    assert_eq!(report.unused_allows.len(), 1, "the stale CN-D1 allow is reported");
+    assert_eq!(report.new_count(), 5);
+}
+
+#[test]
+fn fixture_report_matches_the_golden_json() {
+    let report = run(&LintOptions { root: fixture_root(), baseline: Baseline::empty() })
+        .expect("fixture lints");
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_report.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file exists");
+    assert_eq!(
+        report.to_json_string(),
+        golden,
+        "report JSON drifted from tests/golden_report.json; if the change is \
+         intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn report_json_conforms_to_the_published_schema() {
+    // Both the fixture report and a baselined variant must validate.
+    let schema_text = std::fs::read_to_string(repo_root().join("schemas/lint.schema.json"))
+        .expect("schema file exists");
+    let schema: serde_json::Value = serde_json::from_str(&schema_text).expect("schema parses");
+    let baseline = Baseline {
+        entries: vec![BaselineEntry {
+            rule: "CN-R1".into(),
+            file: "crates/serve/src/handler.rs".into(),
+            count: 1,
+            reason: "fixture debt".into(),
+        }],
+    };
+    for b in [Baseline::empty(), baseline] {
+        let report =
+            run(&LintOptions { root: fixture_root(), baseline: b }).expect("fixture lints");
+        let doc: serde_json::Value =
+            serde_json::from_str(&report.to_json_string()).expect("report is valid JSON");
+        if let Err(errors) = cn_obs::schema::validate(&doc, &schema) {
+            panic!("report violates schemas/lint.schema.json: {errors:?}");
+        }
+    }
+}
+
+#[test]
+fn baseline_absorbs_the_fixture_unwrap() {
+    let baseline = Baseline {
+        entries: vec![BaselineEntry {
+            rule: "CN-R1".into(),
+            file: "crates/serve/src/handler.rs".into(),
+            count: 1,
+            reason: "fixture debt".into(),
+        }],
+    };
+    let report = run(&LintOptions { root: fixture_root(), baseline }).expect("fixture lints");
+    assert_eq!(report.new_count(), 4, "the baselined CN-R1 no longer counts as new");
+    assert!(report.violations.iter().any(|v| v.rule == "CN-R1" && v.baselined));
+    assert!(report.baseline_unused.is_empty());
+}
+
+#[test]
+fn linting_the_real_workspace_is_clean_against_its_baseline() {
+    // The repo polices itself: zero non-baselined violations, and the
+    // checked-in baseline carries no CN-R2 debt (the burn-down is done).
+    let root = repo_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json exists at the repo root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    assert!(
+        baseline.entries.iter().all(|e| e.rule != "CN-R2"),
+        "CN-R2 must stay at zero — use cn_obs::sync instead of re-baselining"
+    );
+    assert!(baseline.entries.len() <= 10, "the baseline only ever ratchets down");
+    let report = run(&LintOptions { root, baseline }).expect("workspace lints");
+    let fresh: Vec<String> = report
+        .violations
+        .iter()
+        .filter(|v| !v.baselined)
+        .map(|v| format!("{}:{} {}", v.file, v.line, v.rule))
+        .collect();
+    assert!(fresh.is_empty(), "new lint violations: {fresh:#?}");
+}
+
+mod lexer_never_panics {
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let text = String::from_utf8_lossy(&bytes);
+            let tokens = cn_lint::lexer::lex(&text);
+            // Lines are monotone non-decreasing — a cheap sanity check
+            // that survives whatever the fuzzer throws.
+            for pair in tokens.windows(2) {
+                prop_assert!(pair[0].line <= pair[1].line);
+            }
+        }
+
+        #[test]
+        fn on_adversarial_quote_soup(s in "[\"'rb#/*\\\\ \\n a-z0-9]{0,200}") {
+            let _ = cn_lint::lexer::lex(&s);
+        }
+    }
+}

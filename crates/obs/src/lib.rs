@@ -40,6 +40,7 @@ pub mod metric;
 pub mod registry;
 pub mod report;
 pub mod schema;
+pub mod sync;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use metric::{Gauge, Hist, LocalMetrics, Metric};

@@ -1,0 +1,82 @@
+//! Poison-recovering lock helpers.
+//!
+//! A `std::sync::Mutex` poisons when a holder panics, and every later
+//! `lock().unwrap()` then panics too — one crashed pipeline worker
+//! would cascade through every HTTP worker touching the job table.
+//! The data under these locks stays usable after a panic (a job map,
+//! a queue of owned items — no invariant spans the critical section),
+//! so callers recover the guard and keep going instead of amplifying
+//! one panic into an outage.
+//!
+//! These live in `cn-obs` because it is the one crate nearly everything
+//! already depends on; `cn-lint`'s CN-R2 rule points every
+//! `.lock().unwrap()` here.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard from a poisoned mutex.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cond`, recovering the guard if a holder panicked while
+/// this thread slept.
+pub fn wait_unpoisoned<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cond.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn a_poisoned_mutex_still_serves() {
+        let m = Arc::new(Mutex::new(7u32));
+        let poisoner = {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let _guard = m.lock().unwrap(); // cn-lint: allow(CN-R2, deliberately poisons the mutex under test)
+                panic!("poison it");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(m.is_poisoned(), "precondition: the mutex is poisoned");
+        let mut guard = lock_unpoisoned(&m);
+        assert_eq!(*guard, 7);
+        *guard = 8;
+        drop(guard);
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[test]
+    fn wait_recovers_from_a_poisoning_notifier() {
+        use std::sync::Condvar;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = pair.clone();
+            std::thread::spawn(move || {
+                let (m, cond) = &*pair;
+                let mut ready = lock_unpoisoned(m);
+                while !*ready {
+                    ready = wait_unpoisoned(cond, ready);
+                }
+                *ready
+            })
+        };
+        let notifier = {
+            let pair = pair.clone();
+            std::thread::spawn(move || {
+                let (m, cond) = &*pair;
+                let mut ready = m.lock().unwrap(); // cn-lint: allow(CN-R2, poisoning thread needs the raw panic path)
+                *ready = true;
+                cond.notify_all();
+                drop(ready);
+                let _guard = m.lock().unwrap(); // cn-lint: allow(CN-R2, deliberately poisons after notify)
+                panic!("poison after notify");
+            })
+        };
+        assert!(notifier.join().is_err());
+        assert!(waiter.join().unwrap(), "waiter sees the flag despite the poison");
+    }
+}

@@ -116,11 +116,14 @@ impl GroupByCache {
         }
         inner.bytes += bytes;
         while inner.bytes > self.capacity_bytes && inner.entries.len() > 1 {
+            // Tie-break equal `last_used` stamps by cache key so the
+            // evicted cube never depends on hash iteration order.
             let victim = inner
+                // cn-lint: allow(CN-D1, min_by_key over the full (stamp, key) pair is order-insensitive)
                 .entries
                 .iter()
                 .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(k, e)| (e.last_used, **k))
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {

@@ -566,7 +566,9 @@ fn build_pair_cubes_naive(
         by_unordered.entry(key).or_default().push((a, b));
     }
     type PairGroup = ((AttrId, AttrId), Vec<(AttrId, AttrId)>);
-    let groups: Vec<PairGroup> = by_unordered.into_iter().collect();
+    // Sorted so the parallel work partition is identical run-to-run.
+    let mut groups: Vec<PairGroup> = by_unordered.into_iter().collect();
+    groups.sort_unstable_by_key(|&(k, _)| k);
     let built: Vec<Result<Vec<PairCube>, cn_engine::EngineError>> =
         parallel_map(&groups, n_threads, |(unordered, orientations)| {
             let base = Cube::try_build_observed(table, &[unordered.0, unordered.1], obs)?;
@@ -622,7 +624,9 @@ fn build_pair_cubes_wsc(
             Ok((idx, Cube::try_build_observed(table, &plan.group_by_sets[idx], obs)?))
         });
     let cube_by_set: HashMap<usize, Cube> = materialized.into_iter().collect::<Result<_, _>>()?;
-    let pairs: Vec<((AttrId, AttrId), usize)> = set_for_pair.into_iter().collect();
+    // Sorted so the parallel work partition is identical run-to-run.
+    let mut pairs: Vec<((AttrId, AttrId), usize)> = set_for_pair.into_iter().collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k);
     let rolled: Vec<Result<PairCube, cn_engine::EngineError>> =
         parallel_map(&pairs, n_threads, |&((a, b), idx)| {
             let base = &cube_by_set[&idx];

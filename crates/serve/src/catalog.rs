@@ -8,6 +8,7 @@
 //! so `/metrics` can prove that a warmed-up server does no repeated
 //! parsing work.
 
+use cn_obs::sync::lock_unpoisoned;
 use cn_obs::{Metric, Registry};
 use cn_store::{Store, StoreError};
 use cn_tabular::csv::{read_path, CsvOptions};
@@ -228,21 +229,21 @@ impl Catalog {
     /// current `(status, fingerprint-when-warm)` pair.
     pub fn store_status(&self, name: &str) -> Option<(StoreStatus, Option<String>)> {
         let state = self.store.as_ref()?;
-        let status = state.status.lock().unwrap();
+        let status = lock_unpoisoned(&state.status);
         Some(status.get(name).cloned().unwrap_or((StoreStatus::Cold, None)))
     }
 
     /// Records a store status transition for `name` (worker-side).
     pub fn mark_store_status(&self, name: &str, status: StoreStatus, fingerprint: Option<String>) {
         if let Some(state) = &self.store {
-            state.status.lock().unwrap().insert(name.to_string(), (status, fingerprint));
+            lock_unpoisoned(&state.status).insert(name.to_string(), (status, fingerprint));
         }
     }
 
     /// Connects the precompute worker's build-request channel.
     pub fn set_build_trigger(&self, tx: mpsc::Sender<String>) {
         if let Some(state) = &self.store {
-            *state.build_tx.lock().unwrap() = Some(tx);
+            *lock_unpoisoned(&state.build_tx) = Some(tx);
         }
     }
 
@@ -250,7 +251,7 @@ impl Catalog {
     /// and the thread exits.
     pub fn close_build_trigger(&self) {
         if let Some(state) = &self.store {
-            *state.build_tx.lock().unwrap() = None;
+            *lock_unpoisoned(&state.build_tx) = None;
         }
     }
 
@@ -261,22 +262,19 @@ impl Catalog {
     pub fn request_build(&self, name: &str) {
         let Some(state) = &self.store else { return };
         {
-            let mut status = state.status.lock().unwrap();
+            let mut status = lock_unpoisoned(&state.status);
             let entry = status.entry(name.to_string()).or_insert((StoreStatus::Cold, None));
             if entry.0 == StoreStatus::Building {
                 return;
             }
             *entry = (StoreStatus::Building, None);
         }
-        let sent = state
-            .build_tx
-            .lock()
-            .unwrap()
+        let sent = lock_unpoisoned(&state.build_tx)
             .as_ref()
             .map(|tx| tx.send(name.to_string()).is_ok())
             .unwrap_or(false);
         if !sent {
-            let mut status = state.status.lock().unwrap();
+            let mut status = lock_unpoisoned(&state.status);
             if let Some(entry) = status.get_mut(name) {
                 *entry = (StoreStatus::Cold, None);
             }
@@ -301,7 +299,7 @@ impl Catalog {
 
     /// `(name, loaded)` for every registered dataset, sorted by name.
     pub fn list(&self) -> Vec<(String, bool)> {
-        let cache = self.cache.lock().unwrap();
+        let cache = lock_unpoisoned(&self.cache);
         let mut out: Vec<(String, bool)> = self
             .specs
             .iter()
@@ -327,7 +325,7 @@ impl Catalog {
             .iter()
             .find(|s| s.name == name)
             .ok_or_else(|| CatalogError::Unknown(name.to_string()))?;
-        let mut cache = self.cache.lock().unwrap();
+        let mut cache = lock_unpoisoned(&self.cache);
         if let Some(t) = cache.map.get(name).cloned() {
             self.obs.inc(Metric::CatalogHits);
             cache.touch(name);

@@ -154,7 +154,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         None => (target.to_string(), String::new()),
     };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut headers = Vec::new();
     loop {
         let mut header = String::new();
@@ -166,16 +166,33 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         if header.is_empty() {
             break;
         }
-        if let Some((name, value)) = header.split_once(':') {
-            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
-            if name == "content-length" {
-                content_length = value
-                    .parse()
-                    .map_err(|_| ParseError::Malformed("unparseable content-length"))?;
-            }
-            headers.push((name, value.to_string()));
+        // Obsolete line folding (RFC 7230 §3.2.4): a continuation line
+        // would silently glue onto whatever header a proxy thought came
+        // before it — a smuggling vector, so reject outright.
+        if header.starts_with(' ') || header.starts_with('\t') {
+            return Err(ParseError::Malformed("obsolete header line folding"));
         }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed("header line without a colon"));
+        };
+        let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+        if name.is_empty() {
+            return Err(ParseError::Malformed("empty header name"));
+        }
+        if name == "content-length" {
+            let parsed =
+                value.parse().map_err(|_| ParseError::Malformed("unparseable content-length"))?;
+            // Two agreeing lengths are tolerable duplication; two
+            // different ones mean the client and some intermediary
+            // disagree about where the body ends.
+            if content_length.is_some_and(|seen| seen != parsed) {
+                return Err(ParseError::Malformed("conflicting content-length headers"));
+            }
+            content_length = Some(parsed);
+        }
+        headers.push((name, value.to_string()));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(ParseError::BodyTooLarge(content_length));
     }
@@ -328,6 +345,30 @@ mod tests {
         assert!(matches!(
             roundtrip("POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
             Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected_but_agreeing_ones_pass() {
+        let conflict = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 7\r\n\r\nhello!!";
+        assert!(matches!(roundtrip(conflict), Err(ParseError::Malformed(_))));
+        let agree = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(roundtrip(agree).unwrap().body, b"hello");
+    }
+
+    #[test]
+    fn colonless_empty_name_and_folded_headers_are_rejected() {
+        assert!(matches!(
+            roundtrip("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::Malformed("header line without a colon"))
+        ));
+        assert!(matches!(
+            roundtrip("GET /x HTTP/1.1\r\n: nameless\r\n\r\n"),
+            Err(ParseError::Malformed("empty header name"))
+        ));
+        assert!(matches!(
+            roundtrip("GET /x HTTP/1.1\r\nA: b\r\n\tfolded continuation\r\n\r\n"),
+            Err(ParseError::Malformed("obsolete header line folding"))
         ));
     }
 

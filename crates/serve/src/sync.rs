@@ -1,78 +1,9 @@
-//! Poison-recovering lock helpers.
+//! Poison-recovering lock helpers — re-exported from their shared home.
 //!
-//! A `std::sync::Mutex` poisons when a holder panics, and every later
-//! `lock().unwrap()` then panics too — one crashed pipeline worker
-//! would cascade through every HTTP worker touching the job table.
-//! The data under these locks stays usable after a panic (a job map,
-//! a queue of owned items — no invariant spans the critical section),
-//! so the service recovers the guard and keeps serving instead of
-//! amplifying one panic into an outage.
+//! These started life here when only the HTTP service needed them; the
+//! CN-R2 burn-down moved them to [`cn_obs::sync`] so every crate can
+//! adopt them without depending on the server. This module stays as a
+//! re-export so existing `cn_serve::sync::lock_unpoisoned` callers and
+//! docs keep working.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-
-/// Locks `m`, recovering the guard from a poisoned mutex.
-pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Waits on `cond`, recovering the guard if a holder panicked while
-/// this thread slept.
-pub fn wait_unpoisoned<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cond.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::{Arc, Mutex};
-
-    #[test]
-    fn a_poisoned_mutex_still_serves() {
-        let m = Arc::new(Mutex::new(7u32));
-        let poisoner = {
-            let m = m.clone();
-            std::thread::spawn(move || {
-                let _guard = m.lock().unwrap();
-                panic!("poison it");
-            })
-        };
-        assert!(poisoner.join().is_err());
-        assert!(m.is_poisoned(), "precondition: the mutex is poisoned");
-        let mut guard = lock_unpoisoned(&m);
-        assert_eq!(*guard, 7);
-        *guard = 8;
-        drop(guard);
-        assert_eq!(*lock_unpoisoned(&m), 8);
-    }
-
-    #[test]
-    fn wait_recovers_from_a_poisoning_notifier() {
-        use std::sync::Condvar;
-        let pair = Arc::new((Mutex::new(false), Condvar::new()));
-        let waiter = {
-            let pair = pair.clone();
-            std::thread::spawn(move || {
-                let (m, cond) = &*pair;
-                let mut ready = lock_unpoisoned(m);
-                while !*ready {
-                    ready = wait_unpoisoned(cond, ready);
-                }
-                *ready
-            })
-        };
-        let notifier = {
-            let pair = pair.clone();
-            std::thread::spawn(move || {
-                let (m, cond) = &*pair;
-                let mut ready = m.lock().unwrap();
-                *ready = true;
-                cond.notify_all();
-                drop(ready);
-                let _guard = m.lock().unwrap();
-                panic!("poison after notify");
-            })
-        };
-        assert!(notifier.join().is_err());
-        assert!(waiter.join().unwrap(), "waiter sees the flag despite the poison");
-    }
-}
+pub use cn_obs::sync::{lock_unpoisoned, wait_unpoisoned};

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Smoke test of the cn-lint invariant checker: the workspace must lint
+# clean against its checked-in baseline, the JSON report must conform
+# to schemas/lint.schema.json, and the exit-code contract must hold
+# (0 when clean, 1 when a new violation appears).
+set -euo pipefail
+
+REPORT_OUT="${REPORT_OUT:-lint-report.json}"
+
+# SKIP_BUILD=1 reuses an existing release binary (local runs).
+if [ -z "${SKIP_BUILD:-}" ]; then
+  cargo build --release -p cn-core --bin cn
+fi
+CN="${CN:-./target/release/cn}"
+
+# The workspace lints clean against its own baseline (exit 0).
+"${CN}" lint .
+
+# The JSON report is parseable and carries the pinned shape markers.
+"${CN}" lint . --json >"${REPORT_OUT}"
+grep -q '"tool": "cn-lint"' "${REPORT_OUT}"
+grep -q '"version": 1' "${REPORT_OUT}"
+grep -q '"summary": {"total": ' "${REPORT_OUT}"
+grep -q '"new": 0' "${REPORT_OUT}"
+
+# Schema conformance and the golden fixture report are enforced by the
+# cn-lint integration tests; run just those (fast — no heavy crates).
+cargo test -q -p cn-lint
+
+# Exit-code contract: a seeded violation must fail the lint with 1.
+SEEDED_DIR=$(mktemp -d)
+trap 'rm -rf "${SEEDED_DIR}"' EXIT
+mkdir -p "${SEEDED_DIR}/crates/engine/src"
+cat >"${SEEDED_DIR}/crates/engine/src/lib.rs" <<'EOF'
+pub fn t() -> std::time::Instant { std::time::Instant::now() }
+EOF
+if "${CN}" lint "${SEEDED_DIR}" >/dev/null 2>&1; then
+  echo "seeded violation did not fail the lint"
+  exit 1
+fi
+
+# An explicitly-missing baseline file is a hard error (exit 2), not a
+# silent empty baseline.
+if "${CN}" lint . --baseline /nonexistent-baseline.json >/dev/null 2>&1; then
+  echo "missing explicit baseline did not error"
+  exit 1
+fi
+
+echo "lint smoke passed"
